@@ -1,0 +1,66 @@
+// Ablation: all-to-all algorithm choice and node-awareness (Section V).
+//
+// Times the four schedule families under the netsim model across message
+// sizes and GPU counts: the single-phase storm (default), the synchronous
+// pairwise exchange, Bruck (log-phase, small messages), and the paper's
+// node-aware one-sided ring. Also quantifies what the ring's node
+// awareness buys by comparing against a rank-distance ring that ignores
+// node boundaries (gpn = 1, every rank its own "node" round — more rounds,
+// no per-node pairing).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "netsim/model.hpp"
+#include "osc/schedule.hpp"
+
+int main() {
+  using namespace lossyfft;
+  const netsim::NetworkParams params;
+
+  std::printf("== Ablation: all-to-all algorithms (modeled) ==\n");
+  for (const std::uint64_t msg : {1ull << 10, 80ull << 10, 1ull << 20}) {
+    std::printf("\n-- %llu KB per pair --\n",
+                static_cast<unsigned long long>(msg >> 10));
+    TablePrinter t({"GPUs", "storm ms", "pairwise ms", "bruck ms",
+                    "OSC ring ms", "OSC pscw ms", "OSC rank-ring ms",
+                    "best"});
+    const auto bytes = [msg](int, int) { return msg; };
+    for (const int gpus : {24, 96, 384, 1536}) {
+      const auto topo = netsim::Topology::summit(gpus / 6);
+      const auto ms = [&](const netsim::Schedule& s) {
+        return netsim::simulate(topo, s, params).seconds * 1e3;
+      };
+      const double storm = ms(osc::schedule_linear(gpus, 6, bytes));
+      const double pair = ms(osc::schedule_pairwise(gpus, 6, bytes));
+      const double bruck = ms(osc::schedule_bruck(gpus, 6, msg));
+      const double ring = ms(osc::schedule_osc_ring(gpus, 6, bytes));
+      // PSCW variant: same ring, per-round sync scoped to the node pair
+      // instead of a global fence.
+      auto pscw_sched = osc::schedule_osc_ring(gpus, 6, bytes);
+      pscw_sched.phase_barrier = false;
+      const double pscw = ms(pscw_sched);
+      const double rring = ms(osc::schedule_osc_ring(gpus, 1, bytes));
+      const double best = std::min({storm, pair, bruck, ring, pscw, rring});
+      const char* who = best == pscw    ? "OSC pscw"
+                        : best == ring  ? "OSC ring"
+                        : best == rring ? "rank ring"
+                        : best == bruck ? "bruck"
+                        : best == pair  ? "pairwise"
+                                        : "storm";
+      t.add_row({std::to_string(gpus), TablePrinter::fmt(storm, 2),
+                 TablePrinter::fmt(pair, 2), TablePrinter::fmt(bruck, 2),
+                 TablePrinter::fmt(ring, 2), TablePrinter::fmt(pscw, 2),
+                 TablePrinter::fmt(rring, 2), who});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nExpectations: Bruck wins tiny messages (fewer rounds); for\n"
+      "medium/large payloads the synchronized exchanges (pairwise and the\n"
+      "node-aware OSC ring) run neck-and-neck and both beat the\n"
+      "single-phase storm, which collapses under endpoint congestion —\n"
+      "the OSC ring additionally admits the compression pipeline, which\n"
+      "neither two-sided variant does. Ignoring node boundaries (rank\n"
+      "ring) pays more rounds for no bandwidth win.\n");
+  return 0;
+}

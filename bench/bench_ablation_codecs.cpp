@@ -1,0 +1,114 @@
+// Ablation: codec choice (Section IV-A).
+//
+// Measures, on this machine, every codec's real compression rate, maximum
+// reconstruction error and CPU throughput for two payload classes:
+//   random  — i.i.d. uniform doubles (the paper's evaluation data, where
+//             transform codecs cannot beat truncation), and
+//   smooth  — a spatially correlated field (where zfpx/szq shine).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
+
+namespace {
+
+using namespace lossyfft;
+
+struct Result {
+  double rate;
+  double max_err;
+  double comp_gbs;
+  double decomp_gbs;
+};
+
+Result evaluate(const Codec& codec, std::span<const double> data) {
+  std::vector<std::byte> wire(codec.max_compressed_bytes(data.size()));
+  std::vector<double> out(data.size());
+
+  Stopwatch sw;
+  const std::size_t used = codec.compress(data, wire);
+  const double t_comp = sw.seconds();
+  sw.reset();
+  codec.decompress(std::span<const std::byte>(wire.data(), used), out);
+  const double t_dec = sw.seconds();
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    err = std::max(err, std::fabs(out[i] - data[i]));
+  }
+  const double bytes = static_cast<double>(data.size()) * 8;
+  return {bytes / static_cast<double>(used), err, bytes / t_comp / 1e9,
+          bytes / t_dec / 1e9};
+}
+
+void run_class(const char* label, std::span<const double> data) {
+  std::printf("\n-- %s data (%zu doubles) --\n", label, data.size());
+  TablePrinter t({"codec", "rate", "max abs err", "comp GB/s", "decomp GB/s"});
+  std::vector<std::shared_ptr<Codec>> codecs;
+  codecs.push_back(std::make_shared<IdentityCodec>());
+  codecs.push_back(std::make_shared<CastFp32Codec>());
+  codecs.push_back(std::make_shared<CastFp16Codec>(true));
+  codecs.push_back(std::make_shared<CastBf16Codec>());
+  codecs.push_back(std::make_shared<BitTrimCodec>(20));
+  codecs.push_back(std::make_shared<Zfpx1dCodec>(16));
+  codecs.push_back(std::make_shared<Zfpx1dCodec>(32));
+  codecs.push_back(std::make_shared<SzqCodec>(1e-6));
+  codecs.push_back(std::make_shared<ByteplaneRleCodec>());
+  for (const auto& c : codecs) {
+    const Result r = evaluate(*c, data);
+    t.add_row({c->name(), TablePrinter::fmt(r.rate, 2),
+               TablePrinter::sci(r.max_err, 2), TablePrinter::fmt(r.comp_gbs, 2),
+               TablePrinter::fmt(r.decomp_gbs, 2)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  Xoshiro256 rng(123);
+  const int n = 40;  // 64000 values.
+  const auto smooth = make_smooth_field3d(rng, n, n, n, 4);
+  std::vector<double> random(smooth.size());
+  fill_uniform(rng, random);
+
+  std::printf("== Ablation: codec rate / error / throughput ==\n");
+  run_class("random", random);
+  run_class("smooth", smooth);
+
+  // The paper's 3-D point: a spatially-aware transform codec at rate ~4
+  // beats rate-4 truncation on correlated data.
+  Zfpx3d z3{n, n, n, 16};
+  std::vector<std::byte> wire(z3.compressed_bytes());
+  z3.compress(smooth, wire);
+  std::vector<double> out(smooth.size());
+  z3.decompress(wire, out);
+  double err3 = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    err3 = std::max(err3, std::fabs(out[i] - smooth[i]));
+  }
+  CastFp16Codec fp16(true);
+  std::vector<std::byte> w16(fp16.max_compressed_bytes(smooth.size()));
+  fp16.compress(smooth, w16);
+  std::vector<double> o16(smooth.size());
+  fp16.decompress(w16, o16);
+  double err16 = 0.0;
+  for (std::size_t i = 0; i < o16.size(); ++i) {
+    err16 = std::max(err16, std::fabs(o16[i] - smooth[i]));
+  }
+  std::printf(
+      "\nzfpx 3-D (rate %.2f) max err on smooth field: %.2e vs rate-4 "
+      "FP16 truncation: %.2e -> %s (Section IV-A expectation: transform "
+      "codec wins on correlated data, ties on random).\n",
+      static_cast<double>(smooth.size()) * 8 /
+          static_cast<double>(z3.compressed_bytes()),
+      err3, err16, err3 < err16 ? "holds" : "check");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: network-model fidelity.
+//
+// The performance figures (Fig. 3, Fig. 4) are produced by the O(messages)
+// bulk-synchronous phase model. This bench cross-validates it against the
+// flow-level max-min fair discrete-event engine on identical schedules:
+// the two engines must agree on uncontended patterns and bracket each
+// other under contention (the phase model adds an explicit endpoint-
+// congestion penalty that fair sharing does not capture).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "netsim/flowsim.hpp"
+#include "netsim/model.hpp"
+#include "osc/schedule.hpp"
+
+int main() {
+  using namespace lossyfft;
+  const netsim::NetworkParams params;
+
+  std::printf("== Ablation: phase model vs flow-level simulation ==\n");
+  TablePrinter t({"schedule", "GPUs", "msg KB", "phase ms", "flow ms",
+                  "flow/phase"});
+  const auto add = [&](const char* name, int gpus, std::uint64_t kb,
+                       const netsim::Schedule& s) {
+    const auto topo = netsim::Topology::summit(gpus / 6);
+    const double a = netsim::simulate(topo, s, params).seconds * 1e3;
+    const double b = netsim::simulate_flows(topo, s, params).seconds * 1e3;
+    t.add_row({name, std::to_string(gpus), std::to_string(kb),
+               TablePrinter::fmt(a, 3), TablePrinter::fmt(b, 3),
+               TablePrinter::fmt(b / a, 2)});
+  };
+
+  for (const int gpus : {24, 96}) {
+    for (const std::uint64_t kb : {16ull, 80ull, 512ull}) {
+      const auto bytes = [kb](int, int) { return kb << 10; };
+      add("pairwise", gpus, kb, osc::schedule_pairwise(gpus, 6, bytes));
+      add("OSC ring", gpus, kb, osc::schedule_osc_ring(gpus, 6, bytes));
+      add("storm", gpus, kb, osc::schedule_linear(gpus, 6, bytes));
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: ratios near 1.0 for the synchronized exchanges validate\n"
+      "the phase aggregation; for the storm the fair-sharing engine is the\n"
+      "optimistic bound (no congestion collapse), so the phase model's\n"
+      "penalty shows up as flow/phase < 1 there — the gap IS the modeled\n"
+      "endpoint congestion of Fig. 3.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) of the node-local kernels that the
+// paper's pipeline rests on: the 1-D FFT stages and every codec's
+// compress/decompress throughput. These are the constants a user would
+// measure to recalibrate netsim::NetworkParams::compress_bw on their
+// hardware.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
+#include "fft/fft1d.hpp"
+
+namespace {
+
+using namespace lossyfft;
+
+void BM_Fft1dForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fft1d<double> plan(n);
+  Xoshiro256 rng(1);
+  std::vector<std::complex<double>> x(n);
+  fill_uniform_complex(rng, x);
+  for (auto _ : state) {
+    plan.transform(x.data(), FftDirection::kForward);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1dForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(1000);
+
+void BM_Fft1dBatched(benchmark::State& state) {
+  const std::size_t n = 1024, batch = 64;
+  Fft1d<double> plan(n);
+  Xoshiro256 rng(2);
+  std::vector<std::complex<double>> x(n * batch);
+  fill_uniform_complex(rng, x);
+  for (auto _ : state) {
+    plan.transform_strided(x.data(), 1, batch,
+                           static_cast<std::ptrdiff_t>(n),
+                           FftDirection::kForward);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * batch));
+}
+BENCHMARK(BM_Fft1dBatched);
+
+std::shared_ptr<Codec> make_codec(int which) {
+  switch (which) {
+    case 0: return std::make_shared<IdentityCodec>();
+    case 1: return std::make_shared<CastFp32Codec>();
+    case 2: return std::make_shared<CastFp16Codec>();
+    case 3: return std::make_shared<BitTrimCodec>(20);
+    case 4: return std::make_shared<Zfpx1dCodec>(16);
+    case 5: return std::make_shared<SzqCodec>(1e-6);
+    default: return std::make_shared<ByteplaneRleCodec>();
+  }
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto codec = make_codec(static_cast<int>(state.range(0)));
+  const std::size_t n = 1 << 16;
+  Xoshiro256 rng(3);
+  std::vector<double> in(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec->max_compressed_bytes(n));
+  for (auto _ : state) {
+    const std::size_t used = codec->compress(in, wire);
+    benchmark::DoNotOptimize(used);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_Compress)->DenseRange(0, 6);
+
+void BM_Decompress(benchmark::State& state) {
+  const auto codec = make_codec(static_cast<int>(state.range(0)));
+  const std::size_t n = 1 << 16;
+  Xoshiro256 rng(4);
+  std::vector<double> in(n), out(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec->max_compressed_bytes(n));
+  const std::size_t used = codec->compress(in, wire);
+  for (auto _ : state) {
+    codec->decompress(std::span<const std::byte>(wire.data(), used), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_Decompress)->DenseRange(0, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

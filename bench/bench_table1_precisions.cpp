@@ -1,0 +1,33 @@
+// Regenerates Table I: parameters of the BFloat16/FP16/FP32/FP64 formats
+// (sizes, representable ranges, unit roundoff) computed in closed form from
+// the exponent/mantissa widths, plus the peak-throughput constants the
+// paper lists for NVIDIA V100 and AMD MI100.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "softfloat/traits.hpp"
+
+int main() {
+  using lossyfft::TablePrinter;
+
+  std::printf("== Table I: floating-point format parameters ==\n");
+  TablePrinter t({"Arithmetic", "Size(bits)", "x_min,s", "x_min", "x_max",
+                  "Unit roundoff", "V100 Tflop/s", "MI100 Tflop/s"});
+  for (const auto& row : lossyfft::table1_rows()) {
+    const auto& f = row.format;
+    t.add_row({f.name, std::to_string(f.total_bits),
+               TablePrinter::sci(f.min_subnormal(), 1),
+               TablePrinter::sci(f.min_normal(), 1),
+               TablePrinter::sci(f.max_finite(), 1),
+               TablePrinter::sci(f.unit_roundoff(), 1),
+               row.peak_tflops_v100
+                   ? TablePrinter::fmt(*row.peak_tflops_v100, 1)
+                   : std::string("N/A"),
+               TablePrinter::fmt(row.peak_tflops_mi100, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference (Table I): FP16 u=4.9e-04, FP32 u=6.0e-08, "
+      "FP64 u=1.1e-16; ranges as printed above.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Regenerates Table II: accuracy of the roundtrip FFT (||x-IFFT(FFT(x))||,
+// relative L2) for a growing number of GPUs under three configurations:
+//   FP64        — double compute, exact communication;
+//   FP32        — float compute and communication;
+//   FP64->FP32  — double compute, 32-bit truncated communication through
+//                 the one-sided ring (the paper's mixed-precision column).
+//
+// These are REAL runs on thread ranks with real numerics — only the grid
+// is scaled down from the paper's 1024^3 (one core here; accuracy is
+// per-element and scale-insensitive, which the row-to-row stability of the
+// paper's own table confirms). Rank counts follow the paper's column
+// (12..1536); the default sweep stops at 96 threads, --full goes to 384.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/fft3d.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace {
+
+using namespace lossyfft;
+
+std::vector<std::complex<double>> local_field(const Box3& b,
+                                              std::uint64_t seed) {
+  std::vector<std::complex<double>> v(static_cast<std::size_t>(b.count()));
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        Xoshiro256 rng(seed + static_cast<std::uint64_t>(x) +
+                       (static_cast<std::uint64_t>(y) << 20) +
+                       (static_cast<std::uint64_t>(z) << 40));
+        v[i++] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      }
+  return v;
+}
+
+struct Row {
+  double fp64 = 0, fp32 = 0, mixed = 0;
+};
+
+Row measure(int ranks, std::array<int, 3> n) {
+  Row row;
+  minimpi::run_ranks(ranks, [&](minimpi::Comm& comm) {
+    // FP64 reference.
+    {
+      Fft3d<double> fft(comm, n);
+      const auto in = local_field(fft.inbox(), 31);
+      std::vector<std::complex<double>> spec(fft.local_count()),
+          back(fft.local_count());
+      fft.forward(in, spec);
+      fft.backward(spec, back);
+      const double e = rel_l2_error<double>(comm, back, in);
+      if (comm.rank() == 0) row.fp64 = e;
+    }
+    // FP32 reference (compute and communicate in float).
+    {
+      Fft3d<float> fft(comm, n);
+      const auto in64 = local_field(fft.inbox(), 31);
+      std::vector<std::complex<float>> in(in64.size());
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i] = {static_cast<float>(in64[i].real()),
+                 static_cast<float>(in64[i].imag())};
+      }
+      std::vector<std::complex<float>> spec(fft.local_count()),
+          back(fft.local_count());
+      fft.forward(in, spec);
+      fft.backward(spec, back);
+      const double e = rel_l2_error<float>(comm, back, in);
+      if (comm.rank() == 0) row.fp32 = e;
+    }
+    // FP64 -> FP32 mixed: double compute, 32-bit wire via the OSC ring.
+    {
+      Fft3dOptions o;
+      o.backend = ExchangeBackend::kOsc;
+      o.codec = std::make_shared<CastFp32Codec>();
+      Fft3d<double> fft(comm, n, o);
+      const auto in = local_field(fft.inbox(), 31);
+      std::vector<std::complex<double>> spec(fft.local_count()),
+          back(fft.local_count());
+      fft.forward(in, spec);
+      fft.backward(spec, back);
+      const double e = rel_l2_error<double>(comm, back, in);
+      if (comm.rank() == 0) row.mixed = e;
+    }
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const std::vector<int> ranks = full
+                                     ? std::vector<int>{12, 24, 48, 96, 192, 384}
+                                     : std::vector<int>{12, 24, 48, 96};
+  // 64^3 keeps the runtime reasonable while being large enough that FP32's
+  // compute roundoff dominates (the regime of the paper's 1024^3 runs).
+  const std::array<int, 3> n{64, 64, 64};
+
+  std::printf("== Table II: roundtrip FFT accuracy, grid %dx%dx%d "
+              "(real thread-rank runs) ==\n", n[0], n[1], n[2]);
+  TablePrinter t({"#GPU", "FP64", "FP32", "FP64->FP32", "FP32/mixed"});
+  for (const int p : ranks) {
+    const Row r = measure(p, n);
+    t.add_row({std::to_string(p), TablePrinter::sci(r.fp64, 2),
+               TablePrinter::sci(r.fp32, 2), TablePrinter::sci(r.mixed, 2),
+               TablePrinter::fmt(r.fp32 / r.mixed, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference (Table II, 1024^3): FP64 ~5-6e-15, FP32 ~3-5e-06, "
+      "FP64->FP32 ~2-6e-07 — the mixed column is about an order of\n"
+      "magnitude more accurate than pure FP32, stable across GPU counts.\n%s",
+      full ? "" : "(run with --full for 192/384-rank rows)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// 3-D convolution via FFT with compressed communication: smooth a noisy
+// periodic field with a Gaussian kernel, entirely in the frequency domain
+// (fast convolution is one of the FFT uses the paper's introduction
+// motivates).
+//
+// Pipeline: FFT(field) -> multiply by the kernel's (analytic) transform ->
+// IFFT, with every reshape truncated to FP32 on the wire. Compares the
+// lossy result against the exact-communication result.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/fft3d.hpp"
+#include "minimpi/runtime.hpp"
+
+using namespace lossyfft;
+
+namespace {
+
+int wavenumber(int i, int n) { return i <= n / 2 ? i : i - n; }
+
+void smooth_in_frequency(const Fft3d<double>& fft, int n, double sigma,
+                         std::span<std::complex<double>> spec) {
+  // Gaussian kernel: multiply mode k by exp(-sigma^2 |k|^2 / 2).
+  const Box3& b = fft.inbox();
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z) {
+    const double kz = wavenumber(z, n);
+    for (int y = b.lo[1]; y < b.hi(1); ++y) {
+      const double ky = wavenumber(y, n);
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        const double kx = wavenumber(x, n);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        spec[i++] *= std::exp(-0.5 * sigma * sigma * k2);
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> convolve(minimpi::Comm& comm, int n,
+                                           double sigma, CodecPtr codec,
+                                           std::uint64_t seed) {
+  Fft3dOptions o;
+  o.backend = ExchangeBackend::kOsc;
+  o.codec = std::move(codec);
+  Fft3d<double> fft(comm, {n, n, n}, o);
+
+  // Noisy field: smooth signal + white noise, deterministic per index.
+  const Box3& b = fft.inbox();
+  const double h = 2.0 * M_PI / n;
+  std::vector<std::complex<double>> field(fft.local_count());
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        Xoshiro256 rng(seed + static_cast<std::uint64_t>(x) +
+                       (static_cast<std::uint64_t>(y) << 20) +
+                       (static_cast<std::uint64_t>(z) << 40));
+        field[i++] = std::sin(x * h) * std::cos(y * h) * std::sin(2 * z * h) +
+                     0.3 * rng.normal();
+      }
+
+  std::vector<std::complex<double>> spec(fft.local_count());
+  fft.forward(field, spec);
+  smooth_in_frequency(fft, n, sigma, spec);
+  std::vector<std::complex<double>> out(fft.local_count());
+  fft.backward(spec, out);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 8, n = 48;
+  const double sigma = 0.35;
+  std::printf("Gaussian smoothing of a %d^3 field via FFT convolution, "
+              "%d ranks\n", n, ranks);
+
+  minimpi::run_ranks(ranks, [&](minimpi::Comm& comm) {
+    const auto exact = convolve(comm, n, sigma, nullptr, 7);
+    const auto fp32 =
+        convolve(comm, n, sigma, std::make_shared<CastFp32Codec>(), 7);
+    const auto fp16 =
+        convolve(comm, n, sigma, std::make_shared<CastFp16Codec>(true), 7);
+
+    const double e32 = rel_l2_error<double>(comm, fp32, exact);
+    const double e16 = rel_l2_error<double>(comm, fp16, exact);
+    if (comm.rank() == 0) {
+      std::printf("  lossy-vs-exact deviation, FP32 wire (2x less traffic): "
+                  "%.3e\n", e32);
+      std::printf("  lossy-vs-exact deviation, FP16 wire (4x less traffic): "
+                  "%.3e\n", e16);
+      std::printf("  -> smoothing amplitude is O(1); both deviations sit at "
+                  "the wire precision, far below the smoothing itself.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Spectral PDE solve with approximate FFTs — the paper's Algorithm 2.
+//
+// Solves (-lap(u) + u) = f on the periodic cube [0, 2*pi)^3 for a
+// manufactured smooth solution, at several communication tolerances, and
+// prints the error balance Section III describes: once the communication
+// tolerance e_tol sits below the discretization error, tightening it
+// further buys nothing — the lossy FFT is "free".
+//
+// The manufactured solution u* = exp(sin(x)) * cos(2y) * sin(z) is NOT a
+// Fourier eigenfunction, so the spectral solve carries a genuine
+// truncation (discretization) error that shrinks with the grid.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "minimpi/runtime.hpp"
+#include "solver/poisson.hpp"
+
+using namespace lossyfft;
+
+namespace {
+
+double u_star(double x, double y, double z) {
+  return std::exp(std::sin(x)) * std::cos(2 * y) * std::sin(z);
+}
+
+// f = (-lap + 1) u*, derived analytically.
+double f_rhs(double x, double y, double z) {
+  const double sx = std::sin(x), cx = std::cos(x);
+  const double ex = std::exp(sx);
+  // d2/dx2 exp(sin x) = exp(sin x) (cos^2 x - sin x).
+  const double uxx = ex * (cx * cx - sx) * std::cos(2 * y) * std::sin(z);
+  const double uyy = -4.0 * u_star(x, y, z);
+  const double uzz = -u_star(x, y, z);
+  return -(uxx + uyy + uzz) + u_star(x, y, z);
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 8;
+  std::printf("Spectral Helmholtz solve (-lap + 1)u = f on [0,2pi)^3 "
+              "(Algorithm 2)\n\n");
+
+  TablePrinter t({"grid", "e_tol", "codec wire", "solution error",
+                  "spectral residual"});
+  for (const int n : {16, 32}) {
+    for (const double e_tol : {1.0, 1e-4, 1e-8, 1e-12}) {
+      double err = 0.0, res = 0.0, ratio = 1.0;
+      minimpi::run_ranks(ranks, [&](minimpi::Comm& comm) {
+        PoissonOptions o;
+        o.shift = 1.0;
+        o.fft.backend = ExchangeBackend::kOsc;
+        PoissonSolver solver(comm, {n, n, n}, e_tol, o);
+
+        const Box3& b = solver.box();
+        const double h = 2.0 * M_PI / n;
+        std::vector<std::complex<double>> f(solver.local_count()),
+            u(solver.local_count()), want(solver.local_count());
+        std::size_t i = 0;
+        for (int z = b.lo[2]; z < b.hi(2); ++z)
+          for (int y = b.lo[1]; y < b.hi(1); ++y)
+            for (int x = b.lo[0]; x < b.hi(0); ++x) {
+              f[i] = f_rhs(x * h, y * h, z * h);
+              want[i] = u_star(x * h, y * h, z * h);
+              ++i;
+            }
+        solver.solve(f, u);
+        const double e = rel_l2_error<double>(comm, u, want);
+        const double r = solver.residual(f, u);
+        const auto st = solver.fft().stats();
+        if (comm.rank() == 0) {
+          err = e;
+          res = r;
+          ratio = st.compression_ratio();
+        }
+      });
+      t.add_row({std::to_string(n) + "^3", TablePrinter::sci(e_tol, 0),
+                 TablePrinter::fmt(ratio, 2) + "x", TablePrinter::sci(err, 2),
+                 TablePrinter::sci(res, 2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading the table (Section III): the solution error tracks e_tol\n"
+      "until it floors at the grid's own error (discretization + FP64\n"
+      "roundoff; ~3e-9 on 16^3, ~1e-15 on 32^3). A user therefore sets\n"
+      "e_tol to their discretization error and takes the compressed wire\n"
+      "for free — requesting anything tighter than the floor (e.g. 1e-12\n"
+      "on 16^3) buys no accuracy but still costs wire volume.\n");
+  return 0;
+}

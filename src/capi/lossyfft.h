@@ -1,0 +1,65 @@
+/* C API for the lossyfft distributed 3-D FFT (the equivalent of heFFTe's
+ * C bindings). All functions return 0 on success and a nonzero error code
+ * on failure (invalid arguments, box mismatch, ...), except the opaque-
+ * handle constructors which return NULL on failure.
+ *
+ * Ranks are in-process threads: lossyfft_run_ranks launches the world and
+ * calls the user function once per rank with that rank's communicator.
+ * Plans are valid only inside the rank function that created them, and
+ * must be destroyed before it returns.
+ *
+ * Complex data is passed as interleaved re/im doubles (2*count values).
+ */
+#ifndef LOSSYFFT_CAPI_H_
+#define LOSSYFFT_CAPI_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct lossyfft_comm lossyfft_comm;
+typedef struct lossyfft_plan lossyfft_plan;
+
+/* Exchange backends (ExchangeBackend). */
+enum {
+  LOSSYFFT_BACKEND_PAIRWISE = 0,
+  LOSSYFFT_BACKEND_LINEAR = 1,
+  LOSSYFFT_BACKEND_OSC = 2
+};
+
+/* Run fn(comm, user) on nranks thread ranks; blocks until all return.
+ * Returns 0 on success, 1 if any rank threw. */
+int lossyfft_run_ranks(int nranks, void (*fn)(lossyfft_comm*, void*),
+                       void* user);
+
+int lossyfft_comm_rank(const lossyfft_comm* comm);
+int lossyfft_comm_size(const lossyfft_comm* comm);
+
+/* Plan a c2c transform of the (nx, ny, nz) grid in the default brick
+ * decomposition. e_tol < 1.0 selects a lossy wire codec meeting that
+ * relative tolerance; e_tol >= 1.0 keeps communication exact. Collective.
+ * Returns NULL on invalid arguments. */
+lossyfft_plan* lossyfft_plan_c2c(lossyfft_comm* comm, int nx, int ny, int nz,
+                                 double e_tol, int backend);
+
+void lossyfft_plan_destroy(lossyfft_plan* plan);
+
+/* Number of complex elements in this rank's brick. */
+long long lossyfft_local_count(const lossyfft_plan* plan);
+
+/* This rank's brick: global lower corner and extents. */
+void lossyfft_inbox(const lossyfft_plan* plan, int lo[3], int size[3]);
+
+/* Forward / scaled inverse transform of the local brick. Buffers hold
+ * 2*local_count interleaved doubles and may alias. Collective. */
+int lossyfft_forward(lossyfft_plan* plan, const double* in, double* out);
+int lossyfft_backward(lossyfft_plan* plan, const double* in, double* out);
+
+/* payload bytes / wire bytes over this plan's exchanges so far. */
+double lossyfft_compression_ratio(const lossyfft_plan* plan);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* LOSSYFFT_CAPI_H_ */

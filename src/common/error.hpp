@@ -1,0 +1,42 @@
+// Error-handling primitives shared by every lossyfft module.
+//
+// The library throws `lossyfft::Error` for recoverable misuse (bad plan
+// parameters, mismatched buffer sizes) and uses LFFT_ASSERT for internal
+// invariants that indicate a bug rather than bad input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lossyfft {
+
+/// Exception type thrown on invalid arguments or unsatisfiable requests.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw lossyfft::Error with a formatted location-tagged message when
+/// `cond` is false. Used to validate user-facing API arguments.
+#define LFFT_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::lossyfft::Error(std::string(__FILE__) + ":" +                  \
+                              std::to_string(__LINE__) + ": " + (msg));      \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check: aborts. Violations are library bugs, not
+/// user errors, so unwinding would only obscure the failure point.
+#define LFFT_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "lossyfft internal assertion failed: %s at %s:%d\n", \
+                   #cond, __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace lossyfft

@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands a single seed into the 256-bit xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 top bits -> [0, 1) with full double resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  LFFT_REQUIRE(n > 0, "Xoshiro256::below requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v = (*this)();
+  while (v >= limit) v = (*this)();
+  return v % n;
+}
+
+void fill_uniform(Xoshiro256& rng, std::span<double> out, double lo, double hi) {
+  for (auto& v : out) v = rng.uniform(lo, hi);
+}
+
+void fill_normal(Xoshiro256& rng, std::span<double> out) {
+  for (auto& v : out) v = rng.normal();
+}
+
+void fill_uniform_complex(Xoshiro256& rng, std::span<std::complex<double>> out,
+                          double lo, double hi) {
+  for (auto& v : out) v = {rng.uniform(lo, hi), rng.uniform(lo, hi)};
+}
+
+std::vector<double> make_smooth_field3d(Xoshiro256& rng, int nx, int ny, int nz,
+                                        int blur_passes) {
+  LFFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "field extents must be positive");
+  const std::size_t n = static_cast<std::size_t>(nx) * ny * nz;
+  std::vector<double> field(n);
+  fill_normal(rng, field);
+
+  const auto idx = [&](int x, int y, int z) {
+    return static_cast<std::size_t>(x) +
+           static_cast<std::size_t>(nx) *
+               (static_cast<std::size_t>(y) + static_cast<std::size_t>(ny) * z);
+  };
+  const auto clampi = [](int v, int hi) { return v < 0 ? 0 : (v >= hi ? hi - 1 : v); };
+
+  std::vector<double> tmp(n);
+  for (int pass = 0; pass < blur_passes; ++pass) {
+    // Separable 3-point box blur along each axis in turn.
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int z = 0; z < nz; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < nx; ++x) {
+            int xm = x, xp = x, ym = y, yp = y, zm = z, zp = z;
+            if (axis == 0) { xm = clampi(x - 1, nx); xp = clampi(x + 1, nx); }
+            if (axis == 1) { ym = clampi(y - 1, ny); yp = clampi(y + 1, ny); }
+            if (axis == 2) { zm = clampi(z - 1, nz); zp = clampi(z + 1, nz); }
+            tmp[idx(x, y, z)] = (field[idx(xm, ym, zm)] + field[idx(x, y, z)] +
+                                 field[idx(xp, yp, zp)]) / 3.0;
+          }
+        }
+      }
+      field.swap(tmp);
+    }
+  }
+  return field;
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,62 @@
+// Deterministic, seedable random number generation used by tests,
+// examples, and benchmarks.
+//
+// We provide a xoshiro256** engine (fast, high quality, tiny state) plus
+// field generators: i.i.d. uniform/normal data (the paper's evaluation uses
+// random data, Section VI) and spatially-correlated smooth fields (needed to
+// show when transform codecs such as zfpx beat truncation, Section IV-A).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lossyfft {
+
+/// xoshiro256** by Blackman & Vigna. Deterministic across platforms.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double normal();
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Fill `out` with i.i.d. uniform values in [lo, hi).
+void fill_uniform(Xoshiro256& rng, std::span<double> out, double lo = -1.0,
+                  double hi = 1.0);
+
+/// Fill `out` with i.i.d. standard normal values.
+void fill_normal(Xoshiro256& rng, std::span<double> out);
+
+/// Fill a complex vector with i.i.d. uniform real/imag parts in [lo, hi).
+void fill_uniform_complex(Xoshiro256& rng, std::span<std::complex<double>> out,
+                          double lo = -1.0, double hi = 1.0);
+
+/// Generate a smooth (spatially correlated) 3-D field of extent nx*ny*nz,
+/// laid out x-fastest. `smoothness` in (0, 1]: larger values give smoother
+/// fields. Implemented as iterated box-blur of white noise, so codecs that
+/// exploit spatial correlation (zfpx) have structure to work with.
+std::vector<double> make_smooth_field3d(Xoshiro256& rng, int nx, int ny, int nz,
+                                        int blur_passes = 3);
+
+}  // namespace lossyfft

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LFFT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  LFFT_REQUIRE(row.size() == headers_.size(),
+               "row arity does not match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,32 @@
+// Column-aligned ASCII table printer used by the benchmark harness to emit
+// the paper's tables/figure series in a readable, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lossyfft {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Format helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lossyfft

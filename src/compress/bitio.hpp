@@ -1,0 +1,73 @@
+// Little bitstream reader/writer used by the bit-packing codecs
+// (BitTrim, zfpx, szq). Bits are appended LSB-first into bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::span<std::byte> out) : out_(out) {}
+
+  /// Append the low `nbits` bits of `v` (LSB first). nbits in [0, 64].
+  void put(std::uint64_t v, int nbits) {
+    LFFT_ASSERT(nbits >= 0 && nbits <= 64);
+    for (int i = 0; i < nbits; ++i) put_bit((v >> i) & 1u);
+  }
+
+  void put_bit(bool b) {
+    const std::size_t byte = pos_ >> 3;
+    LFFT_ASSERT(byte < out_.size());
+    const int bit = static_cast<int>(pos_ & 7);
+    if (bit == 0) out_[byte] = std::byte{0};
+    if (b) out_[byte] |= std::byte{1} << bit;
+    ++pos_;
+  }
+
+  /// Bits written so far.
+  std::size_t bit_count() const { return pos_; }
+
+  /// Bytes touched so far (final byte zero-padded by construction).
+  std::size_t byte_count() const { return (pos_ + 7) >> 3; }
+
+ private:
+  std::span<std::byte> out_;
+  std::size_t pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint64_t get(int nbits) {
+    LFFT_ASSERT(nbits >= 0 && nbits <= 64);
+    std::uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      v |= static_cast<std::uint64_t>(get_bit()) << i;
+    }
+    return v;
+  }
+
+  bool get_bit() {
+    const std::size_t byte = pos_ >> 3;
+    // Reading past the end means a truncated/corrupted wire stream — a
+    // recoverable input error, not a library bug.
+    LFFT_REQUIRE(byte < in_.size(), "bitstream: read past end of input");
+    const int bit = static_cast<int>(pos_ & 7);
+    ++pos_;
+    return (in_[byte] & (std::byte{1} << bit)) != std::byte{0};
+  }
+
+  std::size_t bit_count() const { return pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lossyfft

@@ -1,0 +1,63 @@
+#include "compress/checksum.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+ChecksumCodec::ChecksumCodec(CodecPtr inner) : inner_(std::move(inner)) {
+  LFFT_REQUIRE(inner_ != nullptr, "checksum codec needs an inner codec");
+}
+
+std::string ChecksumCodec::name() const {
+  return "checksum(" + inner_->name() + ")";
+}
+
+std::size_t ChecksumCodec::max_compressed_bytes(std::size_t n) const {
+  return kHeaderBytes + inner_->max_compressed_bytes(n);
+}
+
+double ChecksumCodec::nominal_rate() const {
+  // The 16-byte frame amortizes to nothing on real payloads.
+  return inner_->nominal_rate();
+}
+
+std::size_t ChecksumCodec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
+               "checksum: output too small");
+  const std::size_t used =
+      inner_->compress(in, out.subspan(kHeaderBytes));
+  const std::uint64_t sum =
+      fnv1a64(std::span<const std::byte>(out.data() + kHeaderBytes, used));
+  const std::uint64_t len = used;
+  std::memcpy(out.data(), &sum, 8);
+  std::memcpy(out.data() + 8, &len, 8);
+  return kHeaderBytes + used;
+}
+
+void ChecksumCodec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= kHeaderBytes, "checksum: truncated frame");
+  std::uint64_t sum = 0, len = 0;
+  std::memcpy(&sum, in.data(), 8);
+  std::memcpy(&len, in.data() + 8, 8);
+  LFFT_REQUIRE(kHeaderBytes + len <= in.size(),
+               "checksum: frame length exceeds buffer");
+  const std::span<const std::byte> payload(in.data() + kHeaderBytes, len);
+  LFFT_REQUIRE(fnv1a64(payload) == sum,
+               "checksum: payload corrupted in transit");
+  inner_->decompress(payload, out);
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,39 @@
+// ChecksumCodec: a decorator adding end-to-end integrity checking to any
+// wire codec.
+//
+// Compressed payloads cross the network as opaque bytes; a flipped bit in
+// a truncated mantissa silently corrupts physics. This wrapper frames the
+// inner codec's stream with an FNV-1a checksum and the payload length, and
+// decompress() verifies both before handing bytes to the inner decoder.
+// Costs 16 bytes per message and one pass over the stream.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+/// 64-bit FNV-1a over a byte span (exposed for tests).
+std::uint64_t fnv1a64(std::span<const std::byte> data);
+
+class ChecksumCodec final : public Codec {
+ public:
+  explicit ChecksumCodec(CodecPtr inner);
+
+  std::string name() const override;
+  std::size_t max_compressed_bytes(std::size_t n) const override;
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  /// Throws lossyfft::Error on checksum or length mismatch.
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return inner_->fixed_size(); }
+  double nominal_rate() const override;
+  bool lossless() const override { return inner_->lossless(); }
+
+  static constexpr std::size_t kHeaderBytes = 16;  // Checksum + length.
+
+ private:
+  CodecPtr inner_;
+};
+
+}  // namespace lossyfft

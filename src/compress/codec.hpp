@@ -1,0 +1,58 @@
+// Codec: the compression interface plugged into the all-to-all exchange.
+//
+// A codec transforms a span of doubles (the packed reshape payload; complex
+// data is viewed as interleaved re/im doubles) into bytes and back. Lossy
+// codecs trade accuracy for wire volume; Section IV of the paper discusses
+// the families implemented here:
+//   - truncation (casting / mantissa trimming): fixed rate, hardware-cheap;
+//   - transform codecs (zfpx, zfp-style): fixed rate, exploit spatial
+//     correlation;
+//   - error-bounded quantization (szq, SZ-style): variable rate;
+//   - lossless (byteplane RLE): variable rate, exact.
+//
+// Fixed-size codecs declare their output size as a function of the element
+// count alone, which lets the one-sided exchange lay out windows without a
+// size exchange (the property the paper exploits for truncation).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace lossyfft {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Short identifier, e.g. "fp64->fp32".
+  virtual std::string name() const = 0;
+
+  /// Upper bound on compressed bytes for `n` doubles.
+  virtual std::size_t max_compressed_bytes(std::size_t n) const = 0;
+
+  /// Compress `in` into `out` (which must hold max_compressed_bytes(n));
+  /// returns the number of bytes written.
+  virtual std::size_t compress(std::span<const double> in,
+                               std::span<std::byte> out) const = 0;
+
+  /// Decompress exactly `out.size()` doubles from `in`.
+  virtual void decompress(std::span<const std::byte> in,
+                          std::span<double> out) const = 0;
+
+  /// True when compressed size depends only on the element count; then
+  /// max_compressed_bytes(n) is the exact size.
+  virtual bool fixed_size() const = 0;
+
+  /// Nominal input/output ratio used by performance models (e.g. 2 for
+  /// FP64->FP32). Variable-rate codecs report their design-point estimate.
+  virtual double nominal_rate() const = 0;
+
+  /// True when decompress(compress(x)) == x exactly.
+  virtual bool lossless() const { return false; }
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+}  // namespace lossyfft

@@ -1,0 +1,100 @@
+#include "compress/lossless.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+// Per-plane RLE: pairs (count, byte) with count in [1, 255]. A plane of n
+// bytes costs at most 2n; typical exponent planes collapse to a few pairs.
+std::size_t rle_encode(const std::byte* in, std::size_t n, std::byte* out) {
+  std::size_t o = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::byte v = in[i];
+    std::size_t run = 1;
+    while (i + run < n && run < 255 && in[i + run] == v) ++run;
+    out[o++] = static_cast<std::byte>(run);
+    out[o++] = v;
+    i += run;
+  }
+  return o;
+}
+
+void rle_decode(const std::byte* in, std::size_t in_bytes, std::byte* out,
+                std::size_t n) {
+  std::size_t i = 0, o = 0;
+  while (i + 1 < in_bytes + 1 && o < n) {
+    LFFT_REQUIRE(i + 2 <= in_bytes, "rle: truncated plane");
+    const auto run = static_cast<std::size_t>(in[i]);
+    const std::byte v = in[i + 1];
+    i += 2;
+    LFFT_REQUIRE(o + run <= n, "rle: run overflows plane");
+    for (std::size_t k = 0; k < run; ++k) out[o++] = v;
+  }
+  LFFT_REQUIRE(o == n, "rle: plane underflow");
+}
+
+}  // namespace
+
+std::size_t ByteplaneRleCodec::max_compressed_bytes(std::size_t n) const {
+  // Count header + 8 plane headers + worst-case 2x expansion per plane.
+  return 8 + 8 * 8 + 16 * n;
+}
+
+// Layout: u64 count | 8 x { u64 plane_bytes | rle data }.
+std::size_t ByteplaneRleCodec::compress(std::span<const double> in,
+                                        std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
+               "rle: output too small");
+  const std::uint64_t n = in.size();
+  std::memcpy(out.data(), &n, 8);
+  std::size_t pos = 8;
+
+  std::vector<std::byte> plane(in.size());
+  const auto* raw = reinterpret_cast<const std::byte*>(in.data());
+  for (int b = 0; b < 8; ++b) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      plane[i] = raw[i * 8 + static_cast<std::size_t>(b)];
+    }
+    const std::size_t bytes =
+        in.empty() ? 0 : rle_encode(plane.data(), plane.size(),
+                                    out.data() + pos + 8);
+    const std::uint64_t bytes64 = bytes;
+    std::memcpy(out.data() + pos, &bytes64, 8);
+    pos += 8 + bytes;
+  }
+  return pos;
+}
+
+void ByteplaneRleCodec::decompress(std::span<const std::byte> in,
+                                   std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= 8, "rle: truncated stream");
+  std::uint64_t n = 0;
+  std::memcpy(&n, in.data(), 8);
+  LFFT_REQUIRE(n == out.size(), "rle: element count mismatch");
+  std::size_t pos = 8;
+
+  std::vector<std::byte> plane(out.size());
+  auto* raw = reinterpret_cast<std::byte*>(out.data());
+  for (int b = 0; b < 8; ++b) {
+    LFFT_REQUIRE(pos + 8 <= in.size(), "rle: truncated plane header");
+    std::uint64_t bytes = 0;
+    std::memcpy(&bytes, in.data() + pos, 8);
+    pos += 8;
+    LFFT_REQUIRE(pos + bytes <= in.size(), "rle: truncated plane body");
+    if (!out.empty()) {
+      rle_decode(in.data() + pos, bytes, plane.data(), plane.size());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        raw[i * 8 + static_cast<std::size_t>(b)] = plane[i];
+      }
+    }
+    pos += bytes;
+  }
+}
+
+}  // namespace lossyfft

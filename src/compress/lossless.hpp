@@ -1,0 +1,29 @@
+// Lossless byteplane-RLE codec.
+//
+// The paper's conclusion notes the approach "can be easily extended to
+// lossless compression so that we fall back to the classical 3D FFT with a
+// potential speedup". This codec provides that fallback: it transposes the
+// stream into byte planes (byte k of every double contiguous) and
+// run-length encodes each plane. Exponent and sign bytes of smooth data are
+// highly repetitive and compress well; mantissa planes of random data cost
+// a small expansion bounded by the escape overhead.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+class ByteplaneRleCodec final : public Codec {
+ public:
+  std::string name() const override { return "rle-byteplane"; }
+  std::size_t max_compressed_bytes(std::size_t n) const override;
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return false; }
+  double nominal_rate() const override { return 1.3; }  // Design point.
+  bool lossless() const override { return true; }
+};
+
+}  // namespace lossyfft

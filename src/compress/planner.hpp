@@ -1,0 +1,46 @@
+// Tolerance-driven codec selection: the user-facing `e_tol` knob of the
+// approximate FFT (Algorithm 1).
+//
+// Section III argues the user knows the discretization error e_d of their
+// application and passes it as e_tol; the library then picks the cheapest
+// (most compressed) communication representation whose unit roundoff keeps
+// the communication error below e_tol. For truncation the mapping is
+// closed-form: a format keeping m mantissa bits has unit roundoff
+// 2^-(m+1), so we need the smallest m with 2^-(m+1) <= e_tol.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+/// Codec family to draw from when satisfying a tolerance.
+enum class CodecFamily {
+  kTruncation,  // Casts and bit-trimming (paper's main evaluation).
+  kZfpx,        // Fixed-rate transform codec.
+  kSzq,         // Error-bounded quantizer.
+  kLossless,    // Exact fallback (conclusion's extension).
+};
+
+/// Smallest mantissa bit count whose unit roundoff meets `e_tol`
+/// (relative). Returns a value in [0, 52].
+int mantissa_bits_for_tolerance(double e_tol);
+
+/// Build the cheapest codec of `family` guaranteeing a relative
+/// communication error <= e_tol on O(1)-scaled data.
+///
+/// Truncation: e_tol >= 2^-11 -> FP16 cast (rate 4); e_tol >= 2^-24 ->
+/// FP32 cast (rate 2); tighter tolerances use packed bit-trimming; below
+/// FP64's roundoff the identity codec is returned.
+/// For kSzq, e_tol is interpreted as an absolute bound (SZ semantics).
+CodecPtr plan_codec(double e_tol, CodecFamily family = CodecFamily::kTruncation);
+
+/// The dual control knob (ZFP offers both, Section IV-A): build the most
+/// accurate codec achieving at least the requested compression rate.
+/// Truncation family: the widest mantissa with 64/(12+m) >= rate; zfpx:
+/// the fixed-rate block codec at floor(64/rate) bits per value.
+/// rate must be in [1, 5.33] for truncation (12-bit floor) and [1, 32]
+/// for zfpx.
+CodecPtr plan_codec_for_rate(double rate,
+                             CodecFamily family = CodecFamily::kTruncation);
+
+}  // namespace lossyfft

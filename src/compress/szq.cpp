@@ -1,0 +1,151 @@
+#include "compress/szq.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/bitio.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+constexpr std::int64_t kMaxQuant = (std::int64_t{1} << 30) - 1;
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+int bit_width_of(std::uint64_t v) {
+  int w = 0;
+  while (v) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+SzqCodec::SzqCodec(double abs_error_bound) : eb_(abs_error_bound) {
+  LFFT_REQUIRE(abs_error_bound > 0.0 && std::isfinite(abs_error_bound),
+               "szq: error bound must be positive and finite");
+}
+
+std::string SzqCodec::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "szq(eb=%.1e)", eb_);
+  return buf;
+}
+
+std::size_t SzqCodec::max_compressed_bytes(std::size_t n) const {
+  // Worst case: every value is an outlier — one header byte per block,
+  // a 1-bit outlier flag packed as a full 32-bit index budget, plus the
+  // raw doubles. Sized generously; compress() reports the exact usage.
+  const std::size_t blocks = (n + kBlock - 1) / kBlock;
+  return 16 + blocks * (1 + kBlock * 5) + n * 8;
+}
+
+// Stream layout:
+//   u64 count | per block: u8 width | width*block_n packed zigzag indices |
+//   trailing raw doubles for outliers (in order of appearance).
+std::size_t SzqCodec::compress(std::span<const double> in,
+                               std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
+               "szq: output too small");
+  const std::uint64_t n = in.size();
+  std::memcpy(out.data(), &n, 8);
+  std::size_t pos = 8;
+
+  std::vector<double> outliers;
+  std::vector<std::uint64_t> zz(kBlock);
+  double prev = 0.0;  // Previous *reconstructed* value (decoder agrees).
+  const double quantum = 2.0 * eb_;
+
+  for (std::size_t base = 0; base < in.size(); base += kBlock) {
+    const std::size_t bn = std::min(kBlock, in.size() - base);
+    // Quantize the block, tracking the max width; outliers encode as the
+    // reserved index kMaxQuant+1 (zigzag fits in 32 bits).
+    int width = 0;
+    double block_prev = prev;
+    for (std::size_t i = 0; i < bn; ++i) {
+      const double v = in[base + i];
+      const double diff = v - block_prev;
+      const double qd = std::nearbyint(diff / quantum);
+      std::int64_t q;
+      // The negated comparison also catches qd == NaN (e.g. when the
+      // previous reconstructed value was a non-finite outlier).
+      if (!std::isfinite(v) || !(std::fabs(qd) <= static_cast<double>(kMaxQuant))) {
+        q = kMaxQuant + 1;  // Outlier sentinel.
+        outliers.push_back(v);
+        block_prev = v;
+      } else {
+        q = static_cast<std::int64_t>(qd);
+        block_prev += static_cast<double>(q) * quantum;
+      }
+      zz[i] = zigzag(q);
+      width = std::max(width, bit_width_of(zz[i]));
+    }
+    prev = block_prev;
+
+    out[pos++] = static_cast<std::byte>(width);
+    BitWriter bw(out.subspan(pos));
+    for (std::size_t i = 0; i < bn; ++i) bw.put(zz[i], width);
+    pos += bw.byte_count();
+  }
+
+  for (const double v : outliers) {
+    std::memcpy(out.data() + pos, &v, 8);
+    pos += 8;
+  }
+  return pos;
+}
+
+void SzqCodec::decompress(std::span<const std::byte> in,
+                          std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= 8, "szq: truncated stream");
+  std::uint64_t n = 0;
+  std::memcpy(&n, in.data(), 8);
+  LFFT_REQUIRE(n == out.size(), "szq: element count mismatch");
+  std::size_t pos = 8;
+
+  // First pass: decode quantized indices.
+  std::vector<std::int64_t> q(out.size());
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t bn = std::min(kBlock, out.size() - base);
+    LFFT_REQUIRE(pos < in.size(), "szq: truncated stream");
+    const int width = static_cast<int>(in[pos++]);
+    BitReader br(in.subspan(pos));
+    for (std::size_t i = 0; i < bn; ++i) {
+      q[base + i] = unzigzag(br.get(width));
+    }
+    pos += (br.bit_count() + 7) / 8;
+  }
+
+  const double quantum = 2.0 * eb_;
+  double prev = 0.0;
+  // Outlier payload sits after all blocks, in order of appearance.
+  std::size_t outlier_pos = pos;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (q[i] == kMaxQuant + 1) {
+      double v;
+      LFFT_REQUIRE(outlier_pos + 8 <= in.size(), "szq: truncated outliers");
+      std::memcpy(&v, in.data() + outlier_pos, 8);
+      outlier_pos += 8;
+      out[i] = v;
+      prev = v;
+    } else {
+      prev += static_cast<double>(q[i]) * quantum;
+      out[i] = prev;
+    }
+  }
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,39 @@
+// szq: an error-bounded quantizing codec in the style of SZ
+// (Di & Cappello 2016), the second compressor family the paper cites.
+//
+// Pipeline: a 1-D Lorenzo predictor (previous *reconstructed* value)
+// predicts each sample; the residual is quantized to an integer multiple of
+// 2*eb, which guarantees |decoded - original| <= eb for every quantized
+// value. Residuals that overflow the 30-bit quantizer become verbatim
+// "outliers". Quantized indices are zigzag-mapped and bit-packed per block
+// of 64 with a shared bit width, so smooth data (small residuals) packs
+// tightly while random data degrades gracefully. Variable rate.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+class SzqCodec final : public Codec {
+ public:
+  /// `abs_error_bound` > 0: the guaranteed maximum absolute error.
+  explicit SzqCodec(double abs_error_bound);
+
+  std::string name() const override;
+  std::size_t max_compressed_bytes(std::size_t n) const override;
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return false; }
+  double nominal_rate() const override { return 4.0; }  // Design point.
+
+  double error_bound() const { return eb_; }
+
+  static constexpr std::size_t kBlock = 64;
+
+ private:
+  double eb_;
+};
+
+}  // namespace lossyfft

@@ -1,0 +1,194 @@
+#include "compress/truncate.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "compress/bitio.hpp"
+#include "softfloat/half.hpp"
+#include "softfloat/trim.hpp"
+
+namespace lossyfft {
+
+// ---------------------------------------------------------------- Identity
+
+std::size_t IdentityCodec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  const std::size_t bytes = in.size() * sizeof(double);
+  LFFT_REQUIRE(out.size() >= bytes, "identity: output too small");
+  if (bytes) std::memcpy(out.data(), in.data(), bytes);
+  return bytes;
+}
+
+void IdentityCodec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  const std::size_t bytes = out.size() * sizeof(double);
+  LFFT_REQUIRE(in.size() >= bytes, "identity: input too small");
+  if (bytes) std::memcpy(out.data(), in.data(), bytes);
+}
+
+// ------------------------------------------------------------------- FP32
+
+std::size_t CastFp32Codec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= in.size() * 4, "fp32 cast: output too small");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float f = static_cast<float>(in[i]);
+    std::memcpy(out.data() + i * 4, &f, 4);
+  }
+  return in.size() * 4;
+}
+
+void CastFp32Codec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= out.size() * 4, "fp32 cast: input too small");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float f;
+    std::memcpy(&f, in.data() + i * 4, 4);
+    out[i] = static_cast<double>(f);
+  }
+}
+
+// ------------------------------------------------------------------- FP16
+
+std::size_t CastFp16Codec::max_compressed_bytes(std::size_t n) const {
+  const std::size_t payload = n * 2;
+  if (!scaled_) return payload;
+  const std::size_t blocks = (n + kBlock - 1) / kBlock;
+  return payload + blocks * sizeof(float);
+}
+
+std::size_t CastFp16Codec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
+               "fp16 cast: output too small");
+  const auto put16 = [&](std::size_t i, std::uint16_t bits) {
+    std::memcpy(out.data() + i * 2, &bits, 2);
+  };
+  if (!scaled_) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      put16(i, double_to_half(in[i]).bits);
+    }
+    return in.size() * 2;
+  }
+  // Scaled mode: one power-of-two scale per block, stored as float after
+  // the packed halves. The scale maps the block max near 2^14 so values
+  // stay clear of both overflow and the subnormal floor.
+  const std::size_t blocks = (in.size() + kBlock - 1) / kBlock;
+  std::byte* scale_base = out.data() + in.size() * 2;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(in.size(), lo + kBlock);
+    double maxabs = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      maxabs = std::max(maxabs, std::fabs(in[i]));
+    }
+    int exp = 0;
+    if (maxabs > 0.0 && std::isfinite(maxabs)) std::frexp(maxabs, &exp);
+    const double scale = std::ldexp(1.0, 14 - exp);  // block max -> ~2^14.
+    const float fscale = static_cast<float>(scale);
+    std::memcpy(scale_base + b * sizeof(float), &fscale, sizeof(float));
+    for (std::size_t i = lo; i < hi; ++i) {
+      put16(i, double_to_half(in[i] * scale).bits);
+    }
+  }
+  return max_compressed_bytes(in.size());
+}
+
+void CastFp16Codec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= max_compressed_bytes(out.size()),
+               "fp16 cast: input too small");
+  const auto get16 = [&](std::size_t i) {
+    std::uint16_t bits;
+    std::memcpy(&bits, in.data() + i * 2, 2);
+    return bits;
+  };
+  if (!scaled_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = half_to_double(Half{get16(i)});
+    }
+    return;
+  }
+  const std::byte* scale_base = in.data() + out.size() * 2;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float fscale;
+    std::memcpy(&fscale, scale_base + (i / kBlock) * sizeof(float),
+                sizeof(float));
+    out[i] = half_to_double(Half{get16(i)}) / static_cast<double>(fscale);
+  }
+}
+
+// ------------------------------------------------------------------- BF16
+
+std::size_t CastBf16Codec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= in.size() * 2, "bf16 cast: output too small");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint16_t bits = double_to_bfloat16(in[i]).bits;
+    std::memcpy(out.data() + i * 2, &bits, 2);
+  }
+  return in.size() * 2;
+}
+
+void CastBf16Codec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= out.size() * 2, "bf16 cast: input too small");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint16_t bits;
+    std::memcpy(&bits, in.data() + i * 2, 2);
+    out[i] = bfloat16_to_double(BFloat16{bits});
+  }
+}
+
+// ---------------------------------------------------------------- BitTrim
+
+BitTrimCodec::BitTrimCodec(int mantissa_bits)
+    : mantissa_bits_(mantissa_bits),
+      bits_per_value_(packed_bits_for_mantissa(mantissa_bits)) {
+  LFFT_REQUIRE(mantissa_bits >= 0 && mantissa_bits <= 52,
+               "BitTrim: mantissa bits must be in [0, 52]");
+}
+
+std::string BitTrimCodec::name() const {
+  return "bittrim(m=" + std::to_string(mantissa_bits_) + ")";
+}
+
+std::size_t BitTrimCodec::max_compressed_bytes(std::size_t n) const {
+  return (n * static_cast<std::size_t>(bits_per_value_) + 7) / 8;
+}
+
+double BitTrimCodec::nominal_rate() const {
+  return compression_rate_for_mantissa(mantissa_bits_);
+}
+
+std::size_t BitTrimCodec::compress(std::span<const double> in,
+                                   std::span<std::byte> out) const {
+  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
+               "bittrim: output too small");
+  BitWriter bw(out);
+  const int drop = 52 - mantissa_bits_;
+  for (const double v : in) {
+    const double t = trim_mantissa(v, mantissa_bits_);
+    // Layout of a trimmed double, high to low: sign(1) exp(11) kept-mantissa.
+    // We transmit the top (12 + m) bits; the dropped low bits are zero.
+    const std::uint64_t u = std::bit_cast<std::uint64_t>(t) >> drop;
+    bw.put(u, bits_per_value_);
+  }
+  return bw.byte_count();
+}
+
+void BitTrimCodec::decompress(std::span<const std::byte> in,
+                              std::span<double> out) const {
+  LFFT_REQUIRE(in.size() >= max_compressed_bytes(out.size()),
+               "bittrim: input too small");
+  BitReader br(in);
+  const int drop = 52 - mantissa_bits_;
+  for (auto& v : out) {
+    const std::uint64_t u = br.get(bits_per_value_) << drop;
+    v = std::bit_cast<double>(u);
+  }
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,108 @@
+// Truncation codecs: the casting-like compression the paper evaluates
+// (Section IV-A, Section VI). All are fixed-rate, so the one-sided exchange
+// can size its windows without a handshake.
+//
+//   IdentityCodec  — memcpy; the FP64 baseline (rate 1, lossless).
+//   CastFp32Codec  — FP64 -> FP32 round trip (rate 2).
+//   CastFp16Codec  — FP64 -> IEEE binary16 (rate 4); optionally per-block
+//                    scaled to dodge FP16's narrow exponent range.
+//   CastBf16Codec  — FP64 -> bfloat16 (rate 4; keeps FP32's range).
+//   BitTrimCodec   — keep sign + 11 exponent bits + m mantissa bits and
+//                    bit-pack to (12+m) bits/value: the generalized
+//                    mantissa-trimming of Fig. 2 at any rate 64/(12+m).
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+class IdentityCodec final : public Codec {
+ public:
+  std::string name() const override { return "fp64"; }
+  std::size_t max_compressed_bytes(std::size_t n) const override {
+    return n * 8;
+  }
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return true; }
+  double nominal_rate() const override { return 1.0; }
+  bool lossless() const override { return true; }
+};
+
+class CastFp32Codec final : public Codec {
+ public:
+  std::string name() const override { return "fp64->fp32"; }
+  std::size_t max_compressed_bytes(std::size_t n) const override {
+    return n * 4;
+  }
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return true; }
+  double nominal_rate() const override { return 2.0; }
+};
+
+class CastFp16Codec final : public Codec {
+ public:
+  /// With `scaled` set, every block of 256 values is divided by a stored
+  /// power-of-two scale so the block maximum lands inside FP16's range;
+  /// this spends 4 bytes per block to avoid overflow to infinity.
+  explicit CastFp16Codec(bool scaled = false) : scaled_(scaled) {}
+
+  std::string name() const override {
+    return scaled_ ? "fp64->fp16(scaled)" : "fp64->fp16";
+  }
+  std::size_t max_compressed_bytes(std::size_t n) const override;
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return true; }
+  double nominal_rate() const override { return 4.0; }
+
+  static constexpr std::size_t kBlock = 256;
+
+ private:
+  bool scaled_;
+};
+
+class CastBf16Codec final : public Codec {
+ public:
+  std::string name() const override { return "fp64->bf16"; }
+  std::size_t max_compressed_bytes(std::size_t n) const override {
+    return n * 2;
+  }
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return true; }
+  double nominal_rate() const override { return 4.0; }
+};
+
+class BitTrimCodec final : public Codec {
+ public:
+  /// Keep `mantissa_bits` in [0, 52]; 52 is lossless.
+  explicit BitTrimCodec(int mantissa_bits);
+
+  std::string name() const override;
+  std::size_t max_compressed_bytes(std::size_t n) const override;
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return true; }
+  double nominal_rate() const override;
+  bool lossless() const override { return mantissa_bits_ == 52; }
+
+  int mantissa_bits() const { return mantissa_bits_; }
+
+ private:
+  int mantissa_bits_;
+  int bits_per_value_;  // 12 + mantissa_bits.
+};
+
+}  // namespace lossyfft

@@ -1,0 +1,48 @@
+// Axis-aligned index boxes: the unit of data ownership in the distributed
+// 3-D FFT (heFFTe's "boxes"). A box owns the global grid indices
+// [lo[d], lo[d] + size[d]) in each dimension; local storage is always
+// x-fastest (index = x + sx*(y + sy*z) in box-local coordinates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lossyfft {
+
+struct Box3 {
+  std::array<int, 3> lo{0, 0, 0};
+  std::array<int, 3> size{0, 0, 0};
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(size[0]) * size[1] * size[2];
+  }
+
+  bool empty() const { return size[0] <= 0 || size[1] <= 0 || size[2] <= 0; }
+
+  int hi(int d) const { return lo[d] + size[d]; }  // Exclusive.
+
+  bool contains(int x, int y, int z) const {
+    const int c[3] = {x, y, z};
+    for (int d = 0; d < 3; ++d) {
+      if (c[d] < lo[d] || c[d] >= hi(d)) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const Box3&) const = default;
+
+  /// Intersection (possibly empty, with clamped zero sizes).
+  static Box3 intersect(const Box3& a, const Box3& b) {
+    Box3 r;
+    for (int d = 0; d < 3; ++d) {
+      const int lo = a.lo[d] > b.lo[d] ? a.lo[d] : b.lo[d];
+      const int hi = a.hi(d) < b.hi(d) ? a.hi(d) : b.hi(d);
+      r.lo[d] = lo;
+      r.size[d] = hi > lo ? hi - lo : 0;
+    }
+    if (r.empty()) r.size = {0, 0, 0};
+    return r;
+  }
+};
+
+}  // namespace lossyfft

@@ -1,0 +1,103 @@
+#include "dfft/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+// All ways of writing p = a*b with a <= b, scanned from sqrt(p) down.
+std::array<int, 2> nearest_factor_pair(int p) {
+  for (int a = static_cast<int>(std::sqrt(static_cast<double>(p))); a >= 1;
+       --a) {
+    if (p % a == 0) return {a, p / a};
+  }
+  return {1, p};
+}
+
+}  // namespace
+
+std::array<int, 3> proc_grid3(int p) {
+  LFFT_REQUIRE(p > 0, "proc_grid3: p must be positive");
+  // Pick the divisor triple minimizing surface (closest to a cube).
+  std::array<int, 3> best = {1, 1, p};
+  long long best_score = -1;
+  for (int a = 1; a * a * a <= p; ++a) {
+    if (p % a != 0) continue;
+    const int q = p / a;
+    for (int b = a; b * b <= q; ++b) {
+      if (q % b != 0) continue;
+      const int c = q / b;
+      // Surface of an (a, b, c) box; smaller is more cubic.
+      const long long score = static_cast<long long>(a) * b +
+                              static_cast<long long>(b) * c +
+                              static_cast<long long>(a) * c;
+      if (best_score < 0 || score < best_score) {
+        best_score = score;
+        best = {a, b, c};
+      }
+    }
+  }
+  return best;
+}
+
+std::array<int, 2> proc_grid2(int p) {
+  LFFT_REQUIRE(p > 0, "proc_grid2: p must be positive");
+  return nearest_factor_pair(p);
+}
+
+std::vector<std::array<int, 2>> split_interval(int n, int parts) {
+  LFFT_REQUIRE(n >= 0 && parts > 0, "split_interval: bad arguments");
+  std::vector<std::array<int, 2>> out(static_cast<std::size_t>(parts));
+  const int base = n / parts;
+  const int extra = n % parts;
+  int pos = 0;
+  for (int i = 0; i < parts; ++i) {
+    const int len = base + (i < extra ? 1 : 0);
+    out[static_cast<std::size_t>(i)] = {pos, len};
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<Box3> split_brick(std::array<int, 3> n, std::array<int, 3> pg) {
+  const auto sx = split_interval(n[0], pg[0]);
+  const auto sy = split_interval(n[1], pg[1]);
+  const auto sz = split_interval(n[2], pg[2]);
+  std::vector<Box3> boxes;
+  boxes.reserve(static_cast<std::size_t>(pg[0]) * pg[1] * pg[2]);
+  for (int c2 = 0; c2 < pg[2]; ++c2) {
+    for (int c1 = 0; c1 < pg[1]; ++c1) {
+      for (int c0 = 0; c0 < pg[0]; ++c0) {
+        Box3 b;
+        b.lo = {sx[static_cast<std::size_t>(c0)][0],
+                sy[static_cast<std::size_t>(c1)][0],
+                sz[static_cast<std::size_t>(c2)][0]};
+        b.size = {sx[static_cast<std::size_t>(c0)][1],
+                  sy[static_cast<std::size_t>(c1)][1],
+                  sz[static_cast<std::size_t>(c2)][1]};
+        boxes.push_back(b);
+      }
+    }
+  }
+  return boxes;
+}
+
+std::vector<Box3> split_pencil(std::array<int, 3> n, int dir, int p) {
+  LFFT_REQUIRE(dir >= 0 && dir < 3, "split_pencil: bad direction");
+  const auto [a, b] = proc_grid2(p);
+  std::array<int, 3> pg{};
+  // Full extent in `dir`; the remaining dimensions (in increasing index
+  // order) get the two process-grid factors.
+  const int d1 = dir == 0 ? 1 : 0;
+  const int d2 = dir == 2 ? 1 : 2;
+  pg[static_cast<std::size_t>(dir)] = 1;
+  pg[static_cast<std::size_t>(d1)] = a;
+  pg[static_cast<std::size_t>(d2)] = b;
+  return split_brick(n, pg);
+}
+
+}  // namespace lossyfft

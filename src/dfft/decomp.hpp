@@ -1,0 +1,35 @@
+// Domain decompositions for the distributed 3-D FFT: near-cubic brick
+// grids for input/output (Fig. 1 leftmost/rightmost states) and pencil
+// grids with the full extent in the transform direction (the intermediate
+// states). Every rank derives all boxes deterministically, so reshape
+// planning needs no communication.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dfft/box.hpp"
+
+namespace lossyfft {
+
+/// Factor p into a near-cubic 3-D process grid (p0*p1*p2 == p, sorted so
+/// the largest factor lands on the slowest dimension).
+std::array<int, 3> proc_grid3(int p);
+
+/// Factor p into a near-square 2-D process grid.
+std::array<int, 2> proc_grid2(int p);
+
+/// Balanced 1-D split of n points into parts pieces; piece i gets
+/// n/parts + (i < n%parts ? 1 : 0) points.
+std::vector<std::array<int, 2>> split_interval(int n, int parts);
+
+/// Brick decomposition of grid `n` over process grid `pg`; result[r] is
+/// rank r's box with rank = c0 + pg0*(c1 + pg1*c2).
+std::vector<Box3> split_brick(std::array<int, 3> n, std::array<int, 3> pg);
+
+/// Pencil decomposition with full extent in direction `dir`: the other two
+/// dimensions are split over proc_grid2(p) (lower dimension index gets the
+/// first factor).
+std::vector<Box3> split_pencil(std::array<int, 3> n, int dir, int p);
+
+}  // namespace lossyfft

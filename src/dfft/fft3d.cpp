@@ -1,0 +1,341 @@
+#include "dfft/fft3d.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "compress/planner.hpp"
+#include "dfft/decomp.hpp"
+
+namespace lossyfft {
+
+template <typename T>
+void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
+                    const std::vector<Box3>& boxes_out) {
+  const int p = comm_.size();
+  const auto me = static_cast<std::size_t>(comm_.rank());
+  inbox_ = boxes_in[me];
+  outbox_ = boxes_out[me];
+  const auto ropts = options_.reshape_options();
+
+  for (int d = 0; d < 3; ++d) {
+    fft_[static_cast<std::size_t>(d)] = std::make_unique<Fft1d<T>>(
+        static_cast<std::size_t>(n_[static_cast<std::size_t>(d)]));
+  }
+
+  if (options_.algorithm == FftAlgorithm::kSlab) {
+    // z-slabs (full x, y) for the local 2-D stage; x-slabs (full y, z)
+    // for the remaining 1-D z stage.
+    const auto zslabs = split_brick(n_, {1, 1, p});
+    const auto xslabs = split_brick(n_, {p, 1, 1});
+    pencil_[0] = zslabs[me];
+    pencil_[1] = Box3{};  // Unused in the slab pipeline.
+    pencil_[2] = xslabs[me];
+    fwd_reshape_[0] = std::make_unique<Reshape<std::complex<T>>>(
+        comm_, boxes_in, zslabs, ropts);
+    fwd_reshape_[1] = std::make_unique<Reshape<std::complex<T>>>(
+        comm_, zslabs, xslabs, ropts);
+    fwd_reshape_[2] = std::make_unique<Reshape<std::complex<T>>>(
+        comm_, xslabs, boxes_out, ropts);
+    work_a_.resize(std::max(static_cast<std::size_t>(pencil_[0].count()),
+                            static_cast<std::size_t>(pencil_[2].count())));
+    work_b_.resize(work_a_.size());
+    return;
+  }
+
+  std::array<std::vector<Box3>, 3> pencils = {split_pencil(n_, 0, p),
+                                              split_pencil(n_, 1, p),
+                                              split_pencil(n_, 2, p)};
+  for (int d = 0; d < 3; ++d) {
+    pencil_[static_cast<std::size_t>(d)] =
+        pencils[static_cast<std::size_t>(d)][me];
+  }
+  fwd_reshape_[0] = std::make_unique<Reshape<std::complex<T>>>(
+      comm_, boxes_in, pencils[0], ropts);
+  fwd_reshape_[1] = std::make_unique<Reshape<std::complex<T>>>(
+      comm_, pencils[0], pencils[1], ropts);
+  fwd_reshape_[2] = std::make_unique<Reshape<std::complex<T>>>(
+      comm_, pencils[1], pencils[2], ropts);
+  fwd_reshape_[3] = std::make_unique<Reshape<std::complex<T>>>(
+      comm_, pencils[2], boxes_out, ropts);
+
+  work_a_.resize(std::max(static_cast<std::size_t>(pencil_[0].count()),
+                          static_cast<std::size_t>(pencil_[2].count())));
+  work_b_.resize(static_cast<std::size_t>(pencil_[1].count()));
+}
+
+template <typename T>
+Fft3d<T>::Fft3d(minimpi::Comm& comm, std::array<int, 3> n,
+                Fft3dOptions options)
+    : comm_(comm), n_(n), options_(options) {
+  LFFT_REQUIRE(n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
+               "fft3d: grid extents must be >= 1");
+  const auto bricks = split_brick(n_, proc_grid3(comm.size()));
+  init(bricks, bricks);
+}
+
+template <typename T>
+Fft3d<T>::Fft3d(minimpi::Comm& comm, std::array<int, 3> n, double e_tol,
+                Fft3dOptions options)
+    : Fft3d(comm, n, [&] {
+        options.codec = plan_codec(e_tol, CodecFamily::kTruncation);
+        return options;
+      }()) {}
+
+template <typename T>
+Fft3d<T>::Fft3d(minimpi::Comm& comm, std::array<int, 3> n, const Box3& inbox,
+                const Box3& outbox, Fft3dOptions options)
+    : comm_(comm), n_(n), options_(options) {
+  LFFT_REQUIRE(n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
+               "fft3d: grid extents must be >= 1");
+  // Allgather both box lists (6 ints per box). Tiling is validated by the
+  // per-rank conservation checks inside the reshape planner.
+  const auto p = static_cast<std::size_t>(comm.size());
+  const std::int64_t mine[12] = {
+      inbox.lo[0],  inbox.lo[1],  inbox.lo[2],  inbox.size[0],
+      inbox.size[1],  inbox.size[2],  outbox.lo[0], outbox.lo[1],
+      outbox.lo[2], outbox.size[0], outbox.size[1], outbox.size[2]};
+  std::vector<std::int64_t> all(p * 12);
+  comm.allgather(std::as_bytes(std::span<const std::int64_t>(mine, 12)),
+                 std::as_writable_bytes(std::span<std::int64_t>(all)));
+  std::vector<Box3> boxes_in(p), boxes_out(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    const auto* rec = &all[r * 12];
+    boxes_in[r] = Box3{{static_cast<int>(rec[0]), static_cast<int>(rec[1]),
+                        static_cast<int>(rec[2])},
+                       {static_cast<int>(rec[3]), static_cast<int>(rec[4]),
+                        static_cast<int>(rec[5])}};
+    boxes_out[r] = Box3{{static_cast<int>(rec[6]), static_cast<int>(rec[7]),
+                         static_cast<int>(rec[8])},
+                        {static_cast<int>(rec[9]), static_cast<int>(rec[10]),
+                         static_cast<int>(rec[11])}};
+  }
+  // Both lists must tile the grid: full coverage by count and pairwise
+  // disjointness (per-rank conservation alone cannot catch two ranks
+  // claiming the same region).
+  const auto validate = [&](const std::vector<Box3>& boxes, const char* side) {
+    std::int64_t total = 0;
+    for (const auto& b : boxes) total += b.count();
+    LFFT_REQUIRE(total == global_count(),
+                 std::string("fft3d: user ") + side +
+                     " boxes do not cover the grid exactly");
+    for (std::size_t a = 0; a < boxes.size(); ++a) {
+      for (std::size_t b = a + 1; b < boxes.size(); ++b) {
+        LFFT_REQUIRE(Box3::intersect(boxes[a], boxes[b]).empty(),
+                     std::string("fft3d: user ") + side + " boxes overlap");
+      }
+    }
+  };
+  validate(boxes_in, "input");
+  validate(boxes_out, "output");
+  init(boxes_in, boxes_out);
+}
+
+template <typename T>
+void Fft3d<T>::fft_pencil(int dir, FftDirection fdir) {
+  const Box3& box = pencil_[static_cast<std::size_t>(dir)];
+  if (box.empty()) return;
+  std::complex<T>* data = (dir == 1 ? work_b_ : work_a_).data();
+  const auto sx = static_cast<std::size_t>(box.size[0]);
+  const auto sy = static_cast<std::size_t>(box.size[1]);
+  const auto sz = static_cast<std::size_t>(box.size[2]);
+  const Fft1d<T>& plan = *fft_[static_cast<std::size_t>(dir)];
+  switch (dir) {
+    case 0:
+      // Rows are contiguous: one batched call over all (y, z).
+      plan.transform_strided(data, 1, sy * sz,
+                             static_cast<std::ptrdiff_t>(sx), fdir);
+      break;
+    case 1:
+      // Lines along y: per z-slab, batch over x with stride sx.
+      for (std::size_t z = 0; z < sz; ++z) {
+        plan.transform_strided(data + z * sx * sy,
+                               static_cast<std::ptrdiff_t>(sx), sx, 1, fdir);
+      }
+      break;
+    case 2:
+      // Lines along z: stride sx*sy, batch over the (x, y) plane.
+      plan.transform_strided(data, static_cast<std::ptrdiff_t>(sx * sy),
+                             sx * sy, 1, fdir);
+      break;
+    default:
+      LFFT_ASSERT(false);
+  }
+}
+
+template <typename T>
+void Fft3d<T>::run_slab(std::span<const std::complex<T>> in,
+                        std::span<std::complex<T>> out, FftDirection dir) {
+  // Slab pipeline: 2-D FFT (x then y) inside each z-slab, one internal
+  // reshape, then the z-direction FFTs inside x-slabs.
+  const Box3& zslab = pencil_[0];
+  const Box3& xslab = pencil_[2];
+  std::span<std::complex<T>> zs(work_a_.data(),
+                                static_cast<std::size_t>(zslab.count()));
+  std::span<std::complex<T>> xs(work_b_.data(),
+                                static_cast<std::size_t>(xslab.count()));
+  fwd_reshape_[0]->execute(in, zs);
+  if (!zslab.empty()) {
+    const auto sx = static_cast<std::size_t>(zslab.size[0]);
+    const auto sy = static_cast<std::size_t>(zslab.size[1]);
+    const auto sz = static_cast<std::size_t>(zslab.size[2]);
+    fft_[0]->transform_strided(zs.data(), 1, sy * sz,
+                               static_cast<std::ptrdiff_t>(sx), dir);
+    for (std::size_t z = 0; z < sz; ++z) {
+      fft_[1]->transform_strided(zs.data() + z * sx * sy,
+                                 static_cast<std::ptrdiff_t>(sx), sx, 1, dir);
+    }
+  }
+  fwd_reshape_[1]->execute(zs, xs);
+  if (!xslab.empty()) {
+    const auto sx = static_cast<std::size_t>(xslab.size[0]);
+    const auto sy = static_cast<std::size_t>(xslab.size[1]);
+    fft_[2]->transform_strided(xs.data(),
+                               static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
+                               1, dir);
+  }
+  fwd_reshape_[2]->execute(xs, out);
+}
+
+template <typename T>
+void Fft3d<T>::run(std::span<const std::complex<T>> in,
+                   std::span<std::complex<T>> out, FftDirection dir) {
+  if (options_.algorithm == FftAlgorithm::kSlab) {
+    run_slab(in, out, dir);
+    return;
+  }
+  // The four-reshape pipeline of Fig. 1. Inverse transforms reuse the same
+  // pipeline (1-D FFT directions commute); each inverse 1-D FFT scales by
+  // 1/n_d, so the full backward pass carries the 1/N normalization.
+  auto a = [&](const Box3& b) {
+    return std::span<std::complex<T>>(work_a_.data(),
+                                      static_cast<std::size_t>(b.count()));
+  };
+  auto b = [&](const Box3& bx) {
+    return std::span<std::complex<T>>(work_b_.data(),
+                                      static_cast<std::size_t>(bx.count()));
+  };
+  fwd_reshape_[0]->execute(in, a(pencil_[0]));
+  fft_pencil(0, dir);
+  fwd_reshape_[1]->execute(a(pencil_[0]), b(pencil_[1]));
+  fft_pencil(1, dir);
+  fwd_reshape_[2]->execute(b(pencil_[1]), a(pencil_[2]));
+  fft_pencil(2, dir);
+  fwd_reshape_[3]->execute(a(pencil_[2]), out);
+}
+
+template <typename T>
+void Fft3d<T>::forward(std::span<const std::complex<T>> in,
+                       std::span<std::complex<T>> out) {
+  run(in, out, FftDirection::kForward);
+  // The 1-D stages never scale forward; apply the requested share of 1/N.
+  const double N = static_cast<double>(global_count());
+  double s = 1.0;
+  switch (options_.scaling) {
+    case Scaling::kBackward:
+    case Scaling::kNone: s = 1.0; break;
+    case Scaling::kForward: s = 1.0 / N; break;
+    case Scaling::kSymmetric: s = 1.0 / std::sqrt(N); break;
+  }
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : out) v *= st;
+  }
+}
+
+template <typename T>
+void Fft3d<T>::backward(std::span<const std::complex<T>> in,
+                        std::span<std::complex<T>> out) {
+  run(in, out, FftDirection::kInverse);
+  // The 1-D inverse stages already applied 1/N in total; correct to the
+  // requested backward share.
+  const double N = static_cast<double>(global_count());
+  double s = 1.0;
+  switch (options_.scaling) {
+    case Scaling::kBackward: s = 1.0; break;
+    case Scaling::kForward:
+    case Scaling::kNone: s = N; break;
+    case Scaling::kSymmetric: s = std::sqrt(N); break;
+  }
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : out) v *= st;
+  }
+}
+
+template <typename T>
+void Fft3d<T>::forward_batch(std::span<const std::complex<T>> in,
+                             std::span<std::complex<T>> out, int fields) {
+  LFFT_REQUIRE(fields >= 1, "fft3d: batch needs at least one field");
+  LFFT_REQUIRE(in.size() == fields * local_count() &&
+                   out.size() == fields * output_count(),
+               "fft3d: batch span sizes mismatch");
+  for (int f = 0; f < fields; ++f) {
+    forward(in.subspan(static_cast<std::size_t>(f) * local_count(),
+                       local_count()),
+            out.subspan(static_cast<std::size_t>(f) * output_count(),
+                        output_count()));
+  }
+}
+
+template <typename T>
+void Fft3d<T>::backward_batch(std::span<const std::complex<T>> in,
+                              std::span<std::complex<T>> out, int fields) {
+  LFFT_REQUIRE(fields >= 1, "fft3d: batch needs at least one field");
+  LFFT_REQUIRE(in.size() == fields * output_count() &&
+                   out.size() == fields * local_count(),
+               "fft3d: batch span sizes mismatch");
+  for (int f = 0; f < fields; ++f) {
+    backward(in.subspan(static_cast<std::size_t>(f) * output_count(),
+                        output_count()),
+             out.subspan(static_cast<std::size_t>(f) * local_count(),
+                         local_count()));
+  }
+}
+
+template <typename T>
+osc::ExchangeStats Fft3d<T>::stats() const {
+  osc::ExchangeStats total;
+  for (const auto& r : fwd_reshape_) {
+    if (!r) continue;
+    total.payload_bytes += r->stats().payload_bytes;
+    total.wire_bytes += r->stats().wire_bytes;
+    total.rounds += r->stats().rounds;
+    total.messages += r->stats().messages;
+    total.chunks_issued += r->stats().chunks_issued;
+    total.seconds += r->stats().seconds;
+  }
+  return total;
+}
+
+template <typename T>
+double Fft3d<T>::model_flops() const {
+  const double N = static_cast<double>(global_count());
+  return 5.0 * N * std::log2(N);
+}
+
+template <typename T>
+double rel_l2_error(minimpi::Comm& comm, std::span<const std::complex<T>> a,
+                    std::span<const std::complex<T>> b) {
+  LFFT_REQUIRE(a.size() == b.size(), "rel_l2_error: size mismatch");
+  double sums[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double dr = static_cast<double>(a[i].real()) - b[i].real();
+    const double di = static_cast<double>(a[i].imag()) - b[i].imag();
+    sums[0] += dr * dr + di * di;
+    const double br = b[i].real(), bi = b[i].imag();
+    sums[1] += br * br + bi * bi;
+  }
+  comm.allreduce(std::span<double>(sums, 2), minimpi::ReduceOp::kSum);
+  return sums[1] > 0.0 ? std::sqrt(sums[0] / sums[1]) : std::sqrt(sums[0]);
+}
+
+template class Fft3d<float>;
+template class Fft3d<double>;
+template double rel_l2_error<float>(minimpi::Comm&,
+                                    std::span<const std::complex<float>>,
+                                    std::span<const std::complex<float>>);
+template double rel_l2_error<double>(minimpi::Comm&,
+                                     std::span<const std::complex<double>>,
+                                     std::span<const std::complex<double>>);
+
+}  // namespace lossyfft

@@ -1,0 +1,155 @@
+// Fft3d: the distributed 3-D FFT with lossy-compressed reshapes — the
+// paper's Algorithm 1 and this library's primary public API (the role
+// heFFTe plays in the paper).
+//
+// The transform follows Fig. 1's general four-reshape pipeline:
+//   brick -> x-pencils (1-D FFTs in x) -> y-pencils (FFTs in y)
+//         -> z-pencils (FFTs in z) -> brick
+// Computation is always performed in the field's own precision T; when a
+// codec is configured (T = double), only the *communicated* bytes are
+// lossy — the mixed-precision scheme whose accuracy Fig. 2 and Table II
+// study.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "dfft/reshape.hpp"
+#include "fft/fft1d.hpp"
+
+namespace lossyfft {
+
+/// Reshape strategy of the transform pipeline.
+enum class FftAlgorithm {
+  /// Fig. 1's general pencil pipeline: 4 reshapes, scales to p <= n^2.
+  kPencil,
+  /// Slab pipeline: z-slabs (2-D FFT in x,y locally) -> x-slabs (1-D FFT
+  /// in z): 3 reshapes, but only p <= min(nx, nz) ranks stay busy.
+  kSlab,
+};
+
+/// Where the 1/N normalization lands (heFFTe's scale options).
+enum class Scaling {
+  kBackward,   // forward unscaled, backward carries 1/N (default).
+  kForward,    // forward carries 1/N, backward unscaled.
+  kSymmetric,  // both carry 1/sqrt(N): the transform is unitary.
+  kNone,       // neither scaled; backward(forward(x)) == N * x.
+};
+
+struct Fft3dOptions {
+  ExchangeBackend backend = ExchangeBackend::kPairwise;
+  /// Wire codec (double fields only); nullptr = exact communication.
+  CodecPtr codec;
+  int osc_chunks = 8;
+  int gpus_per_node = 6;
+  Scaling scaling = Scaling::kBackward;
+  FftAlgorithm algorithm = FftAlgorithm::kPencil;
+  osc::OscSync osc_sync = osc::OscSync::kFence;
+
+  ReshapeOptions reshape_options() const {
+    return ReshapeOptions{backend, codec, osc_chunks, gpus_per_node,
+                          osc_sync};
+  }
+};
+
+template <typename T>
+class Fft3d {
+ public:
+  /// Plan a transform of the global grid `n` = {nx, ny, nz} distributed
+  /// over `comm` in the default near-cubic brick decomposition (both for
+  /// input and output).
+  Fft3d(minimpi::Comm& comm, std::array<int, 3> n, Fft3dOptions options = {});
+
+  /// Plan with a user tolerance: picks the cheapest truncation codec with
+  /// communication roundoff below `e_tol` (Algorithm 1's interface).
+  Fft3d(minimpi::Comm& comm, std::array<int, 3> n, double e_tol,
+        Fft3dOptions options = {});
+
+  /// Plan with user-owned boxes (heFFTe's general interface): this rank
+  /// holds `inbox` on input and receives `outbox` on output. Collective —
+  /// the box lists are allgathered and must tile the grid on both sides.
+  Fft3d(minimpi::Comm& comm, std::array<int, 3> n, const Box3& inbox,
+        const Box3& outbox, Fft3dOptions options = {});
+
+  std::array<int, 3> grid() const { return n_; }
+  /// This rank's input/output boxes (identical bricks unless the
+  /// user-boxes constructor was used).
+  const Box3& inbox() const { return inbox_; }
+  const Box3& outbox() const { return outbox_; }
+  std::size_t local_count() const {
+    return static_cast<std::size_t>(inbox_.count());
+  }
+  std::size_t output_count() const {
+    return static_cast<std::size_t>(outbox_.count());
+  }
+  std::int64_t global_count() const {
+    return static_cast<std::int64_t>(n_[0]) * n_[1] * n_[2];
+  }
+
+  /// Forward transform (unnormalized). Collective. `in` and `out` hold
+  /// local_count() elements in brick layout (x-fastest).
+  void forward(std::span<const std::complex<T>> in,
+               std::span<std::complex<T>> out);
+
+  /// Inverse transform scaled by 1/(nx*ny*nz), so backward(forward(x)) == x
+  /// up to roundoff/compression error.
+  void backward(std::span<const std::complex<T>> in,
+                std::span<std::complex<T>> out);
+
+  /// Batched transforms for multi-component fields (e.g. a velocity
+  /// vector): `fields` consecutive bricks of local_count()/output_count()
+  /// elements each. Collective.
+  void forward_batch(std::span<const std::complex<T>> in,
+                     std::span<std::complex<T>> out, int fields);
+  void backward_batch(std::span<const std::complex<T>> in,
+                      std::span<std::complex<T>> out, int fields);
+
+  /// Combined wire statistics of all reshapes so far (this rank).
+  osc::ExchangeStats stats() const;
+
+  /// Number of flops the Gflop/s metric charges one forward transform:
+  /// 5 N log2(N) with N = nx*ny*nz (the standard FFT benchmark metric).
+  double model_flops() const;
+
+ private:
+  void run(std::span<const std::complex<T>> in, std::span<std::complex<T>> out,
+           FftDirection dir);
+  void fft_pencil(int dir, FftDirection fdir);
+
+  void init(const std::vector<Box3>& boxes_in,
+            const std::vector<Box3>& boxes_out);
+  void run_slab(std::span<const std::complex<T>> in,
+                std::span<std::complex<T>> out, FftDirection dir);
+
+  minimpi::Comm& comm_;
+  std::array<int, 3> n_;
+  Fft3dOptions options_;
+  Box3 inbox_, outbox_;
+  std::array<Box3, 3> pencil_;  // Pencil path: x/y/z pencils.
+                                // Slab path: [0] = z-slab, [2] = x-slab.
+
+  // Pencil path: brick->xp, xp->yp, yp->zp, zp->brick (backward runs the
+  // same pipeline with inverse 1-D FFTs — transform directions commute).
+  // Slab path: brick->zslab, zslab->xslab, xslab->brick in [0..2].
+  std::array<std::unique_ptr<Reshape<std::complex<T>>>, 4> fwd_reshape_;
+
+  std::array<std::unique_ptr<Fft1d<T>>, 3> fft_;
+  std::vector<std::complex<T>> work_a_, work_b_;
+};
+
+/// Distributed relative L2 error ||a - b|| / ||b|| over a communicator.
+template <typename T>
+double rel_l2_error(minimpi::Comm& comm, std::span<const std::complex<T>> a,
+                    std::span<const std::complex<T>> b);
+
+extern template class Fft3d<float>;
+extern template class Fft3d<double>;
+extern template double rel_l2_error<float>(minimpi::Comm&,
+                                           std::span<const std::complex<float>>,
+                                           std::span<const std::complex<float>>);
+extern template double rel_l2_error<double>(
+    minimpi::Comm&, std::span<const std::complex<double>>,
+    std::span<const std::complex<double>>);
+
+}  // namespace lossyfft

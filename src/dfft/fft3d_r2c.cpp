@@ -1,0 +1,229 @@
+#include "dfft/fft3d_r2c.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "compress/planner.hpp"
+#include "dfft/decomp.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+// The reduced-grid x-pencils reuse the y/z splits of the real x-pencils;
+// only the x extent changes to nx/2+1 (empty boxes stay empty).
+std::vector<Box3> reduce_xpencils(std::vector<Box3> pencils, int hx) {
+  for (auto& b : pencils) {
+    if (b.empty()) continue;
+    b.lo[0] = 0;
+    b.size[0] = hx;
+  }
+  return pencils;
+}
+
+}  // namespace
+
+template <typename T>
+Fft3dR2c<T>::Fft3dR2c(minimpi::Comm& comm, std::array<int, 3> n,
+                      Fft3dOptions options)
+    : comm_(comm), n_(n), options_(options) {
+  LFFT_REQUIRE(n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
+               "fft3d_r2c: grid extents must be >= 1");
+  nr_ = {n_[0] / 2 + 1, n_[1], n_[2]};
+  const int p = comm.size();
+  const auto me = static_cast<std::size_t>(comm.rank());
+
+  const auto real_bricks = split_brick(n_, proc_grid3(p));
+  const auto xp_real = split_pencil(n_, 0, p);
+  const auto xp_spec = reduce_xpencils(xp_real, nr_[0]);
+  const auto yp = split_pencil(nr_, 1, p);
+  const auto zp = split_pencil(nr_, 2, p);
+  const auto spec_bricks = split_brick(nr_, proc_grid3(p));
+
+  real_box_ = real_bricks[me];
+  spec_box_ = spec_bricks[me];
+  xp_real_ = xp_real[me];
+  xp_spec_ = xp_spec[me];
+  yp_ = yp[me];
+  zp_ = zp[me];
+
+  const auto ropts = options_.reshape_options();
+  to_xpencil_ = std::make_unique<Reshape<T>>(comm_, real_bricks, xp_real, ropts);
+  from_xpencil_ =
+      std::make_unique<Reshape<T>>(comm_, xp_real, real_bricks, ropts);
+  fwd_[0] = std::make_unique<Reshape<std::complex<T>>>(comm_, xp_spec, yp, ropts);
+  fwd_[1] = std::make_unique<Reshape<std::complex<T>>>(comm_, yp, zp, ropts);
+  fwd_[2] =
+      std::make_unique<Reshape<std::complex<T>>>(comm_, zp, spec_bricks, ropts);
+  bwd_[0] =
+      std::make_unique<Reshape<std::complex<T>>>(comm_, spec_bricks, zp, ropts);
+  bwd_[1] = std::make_unique<Reshape<std::complex<T>>>(comm_, zp, yp, ropts);
+  bwd_[2] = std::make_unique<Reshape<std::complex<T>>>(comm_, yp, xp_spec, ropts);
+
+  r2c_ = std::make_unique<FftR2c<T>>(static_cast<std::size_t>(n_[0]));
+  fft_y_ = std::make_unique<Fft1d<T>>(static_cast<std::size_t>(n_[1]));
+  fft_z_ = std::make_unique<Fft1d<T>>(static_cast<std::size_t>(n_[2]));
+
+  real_work_.resize(static_cast<std::size_t>(xp_real_.count()));
+  work_a_.resize(std::max(static_cast<std::size_t>(xp_spec_.count()),
+                          static_cast<std::size_t>(zp_.count())));
+  work_b_.resize(static_cast<std::size_t>(yp_.count()));
+}
+
+template <typename T>
+Fft3dR2c<T>::Fft3dR2c(minimpi::Comm& comm, std::array<int, 3> n, double e_tol,
+                      Fft3dOptions options)
+    : Fft3dR2c(comm, n, [&] {
+        options.codec = plan_codec(e_tol, CodecFamily::kTruncation);
+        return options;
+      }()) {}
+
+template <typename T>
+void Fft3dR2c<T>::scale_spectral(std::span<std::complex<T>> data,
+                                 bool forward) const {
+  const double N = static_cast<double>(n_[0]) * n_[1] * n_[2];
+  double s = 1.0;
+  switch (options_.scaling) {
+    case Scaling::kBackward: s = 1.0; break;  // 1-D stages handle it.
+    case Scaling::kForward: s = forward ? 1.0 / N : N; break;
+    case Scaling::kNone: s = forward ? 1.0 : N; break;
+    case Scaling::kSymmetric: s = forward ? 1.0 / std::sqrt(N) : std::sqrt(N);
+      break;
+  }
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : data) v *= st;
+  }
+}
+
+template <typename T>
+void Fft3dR2c<T>::forward(std::span<const T> in,
+                          std::span<std::complex<T>> out) {
+  LFFT_REQUIRE(in.size() == real_count(), "fft3d_r2c: input size mismatch");
+  LFFT_REQUIRE(out.size() == spectral_count(),
+               "fft3d_r2c: output size mismatch");
+
+  // Real brick -> real x-pencils.
+  to_xpencil_->execute(in, std::span<T>(real_work_));
+
+  // r2c along x, line by line (both layouts are x-fastest).
+  const auto lines = static_cast<std::size_t>(xp_real_.size[1]) *
+                     static_cast<std::size_t>(xp_real_.size[2]);
+  const auto nx = static_cast<std::size_t>(n_[0]);
+  const auto hx = static_cast<std::size_t>(nr_[0]);
+  std::span<std::complex<T>> xp(work_a_.data(),
+                                static_cast<std::size_t>(xp_spec_.count()));
+  for (std::size_t l = 0; l < lines; ++l) {
+    r2c_->forward(real_work_.data() + l * nx, xp.data() + l * hx);
+  }
+
+  // Reduced-grid pencils: y then z, then out to the spectral bricks.
+  std::span<std::complex<T>> ypv(work_b_.data(),
+                                 static_cast<std::size_t>(yp_.count()));
+  fwd_[0]->execute(xp, ypv);
+  if (!yp_.empty()) {
+    const auto sx = static_cast<std::size_t>(yp_.size[0]);
+    const auto sy = static_cast<std::size_t>(yp_.size[1]);
+    const auto sz = static_cast<std::size_t>(yp_.size[2]);
+    for (std::size_t z = 0; z < sz; ++z) {
+      fft_y_->transform_strided(ypv.data() + z * sx * sy,
+                                static_cast<std::ptrdiff_t>(sx), sx, 1,
+                                FftDirection::kForward);
+    }
+  }
+  std::span<std::complex<T>> zpv(work_a_.data(),
+                                 static_cast<std::size_t>(zp_.count()));
+  fwd_[1]->execute(ypv, zpv);
+  if (!zp_.empty()) {
+    const auto sx = static_cast<std::size_t>(zp_.size[0]);
+    const auto sy = static_cast<std::size_t>(zp_.size[1]);
+    fft_z_->transform_strided(zpv.data(),
+                              static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
+                              1, FftDirection::kForward);
+  }
+  fwd_[2]->execute(zpv, out);
+  scale_spectral(out, /*forward=*/true);
+}
+
+template <typename T>
+void Fft3dR2c<T>::backward(std::span<const std::complex<T>> in,
+                           std::span<T> out) {
+  LFFT_REQUIRE(in.size() == spectral_count(),
+               "fft3d_r2c: input size mismatch");
+  LFFT_REQUIRE(out.size() == real_count(), "fft3d_r2c: output size mismatch");
+
+  std::span<std::complex<T>> zpv(work_a_.data(),
+                                 static_cast<std::size_t>(zp_.count()));
+  bwd_[0]->execute(in, zpv);
+  if (!zp_.empty()) {
+    const auto sx = static_cast<std::size_t>(zp_.size[0]);
+    const auto sy = static_cast<std::size_t>(zp_.size[1]);
+    fft_z_->transform_strided(zpv.data(),
+                              static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
+                              1, FftDirection::kInverse);
+  }
+  std::span<std::complex<T>> ypv(work_b_.data(),
+                                 static_cast<std::size_t>(yp_.count()));
+  bwd_[1]->execute(zpv, ypv);
+  if (!yp_.empty()) {
+    const auto sx = static_cast<std::size_t>(yp_.size[0]);
+    const auto sy = static_cast<std::size_t>(yp_.size[1]);
+    const auto sz = static_cast<std::size_t>(yp_.size[2]);
+    for (std::size_t z = 0; z < sz; ++z) {
+      fft_y_->transform_strided(ypv.data() + z * sx * sy,
+                                static_cast<std::ptrdiff_t>(sx), sx, 1,
+                                FftDirection::kInverse);
+    }
+  }
+  std::span<std::complex<T>> xp(work_a_.data(),
+                                static_cast<std::size_t>(xp_spec_.count()));
+  bwd_[2]->execute(ypv, xp);
+
+  // c2r along x.
+  const auto lines = static_cast<std::size_t>(xp_real_.size[1]) *
+                     static_cast<std::size_t>(xp_real_.size[2]);
+  const auto nx = static_cast<std::size_t>(n_[0]);
+  const auto hx = static_cast<std::size_t>(nr_[0]);
+  for (std::size_t l = 0; l < lines; ++l) {
+    r2c_->inverse(xp.data() + l * hx, real_work_.data() + l * nx);
+  }
+  from_xpencil_->execute(std::span<const T>(real_work_), out);
+
+  // Undo the kBackward-style default applied by the 1-D stages if the
+  // user selected a different scaling split.
+  const double N = static_cast<double>(n_[0]) * n_[1] * n_[2];
+  double s = 1.0;
+  switch (options_.scaling) {
+    case Scaling::kBackward: s = 1.0; break;
+    case Scaling::kForward:
+    case Scaling::kNone: s = N; break;
+    case Scaling::kSymmetric: s = std::sqrt(N); break;
+  }
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : out) v *= st;
+  }
+}
+
+template <typename T>
+osc::ExchangeStats Fft3dR2c<T>::stats() const {
+  osc::ExchangeStats total;
+  const auto add = [&](const osc::ExchangeStats& st) {
+    total.payload_bytes += st.payload_bytes;
+    total.wire_bytes += st.wire_bytes;
+    total.rounds += st.rounds;
+    total.messages += st.messages;
+    total.chunks_issued += st.chunks_issued;
+    total.seconds += st.seconds;
+  };
+  add(to_xpencil_->stats());
+  add(from_xpencil_->stats());
+  for (const auto& r : fwd_) add(r->stats());
+  for (const auto& r : bwd_) add(r->stats());
+  return total;
+}
+
+template class Fft3dR2c<float>;
+template class Fft3dR2c<double>;
+
+}  // namespace lossyfft

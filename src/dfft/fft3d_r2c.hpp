@@ -1,0 +1,82 @@
+// Fft3dR2c: distributed real-to-complex 3-D FFT with lossy-compressed
+// reshapes (the heFFTe fft3d_r2c counterpart).
+//
+// Real input of extent (nx, ny, nz) transforms into the non-redundant half
+// spectrum of extent (nx/2+1, ny, nz): the first pencil stage runs r2c
+// 1-D transforms along x, and every later stage (and every reshape after
+// the first) works on the *reduced* grid — the storage and communication
+// saving that makes r2c the right interface for PDE right-hand sides
+// (Algorithm 2's f is real).
+//
+// The first reshape moves raw reals (8 bytes/element instead of 16), and
+// all reshapes accept the same wire codecs as the c2c transform.
+#pragma once
+
+#include "dfft/reshape.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/real.hpp"
+
+// Reuses Fft3dOptions / Scaling from the c2c header.
+#include "dfft/fft3d.hpp"
+
+namespace lossyfft {
+
+template <typename T>
+class Fft3dR2c {
+ public:
+  Fft3dR2c(minimpi::Comm& comm, std::array<int, 3> n,
+           Fft3dOptions options = {});
+  Fft3dR2c(minimpi::Comm& comm, std::array<int, 3> n, double e_tol,
+           Fft3dOptions options = {});
+
+  std::array<int, 3> grid() const { return n_; }
+  /// Reduced spectral grid: {nx/2 + 1, ny, nz}.
+  std::array<int, 3> spectral_grid() const { return nr_; }
+
+  /// This rank's brick of the real input grid.
+  const Box3& real_inbox() const { return real_box_; }
+  /// This rank's brick of the half-spectrum grid.
+  const Box3& spectral_outbox() const { return spec_box_; }
+
+  std::size_t real_count() const {
+    return static_cast<std::size_t>(real_box_.count());
+  }
+  std::size_t spectral_count() const {
+    return static_cast<std::size_t>(spec_box_.count());
+  }
+
+  /// Forward transform: `in` holds real_count() reals (x-fastest brick),
+  /// `out` receives spectral_count() complex values. Collective.
+  void forward(std::span<const T> in, std::span<std::complex<T>> out);
+
+  /// Inverse: half spectrum back to reals; carries the scaling share
+  /// selected by options.scaling (default: full 1/N here).
+  void backward(std::span<const std::complex<T>> in, std::span<T> out);
+
+  osc::ExchangeStats stats() const;
+
+ private:
+  void scale_spectral(std::span<std::complex<T>> data, bool forward) const;
+
+  minimpi::Comm& comm_;
+  std::array<int, 3> n_;   // Real grid.
+  std::array<int, 3> nr_;  // Reduced spectral grid.
+  Fft3dOptions options_;
+
+  Box3 real_box_, spec_box_;
+  Box3 xp_real_, xp_spec_, yp_, zp_;
+
+  std::unique_ptr<Reshape<T>> to_xpencil_, from_xpencil_;
+  std::array<std::unique_ptr<Reshape<std::complex<T>>>, 3> fwd_, bwd_;
+
+  std::unique_ptr<FftR2c<T>> r2c_;
+  std::unique_ptr<Fft1d<T>> fft_y_, fft_z_;
+
+  std::vector<T> real_work_;
+  std::vector<std::complex<T>> work_a_, work_b_;
+};
+
+extern template class Fft3dR2c<float>;
+extern template class Fft3dR2c<double>;
+
+}  // namespace lossyfft

@@ -1,0 +1,181 @@
+#include "dfft/reshape.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "minimpi/alltoall.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+// Copy the sub-volume `sub` of `box`-owned data between the box-local
+// buffer and a contiguous staging area (x-fastest within `sub`).
+template <typename E, bool kPack>
+void copy_subvolume(const Box3& box, const Box3& sub, E* box_data, E* staged) {
+  const std::size_t row = static_cast<std::size_t>(sub.size[0]);
+  std::size_t s = 0;
+  for (int z = sub.lo[2]; z < sub.hi(2); ++z) {
+    for (int y = sub.lo[1]; y < sub.hi(1); ++y) {
+      const std::size_t base =
+          static_cast<std::size_t>(sub.lo[0] - box.lo[0]) +
+          static_cast<std::size_t>(box.size[0]) *
+              (static_cast<std::size_t>(y - box.lo[1]) +
+               static_cast<std::size_t>(box.size[1]) *
+                   static_cast<std::size_t>(z - box.lo[2]));
+      if constexpr (kPack) {
+        std::memcpy(staged + s, box_data + base, row * sizeof(E));
+      } else {
+        std::memcpy(box_data + base, staged + s, row * sizeof(E));
+      }
+      s += row;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ExchangeBackend b) {
+  switch (b) {
+    case ExchangeBackend::kPairwise: return "pairwise";
+    case ExchangeBackend::kLinear: return "linear";
+    case ExchangeBackend::kOsc: return "osc";
+  }
+  return "?";
+}
+
+template <typename E>
+Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
+                    std::vector<Box3> all_out, ReshapeOptions options)
+    : comm_(comm), rank_(comm.rank()), all_in_(std::move(all_in)),
+      all_out_(std::move(all_out)), options_(options) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  LFFT_REQUIRE(all_in_.size() == p && all_out_.size() == p,
+               "reshape: box lists must have comm.size() entries");
+  if constexpr (!kReshapeDoubleBased<E>) {
+    LFFT_REQUIRE(options_.codec == nullptr,
+                 "reshape: codecs only apply to double-based fields");
+  }
+
+  send_boxes_.resize(p);
+  recv_boxes_.resize(p);
+  send_counts_.resize(p);
+  send_displs_.resize(p);
+  recv_counts_.resize(p);
+  recv_displs_.resize(p);
+
+  const Box3& my_in = all_in_[static_cast<std::size_t>(rank_)];
+  const Box3& my_out = all_out_[static_cast<std::size_t>(rank_)];
+  for (std::size_t r = 0; r < p; ++r) {
+    send_boxes_[r] = Box3::intersect(my_in, all_out_[r]);
+    recv_boxes_[r] = Box3::intersect(all_in_[r], my_out);
+    send_counts_[r] = static_cast<std::uint64_t>(send_boxes_[r].count());
+    recv_counts_[r] = static_cast<std::uint64_t>(recv_boxes_[r].count());
+    send_displs_[r] = send_total_;
+    recv_displs_[r] = recv_total_;
+    send_total_ += send_counts_[r];
+    recv_total_ += recv_counts_[r];
+  }
+  LFFT_REQUIRE(send_total_ == static_cast<std::uint64_t>(my_in.count()),
+               "reshape: output boxes do not tile this rank's inbox");
+  LFFT_REQUIRE(recv_total_ == static_cast<std::uint64_t>(my_out.count()),
+               "reshape: input boxes do not tile this rank's outbox");
+  sendbuf_.resize(send_total_);
+  recvbuf_.resize(recv_total_);
+}
+
+template <typename E>
+void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
+  const Box3& my_in = all_in_[static_cast<std::size_t>(rank_)];
+  const Box3& my_out = all_out_[static_cast<std::size_t>(rank_)];
+  LFFT_REQUIRE(in.size() == static_cast<std::size_t>(my_in.count()),
+               "reshape: input span size mismatch");
+  LFFT_REQUIRE(out.size() == static_cast<std::size_t>(my_out.count()),
+               "reshape: output span size mismatch");
+  const Stopwatch watch;
+
+  // Pack per-destination sub-volumes.
+  for (std::size_t r = 0; r < send_boxes_.size(); ++r) {
+    if (send_counts_[r] == 0) continue;
+    copy_subvolume<E, true>(my_in, send_boxes_[r], const_cast<E*>(in.data()),
+                            sendbuf_.data() + send_displs_[r]);
+  }
+
+  // Exchange.
+  bool exchanged = false;
+  if constexpr (kReshapeDoubleBased<E>) {
+    if (options_.codec || options_.backend == ExchangeBackend::kOsc) {
+      exchanged = true;
+      // Element views as doubles (complex<double> is two of them).
+      constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
+      std::vector<std::uint64_t> sc(send_counts_.size()), sd(sc.size()),
+          rc(sc.size()), rd(sc.size());
+      for (std::size_t r = 0; r < sc.size(); ++r) {
+        sc[r] = kDbl * send_counts_[r];
+        sd[r] = kDbl * send_displs_[r];
+        rc[r] = kDbl * recv_counts_[r];
+        rd[r] = kDbl * recv_displs_[r];
+      }
+      const std::span<const double> send_view(
+          reinterpret_cast<const double*>(sendbuf_.data()),
+          kDbl * sendbuf_.size());
+      const std::span<double> recv_view(
+          reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
+      osc::OscOptions oo;
+      oo.codec = options_.codec;
+      oo.chunks = options_.osc_chunks;
+      oo.gpus_per_node = options_.gpus_per_node;
+      oo.sync = options_.osc_sync;
+      const auto st =
+          options_.backend == ExchangeBackend::kOsc
+              ? osc::osc_alltoallv(comm_, send_view, sc, sd, recv_view, rc, rd,
+                                   oo)
+              : osc::compressed_alltoallv(comm_, send_view, sc, sd, recv_view,
+                                          rc, rd, oo);
+      stats_.payload_bytes += st.payload_bytes;
+      stats_.wire_bytes += st.wire_bytes;
+      stats_.rounds += st.rounds;
+      stats_.messages += st.messages;
+      stats_.chunks_issued += st.chunks_issued;
+    }
+  }
+  if (!exchanged) {
+    // Raw two-sided path (also the only path for float-based fields).
+    const std::size_t esz = sizeof(E);
+    std::vector<std::uint64_t> sc(send_counts_.size()), sd(sc.size()),
+        rc(sc.size()), rd(sc.size());
+    for (std::size_t r = 0; r < sc.size(); ++r) {
+      sc[r] = send_counts_[r] * esz;
+      sd[r] = send_displs_[r] * esz;
+      rc[r] = recv_counts_[r] * esz;
+      rd[r] = recv_displs_[r] * esz;
+    }
+    minimpi::alltoallv(comm_, std::as_bytes(std::span<const E>(sendbuf_)), sc,
+                       sd, std::as_writable_bytes(std::span<E>(recvbuf_)), rc,
+                       rd,
+                       options_.backend == ExchangeBackend::kLinear
+                           ? minimpi::AlltoallAlgorithm::kLinear
+                           : minimpi::AlltoallAlgorithm::kPairwise);
+    std::uint64_t sent = 0;
+    for (const auto c : sc) sent += c;
+    stats_.payload_bytes += sent;
+    stats_.wire_bytes += sent;
+    stats_.rounds += comm_.size();
+    stats_.messages += comm_.size() - 1;
+  }
+
+  for (std::size_t r = 0; r < recv_boxes_.size(); ++r) {
+    if (recv_counts_[r] == 0) continue;
+    copy_subvolume<E, false>(my_out, recv_boxes_[r], out.data(),
+                             recvbuf_.data() + recv_displs_[r]);
+  }
+  stats_.seconds += watch.seconds();
+}
+
+template class Reshape<float>;
+template class Reshape<double>;
+template class Reshape<std::complex<float>>;
+template class Reshape<std::complex<double>>;
+
+}  // namespace lossyfft

@@ -1,0 +1,95 @@
+// Reshape: redistribute a field from one box decomposition to another —
+// the generalized all-to-all at the heart of the 3-D FFT (Fig. 1), and the
+// operation the paper compresses.
+//
+// Planning is local: every rank derives the full source and destination box
+// lists from the decomposition functions, intersects them, and packs the
+// overlaps. Execution goes through one of three exchange backends:
+//   kPairwise / kLinear — two-sided minimpi alltoallv (the classical
+//                         MPI_Alltoallv baselines), optionally compressed;
+//   kOsc               — the paper's one-sided ring with pipelined
+//                         compression (Algorithm 3).
+//
+// The element type E is any trivially-copyable cell: complex<double> for
+// the c2c transform, double for the real stage of the r2c transform, and
+// the float variants for the FP32 reference runs. Codecs apply only to
+// double-based elements (the wire views them as a stream of doubles).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "dfft/box.hpp"
+#include "minimpi/comm.hpp"
+#include "osc/osc_alltoall.hpp"
+
+namespace lossyfft {
+
+enum class ExchangeBackend { kPairwise, kLinear, kOsc };
+
+const char* to_string(ExchangeBackend b);
+
+struct ReshapeOptions {
+  ExchangeBackend backend = ExchangeBackend::kPairwise;
+  /// Wire codec. Only meaningful for double-based fields; nullptr
+  /// exchanges raw bytes. (The FP32 reference run computes *and*
+  /// communicates in float with no codec, as in Section VI-B.)
+  CodecPtr codec;
+  int osc_chunks = 8;
+  int gpus_per_node = 6;
+  osc::OscSync osc_sync = osc::OscSync::kFence;
+};
+
+template <typename E>
+inline constexpr bool kReshapeDoubleBased =
+    std::is_same_v<E, double> || std::is_same_v<E, std::complex<double>>;
+
+template <typename E>
+class Reshape {
+ public:
+  static_assert(std::is_trivially_copyable_v<E>);
+
+  /// Redistribute from `all_in[r]` to `all_out[r]` over `comm`
+  /// (r = comm rank). Box lists must cover disjointly; this rank's boxes
+  /// are all_in[comm.rank()] / all_out[comm.rank()].
+  Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
+          std::vector<Box3> all_out, ReshapeOptions options);
+
+  const Box3& inbox() const { return all_in_[static_cast<std::size_t>(rank_)]; }
+  const Box3& outbox() const {
+    return all_out_[static_cast<std::size_t>(rank_)];
+  }
+
+  /// Execute: `in` holds inbox().count() elements, `out` receives
+  /// outbox().count(). Collective.
+  void execute(std::span<const E> in, std::span<E> out);
+
+  /// Exchange statistics accumulated over all execute() calls on this rank.
+  const osc::ExchangeStats& stats() const { return stats_; }
+
+ private:
+  minimpi::Comm& comm_;
+  int rank_;
+  std::vector<Box3> all_in_;
+  std::vector<Box3> all_out_;
+  ReshapeOptions options_;
+
+  // Precomputed overlap metadata (counts/displs in elements).
+  std::vector<Box3> send_boxes_, recv_boxes_;
+  std::vector<std::uint64_t> send_counts_, send_displs_;
+  std::vector<std::uint64_t> recv_counts_, recv_displs_;
+  std::uint64_t send_total_ = 0, recv_total_ = 0;
+
+  std::vector<E> sendbuf_, recvbuf_;
+  osc::ExchangeStats stats_;
+};
+
+extern template class Reshape<float>;
+extern template class Reshape<double>;
+extern template class Reshape<std::complex<float>>;
+extern template class Reshape<std::complex<double>>;
+
+}  // namespace lossyfft

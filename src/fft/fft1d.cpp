@@ -1,0 +1,282 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+bool is_smooth_7(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t p : {std::size_t{2}, std::size_t{3}, std::size_t{5},
+                        std::size_t{7}}) {
+    while (n % p == 0) n /= p;
+  }
+  return n == 1;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+// Factor a 7-smooth n into radices, largest first (slightly fewer twiddle
+// multiplies than smallest-first and keeps recursion depth low).
+std::vector<std::size_t> factorize_smooth(std::size_t n) {
+  std::vector<std::size_t> factors;
+  for (std::size_t p : {std::size_t{7}, std::size_t{5}, std::size_t{3},
+                        std::size_t{2}}) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  LFFT_ASSERT(n == 1);
+  return factors;
+}
+
+}  // namespace
+
+template <typename T>
+struct Fft1d<T>::Impl {
+  using Complex = std::complex<T>;
+  using ComplexD = std::complex<double>;
+
+  std::size_t n = 0;
+  bool use_bluestein = false;
+
+  // Mixed-radix state.
+  std::vector<std::size_t> factors;
+  // Full twiddle table: w[k] = exp(-2*pi*i*k/n), k in [0, n). Twiddles for
+  // every recursion level are strided reads of this single table.
+  std::vector<Complex> twiddle;
+  // Scratch for decimated sub-transform gathering (size n).
+  mutable std::vector<Complex> scratch;
+  // Per-call strided-batch staging buffer (size n).
+  mutable std::vector<Complex> stage;
+
+  // Bluestein state.
+  std::size_t m = 0;                     // Convolution FFT size (power of 2).
+  std::unique_ptr<Fft1d<T>> inner;       // Size-m smooth plan.
+  std::vector<Complex> chirp;            // a_k = exp(-i*pi*k^2/n), k in [0, n).
+  std::vector<Complex> chirp_fft;        // FFT of the zero-padded conj chirp.
+  mutable std::vector<Complex> work;     // Size m.
+
+  explicit Impl(std::size_t size) : n(size) {
+    LFFT_REQUIRE(n >= 1, "FFT size must be >= 1");
+    if (is_smooth_7(n)) {
+      init_smooth();
+    } else {
+      use_bluestein = true;
+      init_bluestein();
+    }
+  }
+
+  void init_smooth() {
+    factors = factorize_smooth(n);
+    twiddle.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k) /
+                         static_cast<double>(n);
+      twiddle[k] = Complex(static_cast<T>(std::cos(ang)),
+                           static_cast<T>(std::sin(ang)));
+    }
+    scratch.resize(n);
+    stage.resize(n);
+  }
+
+  void init_bluestein() {
+    m = next_pow2(2 * n - 1);
+    inner = std::make_unique<Fft1d<T>>(m);
+    chirp.resize(n);
+    std::vector<Complex> b(m, Complex{});
+    for (std::size_t k = 0; k < n; ++k) {
+      // Angle pi*k^2/n, with k^2 reduced mod 2n to keep the argument small
+      // (k^2 overflows precision long before it overflows uint64 here).
+      const std::size_t k2 = (k * k) % (2 * n);
+      const double ang = M_PI * static_cast<double>(k2) /
+                         static_cast<double>(n);
+      chirp[k] = Complex(static_cast<T>(std::cos(ang)),
+                         static_cast<T>(-std::sin(ang)));
+      const Complex c = std::conj(chirp[k]);
+      b[k] = c;
+      if (k != 0) b[m - k] = c;  // Circular symmetry of the chirp filter.
+    }
+    inner->transform(b.data(), FftDirection::kForward);
+    chirp_fft = std::move(b);
+    work.resize(m);
+    stage.resize(n);
+  }
+
+  // Recursive decimation-in-time step. Computes the DFT of the `sub_n`
+  // points found at in[0], in[stride], ... into out[0..sub_n) (contiguous).
+  // `mult` = n / sub_n maps sub-transform twiddle indices into the full
+  // table: w_{sub_n}^t == twiddle[t * mult].
+  void dit(std::size_t sub_n, const Complex* in, std::size_t stride,
+           Complex* out, std::size_t mult, std::size_t depth) const {
+    if (sub_n == 1) {
+      out[0] = in[0];
+      return;
+    }
+    const std::size_t r = factors[depth];
+    const std::size_t msub = sub_n / r;
+
+    for (std::size_t q = 0; q < r; ++q) {
+      dit(msub, in + q * stride, stride * r, out + q * msub, mult * r,
+          depth + 1);
+    }
+
+    // Combine: X[j + p*msub] = sum_q (Y_q[j] * w_n^{q*j*mult}) * w_r^{q*p}.
+    // For fixed j the reads and writes cover the same index set, so the
+    // combine is done in place through a size-r temporary.
+    Complex t[7];
+    for (std::size_t j = 0; j < msub; ++j) {
+      for (std::size_t q = 0; q < r; ++q) {
+        const std::size_t tw = (q * j * mult) % n;
+        t[q] = out[q * msub + j] * twiddle[tw];
+      }
+      const std::size_t wr_step = n / r;  // w_r^1 == twiddle[n/r].
+      for (std::size_t p = 0; p < r; ++p) {
+        Complex acc = t[0];
+        for (std::size_t q = 1; q < r; ++q) {
+          acc += t[q] * twiddle[(q * p * wr_step) % n];
+        }
+        out[j + p * msub] = acc;
+      }
+    }
+  }
+
+  void forward_contiguous(Complex* data) const {
+    if (n == 1) return;
+    if (use_bluestein) {
+      forward_bluestein(data);
+      return;
+    }
+    if ((n & (n - 1)) == 0) {
+      forward_stockham(data);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = data[i];
+    dit(n, scratch.data(), 1, data, 1, 0);
+  }
+
+  // Iterative radix-2 Stockham autosort for power-of-two sizes: no bit
+  // reversal, unit-stride inner loops, ping-pong between data and scratch.
+  void forward_stockham(Complex* data) const {
+    Complex* x = data;
+    Complex* y = scratch.data();
+    for (std::size_t l = n / 2, m = 1; l >= 1; l >>= 1, m <<= 1) {
+      const std::size_t tw_step = n / (2 * l);  // w_{2l}^j == twiddle[j*step].
+      for (std::size_t j = 0; j < l; ++j) {
+        const Complex wj = twiddle[j * tw_step];
+        Complex* xa = x + m * j;
+        Complex* xb = x + m * (j + l);
+        Complex* ya = y + 2 * m * j;
+        Complex* yb = ya + m;
+        for (std::size_t k = 0; k < m; ++k) {
+          const Complex a = xa[k];
+          const Complex b = xb[k];
+          ya[k] = a + b;
+          yb[k] = wj * (a - b);
+        }
+      }
+      std::swap(x, y);
+    }
+    if (x != data) {
+      for (std::size_t i = 0; i < n; ++i) data[i] = x[i];
+    }
+  }
+
+  void forward_bluestein(Complex* data) const {
+    // y = IFFT(FFT(x .* chirp) .* chirp_fft) .* chirp, classic chirp-z.
+    for (std::size_t k = 0; k < n; ++k) work[k] = data[k] * chirp[k];
+    for (std::size_t k = n; k < m; ++k) work[k] = Complex{};
+    inner->transform(work.data(), FftDirection::kForward);
+    for (std::size_t k = 0; k < m; ++k) work[k] *= chirp_fft[k];
+    inner->transform(work.data(), FftDirection::kInverse);
+    for (std::size_t k = 0; k < n; ++k) data[k] = work[k] * chirp[k];
+  }
+};
+
+template <typename T>
+Fft1d<T>::Fft1d(std::size_t n) : n_(n), impl_(std::make_unique<Impl>(n)) {}
+
+template <typename T>
+Fft1d<T>::~Fft1d() = default;
+
+template <typename T>
+Fft1d<T>::Fft1d(Fft1d&&) noexcept = default;
+
+template <typename T>
+Fft1d<T>& Fft1d<T>::operator=(Fft1d&&) noexcept = default;
+
+template <typename T>
+void Fft1d<T>::transform(Complex* data, FftDirection dir) const {
+  LFFT_REQUIRE(data != nullptr, "null data");
+  if (dir == FftDirection::kForward) {
+    impl_->forward_contiguous(data);
+    return;
+  }
+  // inverse(x) = conj(forward(conj(x))) / n: one code path for both
+  // directions keeps the twiddle tables forward-only.
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  impl_->forward_contiguous(data);
+  const T inv_n = T(1) / static_cast<T>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * inv_n;
+}
+
+template <typename T>
+void Fft1d<T>::transform_strided(Complex* data, std::ptrdiff_t stride,
+                                 std::size_t batch,
+                                 std::ptrdiff_t batch_stride,
+                                 FftDirection dir) const {
+  LFFT_REQUIRE(data != nullptr, "null data");
+  for (std::size_t b = 0; b < batch; ++b) {
+    Complex* base = data + static_cast<std::ptrdiff_t>(b) * batch_stride;
+    if (stride == 1) {
+      transform(base, dir);
+      continue;
+    }
+    auto& stage = impl_->stage;
+    for (std::size_t i = 0; i < n_; ++i) {
+      stage[i] = base[static_cast<std::ptrdiff_t>(i) * stride];
+    }
+    transform(stage.data(), dir);
+    for (std::size_t i = 0; i < n_; ++i) {
+      base[static_cast<std::ptrdiff_t>(i) * stride] = stage[i];
+    }
+  }
+}
+
+template <typename T>
+std::vector<std::complex<T>> naive_dft(const std::vector<std::complex<T>>& x,
+                                       FftDirection dir) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<T>> out(n);
+  const double sign = dir == FftDirection::kForward ? -1.0 : 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * M_PI *
+                         static_cast<double>((k * j) % n) /
+                         static_cast<double>(n);
+      acc += std::complex<double>(x[j].real(), x[j].imag()) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    if (dir == FftDirection::kInverse) acc /= static_cast<double>(n);
+    out[k] = {static_cast<T>(acc.real()), static_cast<T>(acc.imag())};
+  }
+  return out;
+}
+
+template class Fft1d<float>;
+template class Fft1d<double>;
+template std::vector<std::complex<float>> naive_dft<float>(
+    const std::vector<std::complex<float>>&, FftDirection);
+template std::vector<std::complex<double>> naive_dft<double>(
+    const std::vector<std::complex<double>>&, FftDirection);
+
+}  // namespace lossyfft

@@ -1,0 +1,73 @@
+// 1-D complex-to-complex FFT, templated on the real scalar type.
+//
+// This is the node-local compute kernel of the distributed 3-D FFT (the role
+// cuFFT plays in heFFTe). Sizes with prime factors {2, 3, 5, 7} run through
+// a mixed-radix decimation-in-time Cooley-Tukey; any other size falls back
+// to Bluestein's chirp-z algorithm, so every n >= 1 is supported.
+//
+// A plan precomputes twiddles and owns scratch, so it is cheap to reuse but
+// NOT thread-safe: in the distributed runtime each rank thread builds its
+// own plans.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace lossyfft {
+
+enum class FftDirection { kForward, kInverse };
+
+/// Returns true when `n` factors completely into {2, 3, 5, 7}.
+bool is_smooth_7(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+template <typename T>
+class Fft1d {
+ public:
+  using Complex = std::complex<T>;
+
+  /// Plan a transform of length `n` (n >= 1).
+  explicit Fft1d(std::size_t n);
+  ~Fft1d();
+
+  Fft1d(Fft1d&&) noexcept;
+  Fft1d& operator=(Fft1d&&) noexcept;
+  Fft1d(const Fft1d&) = delete;
+  Fft1d& operator=(const Fft1d&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// In-place transform of `data[0..n)`, contiguous. The inverse is scaled
+  /// by 1/n so that inverse(forward(x)) == x up to roundoff.
+  void transform(Complex* data, FftDirection dir) const;
+
+  /// Batched strided transform: `batch` transforms, the b-th starting at
+  /// data + b*batch_stride, with consecutive transform elements separated by
+  /// `stride`. Used by the 3-D FFT to run pencils without repacking.
+  void transform_strided(Complex* data, std::ptrdiff_t stride,
+                         std::size_t batch, std::ptrdiff_t batch_stride,
+                         FftDirection dir) const;
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Naive O(n^2) DFT used as the correctness oracle in tests.
+template <typename T>
+std::vector<std::complex<T>> naive_dft(const std::vector<std::complex<T>>& x,
+                                       FftDirection dir);
+
+extern template class Fft1d<float>;
+extern template class Fft1d<double>;
+extern template std::vector<std::complex<float>> naive_dft<float>(
+    const std::vector<std::complex<float>>&, FftDirection);
+extern template std::vector<std::complex<double>> naive_dft<double>(
+    const std::vector<std::complex<double>>&, FftDirection);
+
+}  // namespace lossyfft

@@ -1,0 +1,132 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+template <typename T>
+struct FftR2c<T>::Impl {
+  using Complex = std::complex<T>;
+
+  std::size_t n;
+  bool even;
+  // Even path: complex plan of length n/2 + untangling twiddles
+  // w[k] = exp(-2*pi*i*k/n).
+  std::unique_ptr<Fft1d<T>> half_plan;
+  std::vector<Complex> w;
+  mutable std::vector<Complex> z;  // Length n/2 packing buffer.
+  // Odd path: full-length complex plan.
+  std::unique_ptr<Fft1d<T>> full_plan;
+  mutable std::vector<Complex> full;  // Length n buffer.
+
+  explicit Impl(std::size_t size) : n(size), even(size % 2 == 0) {
+    LFFT_REQUIRE(n >= 1, "r2c FFT size must be >= 1");
+    if (even && n >= 2) {
+      const std::size_t h = n / 2;
+      half_plan = std::make_unique<Fft1d<T>>(h);
+      w.resize(h + 1);
+      for (std::size_t k = 0; k <= h; ++k) {
+        const double ang = -2.0 * M_PI * static_cast<double>(k) /
+                           static_cast<double>(n);
+        w[k] = Complex(static_cast<T>(std::cos(ang)),
+                       static_cast<T>(std::sin(ang)));
+      }
+      z.resize(h);
+    } else {
+      full_plan = std::make_unique<Fft1d<T>>(n);
+      full.resize(n);
+    }
+  }
+
+  void forward(const T* in, Complex* out) const {
+    if (!even || n < 2) {
+      for (std::size_t i = 0; i < n; ++i) full[i] = Complex(in[i], T(0));
+      full_plan->transform(full.data(), FftDirection::kForward);
+      for (std::size_t k = 0; k <= n / 2; ++k) out[k] = full[k];
+      return;
+    }
+    // Pack pairs into complex points: z[j] = x[2j] + i*x[2j+1].
+    const std::size_t h = n / 2;
+    for (std::size_t j = 0; j < h; ++j) {
+      z[j] = Complex(in[2 * j], in[2 * j + 1]);
+    }
+    half_plan->transform(z.data(), FftDirection::kForward);
+    // Untangle: with Z = FFT(z), E[k] = (Z[k] + conj(Z[h-k]))/2 (spectrum
+    // of the even samples) and O[k] = (Z[k] - conj(Z[h-k]))/(2i); then
+    // X[k] = E[k] + w^k * O[k] for k = 0..h (Z[h] wraps to Z[0]).
+    const Complex half(T(0.5), T(0));
+    const Complex mihalf(T(0), T(-0.5));  // 1/(2i).
+    for (std::size_t k = 0; k <= h; ++k) {
+      const Complex zk = k == h ? z[0] : z[k];
+      const Complex zmk = std::conj(k == 0 ? z[0] : z[h - k]);
+      const Complex e = (zk + zmk) * half;
+      const Complex o = (zk - zmk) * mihalf;
+      out[k] = e + w[k] * o;
+    }
+  }
+
+  void inverse(const Complex* in, T* out) const {
+    if (!even || n < 2) {
+      // Rebuild the conjugate-symmetric full spectrum.
+      full[0] = Complex(in[0].real(), T(0));
+      for (std::size_t k = 1; k <= n / 2; ++k) {
+        full[k] = in[k];
+        full[n - k] = std::conj(in[k]);
+      }
+      full_plan->transform(full.data(), FftDirection::kInverse);
+      for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
+      return;
+    }
+    // Invert the untangling. From X[k] = E + w^k O and the identity
+    // conj(X[h-k]) = E - w^k O (which follows from w^{h-k} = -conj(w^k)
+    // and the conjugate symmetry of E and O for real input):
+    //   E = (X[k] + conj(X[h-k])) / 2,  O = (X[k] - conj(X[h-k])) / (2 w^k),
+    // and the packed sequence satisfies Z[k] = E[k] + i O[k].
+    const std::size_t h = n / 2;
+    const Complex half(T(0.5), T(0));
+    for (std::size_t k = 0; k < h; ++k) {
+      const Complex xk = k == 0 ? Complex(in[0].real(), T(0)) : in[k];
+      const Complex xmk =
+          std::conj(k == 0 ? Complex(in[h].real(), T(0)) : in[h - k]);
+      const Complex e = (xk + xmk) * half;
+      const Complex o = (xk - xmk) * half / w[k];
+      z[k] = e + Complex(T(0), T(1)) * o;
+    }
+    half_plan->transform(z.data(), FftDirection::kInverse);
+    for (std::size_t j = 0; j < h; ++j) {
+      out[2 * j] = z[j].real();
+      out[2 * j + 1] = z[j].imag();
+    }
+  }
+};
+
+template <typename T>
+FftR2c<T>::FftR2c(std::size_t n) : n_(n), impl_(std::make_unique<Impl>(n)) {}
+
+template <typename T>
+FftR2c<T>::~FftR2c() = default;
+
+template <typename T>
+FftR2c<T>::FftR2c(FftR2c&&) noexcept = default;
+
+template <typename T>
+FftR2c<T>& FftR2c<T>::operator=(FftR2c&&) noexcept = default;
+
+template <typename T>
+void FftR2c<T>::forward(const T* in, Complex* out) const {
+  LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
+  impl_->forward(in, out);
+}
+
+template <typename T>
+void FftR2c<T>::inverse(const Complex* in, T* out) const {
+  LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
+  impl_->inverse(in, out);
+}
+
+template class FftR2c<float>;
+template class FftR2c<double>;
+
+}  // namespace lossyfft

@@ -1,0 +1,55 @@
+// Real-to-complex / complex-to-real 1-D FFTs.
+//
+// PDE right-hand sides (the paper's Algorithm 2 use case) are real; a
+// production FFT library exposes r2c transforms that exploit the conjugate
+// symmetry X[n-k] == conj(X[k]) to halve both compute and storage. For
+// even n the classic packing trick runs one complex FFT of length n/2; odd
+// lengths fall back to a full complex transform.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+
+namespace lossyfft {
+
+template <typename T>
+class FftR2c {
+ public:
+  using Complex = std::complex<T>;
+
+  explicit FftR2c(std::size_t n);
+  ~FftR2c();
+  FftR2c(FftR2c&&) noexcept;
+  FftR2c& operator=(FftR2c&&) noexcept;
+  FftR2c(const FftR2c&) = delete;
+  FftR2c& operator=(const FftR2c&) = delete;
+
+  std::size_t size() const { return n_; }
+  /// Number of complex outputs: n/2 + 1.
+  std::size_t spectrum_size() const { return n_ / 2 + 1; }
+
+  /// Forward: `in` holds n reals, `out` receives n/2+1 complex values
+  /// (the non-redundant half spectrum; X[0] and, for even n, X[n/2] are
+  /// purely real up to roundoff).
+  void forward(const T* in, Complex* out) const;
+
+  /// Inverse: reconstructs n reals from the half spectrum, scaled by 1/n
+  /// so that inverse(forward(x)) == x up to roundoff. `in` must satisfy
+  /// the conjugate-symmetry boundary conditions (imag parts of X[0] and
+  /// X[n/2] are ignored).
+  void inverse(const Complex* in, T* out) const;
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  std::unique_ptr<Impl> impl_;
+};
+
+extern template class FftR2c<float>;
+extern template class FftR2c<double>;
+
+}  // namespace lossyfft

@@ -1,0 +1,54 @@
+// Two-sided all-to-all(v) algorithm suite over minimpi, matching the
+// baselines the paper compares against (the "classical MPI_Alltoall(v)").
+//
+// Three algorithms:
+//   kLinear   — every rank eagerly sends to all peers, then receives; this
+//               is the message-storm behaviour the paper warns about.
+//   kPairwise — the classical ring: p steps, at step j exchange with ranks
+//               at distance j (the algorithm Section V builds on).
+//   kBruck    — log(p)-step algorithm for uniform small messages (alltoall
+//               only; alltoallv falls back to pairwise).
+//
+// Counts and displacements are in BYTES (callers wrap typed data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace lossyfft::minimpi {
+
+enum class AlltoallAlgorithm {
+  kLinear,
+  kPairwise,
+  kBruck,
+  /// Size-based dispatch like a tuned MPI: Bruck for small uniform blocks
+  /// (latency-bound), pairwise otherwise (bandwidth-bound).
+  kAuto,
+};
+
+const char* to_string(AlltoallAlgorithm a);
+
+/// The per-block byte size below which kAuto prefers Bruck.
+inline constexpr std::size_t kBruckThresholdBytes = 4096;
+
+/// Uniform all-to-all: rank r's block of `block_bytes` for every peer.
+/// sendbuf/recvbuf hold size() consecutive blocks.
+void alltoall(Comm& comm, std::span<const std::byte> sendbuf,
+              std::span<std::byte> recvbuf, std::size_t block_bytes,
+              AlltoallAlgorithm algo = AlltoallAlgorithm::kPairwise);
+
+/// Generalized all-to-all with per-peer byte counts and displacements
+/// (MPI_Alltoallv equivalent). `sendcounts[i]` bytes starting at
+/// `senddispls[i]` go to rank i; symmetric on receive.
+void alltoallv(Comm& comm, std::span<const std::byte> sendbuf,
+               std::span<const std::uint64_t> sendcounts,
+               std::span<const std::uint64_t> senddispls,
+               std::span<std::byte> recvbuf,
+               std::span<const std::uint64_t> recvcounts,
+               std::span<const std::uint64_t> recvdispls,
+               AlltoallAlgorithm algo = AlltoallAlgorithm::kPairwise);
+
+}  // namespace lossyfft::minimpi

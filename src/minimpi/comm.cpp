@@ -1,0 +1,359 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lossyfft::minimpi {
+
+namespace {
+
+// Collectives use the high tag space to stay clear of user tags.
+constexpr int kBarrierTag = 1 << 28;
+constexpr int kBcastTag = (1 << 28) + 1;
+constexpr int kReduceTag = (1 << 28) + 2;
+constexpr int kGatherTag = (1 << 28) + 3;
+constexpr int kSplitTag = (1 << 28) + 4;
+
+void combine_doubles(std::byte* acc, const std::byte* in, std::size_t n,
+                     ReduceOp op) {
+  auto* a = reinterpret_cast<double*>(acc);
+  auto* b = reinterpret_cast<const double*>(in);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (op) {
+      case ReduceOp::kSum: a[i] += b[i]; break;
+      case ReduceOp::kMax: a[i] = std::max(a[i], b[i]); break;
+      case ReduceOp::kMin: a[i] = std::min(a[i], b[i]); break;
+    }
+  }
+}
+
+void combine_int64(std::byte* acc, const std::byte* in, std::size_t n,
+                   ReduceOp op) {
+  auto* a = reinterpret_cast<std::int64_t*>(acc);
+  auto* b = reinterpret_cast<const std::int64_t*>(in);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (op) {
+      case ReduceOp::kSum: a[i] += b[i]; break;
+      case ReduceOp::kMax: a[i] = std::max(a[i], b[i]); break;
+      case ReduceOp::kMin: a[i] = std::min(a[i], b[i]); break;
+    }
+  }
+}
+
+}  // namespace
+
+Comm::Comm(std::shared_ptr<detail::SharedState> state, ContextId ctx,
+           std::vector<int> group, int rank)
+    : state_(std::move(state)), ctx_(ctx), group_(std::move(group)),
+      rank_(rank) {}
+
+Comm Comm::make_world(std::shared_ptr<detail::SharedState> state, int rank) {
+  std::vector<int> group(static_cast<std::size_t>(state->world_size()));
+  for (int r = 0; r < state->world_size(); ++r)
+    group[static_cast<std::size_t>(r)] = r;
+  return Comm(std::move(state), /*ctx=*/0, std::move(group), rank);
+}
+
+int Comm::world_rank_of(int r) const {
+  LFFT_REQUIRE(r >= 0 && r < size(), "rank out of range");
+  return group_[static_cast<std::size_t>(r)];
+}
+
+void Comm::send(std::span<const std::byte> data, int dest, int tag) {
+  LFFT_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
+  detail::Envelope e;
+  e.src = rank_;
+  e.tag = tag;
+  e.ctx = ctx_;
+  e.data.assign(data.begin(), data.end());
+  state_->mailbox(world_rank_of(dest)).push(std::move(e));
+}
+
+Status Comm::recv(std::span<std::byte> data, int src, int tag) {
+  LFFT_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
+               "recv: bad source rank");
+  detail::Envelope e =
+      state_->mailbox(world_rank_of(rank_)).pop_match(src, tag, ctx_);
+  LFFT_REQUIRE(e.data.size() <= data.size(),
+               "recv: message larger than receive buffer");
+  if (!e.data.empty()) std::memcpy(data.data(), e.data.data(), e.data.size());
+  return Status{e.src, e.tag, e.data.size()};
+}
+
+Status Comm::sendrecv(std::span<const std::byte> senddata, int dest,
+                      int sendtag, std::span<std::byte> recvdata, int src,
+                      int recvtag) {
+  send(senddata, dest, sendtag);  // Eager: completes immediately.
+  return recv(recvdata, src, recvtag);
+}
+
+Comm::Request Comm::isend(std::span<const std::byte> data, int dest, int tag) {
+  send(data, dest, tag);  // Eager: locally complete on return.
+  Request req;
+  req.done_ = true;
+  req.status_ = Status{rank_, tag, data.size()};
+  return req;
+}
+
+Comm::Request Comm::irecv(std::span<std::byte> data, int src, int tag) {
+  Request req;
+  // Try an immediate match so already-delivered messages complete in post
+  // order (the common case for our collectives).
+  detail::Envelope e;
+  if (state_->mailbox(world_rank_of(rank_)).try_pop_match(src, tag, ctx_, e)) {
+    LFFT_REQUIRE(e.data.size() <= data.size(),
+                 "irecv: message larger than receive buffer");
+    if (!e.data.empty()) std::memcpy(data.data(), e.data.data(), e.data.size());
+    req.done_ = true;
+    req.status_ = Status{e.src, e.tag, e.data.size()};
+    return req;
+  }
+  req.done_ = false;
+  req.buf_ = data;
+  req.src_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+Status Comm::wait(Request& req) {
+  if (!req.done_) {
+    req.status_ = recv(req.buf_, req.src_, req.tag_);
+    req.done_ = true;
+    req.buf_ = {};
+  }
+  return req.status_;
+}
+
+std::vector<Status> Comm::waitall(std::span<Request> reqs) {
+  std::vector<Status> statuses;
+  statuses.reserve(reqs.size());
+  for (auto& r : reqs) statuses.push_back(wait(r));
+  return statuses;
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(p) rounds of 0-byte messages; O(p log p)
+  // messages total but only log p rounds of latency per rank.
+  const int p = size();
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist % p + p) % p;
+    send(std::span<const std::byte>{}, to, kBarrierTag + dist);
+    recv(std::span<std::byte>{}, from, kBarrierTag + dist);
+  }
+}
+
+void Comm::bcast(std::span<std::byte> data, int root) {
+  LFFT_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
+  const int p = size();
+  // Rotate so the root is virtual rank 0, then binomial tree.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank < mask) {
+      const int vchild = vrank + mask;
+      if (vchild < p) send(std::span<const std::byte>(data), (vchild + root) % p, kBcastTag);
+    } else if (vrank < 2 * mask) {
+      const int vparent = vrank - mask;
+      recv(data, (vparent + root) % p, kBcastTag);
+    }
+    mask <<= 1;
+  }
+}
+
+int Comm::tree_reduce_bcast(std::span<std::byte> data,
+                            void (*combine)(std::byte*, const std::byte*,
+                                            std::size_t, ReduceOp),
+                            std::size_t elem_size, ReduceOp op) {
+  const int p = size();
+  const std::size_t n = data.size() / elem_size;
+  std::vector<std::byte> incoming(data.size());
+  // Binomial reduce to rank 0.
+  int mask = 1;
+  while (mask < p) {
+    if ((rank_ & mask) == 0) {
+      const int child = rank_ | mask;
+      if (child < p) {
+        recv(std::span<std::byte>(incoming), child, kReduceTag);
+        combine(data.data(), incoming.data(), n, op);
+      }
+    } else {
+      send(std::span<const std::byte>(data), rank_ & ~mask, kReduceTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  bcast(data, 0);
+  return 0;
+}
+
+void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
+  LFFT_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+  // Binomial tree on virtual ranks rotated so `root` is virtual rank 0.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  const std::size_t n = data.size();
+  std::vector<double> incoming(n);
+  auto bytes = std::as_writable_bytes(data);
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int vchild = vrank | mask;
+      if (vchild < p) {
+        recv(std::as_writable_bytes(std::span<double>(incoming)),
+             (vchild + root) % p, kReduceTag + 2);
+        combine_doubles(bytes.data(),
+                        std::as_bytes(std::span<const double>(incoming)).data(),
+                        n, op);
+      }
+    } else {
+      send(std::as_bytes(std::span<const double>(data)),
+           ((vrank & ~mask) + root) % p, kReduceTag + 2);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduce(std::span<double> data, ReduceOp op) {
+  tree_reduce_bcast(std::as_writable_bytes(data), &combine_doubles,
+                    sizeof(double), op);
+}
+
+void Comm::allreduce(std::span<std::int64_t> data, ReduceOp op) {
+  tree_reduce_bcast(std::as_writable_bytes(data), &combine_int64,
+                    sizeof(std::int64_t), op);
+}
+
+double Comm::allreduce_one(double v, ReduceOp op) {
+  allreduce(std::span<double>(&v, 1), op);
+  return v;
+}
+
+std::int64_t Comm::allreduce_one(std::int64_t v, ReduceOp op) {
+  allreduce(std::span<std::int64_t>(&v, 1), op);
+  return v;
+}
+
+void Comm::allgather(std::span<const std::byte> senddata,
+                     std::span<std::byte> recvdata) {
+  const int p = size();
+  const std::size_t blk = senddata.size();
+  LFFT_REQUIRE(recvdata.size() == blk * static_cast<std::size_t>(p),
+               "allgather: recv buffer must hold size() blocks");
+  // Ring allgather: p-1 steps, each forwarding the block received last step.
+  std::memcpy(recvdata.data() + static_cast<std::size_t>(rank_) * blk,
+              senddata.data(), blk);
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+  int have = rank_;  // Block id we forward next.
+  for (int step = 0; step < p - 1; ++step) {
+    const int incoming = (have - 1 + p) % p;
+    send(std::span<const std::byte>(
+             recvdata.subspan(static_cast<std::size_t>(have) * blk, blk)),
+         right, kGatherTag);
+    recv(recvdata.subspan(static_cast<std::size_t>(incoming) * blk, blk), left,
+         kGatherTag);
+    have = incoming;
+  }
+}
+
+void Comm::gather(std::span<const std::byte> senddata,
+                  std::span<std::byte> recvdata, int root) {
+  LFFT_REQUIRE(root >= 0 && root < size(), "gather: bad root");
+  const std::size_t blk = senddata.size();
+  if (rank_ != root) {
+    send(senddata, root, kGatherTag + 1);
+    return;
+  }
+  LFFT_REQUIRE(recvdata.size() == blk * static_cast<std::size_t>(size()),
+               "gather: root recv buffer must hold size() blocks");
+  if (blk > 0) {
+    std::memcpy(recvdata.data() + static_cast<std::size_t>(rank_) * blk,
+                senddata.data(), blk);
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    recv(recvdata.subspan(static_cast<std::size_t>(r) * blk, blk), r,
+         kGatherTag + 1);
+  }
+}
+
+void Comm::scatter(std::span<const std::byte> senddata,
+                   std::span<std::byte> recvdata, int root) {
+  LFFT_REQUIRE(root >= 0 && root < size(), "scatter: bad root");
+  const std::size_t blk = recvdata.size();
+  if (rank_ == root) {
+    LFFT_REQUIRE(senddata.size() == blk * static_cast<std::size_t>(size()),
+                 "scatter: root send buffer must hold size() blocks");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(senddata.subspan(static_cast<std::size_t>(r) * blk, blk), r,
+           kGatherTag + 2);
+    }
+    if (blk > 0) {
+      std::memcpy(recvdata.data(),
+                  senddata.data() + static_cast<std::size_t>(rank_) * blk,
+                  blk);
+    }
+    return;
+  }
+  recv(recvdata, root, kGatherTag + 2);
+}
+
+void Comm::scan(std::span<double> data, ReduceOp op) {
+  // Linear chain: rank r-1 forwards its inclusive prefix to rank r. O(p)
+  // latency but exact and simple; scans are off the critical path here.
+  std::vector<double> incoming(data.size());
+  if (rank_ > 0) {
+    recv(std::as_writable_bytes(std::span<double>(incoming)), rank_ - 1,
+         kReduceTag + 1);
+    combine_doubles(std::as_writable_bytes(std::span<double>(data)).data(),
+                    std::as_bytes(std::span<const double>(incoming)).data(),
+                    data.size(), op);
+  }
+  if (rank_ + 1 < size()) {
+    send(std::as_bytes(std::span<const double>(data)), rank_ + 1,
+         kReduceTag + 1);
+  }
+}
+
+Comm Comm::split(int color, int key) const {
+  // Gather (color, key, rank) from everyone, then locally build the group.
+  const std::int64_t mine[3] = {color, key, rank_};
+  std::vector<std::int64_t> all(static_cast<std::size_t>(size()) * 3);
+  // Reuse allgather over bytes.
+  const_cast<Comm*>(this)->allgather(
+      std::as_bytes(std::span<const std::int64_t>(mine, 3)),
+      std::as_writable_bytes(std::span<std::int64_t>(all)));
+
+  struct Member { int color; int key; int parent_rank; };
+  std::vector<Member> members;
+  for (int r = 0; r < size(); ++r) {
+    const auto* rec = &all[static_cast<std::size_t>(r) * 3];
+    if (static_cast<int>(rec[0]) == color) {
+      members.push_back({static_cast<int>(rec[0]), static_cast<int>(rec[1]),
+                         static_cast<int>(rec[2])});
+    }
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a, const Member& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (const auto& m : members) {
+    if (m.parent_rank == rank_) my_new_rank = static_cast<int>(group.size());
+    group.push_back(group_[static_cast<std::size_t>(m.parent_rank)]);
+  }
+  LFFT_ASSERT(my_new_rank >= 0);
+
+  const std::uint64_t epoch = ++split_epoch_;
+  const ContextId new_ctx = state_->alloc_context(ctx_, epoch, color);
+  (void)kSplitTag;
+  return Comm(state_, new_ctx, std::move(group), my_new_rank);
+}
+
+}  // namespace lossyfft::minimpi

@@ -1,0 +1,151 @@
+// Communicator: the rank-facing API of the minimpi runtime.
+//
+// A Comm names a group of ranks and provides MPI-style two-sided messaging
+// and collectives over them. All byte-level operations have typed template
+// wrappers. Collectives must be called by every rank of the communicator
+// (same restrictions as MPI).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "minimpi/state.hpp"
+#include "minimpi/types.hpp"
+
+namespace lossyfft::minimpi {
+
+class Window;
+
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+
+  /// World rank of communicator rank `r` (used by node-aware schedules).
+  int world_rank_of(int r) const;
+
+  // --- Two-sided point-to-point (eager: send copies and returns) ---------
+  void send(std::span<const std::byte> data, int dest, int tag);
+  Status recv(std::span<std::byte> data, int src, int tag);
+
+  /// Combined send+recv that cannot deadlock (sends are eager).
+  Status sendrecv(std::span<const std::byte> senddata, int dest, int sendtag,
+                  std::span<std::byte> recvdata, int src, int recvtag);
+
+  // --- Nonblocking point-to-point -----------------------------------------
+  // isend completes immediately (eager copy). irecv attempts an immediate
+  // match; if the message has not arrived yet, the match happens inside
+  // wait(). Note one divergence from MPI: two pending irecvs with the same
+  // (source, tag) match in wait() order, not post order.
+  class Request {
+   public:
+    Request() = default;
+    bool done() const { return done_; }
+
+   private:
+    friend class Comm;
+    bool done_ = true;  // isend / already-matched irecv.
+    Status status_{};
+    // Pending receive parameters (done_ == false).
+    std::span<std::byte> buf_{};
+    int src_ = kAnySource;
+    int tag_ = kAnyTag;
+  };
+
+  Request isend(std::span<const std::byte> data, int dest, int tag);
+  Request irecv(std::span<std::byte> data, int src, int tag);
+
+  /// Block until `req` completes; returns its Status. Idempotent.
+  Status wait(Request& req);
+
+  /// Wait for every request; returns the statuses in order.
+  std::vector<Status> waitall(std::span<Request> reqs);
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send(std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  Status recv(std::span<T> data, int src, int tag) {
+    return recv(std::as_writable_bytes(data), src, tag);
+  }
+
+  // --- Collectives --------------------------------------------------------
+  void barrier();
+
+  /// Binomial-tree broadcast from `root`.
+  void bcast(std::span<std::byte> data, int root);
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast(std::as_writable_bytes(data), root);
+  }
+
+  /// Element-wise reduce over doubles; the result lands on `root` only
+  /// (other ranks' buffers are left with partial reductions, as permitted
+  /// for MPI send buffers -- pass a copy if the input must survive).
+  void reduce(std::span<double> data, ReduceOp op, int root);
+
+  /// Element-wise allreduce over doubles (tree reduce + bcast).
+  void allreduce(std::span<double> data, ReduceOp op);
+  void allreduce(std::span<std::int64_t> data, ReduceOp op);
+  double allreduce_one(double v, ReduceOp op);
+  std::int64_t allreduce_one(std::int64_t v, ReduceOp op);
+
+  /// Gather equal-size blocks to all ranks.
+  void allgather(std::span<const std::byte> senddata, std::span<std::byte> recvdata);
+  template <typename T>
+  void allgather(std::span<const T> senddata, std::span<T> recvdata) {
+    allgather(std::as_bytes(senddata), std::as_writable_bytes(recvdata));
+  }
+
+  /// Gather equal-size blocks to `root` (recvdata used on the root only).
+  void gather(std::span<const std::byte> senddata, std::span<std::byte> recvdata,
+              int root);
+
+  /// Scatter equal-size blocks from `root` (senddata used on the root only).
+  void scatter(std::span<const std::byte> senddata, std::span<std::byte> recvdata,
+               int root);
+
+  /// Inclusive prefix reduction over doubles: rank r receives the
+  /// element-wise reduction of ranks 0..r.
+  void scan(std::span<double> data, ReduceOp op);
+
+  /// Split into sub-communicators by color; ranks with the same color end up
+  /// in the same sub-communicator ordered by (key, parent rank).
+  Comm split(int color, int key) const;
+
+  /// Node-local communicator under the paper's placement (rank r lives on
+  /// node r / gpus_per_node): every rank of one node, in rank order.
+  Comm split_by_node(int gpus_per_node) const {
+    return split(rank() / gpus_per_node, rank());
+  }
+
+  // --- Internals shared with Window / alltoall algorithms ----------------
+  detail::SharedState& state() const { return *state_; }
+  ContextId context() const { return ctx_; }
+  const std::vector<int>& group() const { return group_; }
+  std::uint64_t next_window_epoch() const { return ++window_epoch_; }
+
+  /// Builds the world communicator; used by Runtime only.
+  static Comm make_world(std::shared_ptr<detail::SharedState> state, int rank);
+
+ private:
+  Comm(std::shared_ptr<detail::SharedState> state, ContextId ctx,
+       std::vector<int> group, int rank);
+
+  int tree_reduce_bcast(std::span<std::byte> data,
+                        void (*combine)(std::byte*, const std::byte*,
+                                        std::size_t, ReduceOp),
+                        std::size_t elem_size, ReduceOp op);
+
+  std::shared_ptr<detail::SharedState> state_;
+  ContextId ctx_ = 0;
+  std::vector<int> group_;  // group_[comm rank] == world rank.
+  int rank_ = 0;
+  mutable std::uint64_t split_epoch_ = 0;
+  mutable std::uint64_t window_epoch_ = 0;
+};
+
+}  // namespace lossyfft::minimpi

@@ -1,0 +1,36 @@
+#include "minimpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lossyfft::minimpi {
+
+void run_ranks(int n_ranks, const std::function<void(Comm&)>& fn) {
+  LFFT_REQUIRE(n_ranks > 0, "run_ranks: need at least one rank");
+  auto state = std::make_shared<detail::SharedState>(n_ranks);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm = Comm::make_world(state, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lossyfft::minimpi

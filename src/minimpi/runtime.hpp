@@ -1,0 +1,20 @@
+// Runtime: launches N rank threads that execute a user function with their
+// world communicator — the moral equivalent of mpirun for the in-process
+// minimpi world.
+#pragma once
+
+#include <functional>
+
+#include "minimpi/comm.hpp"
+
+namespace lossyfft::minimpi {
+
+/// Run `fn(comm)` on `n_ranks` threads, each with its own world Comm of the
+/// same fresh world. Blocks until every rank returns. If any rank throws,
+/// the first exception is rethrown in the caller after all threads joined
+/// (ranks still blocked on communication with the failed rank would hang,
+/// so rank functions should only throw before communicating or not at all;
+/// tests use this for argument-validation paths only).
+void run_ranks(int n_ranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace lossyfft::minimpi

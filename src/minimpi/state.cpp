@@ -1,0 +1,103 @@
+#include "minimpi/state.hpp"
+
+#include "common/error.hpp"
+
+namespace lossyfft::minimpi::detail {
+
+void Mailbox::push(Envelope e) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+namespace {
+bool matches(const Envelope& e, int src, int tag, ContextId ctx) {
+  return e.ctx == ctx && (src == kAnySource || e.src == src) &&
+         (tag == kAnyTag || e.tag == tag);
+}
+}  // namespace
+
+Envelope Mailbox::pop_match(int src, int tag, ContextId ctx) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (matches(*it, src, tag, ctx)) {
+        Envelope e = std::move(*it);
+        q_.erase(it);
+        return e;
+      }
+    }
+    cv_.wait(lk);
+  }
+}
+
+bool Mailbox::try_pop_match(int src, int tag, ContextId ctx, Envelope& out) {
+  std::lock_guard lk(mu_);
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (matches(*it, src, tag, ctx)) {
+      out = std::move(*it);
+      q_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+SharedState::SharedState(int world_size) : mailboxes_(world_size) {
+  LFFT_REQUIRE(world_size > 0, "world size must be positive");
+}
+
+Mailbox& SharedState::mailbox(int world_rank) {
+  LFFT_ASSERT(world_rank >= 0 && world_rank < world_size());
+  return mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+ContextId SharedState::alloc_context(ContextId parent, std::uint64_t epoch,
+                                     int color) {
+  std::lock_guard lk(ctx_mu_);
+  const auto key = std::make_tuple(parent, epoch, color);
+  auto [it, inserted] = ctx_cache_.try_emplace(key, next_ctx_);
+  if (inserted) ++next_ctx_;
+  return it->second;
+}
+
+WindowExposure* SharedState::window_begin(ContextId ctx, std::uint64_t epoch,
+                                          const std::vector<int>& participants,
+                                          int comm_rank,
+                                          std::span<std::byte> local) {
+  std::unique_lock lk(win_mu_);
+  const auto key = std::make_pair(ctx, epoch);
+  WindowSlot& slot = windows_[key];
+  if (slot.expected == 0) {
+    slot.expected = static_cast<int>(participants.size());
+    slot.exposure.spans.resize(participants.size());
+    // deque: mutexes are neither movable nor copyable.
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      slot.exposure.target_locks.emplace_back();
+    }
+  }
+  LFFT_ASSERT(comm_rank >= 0 &&
+              comm_rank < static_cast<int>(slot.exposure.spans.size()));
+  slot.exposure.spans[static_cast<std::size_t>(comm_rank)] = local;
+  ++slot.contributions;
+  if (slot.contributions == slot.expected) {
+    slot.cv.notify_all();
+  } else {
+    slot.cv.wait(lk, [&] { return slot.contributions == slot.expected; });
+  }
+  return &slot.exposure;
+}
+
+void SharedState::window_end(ContextId ctx, std::uint64_t epoch) {
+  std::lock_guard lk(win_mu_);
+  const auto key = std::make_pair(ctx, epoch);
+  auto it = windows_.find(key);
+  if (it == windows_.end()) return;  // Already reclaimed by the last leaver.
+  // Each leaver decrements; the last one erases the slot. Callers must have
+  // synchronized (fence) before destroying the window, which Window does.
+  if (--it->second.contributions == 0) windows_.erase(it);
+}
+
+}  // namespace lossyfft::minimpi::detail

@@ -1,0 +1,98 @@
+// Process-wide shared state backing a minimpi world: one mailbox per rank,
+// context-id allocation for communicator splits, and the exposed-buffer
+// registry used by one-sided windows.
+//
+// Internal to minimpi; user code interacts through Runtime/Comm/Window.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace lossyfft::minimpi::detail {
+
+/// One in-flight eager message.
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  ContextId ctx = 0;
+  std::vector<std::byte> data;
+};
+
+/// Per-rank receive queue with MPI-style (source, tag, context) matching.
+/// Matching is FIFO per (src, tag, ctx) triple: the first enqueued envelope
+/// that satisfies the pattern wins, which preserves MPI's non-overtaking
+/// guarantee for messages between a fixed pair of ranks.
+class Mailbox {
+ public:
+  void push(Envelope e);
+
+  /// Block until an envelope matching (src|kAnySource, tag|kAnyTag, ctx)
+  /// is available and return it.
+  Envelope pop_match(int src, int tag, ContextId ctx);
+
+  /// Non-blocking variant; returns false if nothing matches right now.
+  bool try_pop_match(int src, int tag, ContextId ctx, Envelope& out);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> q_;
+};
+
+/// Window exposure record: where rank r's exposed span lives.
+struct WindowExposure {
+  std::vector<std::span<std::byte>> spans;  // Indexed by comm rank.
+  /// Serializes concurrent accumulates (MPI guarantees element-wise
+  /// atomicity for same-op accumulates; a window-wide lock is the simple
+  /// conservative implementation).
+  std::mutex accumulate_mu;
+  /// Per-target passive-target locks (MPI_Win_lock, exclusive mode).
+  std::deque<std::mutex> target_locks;
+};
+
+/// State shared by every rank thread of one Runtime.
+class SharedState {
+ public:
+  explicit SharedState(int world_size);
+
+  int world_size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int world_rank);
+
+  /// Collectively consistent context-id allocation: every rank calling with
+  /// the same (parent ctx, epoch, color) gets the same fresh id.
+  ContextId alloc_context(ContextId parent, std::uint64_t epoch, int color);
+
+  /// Window registry. Windows are created collectively; `register_window`
+  /// is called once per rank and returns the shared exposure record once
+  /// every participant has contributed (last caller completes it).
+  /// `participants` lists world ranks in communicator order.
+  WindowExposure* window_begin(ContextId ctx, std::uint64_t epoch,
+                               const std::vector<int>& participants,
+                               int comm_rank, std::span<std::byte> local);
+  void window_end(ContextId ctx, std::uint64_t epoch);
+
+ private:
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex ctx_mu_;
+  ContextId next_ctx_ = 1;
+  std::map<std::tuple<ContextId, std::uint64_t, int>, ContextId> ctx_cache_;
+
+  struct WindowSlot {
+    WindowExposure exposure;
+    int contributions = 0;
+    int expected = 0;
+    std::condition_variable cv;
+  };
+  std::mutex win_mu_;
+  std::map<std::pair<ContextId, std::uint64_t>, WindowSlot> windows_;
+};
+
+}  // namespace lossyfft::minimpi::detail

@@ -1,0 +1,33 @@
+// Shared message-passing vocabulary for the minimpi runtime.
+//
+// minimpi is this project's stand-in for MPI: ranks are threads inside one
+// process, messages are real byte transfers, and the API mirrors the MPI
+// subset the paper's algorithms need (pt2pt with tag matching, collectives,
+// one-sided windows with fence synchronization).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lossyfft::minimpi {
+
+/// Wildcard source for recv.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv.
+inline constexpr int kAnyTag = -1;
+
+/// Completion information for a receive.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Reduction operator for reduce/allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Context id distinguishing communicators; messages only match within
+/// their communicator, as in MPI.
+using ContextId = std::uint64_t;
+
+}  // namespace lossyfft::minimpi

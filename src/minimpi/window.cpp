@@ -1,0 +1,130 @@
+#include "minimpi/window.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lossyfft::minimpi {
+
+Window::Window(Comm& comm, std::span<std::byte> local)
+    : comm_(comm), epoch_(comm.next_window_epoch()) {
+  exposure_ = comm_.state().window_begin(comm_.context(), epoch_, comm_.group(),
+                                         comm_.rank(), local);
+  // All ranks must have registered before anyone puts; window_begin already
+  // blocks until the exposure is complete, and the barrier additionally
+  // guarantees every rank has *returned* from registration before the slot
+  // can later be torn down (see SharedState::window_end).
+  comm_.barrier();
+}
+
+Window::~Window() {
+  // Close the access epoch collectively before releasing the exposure so no
+  // rank can still be putting into a buffer whose record we drop.
+  comm_.barrier();
+  comm_.state().window_end(comm_.context(), epoch_);
+}
+
+void Window::put(std::span<const std::byte> origin, int target_rank,
+                 std::size_t target_offset) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "put: bad target rank");
+  std::span<std::byte> target =
+      exposure_->spans[static_cast<std::size_t>(target_rank)];
+  LFFT_REQUIRE(target_offset + origin.size() <= target.size(),
+               "put: write beyond target window");
+  if (!origin.empty()) {
+    std::memcpy(target.data() + target_offset, origin.data(), origin.size());
+  }
+}
+
+void Window::get(std::span<std::byte> dest, int target_rank,
+                 std::size_t target_offset) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "get: bad target rank");
+  std::span<std::byte> target =
+      exposure_->spans[static_cast<std::size_t>(target_rank)];
+  LFFT_REQUIRE(target_offset + dest.size() <= target.size(),
+               "get: read beyond target window");
+  if (!dest.empty()) {
+    std::memcpy(dest.data(), target.data() + target_offset, dest.size());
+  }
+}
+
+void Window::accumulate_add(std::span<const double> origin, int target_rank,
+                            std::size_t target_offset) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "accumulate: bad target rank");
+  std::span<std::byte> target =
+      exposure_->spans[static_cast<std::size_t>(target_rank)];
+  LFFT_REQUIRE(target_offset % sizeof(double) == 0,
+               "accumulate: offset must be double-aligned");
+  LFFT_REQUIRE(target_offset + origin.size() * sizeof(double) <= target.size(),
+               "accumulate: write beyond target window");
+  if (origin.empty()) return;
+  std::lock_guard lk(exposure_->accumulate_mu);
+  for (std::size_t i = 0; i < origin.size(); ++i) {
+    double v;
+    std::memcpy(&v, target.data() + target_offset + i * sizeof(double),
+                sizeof(double));
+    v += origin[i];
+    std::memcpy(target.data() + target_offset + i * sizeof(double), &v,
+                sizeof(double));
+  }
+}
+
+void Window::fence() { comm_.barrier(); }
+
+namespace {
+// High tags reserved for PSCW handshakes, clear of user and collective tags.
+constexpr int kPostTag = (1 << 28) + 64;
+constexpr int kCompleteTag = (1 << 28) + 65;
+}  // namespace
+
+void Window::post(std::span<const int> origins) {
+  LFFT_REQUIRE(pscw_origins_.empty(), "post: exposure epoch already open");
+  pscw_origins_.assign(origins.begin(), origins.end());
+  for (const int o : pscw_origins_) {
+    comm_.send(std::span<const std::byte>{}, o, kPostTag);
+  }
+}
+
+void Window::start(std::span<const int> targets) {
+  LFFT_REQUIRE(pscw_targets_.empty(), "start: access epoch already open");
+  pscw_targets_.assign(targets.begin(), targets.end());
+  for (const int t : pscw_targets_) {
+    comm_.recv(std::span<std::byte>{}, t, kPostTag);
+  }
+}
+
+void Window::complete() {
+  for (const int t : pscw_targets_) {
+    comm_.send(std::span<const std::byte>{}, t, kCompleteTag);
+  }
+  pscw_targets_.clear();
+}
+
+void Window::wait_posted() {
+  for (const int o : pscw_origins_) {
+    comm_.recv(std::span<std::byte>{}, o, kCompleteTag);
+  }
+  pscw_origins_.clear();
+}
+
+void Window::lock(int target_rank) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "lock: bad target rank");
+  exposure_->target_locks[static_cast<std::size_t>(target_rank)].lock();
+}
+
+void Window::unlock(int target_rank) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "unlock: bad target rank");
+  exposure_->target_locks[static_cast<std::size_t>(target_rank)].unlock();
+}
+
+std::size_t Window::size_at(int rank) const {
+  LFFT_REQUIRE(rank >= 0 && rank < comm_.size(), "size_at: bad rank");
+  return exposure_->spans[static_cast<std::size_t>(rank)].size();
+}
+
+}  // namespace lossyfft::minimpi

@@ -1,0 +1,84 @@
+// One-sided communication window (RMA), mirroring the MPI subset used by
+// Algorithm 3 of the paper: expose a receive buffer, `put` into remote
+// memory, synchronize with `fence`.
+//
+// Because ranks share an address space, a put is a direct memcpy into the
+// target's exposed buffer. The MPI correctness contract still applies and is
+// what the paper's algorithm guarantees by construction: between two fences,
+// no two ranks put into overlapping target regions, and a target does not
+// read regions being put. Fences carry the happens-before edges.
+#pragma once
+
+#include <span>
+
+#include "minimpi/comm.hpp"
+
+namespace lossyfft::minimpi {
+
+class Window {
+ public:
+  /// Collective: every rank of `comm` exposes `local`. Spans may have
+  /// different sizes per rank (as with MPI_Win_create).
+  Window(Comm& comm, std::span<std::byte> local);
+
+  /// Collective destruction: fences, then releases the exposure record.
+  ~Window();
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  /// Copy `origin` into `target_rank`'s exposed buffer at `target_offset`.
+  /// Must be called inside an access epoch (between fences). Completes
+  /// locally immediately (shared memory), like a blocking MPI_Put+flush.
+  void put(std::span<const std::byte> origin, int target_rank,
+           std::size_t target_offset);
+
+  /// Copy from `target_rank`'s exposed buffer into `dest`.
+  void get(std::span<std::byte> dest, int target_rank,
+           std::size_t target_offset);
+
+  /// MPI_Accumulate with MPI_SUM over doubles: element-wise add `origin`
+  /// into the target window at byte offset `target_offset` (must be
+  /// 8-aligned relative to the exposed buffer start). Unlike put,
+  /// concurrent accumulates to overlapping regions are well-defined.
+  void accumulate_add(std::span<const double> origin, int target_rank,
+                      std::size_t target_offset);
+
+  /// Collective epoch separator (MPI_Win_fence): all puts issued before the
+  /// fence are visible at their targets after it.
+  void fence();
+
+  // --- Generalized active-target synchronization (PSCW) -------------------
+  // MPI_Win_post/start/complete/wait: epochs scoped to the listed ranks,
+  // so synchronization costs O(group) messages instead of a global fence —
+  // exactly what a ring round needs (one node pair per round).
+
+  /// Target side: expose the window to `origins` for one epoch.
+  void post(std::span<const int> origins);
+  /// Origin side: begin an access epoch to `targets` (blocks until each
+  /// has posted).
+  void start(std::span<const int> targets);
+  /// Origin side: end the access epoch; puts become visible at targets.
+  void complete();
+  /// Target side: block until every origin of the posted epoch completed.
+  void wait_posted();
+
+  // --- Passive-target synchronization (lock/unlock) -----------------------
+  /// Acquire an exclusive access epoch to `target_rank`'s window
+  /// (MPI_Win_lock with MPI_LOCK_EXCLUSIVE): the target takes no part.
+  /// Puts/gets/accumulates issued before unlock() are atomic with respect
+  /// to other lock() holders and visible at the target after unlock().
+  void lock(int target_rank);
+  void unlock(int target_rank);
+
+  std::size_t size_at(int rank) const;
+
+ private:
+  Comm& comm_;
+  std::uint64_t epoch_;
+  detail::WindowExposure* exposure_ = nullptr;
+  std::vector<int> pscw_targets_;  // Open access epoch (start..complete).
+  std::vector<int> pscw_origins_;  // Open exposure epoch (post..wait).
+};
+
+}  // namespace lossyfft::minimpi

@@ -1,0 +1,26 @@
+// Flow-level discrete-event network simulator.
+//
+// A finer-grained alternative to the bulk-synchronous phase model in
+// model.hpp: every message becomes a flow with a remaining byte count;
+// at each event the simulator computes a max-min fair rate allocation
+// over the shared resources (per-node inter-node egress and ingress
+// capacity, per-node intra-node fabric) via progressive filling, then
+// advances time to the next flow completion. Phases remain synchronization
+// barriers, as in the algorithms being modeled.
+//
+// Use this engine to sanity-check the phase model's aggregates (they agree
+// on uncontended schedules and bracket each other under contention — see
+// netsim tests and bench_ablation_algos); the phase model stays the
+// default because it is O(messages) instead of O(completions * flows).
+#pragma once
+
+#include "netsim/model.hpp"
+
+namespace lossyfft::netsim {
+
+/// Event-driven timing of `sched` under max-min fair sharing. Semantics of
+/// per-message overhead, latency and phase barriers follow `simulate`.
+SimResult simulate_flows(const Topology& topo, const Schedule& sched,
+                         const NetworkParams& params);
+
+}  // namespace lossyfft::netsim

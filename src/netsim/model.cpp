@@ -1,0 +1,95 @@
+#include "netsim/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lossyfft::netsim {
+
+namespace {
+
+double effective_inter_bw(const NetworkParams& p, double flows) {
+  if (flows <= p.congestion_f0) return p.inter_bw;
+  const double penalty =
+      p.congestion_gamma * (std::log2(flows) - std::log2(p.congestion_f0));
+  return p.inter_bw / (1.0 + penalty);
+}
+
+}  // namespace
+
+SimResult simulate(const Topology& topo, const Schedule& sched,
+                   const NetworkParams& params) {
+  SimResult result;
+  const std::size_t n = static_cast<std::size_t>(topo.nodes);
+  const double msg_overhead = sched.semantics == Semantics::kTwoSided
+                                  ? params.msg_overhead_two_sided
+                                  : params.msg_overhead_one_sided;
+
+  std::vector<double> egress(n), ingress(n), intra(n);
+  std::vector<double> msgs(n), flows(n);
+
+  for (const Phase& phase : sched.phases) {
+    std::fill(egress.begin(), egress.end(), 0.0);
+    std::fill(ingress.begin(), ingress.end(), 0.0);
+    std::fill(intra.begin(), intra.end(), 0.0);
+    std::fill(msgs.begin(), msgs.end(), 0.0);
+    std::fill(flows.begin(), flows.end(), 0.0);
+
+    for (const Message& m : phase.messages) {
+      LFFT_REQUIRE(m.src >= 0 && m.src < topo.ranks() && m.dst >= 0 &&
+                       m.dst < topo.ranks(),
+                   "message rank outside topology");
+      result.total_bytes += m.bytes;
+      const auto sn = static_cast<std::size_t>(topo.node_of(m.src));
+      const auto dn = static_cast<std::size_t>(topo.node_of(m.dst));
+      if (sn == dn) {
+        if (m.src != m.dst) intra[sn] += static_cast<double>(m.bytes);
+        continue;  // Self-copies are free; intra-node puts cost bandwidth.
+      }
+      result.inter_node_bytes += m.bytes;
+      egress[sn] += static_cast<double>(m.bytes);
+      ingress[dn] += static_cast<double>(m.bytes);
+      msgs[sn] += 1.0;
+      flows[sn] += 1.0;
+      flows[dn] += 1.0;
+    }
+
+    double phase_time = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double bw = effective_inter_bw(params, flows[i]);
+      const double wire = std::max(egress[i], ingress[i]) / bw;
+      const double local = intra[i] / params.intra_bw;
+      const double overhead = msgs[i] * msg_overhead;
+      phase_time = std::max(phase_time, wire + local + overhead);
+    }
+    phase_time += params.base_latency;
+    if (sched.phase_barrier) {
+      const double levels =
+          std::ceil(std::log2(std::max(2, topo.ranks())));
+      phase_time += params.barrier_hop_latency * levels;
+    }
+    result.seconds += phase_time;
+  }
+  return result;
+}
+
+double pipeline_time(std::uint64_t input_bytes, double compression_rate,
+                     int chunks, double wire_seconds_per_byte,
+                     const NetworkParams& params) {
+  LFFT_REQUIRE(chunks >= 1, "pipeline needs at least one chunk");
+  LFFT_REQUIRE(compression_rate >= 1.0, "compression rate must be >= 1");
+  const double in_bytes = static_cast<double>(input_bytes);
+  const double chunk_in = in_bytes / chunks;
+  const double chunk_wire = chunk_in / compression_rate * wire_seconds_per_byte;
+  const double chunk_comp = chunk_in / params.compress_bw + params.kernel_launch;
+
+  // Chunk 1 must be compressed before anything moves; afterwards the wire
+  // and the compressor run concurrently, so each remaining step is paced by
+  // the slower of the two; the final chunk's transfer cannot overlap.
+  const double steady = std::max(chunk_wire, chunk_comp);
+  return chunk_comp + (chunks - 1) * steady + chunk_wire;
+}
+
+}  // namespace lossyfft::netsim

@@ -1,0 +1,107 @@
+// Bulk-synchronous contention model for timing communication schedules.
+//
+// The paper's performance results (Fig. 3 and Fig. 4) were measured on
+// Summit; this workspace has one CPU core, so we reproduce the *shape* of
+// those results by timing the exact message schedules our all-to-all
+// implementations emit under a calibrated analytic model.
+//
+// A Schedule is a list of Phases; messages inside a phase run concurrently
+// and phases are separated by the algorithm's own synchronization (a ring
+// step, a fence). Per phase and per node we charge:
+//
+//   time(node) = inter_bytes / eff_bw(flows) + n_messages * msg_overhead
+//              + intra_bytes / intra_bw
+//   eff_bw(f)  = inter_bw / (1 + congestion_gamma * max(0, log2(f) - log2(f0)))
+//
+// The log-shaped congestion term models the endpoint/rerouting pressure the
+// paper blames for the default MPI_Alltoall collapse under the one-phase
+// "message storm" (Section V): a node with thousands of concurrent flows
+// sustains a fraction of its injection bandwidth, while the ring's handful
+// of flows per phase keeps eff_bw near peak. Two-sided messages carry a
+// larger per-message overhead (rendezvous handshake) than one-sided puts.
+//
+// Constants live in NetworkParams and are calibrated once in
+// bench/fig3 against the paper's reported endpoints (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace lossyfft::netsim {
+
+/// One point-to-point transfer inside a phase. Ranks are world ranks.
+struct Message {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Messages that are in flight concurrently between two synchronization
+/// points of the algorithm.
+struct Phase {
+  std::vector<Message> messages;
+};
+
+/// Whether per-message costs follow two-sided (rendezvous handshake) or
+/// one-sided (put) semantics.
+enum class Semantics { kTwoSided, kOneSided };
+
+struct Schedule {
+  std::vector<Phase> phases;
+  Semantics semantics = Semantics::kTwoSided;
+  /// Extra per-phase synchronization cost multiplier (e.g. a fence costs a
+  /// log(p)-depth barrier); 0 for algorithms that synchronize pairwise.
+  bool phase_barrier = false;
+};
+
+/// Calibrated machine constants. Defaults approximate Summit as described
+/// in Section VI (bandwidths) with overhead/congestion terms fitted to the
+/// paper's Fig. 3 endpoints.
+struct NetworkParams {
+  double intra_bw = 50e9;          // Bytes/s within a node.
+  double inter_bw = 25e9;          // Bytes/s node injection (2 IB lanes).
+  double base_latency = 3e-6;      // Per-phase network latency (s).
+  double msg_overhead_two_sided = 1.0e-6;   // NIC occupancy per message (s).
+  double msg_overhead_one_sided = 0.25e-6;  // Puts skip the handshake.
+  double congestion_gamma = 0.30;  // Strength of the flow-count penalty.
+  double congestion_f0 = 32.0;     // Flows per node below which no penalty.
+  double barrier_hop_latency = 1e-6;  // Per-tree-level cost of a fence.
+
+  // Compression engine (GPU kernels in the paper, Section V-B): bytes of
+  // *input* processed per second, and fixed kernel launch cost per chunk.
+  double compress_bw = 200e9;
+  double kernel_launch = 4e-6;
+};
+
+/// Result of timing a schedule.
+struct SimResult {
+  double seconds = 0.0;
+  std::uint64_t total_bytes = 0;       // Payload summed over all messages.
+  std::uint64_t inter_node_bytes = 0;  // Subset crossing node boundaries.
+
+  /// Average per-node bandwidth as the paper plots it in Fig. 3: bytes sent
+  /// by a node (intra + inter) divided by completion time.
+  double node_bandwidth(const Topology& topo) const {
+    return seconds > 0.0
+               ? static_cast<double>(total_bytes) / topo.nodes / seconds
+               : 0.0;
+  }
+};
+
+/// Time `sched` on `topo` under `params`.
+SimResult simulate(const Topology& topo, const Schedule& sched,
+                   const NetworkParams& params);
+
+/// Time of the paper's compression/transfer pipeline (Section V-B): the
+/// payload is split into `chunks` pieces, chunk k+1 is compressed while
+/// chunk k (already compressed, `1/rate` of its input size) is on the wire.
+/// Total = compress(first chunk) + max-rate-limited overlap of the rest
+/// + transfer(last chunk). `wire_seconds_per_byte` prices a compressed byte
+/// on the network (caller derives it from the schedule context).
+double pipeline_time(std::uint64_t input_bytes, double compression_rate,
+                     int chunks, double wire_seconds_per_byte,
+                     const NetworkParams& params);
+
+}  // namespace lossyfft::netsim

@@ -1,0 +1,31 @@
+// Hierarchical machine description for the network performance model.
+//
+// The paper's evaluation machine is Summit: dual-socket nodes with 6 GPUs
+// and one MPI process per GPU, ~50 GB/s effective intra-node bandwidth and
+// two InfiniBand lanes for 25 GB/s of theoretical node injection bandwidth
+// (Section VI). `summit()` encodes those constants; experiments at other
+// scales construct their own instances.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace lossyfft::netsim {
+
+struct Topology {
+  int nodes = 1;
+  int gpus_per_node = 6;
+
+  /// Node id of a (world) rank under the paper's even GPU mapping.
+  int node_of(int rank) const { return rank / gpus_per_node; }
+  int ranks() const { return nodes * gpus_per_node; }
+
+  static Topology make(int nodes, int gpus_per_node) {
+    LFFT_REQUIRE(nodes > 0 && gpus_per_node > 0, "bad topology extents");
+    return Topology{nodes, gpus_per_node};
+  }
+
+  /// Summit-shaped topology with the given node count.
+  static Topology summit(int nodes) { return make(nodes, 6); }
+};
+
+}  // namespace lossyfft::netsim

@@ -1,0 +1,321 @@
+#include "osc/osc_alltoall.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/truncate.hpp"
+#include "minimpi/alltoall.hpp"
+#include "minimpi/window.hpp"
+#include "netsim/model.hpp"
+#include "osc/schedule.hpp"
+
+namespace lossyfft::osc {
+
+namespace {
+
+CodecPtr effective_codec(const OscOptions& options) {
+  return options.codec ? options.codec
+                       : std::make_shared<const IdentityCodec>();
+}
+
+void validate(const minimpi::Comm& comm, std::span<const std::uint64_t> sc,
+              std::span<const std::uint64_t> sd,
+              std::span<const std::uint64_t> rc,
+              std::span<const std::uint64_t> rd) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  LFFT_REQUIRE(sc.size() == p && sd.size() == p && rc.size() == p &&
+                   rd.size() == p,
+               "alltoallv: counts/displs must have comm.size() entries");
+}
+
+}  // namespace
+
+int plan_pipeline_chunks(std::uint64_t payload_bytes, double rate) {
+  const netsim::NetworkParams params;
+  const double wire_sb = 1.0 / params.inter_bw;
+  double best_t = 0.0;
+  int best = 0;
+  // Strict improvement keeps ties at fewer chunks (less per-chunk cost).
+  for (int c = 1; c <= 64; c <<= 1) {
+    const double t = netsim::pipeline_time(
+        std::max<std::uint64_t>(payload_bytes, 1), std::max(rate, 1.0), c,
+        wire_sb, params);
+    if (best == 0 || t < best_t) {
+      best_t = t;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> chunk_partition(std::uint64_t count, int chunks) {
+  LFFT_REQUIRE(chunks >= 1, "chunk_partition: need chunks >= 1");
+  std::vector<std::uint64_t> sizes;
+  if (count == 0) return sizes;
+  // Even split rounded up to a multiple of 4 (zfpx block size); the tail
+  // chunk absorbs the remainder.
+  std::uint64_t per = (count + static_cast<std::uint64_t>(chunks) - 1) /
+                      static_cast<std::uint64_t>(chunks);
+  per = (per + 3) / 4 * 4;
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t c = std::min(per, count - done);
+    sizes.push_back(c);
+    done += c;
+  }
+  return sizes;
+}
+
+ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
+                            std::span<const std::uint64_t> sendcounts,
+                            std::span<const std::uint64_t> senddispls,
+                            std::span<double> recv,
+                            std::span<const std::uint64_t> recvcounts,
+                            std::span<const std::uint64_t> recvdispls,
+                            const OscOptions& options) {
+  validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
+  const int p = comm.size();
+  const auto codec = effective_codec(options);
+  // Per-message chunk count: fixed user value, or the pipeline model's
+  // choice for that message size (0 = auto). Both sides derive it from the
+  // element count they already know, so no extra exchange is needed.
+  const auto chunks_for = [&](std::uint64_t count) {
+    if (!codec->fixed_size()) return 1;
+    if (options.chunks > 0) return options.chunks;
+    return plan_pipeline_chunks(count * sizeof(double), codec->nominal_rate());
+  };
+
+  ExchangeStats stats;
+
+  // --- Wire sizes -------------------------------------------------------
+  // Fixed-rate codecs let both sides compute every compressed size locally
+  // (the property Section V-B relies on for truncation). Variable-rate
+  // codecs must compress before they know the wire size, so those sizes
+  // travel through a small uniform all-to-all first.
+  std::vector<std::uint64_t> send_wire(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> recv_wire(static_cast<std::size_t>(p));
+
+  // Per-destination compressed payload staging (compressed up front for
+  // variable codecs; chunk-at-a-time for fixed codecs during the ring).
+  std::vector<std::vector<std::byte>> staged(static_cast<std::size_t>(p));
+
+  if (codec->fixed_size()) {
+    for (int r = 0; r < p; ++r) {
+      std::uint64_t s = 0;
+      for (const std::uint64_t c :
+           chunk_partition(sendcounts[static_cast<std::size_t>(r)],
+                           chunks_for(sendcounts[static_cast<std::size_t>(r)]))) {
+        s += codec->max_compressed_bytes(c);
+      }
+      send_wire[static_cast<std::size_t>(r)] = s;
+      std::uint64_t q = 0;
+      for (const std::uint64_t c :
+           chunk_partition(recvcounts[static_cast<std::size_t>(r)],
+                           chunks_for(recvcounts[static_cast<std::size_t>(r)]))) {
+        q += codec->max_compressed_bytes(c);
+      }
+      recv_wire[static_cast<std::size_t>(r)] = q;
+    }
+  } else {
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      auto& buf = staged[i];
+      buf.resize(codec->max_compressed_bytes(sendcounts[i]));
+      const std::size_t used = codec->compress(
+          send.subspan(senddispls[i], sendcounts[i]), buf);
+      buf.resize(used);
+      send_wire[i] = used;
+    }
+    minimpi::alltoall(comm, std::as_bytes(std::span<const std::uint64_t>(
+                                send_wire)),
+                      std::as_writable_bytes(std::span<std::uint64_t>(
+                          recv_wire)),
+                      sizeof(std::uint64_t));
+  }
+
+  // --- Window layout ----------------------------------------------------
+  // The exposed buffer holds one slot per source, in rank order. Each
+  // receiver computes its own offsets and tells every source where to put
+  // (one uniform all-to-all of u64 offsets).
+  std::vector<std::uint64_t> slot_offset(static_cast<std::size_t>(p));
+  std::uint64_t window_bytes = 0;
+  for (int r = 0; r < p; ++r) {
+    slot_offset[static_cast<std::size_t>(r)] = window_bytes;
+    window_bytes += recv_wire[static_cast<std::size_t>(r)];
+  }
+  std::vector<std::uint64_t> target_offset(static_cast<std::size_t>(p));
+  minimpi::alltoall(
+      comm, std::as_bytes(std::span<const std::uint64_t>(slot_offset)),
+      std::as_writable_bytes(std::span<std::uint64_t>(target_offset)),
+      sizeof(std::uint64_t));
+
+  std::vector<std::byte> window_store(window_bytes);
+  minimpi::Window win(comm, window_store);
+
+  // --- Ring of puts (Algorithm 3) ----------------------------------------
+  const auto rounds = ring_targets(p, options.gpus_per_node, comm.rank());
+  stats.rounds = static_cast<int>(rounds.size());
+  const int nodes = static_cast<int>(rounds.size());
+  const int my_node = comm.rank() / options.gpus_per_node;
+  std::vector<std::byte> chunk_buf;
+  for (int j = 0; j < nodes; ++j) {
+    const auto& round = rounds[static_cast<std::size_t>(j)];
+    std::vector<int> sources;
+    if (options.sync == OscSync::kPscw) {
+      // Round j's puts into me come from the node at ring distance -j.
+      const int src_node = (my_node - j % nodes + nodes) % nodes;
+      const int base = src_node * options.gpus_per_node;
+      for (int r = base; r < std::min(p, base + options.gpus_per_node); ++r) {
+        sources.push_back(r);
+      }
+      win.post(sources);
+      win.start(round);
+    }
+    for (const int dst : round) {
+      const auto d = static_cast<std::size_t>(dst);
+      const std::uint64_t count = sendcounts[d];
+      stats.payload_bytes += count * sizeof(double);
+      if (count == 0) continue;
+      ++stats.messages;
+      if (!codec->fixed_size()) {
+        // Pre-compressed: one put of the whole stream.
+        win.put(staged[d], dst, target_offset[d]);
+        stats.wire_bytes += staged[d].size();
+        ++stats.chunks_issued;
+        continue;
+      }
+      // Pipeline: compress chunk k, put chunk k, move on — the compression
+      // of chunk k+1 overlaps the transfer of chunk k on real hardware
+      // (modeled by netsim::pipeline_time).
+      std::uint64_t elem = 0;
+      std::uint64_t wire_off = 0;
+      for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
+        const std::size_t cap = codec->max_compressed_bytes(c);
+        chunk_buf.resize(cap);
+        const std::size_t used = codec->compress(
+            send.subspan(senddispls[d] + elem, c), chunk_buf);
+        LFFT_ASSERT(used == cap);  // Fixed-size codecs are exact.
+        win.put(std::span<const std::byte>(chunk_buf.data(), used), dst,
+                target_offset[d] + wire_off);
+        elem += c;
+        wire_off += used;
+        stats.wire_bytes += used;
+        ++stats.chunks_issued;
+      }
+    }
+    // End of round: wait for all data movement of this round (line 10).
+    if (options.sync == OscSync::kPscw) {
+      win.complete();
+      win.wait_posted();
+    } else {
+      win.fence();
+    }
+  }
+  if (options.sync == OscSync::kFence) {
+    win.fence();  // Global completion: every slot is now filled.
+  }
+
+  // --- Decompress the received window ------------------------------------
+  for (int src = 0; src < p; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const std::uint64_t count = recvcounts[s];
+    if (count == 0) continue;
+    std::uint64_t elem = 0;
+    std::uint64_t wire_off = 0;
+    if (!codec->fixed_size()) {
+      codec->decompress(
+          std::span<const std::byte>(window_store.data() + slot_offset[s],
+                                     recv_wire[s]),
+          recv.subspan(recvdispls[s], count));
+      continue;
+    }
+    for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
+      const std::size_t cbytes = codec->max_compressed_bytes(c);
+      codec->decompress(
+          std::span<const std::byte>(
+              window_store.data() + slot_offset[s] + wire_off, cbytes),
+          recv.subspan(recvdispls[s] + elem, c));
+      elem += c;
+      wire_off += cbytes;
+    }
+  }
+  return stats;
+}
+
+ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
+                                   std::span<const double> send,
+                                   std::span<const std::uint64_t> sendcounts,
+                                   std::span<const std::uint64_t> senddispls,
+                                   std::span<double> recv,
+                                   std::span<const std::uint64_t> recvcounts,
+                                   std::span<const std::uint64_t> recvdispls,
+                                   const OscOptions& options) {
+  validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
+  const int p = comm.size();
+  const auto codec = effective_codec(options);
+  ExchangeStats stats;
+  stats.rounds = p;
+
+  // Compress every outgoing payload into one contiguous wire buffer.
+  std::vector<std::uint64_t> swire(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> sdispl(static_cast<std::size_t>(p));
+  std::vector<std::byte> sbuf;
+  {
+    std::size_t cap = 0;
+    for (int r = 0; r < p; ++r) {
+      cap += codec->max_compressed_bytes(sendcounts[static_cast<std::size_t>(r)]);
+    }
+    sbuf.resize(cap);
+    std::size_t pos = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      sdispl[i] = pos;
+      const std::size_t used = codec->compress(
+          send.subspan(senddispls[i], sendcounts[i]),
+          std::span<std::byte>(sbuf.data() + pos, sbuf.size() - pos));
+      swire[i] = used;
+      pos += used;
+      stats.payload_bytes += sendcounts[i] * sizeof(double);
+      stats.wire_bytes += used;
+      if (sendcounts[i] > 0) ++stats.messages;
+    }
+    sbuf.resize(pos);
+  }
+
+  // Wire sizes across, then the payload.
+  std::vector<std::uint64_t> rwire(static_cast<std::size_t>(p));
+  if (codec->fixed_size()) {
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      rwire[i] = codec->max_compressed_bytes(recvcounts[i]);
+    }
+  } else {
+    minimpi::alltoall(comm,
+                      std::as_bytes(std::span<const std::uint64_t>(swire)),
+                      std::as_writable_bytes(std::span<std::uint64_t>(rwire)),
+                      sizeof(std::uint64_t));
+  }
+  std::vector<std::uint64_t> rdispl(static_cast<std::size_t>(p));
+  std::uint64_t rtotal = 0;
+  for (int r = 0; r < p; ++r) {
+    rdispl[static_cast<std::size_t>(r)] = rtotal;
+    rtotal += rwire[static_cast<std::size_t>(r)];
+  }
+  std::vector<std::byte> rbuf(rtotal);
+  minimpi::alltoallv(comm, sbuf, swire, sdispl, rbuf, rwire, rdispl,
+                     minimpi::AlltoallAlgorithm::kPairwise);
+
+  for (int src = 0; src < p; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    if (recvcounts[s] == 0) continue;
+    codec->decompress(
+        std::span<const std::byte>(rbuf.data() + rdispl[s], rwire[s]),
+        recv.subspan(recvdispls[s], recvcounts[s]));
+  }
+  stats.chunks_issued = stats.messages;
+  return stats;
+}
+
+}  // namespace lossyfft::osc

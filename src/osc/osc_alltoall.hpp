@@ -1,0 +1,91 @@
+// Compressed all-to-all exchanges over real minimpi ranks.
+//
+// `osc_alltoallv` is Algorithm 3 of the paper: a node-aware ring of
+// one-sided puts over an exposed window, with per-destination payloads
+// compressed in chunks so compression and transfer pipeline (the CUDA
+// stream + completion-counter construction of Section V-B; here the chunk
+// loop is the pipeline and netsim prices its overlap). Decompression of
+// the whole received window happens after the final fence, exactly as the
+// paper does (the RMA API offers no efficient target-side progress hook).
+//
+// `compressed_alltoallv` is the two-sided ablation: same codec, classical
+// pairwise exchange, no window.
+//
+// Payloads are spans of doubles (complex data is viewed as interleaved
+// re/im); counts and displacements are in double elements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "compress/codec.hpp"
+#include "minimpi/comm.hpp"
+
+namespace lossyfft::osc {
+
+/// Per-round synchronization of the one-sided ring.
+enum class OscSync {
+  kFence,  // Global MPI_Win_fence after each round (Algorithm 3 as written).
+  kPscw,   // Scoped post/start/complete/wait with just the round's node
+           // pair: O(gpn) messages instead of an O(log p) barrier.
+};
+
+struct OscOptions {
+  /// Codec for the wire representation; nullptr means no compression.
+  CodecPtr codec;
+  /// Pipeline chunk count per message (>= 1), or 0 to let the Section V-B
+  /// pipeline model pick per message size (plan_pipeline_chunks).
+  /// Variable-rate codecs always use one chunk (their stream is not
+  /// independently splittable).
+  int chunks = 8;
+  /// Ranks per node for the node-aware ring.
+  int gpus_per_node = 6;
+  OscSync sync = OscSync::kFence;
+};
+
+/// Model-driven chunk count: minimizes the compression/transfer pipeline
+/// time for one message of `payload_bytes` compressed at `rate`, over
+/// power-of-two candidates up to 64 (netsim::pipeline_time with default
+/// machine constants). Deterministic, so sender and receiver agree.
+int plan_pipeline_chunks(std::uint64_t payload_bytes, double rate);
+
+struct ExchangeStats {
+  std::uint64_t payload_bytes = 0;  // Uncompressed bytes this rank sent.
+  std::uint64_t wire_bytes = 0;     // Bytes actually put on the wire.
+  int rounds = 0;
+  int messages = 0;
+  int chunks_issued = 0;
+  double seconds = 0.0;  // Wall-clock spent in exchanges (this rank).
+
+  double compression_ratio() const {
+    return wire_bytes > 0 ? static_cast<double>(payload_bytes) /
+                                static_cast<double>(wire_bytes)
+                          : 1.0;
+  }
+};
+
+/// One-sided ring all-to-all with on-the-fly compression (Algorithm 3).
+ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
+                            std::span<const std::uint64_t> sendcounts,
+                            std::span<const std::uint64_t> senddispls,
+                            std::span<double> recv,
+                            std::span<const std::uint64_t> recvcounts,
+                            std::span<const std::uint64_t> recvdispls,
+                            const OscOptions& options);
+
+/// Two-sided pairwise all-to-all with the same codec (ablation baseline).
+ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
+                                   std::span<const double> send,
+                                   std::span<const std::uint64_t> sendcounts,
+                                   std::span<const std::uint64_t> senddispls,
+                                   std::span<double> recv,
+                                   std::span<const std::uint64_t> recvcounts,
+                                   std::span<const std::uint64_t> recvdispls,
+                                   const OscOptions& options);
+
+/// Deterministic pipeline chunk partition of `count` elements into at most
+/// `chunks` pieces (each a multiple of 4 except the last, so block codecs
+/// split cleanly). Shared by compressor and decompressor.
+std::vector<std::uint64_t> chunk_partition(std::uint64_t count, int chunks);
+
+}  // namespace lossyfft::osc

@@ -1,0 +1,116 @@
+#include "osc/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lossyfft::osc {
+
+namespace {
+
+int node_count(int p, int gpn) { return (p + gpn - 1) / gpn; }
+
+}  // namespace
+
+int ring_rounds(int p, int gpn) {
+  LFFT_REQUIRE(p > 0 && gpn > 0, "ring: bad sizes");
+  return node_count(p, gpn);
+}
+
+std::vector<std::vector<int>> ring_targets(int p, int gpn, int me) {
+  LFFT_REQUIRE(me >= 0 && me < p, "ring: bad rank");
+  const int nodes = node_count(p, gpn);
+  const int my_node = me / gpn;
+  const int my_local = me % gpn;
+
+  std::vector<std::vector<int>> rounds(static_cast<std::size_t>(nodes));
+  for (int j = 0; j < nodes; ++j) {
+    const int target_node = (my_node + j) % nodes;
+    const int base = target_node * gpn;
+    const int node_size = std::min(gpn, p - base);
+    auto& targets = rounds[static_cast<std::size_t>(j)];
+    targets.reserve(static_cast<std::size_t>(node_size));
+    // permute[]: stagger the starting index by source-local id and round so
+    // concurrent sources fan out across the destination node's processes.
+    for (int i = 0; i < node_size; ++i) {
+      targets.push_back(base + (my_local + j + i) % node_size);
+    }
+  }
+  return rounds;
+}
+
+netsim::Schedule schedule_linear(int p, int gpn, const BytesFn& bytes) {
+  (void)gpn;
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kTwoSided;
+  netsim::Phase phase;
+  for (int s = 0; s < p; ++s) {
+    for (int j = 1; j < p; ++j) {
+      const int d = (s + j) % p;
+      const std::uint64_t b = bytes(s, d);
+      if (b > 0) phase.messages.push_back({s, d, b});
+    }
+  }
+  sched.phases.push_back(std::move(phase));
+  return sched;
+}
+
+netsim::Schedule schedule_pairwise(int p, int gpn, const BytesFn& bytes) {
+  (void)gpn;
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kTwoSided;
+  for (int j = 1; j < p; ++j) {
+    netsim::Phase phase;
+    for (int s = 0; s < p; ++s) {
+      const int d = (s + j) % p;
+      const std::uint64_t b = bytes(s, d);
+      if (b > 0) phase.messages.push_back({s, d, b});
+    }
+    sched.phases.push_back(std::move(phase));
+  }
+  return sched;
+}
+
+netsim::Schedule schedule_bruck(int p, int gpn, std::uint64_t block_bytes) {
+  (void)gpn;
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kTwoSided;
+  for (int k = 1; k < p; k <<= 1) {
+    // Each rank ships every rotated block with bit k set: that is
+    // ceil over the k-strided pattern; count exactly.
+    std::uint64_t blocks = 0;
+    for (int i = 0; i < p; ++i) {
+      if (i & k) ++blocks;
+    }
+    netsim::Phase phase;
+    for (int s = 0; s < p; ++s) {
+      phase.messages.push_back({s, (s + k) % p, blocks * block_bytes});
+    }
+    sched.phases.push_back(std::move(phase));
+  }
+  return sched;
+}
+
+netsim::Schedule schedule_osc_ring(int p, int gpn, const BytesFn& bytes) {
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kOneSided;
+  sched.phase_barrier = true;  // Fence between rounds.
+  const int rounds = ring_rounds(p, gpn);
+  sched.phases.resize(static_cast<std::size_t>(rounds));
+  for (int s = 0; s < p; ++s) {
+    const auto targets = ring_targets(p, gpn, s);
+    for (int j = 0; j < rounds; ++j) {
+      for (int d : targets[static_cast<std::size_t>(j)]) {
+        if (d == s) continue;
+        const std::uint64_t b = bytes(s, d);
+        if (b > 0) {
+          sched.phases[static_cast<std::size_t>(j)].messages.push_back(
+              {s, d, b});
+        }
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace lossyfft::osc

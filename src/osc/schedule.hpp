@@ -1,0 +1,50 @@
+// Communication schedules for the all-to-all family.
+//
+// Two consumers share these builders:
+//   1. the real OSC executor (osc_alltoall.cpp) walks the node-aware ring
+//      rounds to order its puts;
+//   2. the netsim benches time the *same* schedules at Summit scale for
+//      Fig. 3 / Fig. 4.
+//
+// The node-aware ring (Section V): with n nodes, round j has every node k
+// exchanging only with node (k + j) % n, so at any moment each node's
+// injection bandwidth serves exactly one peer node. Within a round, source
+// processes start at staggered target indices (the paper's permute[]) so no
+// two sources put into the same destination process simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netsim/model.hpp"
+
+namespace lossyfft::osc {
+
+/// Per-pair payload size in bytes; return 0 to skip the pair.
+using BytesFn = std::function<std::uint64_t(int src, int dst)>;
+
+/// Ring round targets for rank `me` in a communicator of `p` ranks grouped
+/// `gpn` per node: result[j] lists the destination ranks of round j in put
+/// order (includes `me` itself in round 0).
+std::vector<std::vector<int>> ring_targets(int p, int gpn, int me);
+
+/// Number of node rounds for p ranks at gpn per node.
+int ring_rounds(int p, int gpn);
+
+/// Classical single-phase all-to-all: every rank posts all p-1 messages at
+/// once (the default MPI_Alltoall "message storm" the paper measures).
+netsim::Schedule schedule_linear(int p, int gpn, const BytesFn& bytes);
+
+/// Classical pairwise exchange: p-1 synchronous phases at rank distance j.
+netsim::Schedule schedule_pairwise(int p, int gpn, const BytesFn& bytes);
+
+/// Bruck: ceil(log2 p) phases; phase k moves all blocks whose rotated index
+/// has bit k set (payload aggregated per pair). Uniform block size only.
+netsim::Schedule schedule_bruck(int p, int gpn, std::uint64_t block_bytes);
+
+/// The paper's OSC ring: one phase per node round, one-sided semantics,
+/// fence (tree barrier) between rounds.
+netsim::Schedule schedule_osc_ring(int p, int gpn, const BytesFn& bytes);
+
+}  // namespace lossyfft::osc

@@ -1,0 +1,117 @@
+#include "softfloat/half.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace lossyfft {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x80000000u;
+constexpr int kF32ExpBias = 127;
+constexpr int kF16ExpBias = 15;
+
+}  // namespace
+
+Half float_to_half(float f) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((u & kF32SignMask) >> 16);
+  const std::uint32_t abs = u & ~kF32SignMask;
+
+  // NaN / Inf.
+  if (abs >= 0x7F800000u) {
+    if (abs > 0x7F800000u) {
+      // Preserve a quiet NaN with some payload bits.
+      return Half{static_cast<std::uint16_t>(sign | 0x7E00u |
+                                             ((abs >> 13) & 0x03FFu))};
+    }
+    return Half{static_cast<std::uint16_t>(sign | 0x7C00u)};
+  }
+
+  const int exp32 = static_cast<int>(abs >> 23);
+  const std::uint32_t man32 = abs & 0x007FFFFFu;
+  int exp16 = exp32 - kF32ExpBias + kF16ExpBias;
+
+  if (exp16 >= 0x1F) {
+    // Overflow: round to infinity.
+    return Half{static_cast<std::uint16_t>(sign | 0x7C00u)};
+  }
+
+  if (exp16 <= 0) {
+    // Subnormal (or zero) in FP16. Shift the significand (with implicit
+    // leading 1 for normal inputs) right and round to nearest even.
+    if (exp16 < -10) return Half{sign};  // Rounds to zero.
+    std::uint32_t sig = man32 | (exp32 != 0 ? 0x00800000u : 0u);
+    const int shift = 14 - exp16;  // Into 10-bit significand position.
+    const std::uint32_t kept = sig >> shift;
+    const std::uint32_t rem = sig & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t out = kept;
+    if (rem > halfway || (rem == halfway && (kept & 1u))) ++out;
+    return Half{static_cast<std::uint16_t>(sign | out)};
+  }
+
+  // Normal number: keep 10 of 23 mantissa bits with RNE; carry may bump
+  // the exponent (including up to infinity), which the addition handles.
+  std::uint32_t out =
+      (static_cast<std::uint32_t>(exp16) << 10) | (man32 >> 13);
+  const std::uint32_t rem = man32 & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return Half{static_cast<std::uint16_t>(sign | out)};
+}
+
+float half_to_float(Half h) {
+  const std::uint16_t u = h.bits;
+  const std::uint32_t sign = static_cast<std::uint32_t>(u & 0x8000u) << 16;
+  const int exp16 = (u >> 10) & 0x1F;
+  const std::uint32_t man16 = u & 0x03FFu;
+
+  if (exp16 == 0x1F) {  // Inf / NaN.
+    return std::bit_cast<float>(sign | 0x7F800000u | (man16 << 13));
+  }
+  if (exp16 == 0) {
+    if (man16 == 0) return std::bit_cast<float>(sign);  // +/- 0.
+    // Subnormal: normalize into FP32.
+    int e = -1;
+    std::uint32_t m = man16;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x0400u) == 0);
+    const std::uint32_t exp32 =
+        static_cast<std::uint32_t>(kF32ExpBias - kF16ExpBias - e);
+    return std::bit_cast<float>(sign | (exp32 << 23) | ((m & 0x03FFu) << 13));
+  }
+  const std::uint32_t exp32 =
+      static_cast<std::uint32_t>(exp16 - kF16ExpBias + kF32ExpBias);
+  return std::bit_cast<float>(sign | (exp32 << 23) | (man16 << 13));
+}
+
+Half double_to_half(double d) { return float_to_half(static_cast<float>(d)); }
+
+double half_to_double(Half h) { return static_cast<double>(half_to_float(h)); }
+
+BFloat16 float_to_bfloat16(float f) {
+  std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x007FFFFFu) != 0) {
+    // NaN: keep it NaN after truncation.
+    return BFloat16{static_cast<std::uint16_t>((u >> 16) | 0x0040u)};
+  }
+  // Round-to-nearest-even on the dropped 16 bits.
+  const std::uint32_t rounding = 0x7FFFu + ((u >> 16) & 1u);
+  u += rounding;
+  return BFloat16{static_cast<std::uint16_t>(u >> 16)};
+}
+
+float bfloat16_to_float(BFloat16 b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b.bits) << 16);
+}
+
+BFloat16 double_to_bfloat16(double d) {
+  return float_to_bfloat16(static_cast<float>(d));
+}
+
+double bfloat16_to_double(BFloat16 b) {
+  return static_cast<double>(bfloat16_to_float(b));
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,47 @@
+// Software IEEE binary16 (FP16) and bfloat16 conversion.
+//
+// The paper's strongest compression setting truncates FP64 payloads down to
+// 16 bits before putting them on the network (compression rate 4). The GPUs
+// do this with native casts; here we implement the casts in software with
+// round-to-nearest-even, preserving IEEE semantics (subnormals, infinities,
+// NaN) so accuracy experiments are faithful.
+#pragma once
+
+#include <cstdint>
+
+namespace lossyfft {
+
+/// IEEE 754 binary16 value held as its 16-bit pattern.
+struct Half {
+  std::uint16_t bits = 0;
+};
+
+/// bfloat16: the top 16 bits of an IEEE binary32 pattern.
+struct BFloat16 {
+  std::uint16_t bits = 0;
+};
+
+/// Convert float -> binary16 with round-to-nearest-even.
+/// Values above the FP16 range become +/-inf; subnormals are produced
+/// where required.
+Half float_to_half(float f);
+
+/// Convert binary16 -> float exactly.
+float half_to_float(Half h);
+
+/// Convert double -> binary16 (via float; double->float uses hardware RNE).
+Half double_to_half(double d);
+
+/// Convert binary16 -> double exactly.
+double half_to_double(Half h);
+
+/// Convert float -> bfloat16 with round-to-nearest-even.
+BFloat16 float_to_bfloat16(float f);
+
+/// Convert bfloat16 -> float exactly (zero-extend the low 16 bits).
+float bfloat16_to_float(BFloat16 b);
+
+BFloat16 double_to_bfloat16(double d);
+double bfloat16_to_double(BFloat16 b);
+
+}  // namespace lossyfft

@@ -1,0 +1,67 @@
+// Floating-point format parameters, reproducing the paper's Table I.
+//
+// All values are computed in closed form from (exponent bits, mantissa
+// bits) rather than hard-coded, so the table regenerates from first
+// principles. Peak throughput entries are the hardware constants the paper
+// lists for NVIDIA V100 and AMD MI100.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lossyfft {
+
+/// Describes one binary floating-point format.
+struct FloatFormat {
+  std::string name;
+  int total_bits = 0;
+  int exponent_bits = 0;
+  int mantissa_bits = 0;  // Stored (explicit) mantissa bits.
+
+  int exponent_bias() const { return (1 << (exponent_bits - 1)) - 1; }
+
+  /// Smallest positive subnormal: 2^(1 - bias - mantissa_bits).
+  double min_subnormal() const {
+    return std::ldexp(1.0, 1 - exponent_bias() - mantissa_bits);
+  }
+
+  /// Smallest positive normal: 2^(1 - bias).
+  double min_normal() const { return std::ldexp(1.0, 1 - exponent_bias()); }
+
+  /// Largest finite value: (2 - 2^-mantissa_bits) * 2^(max_exp - bias).
+  double max_finite() const {
+    const int max_exp = (1 << exponent_bits) - 2;  // All-ones is inf/NaN.
+    return (2.0 - std::ldexp(1.0, -mantissa_bits)) *
+           std::ldexp(1.0, max_exp - exponent_bias());
+  }
+
+  /// Unit roundoff u = 2^-(mantissa_bits + 1) (round-to-nearest).
+  double unit_roundoff() const { return std::ldexp(1.0, -(mantissa_bits + 1)); }
+};
+
+/// One row of Table I: a format plus its peak Tflop/s on the two GPUs the
+/// paper tabulates (V100 entry absent where the paper lists N/A).
+struct TableIRow {
+  FloatFormat format;
+  std::optional<double> peak_tflops_v100;
+  double peak_tflops_mi100 = 0.0;
+};
+
+inline FloatFormat bfloat16_format() { return {"BFloat16", 16, 8, 7}; }
+inline FloatFormat fp16_format() { return {"FP16", 16, 5, 10}; }
+inline FloatFormat fp32_format() { return {"FP32", 32, 8, 23}; }
+inline FloatFormat fp64_format() { return {"FP64", 64, 11, 52}; }
+
+/// The four rows of the paper's Table I.
+inline std::vector<TableIRow> table1_rows() {
+  return {
+      {bfloat16_format(), std::nullopt, 92.0},
+      {fp16_format(), 125.0, 184.0},
+      {fp32_format(), 15.7, 23.0},
+      {fp64_format(), 7.8, 11.5},
+  };
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,45 @@
+#include "softfloat/trim.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+double trim_mantissa(double d, int mantissa_bits) {
+  LFFT_REQUIRE(mantissa_bits >= 0 && mantissa_bits <= 52,
+               "mantissa_bits must be in [0, 52]");
+  if (mantissa_bits == 52 || !std::isfinite(d)) return d;
+
+  std::uint64_t u = std::bit_cast<std::uint64_t>(d);
+  const int drop = 52 - mantissa_bits;
+  const std::uint64_t keep_mask = ~((std::uint64_t{1} << drop) - 1);
+  const std::uint64_t rem = u & ~keep_mask;
+  const std::uint64_t halfway = std::uint64_t{1} << (drop - 1);
+
+  std::uint64_t kept = u & keep_mask;
+  // Round to nearest, ties to even in the retained precision. The increment
+  // can carry into the exponent field, which correctly rounds up to the next
+  // binade (or to infinity at the top of the range) exactly as hardware
+  // rounding would.
+  if (rem > halfway ||
+      (rem == halfway && (kept & (std::uint64_t{1} << drop)) != 0)) {
+    kept += std::uint64_t{1} << drop;
+  }
+  return std::bit_cast<double>(kept);
+}
+
+void trim_mantissa(std::span<double> data, int mantissa_bits) {
+  for (auto& v : data) v = trim_mantissa(v, mantissa_bits);
+}
+
+double unit_roundoff_for_mantissa(int mantissa_bits) {
+  return std::ldexp(1.0, -(mantissa_bits + 1));
+}
+
+double compression_rate_for_mantissa(int mantissa_bits) {
+  return 64.0 / packed_bits_for_mantissa(mantissa_bits);
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,43 @@
+// Mantissa truncation ("bit trimming") of IEEE doubles.
+//
+// Figure 2 of the paper sweeps the number of mantissa bits kept in the
+// communicated data from 52 (full FP64) down past 23 (FP32-equivalent) and
+// studies the FFT accuracy. These routines implement that operation: keep
+// the sign, the 11 exponent bits and the top `m` mantissa bits, rounding to
+// nearest-even in the retained precision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lossyfft {
+
+/// Round `d` to a double whose mantissa uses only the top `mantissa_bits`
+/// bits (0 <= mantissa_bits <= 52). Round-to-nearest-even; the exponent is
+/// kept at full 11-bit width, so range is unchanged (unlike casting to
+/// FP32/FP16). NaN and infinities pass through unchanged.
+double trim_mantissa(double d, int mantissa_bits);
+
+/// Trim every element of `data` in place.
+void trim_mantissa(std::span<double> data, int mantissa_bits);
+
+/// Round-trip a double through FP32 (hardware cast, RNE).
+inline double through_fp32(double d) {
+  return static_cast<double>(static_cast<float>(d));
+}
+
+/// Unit roundoff of a binary format with `mantissa_bits` stored mantissa
+/// bits (implicit leading bit assumed): u = 2^-(mantissa_bits + 1).
+double unit_roundoff_for_mantissa(int mantissa_bits);
+
+/// Number of payload bits per value when a trimmed double is bit-packed for
+/// transmission: 1 sign + 11 exponent + mantissa_bits.
+inline int packed_bits_for_mantissa(int mantissa_bits) {
+  return 12 + mantissa_bits;
+}
+
+/// Communication compression rate achieved by packing trimmed doubles:
+/// 64 / (12 + mantissa_bits).
+double compression_rate_for_mantissa(int mantissa_bits);
+
+}  // namespace lossyfft

@@ -1,0 +1,78 @@
+#include "solver/poisson.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+PoissonSolver::PoissonSolver(minimpi::Comm& comm, std::array<int, 3> n,
+                             double e_tol, PoissonOptions options)
+    : comm_(comm), n_(n), options_(options),
+      fft_(e_tol < 1.0 ? Fft3d<double>(comm, n, e_tol, options.fft)
+                       : Fft3d<double>(comm, n, options.fft)) {
+  LFFT_REQUIRE(options_.shift >= 0.0, "poisson: shift must be >= 0");
+  spec_.resize(fft_.local_count());
+}
+
+void PoissonSolver::apply_symbol(std::span<std::complex<double>> spec,
+                                 bool invert) {
+  // The brick layout of the spectrum matches the input brick: global
+  // frequency index == global grid index, x-fastest.
+  const Box3& box = fft_.inbox();
+  std::size_t idx = 0;
+  for (int z = box.lo[2]; z < box.hi(2); ++z) {
+    const double kz = wavenumber(z, n_[2]);
+    for (int y = box.lo[1]; y < box.hi(1); ++y) {
+      const double ky = wavenumber(y, n_[1]);
+      for (int x = box.lo[0]; x < box.hi(0); ++x) {
+        const double kx = wavenumber(x, n_[0]);
+        const double sym = options_.shift + kx * kx + ky * ky + kz * kz;
+        if (sym == 0.0) {
+          spec[idx] = 0.0;  // Project out the mean (pure Poisson, k = 0).
+        } else {
+          spec[idx] = invert ? spec[idx] / sym : spec[idx] * sym;
+        }
+        ++idx;
+      }
+    }
+  }
+}
+
+void PoissonSolver::solve(std::span<const std::complex<double>> f,
+                          std::span<std::complex<double>> u) {
+  LFFT_REQUIRE(f.size() == local_count() && u.size() == local_count(),
+               "poisson: span sizes must equal local_count()");
+  fft_.forward(f, spec_);
+  apply_symbol(spec_, /*invert=*/true);
+  fft_.backward(spec_, u);
+}
+
+void PoissonSolver::apply(std::span<const std::complex<double>> u,
+                          std::span<std::complex<double>> out) {
+  LFFT_REQUIRE(u.size() == local_count() && out.size() == local_count(),
+               "poisson: span sizes must equal local_count()");
+  fft_.forward(u, spec_);
+  apply_symbol(spec_, /*invert=*/false);
+  fft_.backward(spec_, out);
+}
+
+double PoissonSolver::residual(std::span<const std::complex<double>> f,
+                               std::span<const std::complex<double>> u) {
+  LFFT_REQUIRE(f.size() == local_count() && u.size() == local_count(),
+               "poisson: span sizes must equal local_count()");
+  // r = (-lap + c) u - f, computed spectrally with the same (lossy) FFT.
+  std::vector<std::complex<double>> au(local_count());
+  apply(u, au);
+
+  double sums[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < au.size(); ++i) {
+    const std::complex<double> r = au[i] - f[i];
+    sums[0] += std::norm(r);
+    sums[1] += std::norm(f[i]);
+  }
+  comm_.allreduce(std::span<double>(sums, 2), minimpi::ReduceOp::kSum);
+  return sums[1] > 0.0 ? std::sqrt(sums[0] / sums[1]) : std::sqrt(sums[0]);
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,66 @@
+// Spectral Helmholtz/Poisson solver: the paper's Algorithm 2 use case for
+// approximate FFTs.
+//
+// Solves (-lap(u) + c*u) = f on the periodic cube [0, 2*pi)^3 discretized
+// on an n^3 grid, by forward FFT, pointwise division by (c + |k|^2), and
+// inverse FFT — both transforms performed with the approximate (lossy-
+// communication) 3-D FFT at a user tolerance e_tol. Section III's point:
+// pick e_tol at the discretization error and the lossy FFT is free.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <span>
+
+#include "dfft/fft3d.hpp"
+
+namespace lossyfft {
+
+struct PoissonOptions {
+  /// Helmholtz shift c in (-lap + c); c > 0 keeps the operator invertible.
+  /// With c == 0 the k = 0 mode (the mean) is projected out.
+  double shift = 1.0;
+  Fft3dOptions fft;
+};
+
+class PoissonSolver {
+ public:
+  /// Periodic grid of n points per dimension over `comm`, with lossy FFT
+  /// communication at tolerance `e_tol` (pass >= 1.0 for exact).
+  PoissonSolver(minimpi::Comm& comm, std::array<int, 3> n, double e_tol,
+                PoissonOptions options = {});
+
+  const Box3& box() const { return fft_.inbox(); }
+  std::size_t local_count() const { return fft_.local_count(); }
+
+  /// Solve for the local brick of the right-hand side; `u` receives the
+  /// local brick of the solution. Collective.
+  void solve(std::span<const std::complex<double>> f,
+             std::span<std::complex<double>> u);
+
+  /// out = (-lap + c) u, evaluated spectrally with this solver's FFT
+  /// (so a lossy-wire solver also applies the operator lossily).
+  void apply(std::span<const std::complex<double>> u,
+             std::span<std::complex<double>> out);
+
+  /// Residual ||(-lap + c) u - f|| / ||f|| evaluated spectrally.
+  double residual(std::span<const std::complex<double>> f,
+                  std::span<const std::complex<double>> u);
+
+  Fft3d<double>& fft() { return fft_; }
+
+ private:
+  /// Integer wavenumber of global index i on an n-point periodic grid
+  /// (i > n/2 aliases to negative frequencies).
+  static int wavenumber(int i, int n) { return i <= n / 2 ? i : i - n; }
+
+  void apply_symbol(std::span<std::complex<double>> spec, bool invert);
+
+  minimpi::Comm& comm_;
+  std::array<int, 3> n_;
+  PoissonOptions options_;
+  Fft3d<double> fft_;
+  std::vector<std::complex<double>> spec_;
+};
+
+}  // namespace lossyfft

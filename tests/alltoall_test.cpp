@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "minimpi/alltoall.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace lossyfft::minimpi {
+namespace {
+
+// Each (src, dst, k) cell gets a unique value so misrouted or reordered
+// bytes are caught, not just missing ones.
+double cell_value(int src, int dst, std::size_t k) {
+  return 1000.0 * src + 10.0 * dst + static_cast<double>(k) / 8.0;
+}
+
+void check_uniform_alltoall(int p, std::size_t block_doubles,
+                            AlltoallAlgorithm algo) {
+  run_ranks(p, [=](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<double> send(static_cast<std::size_t>(p) * block_doubles);
+    std::vector<double> recv(send.size(), -1.0);
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t k = 0; k < block_doubles; ++k) {
+        send[static_cast<std::size_t>(d) * block_doubles + k] =
+            cell_value(me, d, k);
+      }
+    }
+    alltoall(comm, std::as_bytes(std::span<const double>(send)),
+             std::as_writable_bytes(std::span<double>(recv)),
+             block_doubles * sizeof(double), algo);
+    for (int s = 0; s < p; ++s) {
+      for (std::size_t k = 0; k < block_doubles; ++k) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(s) * block_doubles + k],
+                  cell_value(s, me, k))
+            << "p=" << p << " algo=" << to_string(algo) << " src=" << s;
+      }
+    }
+  });
+}
+
+struct Case {
+  int ranks;
+  AlltoallAlgorithm algo;
+};
+
+class UniformAlltoallSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(UniformAlltoallSweep, DeliversEveryBlock) {
+  check_uniform_alltoall(GetParam().ranks, 17, GetParam().algo);
+}
+
+TEST_P(UniformAlltoallSweep, ZeroSizeBlocksComplete) {
+  check_uniform_alltoall(GetParam().ranks, 0, GetParam().algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksTimesAlgos, UniformAlltoallSweep,
+    ::testing::Values(Case{1, AlltoallAlgorithm::kLinear},
+                      Case{2, AlltoallAlgorithm::kLinear},
+                      Case{5, AlltoallAlgorithm::kLinear},
+                      Case{8, AlltoallAlgorithm::kLinear},
+                      Case{1, AlltoallAlgorithm::kPairwise},
+                      Case{2, AlltoallAlgorithm::kPairwise},
+                      Case{5, AlltoallAlgorithm::kPairwise},
+                      Case{8, AlltoallAlgorithm::kPairwise},
+                      Case{13, AlltoallAlgorithm::kPairwise},
+                      Case{1, AlltoallAlgorithm::kBruck},
+                      Case{2, AlltoallAlgorithm::kBruck},
+                      Case{3, AlltoallAlgorithm::kBruck},
+                      Case{4, AlltoallAlgorithm::kBruck},
+                      Case{5, AlltoallAlgorithm::kBruck},
+                      Case{7, AlltoallAlgorithm::kBruck},
+                      Case{8, AlltoallAlgorithm::kBruck},
+                      Case{16, AlltoallAlgorithm::kBruck},
+                      Case{13, AlltoallAlgorithm::kBruck}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(to_string(info.param.algo)) + "_p" +
+             std::to_string(info.param.ranks);
+    });
+
+void check_alltoallv(int p, AlltoallAlgorithm algo) {
+  run_ranks(p, [=](Comm& comm) {
+    const int me = comm.rank();
+    // Triangular counts: rank s sends (s + d + 1) doubles to rank d.
+    const auto count = [](int s, int d) {
+      return static_cast<std::uint64_t>(s + d + 1);
+    };
+    std::vector<std::uint64_t> sc(static_cast<std::size_t>(p)),
+        sd(static_cast<std::size_t>(p)), rc(static_cast<std::size_t>(p)),
+        rd(static_cast<std::size_t>(p));
+    std::uint64_t stot = 0, rtot = 0;
+    for (int r = 0; r < p; ++r) {
+      sc[static_cast<std::size_t>(r)] = count(me, r) * sizeof(double);
+      rc[static_cast<std::size_t>(r)] = count(r, me) * sizeof(double);
+      sd[static_cast<std::size_t>(r)] = stot;
+      rd[static_cast<std::size_t>(r)] = rtot;
+      stot += sc[static_cast<std::size_t>(r)];
+      rtot += rc[static_cast<std::size_t>(r)];
+    }
+    std::vector<double> send(stot / 8), recv(rtot / 8, -1.0);
+    for (int d = 0; d < p; ++d) {
+      double* blk = send.data() + sd[static_cast<std::size_t>(d)] / 8;
+      for (std::uint64_t k = 0; k < count(me, d); ++k) {
+        blk[k] = cell_value(me, d, k);
+      }
+    }
+    alltoallv(comm, std::as_bytes(std::span<const double>(send)), sc, sd,
+              std::as_writable_bytes(std::span<double>(recv)), rc, rd, algo);
+    for (int s = 0; s < p; ++s) {
+      const double* blk = recv.data() + rd[static_cast<std::size_t>(s)] / 8;
+      for (std::uint64_t k = 0; k < count(s, me); ++k) {
+        EXPECT_EQ(blk[k], cell_value(s, me, k)) << s << "," << k;
+      }
+    }
+  });
+}
+
+class AlltoallvSweep
+    : public ::testing::TestWithParam<std::tuple<int, AlltoallAlgorithm>> {};
+
+TEST_P(AlltoallvSweep, UnevenCountsRouteCorrectly) {
+  check_alltoallv(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksTimesAlgos, AlltoallvSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 6, 9, 12),
+                       ::testing::Values(AlltoallAlgorithm::kLinear,
+                                         AlltoallAlgorithm::kPairwise)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<1>(info.param))) + "_p" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(Alltoallv, EmptyLanesAreSkipped) {
+  // Some pairs exchange nothing at all.
+  run_ranks(4, [](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<std::uint64_t> sc(4, 0), sd(4, 0), rc(4, 0), rd(4, 0);
+    // Only rank 0 -> rank 3 carries data.
+    std::vector<double> send, recv;
+    if (me == 0) {
+      send = {7.0, 8.0};
+      sc[3] = 16;
+    }
+    if (me == 3) {
+      recv.resize(2, -1.0);
+      rc[0] = 16;
+    }
+    alltoallv(comm, std::as_bytes(std::span<const double>(send)), sc, sd,
+              std::as_writable_bytes(std::span<double>(recv)), rc, rd,
+              AlltoallAlgorithm::kPairwise);
+    if (me == 3) {
+      EXPECT_EQ(recv[0], 7.0);
+      EXPECT_EQ(recv[1], 8.0);
+    }
+  });
+}
+
+TEST(Alltoallv, RejectsWrongArity) {
+  run_ranks(2, [](Comm& comm) {
+    std::vector<std::uint64_t> bad(1, 0);
+    std::vector<std::uint64_t> good(2, 0);
+    EXPECT_THROW(alltoallv(comm, {}, bad, good, {}, good, good,
+                           AlltoallAlgorithm::kPairwise),
+                 Error);
+    comm.barrier();
+  });
+}
+
+TEST(Alltoall, BruckMatchesPairwiseResults) {
+  run_ranks(6, [](Comm& comm) {
+    const std::size_t blk = 48;  // Bytes.
+    std::vector<std::byte> send(6 * blk), r1(6 * blk), r2(6 * blk);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = static_cast<std::byte>((comm.rank() * 131 + i) & 0xFF);
+    }
+    alltoall(comm, send, r1, blk, AlltoallAlgorithm::kPairwise);
+    alltoall(comm, send, r2, blk, AlltoallAlgorithm::kBruck);
+    EXPECT_EQ(r1, r2);
+  });
+}
+
+TEST(Alltoall, AutoDispatchDeliversForSmallAndLargeBlocks) {
+  run_ranks(6, [](Comm& comm) {
+    // One block size below the Bruck threshold, one above.
+    for (const std::size_t blk : {std::size_t{64}, kBruckThresholdBytes * 2}) {
+      std::vector<std::byte> send(6 * blk), want(6 * blk), got(6 * blk);
+      for (std::size_t i = 0; i < send.size(); ++i) {
+        send[i] = static_cast<std::byte>((comm.rank() * 37 + i) & 0xFF);
+      }
+      alltoall(comm, send, want, blk, AlltoallAlgorithm::kPairwise);
+      alltoall(comm, send, got, blk, AlltoallAlgorithm::kAuto);
+      EXPECT_EQ(got, want) << blk;
+    }
+  });
+}
+
+TEST(Alltoallv, AutoFallsBackToPairwise) {
+  check_alltoallv(5, AlltoallAlgorithm::kAuto);
+}
+
+TEST(Alltoall, RepeatedCallsStayConsistent) {
+  run_ranks(4, [](Comm& comm) {
+    const std::size_t blk = 8;
+    for (int iter = 0; iter < 10; ++iter) {
+      std::vector<double> send(4), recv(4, -1);
+      for (int d = 0; d < 4; ++d) {
+        send[static_cast<std::size_t>(d)] = comm.rank() * 100 + d + iter;
+      }
+      alltoall(comm, std::as_bytes(std::span<const double>(send)),
+               std::as_writable_bytes(std::span<double>(recv)), blk,
+               AlltoallAlgorithm::kPairwise);
+      for (int s = 0; s < 4; ++s) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(s)],
+                  s * 100 + comm.rank() + iter);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft::minimpi

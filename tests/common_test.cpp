@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace lossyfft {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformRangeRespected) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(11);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, BelowIsInRangeAndCoversValues) {
+  Xoshiro256 rng(13);
+  std::array<int, 7> hits{};
+  for (int i = 0; i < 7000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (const int h : hits) EXPECT_GT(h, 700);
+}
+
+TEST(Xoshiro256, BelowZeroThrows) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(FillHelpers, UniformComplexFillsBothParts) {
+  Xoshiro256 rng(3);
+  std::vector<std::complex<double>> v(100);
+  fill_uniform_complex(rng, v, -1.0, 1.0);
+  double re = 0.0, im = 0.0;
+  for (const auto& c : v) {
+    re += std::fabs(c.real());
+    im += std::fabs(c.imag());
+  }
+  EXPECT_GT(re, 0.0);
+  EXPECT_GT(im, 0.0);
+}
+
+TEST(SmoothField, HasLowerNeighborVarianceThanWhiteNoise) {
+  Xoshiro256 rng(5);
+  const int n = 16;
+  const auto smooth = make_smooth_field3d(rng, n, n, n, 3);
+  std::vector<double> white(smooth.size());
+  fill_normal(rng, white);
+
+  const auto neighbor_var = [&](const std::vector<double>& f) {
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (int z = 0; z < n; ++z)
+      for (int y = 0; y < n; ++y)
+        for (int x = 0; x + 1 < n; ++x) {
+          const std::size_t i = static_cast<std::size_t>(x + n * (y + n * z));
+          const double d = f[i + 1] - f[i];
+          acc += d * d;
+          ++cnt;
+        }
+    return acc / static_cast<double>(cnt);
+  };
+  // Blurring must make adjacent samples far more correlated than i.i.d.
+  EXPECT_LT(neighbor_var(smooth), 0.2 * neighbor_var(white));
+}
+
+TEST(SmoothField, RejectsBadExtents) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_smooth_field3d(rng, 0, 4, 4), Error);
+}
+
+TEST(TablePrinter, AlignsColumnsAndCountsRows) {
+  TablePrinter t({"a", "bbbb"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a     bbbb"), std::string::npos);
+  EXPECT_NE(s.find("yyyy  2"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinter, NumericFormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::sci(0.000123, 2), "1.23e-04");
+}
+
+TEST(ErrorMacros, RequireThrowsWithMessage) {
+  try {
+    LFFT_REQUIRE(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lossyfft

@@ -1,0 +1,639 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "compress/checksum.hpp"
+#include "compress/lossless.hpp"
+#include "compress/planner.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
+#include "softfloat/trim.hpp"
+
+namespace lossyfft {
+namespace {
+
+std::vector<double> uniform_data(std::size_t n, std::uint64_t seed,
+                                 double lo = -1.0, double hi = 1.0) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  fill_uniform(rng, v, lo, hi);
+  return v;
+}
+
+std::vector<double> roundtrip(const Codec& c, std::span<const double> in) {
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  EXPECT_LE(used, wire.size());
+  if (c.fixed_size()) EXPECT_EQ(used, c.max_compressed_bytes(in.size()));
+  std::vector<double> out(in.size());
+  c.decompress(std::span<const std::byte>(wire.data(), used), out);
+  return out;
+}
+
+double max_abs_err(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double max_rel_err(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (b[i] != 0.0) m = std::max(m, std::fabs(a[i] - b[i]) / std::fabs(b[i]));
+  }
+  return m;
+}
+
+// ------------------------------------------------------- Identity / casts
+
+TEST(IdentityCodec, ExactRoundTrip) {
+  IdentityCodec c;
+  const auto in = uniform_data(1000, 1);
+  EXPECT_EQ(roundtrip(c, in), in);
+  EXPECT_TRUE(c.lossless());
+  EXPECT_DOUBLE_EQ(c.nominal_rate(), 1.0);
+}
+
+TEST(CastFp32Codec, HalvesSizeWithSinglePrecisionError) {
+  CastFp32Codec c;
+  const auto in = uniform_data(777, 2);
+  EXPECT_EQ(c.max_compressed_bytes(777), 777u * 4);
+  const auto out = roundtrip(c, in);
+  EXPECT_LE(max_rel_err(out, in), std::ldexp(1.0, -24) * (1 + 1e-9));
+  EXPECT_GT(max_abs_err(out, in), 0.0);  // It is genuinely lossy.
+}
+
+TEST(CastFp16Codec, QuarterSizeWithHalfPrecisionError) {
+  CastFp16Codec c;
+  // Magnitudes inside FP16's normal range, where the relative-error bound
+  // of casting applies (below ~6.1e-5 FP16 flushes toward subnormals).
+  auto in = uniform_data(512, 3, 0.5, 1.5);
+  for (std::size_t i = 0; i < in.size(); i += 2) in[i] = -in[i];
+  const auto out = roundtrip(c, in);
+  EXPECT_LE(max_rel_err(out, in), std::ldexp(1.0, -11) * (1 + 1e-9));
+}
+
+TEST(CastFp16Codec, PlainModeOverflowsOutOfRangeValues) {
+  CastFp16Codec plain(/*scaled=*/false);
+  std::vector<double> in = {1e6, -1e6, 1.0};
+  const auto out = roundtrip(plain, in);
+  EXPECT_TRUE(std::isinf(out[0]));  // The paper's plain truncation hazard.
+}
+
+TEST(CastFp16Codec, ScaledModeSurvivesLargeMagnitudes) {
+  CastFp16Codec scaled(/*scaled=*/true);
+  std::vector<double> in(300);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = 1e8 * (1.0 + static_cast<double>(i) / in.size());
+  }
+  const auto out = roundtrip(scaled, in);
+  EXPECT_LE(max_rel_err(out, in), 2e-3);  // FP16 roundoff survives scaling.
+}
+
+TEST(CastBf16Codec, KeepsRangeLosesPrecision) {
+  CastBf16Codec c;
+  std::vector<double> in = {1e30, -1e-30, 0.333333333};
+  const auto out = roundtrip(c, in);
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_NEAR(out[0] / in[0], 1.0, 1e-2);
+  EXPECT_LE(max_rel_err(out, in), std::ldexp(1.0, -8) * (1 + 1e-9));
+}
+
+// -------------------------------------------------------------- BitTrim
+
+class BitTrimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitTrimSweep, ErrorBoundedByRetainedRoundoff) {
+  const int m = GetParam();
+  BitTrimCodec c(m);
+  const auto in = uniform_data(401, 50 + static_cast<std::uint64_t>(m));
+  const auto out = roundtrip(c, in);
+  const double u = unit_roundoff_for_mantissa(m);
+  EXPECT_LE(max_rel_err(out, in), u * (1 + 1e-9)) << "m=" << m;
+}
+
+TEST_P(BitTrimSweep, PackedSizeMatchesFormula) {
+  const int m = GetParam();
+  BitTrimCodec c(m);
+  const std::size_t n = 1000;
+  EXPECT_EQ(c.max_compressed_bytes(n),
+            (n * static_cast<std::size_t>(12 + m) + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(MantissaBits, BitTrimSweep,
+                         ::testing::Values(0, 1, 4, 8, 10, 16, 20, 23, 29, 35,
+                                           44, 52));
+
+TEST(BitTrimCodec, FullWidthIsLossless) {
+  BitTrimCodec c(52);
+  const auto in = uniform_data(256, 7, -1e5, 1e5);
+  EXPECT_EQ(roundtrip(c, in), in);
+  EXPECT_TRUE(c.lossless());
+}
+
+TEST(BitTrimCodec, MatchesTrimMantissaExactly) {
+  // The wire value must be exactly trim_mantissa(x, m): BitTrim is the
+  // packed transport of Fig. 2's trimming operation.
+  BitTrimCodec c(9);
+  const auto in = uniform_data(128, 8, -100.0, 100.0);
+  const auto out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], trim_mantissa(in[i], 9)) << i;
+  }
+}
+
+TEST(BitTrimCodec, HandlesNegativesZerosAndHugeValues) {
+  BitTrimCodec c(12);
+  std::vector<double> in = {0.0, -0.0, 1e300, -1e300, 1e-300, -5.5};
+  const auto out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], trim_mantissa(in[i], 12)) << i;
+  }
+}
+
+TEST(BitTrimCodec, RejectsBadBits) {
+  EXPECT_THROW(BitTrimCodec(-1), Error);
+  EXPECT_THROW(BitTrimCodec(53), Error);
+}
+
+// ----------------------------------------------------------------- zfpx
+
+TEST(ZfpxLift, TransformIsExactlyInvertible) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int64_t p[4], orig[4];
+    for (auto& v : p) {
+      v = static_cast<std::int64_t>(rng()) >> 8;  // Leave headroom.
+    }
+    std::copy(p, p + 4, orig);
+    zfpx_detail::fwd_lift4(p, 1);
+    zfpx_detail::inv_lift4(p, 1);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(p[i], orig[i]);
+  }
+}
+
+TEST(ZfpxNegabinary, RoundTripsAllSigns) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{123456789}, std::int64_t{-987654321},
+                         (std::int64_t{1} << 55), -(std::int64_t{1} << 55)}) {
+    EXPECT_EQ(zfpx_detail::negabinary_to_int(zfpx_detail::int_to_negabinary(v)),
+              v);
+  }
+}
+
+TEST(ZfpxEmbeddedCoder, LosslessWithFullBudget) {
+  Xoshiro256 rng(5);
+  std::int64_t q[16], back[16];
+  for (auto& v : q) {
+    v = static_cast<std::int64_t>(rng.below(1u << 20)) - (1 << 19);
+  }
+  std::vector<std::byte> buf(16 * 64 / 8 + 64);
+  zfpx_detail::encode_block_ints(q, 16, 16 * 62, buf);
+  zfpx_detail::decode_block_ints(buf, 16, 16 * 62, back);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(back[i], q[i]) << i;
+}
+
+TEST(ZfpxEmbeddedCoder, TruncatedBudgetShrinksError) {
+  Xoshiro256 rng(6);
+  std::int64_t q[16];
+  for (auto& v : q) {
+    v = static_cast<std::int64_t>(rng.below(1u << 24)) - (1 << 23);
+  }
+  // Negabinary prefixes are not bit-for-bit monotone, but quadrupling the
+  // budget must cut the error dramatically, down to exact at full budget.
+  std::vector<double> errs;
+  for (const int bits : {32, 128, 512, 1024}) {
+    std::int64_t back[16];
+    std::vector<std::byte> buf(static_cast<std::size_t>(bits) / 8 + 16);
+    zfpx_detail::encode_block_ints(q, 16, bits, buf);
+    zfpx_detail::decode_block_ints(buf, 16, bits, back);
+    double err = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      err += std::fabs(static_cast<double>(back[i] - q[i]));
+    }
+    errs.push_back(err);
+  }
+  EXPECT_LT(errs[1], errs[0]);
+  EXPECT_LT(errs[2], errs[1] / 10.0);
+  EXPECT_EQ(errs[3], 0.0);  // Full budget: lossless.
+}
+
+class ZfpxRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZfpxRateSweep, FixedSizeAndBoundedError) {
+  const int bpv = GetParam();
+  Zfpx1dCodec c(bpv);
+  const auto in = uniform_data(444, 60 + static_cast<std::uint64_t>(bpv));
+  const auto out = roundtrip(c, in);
+  // With b bits/value in a 4-block the coder keeps at least the top ~b-8
+  // planes of the block; a conservative error bound follows.
+  const double bound = std::ldexp(1.0, -(bpv - 10));
+  EXPECT_LE(max_abs_err(out, in), std::max(bound, 1e-15)) << "bpv=" << bpv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ZfpxRateSweep,
+                         ::testing::Values(12, 16, 20, 24, 32, 40, 48));
+
+TEST(Zfpx1d, HighRateIsNearLossless) {
+  Zfpx1dCodec c(64);
+  const auto in = uniform_data(128, 61);
+  const auto out = roundtrip(c, in);
+  EXPECT_LE(max_abs_err(out, in), 1e-15);
+}
+
+TEST(Zfpx1d, TailBlockHandled) {
+  Zfpx1dCodec c(24);
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 13u}) {
+    const auto in = uniform_data(n, 70 + n);
+    const auto out = roundtrip(c, in);
+    EXPECT_LE(max_abs_err(out, in), 1e-4) << n;
+  }
+}
+
+TEST(Zfpx3d, SmoothFieldBeatsTruncationAtEqualRate) {
+  // The paper's Section IV-A claim: with spatial correlation, a zfp-style
+  // codec at compression rate 4 (16 bits/value) reconstructs with smaller
+  // max error than FP64->FP16 truncation (also rate 4).
+  Xoshiro256 rng(8);
+  const int n = 16;
+  const auto field = make_smooth_field3d(rng, n, n, n, 4);
+
+  Zfpx3d z{n, n, n, /*bits_per_value=*/16};
+  std::vector<std::byte> wire(z.compressed_bytes());
+  z.compress(field, wire);
+  std::vector<double> out(field.size());
+  z.decompress(wire, out);
+  const double zfpx_err = max_abs_err(out, field);
+
+  CastFp16Codec h(/*scaled=*/true);
+  const auto trunc = roundtrip(h, field);
+  const double trunc_err = max_abs_err(trunc, field);
+
+  EXPECT_LT(zfpx_err, trunc_err);
+  // And the wire volume really is rate >= 3.5 (headers cost a little).
+  EXPECT_LE(static_cast<double>(z.compressed_bytes()),
+            static_cast<double>(field.size()) * 8.0 / 3.5);
+}
+
+TEST(Zfpx3d, RandomDataBehavesLikeTruncation) {
+  // Random data has no correlation to exploit: zfpx should NOT beat
+  // truncation by an order of magnitude (paper: "would behave similar to
+  // truncation operations").
+  const auto in = uniform_data(4096, 9);
+  Zfpx3d z{16, 16, 16, 16};
+  std::vector<std::byte> wire(z.compressed_bytes());
+  z.compress(in, wire);
+  std::vector<double> out(in.size());
+  z.decompress(wire, out);
+  const double zfpx_err = max_abs_err(out, in);
+
+  CastFp16Codec h(/*scaled=*/true);
+  const auto trunc = roundtrip(h, in);
+  const double trunc_err = max_abs_err(trunc, in);
+  EXPECT_GT(zfpx_err, trunc_err / 10.0);
+}
+
+TEST(Zfpx2d, SmoothPlaneBeatsStreamCodecAtEqualRate) {
+  // A 2-D block sees correlation in both directions; the 1-D stream codec
+  // only along the scan order — at equal rate the planar codec must win
+  // on a smooth plane.
+  Xoshiro256 rng(30);
+  const int n = 32;
+  const auto volume = make_smooth_field3d(rng, n, n, 1, 4);  // One slice.
+  Zfpx2d z2{n, n, 16};
+  std::vector<std::byte> wire(z2.compressed_bytes());
+  z2.compress(volume, wire);
+  std::vector<double> out(volume.size());
+  z2.decompress(wire, out);
+  const double err2d = max_abs_err(out, volume);
+
+  Zfpx1dCodec z1(16);
+  const auto out1 = roundtrip(z1, volume);
+  const double err1d = max_abs_err(out1, volume);
+  EXPECT_LT(err2d, err1d);
+}
+
+TEST(Zfpx2d, OddExtentsRoundTrip) {
+  Xoshiro256 rng(31);
+  const auto field = make_smooth_field3d(rng, 7, 11, 1, 2);
+  Zfpx2d z{7, 11, 32};
+  std::vector<std::byte> wire(z.compressed_bytes());
+  z.compress(field, wire);
+  std::vector<double> out(field.size());
+  z.decompress(wire, out);
+  EXPECT_LE(max_abs_err(out, field), 1e-6);
+}
+
+TEST(Zfpx2d, HighRateIsNearLossless) {
+  const auto in = uniform_data(16 * 16, 32);
+  Zfpx2d z{16, 16, 62};
+  std::vector<std::byte> wire(z.compressed_bytes());
+  z.compress(in, wire);
+  std::vector<double> out(in.size());
+  z.decompress(wire, out);
+  EXPECT_LE(max_abs_err(out, in), 1e-14);
+}
+
+TEST(Zfpx3d, OddExtentsRoundTrip) {
+  Xoshiro256 rng(10);
+  const auto field = make_smooth_field3d(rng, 5, 7, 9, 2);
+  Zfpx3d z{5, 7, 9, 32};
+  std::vector<std::byte> wire(z.compressed_bytes());
+  z.compress(field, wire);
+  std::vector<double> out(field.size());
+  z.decompress(wire, out);
+  EXPECT_LE(max_abs_err(out, field), 1e-6);
+}
+
+TEST(Zfpx1d, RejectsBadRate) {
+  EXPECT_THROW(Zfpx1dCodec(1), Error);
+  EXPECT_THROW(Zfpx1dCodec(65), Error);
+}
+
+TEST(Zfpx1d, RejectsNonFinite) {
+  Zfpx1dCodec c(16);
+  std::vector<double> in = {1.0, std::nan(""), 2.0, 3.0};
+  std::vector<std::byte> wire(c.max_compressed_bytes(4));
+  EXPECT_THROW(c.compress(in, wire), Error);
+}
+
+// ------------------------------------------------------ zfpx accuracy mode
+
+class ZfpxAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfpxAccuracySweep, GuaranteesAbsoluteBound) {
+  const double tol = GetParam();
+  ZfpxAccuracyCodec c(tol);
+  const auto in = uniform_data(1201, 80);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  c.decompress(std::span<const std::byte>(wire.data(), used), out);
+  EXPECT_LE(max_abs_err(out, in), tol) << tol;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, ZfpxAccuracySweep,
+                         ::testing::Values(1e-1, 1e-3, 1e-6, 1e-9, 1e-13));
+
+TEST(ZfpxAccuracyCodec, LooserToleranceCostsFewerBytes) {
+  const auto in = uniform_data(4096, 81);
+  ZfpxAccuracyCodec loose(1e-2), tight(1e-10);
+  std::vector<std::byte> wire(tight.max_compressed_bytes(in.size()));
+  const std::size_t b_loose = loose.compress(in, wire);
+  const std::size_t b_tight = tight.compress(in, wire);
+  EXPECT_LT(b_loose, b_tight);
+  EXPECT_LT(b_loose, in.size() * 8 / 2);  // Better than rate 2 at 1e-2.
+}
+
+TEST(ZfpxAccuracyCodec, SmoothDataCompressesBetterThanRandom) {
+  Xoshiro256 rng(82);
+  const auto smooth = make_smooth_field3d(rng, 16, 16, 16, 4);
+  const auto random = uniform_data(smooth.size(), 83);
+  ZfpxAccuracyCodec c(1e-6);
+  std::vector<std::byte> wire(c.max_compressed_bytes(smooth.size()));
+  const std::size_t s_bytes = c.compress(smooth, wire);
+  const std::size_t r_bytes = c.compress(random, wire);
+  EXPECT_LT(s_bytes, r_bytes);
+}
+
+TEST(ZfpxAccuracyCodec, AllZeroBlocksCostHeadersOnly) {
+  ZfpxAccuracyCodec c(1e-9);
+  std::vector<double> zeros(1024, 0.0);
+  std::vector<std::byte> wire(c.max_compressed_bytes(zeros.size()));
+  const std::size_t used = c.compress(zeros, wire);
+  EXPECT_LE(used, 8 + (zeros.size() / 4) * 2 + 8);
+  std::vector<double> out(zeros.size());
+  c.decompress(std::span<const std::byte>(wire.data(), used), out);
+  for (const double v : out) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ZfpxAccuracyCodec, RejectsBadTolerance) {
+  EXPECT_THROW(ZfpxAccuracyCodec(0.0), Error);
+  EXPECT_THROW(ZfpxAccuracyCodec(-1e-6), Error);
+}
+
+// ------------------------------------------------------------------ szq
+
+class SzqBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SzqBoundSweep, GuaranteesAbsoluteErrorBound) {
+  const double eb = GetParam();
+  SzqCodec c(eb);
+  const auto in = uniform_data(1500, 11);
+  const auto out = roundtrip(c, in);
+  EXPECT_LE(max_abs_err(out, in), eb * (1 + 1e-12)) << eb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SzqBoundSweep,
+                         ::testing::Values(1e-2, 1e-4, 1e-6, 1e-9, 1e-12));
+
+TEST(SzqCodec, SmoothDataCompressesBetterThanRandom) {
+  Xoshiro256 rng(12);
+  const auto smooth = make_smooth_field3d(rng, 16, 16, 16, 4);
+  const auto random = uniform_data(smooth.size(), 13);
+  SzqCodec c(1e-4);
+  std::vector<std::byte> wire(c.max_compressed_bytes(smooth.size()));
+  const std::size_t s_bytes = c.compress(smooth, wire);
+  const std::size_t r_bytes = c.compress(random, wire);
+  EXPECT_LT(s_bytes, r_bytes);
+  // Smooth data at a loose bound should compress well below 8 bytes/value.
+  EXPECT_LT(static_cast<double>(s_bytes),
+            0.5 * static_cast<double>(smooth.size()) * 8);
+}
+
+TEST(SzqCodec, OutliersSurviveExactly) {
+  SzqCodec c(1e-6);
+  std::vector<double> in = {0.0, 1e250, -1e250, 1.0, 2.0};
+  const auto out = roundtrip(c, in);
+  EXPECT_EQ(out[1], 1e250);  // Stored verbatim.
+  EXPECT_EQ(out[2], -1e250);
+  EXPECT_LE(std::fabs(out[3] - 1.0), 1e-6);
+}
+
+TEST(SzqCodec, RejectsBadBound) {
+  EXPECT_THROW(SzqCodec(0.0), Error);
+  EXPECT_THROW(SzqCodec(-1.0), Error);
+}
+
+TEST(SzqCodec, EmptyInputRoundTrips) {
+  SzqCodec c(1e-5);
+  std::vector<double> in;
+  std::vector<std::byte> wire(c.max_compressed_bytes(0));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out;
+  c.decompress(std::span<const std::byte>(wire.data(), used), out);
+  SUCCEED();
+}
+
+// ------------------------------------------------------------- lossless
+
+TEST(ByteplaneRle, ExactOnArbitraryData) {
+  ByteplaneRleCodec c;
+  const auto in = uniform_data(997, 14, -1e10, 1e10);
+  EXPECT_EQ(roundtrip(c, in), in);
+  EXPECT_TRUE(c.lossless());
+}
+
+TEST(ByteplaneRle, CompressesConstantData) {
+  ByteplaneRleCodec c;
+  std::vector<double> in(4096, 3.14159);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  EXPECT_LT(used, in.size());  // Far below 8 bytes/value.
+}
+
+TEST(ByteplaneRle, ExactOnSpecialValues) {
+  ByteplaneRleCodec c;
+  std::vector<double> in = {0.0, -0.0, 1e300, -1e-300,
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity()};
+  const auto out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+              std::bit_cast<std::uint64_t>(in[i]));
+  }
+}
+
+// -------------------------------------------------------------- planner
+
+TEST(Planner, MantissaBitsForToleranceBoundaries) {
+  EXPECT_EQ(mantissa_bits_for_tolerance(1.0), 0);
+  EXPECT_EQ(mantissa_bits_for_tolerance(0.5), 0);    // u(0) = 0.5.
+  EXPECT_EQ(mantissa_bits_for_tolerance(0.25), 1);   // u(1) = 0.25.
+  EXPECT_EQ(mantissa_bits_for_tolerance(1e-16), 52);
+  EXPECT_EQ(mantissa_bits_for_tolerance(1e-300), 52);
+}
+
+TEST(Planner, SelectedCodecMeetsTolerance) {
+  // O(1)-scaled data (the planner's contract): loose tolerances may select
+  // FP16, whose relative-error guarantee needs values inside its range.
+  auto in = uniform_data(512, 20, 0.5, 1.5);
+  for (std::size_t i = 1; i < in.size(); i += 2) in[i] = -in[i];
+  for (const double e_tol : {1e-2, 1e-3, 1e-5, 1e-7, 1e-10, 1e-13}) {
+    const auto codec = plan_codec(e_tol, CodecFamily::kTruncation);
+    const auto out = roundtrip(*codec, in);
+    EXPECT_LE(max_rel_err(out, in), e_tol * (1 + 1e-9)) << codec->name();
+  }
+}
+
+TEST(Planner, LooseToleranceBuysMoreCompression) {
+  const auto loose = plan_codec(1e-2, CodecFamily::kTruncation);
+  const auto tight = plan_codec(1e-12, CodecFamily::kTruncation);
+  EXPECT_GT(loose->nominal_rate(), tight->nominal_rate());
+  EXPECT_EQ(loose->name(), "fp64->fp16");
+}
+
+TEST(Planner, BelowFp64RoundoffFallsBackToIdentity) {
+  const auto codec = plan_codec(1e-17, CodecFamily::kTruncation);
+  EXPECT_EQ(codec->name(), "fp64");
+  EXPECT_TRUE(codec->lossless());
+}
+
+TEST(Planner, OtherFamiliesRespectToleranceToo) {
+  const auto in = uniform_data(800, 21);
+  for (const auto family :
+       {CodecFamily::kSzq, CodecFamily::kLossless, CodecFamily::kZfpx}) {
+    const auto codec = plan_codec(1e-6, family);
+    const auto out = roundtrip(*codec, in);
+    EXPECT_LE(max_abs_err(out, in), 1e-6 * (1 + 1e-9)) << codec->name();
+  }
+}
+
+TEST(Planner, RejectsNonPositiveTolerance) {
+  EXPECT_THROW(plan_codec(0.0), Error);
+  EXPECT_THROW(plan_codec(-1.0), Error);
+}
+
+TEST(PlannerRate, AchievesRequestedRateExactlyOrBetter) {
+  for (const double rate : {1.0, 1.5, 2.0, 3.0, 4.0, 5.0}) {
+    const auto codec = plan_codec_for_rate(rate, CodecFamily::kTruncation);
+    EXPECT_GE(codec->nominal_rate(), rate * (1 - 1e-12)) << codec->name();
+    // Verify against real bytes, not just the declared rate.
+    const std::size_t n = 4096;
+    EXPECT_LE(static_cast<double>(codec->max_compressed_bytes(n)),
+              static_cast<double>(n) * 8.0 / rate + 16)
+        << codec->name();
+  }
+}
+
+TEST(PlannerRate, PrefersHardwareCastsAtTheirRates) {
+  EXPECT_EQ(plan_codec_for_rate(2.0)->name(), "fp64->fp32");
+  EXPECT_EQ(plan_codec_for_rate(4.0)->name(), "fp64->fp16");
+  EXPECT_EQ(plan_codec_for_rate(1.0)->name(), "fp64");
+}
+
+TEST(PlannerRate, HigherRateMeansLargerError) {
+  const auto in = uniform_data(600, 22);
+  double prev = -1.0;
+  for (const double rate : {1.5, 2.5, 4.0, 5.0}) {
+    const auto codec = plan_codec_for_rate(rate);
+    const auto out = roundtrip(*codec, in);
+    const double err = max_rel_err(out, in);
+    if (prev >= 0.0) EXPECT_GE(err, prev) << rate;
+    prev = err;
+  }
+}
+
+TEST(PlannerRate, RejectsImpossibleRequests) {
+  EXPECT_THROW(plan_codec_for_rate(0.5), Error);
+  EXPECT_THROW(plan_codec_for_rate(6.0, CodecFamily::kTruncation), Error);
+  EXPECT_THROW(plan_codec_for_rate(2.0, CodecFamily::kLossless), Error);
+  // zfpx reaches much higher rates than truncation can.
+  EXPECT_NO_THROW(plan_codec_for_rate(16.0, CodecFamily::kZfpx));
+}
+
+// -------------------------------------------------------------- checksum
+
+TEST(ChecksumCodec, TransparentRoundTrip) {
+  ChecksumCodec c(std::make_shared<CastFp32Codec>());
+  const auto in = uniform_data(500, 23);
+  const auto plain = roundtrip(CastFp32Codec{}, in);
+  const auto framed = roundtrip(c, in);
+  EXPECT_EQ(framed, plain);
+  EXPECT_TRUE(c.fixed_size());
+}
+
+TEST(ChecksumCodec, DetectsSingleBitFlip) {
+  ChecksumCodec c(std::make_shared<IdentityCodec>());
+  const auto in = uniform_data(64, 24);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  wire[ChecksumCodec::kHeaderBytes + 100] ^= std::byte{0x10};
+  std::vector<double> out(in.size());
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used), out),
+      Error);
+}
+
+TEST(ChecksumCodec, DetectsTruncatedFrame) {
+  ChecksumCodec c(std::make_shared<SzqCodec>(1e-6));
+  const auto in = uniform_data(256, 25);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used / 2), out),
+      Error);
+}
+
+TEST(ChecksumCodec, Fnv1aKnownVector) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a64({}), 0xCBF29CE484222325ull);
+  const char* s = "a";
+  EXPECT_EQ(fnv1a64(std::as_bytes(std::span<const char>(s, 1))),
+            0xAF63DC4C8601EC8Cull);
+}
+
+TEST(ChecksumCodec, RejectsNullInner) {
+  EXPECT_THROW(ChecksumCodec(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace lossyfft

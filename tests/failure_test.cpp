@@ -1,0 +1,157 @@
+// Failure injection: malformed wire streams, corrupted headers, misuse of
+// the APIs. A library that ships compressed bytes across a network must
+// fail loudly on truncated or inconsistent input instead of reading out of
+// bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/window.hpp"
+#include "osc/osc_alltoall.hpp"
+
+namespace lossyfft {
+namespace {
+
+std::vector<double> data(std::size_t n) {
+  Xoshiro256 rng(1);
+  std::vector<double> v(n);
+  fill_uniform(rng, v);
+  return v;
+}
+
+TEST(FailureCodec, SzqTruncatedStreamRejected) {
+  SzqCodec c(1e-6);
+  const auto in = data(300);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  // Cut the stream short: must throw, not read past the end.
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used / 2), out),
+      Error);
+}
+
+TEST(FailureCodec, SzqCountMismatchRejected) {
+  SzqCodec c(1e-6);
+  const auto in = data(128);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> wrong(64);
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used), wrong),
+      Error);
+}
+
+TEST(FailureCodec, RleTruncatedStreamRejected) {
+  ByteplaneRleCodec c;
+  const auto in = data(200);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used - 9), out),
+      Error);
+}
+
+TEST(FailureCodec, RleCorruptedRunLengthRejected) {
+  ByteplaneRleCodec c;
+  std::vector<double> in(64, 1.0);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  c.compress(in, wire);
+  // Blow up the first plane's run count so the runs overflow the plane.
+  wire[16] = std::byte{0xFF};
+  wire[17] = std::byte{0xFF};
+  std::vector<double> out(in.size());
+  EXPECT_THROW(c.decompress(wire, out), Error);
+}
+
+TEST(FailureCodec, ZfpxAccuracyCountMismatchRejected) {
+  ZfpxAccuracyCodec c(1e-6);
+  const auto in = data(64);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> wrong(32);
+  EXPECT_THROW(
+      c.decompress(std::span<const std::byte>(wire.data(), used), wrong),
+      Error);
+}
+
+TEST(FailureCodec, OutputBufferTooSmallRejected) {
+  CastFp32Codec c;
+  const auto in = data(100);
+  std::vector<std::byte> tiny(10);
+  EXPECT_THROW(c.compress(in, tiny), Error);
+}
+
+TEST(FailureCodec, SzqNonFiniteBecomesExactOutlier) {
+  SzqCodec c(1e-6);
+  std::vector<double> in = {1.0, std::numeric_limits<double>::infinity(),
+                            std::nan(""), -2.0};
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  c.decompress(std::span<const std::byte>(wire.data(), used), out);
+  EXPECT_TRUE(std::isinf(out[1]));
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_NEAR(out[3], -2.0, 1e-6);
+}
+
+TEST(FailureCodec, TruncationPropagatesNonFinite) {
+  // Casting codecs keep inf/NaN as inf/NaN (IEEE semantics), so a receiver
+  // can still detect the upstream problem.
+  CastFp16Codec c;
+  std::vector<double> in = {std::numeric_limits<double>::infinity(),
+                            std::nan("")};
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  c.compress(in, wire);
+  std::vector<double> out(in.size());
+  c.decompress(wire, out);
+  EXPECT_TRUE(std::isinf(out[0]));
+  EXPECT_TRUE(std::isnan(out[1]));
+}
+
+TEST(FailureOsc, MismatchedCountsRejectedBeforeAnyExchange) {
+  minimpi::run_ranks(2, [](minimpi::Comm& comm) {
+    std::vector<std::uint64_t> one(1, 0), two(2, 0);
+    osc::OscOptions o;
+    EXPECT_THROW(osc::compressed_alltoallv(comm, {}, two, one, {}, two, two, o),
+                 Error);
+    comm.barrier();
+  });
+}
+
+TEST(FailureWindow, OverlongPutAndGetRejected) {
+  minimpi::run_ranks(2, [](minimpi::Comm& comm) {
+    std::vector<std::byte> store(16);
+    minimpi::Window win(comm, store);
+    win.fence();
+    std::vector<std::byte> big(32);
+    const int peer = (comm.rank() + 1) % 2;
+    EXPECT_THROW(win.put(big, peer, 0), Error);
+    EXPECT_THROW(win.get(big, peer, 0), Error);
+    EXPECT_THROW(win.put(std::span<const std::byte>(big.data(), 8), peer, 12),
+                 Error);
+    win.fence();
+  });
+}
+
+TEST(FailureRuntime, BadRankArgumentsRejected) {
+  minimpi::run_ranks(2, [](minimpi::Comm& comm) {
+    const double v = 0;
+    EXPECT_THROW(comm.send(std::as_bytes(std::span<const double>(&v, 1)), 7, 0),
+                 Error);
+    EXPECT_THROW(comm.bcast(std::span<std::byte>{}, -1), Error);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft

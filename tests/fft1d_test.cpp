@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fft/fft1d.hpp"
+
+namespace lossyfft {
+namespace {
+
+using C = std::complex<double>;
+
+double rel_err(const std::vector<C>& a, const std::vector<C>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - b[i]);
+    den += std::norm(b[i]);
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+std::vector<C> random_signal(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<C> x(n);
+  fill_uniform_complex(rng, x);
+  return x;
+}
+
+TEST(FftUtil, SmoothnessCheck) {
+  EXPECT_TRUE(is_smooth_7(1));
+  EXPECT_TRUE(is_smooth_7(8));
+  EXPECT_TRUE(is_smooth_7(360));   // 2^3*3^2*5.
+  EXPECT_TRUE(is_smooth_7(2401));  // 7^4.
+  EXPECT_FALSE(is_smooth_7(11));
+  EXPECT_FALSE(is_smooth_7(0));
+  EXPECT_FALSE(is_smooth_7(2 * 13));
+}
+
+TEST(FftUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft1d, SizeOneIsIdentity) {
+  Fft1d<double> plan(1);
+  std::vector<C> x = {{3.0, -4.0}};
+  plan.transform(x.data(), FftDirection::kForward);
+  EXPECT_EQ(x[0], C(3.0, -4.0));
+}
+
+TEST(Fft1d, KnownDftOfImpulse) {
+  Fft1d<double> plan(8);
+  std::vector<C> x(8, C{});
+  x[0] = 1.0;
+  plan.transform(x.data(), FftDirection::kForward);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft1d, KnownDftOfSingleTone) {
+  const std::size_t n = 16;
+  Fft1d<double> plan(n);
+  std::vector<C> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * M_PI * 3.0 * static_cast<double>(j) / n;
+    x[j] = {std::cos(ang), std::sin(ang)};  // e^{+2pi i 3 j / n}.
+  }
+  plan.transform(x.data(), FftDirection::kForward);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double want = k == 3 ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(x[k].real(), want, 1e-12) << k;
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-12) << k;
+  }
+}
+
+TEST(Fft1d, LinearityHolds) {
+  const std::size_t n = 60;
+  Fft1d<double> plan(n);
+  auto x = random_signal(n, 1), y = random_signal(n, 2);
+  std::vector<C> lhs(n), fx = x, fy = y;
+  const C alpha(0.7, -0.3), beta(-1.1, 0.2);
+  for (std::size_t i = 0; i < n; ++i) lhs[i] = alpha * x[i] + beta * y[i];
+  plan.transform(lhs.data(), FftDirection::kForward);
+  plan.transform(fx.data(), FftDirection::kForward);
+  plan.transform(fy.data(), FftDirection::kForward);
+  std::vector<C> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = alpha * fx[i] + beta * fy[i];
+  EXPECT_LT(rel_err(lhs, rhs), 1e-13);
+}
+
+TEST(Fft1d, ParsevalEnergyConserved) {
+  const std::size_t n = 120;
+  Fft1d<double> plan(n);
+  auto x = random_signal(n, 3);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  plan.transform(x.data(), FftDirection::kForward);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-12 * time_energy);
+}
+
+// Property sweep: FFT must match the naive DFT for every size, including
+// primes (Bluestein), prime powers, and mixed products.
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeSweep, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Fft1d<double> plan(n);
+  auto x = random_signal(n, 100 + n);
+  const auto want = naive_dft(x, FftDirection::kForward);
+  plan.transform(x.data(), FftDirection::kForward);
+  EXPECT_LT(rel_err(x, want), 1e-11) << "n=" << n;
+}
+
+TEST_P(FftSizeSweep, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Fft1d<double> plan(n);
+  const auto orig = random_signal(n, 200 + n);
+  auto x = orig;
+  plan.transform(x.data(), FftDirection::kForward);
+  plan.transform(x.data(), FftDirection::kInverse);
+  EXPECT_LT(rel_err(x, orig), 1e-12) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftSizeSweep,
+    ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 15,
+                                   16, 18, 20, 21, 25, 27, 32, 35, 36, 48, 49,
+                                   60, 64, 81, 100, 105, 125, 128, 210, 243,
+                                   256, 343, 512,
+                                   // Primes and prime-tainted sizes: Bluestein.
+                                   11, 13, 17, 19, 23, 29, 31, 37, 41, 53, 59,
+                                   61, 67, 71, 73, 79, 83, 89, 97, 101, 127,
+                                   131, 251, 257, 22, 26, 33, 39, 55, 121, 169,
+                                   143, 187));
+
+TEST(Fft1d, LargeSmoothSizeAccuracy) {
+  const std::size_t n = 3 * 5 * 7 * 16;  // 1680.
+  Fft1d<double> plan(n);
+  const auto orig = random_signal(n, 77);
+  auto x = orig;
+  plan.transform(x.data(), FftDirection::kForward);
+  plan.transform(x.data(), FftDirection::kInverse);
+  EXPECT_LT(rel_err(x, orig), 1e-13);
+}
+
+TEST(Fft1d, FloatPrecisionRoundTrip) {
+  const std::size_t n = 192;
+  Fft1d<float> plan(n);
+  Xoshiro256 rng(5);
+  std::vector<std::complex<float>> x(n), orig(n);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.uniform(-1, 1)),
+         static_cast<float>(rng.uniform(-1, 1))};
+  }
+  orig = x;
+  plan.transform(x.data(), FftDirection::kForward);
+  plan.transform(x.data(), FftDirection::kInverse);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += std::norm(std::complex<double>(x[i]) - std::complex<double>(orig[i]));
+    den += std::norm(std::complex<double>(orig[i]));
+  }
+  const double err = std::sqrt(num / den);
+  // Single precision: expect ~1e-7 scale error, far above double's.
+  EXPECT_LT(err, 1e-5);
+  EXPECT_GT(err, 1e-9);
+}
+
+TEST(Fft1d, StridedTransformEqualsContiguous) {
+  const std::size_t n = 48, stride = 5;
+  Fft1d<double> plan(n);
+  auto reference = random_signal(n, 9);
+  std::vector<C> strided(n * stride, C(99.0, 99.0));
+  for (std::size_t i = 0; i < n; ++i) strided[i * stride] = reference[i];
+
+  plan.transform(reference.data(), FftDirection::kForward);
+  plan.transform_strided(strided.data(), static_cast<std::ptrdiff_t>(stride),
+                         1, 0, FftDirection::kForward);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(strided[i * stride] - reference[i]), 1e-12);
+  }
+  // Untouched gaps stay untouched.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t g = 1; g < stride; ++g) {
+      EXPECT_EQ(strided[i * stride + g], C(99.0, 99.0));
+    }
+  }
+}
+
+TEST(Fft1d, BatchedTransformMatchesLoop) {
+  const std::size_t n = 36, batch = 7;
+  Fft1d<double> plan(n);
+  auto data = random_signal(n * batch, 10);
+  auto expect = data;
+  for (std::size_t b = 0; b < batch; ++b) {
+    plan.transform(expect.data() + b * n, FftDirection::kForward);
+  }
+  plan.transform_strided(data.data(), 1, batch,
+                         static_cast<std::ptrdiff_t>(n),
+                         FftDirection::kForward);
+  EXPECT_LT(rel_err(data, expect), 1e-14);
+}
+
+TEST(Fft1d, NaiveDftInverseAgrees) {
+  const std::size_t n = 24;
+  const auto x = random_signal(n, 12);
+  const auto f = naive_dft(x, FftDirection::kForward);
+  const auto back = naive_dft(f, FftDirection::kInverse);
+  EXPECT_LT(rel_err(back, x), 1e-12);
+}
+
+TEST(Fft1d, RejectsZeroSize) {
+  EXPECT_THROW(Fft1d<double>(0), Error);
+}
+
+TEST(Fft1d, MoveTransfersPlan) {
+  Fft1d<double> a(32);
+  Fft1d<double> b = std::move(a);
+  auto x = random_signal(32, 3);
+  const auto want = naive_dft(x, FftDirection::kForward);
+  b.transform(x.data(), FftDirection::kForward);
+  EXPECT_LT(rel_err(x, want), 1e-12);
+}
+
+}  // namespace
+}  // namespace lossyfft

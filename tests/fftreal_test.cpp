@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fft/real.hpp"
+
+namespace lossyfft {
+namespace {
+
+using C = std::complex<double>;
+
+std::vector<double> random_reals(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  fill_uniform(rng, x);
+  return x;
+}
+
+// Oracle: full complex DFT of the real signal, first n/2+1 bins.
+std::vector<C> half_spectrum_oracle(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<C> out(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    C acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>((k * j) % n) /
+                         static_cast<double>(n);
+      acc += x[j] * C(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class R2cSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2cSizeSweep, MatchesFullDftOracle) {
+  const std::size_t n = GetParam();
+  FftR2c<double> plan(n);
+  ASSERT_EQ(plan.spectrum_size(), n / 2 + 1);
+  const auto x = random_reals(n, 300 + n);
+  std::vector<C> got(plan.spectrum_size());
+  plan.forward(x.data(), got.data());
+  const auto want = half_spectrum_oracle(x);
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_LT(std::abs(got[k] - want[k]), 1e-10 * std::sqrt(double(n)))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(R2cSizeSweep, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  FftR2c<double> plan(n);
+  const auto x = random_reals(n, 400 + n);
+  std::vector<C> spec(plan.spectrum_size());
+  std::vector<double> back(n);
+  plan.forward(x.data(), spec.data());
+  plan.inverse(spec.data(), back.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-12) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, R2cSizeSweep,
+                         ::testing::Values<std::size_t>(
+                             1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16, 18, 20,
+                             24, 30, 32, 36, 64, 100, 128, 11, 13, 17, 26,
+                             34, 50, 192, 210, 256));
+
+TEST(FftR2c, DcAndNyquistAreReal) {
+  const std::size_t n = 32;
+  FftR2c<double> plan(n);
+  const auto x = random_reals(n, 5);
+  std::vector<C> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(spec[n / 2].imag(), 0.0, 1e-12);
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  EXPECT_NEAR(spec[0].real(), sum, 1e-11);
+}
+
+TEST(FftR2c, SingleToneLandsInOneBin) {
+  const std::size_t n = 48;
+  FftR2c<double> plan(n);
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = std::cos(2.0 * M_PI * 5.0 * static_cast<double>(j) / n);
+  }
+  std::vector<C> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    const double want = k == 5 ? n / 2.0 : 0.0;
+    EXPECT_NEAR(spec[k].real(), want, 1e-10) << k;
+    EXPECT_NEAR(spec[k].imag(), 0.0, 1e-10) << k;
+  }
+}
+
+TEST(FftR2c, ParsevalWithHalfSpectrumWeights) {
+  const std::size_t n = 64;
+  FftR2c<double> plan(n);
+  const auto x = random_reals(n, 6);
+  std::vector<C> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  double time_e = 0.0;
+  for (const double v : x) time_e += v * v;
+  // Interior bins count twice (conjugate pair), DC and Nyquist once.
+  double freq_e = std::norm(spec[0]) + std::norm(spec[n / 2]);
+  for (std::size_t k = 1; k < n / 2; ++k) freq_e += 2.0 * std::norm(spec[k]);
+  EXPECT_NEAR(freq_e / static_cast<double>(n), time_e, 1e-10 * time_e);
+}
+
+TEST(FftR2c, FloatPrecisionRoundTrip) {
+  const std::size_t n = 96;
+  FftR2c<float> plan(n);
+  Xoshiro256 rng(7);
+  std::vector<float> x(n), back(n);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<std::complex<float>> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  plan.inverse(spec.data(), back.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-5f);
+}
+
+TEST(FftR2c, RejectsZeroSizeAndNull) {
+  EXPECT_THROW(FftR2c<double>(0), Error);
+  FftR2c<double> plan(8);
+  std::vector<C> spec(plan.spectrum_size());
+  EXPECT_THROW(plan.forward(nullptr, spec.data()), Error);
+}
+
+}  // namespace
+}  // namespace lossyfft

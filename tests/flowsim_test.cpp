@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netsim/flowsim.hpp"
+#include "netsim/model.hpp"
+#include "osc/schedule.hpp"
+
+namespace lossyfft::netsim {
+namespace {
+
+Schedule one_phase(std::vector<Message> msgs,
+                   Semantics sem = Semantics::kOneSided) {
+  Schedule s;
+  s.semantics = sem;
+  s.phases.push_back(Phase{std::move(msgs)});
+  return s;
+}
+
+TEST(FlowSim, SingleFlowIsWirePlusOverheadPlusLatency) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const std::uint64_t bytes = 250'000'000;
+  const auto r = simulate_flows(t, one_phase({{0, 6, bytes}}), p);
+  const double expect = (static_cast<double>(bytes) +
+                         p.msg_overhead_one_sided * p.inter_bw) /
+                            p.inter_bw +
+                        p.base_latency;
+  EXPECT_NEAR(r.seconds, expect, expect * 1e-6);
+}
+
+TEST(FlowSim, TwoFlowsOnOneLinkShareFairly) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const std::uint64_t bytes = 100'000'000;
+  const auto one = simulate_flows(t, one_phase({{0, 6, bytes}}), p);
+  const auto two =
+      simulate_flows(t, one_phase({{0, 6, bytes}, {1, 7, bytes}}), p);
+  // Same egress node: sharing doubles the completion time (minus the
+  // constant latency term).
+  EXPECT_NEAR(two.seconds - p.base_latency,
+              2.0 * (one.seconds - p.base_latency), 1e-6);
+}
+
+TEST(FlowSim, DisjointNodePairsRunInParallel) {
+  const auto t = Topology::summit(4);
+  NetworkParams p;
+  const std::uint64_t bytes = 100'000'000;
+  const auto one = simulate_flows(t, one_phase({{0, 6, bytes}}), p);
+  const auto par = simulate_flows(
+      t, one_phase({{0, 6, bytes}, {12, 18, bytes}}), p);
+  EXPECT_NEAR(par.seconds, one.seconds, 1e-9);
+}
+
+TEST(FlowSim, IngressContentionCaps) {
+  // Many sources pushing into one destination node: ingress is the
+  // bottleneck, so time scales with the flow count.
+  const auto t = Topology::summit(4);
+  NetworkParams p;
+  const std::uint64_t bytes = 50'000'000;
+  std::vector<Message> fan;
+  for (int s = 0; s < 3; ++s) fan.push_back({6 * s + (s == 0 ? 0 : 1), 18, bytes});
+  const auto r = simulate_flows(t, one_phase(fan), p);
+  const double wire = 3.0 * static_cast<double>(bytes) / p.inter_bw;
+  EXPECT_GT(r.seconds, wire * 0.95);
+}
+
+TEST(FlowSim, IntraNodeUsesFabricCapacity) {
+  const auto t = Topology::summit(1);
+  NetworkParams p;
+  const std::uint64_t bytes = 100'000'000;
+  const auto r = simulate_flows(t, one_phase({{0, 1, bytes}}), p);
+  EXPECT_LT(r.seconds, static_cast<double>(bytes) / p.inter_bw);
+  EXPECT_EQ(r.inter_node_bytes, 0u);
+}
+
+TEST(FlowSim, SelfMessagesFree) {
+  const auto t = Topology::summit(1);
+  NetworkParams p;
+  const auto r = simulate_flows(t, one_phase({{3, 3, 1u << 30}}), p);
+  EXPECT_NEAR(r.seconds, p.base_latency, 1e-12);
+}
+
+TEST(FlowSim, AgreesWithPhaseModelWhenUncontended) {
+  // A pairwise ring where each node talks to exactly one peer per phase:
+  // no sharing, so both engines should agree closely (the phase model has
+  // no congestion penalty below f0 flows).
+  const int gpus = 24;
+  const auto t = Topology::summit(4);
+  NetworkParams p;
+  const auto bytes = [](int, int) { return std::uint64_t{1} << 22; };
+  const auto sched = osc::schedule_osc_ring(gpus, 6, bytes);
+  const auto a = simulate(t, sched, p);
+  const auto b = simulate_flows(t, sched, p);
+  // The phase model adds a mild congestion penalty above f0 flows that the
+  // fair-sharing engine does not; they must still land within ~40%.
+  EXPECT_NEAR(b.seconds / a.seconds, 1.0, 0.4);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.inter_node_bytes, b.inter_node_bytes);
+}
+
+TEST(FlowSim, StormIsSlowerThanRingInBothEngines) {
+  const int gpus = 48;
+  const auto t = Topology::summit(8);
+  NetworkParams p;
+  const auto bytes = [](int, int) { return std::uint64_t{80} << 10; };
+  const auto storm = osc::schedule_linear(gpus, 6, bytes);
+  const auto ring = osc::schedule_osc_ring(gpus, 6, bytes);
+  EXPECT_GT(simulate(t, storm, p).seconds, simulate(t, ring, p).seconds);
+  EXPECT_GT(simulate_flows(t, storm, p).seconds,
+            simulate_flows(t, ring, p).seconds);
+}
+
+TEST(FlowSim, PhasesAreBarriers) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  Schedule two;
+  two.semantics = Semantics::kOneSided;
+  two.phases.push_back(Phase{{{0, 6, 1u << 20}}});
+  two.phases.push_back(Phase{{{6, 0, 1u << 20}}});
+  const auto r1 = simulate_flows(t, one_phase({{0, 6, 1u << 20}}), p);
+  const auto r2 = simulate_flows(t, two, p);
+  EXPECT_NEAR(r2.seconds, 2.0 * r1.seconds, 1e-9);
+}
+
+TEST(FlowSim, RejectsBadRanks) {
+  const auto t = Topology::summit(1);
+  NetworkParams p;
+  EXPECT_THROW(simulate_flows(t, one_phase({{0, 42, 1}}), p), Error);
+}
+
+}  // namespace
+}  // namespace lossyfft::netsim

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netsim/model.hpp"
+
+namespace lossyfft::netsim {
+namespace {
+
+Schedule one_phase(std::vector<Message> msgs,
+                   Semantics sem = Semantics::kTwoSided) {
+  Schedule s;
+  s.semantics = sem;
+  s.phases.push_back(Phase{std::move(msgs)});
+  return s;
+}
+
+TEST(Topology, NodeMapping) {
+  const auto t = Topology::summit(4);
+  EXPECT_EQ(t.ranks(), 24);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(5), 0);
+  EXPECT_EQ(t.node_of(6), 1);
+  EXPECT_EQ(t.node_of(23), 3);
+}
+
+TEST(Topology, RejectsBadExtents) {
+  EXPECT_THROW(Topology::make(0, 6), Error);
+  EXPECT_THROW(Topology::make(2, 0), Error);
+}
+
+TEST(Simulate, EmptyScheduleTakesNoTime) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const auto r = simulate(t, Schedule{}, p);
+  EXPECT_EQ(r.seconds, 0.0);
+  EXPECT_EQ(r.total_bytes, 0u);
+}
+
+TEST(Simulate, SingleInterNodeMessageCostsLatencyPlusWire) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const std::uint64_t bytes = 100'000'000;
+  const auto r = simulate(t, one_phase({{0, 6, bytes}}), p);
+  const double expect = static_cast<double>(bytes) / p.inter_bw +
+                        p.msg_overhead_two_sided + p.base_latency;
+  EXPECT_NEAR(r.seconds, expect, 1e-12);
+  EXPECT_EQ(r.inter_node_bytes, bytes);
+}
+
+TEST(Simulate, IntraNodeUsesFasterLink) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const std::uint64_t bytes = 100'000'000;
+  const auto intra = simulate(t, one_phase({{0, 1, bytes}}), p);
+  const auto inter = simulate(t, one_phase({{0, 6, bytes}}), p);
+  EXPECT_LT(intra.seconds, inter.seconds);
+  EXPECT_EQ(intra.inter_node_bytes, 0u);
+}
+
+TEST(Simulate, SelfMessagesAreFree) {
+  const auto t = Topology::summit(1);
+  NetworkParams p;
+  const auto r = simulate(t, one_phase({{2, 2, 1'000'000}}), p);
+  EXPECT_NEAR(r.seconds, p.base_latency, 1e-12);
+}
+
+TEST(Simulate, MoreBytesNeverFaster) {
+  const auto t = Topology::summit(4);
+  NetworkParams p;
+  double prev = 0.0;
+  for (const std::uint64_t b : {1000ull, 100000ull, 10000000ull}) {
+    const auto r = simulate(t, one_phase({{0, 6, b}, {7, 13, b}}), p);
+    EXPECT_GE(r.seconds, prev);
+    prev = r.seconds;
+  }
+}
+
+TEST(Simulate, CongestionPenalizesManyConcurrentFlows) {
+  // Same total bytes from one node: 1 flow vs 256 flows.
+  const auto t = Topology::summit(64);
+  NetworkParams p;
+  const std::uint64_t total = 256'000'000;
+  std::vector<Message> storm;
+  for (int i = 0; i < 256; ++i) {
+    storm.push_back({0, 6 + (i % 378), total / 256});
+  }
+  const auto one = simulate(t, one_phase({{0, 6, total}}), p);
+  const auto many = simulate(t, one_phase(std::move(storm)), p);
+  EXPECT_GT(many.seconds, 1.5 * one.seconds);
+}
+
+TEST(Simulate, OneSidedCheaperPerMessage) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  std::vector<Message> msgs;
+  for (int i = 0; i < 6; ++i) msgs.push_back({i, 6 + i, 1000});
+  const auto ts = simulate(t, one_phase(msgs, Semantics::kTwoSided), p);
+  const auto os = simulate(t, one_phase(msgs, Semantics::kOneSided), p);
+  EXPECT_GT(ts.seconds, os.seconds);
+}
+
+TEST(Simulate, PhaseBarrierAddsTreeLatency) {
+  const auto t = Topology::summit(8);
+  NetworkParams p;
+  Schedule a = one_phase({{0, 6, 1000}}, Semantics::kOneSided);
+  Schedule b = a;
+  b.phase_barrier = true;
+  EXPECT_GT(simulate(t, b, p).seconds, simulate(t, a, p).seconds);
+}
+
+TEST(Simulate, PhasesAccumulate) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  Schedule two;
+  two.phases.push_back(Phase{{{0, 6, 1000}}});
+  two.phases.push_back(Phase{{{6, 0, 1000}}});
+  const auto r1 = simulate(t, one_phase({{0, 6, 1000}}), p);
+  const auto r2 = simulate(t, two, p);
+  EXPECT_NEAR(r2.seconds, 2 * r1.seconds, 1e-12);
+}
+
+TEST(Simulate, NodeBandwidthMetricMatchesDefinition) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  const auto r = simulate(t, one_phase({{0, 6, 50'000'000}}), p);
+  EXPECT_NEAR(r.node_bandwidth(t),
+              static_cast<double>(r.total_bytes) / 2 / r.seconds, 1e-6);
+}
+
+TEST(Simulate, RejectsRanksOutsideTopology) {
+  const auto t = Topology::summit(1);
+  NetworkParams p;
+  EXPECT_THROW(simulate(t, one_phase({{0, 99, 10}}), p), Error);
+}
+
+TEST(Simulate, CongestionTermCausesTheStormCollapse) {
+  // Causality check for the Fig. 3 shape: with the congestion term
+  // disabled (gamma = 0) the single-phase storm and the ring move the same
+  // bytes at similar speed; with it enabled, the storm collapses. The
+  // Fig. 3 result is the congestion model, not an artifact of phase
+  // accounting.
+  const int gpus = 384;
+  const auto t = Topology::summit(gpus / 6);
+  NetworkParams with = {};
+  NetworkParams without = {};
+  without.congestion_gamma = 0.0;
+
+  std::vector<Message> storm;
+  for (int s = 0; s < gpus; ++s) {
+    for (int j = 1; j < gpus; ++j) {
+      storm.push_back({s, (s + j) % gpus, 80 * 1024});
+    }
+  }
+  Schedule sched = one_phase(std::move(storm));
+  const double t_with = simulate(t, sched, with).seconds;
+  const double t_without = simulate(t, sched, without).seconds;
+  EXPECT_GT(t_with, 2.0 * t_without);
+}
+
+TEST(Pipeline, MoreChunksImproveOverlapUntilLaunchCostDominates) {
+  NetworkParams p;
+  const std::uint64_t bytes = 64 * 1024 * 1024;
+  const double wire_sb = 1.0 / p.inter_bw;
+  const double t1 = pipeline_time(bytes, 2.0, 1, wire_sb, p);
+  const double t8 = pipeline_time(bytes, 2.0, 8, wire_sb, p);
+  EXPECT_LT(t8, t1);
+  // Absurd chunk counts pay kernel-launch overhead instead.
+  const double t4k = pipeline_time(bytes, 2.0, 4096, wire_sb, p);
+  EXPECT_GT(t4k, t8 * 0.5);  // No magic speedup from infinite chunking.
+}
+
+TEST(Pipeline, ApproachesCompressedWireTimeFromAbove) {
+  // Section V-B: total cost ~= compression of the first chunk + transfer
+  // of the compressed payload, i.e. close to wire/rate once chunked.
+  NetworkParams p;
+  const std::uint64_t bytes = 256 * 1024 * 1024;
+  const double wire_sb = 1.0 / p.inter_bw;
+  const double uncompressed = static_cast<double>(bytes) * wire_sb;
+  const double piped = pipeline_time(bytes, 4.0, 16, wire_sb, p);
+  EXPECT_LT(piped, uncompressed / 4.0 * 1.25);
+  EXPECT_GT(piped, uncompressed / 4.0 * 0.99);
+}
+
+TEST(Pipeline, RateOneWithChunkingStillBounded) {
+  NetworkParams p;
+  const double wire_sb = 1.0 / p.inter_bw;
+  const double t = pipeline_time(1 << 20, 1.0, 4, wire_sb, p);
+  EXPECT_GT(t, static_cast<double>(1 << 20) * wire_sb);
+}
+
+TEST(Pipeline, RejectsBadArguments) {
+  NetworkParams p;
+  EXPECT_THROW(pipeline_time(100, 2.0, 0, 1e-9, p), Error);
+  EXPECT_THROW(pipeline_time(100, 0.5, 1, 1e-9, p), Error);
+}
+
+}  // namespace
+}  // namespace lossyfft::netsim

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/decomp.hpp"
+#include "dfft/reshape.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace lossyfft {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_ranks;
+
+// Global-index fingerprint: value at global (x, y, z) is unique, so any
+// misplaced element is detected after redistribution.
+std::complex<double> fingerprint(int x, int y, int z) {
+  return {x + 100.0 * y + 10000.0 * z, 0.5 * x - 0.25 * y + z};
+}
+
+std::vector<std::complex<double>> fill_box(const Box3& b) {
+  std::vector<std::complex<double>> v(static_cast<std::size_t>(b.count()));
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) v[i++] = fingerprint(x, y, z);
+  return v;
+}
+
+void expect_box(const Box3& b, std::span<const std::complex<double>> v,
+                double tol) {
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        const auto want = fingerprint(x, y, z);
+        EXPECT_NEAR(std::abs(v[i] - want), 0.0, tol)
+            << "(" << x << "," << y << "," << z << ")";
+        ++i;
+      }
+}
+
+struct RCase {
+  std::array<int, 3> n;
+  int ranks;
+  ExchangeBackend backend;
+};
+
+class ReshapeSweep : public ::testing::TestWithParam<RCase> {};
+
+TEST_P(ReshapeSweep, BrickToPencilDeliversEveryElement) {
+  const auto c = GetParam();
+  run_ranks(c.ranks, [&](Comm& comm) {
+    const auto bricks = split_brick(c.n, proc_grid3(c.ranks));
+    for (int dir = 0; dir < 3; ++dir) {
+      const auto pencils = split_pencil(c.n, dir, c.ranks);
+      ReshapeOptions o;
+      o.backend = c.backend;
+      o.gpus_per_node = 3;
+      Reshape<std::complex<double>> rs(comm, bricks, pencils, o);
+      const auto in = fill_box(rs.inbox());
+      std::vector<std::complex<double>> out(
+          static_cast<std::size_t>(rs.outbox().count()));
+      rs.execute(in, out);
+      expect_box(rs.outbox(), out, 0.0);
+    }
+  });
+}
+
+TEST_P(ReshapeSweep, PencilToPencilChain) {
+  const auto c = GetParam();
+  run_ranks(c.ranks, [&](Comm& comm) {
+    const auto xp = split_pencil(c.n, 0, c.ranks);
+    const auto yp = split_pencil(c.n, 1, c.ranks);
+    ReshapeOptions o;
+    o.backend = c.backend;
+    Reshape<std::complex<double>> rs(comm, xp, yp, o);
+    const auto in = fill_box(rs.inbox());
+    std::vector<std::complex<double>> out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    rs.execute(in, out);
+    expect_box(rs.outbox(), out, 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ReshapeSweep,
+    ::testing::Values(RCase{{8, 8, 8}, 1, ExchangeBackend::kPairwise},
+                      RCase{{8, 8, 8}, 4, ExchangeBackend::kPairwise},
+                      RCase{{8, 8, 8}, 4, ExchangeBackend::kLinear},
+                      RCase{{8, 8, 8}, 4, ExchangeBackend::kOsc},
+                      RCase{{12, 6, 10}, 6, ExchangeBackend::kPairwise},
+                      RCase{{12, 6, 10}, 6, ExchangeBackend::kOsc},
+                      RCase{{7, 9, 5}, 5, ExchangeBackend::kPairwise},
+                      RCase{{7, 9, 5}, 5, ExchangeBackend::kOsc},
+                      RCase{{16, 16, 16}, 8, ExchangeBackend::kLinear}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return std::string(to_string(c.backend)) + "_p" +
+             std::to_string(c.ranks) + "_n" + std::to_string(c.n[0]) + "x" +
+             std::to_string(c.n[1]) + "x" + std::to_string(c.n[2]);
+    });
+
+TEST(Reshape, RoundTripBrickPencilBrickIsIdentity) {
+  run_ranks(6, [](Comm& comm) {
+    const std::array<int, 3> n{10, 12, 6};
+    const auto bricks = split_brick(n, proc_grid3(6));
+    const auto pencils = split_pencil(n, 2, 6);
+    ReshapeOptions o;
+    Reshape<std::complex<double>> fwd(comm, bricks, pencils, o);
+    Reshape<std::complex<double>> bwd(comm, pencils, bricks, o);
+    const auto in = fill_box(fwd.inbox());
+    std::vector<std::complex<double>> mid(
+        static_cast<std::size_t>(fwd.outbox().count()));
+    std::vector<std::complex<double>> back(in.size());
+    fwd.execute(in, mid);
+    bwd.execute(mid, back);
+    for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(back[i], in[i]);
+  });
+}
+
+TEST(Reshape, CompressedExchangeBoundsError) {
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{8, 8, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 0, 4);
+    ReshapeOptions o;
+    o.backend = ExchangeBackend::kOsc;
+    o.codec = std::make_shared<CastFp32Codec>();
+    Reshape<std::complex<double>> rs(comm, bricks, pencils, o);
+    const auto in = fill_box(rs.inbox());
+    std::vector<std::complex<double>> out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    rs.execute(in, out);
+    // Fingerprint magnitudes reach ~7e4; FP32 keeps ~7 digits.
+    expect_box(rs.outbox(), out, 1e-2);
+    EXPECT_NEAR(rs.stats().compression_ratio(), 2.0, 1e-9);
+  });
+}
+
+TEST(Reshape, FloatFieldsExchangeRaw) {
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{8, 8, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 1, 4);
+    Reshape<std::complex<float>> rs(comm, bricks, pencils, ReshapeOptions{});
+    const Box3& ib = rs.inbox();
+    std::vector<std::complex<float>> in(
+        static_cast<std::size_t>(ib.count()));
+    std::size_t i = 0;
+    for (int z = ib.lo[2]; z < ib.hi(2); ++z)
+      for (int y = ib.lo[1]; y < ib.hi(1); ++y)
+        for (int x = ib.lo[0]; x < ib.hi(0); ++x)
+          in[i++] = {static_cast<float>(x + 8 * y),
+                     static_cast<float>(z)};
+    std::vector<std::complex<float>> out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    rs.execute(in, out);
+    const Box3& ob = rs.outbox();
+    i = 0;
+    for (int z = ob.lo[2]; z < ob.hi(2); ++z)
+      for (int y = ob.lo[1]; y < ob.hi(1); ++y)
+        for (int x = ob.lo[0]; x < ob.hi(0); ++x) {
+          EXPECT_EQ(out[i].real(), static_cast<float>(x + 8 * y));
+          EXPECT_EQ(out[i].imag(), static_cast<float>(z));
+          ++i;
+        }
+  });
+}
+
+TEST(Reshape, FloatWithCodecRejected) {
+  run_ranks(2, [](Comm& comm) {
+    const std::array<int, 3> n{4, 4, 4};
+    ReshapeOptions o;
+    o.codec = std::make_shared<CastFp32Codec>();
+    EXPECT_THROW(Reshape<std::complex<float>>(comm, split_brick(n, proc_grid3(2)),
+                                split_pencil(n, 0, 2), o),
+                 Error);
+    comm.barrier();
+  });
+}
+
+TEST(Reshape, MismatchedSpansRejected) {
+  run_ranks(2, [](Comm& comm) {
+    const std::array<int, 3> n{4, 4, 4};
+    Reshape<std::complex<double>> rs(comm, split_brick(n, proc_grid3(2)),
+                       split_pencil(n, 0, 2), ReshapeOptions{});
+    std::vector<std::complex<double>> wrong(3), out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    EXPECT_THROW(rs.execute(wrong, out), Error);
+    comm.barrier();
+  });
+}
+
+TEST(Reshape, RandomDecompositionsRoundTrip) {
+  // Property: for ANY pair of tilings of the grid (not just bricks and
+  // pencils), reshape A->B followed by B->A is the identity. Random
+  // brick-grid tilings with uneven splits exercise degenerate overlaps.
+  const std::array<int, 3> n{12, 10, 8};
+  const int p = 6;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    // Random process-grid tiling: pick a random factorization of p and
+    // (deterministically) uneven interval splits.
+    Xoshiro256 rng(seed);
+    const std::array<std::array<int, 3>, 4> grids = {
+        std::array<int, 3>{6, 1, 1}, {1, 6, 1}, {2, 3, 1}, {3, 1, 2}};
+    const auto ga = grids[rng.below(4)];
+    const auto gb = grids[rng.below(4)];
+    const auto boxes_a = split_brick(n, ga);
+    const auto boxes_b = split_brick(n, gb);
+    run_ranks(p, [&](Comm& comm) {
+      ReshapeOptions o;
+      o.backend = seed % 2 == 0 ? ExchangeBackend::kOsc
+                                : ExchangeBackend::kPairwise;
+      Reshape<std::complex<double>> fwd(comm, boxes_a, boxes_b, o);
+      Reshape<std::complex<double>> bwd(comm, boxes_b, boxes_a, o);
+      const auto in = fill_box(fwd.inbox());
+      std::vector<std::complex<double>> mid(
+          static_cast<std::size_t>(fwd.outbox().count()));
+      std::vector<std::complex<double>> back(in.size());
+      fwd.execute(in, mid);
+      expect_box(fwd.outbox(), mid, 0.0);
+      bwd.execute(mid, back);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(back[i], in[i]);
+      }
+    });
+  }
+}
+
+TEST(Reshape, RecordsExchangeTime) {
+  run_ranks(2, [](Comm& comm) {
+    const std::array<int, 3> n{8, 8, 8};
+    Reshape<std::complex<double>> rs(comm, split_brick(n, proc_grid3(2)),
+                                     split_pencil(n, 0, 2), ReshapeOptions{});
+    const auto in = fill_box(rs.inbox());
+    std::vector<std::complex<double>> out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    rs.execute(in, out);
+    EXPECT_GT(rs.stats().seconds, 0.0);
+  });
+}
+
+TEST(Reshape, StatsAccumulatePayload) {
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{8, 8, 8};
+    Reshape<std::complex<double>> rs(comm, split_brick(n, proc_grid3(4)),
+                       split_pencil(n, 0, 4), ReshapeOptions{});
+    const auto in = fill_box(rs.inbox());
+    std::vector<std::complex<double>> out(
+        static_cast<std::size_t>(rs.outbox().count()));
+    rs.execute(in, out);
+    rs.execute(in, out);
+    // Two executions, each moving the rank's whole inbox (16 bytes/elem).
+    EXPECT_EQ(rs.stats().payload_bytes,
+              2ull * static_cast<std::uint64_t>(rs.inbox().count()) * 16);
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft

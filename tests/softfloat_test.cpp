@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "softfloat/half.hpp"
+#include "softfloat/traits.hpp"
+#include "softfloat/trim.hpp"
+
+namespace lossyfft {
+namespace {
+
+// ------------------------------------------------------------------ FP16
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {  // All integers up to 2^11 are exact.
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(half_to_float(float_to_half(f)), f) << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half(0.0f).bits, 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f).bits, 0x8000);
+  EXPECT_EQ(float_to_half(1.0f).bits, 0x3C00);
+  EXPECT_EQ(float_to_half(-2.0f).bits, 0xC000);
+  EXPECT_EQ(float_to_half(65504.0f).bits, 0x7BFF);  // Max finite FP16.
+}
+
+TEST(Half, OverflowBecomesInfinity) {
+  EXPECT_EQ(float_to_half(65520.0f).bits, 0x7C00);  // Rounds up to inf.
+  EXPECT_EQ(float_to_half(1e10f).bits, 0x7C00);
+  EXPECT_EQ(float_to_half(-1e10f).bits, 0xFC00);
+}
+
+TEST(Half, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float_to_half(inf).bits, 0x7C00);
+  EXPECT_EQ(half_to_float(Half{0x7C00}), inf);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(nan))));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive FP16 subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float_to_half(tiny).bits, 0x0001);
+  EXPECT_EQ(half_to_float(Half{0x0001}), tiny);
+  // Halfway below the smallest subnormal rounds to zero (ties-to-even).
+  EXPECT_EQ(float_to_half(std::ldexp(1.0f, -26)).bits, 0x0000);
+}
+
+TEST(Half, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: even -> 1.0.
+  const float tie_down = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half(tie_down).bits, 0x3C00);
+  // (1 + 2^-10) + 2^-11 is halfway with odd lower bit: rounds up.
+  const float tie_up = 1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half(tie_up).bits, 0x3C02);
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite FP16 value converts to float and back to the same bits.
+  for (std::uint32_t u = 0; u < 0x10000; ++u) {
+    const Half h{static_cast<std::uint16_t>(u)};
+    const float f = half_to_float(h);
+    if (std::isnan(f)) continue;  // NaN payloads may legitimately differ.
+    EXPECT_EQ(float_to_half(f).bits, h.bits) << "bits=" << u;
+  }
+}
+
+TEST(Half, RelativeErrorWithinUnitRoundoff) {
+  // For values in FP16's normal range, |x - fl(x)| <= u*|x| with u = 2^-11.
+  const double u = std::ldexp(1.0, -11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::ldexp(1.0 + i / 2000.0, (i % 29) - 14);
+    const double err = std::fabs(half_to_double(double_to_half(x)) - x);
+    EXPECT_LE(err, u * std::fabs(x) * (1 + 1e-12)) << x;
+  }
+}
+
+// ------------------------------------------------------------------ BF16
+
+TEST(BFloat16, TruncatesMantissaKeepingRange) {
+  EXPECT_EQ(bfloat16_to_float(float_to_bfloat16(1.0f)), 1.0f);
+  // BF16 keeps FP32 exponent range: 1e30 stays finite.
+  EXPECT_TRUE(std::isfinite(bfloat16_to_float(float_to_bfloat16(1e30f))));
+  // But FP16 cannot represent it.
+  EXPECT_FALSE(std::isfinite(half_to_float(float_to_half(1e30f))));
+}
+
+TEST(BFloat16, NanPreserved) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(bfloat16_to_float(float_to_bfloat16(nan))));
+}
+
+TEST(BFloat16, RoundToNearest) {
+  // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7 (BF16 keeps 7 bits):
+  // ties-to-even keeps 1.0.
+  const float tie = 1.0f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(bfloat16_to_float(float_to_bfloat16(tie)), 1.0f);
+  const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -10);
+  EXPECT_EQ(bfloat16_to_float(float_to_bfloat16(above)),
+            1.0f + std::ldexp(1.0f, -7));
+}
+
+// ----------------------------------------------------------------- Trim
+
+TEST(Trim, FullMantissaIsIdentity) {
+  for (double v : {1.0, -3.14159, 1e-300, 1e300, 0.0}) {
+    EXPECT_EQ(trim_mantissa(v, 52), v);
+  }
+}
+
+TEST(Trim, TwentyThreeBitsMatchesFloatCastForNormalRange) {
+  // Keeping 23 mantissa bits is FP32's mantissa; within FP32's exponent
+  // range the result must agree with an actual cast.
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::ldexp(1.0 + i / 1000.0, (i % 60) - 30);
+    EXPECT_EQ(trim_mantissa(x, 23), through_fp32(x)) << x;
+  }
+}
+
+TEST(Trim, PreservesRangeUnlikeCasting) {
+  // Mantissa trimming keeps the 11-bit exponent: huge values survive.
+  const double huge = 1e300;
+  EXPECT_TRUE(std::isfinite(trim_mantissa(huge, 10)));
+  EXPECT_NEAR(trim_mantissa(huge, 10) / huge, 1.0, 1e-3);
+}
+
+TEST(Trim, ErrorBoundedByUnitRoundoff) {
+  for (int m : {0, 4, 10, 23, 40, 51}) {
+    const double u = unit_roundoff_for_mantissa(m);
+    for (int i = 1; i < 500; ++i) {
+      const double x = std::ldexp(1.0 + i / 500.0, (i % 11) - 5);
+      const double t = trim_mantissa(x, m);
+      EXPECT_LE(std::fabs(t - x), u * std::fabs(x) * (1 + 1e-12))
+          << "m=" << m << " x=" << x;
+    }
+  }
+}
+
+TEST(Trim, MonotoneInBits) {
+  // More retained bits can never increase the error.
+  const double x = 1.0 / 3.0;
+  double prev = std::fabs(trim_mantissa(x, 0) - x);
+  for (int m = 1; m <= 52; ++m) {
+    const double err = std::fabs(trim_mantissa(x, m) - x);
+    EXPECT_LE(err, prev * (1 + 1e-15)) << m;
+    prev = err;
+  }
+}
+
+TEST(Trim, TiesToEvenInRetainedPrecision) {
+  // x = 1 + 2^-m exactly between representables; even result expected.
+  const int m = 8;
+  const double tie = 1.0 + std::ldexp(1.0, -(m + 1));
+  EXPECT_EQ(trim_mantissa(tie, m), 1.0);
+}
+
+TEST(Trim, NonFinitePassThrough) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(trim_mantissa(inf, 5), inf);
+  EXPECT_TRUE(std::isnan(trim_mantissa(std::nan(""), 5)));
+}
+
+TEST(Trim, SpanOverloadTrimsEverything) {
+  std::vector<double> v = {1.1, 2.2, 3.3};
+  trim_mantissa(std::span<double>(v), 8);
+  for (const double x : v) {
+    EXPECT_EQ(x, trim_mantissa(x, 8));
+  }
+}
+
+TEST(Trim, RejectsBadBitCounts) {
+  EXPECT_THROW(trim_mantissa(1.0, -1), Error);
+  EXPECT_THROW(trim_mantissa(1.0, 53), Error);
+}
+
+TEST(Trim, PackedBitsAndRate) {
+  EXPECT_EQ(packed_bits_for_mantissa(52), 64);
+  EXPECT_EQ(packed_bits_for_mantissa(20), 32);
+  EXPECT_DOUBLE_EQ(compression_rate_for_mantissa(52), 1.0);
+  EXPECT_DOUBLE_EQ(compression_rate_for_mantissa(20), 2.0);
+  EXPECT_DOUBLE_EQ(compression_rate_for_mantissa(4), 4.0);
+}
+
+// --------------------------------------------------------------- Table I
+
+TEST(TableI, FormatParametersMatchThePaper) {
+  // The paper's Table I values (two significant digits).
+  const auto near2 = [](double got, double want) {
+    EXPECT_NEAR(got / want, 1.0, 0.05) << "got " << got << " want " << want;
+  };
+  const auto bf16 = bfloat16_format();
+  near2(bf16.min_subnormal(), 9.2e-41);
+  near2(bf16.min_normal(), 1.2e-38);
+  near2(bf16.max_finite(), 3.4e38);
+  near2(bf16.unit_roundoff(), 3.9e-3);
+
+  const auto fp16 = fp16_format();
+  near2(fp16.min_subnormal(), 6.0e-8);
+  near2(fp16.min_normal(), 6.1e-5);
+  near2(fp16.max_finite(), 6.6e4);
+  near2(fp16.unit_roundoff(), 4.9e-4);
+
+  const auto fp32 = fp32_format();
+  near2(fp32.min_subnormal(), 1.4e-45);
+  near2(fp32.min_normal(), 1.2e-38);
+  near2(fp32.max_finite(), 3.4e38);
+  near2(fp32.unit_roundoff(), 6.0e-8);
+
+  const auto fp64 = fp64_format();
+  near2(fp64.min_subnormal(), 4.9e-324);
+  near2(fp64.min_normal(), 2.2e-308);
+  // The paper prints 1.8e308; that literal overflows double, so compare
+  // against the exact value.
+  near2(fp64.max_finite(), 1.7976931348623157e308);
+  near2(fp64.unit_roundoff(), 1.1e-16);
+}
+
+TEST(TableI, MachineLimitsAgree) {
+  const auto fp64 = fp64_format();
+  EXPECT_EQ(fp64.min_normal(), std::numeric_limits<double>::min());
+  EXPECT_EQ(fp64.max_finite(), std::numeric_limits<double>::max());
+  EXPECT_EQ(fp64.min_subnormal(), std::numeric_limits<double>::denorm_min());
+  const auto fp32 = fp32_format();
+  EXPECT_EQ(fp32.min_normal(), double(std::numeric_limits<float>::min()));
+  EXPECT_EQ(fp32.max_finite(), double(std::numeric_limits<float>::max()));
+}
+
+TEST(TableI, RowsCoverAllFourFormats) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].format.name, "BFloat16");
+  EXPECT_FALSE(rows[0].peak_tflops_v100.has_value());  // N/A on V100.
+  EXPECT_EQ(rows[1].format.name, "FP16");
+  EXPECT_DOUBLE_EQ(*rows[1].peak_tflops_v100, 125.0);
+  EXPECT_DOUBLE_EQ(rows[3].peak_tflops_mi100, 11.5);
+}
+
+}  // namespace
+}  // namespace lossyfft
