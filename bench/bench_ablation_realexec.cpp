@@ -2,12 +2,18 @@
 //
 // Every other performance number in this harness is modeled; this bench
 // times the *actual* library (8 thread ranks on this machine, 48^3 grid)
-// across backend x codec, reporting milliseconds per transform and the
-// exchange share. Absolute values are machine-specific (one core here:
-// ranks serialize), but the wire-volume column is exact and the codec CPU
-// cost ordering is real.
+// across backend x codec x worker count, reporting milliseconds per
+// transform and the exchange share, and records the table to
+// BENCH_realexec.json. Absolute values are machine-specific (thread ranks
+// on few cores serialize), but the wire-volume column is exact and the
+// codec CPU cost ordering is real. The xN rows run the same transform
+// with the codec/pack engine fanned out to N shards of the process pool —
+// results are bitwise identical to the serial rows by construction.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -21,6 +27,10 @@
 using namespace lossyfft;
 
 int main() {
+  // Size the process pool before its first use; keep a user's explicit
+  // choice. The pool is shared by every config below.
+  ::setenv("LOSSYFFT_WORKERS", "4", /*overwrite=*/0);
+
   const int ranks = 8, iters = 2;
   const std::array<int, 3> n{48, 48, 48};
   std::printf("== Ablation: measured execution, %dx%dx%d over %d thread "
@@ -30,22 +40,36 @@ int main() {
     const char* label;
     ExchangeBackend backend;
     CodecPtr codec;
+    int workers;  // ReshapeOptions::workers (1 = serial).
   };
+  const auto fp32 = std::make_shared<CastFp32Codec>();
+  const auto fp16 = std::make_shared<CastFp16Codec>();
+  const auto trim20 = std::make_shared<BitTrimCodec>(20);
+  const auto szq6 = std::make_shared<SzqCodec>(1e-6);
+  const auto rle = std::make_shared<ByteplaneRleCodec>();
   const Cfg cfgs[] = {
-      {"pairwise raw", ExchangeBackend::kPairwise, nullptr},
-      {"linear raw", ExchangeBackend::kLinear, nullptr},
-      {"osc raw", ExchangeBackend::kOsc, nullptr},
-      {"osc fp64->fp32", ExchangeBackend::kOsc,
-       std::make_shared<CastFp32Codec>()},
-      {"osc fp64->fp16", ExchangeBackend::kOsc,
-       std::make_shared<CastFp16Codec>()},
-      {"osc bittrim20", ExchangeBackend::kOsc,
-       std::make_shared<BitTrimCodec>(20)},
-      {"osc szq 1e-6", ExchangeBackend::kOsc,
-       std::make_shared<SzqCodec>(1e-6)},
-      {"osc rle", ExchangeBackend::kOsc,
-       std::make_shared<ByteplaneRleCodec>()},
+      {"pairwise raw", ExchangeBackend::kPairwise, nullptr, 1},
+      {"linear raw", ExchangeBackend::kLinear, nullptr, 1},
+      {"osc raw", ExchangeBackend::kOsc, nullptr, 1},
+      {"osc raw x4", ExchangeBackend::kOsc, nullptr, 4},
+      {"osc fp64->fp32", ExchangeBackend::kOsc, fp32, 1},
+      {"osc fp64->fp32 x4", ExchangeBackend::kOsc, fp32, 4},
+      {"osc fp64->fp16", ExchangeBackend::kOsc, fp16, 1},
+      {"osc fp64->fp16 x4", ExchangeBackend::kOsc, fp16, 4},
+      {"osc bittrim20", ExchangeBackend::kOsc, trim20, 1},
+      {"osc bittrim20 x4", ExchangeBackend::kOsc, trim20, 4},
+      {"osc szq 1e-6", ExchangeBackend::kOsc, szq6, 1},
+      {"osc rle", ExchangeBackend::kOsc, rle, 1},
+      {"pairwise fp64->fp32", ExchangeBackend::kPairwise, fp32, 1},
+      {"pairwise fp64->fp32 x4", ExchangeBackend::kPairwise, fp32, 4},
   };
+
+  struct Row {
+    std::string label;
+    int workers;
+    double ms, exch_ms, ratio, err;
+  };
+  std::vector<Row> rows;
 
   TablePrinter t({"config", "ms/roundtrip", "exchange ms", "wire ratio",
                   "roundtrip err"});
@@ -55,6 +79,7 @@ int main() {
       Fft3dOptions o;
       o.backend = cfg.backend;
       o.codec = cfg.codec;
+      o.reshape_workers = cfg.workers;
       Fft3d<double> fft(comm, n, o);
       Xoshiro256 rng(5 + static_cast<std::uint64_t>(comm.rank()));
       std::vector<std::complex<double>> in(fft.local_count()),
@@ -79,11 +104,32 @@ int main() {
     t.add_row({cfg.label, TablePrinter::fmt(ms, 1),
                TablePrinter::fmt(exch_ms, 1), TablePrinter::fmt(ratio, 2),
                TablePrinter::sci(err, 1)});
+    rows.push_back({cfg.label, cfg.workers, ms, exch_ms, ratio, err});
   }
   t.print();
   std::printf(
-      "\nNote: thread ranks on one core serialize, so times measure CPU\n"
-      "work (pack + codec + copies), not network overlap — the wire-ratio\n"
-      "column is the quantity the netsim figures scale by.\n");
+      "\nNote: thread ranks sharing few cores serialize, so times measure\n"
+      "CPU work (pack + codec + copies), not network overlap; xN rows add\n"
+      "worker-pool fan-out, which only pays off with spare cores. The\n"
+      "wire-ratio column is the quantity the netsim figures scale by.\n");
+
+  if (std::FILE* f = std::fopen("BENCH_realexec.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"grid\": [%d, %d, %d],\n  \"ranks\": %d,\n"
+                 "  \"iters\": %d,\n  \"configs\": [\n",
+                 n[0], n[1], n[2], ranks, iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"workers\": %d, "
+                   "\"ms_per_roundtrip\": %.3f, \"exchange_ms\": %.3f, "
+                   "\"wire_ratio\": %.4f, \"roundtrip_err\": %.3e}%s\n",
+                   r.label.c_str(), r.workers, r.ms, r.exch_ms, r.ratio,
+                   r.err, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("Wrote BENCH_realexec.json\n");
+  }
   return 0;
 }

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/lossless.hpp"
+#include "compress/parallel_codec.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
 #include "compress/zfpx.hpp"
@@ -98,6 +100,61 @@ void BM_Decompress(benchmark::State& state) {
   state.SetLabel(codec->name());
 }
 BENCHMARK(BM_Decompress)->DenseRange(0, 6);
+
+// Sharded cast/trim kernels at 1/2/4 total workers (caller included). At
+// one worker the ParallelCodec runs the plain serial kernel, so the
+// worker sweep isolates the fan-out overhead/speedup on this machine;
+// record to BENCH_kernels.json via --benchmark_out.
+std::shared_ptr<Codec> make_shardable_codec(int which) {
+  switch (which) {
+    case 0: return std::make_shared<CastFp32Codec>();
+    case 1: return std::make_shared<CastFp16Codec>(/*scaled=*/false);
+    default: return std::make_shared<BitTrimCodec>(20);
+  }
+}
+
+void BM_CompressParallel(benchmark::State& state) {
+  const auto inner = make_shardable_codec(static_cast<int>(state.range(0)));
+  const int total = static_cast<int>(state.range(1));
+  WorkerPool pool(total - 1);
+  const ParallelCodec codec(inner, &pool, total, /*min_parallel_elems=*/1);
+  const std::size_t n = 1 << 18;
+  Xoshiro256 rng(5);
+  std::vector<double> in(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec.max_compressed_bytes(n));
+  for (auto _ : state) {
+    const std::size_t used = codec.compress(in, wire);
+    benchmark::DoNotOptimize(used);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(inner->name() + " x" + std::to_string(total));
+}
+BENCHMARK(BM_CompressParallel)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}});
+
+void BM_DecompressParallel(benchmark::State& state) {
+  const auto inner = make_shardable_codec(static_cast<int>(state.range(0)));
+  const int total = static_cast<int>(state.range(1));
+  WorkerPool pool(total - 1);
+  const ParallelCodec codec(inner, &pool, total, /*min_parallel_elems=*/1);
+  const std::size_t n = 1 << 18;
+  Xoshiro256 rng(6);
+  std::vector<double> in(n), out(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec.max_compressed_bytes(n));
+  const std::size_t used = codec.compress(in, wire);
+  for (auto _ : state) {
+    codec.decompress(std::span<const std::byte>(wire.data(), used), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(inner->name() + " x" + std::to_string(total));
+}
+BENCHMARK(BM_DecompressParallel)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}});
 
 }  // namespace
 

@@ -236,7 +236,26 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/common/rng.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/compress/lossless.hpp \
- /root/repo/src/compress/codec.hpp /root/repo/src/compress/szq.hpp \
- /root/repo/src/compress/truncate.hpp /root/repo/src/compress/zfpx.hpp \
- /root/repo/src/fft/fft1d.hpp
+ /usr/include/c++/12/array /root/repo/src/common/worker_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/compress/lossless.hpp \
+ /root/repo/src/compress/codec.hpp \
+ /root/repo/src/compress/parallel_codec.hpp \
+ /root/repo/src/compress/szq.hpp /root/repo/src/compress/truncate.hpp \
+ /root/repo/src/compress/zfpx.hpp /root/repo/src/fft/fft1d.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/lossyfft_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/lossyfft_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/worker_pool.cpp" "src/common/CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

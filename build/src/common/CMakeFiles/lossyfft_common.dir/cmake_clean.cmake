@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lossyfft_common.dir/rng.cpp.o.d"
   "CMakeFiles/lossyfft_common.dir/table.cpp.o"
   "CMakeFiles/lossyfft_common.dir/table.cpp.o.d"
+  "CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o"
+  "CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o.d"
   "liblossyfft_common.a"
   "liblossyfft_common.pdb"
 )

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/compress/checksum.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/checksum.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/checksum.cpp.o.d"
   "/root/repo/src/compress/lossless.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/lossless.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/lossless.cpp.o.d"
+  "/root/repo/src/compress/parallel_codec.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o.d"
   "/root/repo/src/compress/planner.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/planner.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/planner.cpp.o.d"
   "/root/repo/src/compress/szq.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/szq.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/szq.cpp.o.d"
   "/root/repo/src/compress/truncate.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/truncate.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/truncate.cpp.o.d"

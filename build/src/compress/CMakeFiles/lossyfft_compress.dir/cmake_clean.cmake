@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lossyfft_compress.dir/checksum.cpp.o.d"
   "CMakeFiles/lossyfft_compress.dir/lossless.cpp.o"
   "CMakeFiles/lossyfft_compress.dir/lossless.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o.d"
   "CMakeFiles/lossyfft_compress.dir/planner.cpp.o"
   "CMakeFiles/lossyfft_compress.dir/planner.cpp.o.d"
   "CMakeFiles/lossyfft_compress.dir/szq.cpp.o"

@@ -244,4 +244,16 @@ src/dfft/CMakeFiles/lossyfft_dfft.dir/reshape.cpp.o: \
  /root/repo/src/minimpi/types.hpp /root/repo/src/osc/osc_alltoall.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/error.hpp /root/repo/src/common/stopwatch.hpp \
- /usr/include/c++/12/chrono /root/repo/src/minimpi/alltoall.hpp
+ /usr/include/c++/12/chrono /root/repo/src/common/worker_pool.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/compress/parallel_codec.hpp \
+ /root/repo/src/minimpi/alltoall.hpp

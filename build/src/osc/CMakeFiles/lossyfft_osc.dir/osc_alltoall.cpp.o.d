@@ -218,14 +218,13 @@ src/osc/CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /root/repo/src/minimpi/types.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/numeric \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/compress/truncate.hpp \
- /root/repo/src/minimpi/alltoall.hpp /root/repo/src/minimpi/window.hpp \
- /root/repo/src/netsim/model.hpp /root/repo/src/netsim/topology.hpp \
- /root/repo/src/osc/schedule.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/arena.hpp /root/repo/src/common/error.hpp \
+ /root/repo/src/common/worker_pool.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -233,4 +232,7 @@ src/osc/CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/compress/truncate.hpp /root/repo/src/minimpi/alltoall.hpp \
+ /root/repo/src/minimpi/window.hpp /root/repo/src/netsim/model.hpp \
+ /root/repo/src/netsim/topology.hpp /root/repo/src/osc/schedule.hpp

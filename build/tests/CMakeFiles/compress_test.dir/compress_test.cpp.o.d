@@ -314,9 +314,10 @@ tests/CMakeFiles/compress_test.dir/compress_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/error.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/span /root/repo/src/compress/checksum.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstring \
+ /root/repo/src/common/error.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/span \
+ /root/repo/src/compress/bitio.hpp /root/repo/src/compress/checksum.hpp \
  /root/repo/src/compress/codec.hpp /root/repo/src/compress/lossless.hpp \
  /root/repo/src/compress/planner.hpp /root/repo/src/compress/szq.hpp \
  /root/repo/src/compress/truncate.hpp /root/repo/src/compress/zfpx.hpp \

@@ -1,0 +1,46 @@
+// ScratchArena: a reusable bump allocator for codec staging buffers.
+//
+// The OSC pipeline stages one compressed chunk per (destination, chunk)
+// job per round; allocating those buffers fresh on every exchange puts
+// malloc on the hot path. An arena is reserved once per phase (growing
+// only until the steady state is reached), handed out as spans, and reset
+// wholesale. Spans from alloc() stay valid until the next reset() —
+// reserve() must precede the alloc() sequence it backs, because growing
+// would move the storage under live spans.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+class ScratchArena {
+ public:
+  /// Ensure capacity for `bytes` from the current reset point. Must not be
+  /// called while spans from alloc() are live (growth reallocates).
+  void reserve(std::size_t bytes) {
+    if (used_ + bytes > buf_.size()) buf_.resize(used_ + bytes);
+  }
+
+  /// Carve `bytes` out of the reserved storage.
+  std::span<std::byte> alloc(std::size_t bytes) {
+    LFFT_ASSERT(used_ + bytes <= buf_.size());  // reserve() was too small.
+    std::byte* p = buf_.data() + used_;
+    used_ += bytes;
+    return {p, bytes};
+  }
+
+  /// Invalidate every span handed out; capacity is retained.
+  void reset() { used_ = 0; }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace lossyfft

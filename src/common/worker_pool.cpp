@@ -1,0 +1,206 @@
+#include "common/worker_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+}  // namespace
+
+WorkerPool::WorkerPool(int workers) {
+  LFFT_REQUIRE(workers >= 0, "WorkerPool: worker count must be >= 0");
+  queues_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lk(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool WorkerPool::on_worker_thread() { return tls_on_worker; }
+
+void WorkerPool::push(std::function<void()> task) {
+  std::size_t victim;
+  {
+    std::lock_guard lk(idle_mu_);
+    victim = rr_++ % queues_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard lk(queues_[victim]->mu);
+    queues_[victim]->q.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool WorkerPool::try_run_one(std::size_t self) {
+  // Own queue first (newest first: cache-warm), then steal oldest-first
+  // from the siblings.
+  std::function<void()> task;
+  const std::size_t w = queues_.size();
+  for (std::size_t probe = 0; probe < w && !task; ++probe) {
+    auto& q = *queues_[(self + probe) % w];
+    std::lock_guard lk(q.mu);
+    if (q.q.empty()) continue;
+    if (probe == 0) {
+      task = std::move(q.q.back());
+      q.q.pop_back();
+    } else {
+      task = std::move(q.q.front());
+      q.q.pop_front();
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard lk(idle_mu_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void WorkerPool::worker_loop(std::size_t self) {
+  tls_on_worker = true;
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock lk(idle_mu_);
+    idle_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+std::future<void> WorkerPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (queues_.empty()) {
+    (*task)();  // No workers: run inline, future already satisfied.
+    return fut;
+  }
+  push([task] { (*task)(); });
+  return fut;
+}
+
+namespace {
+
+// Shared state of one parallel_for call; lives on the caller's stack. The
+// shard boundaries are a pure function of (n, granularity, shard count):
+// scheduling decides only *who* runs a shard, never what it covers.
+struct ForJob {
+  const std::function<void(std::size_t, std::size_t)>* fn;
+  std::size_t n;
+  std::size_t shard_elems;
+  std::size_t shards;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending = 0;  // Helper tasks not yet finished (guarded by mu).
+  std::exception_ptr error;  // First failure (guarded by mu).
+
+  // Run shards until none are left; returns once drained.
+  void run_shards() {
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards) return;
+      const std::size_t begin = s * shard_elems;
+      const std::size_t end = std::min(n, begin + shard_elems);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard lk(mu);
+        if (!error) error = std::current_exception();
+        // Poison the counter so remaining shards are skipped.
+        next.store(shards, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void WorkerPool::parallel_for(
+    std::size_t n, std::size_t granularity,
+    const std::function<void(std::size_t, std::size_t)>& fn, int max_shards) {
+  LFFT_REQUIRE(granularity >= 1, "parallel_for: granularity must be >= 1");
+  if (n == 0) return;
+  std::size_t shards = max_shards > 0 ? static_cast<std::size_t>(max_shards)
+                                      : static_cast<std::size_t>(concurrency());
+  // Static partition: even split rounded up to the granularity. The tail
+  // shard absorbs the remainder; shards past n collapse to empty. The
+  // boundaries depend only on (n, granularity, max_shards) — never on the
+  // pool size or scheduling — so every execution mode below covers the
+  // exact same shards.
+  std::size_t per = (n + shards - 1) / shards;
+  per = (per + granularity - 1) / granularity * granularity;
+  shards = (n + per - 1) / per;
+  if (shards <= 1) {
+    fn(0, n);
+    return;
+  }
+  // Nested call from a pool task, or nothing to fan out to: run the same
+  // shards sequentially on this thread. (A worker blocking on queue slots
+  // held by its own ancestors would deadlock a saturated pool.)
+  if (workers() == 0 || tls_on_worker) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * per;
+      fn(begin, std::min(n, begin + per));
+    }
+    return;
+  }
+
+  ForJob job;
+  job.fn = &fn;
+  job.n = n;
+  job.shard_elems = per;
+  job.shards = shards;
+
+  // One helper per worker (capped by the shard count): each drains shards
+  // until the counter runs dry, then signals completion.
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(workers()), shards - 1);
+  job.pending = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    push([&job] {
+      job.run_shards();
+      std::lock_guard lk(job.mu);
+      if (--job.pending == 0) job.cv.notify_all();
+    });
+  }
+  job.run_shards();  // The caller participates.
+  std::unique_lock lk(job.mu);
+  job.cv.wait(lk, [&job] { return job.pending == 0; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+WorkerPool& WorkerPool::global() {
+  static WorkerPool pool(env_workers());
+  return pool;
+}
+
+int WorkerPool::env_workers() {
+  if (const char* s = std::getenv("LOSSYFFT_WORKERS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace lossyfft

@@ -1,0 +1,97 @@
+// WorkerPool: the process-wide execution engine behind the parallel
+// codec/pack paths (ParallelCodec, Reshape fan-out, the OSC chunk
+// pipeline).
+//
+// Design: one pool per process, shared by every minimpi rank thread. Each
+// worker owns a deque; submissions are pushed round-robin and idle workers
+// steal from the back of their siblings, so a rank that floods the pool
+// with chunk jobs cannot starve another rank's pack fan-out. parallel_for
+// partitions an index space into *statically determined* contiguous shards
+// (boundaries depend only on the trip count, the granularity and the shard
+// cap — never on scheduling), which is what keeps every parallel consumer
+// bitwise identical to its serial path: shards write disjoint output and
+// their boundaries are reproducible run to run.
+//
+// Rank threads and pool workers are different species: rank threads run
+// minimpi communication and may block on each other; pool tasks must be
+// pure compute (no Comm calls), so they always drain. A task that itself
+// calls parallel_for runs its loop inline on the worker (nested-submit
+// deadlock guard) instead of waiting on queue slots that may never free.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lossyfft {
+
+class WorkerPool {
+ public:
+  /// Spawn `workers` worker threads (>= 0; 0 means every call runs inline
+  /// on the caller).
+  explicit WorkerPool(int workers);
+
+  /// Drains every queued task, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Worker thread count (the caller participates too, so the usable
+  /// parallelism of parallel_for is workers() + 1).
+  int workers() const { return static_cast<int>(threads_.size()); }
+  int concurrency() const { return workers() + 1; }
+
+  /// Run `fn(begin, end)` over disjoint shards covering [0, n). Shard
+  /// boundaries are multiples of `granularity` (except the final bound n)
+  /// and there are at most `max_shards` of them (0 = concurrency()). The
+  /// caller participates; the call returns after every shard ran. The
+  /// first exception thrown by any shard is rethrown here. Called from
+  /// inside a pool task, the same shards run sequentially on that worker
+  /// (nested-submit deadlock guard) — boundaries never change with the
+  /// execution mode.
+  void parallel_for(std::size_t n, std::size_t granularity,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    int max_shards = 0);
+
+  /// Enqueue one task; the future rethrows the task's exception on get().
+  /// Do not wait on the future from inside another pool task.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True on a pool worker thread (of any pool).
+  static bool on_worker_thread();
+
+  /// The process-wide pool, created on first use with env_workers()
+  /// threads. Shared by all rank threads.
+  static WorkerPool& global();
+
+  /// Pool size policy: LOSSYFFT_WORKERS if set (>= 1), else the hardware
+  /// concurrency.
+  static int env_workers();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_run_one(std::size_t self);
+  void push(std::function<void()> task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;  // Guarded by idle_mu_.
+  bool stop_ = false;       // Guarded by idle_mu_.
+  unsigned rr_ = 0;         // Guarded by idle_mu_ (round-robin cursor).
+};
+
+}  // namespace lossyfft

@@ -15,9 +15,31 @@ class BitWriter {
   explicit BitWriter(std::span<std::byte> out) : out_(out) {}
 
   /// Append the low `nbits` bits of `v` (LSB first). nbits in [0, 64].
+  /// Byte-chunked: a 12..64-bit value costs 2..9 byte operations instead
+  /// of one pass per bit — the difference between the bit-packing codecs
+  /// being memory-bound and being ALU-bound.
   void put(std::uint64_t v, int nbits) {
     LFFT_ASSERT(nbits >= 0 && nbits <= 64);
-    for (int i = 0; i < nbits; ++i) put_bit((v >> i) & 1u);
+    if (nbits == 0) return;
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    int done = 0;
+    while (done < nbits) {
+      const std::size_t byte = pos_ >> 3;
+      LFFT_ASSERT(byte < out_.size());
+      const int bit = static_cast<int>(pos_ & 7);
+      const int take = std::min(8 - bit, nbits - done);
+      // The window past `take` (bits of the *next* byte) falls off the
+      // top of the 8-bit mask; `v` is pre-masked so nothing stray enters
+      // from above nbits.
+      const auto chunk = static_cast<unsigned>((v >> done) & 0xffu);
+      if (bit == 0) {
+        out_[byte] = std::byte(chunk);
+      } else {
+        out_[byte] |= std::byte((chunk << bit) & 0xffu);
+      }
+      pos_ += static_cast<std::size_t>(take);
+      done += take;
+    }
   }
 
   void put_bit(bool b) {
@@ -47,8 +69,20 @@ class BitReader {
   std::uint64_t get(int nbits) {
     LFFT_ASSERT(nbits >= 0 && nbits <= 64);
     std::uint64_t v = 0;
-    for (int i = 0; i < nbits; ++i) {
-      v |= static_cast<std::uint64_t>(get_bit()) << i;
+    int done = 0;
+    while (done < nbits) {
+      const std::size_t byte = pos_ >> 3;
+      // Reading past the end means a truncated/corrupted wire stream — a
+      // recoverable input error, not a library bug.
+      LFFT_REQUIRE(byte < in_.size(), "bitstream: read past end of input");
+      const int bit = static_cast<int>(pos_ & 7);
+      const int take = std::min(8 - bit, nbits - done);
+      const std::uint64_t chunk =
+          (std::to_integer<std::uint64_t>(in_[byte]) >> bit) &
+          ((std::uint64_t{1} << take) - 1);
+      v |= chunk << done;
+      pos_ += static_cast<std::size_t>(take);
+      done += take;
     }
     return v;
   }

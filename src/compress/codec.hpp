@@ -51,6 +51,22 @@ class Codec {
 
   /// True when decompress(compress(x)) == x exactly.
   virtual bool lossless() const { return false; }
+
+  /// Element granularity at which the stream may be split into
+  /// independently coded shards, or 0 when it cannot be split (the
+  /// default). A nonzero value g promises, for every element offset e
+  /// that is a multiple of g:
+  ///   - the encoded prefix of e elements occupies exactly
+  ///     max_compressed_bytes(e) bytes (shard boundaries are byte-aligned
+  ///     and max_compressed_bytes is additive across them), and
+  ///   - compressing [e, m) alone produces the same bytes the full-stream
+  ///     encoder writes at [max_compressed_bytes(e),
+  ///     max_compressed_bytes(m)), with decompression sharding the same
+  ///     way.
+  /// This is what lets ParallelCodec fan shards out across workers while
+  /// staying bitwise identical to the serial encoder. Only meaningful for
+  /// fixed_size() codecs.
+  virtual std::size_t parallel_granularity() const { return 0; }
 };
 
 using CodecPtr = std::shared_ptr<const Codec>;

@@ -1,0 +1,58 @@
+#include "compress/parallel_codec.hpp"
+
+#include "common/error.hpp"
+
+namespace lossyfft {
+
+ParallelCodec::ParallelCodec(CodecPtr inner, WorkerPool* pool, int shards,
+                             std::size_t min_parallel_elems)
+    : inner_(std::move(inner)),
+      pool_(pool ? pool : &WorkerPool::global()),
+      shards_(shards),
+      min_parallel_(min_parallel_elems) {
+  LFFT_REQUIRE(inner_ != nullptr, "ParallelCodec: inner codec is null");
+  LFFT_REQUIRE(shards_ >= 0, "ParallelCodec: shard count must be >= 0");
+}
+
+bool ParallelCodec::shardable(std::size_t n) const {
+  return inner_->fixed_size() && inner_->parallel_granularity() > 0 &&
+         n >= min_parallel_ && (shards_ == 0 || shards_ > 1) &&
+         pool_->workers() > 0;
+}
+
+std::size_t ParallelCodec::compress(std::span<const double> in,
+                                    std::span<std::byte> out) const {
+  if (!shardable(in.size())) return inner_->compress(in, out);
+  const std::size_t total = inner_->max_compressed_bytes(in.size());
+  LFFT_REQUIRE(out.size() >= total, "parallel codec: output too small");
+  pool_->parallel_for(
+      in.size(), inner_->parallel_granularity(),
+      [&](std::size_t begin, std::size_t end) {
+        // Shard offsets come straight from the size formula: `begin` is a
+        // granularity multiple, so its encoded prefix is byte-exact.
+        const std::size_t off = inner_->max_compressed_bytes(begin);
+        const std::size_t len = inner_->max_compressed_bytes(end) - off;
+        inner_->compress(in.subspan(begin, end - begin),
+                         out.subspan(off, len));
+      },
+      shards_);
+  return total;
+}
+
+void ParallelCodec::decompress(std::span<const std::byte> in,
+                               std::span<double> out) const {
+  if (!shardable(out.size())) return inner_->decompress(in, out);
+  LFFT_REQUIRE(in.size() >= inner_->max_compressed_bytes(out.size()),
+               "parallel codec: input too small");
+  pool_->parallel_for(
+      out.size(), inner_->parallel_granularity(),
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t off = inner_->max_compressed_bytes(begin);
+        const std::size_t len = inner_->max_compressed_bytes(end) - off;
+        inner_->decompress(in.subspan(off, len),
+                           out.subspan(begin, end - begin));
+      },
+      shards_);
+}
+
+}  // namespace lossyfft

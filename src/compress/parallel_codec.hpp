@@ -1,0 +1,60 @@
+// ParallelCodec: fan a codec's compress/decompress out across the worker
+// pool.
+//
+// Wraps any Codec; when the inner codec declares a nonzero
+// parallel_granularity() (see codec.hpp for the contract), the payload is
+// split into statically partitioned shards — boundaries at granularity
+// multiples, offsets derived from max_compressed_bytes — and every shard
+// is coded independently on a pool worker. Because shard boundaries are a
+// pure function of the element count, the wire bytes are identical to the
+// serial encoder's, bit for bit, at every worker count: parallelism here
+// is an execution detail, never a format change.
+//
+// Codecs that cannot shard (variable-rate szq/RLE, scaled FP16, checksum
+// frames) fall through to the serial inner codec, so the decorator is
+// always safe to apply.
+#pragma once
+
+#include "common/worker_pool.hpp"
+#include "compress/codec.hpp"
+
+namespace lossyfft {
+
+class ParallelCodec final : public Codec {
+ public:
+  /// `shards` caps the fan-out (0 = the pool's full concurrency). Inputs
+  /// below `min_parallel_elems` skip the pool: fan-out overhead beats the
+  /// codec cost on tiny payloads.
+  explicit ParallelCodec(CodecPtr inner, WorkerPool* pool = nullptr,
+                         int shards = 0,
+                         std::size_t min_parallel_elems = 1u << 12);
+
+  /// Transparent: the wire format and the reported identity are the inner
+  /// codec's own.
+  std::string name() const override { return inner_->name(); }
+  std::size_t max_compressed_bytes(std::size_t n) const override {
+    return inner_->max_compressed_bytes(n);
+  }
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override;
+  bool fixed_size() const override { return inner_->fixed_size(); }
+  double nominal_rate() const override { return inner_->nominal_rate(); }
+  bool lossless() const override { return inner_->lossless(); }
+  std::size_t parallel_granularity() const override {
+    return inner_->parallel_granularity();
+  }
+
+  const CodecPtr& inner() const { return inner_; }
+
+ private:
+  bool shardable(std::size_t n) const;
+
+  CodecPtr inner_;
+  WorkerPool* pool_;
+  int shards_;
+  std::size_t min_parallel_;
+};
+
+}  // namespace lossyfft

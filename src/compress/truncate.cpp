@@ -1,5 +1,6 @@
 #include "compress/truncate.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -10,6 +11,16 @@
 #include "softfloat/trim.hpp"
 
 namespace lossyfft {
+
+namespace {
+
+// Lane width of the cast kernels: convert into a contiguous on-stack block,
+// then store it with one memcpy. The conversion loop is a straight-line
+// gather-free transform the compiler auto-vectorizes (vcvtpd2ps and
+// friends), where the per-element memcpy form defeated vectorization.
+constexpr std::size_t kLane = 1024;
+
+}  // namespace
 
 // ---------------------------------------------------------------- Identity
 
@@ -33,9 +44,13 @@ void IdentityCodec::decompress(std::span<const std::byte> in,
 std::size_t CastFp32Codec::compress(std::span<const double> in,
                                     std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= in.size() * 4, "fp32 cast: output too small");
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const float f = static_cast<float>(in[i]);
-    std::memcpy(out.data() + i * 4, &f, 4);
+  float lane[kLane];
+  for (std::size_t i = 0; i < in.size(); i += kLane) {
+    const std::size_t m = std::min(kLane, in.size() - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      lane[j] = static_cast<float>(in[i + j]);
+    }
+    std::memcpy(out.data() + i * 4, lane, m * 4);
   }
   return in.size() * 4;
 }
@@ -43,10 +58,13 @@ std::size_t CastFp32Codec::compress(std::span<const double> in,
 void CastFp32Codec::decompress(std::span<const std::byte> in,
                                std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= out.size() * 4, "fp32 cast: input too small");
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    float f;
-    std::memcpy(&f, in.data() + i * 4, 4);
-    out[i] = static_cast<double>(f);
+  float lane[kLane];
+  for (std::size_t i = 0; i < out.size(); i += kLane) {
+    const std::size_t m = std::min(kLane, out.size() - i);
+    std::memcpy(lane, in.data() + i * 4, m * 4);
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i + j] = static_cast<double>(lane[j]);
+    }
   }
 }
 
@@ -63,35 +81,40 @@ std::size_t CastFp16Codec::compress(std::span<const double> in,
                                     std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
                "fp16 cast: output too small");
-  const auto put16 = [&](std::size_t i, std::uint16_t bits) {
-    std::memcpy(out.data() + i * 2, &bits, 2);
-  };
+  std::uint16_t lane[kLane];
   if (!scaled_) {
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      put16(i, double_to_half(in[i]).bits);
+    for (std::size_t i = 0; i < in.size(); i += kLane) {
+      const std::size_t m = std::min(kLane, in.size() - i);
+      for (std::size_t j = 0; j < m; ++j) {
+        lane[j] = double_to_half(in[i + j]).bits;
+      }
+      std::memcpy(out.data() + i * 2, lane, m * 2);
     }
     return in.size() * 2;
   }
   // Scaled mode: one power-of-two scale per block, stored as float after
   // the packed halves. The scale maps the block max near 2^14 so values
-  // stay clear of both overflow and the subnormal floor.
+  // stay clear of both overflow and the subnormal floor. kBlock <= kLane,
+  // so one lane buffers a whole block.
+  static_assert(kBlock <= kLane);
   const std::size_t blocks = (in.size() + kBlock - 1) / kBlock;
   std::byte* scale_base = out.data() + in.size() * 2;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = b * kBlock;
-    const std::size_t hi = std::min(in.size(), lo + kBlock);
+    const std::size_t m = std::min(in.size(), lo + kBlock) - lo;
     double maxabs = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      maxabs = std::max(maxabs, std::fabs(in[i]));
+    for (std::size_t j = 0; j < m; ++j) {
+      maxabs = std::max(maxabs, std::fabs(in[lo + j]));
     }
     int exp = 0;
     if (maxabs > 0.0 && std::isfinite(maxabs)) std::frexp(maxabs, &exp);
-    const double scale = std::ldexp(1.0, 14 - exp);  // block max -> ~2^14.
+    const double scale = std::ldexp(1.0, 14 - exp);  // Block max -> ~2^14.
     const float fscale = static_cast<float>(scale);
     std::memcpy(scale_base + b * sizeof(float), &fscale, sizeof(float));
-    for (std::size_t i = lo; i < hi; ++i) {
-      put16(i, double_to_half(in[i] * scale).bits);
+    for (std::size_t j = 0; j < m; ++j) {
+      lane[j] = double_to_half(in[lo + j] * scale).bits;
     }
+    std::memcpy(out.data() + lo * 2, lane, m * 2);
   }
   return max_compressed_bytes(in.size());
 }
@@ -100,23 +123,29 @@ void CastFp16Codec::decompress(std::span<const std::byte> in,
                                std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= max_compressed_bytes(out.size()),
                "fp16 cast: input too small");
-  const auto get16 = [&](std::size_t i) {
-    std::uint16_t bits;
-    std::memcpy(&bits, in.data() + i * 2, 2);
-    return bits;
-  };
+  std::uint16_t lane[kLane];
   if (!scaled_) {
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = half_to_double(Half{get16(i)});
+    for (std::size_t i = 0; i < out.size(); i += kLane) {
+      const std::size_t m = std::min(kLane, out.size() - i);
+      std::memcpy(lane, in.data() + i * 2, m * 2);
+      for (std::size_t j = 0; j < m; ++j) {
+        out[i + j] = half_to_double(Half{lane[j]});
+      }
     }
     return;
   }
   const std::byte* scale_base = in.data() + out.size() * 2;
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  const std::size_t blocks = (out.size() + kBlock - 1) / kBlock;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t m = std::min(out.size(), lo + kBlock) - lo;
     float fscale;
-    std::memcpy(&fscale, scale_base + (i / kBlock) * sizeof(float),
-                sizeof(float));
-    out[i] = half_to_double(Half{get16(i)}) / static_cast<double>(fscale);
+    std::memcpy(&fscale, scale_base + b * sizeof(float), sizeof(float));
+    const double inv = 1.0 / static_cast<double>(fscale);
+    std::memcpy(lane, in.data() + lo * 2, m * 2);
+    for (std::size_t j = 0; j < m; ++j) {
+      out[lo + j] = half_to_double(Half{lane[j]}) * inv;
+    }
   }
 }
 
@@ -125,9 +154,13 @@ void CastFp16Codec::decompress(std::span<const std::byte> in,
 std::size_t CastBf16Codec::compress(std::span<const double> in,
                                     std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= in.size() * 2, "bf16 cast: output too small");
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const std::uint16_t bits = double_to_bfloat16(in[i]).bits;
-    std::memcpy(out.data() + i * 2, &bits, 2);
+  std::uint16_t lane[kLane];
+  for (std::size_t i = 0; i < in.size(); i += kLane) {
+    const std::size_t m = std::min(kLane, in.size() - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      lane[j] = double_to_bfloat16(in[i + j]).bits;
+    }
+    std::memcpy(out.data() + i * 2, lane, m * 2);
   }
   return in.size() * 2;
 }
@@ -135,10 +168,13 @@ std::size_t CastBf16Codec::compress(std::span<const double> in,
 void CastBf16Codec::decompress(std::span<const std::byte> in,
                                std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= out.size() * 2, "bf16 cast: input too small");
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    std::uint16_t bits;
-    std::memcpy(&bits, in.data() + i * 2, 2);
-    out[i] = bfloat16_to_double(BFloat16{bits});
+  std::uint16_t lane[kLane];
+  for (std::size_t i = 0; i < out.size(); i += kLane) {
+    const std::size_t m = std::min(kLane, out.size() - i);
+    std::memcpy(lane, in.data() + i * 2, m * 2);
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i + j] = bfloat16_to_double(BFloat16{lane[j]});
+    }
   }
 }
 
@@ -167,27 +203,76 @@ std::size_t BitTrimCodec::compress(std::span<const double> in,
                                    std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
                "bittrim: output too small");
-  BitWriter bw(out);
+  // Word-at-a-time packer: values accumulate LSB-first in a uint64_t lane
+  // that is flushed whole (same stream BitWriter produces, ~bits/8 byte
+  // stores per value instead of one pass per bit).
+  const int bits = bits_per_value_;
   const int drop = 52 - mantissa_bits_;
+  std::byte* dst = out.data();
+  std::size_t pos = 0;          // Bytes flushed so far.
+  std::uint64_t acc = 0;        // Pending stream bits, LSB-first.
+  int filled = 0;               // In [0, 63].
+  const auto flush_word = [&] {
+    for (int k = 0; k < 8; ++k) {
+      dst[pos + static_cast<std::size_t>(k)] = std::byte(acc >> (8 * k));
+    }
+    pos += 8;
+  };
   for (const double v : in) {
+    // Layout of a trimmed double, high to low: sign(1) exp(11)
+    // kept-mantissa. We transmit the top (12 + m) bits; the dropped low
+    // bits are zero.
     const double t = trim_mantissa(v, mantissa_bits_);
-    // Layout of a trimmed double, high to low: sign(1) exp(11) kept-mantissa.
-    // We transmit the top (12 + m) bits; the dropped low bits are zero.
     const std::uint64_t u = std::bit_cast<std::uint64_t>(t) >> drop;
-    bw.put(u, bits_per_value_);
+    acc |= u << filled;
+    const int take = 64 - filled;
+    if (bits >= take) {
+      flush_word();
+      acc = take < 64 ? (u >> take) : 0;
+      filled = bits - take;
+    } else {
+      filled += bits;
+    }
   }
-  return bw.byte_count();
+  for (int k = 0; k * 8 < filled; ++k) {
+    dst[pos++] = std::byte(acc >> (8 * k));
+  }
+  return max_compressed_bytes(in.size());
 }
 
 void BitTrimCodec::decompress(std::span<const std::byte> in,
                               std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= max_compressed_bytes(out.size()),
                "bittrim: input too small");
-  BitReader br(in);
+  // Word-at-a-time unpacker: load 8 stream bytes as one little-endian
+  // word at the value's byte offset, shift the in-byte phase away, and
+  // top up from a ninth byte when the value straddles the word. Near the
+  // end of the stream the load falls back to byte assembly.
+  const int bits = bits_per_value_;
   const int drop = 52 - mantissa_bits_;
+  const std::uint64_t mask =
+      bits < 64 ? (std::uint64_t{1} << bits) - 1 : ~std::uint64_t{0};
+  const std::byte* src = in.data();
+  const std::size_t nbytes = in.size();
+  std::size_t bitpos = 0;
   for (auto& v : out) {
-    const std::uint64_t u = br.get(bits_per_value_) << drop;
-    v = std::bit_cast<double>(u);
+    const std::size_t byte = bitpos >> 3;
+    const int phase = static_cast<int>(bitpos & 7);
+    std::uint64_t w;
+    if (byte + 8 <= nbytes) {
+      std::memcpy(&w, src + byte, 8);  // Little-endian stream word.
+    } else {
+      w = 0;
+      for (std::size_t k = byte; k < nbytes; ++k) {
+        w |= std::to_integer<std::uint64_t>(src[k]) << (8 * (k - byte));
+      }
+    }
+    std::uint64_t u = w >> phase;
+    if (phase != 0 && phase + bits > 64 && byte + 8 < nbytes) {
+      u |= std::to_integer<std::uint64_t>(src[byte + 8]) << (64 - phase);
+    }
+    v = std::bit_cast<double>((u & mask) << drop);
+    bitpos += static_cast<std::size_t>(bits);
   }
 }
 

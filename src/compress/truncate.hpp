@@ -29,6 +29,7 @@ class IdentityCodec final : public Codec {
   bool fixed_size() const override { return true; }
   double nominal_rate() const override { return 1.0; }
   bool lossless() const override { return true; }
+  std::size_t parallel_granularity() const override { return 1; }
 };
 
 class CastFp32Codec final : public Codec {
@@ -43,6 +44,7 @@ class CastFp32Codec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return true; }
   double nominal_rate() const override { return 2.0; }
+  std::size_t parallel_granularity() const override { return 1; }
 };
 
 class CastFp16Codec final : public Codec {
@@ -62,6 +64,9 @@ class CastFp16Codec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return true; }
   double nominal_rate() const override { return 4.0; }
+  /// Scaled mode interleaves nothing but appends all block scales after
+  /// the halves, so its stream is not a concatenation of sub-streams.
+  std::size_t parallel_granularity() const override { return scaled_ ? 0 : 1; }
 
   static constexpr std::size_t kBlock = 256;
 
@@ -81,6 +86,7 @@ class CastBf16Codec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return true; }
   double nominal_rate() const override { return 4.0; }
+  std::size_t parallel_granularity() const override { return 1; }
 };
 
 class BitTrimCodec final : public Codec {
@@ -97,6 +103,9 @@ class BitTrimCodec final : public Codec {
   bool fixed_size() const override { return true; }
   double nominal_rate() const override;
   bool lossless() const override { return mantissa_bits_ == 52; }
+  /// 8 values * (12 + m) bits is always a whole number of bytes, so shard
+  /// boundaries at multiples of 8 are byte-aligned in the packed stream.
+  std::size_t parallel_granularity() const override { return 8; }
 
   int mantissa_bits() const { return mantissa_bits_; }
 

@@ -40,6 +40,9 @@ class Zfpx1dCodec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return true; }
   double nominal_rate() const override;
+  /// Every 4-block is a self-contained byte-aligned unit (16-bit header +
+  /// padded payload), so the stream shards at block boundaries.
+  std::size_t parallel_granularity() const override { return 4; }
 
  private:
   int bits_per_value_;

@@ -46,10 +46,14 @@ struct Fft3dOptions {
   Scaling scaling = Scaling::kBackward;
   FftAlgorithm algorithm = FftAlgorithm::kPencil;
   osc::OscSync osc_sync = osc::OscSync::kFence;
+  /// Codec/pack worker shards per reshape (see ReshapeOptions::workers):
+  /// 1 = serial, 0 = full pool concurrency, k > 1 = k shards. Results are
+  /// bitwise identical at every setting.
+  int reshape_workers = 1;
 
   ReshapeOptions reshape_options() const {
-    return ReshapeOptions{backend, codec, osc_chunks, gpus_per_node,
-                          osc_sync};
+    return ReshapeOptions{backend,  codec,    osc_chunks,
+                          gpus_per_node, osc_sync, reshape_workers};
   }
 };
 

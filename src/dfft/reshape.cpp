@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "common/worker_pool.hpp"
+#include "compress/parallel_codec.hpp"
 #include "minimpi/alltoall.hpp"
 
 namespace lossyfft {
@@ -11,27 +13,50 @@ namespace lossyfft {
 namespace {
 
 // Copy the sub-volume `sub` of `box`-owned data between the box-local
-// buffer and a contiguous staging area (x-fastest within `sub`).
-template <typename E, bool kPack>
-void copy_subvolume(const Box3& box, const Box3& sub, E* box_data, E* staged) {
+// buffer and a contiguous staging area (x-fastest within `sub`). Two
+// const-correct directions instead of one template over a cast.
+template <typename E>
+std::size_t subvolume_row_base(const Box3& box, const Box3& sub, int y,
+                               int z) {
+  return static_cast<std::size_t>(sub.lo[0] - box.lo[0]) +
+         static_cast<std::size_t>(box.size[0]) *
+             (static_cast<std::size_t>(y - box.lo[1]) +
+              static_cast<std::size_t>(box.size[1]) *
+                  static_cast<std::size_t>(z - box.lo[2]));
+}
+
+template <typename E>
+void pack_subvolume(const Box3& box, const Box3& sub, const E* box_data,
+                    E* staged) {
   const std::size_t row = static_cast<std::size_t>(sub.size[0]);
   std::size_t s = 0;
   for (int z = sub.lo[2]; z < sub.hi(2); ++z) {
     for (int y = sub.lo[1]; y < sub.hi(1); ++y) {
-      const std::size_t base =
-          static_cast<std::size_t>(sub.lo[0] - box.lo[0]) +
-          static_cast<std::size_t>(box.size[0]) *
-              (static_cast<std::size_t>(y - box.lo[1]) +
-               static_cast<std::size_t>(box.size[1]) *
-                   static_cast<std::size_t>(z - box.lo[2]));
-      if constexpr (kPack) {
-        std::memcpy(staged + s, box_data + base, row * sizeof(E));
-      } else {
-        std::memcpy(box_data + base, staged + s, row * sizeof(E));
-      }
+      std::memcpy(staged + s,
+                  box_data + subvolume_row_base<E>(box, sub, y, z),
+                  row * sizeof(E));
       s += row;
     }
   }
+}
+
+template <typename E>
+void unpack_subvolume(const Box3& box, const Box3& sub, E* box_data,
+                      const E* staged) {
+  const std::size_t row = static_cast<std::size_t>(sub.size[0]);
+  std::size_t s = 0;
+  for (int z = sub.lo[2]; z < sub.hi(2); ++z) {
+    for (int y = sub.lo[1]; y < sub.hi(1); ++y) {
+      std::memcpy(box_data + subvolume_row_base<E>(box, sub, y, z),
+                  staged + s, row * sizeof(E));
+      s += row;
+    }
+  }
+}
+
+int resolve_workers(int requested) {
+  if (requested == 0) return WorkerPool::global().concurrency();
+  return requested > 1 ? requested : 1;
 }
 
 }  // namespace
@@ -57,6 +82,7 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
     LFFT_REQUIRE(options_.codec == nullptr,
                  "reshape: codecs only apply to double-based fields");
   }
+  workers_ = resolve_workers(options_.workers);
 
   send_boxes_.resize(p);
   recv_boxes_.resize(p);
@@ -83,6 +109,41 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
                "reshape: input boxes do not tile this rank's outbox");
   sendbuf_.resize(send_total_);
   recvbuf_.resize(recv_total_);
+
+  // Unit-scaled count/displacement arrays, fixed for the plan's lifetime.
+  byte_send_counts_.resize(p);
+  byte_send_displs_.resize(p);
+  byte_recv_counts_.resize(p);
+  byte_recv_displs_.resize(p);
+  constexpr std::uint64_t kEsz = sizeof(E);
+  for (std::size_t r = 0; r < p; ++r) {
+    byte_send_counts_[r] = send_counts_[r] * kEsz;
+    byte_send_displs_[r] = send_displs_[r] * kEsz;
+    byte_recv_counts_[r] = recv_counts_[r] * kEsz;
+    byte_recv_displs_[r] = recv_displs_[r] * kEsz;
+  }
+  if constexpr (kReshapeDoubleBased<E>) {
+    // Element views as doubles (complex<double> is two of them).
+    constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
+    wire_send_counts_.resize(p);
+    wire_send_displs_.resize(p);
+    wire_recv_counts_.resize(p);
+    wire_recv_displs_.resize(p);
+    for (std::size_t r = 0; r < p; ++r) {
+      wire_send_counts_[r] = kDbl * send_counts_[r];
+      wire_send_displs_[r] = kDbl * send_displs_[r];
+      wire_recv_counts_[r] = kDbl * recv_counts_[r];
+      wire_recv_displs_[r] = kDbl * recv_displs_[r];
+    }
+    wire_codec_ = options_.codec;
+    if (wire_codec_ && workers_ > 1) {
+      // Shardable codecs split each message across the pool; the rest
+      // fall through to serial inside the decorator. Either way the wire
+      // bytes match the serial encoder exactly.
+      wire_codec_ = std::make_shared<const ParallelCodec>(
+          wire_codec_, &WorkerPool::global(), workers_);
+    }
+  }
 }
 
 template <typename E>
@@ -95,11 +156,20 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
                "reshape: output span size mismatch");
   const Stopwatch watch;
 
-  // Pack per-destination sub-volumes.
-  for (std::size_t r = 0; r < send_boxes_.size(); ++r) {
-    if (send_counts_[r] == 0) continue;
-    copy_subvolume<E, true>(my_in, send_boxes_[r], const_cast<E*>(in.data()),
-                            sendbuf_.data() + send_displs_[r]);
+  // Pack per-destination sub-volumes. Destinations write disjoint staging
+  // slices, so they fan out across workers without coordination.
+  const auto pack_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (send_counts_[r] == 0) continue;
+      pack_subvolume(my_in, send_boxes_[r], in.data(),
+                     sendbuf_.data() + send_displs_[r]);
+    }
+  };
+  if (workers_ > 1) {
+    WorkerPool::global().parallel_for(send_boxes_.size(), 1, pack_range,
+                                      workers_);
+  } else {
+    pack_range(0, send_boxes_.size());
   }
 
   // Exchange.
@@ -107,32 +177,27 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
   if constexpr (kReshapeDoubleBased<E>) {
     if (options_.codec || options_.backend == ExchangeBackend::kOsc) {
       exchanged = true;
-      // Element views as doubles (complex<double> is two of them).
       constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
-      std::vector<std::uint64_t> sc(send_counts_.size()), sd(sc.size()),
-          rc(sc.size()), rd(sc.size());
-      for (std::size_t r = 0; r < sc.size(); ++r) {
-        sc[r] = kDbl * send_counts_[r];
-        sd[r] = kDbl * send_displs_[r];
-        rc[r] = kDbl * recv_counts_[r];
-        rd[r] = kDbl * recv_displs_[r];
-      }
       const std::span<const double> send_view(
           reinterpret_cast<const double*>(sendbuf_.data()),
           kDbl * sendbuf_.size());
       const std::span<double> recv_view(
           reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
       osc::OscOptions oo;
-      oo.codec = options_.codec;
+      oo.codec = wire_codec_;
       oo.chunks = options_.osc_chunks;
       oo.gpus_per_node = options_.gpus_per_node;
       oo.sync = options_.osc_sync;
+      oo.workers = workers_;
       const auto st =
           options_.backend == ExchangeBackend::kOsc
-              ? osc::osc_alltoallv(comm_, send_view, sc, sd, recv_view, rc, rd,
-                                   oo)
-              : osc::compressed_alltoallv(comm_, send_view, sc, sd, recv_view,
-                                          rc, rd, oo);
+              ? osc::osc_alltoallv(comm_, send_view, wire_send_counts_,
+                                   wire_send_displs_, recv_view,
+                                   wire_recv_counts_, wire_recv_displs_, oo)
+              : osc::compressed_alltoallv(comm_, send_view, wire_send_counts_,
+                                          wire_send_displs_, recv_view,
+                                          wire_recv_counts_, wire_recv_displs_,
+                                          oo);
       stats_.payload_bytes += st.payload_bytes;
       stats_.wire_bytes += st.wire_bytes;
       stats_.rounds += st.rounds;
@@ -142,33 +207,34 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
   }
   if (!exchanged) {
     // Raw two-sided path (also the only path for float-based fields).
-    const std::size_t esz = sizeof(E);
-    std::vector<std::uint64_t> sc(send_counts_.size()), sd(sc.size()),
-        rc(sc.size()), rd(sc.size());
-    for (std::size_t r = 0; r < sc.size(); ++r) {
-      sc[r] = send_counts_[r] * esz;
-      sd[r] = send_displs_[r] * esz;
-      rc[r] = recv_counts_[r] * esz;
-      rd[r] = recv_displs_[r] * esz;
-    }
-    minimpi::alltoallv(comm_, std::as_bytes(std::span<const E>(sendbuf_)), sc,
-                       sd, std::as_writable_bytes(std::span<E>(recvbuf_)), rc,
-                       rd,
+    minimpi::alltoallv(comm_, std::as_bytes(std::span<const E>(sendbuf_)),
+                       byte_send_counts_, byte_send_displs_,
+                       std::as_writable_bytes(std::span<E>(recvbuf_)),
+                       byte_recv_counts_, byte_recv_displs_,
                        options_.backend == ExchangeBackend::kLinear
                            ? minimpi::AlltoallAlgorithm::kLinear
                            : minimpi::AlltoallAlgorithm::kPairwise);
-    std::uint64_t sent = 0;
-    for (const auto c : sc) sent += c;
+    const std::uint64_t sent = send_total_ * sizeof(E);
     stats_.payload_bytes += sent;
     stats_.wire_bytes += sent;
     stats_.rounds += comm_.size();
     stats_.messages += comm_.size() - 1;
   }
 
-  for (std::size_t r = 0; r < recv_boxes_.size(); ++r) {
-    if (recv_counts_[r] == 0) continue;
-    copy_subvolume<E, false>(my_out, recv_boxes_[r], out.data(),
-                             recvbuf_.data() + recv_displs_[r]);
+  // Unpack: sources read disjoint staging slices and write disjoint
+  // sub-volumes of `out`.
+  const auto unpack_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (recv_counts_[r] == 0) continue;
+      unpack_subvolume(my_out, recv_boxes_[r], out.data(),
+                       recvbuf_.data() + recv_displs_[r]);
+    }
+  };
+  if (workers_ > 1) {
+    WorkerPool::global().parallel_for(recv_boxes_.size(), 1, unpack_range,
+                                      workers_);
+  } else {
+    unpack_range(0, recv_boxes_.size());
   }
   stats_.seconds += watch.seconds();
 }

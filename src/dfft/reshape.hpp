@@ -41,6 +41,13 @@ struct ReshapeOptions {
   int osc_chunks = 8;
   int gpus_per_node = 6;
   osc::OscSync osc_sync = osc::OscSync::kFence;
+  /// Codec/pack worker shards: 1 = serial (default), 0 = the process-wide
+  /// pool's full concurrency, k > 1 = fan out to k shards. Parallelism is
+  /// an execution detail: packed bytes, wire bytes, and results are
+  /// bitwise identical at every setting. The pool itself is created once
+  /// per process and sized by LOSSYFFT_WORKERS (default: hardware
+  /// concurrency); this knob only says how much of it a reshape uses.
+  int workers = 1;
 };
 
 template <typename E>
@@ -77,11 +84,23 @@ class Reshape {
   std::vector<Box3> all_out_;
   ReshapeOptions options_;
 
-  // Precomputed overlap metadata (counts/displs in elements).
+  // Precomputed overlap metadata (counts/displs in elements), plus the
+  // unit-scaled variants execute() hands to the exchange layer: double
+  // units for the codec/OSC path, bytes for the raw two-sided path. All
+  // hoisted here so execute() allocates nothing in steady state.
   std::vector<Box3> send_boxes_, recv_boxes_;
   std::vector<std::uint64_t> send_counts_, send_displs_;
   std::vector<std::uint64_t> recv_counts_, recv_displs_;
+  std::vector<std::uint64_t> wire_send_counts_, wire_send_displs_;
+  std::vector<std::uint64_t> wire_recv_counts_, wire_recv_displs_;
+  std::vector<std::uint64_t> byte_send_counts_, byte_send_displs_;
+  std::vector<std::uint64_t> byte_recv_counts_, byte_recv_displs_;
   std::uint64_t send_total_ = 0, recv_total_ = 0;
+
+  /// options_.codec wrapped in ParallelCodec when workers_ > 1.
+  CodecPtr wire_codec_;
+  /// Resolved shard count (>= 1) from ReshapeOptions::workers.
+  int workers_ = 1;
 
   std::vector<E> sendbuf_, recvbuf_;
   osc::ExchangeStats stats_;

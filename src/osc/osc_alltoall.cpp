@@ -1,10 +1,13 @@
 #include "osc/osc_alltoall.hpp"
 
 #include <cstring>
+#include <future>
 #include <numeric>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/truncate.hpp"
 #include "minimpi/alltoall.hpp"
 #include "minimpi/window.hpp"
@@ -20,6 +23,11 @@ CodecPtr effective_codec(const OscOptions& options) {
                        : std::make_shared<const IdentityCodec>();
 }
 
+int resolve_workers(const OscOptions& options) {
+  if (options.workers == 0) return WorkerPool::global().concurrency();
+  return options.workers > 1 ? options.workers : 1;
+}
+
 void validate(const minimpi::Comm& comm, std::span<const std::uint64_t> sc,
               std::span<const std::uint64_t> sd,
               std::span<const std::uint64_t> rc,
@@ -29,6 +37,22 @@ void validate(const minimpi::Comm& comm, std::span<const std::uint64_t> sc,
                    rd.size() == p,
                "alltoallv: counts/displs must have comm.size() entries");
 }
+
+// Codec staging arena, one per rank thread, reused across exchanges: the
+// chunk pipeline and the variable-codec staging stop hitting malloc once
+// the first call has sized it (steady-state zero allocation).
+thread_local ScratchArena tls_arena;
+
+// One compression job of the round pipeline: chunk `elem_off..+elem_cnt`
+// of the message to `dst`, staged at `wire` for the put at
+// target_offset[dst] + wire_off.
+struct ChunkJob {
+  int dst = 0;
+  std::uint64_t elem_off = 0;
+  std::uint64_t elem_cnt = 0;
+  std::uint64_t wire_off = 0;
+  std::span<std::byte> wire;
+};
 
 }  // namespace
 
@@ -78,6 +102,7 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
   const int p = comm.size();
   const auto codec = effective_codec(options);
+  const int workers = resolve_workers(options);
   // Per-message chunk count: fixed user value, or the pipeline model's
   // choice for that message size (0 = auto). Both sides derive it from the
   // element count they already know, so no extra exchange is needed.
@@ -99,7 +124,8 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
 
   // Per-destination compressed payload staging (compressed up front for
   // variable codecs; chunk-at-a-time for fixed codecs during the ring).
-  std::vector<std::vector<std::byte>> staged(static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> staged(static_cast<std::size_t>(p));
+  tls_arena.reset();
 
   if (codec->fixed_size()) {
     for (int r = 0; r < p; ++r) {
@@ -119,14 +145,32 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
       recv_wire[static_cast<std::size_t>(r)] = q;
     }
   } else {
+    // Whole-message compression, per destination. Destinations are
+    // independent streams, so fanning them across workers changes nothing
+    // on the wire.
+    std::size_t cap = 0;
+    for (int r = 0; r < p; ++r) {
+      cap += codec->max_compressed_bytes(sendcounts[static_cast<std::size_t>(r)]);
+    }
+    tls_arena.reserve(cap);
+    std::vector<std::span<std::byte>> room(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
       const auto i = static_cast<std::size_t>(r);
-      auto& buf = staged[i];
-      buf.resize(codec->max_compressed_bytes(sendcounts[i]));
-      const std::size_t used = codec->compress(
-          send.subspan(senddispls[i], sendcounts[i]), buf);
-      buf.resize(used);
-      send_wire[i] = used;
+      room[i] = tls_arena.alloc(codec->max_compressed_bytes(sendcounts[i]));
+    }
+    const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t used = codec->compress(
+            send.subspan(senddispls[i], sendcounts[i]), room[i]);
+        send_wire[i] = used;
+        staged[i] = std::span<const std::byte>(room[i].data(), used);
+      }
+    };
+    if (workers > 1) {
+      WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
+                                        compress_dst, workers);
+    } else {
+      compress_dst(0, static_cast<std::size_t>(p));
     }
     minimpi::alltoall(comm, std::as_bytes(std::span<const std::uint64_t>(
                                 send_wire)),
@@ -159,7 +203,8 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   stats.rounds = static_cast<int>(rounds.size());
   const int nodes = static_cast<int>(rounds.size());
   const int my_node = comm.rank() / options.gpus_per_node;
-  std::vector<std::byte> chunk_buf;
+  std::vector<ChunkJob> jobs;
+  std::vector<std::future<void>> inflight;
   for (int j = 0; j < nodes; ++j) {
     const auto& round = rounds[static_cast<std::size_t>(j)];
     std::vector<int> sources;
@@ -173,6 +218,58 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
       win.post(sources);
       win.start(round);
     }
+    // Stage 1: lay the round's chunk jobs out in the arena. The job list
+    // and every staging offset are pure functions of the counts, so the
+    // wire is identical whether chunks compress serially or on workers.
+    jobs.clear();
+    if (codec->fixed_size()) {
+      tls_arena.reset();
+      std::uint64_t round_wire = 0;
+      for (const int dst : round) {
+        round_wire += send_wire[static_cast<std::size_t>(dst)];
+      }
+      tls_arena.reserve(round_wire);
+      for (const int dst : round) {
+        const auto d = static_cast<std::size_t>(dst);
+        const std::uint64_t count = sendcounts[d];
+        if (count == 0) continue;
+        std::uint64_t elem = 0;
+        std::uint64_t wire_off = 0;
+        for (const std::uint64_t c :
+             chunk_partition(count, chunks_for(count))) {
+          const std::size_t cap = codec->max_compressed_bytes(c);
+          jobs.push_back(
+              ChunkJob{dst, elem, c, wire_off, tls_arena.alloc(cap)});
+          elem += c;
+          wire_off += cap;
+        }
+      }
+    }
+    // Stage 2: compress. Pipelined mode hands every chunk of the round to
+    // the pool at once — chunk k+1 (of this and every other peer of the
+    // round) compresses while chunk k is being put below, the overlap
+    // Section V-B models with CUDA streams.
+    const auto compress_job = [&](const ChunkJob& job) {
+      const std::size_t used = codec->compress(
+          send.subspan(senddispls[static_cast<std::size_t>(job.dst)] +
+                           job.elem_off,
+                       job.elem_cnt),
+          job.wire);
+      LFFT_ASSERT(used == job.wire.size());  // Fixed-size codecs are exact.
+    };
+    const bool pipelined = workers > 1 && WorkerPool::global().workers() > 0;
+    if (pipelined) {
+      inflight.clear();
+      inflight.reserve(jobs.size());
+      for (const ChunkJob& job : jobs) {
+        inflight.push_back(
+            WorkerPool::global().submit([&compress_job, &job] {
+              compress_job(job);
+            }));
+      }
+    }
+    // Stage 3: put, in deterministic job order.
+    std::size_t next_job = 0;
     for (const int dst : round) {
       const auto d = static_cast<std::size_t>(dst);
       const std::uint64_t count = sendcounts[d];
@@ -186,23 +283,17 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
         ++stats.chunks_issued;
         continue;
       }
-      // Pipeline: compress chunk k, put chunk k, move on — the compression
-      // of chunk k+1 overlaps the transfer of chunk k on real hardware
-      // (modeled by netsim::pipeline_time).
-      std::uint64_t elem = 0;
-      std::uint64_t wire_off = 0;
-      for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
-        const std::size_t cap = codec->max_compressed_bytes(c);
-        chunk_buf.resize(cap);
-        const std::size_t used = codec->compress(
-            send.subspan(senddispls[d] + elem, c), chunk_buf);
-        LFFT_ASSERT(used == cap);  // Fixed-size codecs are exact.
-        win.put(std::span<const std::byte>(chunk_buf.data(), used), dst,
-                target_offset[d] + wire_off);
-        elem += c;
-        wire_off += used;
-        stats.wire_bytes += used;
+      while (next_job < jobs.size() && jobs[next_job].dst == dst) {
+        const ChunkJob& job = jobs[next_job];
+        if (pipelined) {
+          inflight[next_job].get();  // Rethrows a failed chunk's error.
+        } else {
+          compress_job(job);
+        }
+        win.put(job.wire, dst, target_offset[d] + job.wire_off);
+        stats.wire_bytes += job.wire.size();
         ++stats.chunks_issued;
+        ++next_job;
       }
     }
     // End of round: wait for all data movement of this round (line 10).
@@ -218,28 +309,46 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   }
 
   // --- Decompress the received window ------------------------------------
+  // Chunks land in disjoint slices of `recv`, so they decode independently
+  // — serially in rank order, or fanned across the pool.
+  std::vector<ChunkJob> unpack;
   for (int src = 0; src < p; ++src) {
     const auto s = static_cast<std::size_t>(src);
     const std::uint64_t count = recvcounts[s];
     if (count == 0) continue;
-    std::uint64_t elem = 0;
-    std::uint64_t wire_off = 0;
     if (!codec->fixed_size()) {
-      codec->decompress(
-          std::span<const std::byte>(window_store.data() + slot_offset[s],
-                                     recv_wire[s]),
-          recv.subspan(recvdispls[s], count));
+      unpack.push_back(ChunkJob{
+          src, 0, count, 0,
+          std::span<std::byte>(window_store.data() + slot_offset[s],
+                               recv_wire[s])});
       continue;
     }
+    std::uint64_t elem = 0;
+    std::uint64_t wire_off = 0;
     for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
       const std::size_t cbytes = codec->max_compressed_bytes(c);
-      codec->decompress(
-          std::span<const std::byte>(
-              window_store.data() + slot_offset[s] + wire_off, cbytes),
-          recv.subspan(recvdispls[s] + elem, c));
+      unpack.push_back(ChunkJob{
+          src, elem, c, wire_off,
+          std::span<std::byte>(
+              window_store.data() + slot_offset[s] + wire_off, cbytes)});
       elem += c;
       wire_off += cbytes;
     }
+  }
+  const auto unpack_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const ChunkJob& job = unpack[i];
+      codec->decompress(
+          job.wire,
+          recv.subspan(recvdispls[static_cast<std::size_t>(job.dst)] +
+                           job.elem_off,
+                       job.elem_cnt));
+    }
+  };
+  if (workers > 1) {
+    WorkerPool::global().parallel_for(unpack.size(), 1, unpack_range, workers);
+  } else {
+    unpack_range(0, unpack.size());
   }
   return stats;
 }
@@ -255,10 +364,14 @@ ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
   validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
   const int p = comm.size();
   const auto codec = effective_codec(options);
+  const int workers = resolve_workers(options);
   ExchangeStats stats;
   stats.rounds = p;
 
-  // Compress every outgoing payload into one contiguous wire buffer.
+  // Compress every outgoing payload into one contiguous wire buffer. For
+  // fixed-size codecs the per-destination offsets follow from the counts,
+  // so destinations compress independently (and in parallel); variable
+  // codecs stage per destination and compact afterwards.
   std::vector<std::uint64_t> swire(static_cast<std::size_t>(p));
   std::vector<std::uint64_t> sdispl(static_cast<std::size_t>(p));
   std::vector<std::byte> sbuf;
@@ -268,20 +381,63 @@ ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
       cap += codec->max_compressed_bytes(sendcounts[static_cast<std::size_t>(r)]);
     }
     sbuf.resize(cap);
-    std::size_t pos = 0;
+    if (codec->fixed_size()) {
+      std::size_t pos = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        sdispl[i] = pos;
+        swire[i] = codec->max_compressed_bytes(sendcounts[i]);
+        pos += swire[i];
+      }
+      const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          codec->compress(send.subspan(senddispls[i], sendcounts[i]),
+                          std::span<std::byte>(sbuf.data() + sdispl[i],
+                                               swire[i]));
+        }
+      };
+      if (workers > 1) {
+        WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
+                                          compress_dst, workers);
+      } else {
+        compress_dst(0, static_cast<std::size_t>(p));
+      }
+      sbuf.resize(pos);
+    } else {
+      tls_arena.reset();
+      tls_arena.reserve(cap);
+      std::vector<std::span<std::byte>> room(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        room[i] = tls_arena.alloc(codec->max_compressed_bytes(sendcounts[i]));
+      }
+      const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          swire[i] = codec->compress(
+              send.subspan(senddispls[i], sendcounts[i]), room[i]);
+        }
+      };
+      if (workers > 1) {
+        WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
+                                          compress_dst, workers);
+      } else {
+        compress_dst(0, static_cast<std::size_t>(p));
+      }
+      std::size_t pos = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        sdispl[i] = pos;
+        std::memcpy(sbuf.data() + pos, room[i].data(), swire[i]);
+        pos += swire[i];
+      }
+      sbuf.resize(pos);
+    }
     for (int r = 0; r < p; ++r) {
       const auto i = static_cast<std::size_t>(r);
-      sdispl[i] = pos;
-      const std::size_t used = codec->compress(
-          send.subspan(senddispls[i], sendcounts[i]),
-          std::span<std::byte>(sbuf.data() + pos, sbuf.size() - pos));
-      swire[i] = used;
-      pos += used;
       stats.payload_bytes += sendcounts[i] * sizeof(double);
-      stats.wire_bytes += used;
+      stats.wire_bytes += swire[i];
       if (sendcounts[i] > 0) ++stats.messages;
     }
-    sbuf.resize(pos);
   }
 
   // Wire sizes across, then the payload.
@@ -307,12 +463,19 @@ ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
   minimpi::alltoallv(comm, sbuf, swire, sdispl, rbuf, rwire, rdispl,
                      minimpi::AlltoallAlgorithm::kPairwise);
 
-  for (int src = 0; src < p; ++src) {
-    const auto s = static_cast<std::size_t>(src);
-    if (recvcounts[s] == 0) continue;
-    codec->decompress(
-        std::span<const std::byte>(rbuf.data() + rdispl[s], rwire[s]),
-        recv.subspan(recvdispls[s], recvcounts[s]));
+  const auto decompress_src = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      if (recvcounts[s] == 0) continue;
+      codec->decompress(
+          std::span<const std::byte>(rbuf.data() + rdispl[s], rwire[s]),
+          recv.subspan(recvdispls[s], recvcounts[s]));
+    }
+  };
+  if (workers > 1) {
+    WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
+                                      decompress_src, workers);
+  } else {
+    decompress_src(0, static_cast<std::size_t>(p));
   }
   stats.chunks_issued = stats.messages;
   return stats;

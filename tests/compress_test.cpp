@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "compress/bitio.hpp"
 #include "compress/checksum.hpp"
 #include "compress/lossless.hpp"
 #include "compress/planner.hpp"
@@ -633,6 +635,133 @@ TEST(ChecksumCodec, Fnv1aKnownVector) {
 
 TEST(ChecksumCodec, RejectsNullInner) {
   EXPECT_THROW(ChecksumCodec(nullptr), Error);
+}
+
+// ------------------------------------------------- parallel granularity
+// The contract behind ParallelCodec (codec.hpp): for a fixed-size codec
+// with granularity g > 0, the encoding of any prefix whose length is a
+// multiple of g occupies exactly max_compressed_bytes(prefix) bytes, so a
+// stream can be cut at granularity multiples and each piece coded
+// independently without changing a single wire byte.
+
+std::vector<std::shared_ptr<const Codec>> shardable_codecs() {
+  return {std::make_shared<IdentityCodec>(),
+          std::make_shared<CastFp32Codec>(),
+          std::make_shared<CastBf16Codec>(),
+          std::make_shared<CastFp16Codec>(/*scaled=*/false),
+          std::make_shared<BitTrimCodec>(20),
+          std::make_shared<BitTrimCodec>(9),
+          std::make_shared<Zfpx1dCodec>(20)};
+}
+
+TEST(ParallelGranularity, DeclaredOnlyWhereShardingIsSound) {
+  for (const auto& c : shardable_codecs()) {
+    EXPECT_GT(c->parallel_granularity(), 0u) << c->name();
+    EXPECT_TRUE(c->fixed_size()) << c->name();
+  }
+  // Scaled FP16 appends all block scales after all halves; szq and RLE are
+  // variable-rate streams; checksum frames the whole message. None can be
+  // cut-and-concatenated, and they must say so.
+  EXPECT_EQ(CastFp16Codec(/*scaled=*/true).parallel_granularity(), 0u);
+  EXPECT_EQ(SzqCodec(1e-6).parallel_granularity(), 0u);
+  EXPECT_EQ(ByteplaneRleCodec().parallel_granularity(), 0u);
+  EXPECT_EQ(
+      ChecksumCodec(std::make_shared<IdentityCodec>()).parallel_granularity(),
+      0u);
+}
+
+TEST(ParallelGranularity, SizesAreAdditiveAtGranularityMultiples) {
+  for (const auto& c : shardable_codecs()) {
+    const std::size_t g = c->parallel_granularity();
+    for (const std::size_t a : {g, 2 * g, 16 * g, 129 * g}) {
+      for (const std::size_t b : {std::size_t{1}, g, 3 * g + 1}) {
+        EXPECT_EQ(c->max_compressed_bytes(a + b),
+                  c->max_compressed_bytes(a) + c->max_compressed_bytes(b))
+            << c->name() << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ParallelGranularity, ShardConcatenationEqualsSerialStream) {
+  for (const auto& c : shardable_codecs()) {
+    const std::size_t g = c->parallel_granularity();
+    const std::size_t n = 100 * g + g / 2 + 1;  // Deliberately ragged tail.
+    const auto in = uniform_data(n, 4242);
+    std::vector<std::byte> serial(c->max_compressed_bytes(n));
+    const std::size_t used = c->compress(in, serial);
+    ASSERT_EQ(used, serial.size()) << c->name();
+
+    std::vector<std::byte> pieced(serial.size());
+    for (const std::size_t cut : {g, 7 * g, 64 * g, 100 * g}) {
+      std::fill(pieced.begin(), pieced.end(), std::byte{0xAA});
+      const std::size_t head_bytes = c->max_compressed_bytes(cut);
+      const std::size_t head = c->compress(
+          std::span<const double>(in).first(cut),
+          std::span<std::byte>(pieced.data(), head_bytes));
+      const std::size_t tail = c->compress(
+          std::span<const double>(in).subspan(cut),
+          std::span<std::byte>(pieced.data() + head_bytes,
+                               pieced.size() - head_bytes));
+      ASSERT_EQ(head + tail, used) << c->name() << " cut=" << cut;
+      EXPECT_EQ(std::memcmp(pieced.data(), serial.data(), used), 0)
+          << c->name() << " cut=" << cut;
+
+      // And the pieces decode independently to the serial reconstruction.
+      std::vector<double> whole(n), parts(n);
+      c->decompress(std::span<const std::byte>(serial.data(), used), whole);
+      c->decompress(std::span<const std::byte>(pieced.data(), head_bytes),
+                    std::span<double>(parts.data(), cut));
+      c->decompress(
+          std::span<const std::byte>(pieced.data() + head_bytes, tail),
+          std::span<double>(parts.data() + cut, n - cut));
+      EXPECT_EQ(std::memcmp(parts.data(), whole.data(), n * sizeof(double)),
+                0)
+          << c->name() << " cut=" << cut;
+    }
+  }
+}
+
+// ------------------------------------------------------------ bit I/O
+// The byte-chunked fast paths must agree with the single-bit reference.
+
+TEST(BitIo, ChunkedPutMatchesBitByBitReference) {
+  Xoshiro256 rng(999);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  std::size_t total_bits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const int nbits = static_cast<int>(rng.below(65));  // 0..64 inclusive.
+    fields.emplace_back(rng(), nbits);
+    total_bits += static_cast<std::size_t>(nbits);
+  }
+  std::vector<std::byte> fast((total_bits + 7) / 8);
+  std::vector<std::byte> slow(fast.size());
+  BitWriter fw(fast), sw(slow);
+  for (const auto& [v, nbits] : fields) {
+    fw.put(v, nbits);
+    for (int b = 0; b < nbits; ++b) sw.put_bit(((v >> b) & 1u) != 0);
+  }
+  EXPECT_EQ(fw.bit_count(), sw.bit_count());
+  EXPECT_EQ(fast, slow);
+
+  BitReader fr(fast), sr(fast);
+  for (const auto& [v, nbits] : fields) {
+    const std::uint64_t mask =
+        nbits == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    EXPECT_EQ(fr.get(nbits), v & mask);
+    std::uint64_t bitwise = 0;
+    for (int b = 0; b < nbits; ++b) {
+      if (sr.get_bit()) bitwise |= std::uint64_t{1} << b;
+    }
+    EXPECT_EQ(bitwise, v & mask);
+  }
+}
+
+TEST(BitIo, ReaderRejectsTruncatedStream) {
+  std::vector<std::byte> buf(2, std::byte{0});
+  BitReader r(buf);
+  EXPECT_EQ(r.get(16), 0u);  // The whole stream reads fine...
+  EXPECT_THROW(r.get(1), Error);  // ...and one more bit is an input error.
 }
 
 }  // namespace
