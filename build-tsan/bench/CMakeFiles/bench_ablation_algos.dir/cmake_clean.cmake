@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_algos.dir/bench_ablation_algos.cpp.o"
+  "CMakeFiles/bench_ablation_algos.dir/bench_ablation_algos.cpp.o.d"
+  "bench_ablation_algos"
+  "bench_ablation_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cpp.o"
+  "CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cpp.o.d"
+  "bench_ablation_codecs"
+  "bench_ablation_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_netsim.dir/bench_ablation_netsim.cpp.o"
+  "CMakeFiles/bench_ablation_netsim.dir/bench_ablation_netsim.cpp.o.d"
+  "bench_ablation_netsim"
+  "bench_ablation_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

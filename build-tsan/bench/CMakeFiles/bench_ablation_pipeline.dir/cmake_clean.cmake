@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cpp.o"
+  "CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cpp.o.d"
+  "bench_ablation_pipeline"
+  "bench_ablation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_realexec.dir/bench_ablation_realexec.cpp.o"
+  "CMakeFiles/bench_ablation_realexec.dir/bench_ablation_realexec.cpp.o.d"
+  "bench_ablation_realexec"
+  "bench_ablation_realexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_realexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slab.dir/bench_ablation_slab.cpp.o"
+  "CMakeFiles/bench_ablation_slab.dir/bench_ablation_slab.cpp.o.d"
+  "bench_ablation_slab"
+  "bench_ablation_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

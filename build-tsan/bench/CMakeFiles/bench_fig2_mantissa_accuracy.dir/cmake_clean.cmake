@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mantissa_accuracy.dir/bench_fig2_mantissa_accuracy.cpp.o"
+  "CMakeFiles/bench_fig2_mantissa_accuracy.dir/bench_fig2_mantissa_accuracy.cpp.o.d"
+  "bench_fig2_mantissa_accuracy"
+  "bench_fig2_mantissa_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mantissa_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

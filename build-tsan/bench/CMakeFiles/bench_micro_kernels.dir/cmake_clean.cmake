@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o"
+  "CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o.d"
+  "bench_micro_kernels"
+  "bench_micro_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

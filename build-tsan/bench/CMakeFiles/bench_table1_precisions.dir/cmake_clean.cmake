@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_precisions.dir/bench_table1_precisions.cpp.o"
+  "CMakeFiles/bench_table1_precisions.dir/bench_table1_precisions.cpp.o.d"
+  "bench_table1_precisions"
+  "bench_table1_precisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_precisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_accuracy.dir/bench_table2_accuracy.cpp.o"
+  "CMakeFiles/bench_table2_accuracy.dir/bench_table2_accuracy.cpp.o.d"
+  "bench_table2_accuracy"
+  "bench_table2_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alltoall_demo.dir/alltoall_demo.cpp.o"
+  "CMakeFiles/alltoall_demo.dir/alltoall_demo.cpp.o.d"
+  "alltoall_demo"
+  "alltoall_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alltoall_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

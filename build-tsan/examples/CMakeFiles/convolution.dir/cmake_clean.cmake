@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution.dir/convolution.cpp.o"
+  "CMakeFiles/convolution.dir/convolution.cpp.o.d"
+  "convolution"
+  "convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

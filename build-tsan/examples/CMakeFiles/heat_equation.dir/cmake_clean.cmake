@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_equation.dir/heat_equation.cpp.o"
+  "CMakeFiles/heat_equation.dir/heat_equation.cpp.o.d"
+  "heat_equation"
+  "heat_equation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_equation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for heat_equation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_solver.dir/poisson_solver.cpp.o"
+  "CMakeFiles/poisson_solver.dir/poisson_solver.cpp.o.d"
+  "poisson_solver"
+  "poisson_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

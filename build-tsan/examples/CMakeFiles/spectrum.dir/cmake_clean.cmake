@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum.dir/spectrum.cpp.o"
+  "CMakeFiles/spectrum.dir/spectrum.cpp.o.d"
+  "spectrum"
+  "spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

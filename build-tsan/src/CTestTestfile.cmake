@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("softfloat")
+subdirs("netsim")
+subdirs("minimpi")
+subdirs("compress")
+subdirs("fft")
+subdirs("dfft")
+subdirs("osc")
+subdirs("solver")
+subdirs("capi")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_capi.dir/capi.cpp.o"
+  "CMakeFiles/lossyfft_capi.dir/capi.cpp.o.d"
+  "liblossyfft_capi.a"
+  "liblossyfft_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lossyfft_capi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for lossyfft_capi.
+# This may be replaced when dependencies are built.

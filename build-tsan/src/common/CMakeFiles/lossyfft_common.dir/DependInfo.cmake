@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/lossyfft_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/lossyfft_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/worker_pool.cpp" "src/common/CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o" "gcc" "src/common/CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

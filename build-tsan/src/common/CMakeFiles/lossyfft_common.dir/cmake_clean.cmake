@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_common.dir/rng.cpp.o"
+  "CMakeFiles/lossyfft_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lossyfft_common.dir/table.cpp.o"
+  "CMakeFiles/lossyfft_common.dir/table.cpp.o.d"
+  "CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o"
+  "CMakeFiles/lossyfft_common.dir/worker_pool.cpp.o.d"
+  "liblossyfft_common.a"
+  "liblossyfft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

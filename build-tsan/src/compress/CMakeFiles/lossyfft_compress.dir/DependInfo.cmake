@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/checksum.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/checksum.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/checksum.cpp.o.d"
+  "/root/repo/src/compress/lossless.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/lossless.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/lossless.cpp.o.d"
+  "/root/repo/src/compress/parallel_codec.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o.d"
+  "/root/repo/src/compress/planner.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/planner.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/planner.cpp.o.d"
+  "/root/repo/src/compress/szq.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/szq.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/szq.cpp.o.d"
+  "/root/repo/src/compress/truncate.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/truncate.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/truncate.cpp.o.d"
+  "/root/repo/src/compress/zfpx.cpp" "src/compress/CMakeFiles/lossyfft_compress.dir/zfpx.cpp.o" "gcc" "src/compress/CMakeFiles/lossyfft_compress.dir/zfpx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/softfloat/CMakeFiles/lossyfft_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_compress.dir/checksum.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/checksum.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/lossless.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/lossless.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/parallel_codec.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/planner.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/planner.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/szq.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/szq.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/truncate.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/truncate.cpp.o.d"
+  "CMakeFiles/lossyfft_compress.dir/zfpx.cpp.o"
+  "CMakeFiles/lossyfft_compress.dir/zfpx.cpp.o.d"
+  "liblossyfft_compress.a"
+  "liblossyfft_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lossyfft_compress.
+# This may be replaced when dependencies are built.

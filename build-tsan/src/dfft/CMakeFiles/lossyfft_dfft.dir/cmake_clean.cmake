@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_dfft.dir/decomp.cpp.o"
+  "CMakeFiles/lossyfft_dfft.dir/decomp.cpp.o.d"
+  "CMakeFiles/lossyfft_dfft.dir/fft3d.cpp.o"
+  "CMakeFiles/lossyfft_dfft.dir/fft3d.cpp.o.d"
+  "CMakeFiles/lossyfft_dfft.dir/fft3d_r2c.cpp.o"
+  "CMakeFiles/lossyfft_dfft.dir/fft3d_r2c.cpp.o.d"
+  "CMakeFiles/lossyfft_dfft.dir/reshape.cpp.o"
+  "CMakeFiles/lossyfft_dfft.dir/reshape.cpp.o.d"
+  "liblossyfft_dfft.a"
+  "liblossyfft_dfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_dfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft1d.cpp" "src/fft/CMakeFiles/lossyfft_fft.dir/fft1d.cpp.o" "gcc" "src/fft/CMakeFiles/lossyfft_fft.dir/fft1d.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/lossyfft_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/lossyfft_fft.dir/real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/lossyfft_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/lossyfft_fft.dir/real.cpp.o"
+  "CMakeFiles/lossyfft_fft.dir/real.cpp.o.d"
+  "liblossyfft_fft.a"
+  "liblossyfft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

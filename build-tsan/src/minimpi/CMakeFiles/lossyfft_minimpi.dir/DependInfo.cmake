@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/alltoall.cpp" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/alltoall.cpp.o" "gcc" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/alltoall.cpp.o.d"
+  "/root/repo/src/minimpi/comm.cpp" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/comm.cpp.o.d"
+  "/root/repo/src/minimpi/runtime.cpp" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/runtime.cpp.o" "gcc" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/minimpi/state.cpp" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/state.cpp.o" "gcc" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/state.cpp.o.d"
+  "/root/repo/src/minimpi/window.cpp" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/window.cpp.o" "gcc" "src/minimpi/CMakeFiles/lossyfft_minimpi.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_minimpi.dir/alltoall.cpp.o"
+  "CMakeFiles/lossyfft_minimpi.dir/alltoall.cpp.o.d"
+  "CMakeFiles/lossyfft_minimpi.dir/comm.cpp.o"
+  "CMakeFiles/lossyfft_minimpi.dir/comm.cpp.o.d"
+  "CMakeFiles/lossyfft_minimpi.dir/runtime.cpp.o"
+  "CMakeFiles/lossyfft_minimpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/lossyfft_minimpi.dir/state.cpp.o"
+  "CMakeFiles/lossyfft_minimpi.dir/state.cpp.o.d"
+  "CMakeFiles/lossyfft_minimpi.dir/window.cpp.o"
+  "CMakeFiles/lossyfft_minimpi.dir/window.cpp.o.d"
+  "liblossyfft_minimpi.a"
+  "liblossyfft_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/flowsim.cpp" "src/netsim/CMakeFiles/lossyfft_netsim.dir/flowsim.cpp.o" "gcc" "src/netsim/CMakeFiles/lossyfft_netsim.dir/flowsim.cpp.o.d"
+  "/root/repo/src/netsim/model.cpp" "src/netsim/CMakeFiles/lossyfft_netsim.dir/model.cpp.o" "gcc" "src/netsim/CMakeFiles/lossyfft_netsim.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

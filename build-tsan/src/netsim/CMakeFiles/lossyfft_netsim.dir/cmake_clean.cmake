@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_netsim.dir/flowsim.cpp.o"
+  "CMakeFiles/lossyfft_netsim.dir/flowsim.cpp.o.d"
+  "CMakeFiles/lossyfft_netsim.dir/model.cpp.o"
+  "CMakeFiles/lossyfft_netsim.dir/model.cpp.o.d"
+  "liblossyfft_netsim.a"
+  "liblossyfft_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osc/osc_alltoall.cpp" "src/osc/CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o" "gcc" "src/osc/CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o.d"
+  "/root/repo/src/osc/schedule.cpp" "src/osc/CMakeFiles/lossyfft_osc.dir/schedule.cpp.o" "gcc" "src/osc/CMakeFiles/lossyfft_osc.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minimpi/CMakeFiles/lossyfft_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lossyfft_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/lossyfft_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/softfloat/CMakeFiles/lossyfft_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

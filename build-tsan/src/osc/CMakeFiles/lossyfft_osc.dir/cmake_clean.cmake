@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o"
+  "CMakeFiles/lossyfft_osc.dir/osc_alltoall.cpp.o.d"
+  "CMakeFiles/lossyfft_osc.dir/schedule.cpp.o"
+  "CMakeFiles/lossyfft_osc.dir/schedule.cpp.o.d"
+  "liblossyfft_osc.a"
+  "liblossyfft_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

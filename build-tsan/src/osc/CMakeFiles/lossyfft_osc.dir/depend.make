@@ -1,0 +1,2 @@
+# Empty dependencies file for lossyfft_osc.
+# This may be replaced when dependencies are built.

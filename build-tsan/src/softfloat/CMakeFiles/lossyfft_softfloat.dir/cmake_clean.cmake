@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_softfloat.dir/half.cpp.o"
+  "CMakeFiles/lossyfft_softfloat.dir/half.cpp.o.d"
+  "CMakeFiles/lossyfft_softfloat.dir/trim.cpp.o"
+  "CMakeFiles/lossyfft_softfloat.dir/trim.cpp.o.d"
+  "liblossyfft_softfloat.a"
+  "liblossyfft_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_solver.dir/poisson.cpp.o"
+  "CMakeFiles/lossyfft_solver.dir/poisson.cpp.o.d"
+  "CMakeFiles/lossyfft_solver.dir/refinement.cpp.o"
+  "CMakeFiles/lossyfft_solver.dir/refinement.cpp.o.d"
+  "liblossyfft_solver.a"
+  "liblossyfft_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alltoall_test.dir/alltoall_test.cpp.o"
+  "CMakeFiles/alltoall_test.dir/alltoall_test.cpp.o.d"
+  "alltoall_test"
+  "alltoall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alltoall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capi_test.dir/capi_test.cpp.o"
+  "CMakeFiles/capi_test.dir/capi_test.cpp.o.d"
+  "capi_test"
+  "capi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress_test.cpp.o"
+  "CMakeFiles/compress_test.dir/compress_test.cpp.o.d"
+  "compress_test"
+  "compress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

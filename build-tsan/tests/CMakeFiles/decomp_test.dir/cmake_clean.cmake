@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomp_test.dir/decomp_test.cpp.o"
+  "CMakeFiles/decomp_test.dir/decomp_test.cpp.o.d"
+  "decomp_test"
+  "decomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

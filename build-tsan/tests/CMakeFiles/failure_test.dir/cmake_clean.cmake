@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_test.dir/failure_test.cpp.o"
+  "CMakeFiles/failure_test.dir/failure_test.cpp.o.d"
+  "failure_test"
+  "failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft1d_test.dir/fft1d_test.cpp.o"
+  "CMakeFiles/fft1d_test.dir/fft1d_test.cpp.o.d"
+  "fft1d_test"
+  "fft1d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

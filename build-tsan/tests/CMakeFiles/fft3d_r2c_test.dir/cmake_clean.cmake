@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_r2c_test.dir/fft3d_r2c_test.cpp.o"
+  "CMakeFiles/fft3d_r2c_test.dir/fft3d_r2c_test.cpp.o.d"
+  "fft3d_r2c_test"
+  "fft3d_r2c_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_r2c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

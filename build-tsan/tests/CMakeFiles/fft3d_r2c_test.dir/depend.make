@@ -1,0 +1,2 @@
+# Empty dependencies file for fft3d_r2c_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftreal_test.dir/fftreal_test.cpp.o"
+  "CMakeFiles/fftreal_test.dir/fftreal_test.cpp.o.d"
+  "fftreal_test"
+  "fftreal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftreal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

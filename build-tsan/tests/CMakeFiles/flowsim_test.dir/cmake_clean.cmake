@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowsim_test.dir/flowsim_test.cpp.o"
+  "CMakeFiles/flowsim_test.dir/flowsim_test.cpp.o.d"
+  "flowsim_test"
+  "flowsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

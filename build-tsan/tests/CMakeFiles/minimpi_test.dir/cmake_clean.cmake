@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_test.dir/minimpi_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi_test.cpp.o.d"
+  "minimpi_test"
+  "minimpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_test.dir/netsim_test.cpp.o"
+  "CMakeFiles/netsim_test.dir/netsim_test.cpp.o.d"
+  "netsim_test"
+  "netsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

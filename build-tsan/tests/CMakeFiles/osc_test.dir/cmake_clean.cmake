@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_test.dir/osc_test.cpp.o"
+  "CMakeFiles/osc_test.dir/osc_test.cpp.o.d"
+  "osc_test"
+  "osc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/lossyfft_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/softfloat/CMakeFiles/lossyfft_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/lossyfft_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minimpi/CMakeFiles/lossyfft_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/lossyfft_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/lossyfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/osc/CMakeFiles/lossyfft_osc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfft/CMakeFiles/lossyfft_dfft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/lossyfft_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/capi/CMakeFiles/lossyfft_capi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

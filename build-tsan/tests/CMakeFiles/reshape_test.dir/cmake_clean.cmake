@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_test.dir/reshape_test.cpp.o"
+  "CMakeFiles/reshape_test.dir/reshape_test.cpp.o.d"
+  "reshape_test"
+  "reshape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

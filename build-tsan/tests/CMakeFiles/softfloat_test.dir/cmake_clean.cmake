@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfloat_test.dir/softfloat_test.cpp.o"
+  "CMakeFiles/softfloat_test.dir/softfloat_test.cpp.o.d"
+  "softfloat_test"
+  "softfloat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

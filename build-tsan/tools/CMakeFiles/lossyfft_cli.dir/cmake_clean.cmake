@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyfft_cli.dir/lossyfft_cli.cpp.o"
+  "CMakeFiles/lossyfft_cli.dir/lossyfft_cli.cpp.o.d"
+  "lossyfft_cli"
+  "lossyfft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyfft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
