@@ -117,7 +117,7 @@ void BM_CompressParallel(benchmark::State& state) {
   const auto inner = make_shardable_codec(static_cast<int>(state.range(0)));
   const int total = static_cast<int>(state.range(1));
   WorkerPool pool(total - 1);
-  const ParallelCodec codec(inner, &pool, total, /*min_parallel_elems=*/1);
+  const ParallelCodec codec(inner, &pool, total, /*min_shard_bytes=*/1);
   const std::size_t n = 1 << 18;
   Xoshiro256 rng(5);
   std::vector<double> in(n);
@@ -138,7 +138,7 @@ void BM_DecompressParallel(benchmark::State& state) {
   const auto inner = make_shardable_codec(static_cast<int>(state.range(0)));
   const int total = static_cast<int>(state.range(1));
   WorkerPool pool(total - 1);
-  const ParallelCodec codec(inner, &pool, total, /*min_parallel_elems=*/1);
+  const ParallelCodec codec(inner, &pool, total, /*min_shard_bytes=*/1);
   const std::size_t n = 1 << 18;
   Xoshiro256 rng(6);
   std::vector<double> in(n), out(n);

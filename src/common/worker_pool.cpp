@@ -203,4 +203,28 @@ int WorkerPool::env_workers() {
   return hc > 0 ? static_cast<int>(hc) : 1;
 }
 
+int WorkerPool::effective_shards(int requested, std::size_t payload_bytes,
+                                 std::size_t min_bytes) {
+  int resolved = requested == 0 ? global().concurrency()
+                                : (requested > 1 ? requested : 1);
+  if (min_bytes > 0) {
+    const std::size_t cap = payload_bytes / min_bytes;  // Shards of >= min.
+    if (cap < static_cast<std::size_t>(resolved)) {
+      resolved = cap > 0 ? static_cast<int>(cap) : 1;
+    }
+  }
+  return resolved;
+}
+
+std::size_t WorkerPool::min_shard_bytes() {
+  static const std::size_t v = [] {
+    if (const char* s = std::getenv("LOSSYFFT_MIN_SHARD_BYTES")) {
+      const long long parsed = std::atoll(s);
+      if (parsed >= 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{256 * 1024};
+  }();
+  return v;
+}
+
 }  // namespace lossyfft

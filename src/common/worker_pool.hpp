@@ -75,6 +75,19 @@ class WorkerPool {
   /// concurrency.
   static int env_workers();
 
+  /// Fan-out policy shared by every parallel consumer: resolve a user
+  /// worker knob (0 = full pool concurrency, k >= 1 = k shards) and clamp
+  /// it so each shard covers at least `min_bytes` of payload. Small
+  /// payloads degrade to 1 (serial) — below the threshold the submit/steal
+  /// overhead exceeds the work, the regression BENCH_realexec.json showed
+  /// for every x4 config at 48^3. A pure function of its arguments, so
+  /// shard boundaries (and results) stay reproducible run to run.
+  static int effective_shards(int requested, std::size_t payload_bytes,
+                              std::size_t min_bytes = min_shard_bytes());
+
+  /// Bytes-per-shard floor: LOSSYFFT_MIN_SHARD_BYTES if set, else 256 KiB.
+  static std::size_t min_shard_bytes();
+
  private:
   struct Queue {
     std::mutex mu;

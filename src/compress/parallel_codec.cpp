@@ -5,24 +5,31 @@
 namespace lossyfft {
 
 ParallelCodec::ParallelCodec(CodecPtr inner, WorkerPool* pool, int shards,
-                             std::size_t min_parallel_elems)
+                             std::size_t min_shard_bytes)
     : inner_(std::move(inner)),
       pool_(pool ? pool : &WorkerPool::global()),
       shards_(shards),
-      min_parallel_(min_parallel_elems) {
+      min_shard_bytes_(min_shard_bytes) {
   LFFT_REQUIRE(inner_ != nullptr, "ParallelCodec: inner codec is null");
   LFFT_REQUIRE(shards_ >= 0, "ParallelCodec: shard count must be >= 0");
 }
 
-bool ParallelCodec::shardable(std::size_t n) const {
-  return inner_->fixed_size() && inner_->parallel_granularity() > 0 &&
-         n >= min_parallel_ && (shards_ == 0 || shards_ > 1) &&
-         pool_->workers() > 0;
+int ParallelCodec::fan_out(std::size_t n) const {
+  if (!inner_->fixed_size() || inner_->parallel_granularity() == 0 ||
+      pool_->workers() == 0) {
+    return 1;
+  }
+  // Resolve 0 against *this* pool (it may not be the global one), then
+  // clamp so every shard codes >= min_shard_bytes_ of raw payload.
+  const int requested = shards_ == 0 ? pool_->concurrency() : shards_;
+  return WorkerPool::effective_shards(requested, n * sizeof(double),
+                                      min_shard_bytes_);
 }
 
 std::size_t ParallelCodec::compress(std::span<const double> in,
                                     std::span<std::byte> out) const {
-  if (!shardable(in.size())) return inner_->compress(in, out);
+  const int eff = fan_out(in.size());
+  if (eff <= 1) return inner_->compress(in, out);
   const std::size_t total = inner_->max_compressed_bytes(in.size());
   LFFT_REQUIRE(out.size() >= total, "parallel codec: output too small");
   pool_->parallel_for(
@@ -35,13 +42,14 @@ std::size_t ParallelCodec::compress(std::span<const double> in,
         inner_->compress(in.subspan(begin, end - begin),
                          out.subspan(off, len));
       },
-      shards_);
+      eff);
   return total;
 }
 
 void ParallelCodec::decompress(std::span<const std::byte> in,
                                std::span<double> out) const {
-  if (!shardable(out.size())) return inner_->decompress(in, out);
+  const int eff = fan_out(out.size());
+  if (eff <= 1) return inner_->decompress(in, out);
   LFFT_REQUIRE(in.size() >= inner_->max_compressed_bytes(out.size()),
                "parallel codec: input too small");
   pool_->parallel_for(
@@ -52,7 +60,7 @@ void ParallelCodec::decompress(std::span<const std::byte> in,
         inner_->decompress(in.subspan(off, len),
                            out.subspan(begin, end - begin));
       },
-      shards_);
+      eff);
 }
 
 }  // namespace lossyfft

@@ -22,12 +22,14 @@ namespace lossyfft {
 
 class ParallelCodec final : public Codec {
  public:
-  /// `shards` caps the fan-out (0 = the pool's full concurrency). Inputs
-  /// below `min_parallel_elems` skip the pool: fan-out overhead beats the
-  /// codec cost on tiny payloads.
-  explicit ParallelCodec(CodecPtr inner, WorkerPool* pool = nullptr,
-                         int shards = 0,
-                         std::size_t min_parallel_elems = 1u << 12);
+  /// `shards` caps the fan-out (0 = the pool's full concurrency). The
+  /// fan-out is then clamped so every shard codes at least
+  /// `min_shard_bytes` of payload (WorkerPool::effective_shards); small
+  /// payloads degrade to the serial inner codec, where fan-out overhead
+  /// beats the codec cost.
+  explicit ParallelCodec(
+      CodecPtr inner, WorkerPool* pool = nullptr, int shards = 0,
+      std::size_t min_shard_bytes = WorkerPool::min_shard_bytes());
 
   /// Transparent: the wire format and the reported identity are the inner
   /// codec's own.
@@ -49,12 +51,13 @@ class ParallelCodec final : public Codec {
   const CodecPtr& inner() const { return inner_; }
 
  private:
-  bool shardable(std::size_t n) const;
+  /// Resolved shard count for an n-element payload (1 = stay serial).
+  int fan_out(std::size_t n) const;
 
   CodecPtr inner_;
   WorkerPool* pool_;
   int shards_;
-  std::size_t min_parallel_;
+  std::size_t min_shard_bytes_;
 };
 
 }  // namespace lossyfft

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/planner.hpp"
 #include "dfft/decomp.hpp"
+#include "dfft/fft_exec.hpp"
 
 namespace lossyfft {
 
@@ -139,23 +141,29 @@ void Fft3d<T>::fft_pencil(int dir, FftDirection fdir) {
   const auto sy = static_cast<std::size_t>(box.size[1]);
   const auto sz = static_cast<std::size_t>(box.size[2]);
   const Fft1d<T>& plan = *fft_[static_cast<std::size_t>(dir)];
+  // Shard the pencil lines across the pool (fft_workers), falling back to
+  // serial when the whole stage is below the bytes-per-shard floor.
+  const int shards = WorkerPool::effective_shards(
+      options_.fft_workers,
+      static_cast<std::size_t>(box.count()) * sizeof(std::complex<T>));
+  auto& ws = fft_ws_[static_cast<std::size_t>(dir)];
   switch (dir) {
     case 0:
-      // Rows are contiguous: one batched call over all (y, z).
-      plan.transform_strided(data, 1, sy * sz,
-                             static_cast<std::ptrdiff_t>(sx), fdir);
+      // Rows are contiguous: one line per (y, z).
+      detail::run_fft_lines(plan, 1, sy * sz, fdir, shards, ws,
+                            [&](std::size_t l) { return data + l * sx; });
       break;
     case 1:
-      // Lines along y: per z-slab, batch over x with stride sx.
-      for (std::size_t z = 0; z < sz; ++z) {
-        plan.transform_strided(data + z * sx * sy,
-                               static_cast<std::ptrdiff_t>(sx), sx, 1, fdir);
-      }
+      // Lines along y, stride sx: line l = (z, x) = (l / sx, l % sx).
+      detail::run_fft_lines(
+          plan, static_cast<std::ptrdiff_t>(sx), sx * sz, fdir, shards, ws,
+          [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
       break;
     case 2:
-      // Lines along z: stride sx*sy, batch over the (x, y) plane.
-      plan.transform_strided(data, static_cast<std::ptrdiff_t>(sx * sy),
-                             sx * sy, 1, fdir);
+      // Lines along z: stride sx*sy, one line per (x, y).
+      detail::run_fft_lines(plan, static_cast<std::ptrdiff_t>(sx * sy),
+                            sx * sy, fdir, shards, ws,
+                            [&](std::size_t l) { return data + l; });
       break;
     default:
       LFFT_ASSERT(false);
@@ -178,20 +186,28 @@ void Fft3d<T>::run_slab(std::span<const std::complex<T>> in,
     const auto sx = static_cast<std::size_t>(zslab.size[0]);
     const auto sy = static_cast<std::size_t>(zslab.size[1]);
     const auto sz = static_cast<std::size_t>(zslab.size[2]);
-    fft_[0]->transform_strided(zs.data(), 1, sy * sz,
-                               static_cast<std::ptrdiff_t>(sx), dir);
-    for (std::size_t z = 0; z < sz; ++z) {
-      fft_[1]->transform_strided(zs.data() + z * sx * sy,
-                                 static_cast<std::ptrdiff_t>(sx), sx, 1, dir);
-    }
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(zslab.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = zs.data();
+    detail::run_fft_lines(*fft_[0], 1, sy * sz, dir, shards, fft_ws_[0],
+                          [&](std::size_t l) { return data + l * sx; });
+    detail::run_fft_lines(
+        *fft_[1], static_cast<std::ptrdiff_t>(sx), sx * sz, dir, shards,
+        fft_ws_[1],
+        [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
   }
   fwd_reshape_[1]->execute(zs, xs);
   if (!xslab.empty()) {
     const auto sx = static_cast<std::size_t>(xslab.size[0]);
     const auto sy = static_cast<std::size_t>(xslab.size[1]);
-    fft_[2]->transform_strided(xs.data(),
-                               static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
-                               1, dir);
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(xslab.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = xs.data();
+    detail::run_fft_lines(*fft_[2], static_cast<std::ptrdiff_t>(sx * sy),
+                          sx * sy, dir, shards, fft_ws_[2],
+                          [&](std::size_t l) { return data + l; });
   }
   fwd_reshape_[2]->execute(xs, out);
 }

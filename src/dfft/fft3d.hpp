@@ -50,6 +50,13 @@ struct Fft3dOptions {
   /// 1 = serial, 0 = full pool concurrency, k > 1 = k shards. Results are
   /// bitwise identical at every setting.
   int reshape_workers = 1;
+  /// 1-D FFT stage shards: pencil-line batches fan out across the shared
+  /// WorkerPool with one private Fft1d::Workspace per shard (the plan and
+  /// its twiddle tables stay shared, read-only). Same convention: 1 =
+  /// serial (default), 0 = full pool concurrency, k > 1 = k shards; small
+  /// stages fall back to serial below the bytes-per-shard floor. Results
+  /// are bitwise identical at every setting.
+  int fft_workers = 1;
 
   ReshapeOptions reshape_options() const {
     return ReshapeOptions{backend,  codec,    osc_chunks,
@@ -139,6 +146,9 @@ class Fft3d {
   std::array<std::unique_ptr<Reshape<std::complex<T>>>, 4> fwd_reshape_;
 
   std::array<std::unique_ptr<Fft1d<T>>, 3> fft_;
+  // Per-shard plan workspaces of the parallel FFT stages, one cache per
+  // grid dimension, grown on first use and reused across transforms.
+  std::array<std::vector<typename Fft1d<T>::Workspace>, 3> fft_ws_;
   std::vector<std::complex<T>> work_a_, work_b_;
 };
 

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/planner.hpp"
 #include "dfft/decomp.hpp"
+#include "dfft/fft_exec.hpp"
 
 namespace lossyfft {
 
@@ -125,11 +127,14 @@ void Fft3dR2c<T>::forward(std::span<const T> in,
     const auto sx = static_cast<std::size_t>(yp_.size[0]);
     const auto sy = static_cast<std::size_t>(yp_.size[1]);
     const auto sz = static_cast<std::size_t>(yp_.size[2]);
-    for (std::size_t z = 0; z < sz; ++z) {
-      fft_y_->transform_strided(ypv.data() + z * sx * sy,
-                                static_cast<std::ptrdiff_t>(sx), sx, 1,
-                                FftDirection::kForward);
-    }
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(yp_.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = ypv.data();
+    detail::run_fft_lines(
+        *fft_y_, static_cast<std::ptrdiff_t>(sx), sx * sz,
+        FftDirection::kForward, shards, fft_y_ws_,
+        [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
   }
   std::span<std::complex<T>> zpv(work_a_.data(),
                                  static_cast<std::size_t>(zp_.count()));
@@ -137,9 +142,13 @@ void Fft3dR2c<T>::forward(std::span<const T> in,
   if (!zp_.empty()) {
     const auto sx = static_cast<std::size_t>(zp_.size[0]);
     const auto sy = static_cast<std::size_t>(zp_.size[1]);
-    fft_z_->transform_strided(zpv.data(),
-                              static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
-                              1, FftDirection::kForward);
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(zp_.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = zpv.data();
+    detail::run_fft_lines(*fft_z_, static_cast<std::ptrdiff_t>(sx * sy),
+                          sx * sy, FftDirection::kForward, shards, fft_z_ws_,
+                          [&](std::size_t l) { return data + l; });
   }
   fwd_[2]->execute(zpv, out);
   scale_spectral(out, /*forward=*/true);
@@ -158,9 +167,13 @@ void Fft3dR2c<T>::backward(std::span<const std::complex<T>> in,
   if (!zp_.empty()) {
     const auto sx = static_cast<std::size_t>(zp_.size[0]);
     const auto sy = static_cast<std::size_t>(zp_.size[1]);
-    fft_z_->transform_strided(zpv.data(),
-                              static_cast<std::ptrdiff_t>(sx * sy), sx * sy,
-                              1, FftDirection::kInverse);
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(zp_.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = zpv.data();
+    detail::run_fft_lines(*fft_z_, static_cast<std::ptrdiff_t>(sx * sy),
+                          sx * sy, FftDirection::kInverse, shards, fft_z_ws_,
+                          [&](std::size_t l) { return data + l; });
   }
   std::span<std::complex<T>> ypv(work_b_.data(),
                                  static_cast<std::size_t>(yp_.count()));
@@ -169,11 +182,14 @@ void Fft3dR2c<T>::backward(std::span<const std::complex<T>> in,
     const auto sx = static_cast<std::size_t>(yp_.size[0]);
     const auto sy = static_cast<std::size_t>(yp_.size[1]);
     const auto sz = static_cast<std::size_t>(yp_.size[2]);
-    for (std::size_t z = 0; z < sz; ++z) {
-      fft_y_->transform_strided(ypv.data() + z * sx * sy,
-                                static_cast<std::ptrdiff_t>(sx), sx, 1,
-                                FftDirection::kInverse);
-    }
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers,
+        static_cast<std::size_t>(yp_.count()) * sizeof(std::complex<T>));
+    std::complex<T>* data = ypv.data();
+    detail::run_fft_lines(
+        *fft_y_, static_cast<std::ptrdiff_t>(sx), sx * sz,
+        FftDirection::kInverse, shards, fft_y_ws_,
+        [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
   }
   std::span<std::complex<T>> xp(work_a_.data(),
                                 static_cast<std::size_t>(xp_spec_.count()));

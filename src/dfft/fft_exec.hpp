@@ -1,0 +1,55 @@
+// Sharded execution of batched 1-D FFT stages — the compute-side twin of
+// the reshape pack/unpack fan-out. One shared Fft1d plan runs `lines`
+// independent pencil-line transforms; shards are contiguous line ranges
+// and every shard owns a private Fft1d Workspace, so the plan stays
+// read-only and results are bitwise identical at every shard count.
+//
+// Internal to dfft (fft3d.cpp / fft3d_r2c.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "fft/fft1d.hpp"
+
+namespace lossyfft::detail {
+
+/// Run `lines` transforms of `plan`: line `l` starts at `base(l)` with its
+/// elements `stride` apart. `shards` is the resolved fan-out (see
+/// WorkerPool::effective_shards); <= 1 runs serially on the caller. `ws`
+/// caches one workspace per shard, grown on demand and reused across calls
+/// so steady-state stages allocate nothing. Lines are pure compute over
+/// disjoint elements — safe on pool workers next to rank threads.
+template <typename T, typename BaseFn>
+void run_fft_lines(const Fft1d<T>& plan, std::ptrdiff_t stride,
+                   std::size_t lines, FftDirection dir, int shards,
+                   std::vector<typename Fft1d<T>::Workspace>& ws,
+                   const BaseFn& base) {
+  if (lines == 0) return;
+  const std::size_t nshards = std::min<std::size_t>(
+      static_cast<std::size_t>(shards < 1 ? 1 : shards), lines);
+  if (nshards <= 1) {
+    for (std::size_t l = 0; l < lines; ++l) {
+      plan.transform_strided(base(l), stride, 1, 0, dir);
+    }
+    return;
+  }
+  while (ws.size() < nshards) ws.push_back(plan.make_workspace());
+  const std::size_t per = (lines + nshards - 1) / nshards;
+  WorkerPool::global().parallel_for(
+      nshards, 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::size_t l0 = std::min(lines, s * per);
+          const std::size_t l1 = std::min(lines, l0 + per);
+          for (std::size_t l = l0; l < l1; ++l) {
+            plan.transform_strided(base(l), stride, 1, 0, dir, ws[s]);
+          }
+        }
+      },
+      static_cast<int>(nshards));
+}
+
+}  // namespace lossyfft::detail

@@ -109,6 +109,13 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
                "reshape: input boxes do not tile this rank's outbox");
   sendbuf_.resize(send_total_);
   recvbuf_.resize(recv_total_);
+  // Pack/unpack fan-outs clamp against the staging volume: below the
+  // bytes-per-shard floor the memcpy loops run serially on the rank
+  // thread (submit/steal overhead beats the copies there).
+  pack_shards_ = WorkerPool::effective_shards(
+      options_.workers, static_cast<std::size_t>(send_total_) * sizeof(E));
+  unpack_shards_ = WorkerPool::effective_shards(
+      options_.workers, static_cast<std::size_t>(recv_total_) * sizeof(E));
 
   // Unit-scaled count/displacement arrays, fixed for the plan's lifetime.
   byte_send_counts_.resize(p);
@@ -165,9 +172,9 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
                      sendbuf_.data() + send_displs_[r]);
     }
   };
-  if (workers_ > 1) {
+  if (pack_shards_ > 1) {
     WorkerPool::global().parallel_for(send_boxes_.size(), 1, pack_range,
-                                      workers_);
+                                      pack_shards_);
   } else {
     pack_range(0, send_boxes_.size());
   }
@@ -230,9 +237,9 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
                        recvbuf_.data() + recv_displs_[r]);
     }
   };
-  if (workers_ > 1) {
+  if (unpack_shards_ > 1) {
     WorkerPool::global().parallel_for(recv_boxes_.size(), 1, unpack_range,
-                                      workers_);
+                                      unpack_shards_);
   } else {
     unpack_range(0, recv_boxes_.size());
   }

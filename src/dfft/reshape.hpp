@@ -101,6 +101,10 @@ class Reshape {
   CodecPtr wire_codec_;
   /// Resolved shard count (>= 1) from ReshapeOptions::workers.
   int workers_ = 1;
+  /// Pack/unpack fan-outs: workers_ clamped by the bytes-per-shard floor
+  /// (WorkerPool::effective_shards) against this plan's staging totals, so
+  /// small reshapes stay serial where fan-out overhead dominates.
+  int pack_shards_ = 1, unpack_shards_ = 1;
 
   std::vector<E> sendbuf_, recvbuf_;
   osc::ExchangeStats stats_;

@@ -44,6 +44,7 @@ template <typename T>
 struct Fft1d<T>::Impl {
   using Complex = std::complex<T>;
   using ComplexD = std::complex<double>;
+  using Workspace = typename Fft1d<T>::Workspace;
 
   std::size_t n = 0;
   bool use_bluestein = false;
@@ -53,17 +54,17 @@ struct Fft1d<T>::Impl {
   // Full twiddle table: w[k] = exp(-2*pi*i*k/n), k in [0, n). Twiddles for
   // every recursion level are strided reads of this single table.
   std::vector<Complex> twiddle;
-  // Scratch for decimated sub-transform gathering (size n).
-  mutable std::vector<Complex> scratch;
-  // Per-call strided-batch staging buffer (size n).
-  mutable std::vector<Complex> stage;
 
   // Bluestein state.
   std::size_t m = 0;                     // Convolution FFT size (power of 2).
   std::unique_ptr<Fft1d<T>> inner;       // Size-m smooth plan.
   std::vector<Complex> chirp;            // a_k = exp(-i*pi*k^2/n), k in [0, n).
   std::vector<Complex> chirp_fft;        // FFT of the zero-padded conj chirp.
-  mutable std::vector<Complex> work;     // Size m.
+
+  // Workspace for the non-workspace entry points; everything above is
+  // immutable after construction, so this is the only per-plan mutable
+  // state (and why those entry points are not thread-safe).
+  mutable Workspace own_ws;
 
   explicit Impl(std::size_t size) : n(size) {
     LFFT_REQUIRE(n >= 1, "FFT size must be >= 1");
@@ -73,6 +74,7 @@ struct Fft1d<T>::Impl {
       use_bluestein = true;
       init_bluestein();
     }
+    ensure(own_ws);
   }
 
   void init_smooth() {
@@ -84,8 +86,6 @@ struct Fft1d<T>::Impl {
       twiddle[k] = Complex(static_cast<T>(std::cos(ang)),
                            static_cast<T>(std::sin(ang)));
     }
-    scratch.resize(n);
-    stage.resize(n);
   }
 
   void init_bluestein() {
@@ -107,8 +107,19 @@ struct Fft1d<T>::Impl {
     }
     inner->transform(b.data(), FftDirection::kForward);
     chirp_fft = std::move(b);
-    work.resize(m);
-    stage.resize(n);
+  }
+
+  /// Size `ws` for this plan. Idempotent and cheap once sized, so every
+  /// entry point can call it; workspaces never shrink.
+  void ensure(Workspace& ws) const {
+    if (ws.stage.size() < n) ws.stage.resize(n);
+    if (use_bluestein) {
+      if (ws.work.size() < m) ws.work.resize(m);
+      if (!ws.inner) ws.inner = std::make_unique<Workspace>();
+      inner->impl_->ensure(*ws.inner);
+    } else if (ws.scratch.size() < n) {
+      ws.scratch.resize(n);
+    }
   }
 
   // Recursive decimation-in-time step. Computes the DFT of the `sub_n`
@@ -149,25 +160,40 @@ struct Fft1d<T>::Impl {
     }
   }
 
-  void forward_contiguous(Complex* data) const {
+  void forward_contiguous(Complex* data, Workspace& ws) const {
     if (n == 1) return;
     if (use_bluestein) {
-      forward_bluestein(data);
+      forward_bluestein(data, ws);
       return;
     }
     if ((n & (n - 1)) == 0) {
-      forward_stockham(data);
+      forward_stockham(data, ws.scratch.data());
       return;
     }
+    Complex* scratch = ws.scratch.data();
     for (std::size_t i = 0; i < n; ++i) scratch[i] = data[i];
-    dit(n, scratch.data(), 1, data, 1, 0);
+    dit(n, scratch, 1, data, 1, 0);
+  }
+
+  /// Forward transform with the inverse expressed through it:
+  /// inverse(x) = conj(forward(conj(x))) / n, so the twiddle tables stay
+  /// forward-only.
+  void run(Complex* data, FftDirection dir, Workspace& ws) const {
+    if (dir == FftDirection::kForward) {
+      forward_contiguous(data, ws);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]);
+    forward_contiguous(data, ws);
+    const T inv_n = T(1) / static_cast<T>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]) * inv_n;
   }
 
   // Iterative radix-2 Stockham autosort for power-of-two sizes: no bit
   // reversal, unit-stride inner loops, ping-pong between data and scratch.
-  void forward_stockham(Complex* data) const {
+  void forward_stockham(Complex* data, Complex* scratch) const {
     Complex* x = data;
-    Complex* y = scratch.data();
+    Complex* y = scratch;
     for (std::size_t l = n / 2, m = 1; l >= 1; l >>= 1, m <<= 1) {
       const std::size_t tw_step = n / (2 * l);  // w_{2l}^j == twiddle[j*step].
       for (std::size_t j = 0; j < l; ++j) {
@@ -190,13 +216,14 @@ struct Fft1d<T>::Impl {
     }
   }
 
-  void forward_bluestein(Complex* data) const {
+  void forward_bluestein(Complex* data, Workspace& ws) const {
     // y = IFFT(FFT(x .* chirp) .* chirp_fft) .* chirp, classic chirp-z.
+    Complex* work = ws.work.data();
     for (std::size_t k = 0; k < n; ++k) work[k] = data[k] * chirp[k];
     for (std::size_t k = n; k < m; ++k) work[k] = Complex{};
-    inner->transform(work.data(), FftDirection::kForward);
+    inner->impl_->run(work, FftDirection::kForward, *ws.inner);
     for (std::size_t k = 0; k < m; ++k) work[k] *= chirp_fft[k];
-    inner->transform(work.data(), FftDirection::kInverse);
+    inner->impl_->run(work, FftDirection::kInverse, *ws.inner);
     for (std::size_t k = 0; k < n; ++k) data[k] = work[k] * chirp[k];
   }
 };
@@ -214,18 +241,23 @@ template <typename T>
 Fft1d<T>& Fft1d<T>::operator=(Fft1d&&) noexcept = default;
 
 template <typename T>
+typename Fft1d<T>::Workspace Fft1d<T>::make_workspace() const {
+  Workspace ws;
+  impl_->ensure(ws);
+  return ws;
+}
+
+template <typename T>
 void Fft1d<T>::transform(Complex* data, FftDirection dir) const {
+  transform(data, dir, impl_->own_ws);
+}
+
+template <typename T>
+void Fft1d<T>::transform(Complex* data, FftDirection dir,
+                         Workspace& ws) const {
   LFFT_REQUIRE(data != nullptr, "null data");
-  if (dir == FftDirection::kForward) {
-    impl_->forward_contiguous(data);
-    return;
-  }
-  // inverse(x) = conj(forward(conj(x))) / n: one code path for both
-  // directions keeps the twiddle tables forward-only.
-  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
-  impl_->forward_contiguous(data);
-  const T inv_n = T(1) / static_cast<T>(n_);
-  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * inv_n;
+  impl_->ensure(ws);
+  impl_->run(data, dir, ws);
 }
 
 template <typename T>
@@ -233,18 +265,27 @@ void Fft1d<T>::transform_strided(Complex* data, std::ptrdiff_t stride,
                                  std::size_t batch,
                                  std::ptrdiff_t batch_stride,
                                  FftDirection dir) const {
+  transform_strided(data, stride, batch, batch_stride, dir, impl_->own_ws);
+}
+
+template <typename T>
+void Fft1d<T>::transform_strided(Complex* data, std::ptrdiff_t stride,
+                                 std::size_t batch,
+                                 std::ptrdiff_t batch_stride, FftDirection dir,
+                                 Workspace& ws) const {
   LFFT_REQUIRE(data != nullptr, "null data");
+  impl_->ensure(ws);
   for (std::size_t b = 0; b < batch; ++b) {
     Complex* base = data + static_cast<std::ptrdiff_t>(b) * batch_stride;
     if (stride == 1) {
-      transform(base, dir);
+      impl_->run(base, dir, ws);
       continue;
     }
-    auto& stage = impl_->stage;
+    Complex* stage = ws.stage.data();
     for (std::size_t i = 0; i < n_; ++i) {
       stage[i] = base[static_cast<std::ptrdiff_t>(i) * stride];
     }
-    transform(stage.data(), dir);
+    impl_->run(stage, dir, ws);
     for (std::size_t i = 0; i < n_; ++i) {
       base[static_cast<std::ptrdiff_t>(i) * stride] = stage[i];
     }

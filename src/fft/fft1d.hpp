@@ -5,9 +5,12 @@
 // a mixed-radix decimation-in-time Cooley-Tukey; any other size falls back
 // to Bluestein's chirp-z algorithm, so every n >= 1 is supported.
 //
-// A plan precomputes twiddles and owns scratch, so it is cheap to reuse but
-// NOT thread-safe: in the distributed runtime each rank thread builds its
-// own plans.
+// A plan precomputes twiddles (immutable after construction) plus a default
+// scratch workspace. The default-workspace entry points are NOT thread-safe;
+// to share one plan across threads, give each thread its own Workspace from
+// make_workspace() and use the workspace-taking overloads — the plan itself
+// is then read-only. The 3-D FFT uses this to shard pencil batches across
+// the worker pool without duplicating twiddle tables.
 #pragma once
 
 #include <complex>
@@ -41,16 +44,42 @@ class Fft1d {
 
   std::size_t size() const { return n_; }
 
+  /// All call-local mutable state of one transform: DIT/Stockham scratch,
+  /// the strided-batch staging line, and (for Bluestein sizes) the
+  /// convolution buffer plus the inner plan's workspace. One plan + one
+  /// Workspace per thread = concurrent transforms over one twiddle table.
+  /// Buffers are (re)sized lazily, so a default-constructed Workspace also
+  /// works; make_workspace() pre-sizes to keep the hot path allocation-free.
+  struct Workspace {
+    std::vector<Complex> scratch;      // Size n: DIT gather / Stockham.
+    std::vector<Complex> stage;        // Size n: strided gather/scatter.
+    std::vector<Complex> work;         // Size m: Bluestein convolution.
+    std::unique_ptr<Workspace> inner;  // Bluestein inner plan's workspace.
+  };
+
+  /// A workspace pre-sized for this plan (including nested Bluestein).
+  Workspace make_workspace() const;
+
   /// In-place transform of `data[0..n)`, contiguous. The inverse is scaled
   /// by 1/n so that inverse(forward(x)) == x up to roundoff.
+  /// Uses the plan's own workspace: not thread-safe.
   void transform(Complex* data, FftDirection dir) const;
+
+  /// Thread-safe variant: all mutable state lives in `ws`.
+  void transform(Complex* data, FftDirection dir, Workspace& ws) const;
 
   /// Batched strided transform: `batch` transforms, the b-th starting at
   /// data + b*batch_stride, with consecutive transform elements separated by
   /// `stride`. Used by the 3-D FFT to run pencils without repacking.
+  /// Uses the plan's own workspace: not thread-safe.
   void transform_strided(Complex* data, std::ptrdiff_t stride,
                          std::size_t batch, std::ptrdiff_t batch_stride,
                          FftDirection dir) const;
+
+  /// Thread-safe variant: all mutable state lives in `ws`.
+  void transform_strided(Complex* data, std::ptrdiff_t stride,
+                         std::size_t batch, std::ptrdiff_t batch_stride,
+                         FftDirection dir, Workspace& ws) const;
 
  private:
   struct Impl;

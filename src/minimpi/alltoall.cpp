@@ -35,13 +35,20 @@ void alltoallv_linear(Comm& comm, std::span<const std::byte> sendbuf,
                                    recvcounts[static_cast<std::size_t>(src)]),
                    src, kA2aTag));
   }
+  std::vector<Comm::Request> sreqs;
+  sreqs.reserve(static_cast<std::size_t>(p - 1));
   for (int j = 1; j < p; ++j) {
     const int dst = (me + j) % p;
-    comm.isend(sendbuf.subspan(senddispls[static_cast<std::size_t>(dst)],
-                               sendcounts[static_cast<std::size_t>(dst)]),
-               dst, kA2aTag);
+    sreqs.push_back(
+        comm.isend(sendbuf.subspan(senddispls[static_cast<std::size_t>(dst)],
+                                   sendcounts[static_cast<std::size_t>(dst)]),
+                   dst, kA2aTag));
   }
   comm.waitall(reqs);
+  // Rendezvous sends complete only when the peer copies out of sendbuf;
+  // reap them so the caller may reuse the buffer on return. Every rank has
+  // posted all receives above, so this cannot cycle.
+  comm.waitall(sreqs);
 }
 
 void alltoallv_pairwise(Comm& comm, std::span<const std::byte> sendbuf,

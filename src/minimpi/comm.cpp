@@ -10,7 +10,7 @@ namespace lossyfft::minimpi {
 namespace {
 
 // Collectives use the high tag space to stay clear of user tags.
-constexpr int kBarrierTag = 1 << 28;
+// (The barrier is message-free — see Comm::barrier — so no tag for it.)
 constexpr int kBcastTag = (1 << 28) + 1;
 constexpr int kReduceTag = (1 << 28) + 2;
 constexpr int kGatherTag = (1 << 28) + 3;
@@ -61,39 +61,87 @@ int Comm::world_rank_of(int r) const {
   return group_[static_cast<std::size_t>(r)];
 }
 
-void Comm::send(std::span<const std::byte> data, int dest, int tag) {
+bool Comm::use_rendezvous(std::size_t bytes) const {
+  // Zero-byte messages always stay eager: they carry no payload to copy, so
+  // a handshake would be pure latency (barriers/PSCW are all zero-byte).
+  return bytes > 0 && bytes >= state_->options().rendezvous_threshold;
+}
+
+detail::Envelope* Comm::post_message(std::span<const std::byte> data, int dest,
+                                     int tag) {
   LFFT_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
-  detail::Envelope e;
-  e.src = rank_;
-  e.tag = tag;
-  e.ctx = ctx_;
-  e.data.assign(data.begin(), data.end());
-  state_->mailbox(world_rank_of(dest)).push(std::move(e));
+  detail::Envelope* e = state_->pool().acquire(rank_, tag, ctx_);
+  e->size = data.size();
+  if (use_rendezvous(data.size())) {
+    e->zptr = data.data();
+    state_->mailbox(world_rank_of(dest)).push(e);
+    return e;
+  }
+  e->data.assign(data.begin(), data.end());
+  state_->mailbox(world_rank_of(dest)).push(e);
+  return nullptr;
+}
+
+void Comm::complete_send(detail::Envelope* e) {
+  // The receiver's store-release on `done` is our permission to reuse the
+  // send buffer; atomic::wait re-checks the value, so a stale notify from a
+  // previous life of this envelope can only cause a spurious re-check.
+  while (e->done.load(std::memory_order_acquire) == 0) {
+    e->done.wait(0, std::memory_order_acquire);
+  }
+  state_->pool().release(e);
+}
+
+Status Comm::complete_recv(detail::Envelope* e, std::span<std::byte> data,
+                           const char* oversize_msg) {
+  const Status st{e->src, e->tag, e->size};
+  const bool fits = e->size <= data.size();
+  if (fits && e->size > 0) {
+    const std::byte* payload = e->zptr != nullptr ? e->zptr : e->data.data();
+    std::memcpy(data.data(), payload, e->size);
+  }
+  if (e->zptr != nullptr) {
+    // Rendezvous: wake the sender, which owns the envelope from here on.
+    e->done.store(1, std::memory_order_release);
+    e->done.notify_one();
+  } else {
+    state_->pool().release(e);
+  }
+  // Oversize is reported only after the release protocol ran: throwing
+  // first would leave a rendezvous sender blocked forever.
+  LFFT_REQUIRE(fits, oversize_msg);
+  return st;
+}
+
+void Comm::send(std::span<const std::byte> data, int dest, int tag) {
+  if (detail::Envelope* e = post_message(data, dest, tag)) complete_send(e);
 }
 
 Status Comm::recv(std::span<std::byte> data, int src, int tag) {
   LFFT_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
                "recv: bad source rank");
-  detail::Envelope e =
+  detail::Envelope* e =
       state_->mailbox(world_rank_of(rank_)).pop_match(src, tag, ctx_);
-  LFFT_REQUIRE(e.data.size() <= data.size(),
-               "recv: message larger than receive buffer");
-  if (!e.data.empty()) std::memcpy(data.data(), e.data.data(), e.data.size());
-  return Status{e.src, e.tag, e.data.size()};
+  return complete_recv(e, data, "recv: message larger than receive buffer");
 }
 
 Status Comm::sendrecv(std::span<const std::byte> senddata, int dest,
                       int sendtag, std::span<std::byte> recvdata, int src,
                       int recvtag) {
-  send(senddata, dest, sendtag);  // Eager: completes immediately.
-  return recv(recvdata, src, recvtag);
+  // Post first (never blocks), receive, then reap our own send. Symmetric
+  // rendezvous exchanges progress because both sides' buffers are published
+  // before either side blocks.
+  detail::Envelope* pending = post_message(senddata, dest, sendtag);
+  const Status st = recv(recvdata, src, recvtag);
+  if (pending != nullptr) complete_send(pending);
+  return st;
 }
 
 Comm::Request Comm::isend(std::span<const std::byte> data, int dest, int tag) {
-  send(data, dest, tag);  // Eager: locally complete on return.
   Request req;
-  req.done_ = true;
   req.status_ = Status{rank_, tag, data.size()};
+  req.send_env_ = post_message(data, dest, tag);
+  req.done_ = req.send_env_ == nullptr;  // Eager: locally complete on return.
   return req;
 }
 
@@ -101,13 +149,11 @@ Comm::Request Comm::irecv(std::span<std::byte> data, int src, int tag) {
   Request req;
   // Try an immediate match so already-delivered messages complete in post
   // order (the common case for our collectives).
-  detail::Envelope e;
-  if (state_->mailbox(world_rank_of(rank_)).try_pop_match(src, tag, ctx_, e)) {
-    LFFT_REQUIRE(e.data.size() <= data.size(),
-                 "irecv: message larger than receive buffer");
-    if (!e.data.empty()) std::memcpy(data.data(), e.data.data(), e.data.size());
+  if (detail::Envelope* e =
+          state_->mailbox(world_rank_of(rank_)).try_pop_match(src, tag, ctx_)) {
     req.done_ = true;
-    req.status_ = Status{e.src, e.tag, e.data.size()};
+    req.status_ =
+        complete_recv(e, data, "irecv: message larger than receive buffer");
     return req;
   }
   req.done_ = false;
@@ -119,9 +165,14 @@ Comm::Request Comm::irecv(std::span<std::byte> data, int src, int tag) {
 
 Status Comm::wait(Request& req) {
   if (!req.done_) {
-    req.status_ = recv(req.buf_, req.src_, req.tag_);
+    if (req.send_env_ != nullptr) {
+      complete_send(req.send_env_);
+      req.send_env_ = nullptr;
+    } else {
+      req.status_ = recv(req.buf_, req.src_, req.tag_);
+      req.buf_ = {};
+    }
     req.done_ = true;
-    req.buf_ = {};
   }
   return req.status_;
 }
@@ -134,14 +185,31 @@ std::vector<Status> Comm::waitall(std::span<Request> reqs) {
 }
 
 void Comm::barrier() {
-  // Dissemination barrier: log2(p) rounds of 0-byte messages; O(p log p)
-  // messages total but only log p rounds of latency per rank.
+  // Centralized sense-reversing barrier on the per-context BarrierState:
+  // one fetch_add per rank and a wait on the generation word. The arrival
+  // RMW chain orders every rank's pre-barrier writes before the closing
+  // generation store, and its acquire on the waiters orders those writes
+  // before any post-barrier read — the same fencing the old message-based
+  // dissemination barrier provided, minus its log2(p) mailbox round trips.
   const int p = size();
-  for (int dist = 1; dist < p; dist <<= 1) {
-    const int to = (rank_ + dist) % p;
-    const int from = (rank_ - dist % p + p) % p;
-    send(std::span<const std::byte>{}, to, kBarrierTag + dist);
-    recv(std::span<std::byte>{}, from, kBarrierTag + dist);
+  if (p < 2) return;
+  if (barrier_ == nullptr) barrier_ = &state_->barrier_state(ctx_);
+  detail::BarrierState& b = *barrier_;
+  const std::uint32_t gen = b.generation.load(std::memory_order_acquire);
+  if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<std::uint32_t>(p)) {
+    // Last arrival: reset for the next use, then open the next generation.
+    // Waiters only proceed after acquiring the new generation value, which
+    // happens-after this reset, so the store cannot race their re-arrival.
+    b.arrived.store(0, std::memory_order_relaxed);
+    b.generation.store(gen + 1, std::memory_order_release);
+    b.generation.notify_all();
+  } else {
+    // `generation` cannot advance past `gen` until this rank arrives, so
+    // waiting for inequality (with atomic::wait's value re-check) is exact.
+    while (b.generation.load(std::memory_order_acquire) == gen) {
+      b.generation.wait(gen, std::memory_order_acquire);
+    }
   }
 }
 
@@ -244,6 +312,8 @@ void Comm::allgather(std::span<const std::byte> senddata,
   LFFT_REQUIRE(recvdata.size() == blk * static_cast<std::size_t>(p),
                "allgather: recv buffer must hold size() blocks");
   // Ring allgather: p-1 steps, each forwarding the block received last step.
+  // sendrecv (not send+recv): with rendezvous transport a blocking send
+  // around the ring would be a cyclic wait; sendrecv posts before blocking.
   std::memcpy(recvdata.data() + static_cast<std::size_t>(rank_) * blk,
               senddata.data(), blk);
   const int right = (rank_ + 1) % p;
@@ -251,11 +321,11 @@ void Comm::allgather(std::span<const std::byte> senddata,
   int have = rank_;  // Block id we forward next.
   for (int step = 0; step < p - 1; ++step) {
     const int incoming = (have - 1 + p) % p;
-    send(std::span<const std::byte>(
-             recvdata.subspan(static_cast<std::size_t>(have) * blk, blk)),
-         right, kGatherTag);
-    recv(recvdata.subspan(static_cast<std::size_t>(incoming) * blk, blk), left,
-         kGatherTag);
+    sendrecv(std::span<const std::byte>(
+                 recvdata.subspan(static_cast<std::size_t>(have) * blk, blk)),
+             right, kGatherTag,
+             recvdata.subspan(static_cast<std::size_t>(incoming) * blk, blk),
+             left, kGatherTag);
     have = incoming;
   }
 }

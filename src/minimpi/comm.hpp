@@ -26,19 +26,34 @@ class Comm {
   /// World rank of communicator rank `r` (used by node-aware schedules).
   int world_rank_of(int r) const;
 
-  // --- Two-sided point-to-point (eager: send copies and returns) ---------
+  // --- Two-sided point-to-point -------------------------------------------
+  // Two transports, picked per message by MinimpiOptions::rendezvous_threshold
+  // (ranks share one address space, so "the wire" is a memcpy):
+  //  * eager (small): the payload is copied into a pooled envelope and send
+  //    returns immediately; the receiver copies out (two copies).
+  //  * rendezvous (large): the envelope carries a pointer to the sender's
+  //    buffer; the receiver copies from it directly (one copy) and signals
+  //    completion. A blocking send then behaves like MPI_Ssend — it returns
+  //    only once the receiver has drained the buffer, so a blocking
+  //    rendezvous send to self deadlocks, exactly as in MPI.
   void send(std::span<const std::byte> data, int dest, int tag);
   Status recv(std::span<std::byte> data, int src, int tag);
 
-  /// Combined send+recv that cannot deadlock (sends are eager).
+  /// Combined send+recv that cannot deadlock: the send side is *posted*
+  /// before the receive blocks (eager completes immediately; rendezvous
+  /// publishes the buffer and is reaped after the receive), so symmetric
+  /// exchange cycles always make progress.
   Status sendrecv(std::span<const std::byte> senddata, int dest, int sendtag,
                   std::span<std::byte> recvdata, int src, int recvtag);
 
   // --- Nonblocking point-to-point -----------------------------------------
-  // isend completes immediately (eager copy). irecv attempts an immediate
-  // match; if the message has not arrived yet, the match happens inside
-  // wait(). Note one divergence from MPI: two pending irecvs with the same
-  // (source, tag) match in wait() order, not post order.
+  // isend completes immediately for eager messages; a rendezvous isend
+  // stays pending until the receiver's copy-out, so the send buffer must
+  // outlive wait()/waitall() on its request (standard MPI rules). irecv
+  // attempts an immediate match; if the message has not arrived yet, the
+  // match happens inside wait(). Note one divergence from MPI: two pending
+  // irecvs with the same (source, tag) match in wait() order, not post
+  // order.
   class Request {
    public:
     Request() = default;
@@ -46,12 +61,14 @@ class Comm {
 
    private:
     friend class Comm;
-    bool done_ = true;  // isend / already-matched irecv.
+    bool done_ = true;  // Eager isend / already-matched irecv.
     Status status_{};
-    // Pending receive parameters (done_ == false).
+    // Pending receive parameters (done_ == false, send_env_ == nullptr).
     std::span<std::byte> buf_{};
     int src_ = kAnySource;
     int tag_ = kAnyTag;
+    // Pending rendezvous send (done_ == false): envelope to reap in wait().
+    detail::Envelope* send_env_ = nullptr;
   };
 
   Request isend(std::span<const std::byte> data, int dest, int tag);
@@ -140,12 +157,29 @@ class Comm {
                                         std::size_t, ReduceOp),
                         std::size_t elem_size, ReduceOp op);
 
+  /// True when `bytes` should take the rendezvous path in this world.
+  bool use_rendezvous(std::size_t bytes) const;
+  /// Enqueue a message at `dest`. Returns the envelope when it went
+  /// rendezvous (caller must complete_send it), nullptr when eager.
+  detail::Envelope* post_message(std::span<const std::byte> data, int dest,
+                                 int tag);
+  /// Block until the receiver signals the rendezvous copy-out, then
+  /// recycle the envelope.
+  void complete_send(detail::Envelope* e);
+  /// Copy a matched envelope into `data`, run the mode-specific release
+  /// protocol, and return the receive Status. `oversize_msg` is thrown
+  /// (after releasing the peer) when the payload does not fit.
+  Status complete_recv(detail::Envelope* e, std::span<std::byte> data,
+                       const char* oversize_msg);
+
   std::shared_ptr<detail::SharedState> state_;
   ContextId ctx_ = 0;
   std::vector<int> group_;  // group_[comm rank] == world rank.
   int rank_ = 0;
   mutable std::uint64_t split_epoch_ = 0;
   mutable std::uint64_t window_epoch_ = 0;
+  // Cached per-context barrier state (stable address inside SharedState).
+  detail::BarrierState* barrier_ = nullptr;
 };
 
 }  // namespace lossyfft::minimpi

@@ -10,8 +10,13 @@
 namespace lossyfft::minimpi {
 
 void run_ranks(int n_ranks, const std::function<void(Comm&)>& fn) {
+  run_ranks(n_ranks, MinimpiOptions{}, fn);
+}
+
+void run_ranks(int n_ranks, const MinimpiOptions& options,
+               const std::function<void(Comm&)>& fn) {
   LFFT_REQUIRE(n_ranks > 0, "run_ranks: need at least one rank");
-  auto state = std::make_shared<detail::SharedState>(n_ranks);
+  auto state = std::make_shared<detail::SharedState>(n_ranks, options);
 
   std::mutex err_mu;
   std::exception_ptr first_error;

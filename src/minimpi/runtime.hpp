@@ -17,4 +17,9 @@ namespace lossyfft::minimpi {
 /// tests use this for argument-validation paths only).
 void run_ranks(int n_ranks, const std::function<void(Comm&)>& fn);
 
+/// Same, with explicit transport tuning (eager/rendezvous crossover) for
+/// this world. The default overload uses MinimpiOptions{}.
+void run_ranks(int n_ranks, const MinimpiOptions& options,
+               const std::function<void(Comm&)>& fn);
+
 }  // namespace lossyfft::minimpi

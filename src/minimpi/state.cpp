@@ -4,10 +4,36 @@
 
 namespace lossyfft::minimpi::detail {
 
-void Mailbox::push(Envelope e) {
+Envelope* EnvelopePool::acquire(int src, int tag, ContextId ctx) {
+  Envelope* e = nullptr;
   {
     std::lock_guard lk(mu_);
-    q_.push_back(std::move(e));
+    if (free_.empty()) {
+      e = &slab_.emplace_back();
+    } else {
+      e = free_.back();
+      free_.pop_back();
+    }
+  }
+  e->src = src;
+  e->tag = tag;
+  e->ctx = ctx;
+  e->size = 0;
+  e->data.clear();  // Keeps capacity: steady state allocates nothing.
+  e->zptr = nullptr;
+  e->done.store(0, std::memory_order_relaxed);
+  return e;
+}
+
+void EnvelopePool::release(Envelope* e) {
+  std::lock_guard lk(mu_);
+  free_.push_back(e);
+}
+
+void Mailbox::push(Envelope* e) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(e);
   }
   cv_.notify_all();
 }
@@ -19,12 +45,12 @@ bool matches(const Envelope& e, int src, int tag, ContextId ctx) {
 }
 }  // namespace
 
-Envelope Mailbox::pop_match(int src, int tag, ContextId ctx) {
+Envelope* Mailbox::pop_match(int src, int tag, ContextId ctx) {
   std::unique_lock lk(mu_);
   for (;;) {
     for (auto it = q_.begin(); it != q_.end(); ++it) {
-      if (matches(*it, src, tag, ctx)) {
-        Envelope e = std::move(*it);
+      if (matches(**it, src, tag, ctx)) {
+        Envelope* e = *it;
         q_.erase(it);
         return e;
       }
@@ -33,19 +59,20 @@ Envelope Mailbox::pop_match(int src, int tag, ContextId ctx) {
   }
 }
 
-bool Mailbox::try_pop_match(int src, int tag, ContextId ctx, Envelope& out) {
+Envelope* Mailbox::try_pop_match(int src, int tag, ContextId ctx) {
   std::lock_guard lk(mu_);
   for (auto it = q_.begin(); it != q_.end(); ++it) {
-    if (matches(*it, src, tag, ctx)) {
-      out = std::move(*it);
+    if (matches(**it, src, tag, ctx)) {
+      Envelope* e = *it;
       q_.erase(it);
-      return true;
+      return e;
     }
   }
-  return false;
+  return nullptr;
 }
 
-SharedState::SharedState(int world_size) : mailboxes_(world_size) {
+SharedState::SharedState(int world_size, const MinimpiOptions& options)
+    : mailboxes_(world_size), options_(options) {
   LFFT_REQUIRE(world_size > 0, "world size must be positive");
 }
 
@@ -61,6 +88,11 @@ ContextId SharedState::alloc_context(ContextId parent, std::uint64_t epoch,
   auto [it, inserted] = ctx_cache_.try_emplace(key, next_ctx_);
   if (inserted) ++next_ctx_;
   return it->second;
+}
+
+BarrierState& SharedState::barrier_state(ContextId ctx) {
+  std::lock_guard lk(barrier_mu_);
+  return barriers_[ctx];
 }
 
 WindowExposure* SharedState::window_begin(ContextId ctx, std::uint64_t epoch,

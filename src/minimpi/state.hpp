@@ -1,12 +1,14 @@
 // Process-wide shared state backing a minimpi world: one mailbox per rank,
-// context-id allocation for communicator splits, and the exposed-buffer
-// registry used by one-sided windows.
+// a slab-allocated envelope pool, context-id allocation for communicator
+// splits, and the exposed-buffer registry used by one-sided windows.
 //
 // Internal to minimpi; user code interacts through Runtime/Comm/Window.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -17,33 +19,75 @@
 
 namespace lossyfft::minimpi::detail {
 
-/// One in-flight eager message.
+/// One in-flight message. Two transport modes share the struct:
+///
+///  * eager      — `zptr == nullptr`; the payload was copied into `data`
+///                 at send time and the receiver copies it out (two copies).
+///                 The *receiver* returns the envelope to the pool.
+///  * rendezvous — `zptr` points straight at the sender's buffer; the
+///                 receiver copies from it directly (one copy) and then
+///                 stores/notifies `done`, on which the sender is blocked.
+///                 The *sender* returns the envelope to the pool, so `zptr`
+///                 is never read after the sender resumes.
 struct Envelope {
   int src = 0;
   int tag = 0;
   ContextId ctx = 0;
-  std::vector<std::byte> data;
+  std::size_t size = 0;                  // Payload bytes (both modes).
+  std::vector<std::byte> data;           // Eager payload storage.
+  const std::byte* zptr = nullptr;       // Rendezvous: sender's buffer.
+  std::atomic<std::uint32_t> done{0};    // Rendezvous completion flag.
+};
+
+/// Free-list over a slab of envelopes. The slab is a deque so envelope
+/// addresses stay stable forever (a late `done.notify_one()` may land on a
+/// recycled envelope; `atomic::wait` re-checks the value, so a stable,
+/// still-live address is all that is required). Eager `data` vectors keep
+/// their capacity across reuse, so steady-state traffic allocates nothing.
+class EnvelopePool {
+ public:
+  /// Pop (or slab-extend) an envelope, reset to eager defaults.
+  Envelope* acquire(int src, int tag, ContextId ctx);
+  void release(Envelope* e);
+
+ private:
+  std::mutex mu_;
+  std::deque<Envelope> slab_;    // Stable addresses; never shrinks.
+  std::vector<Envelope*> free_;
 };
 
 /// Per-rank receive queue with MPI-style (source, tag, context) matching.
 /// Matching is FIFO per (src, tag, ctx) triple: the first enqueued envelope
 /// that satisfies the pattern wins, which preserves MPI's non-overtaking
-/// guarantee for messages between a fixed pair of ranks.
+/// guarantee for messages between a fixed pair of ranks. The queue holds
+/// pool-owned pointers; push/pop mutex ordering gives the happens-before
+/// edge that makes the receiver's read of the sender's buffer (rendezvous)
+/// or of `data` (eager) race-free.
 class Mailbox {
  public:
-  void push(Envelope e);
+  void push(Envelope* e);
 
   /// Block until an envelope matching (src|kAnySource, tag|kAnyTag, ctx)
   /// is available and return it.
-  Envelope pop_match(int src, int tag, ContextId ctx);
+  Envelope* pop_match(int src, int tag, ContextId ctx);
 
-  /// Non-blocking variant; returns false if nothing matches right now.
-  bool try_pop_match(int src, int tag, ContextId ctx, Envelope& out);
+  /// Non-blocking variant; returns nullptr if nothing matches right now.
+  Envelope* try_pop_match(int src, int tag, ContextId ctx);
 
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Envelope> q_;
+  std::deque<Envelope*> q_;
+};
+
+/// Centralized sense-reversing barrier over the shared address space: one
+/// atomic RMW per arriving rank plus a wait on the generation word, versus
+/// the log2(p) rounds of zero-byte mailbox messages (each a mutex + condvar
+/// hop) a dissemination barrier costs. One instance per communicator
+/// context, so concurrent barriers on split communicators never interact.
+struct BarrierState {
+  std::atomic<std::uint32_t> arrived{0};
+  std::atomic<std::uint32_t> generation{0};
 };
 
 /// Window exposure record: where rank r's exposed span lives.
@@ -60,14 +104,21 @@ struct WindowExposure {
 /// State shared by every rank thread of one Runtime.
 class SharedState {
  public:
-  explicit SharedState(int world_size);
+  explicit SharedState(int world_size, const MinimpiOptions& options = {});
 
   int world_size() const { return static_cast<int>(mailboxes_.size()); }
+  const MinimpiOptions& options() const { return options_; }
   Mailbox& mailbox(int world_rank);
+  EnvelopePool& pool() { return pool_; }
 
   /// Collectively consistent context-id allocation: every rank calling with
   /// the same (parent ctx, epoch, color) gets the same fresh id.
   ContextId alloc_context(ContextId parent, std::uint64_t epoch, int color);
+
+  /// Barrier state for communicator context `ctx`, lazily created on first
+  /// use. The returned address is stable for the state's lifetime, so
+  /// callers may cache it.
+  BarrierState& barrier_state(ContextId ctx);
 
   /// Window registry. Windows are created collectively; `register_window`
   /// is called once per rank and returns the shared exposure record once
@@ -80,6 +131,8 @@ class SharedState {
 
  private:
   std::vector<Mailbox> mailboxes_;
+  MinimpiOptions options_;
+  EnvelopePool pool_;
 
   std::mutex ctx_mu_;
   ContextId next_ctx_ = 1;
@@ -93,6 +146,10 @@ class SharedState {
   };
   std::mutex win_mu_;
   std::map<std::pair<ContextId, std::uint64_t>, WindowSlot> windows_;
+
+  // Node-based map: BarrierState holds atomics, so addresses must be stable.
+  std::mutex barrier_mu_;
+  std::map<ContextId, BarrierState> barriers_;
 };
 
 }  // namespace lossyfft::minimpi::detail

@@ -30,4 +30,24 @@ enum class ReduceOp { kSum, kMax, kMin };
 /// their communicator, as in MPI.
 using ContextId = std::uint64_t;
 
+/// Messages at least this large take the zero-copy rendezvous path by
+/// default. Below it the eager double-copy is cheaper than the handshake
+/// (one futex round trip); the value mirrors MPI eager limits and the
+/// Bruck small-message threshold used elsewhere in this runtime.
+inline constexpr std::size_t kDefaultRendezvousThreshold = 4096;
+
+/// Set `rendezvous_threshold` to this to force every message eager
+/// (the pre-rendezvous transport, kept for A/B measurement).
+inline constexpr std::size_t kEagerOnlyThreshold = SIZE_MAX;
+
+/// Per-world transport tuning, fixed at `run_ranks` time.
+struct MinimpiOptions {
+  /// Byte size at which send/sendrecv/isend switch from eager (copy into a
+  /// pooled envelope, return immediately) to rendezvous (receiver copies
+  /// straight from the sender's buffer; the sender blocks until that copy
+  /// is signalled). 0 = rendezvous for every nonzero message;
+  /// kEagerOnlyThreshold = never.
+  std::size_t rendezvous_threshold = kDefaultRendezvousThreshold;
+};
+
 }  // namespace lossyfft::minimpi

@@ -23,9 +23,16 @@ CodecPtr effective_codec(const OscOptions& options) {
                        : std::make_shared<const IdentityCodec>();
 }
 
-int resolve_workers(const OscOptions& options) {
-  if (options.workers == 0) return WorkerPool::global().concurrency();
-  return options.workers > 1 ? options.workers : 1;
+// Resolve the worker knob against this exchange's total payload: the
+// bytes-per-shard floor keeps small exchanges (and their chunk pipeline)
+// serial, where submit/steal overhead costs more than the codec work.
+int resolve_workers(const OscOptions& options,
+                    std::span<const std::uint64_t> sendcounts) {
+  std::uint64_t payload = 0;
+  for (const std::uint64_t c : sendcounts) payload += c;
+  return WorkerPool::effective_shards(
+      options.workers,
+      static_cast<std::size_t>(payload) * sizeof(double));
 }
 
 void validate(const minimpi::Comm& comm, std::span<const std::uint64_t> sc,
@@ -101,8 +108,13 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
                             const OscOptions& options) {
   validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
   const int p = comm.size();
+  // Raw (no codec) takes a zero-copy route: the receive buffer itself is
+  // exposed as the RMA window, so every put is one direct store from the
+  // sender's payload into its final destination — no staging arena, no
+  // intermediate window copy, no decompress pass.
+  const bool raw = options.codec == nullptr;
   const auto codec = effective_codec(options);
-  const int workers = resolve_workers(options);
+  const int workers = resolve_workers(options, sendcounts);
   // Per-message chunk count: fixed user value, or the pipeline model's
   // choice for that message size (0 = auto). Both sides derive it from the
   // element count they already know, so no extra exchange is needed.
@@ -127,7 +139,13 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   std::vector<std::span<const std::byte>> staged(static_cast<std::size_t>(p));
   tls_arena.reset();
 
-  if (codec->fixed_size()) {
+  if (raw) {
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      send_wire[i] = sendcounts[i] * sizeof(double);
+      recv_wire[i] = recvcounts[i] * sizeof(double);
+    }
+  } else if (codec->fixed_size()) {
     for (int r = 0; r < p; ++r) {
       std::uint64_t s = 0;
       for (const std::uint64_t c :
@@ -182,12 +200,18 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   // --- Window layout ----------------------------------------------------
   // The exposed buffer holds one slot per source, in rank order. Each
   // receiver computes its own offsets and tells every source where to put
-  // (one uniform all-to-all of u64 offsets).
+  // (one uniform all-to-all of u64 offsets). Raw mode exposes the receive
+  // buffer itself and its slots are the final recvdispls positions.
   std::vector<std::uint64_t> slot_offset(static_cast<std::size_t>(p));
   std::uint64_t window_bytes = 0;
   for (int r = 0; r < p; ++r) {
-    slot_offset[static_cast<std::size_t>(r)] = window_bytes;
-    window_bytes += recv_wire[static_cast<std::size_t>(r)];
+    const auto i = static_cast<std::size_t>(r);
+    if (raw) {
+      slot_offset[i] = recvdispls[i] * sizeof(double);
+    } else {
+      slot_offset[i] = window_bytes;
+      window_bytes += recv_wire[i];
+    }
   }
   std::vector<std::uint64_t> target_offset(static_cast<std::size_t>(p));
   minimpi::alltoall(
@@ -196,7 +220,8 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
       sizeof(std::uint64_t));
 
   std::vector<std::byte> window_store(window_bytes);
-  minimpi::Window win(comm, window_store);
+  minimpi::Window win(comm, raw ? std::as_writable_bytes(recv)
+                                : std::span<std::byte>(window_store));
 
   // --- Ring of puts (Algorithm 3) ----------------------------------------
   const auto rounds = ring_targets(p, options.gpus_per_node, comm.rank());
@@ -222,7 +247,7 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
     // and every staging offset are pure functions of the counts, so the
     // wire is identical whether chunks compress serially or on workers.
     jobs.clear();
-    if (codec->fixed_size()) {
+    if (!raw && codec->fixed_size()) {
       tls_arena.reset();
       std::uint64_t round_wire = 0;
       for (const int dst : round) {
@@ -276,6 +301,15 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
       stats.payload_bytes += count * sizeof(double);
       if (count == 0) continue;
       ++stats.messages;
+      if (raw) {
+        // One direct store from the send payload into the peer's receive
+        // buffer: the only copy this exchange makes for the message.
+        win.put(std::as_bytes(send.subspan(senddispls[d], count)), dst,
+                target_offset[d]);
+        stats.wire_bytes += count * sizeof(double);
+        ++stats.chunks_issued;
+        continue;
+      }
       if (!codec->fixed_size()) {
         // Pre-compressed: one put of the whole stream.
         win.put(staged[d], dst, target_offset[d]);
@@ -297,10 +331,13 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
       }
     }
     // End of round: wait for all data movement of this round (line 10).
+    // Raw fence mode skips it — raw puts target disjoint final recv
+    // regions and there is no staging arena to recycle between rounds, so
+    // the single global fence below is the only synchronization needed.
     if (options.sync == OscSync::kPscw) {
       win.complete();
       win.wait_posted();
-    } else {
+    } else if (!raw) {
       win.fence();
     }
   }
@@ -309,6 +346,8 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
   }
 
   // --- Decompress the received window ------------------------------------
+  // Raw mode is done: every put landed in its final recv position.
+  if (raw) return stats;
   // Chunks land in disjoint slices of `recv`, so they decode independently
   // — serially in rank order, or fanned across the pool.
   std::vector<ChunkJob> unpack;
@@ -363,10 +402,35 @@ ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
                                    const OscOptions& options) {
   validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
   const int p = comm.size();
-  const auto codec = effective_codec(options);
-  const int workers = resolve_workers(options);
   ExchangeStats stats;
   stats.rounds = p;
+
+  if (options.codec == nullptr) {
+    // Raw: no staging through a wire buffer — hand the payload spans to
+    // alltoallv directly. With the rendezvous transport each message is a
+    // single receiver-side copy from sendbuf into recvbuf.
+    std::vector<std::uint64_t> sb(static_cast<std::size_t>(p)),
+        sdb(static_cast<std::size_t>(p)), rb(static_cast<std::size_t>(p)),
+        rdb(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      sb[i] = sendcounts[i] * sizeof(double);
+      sdb[i] = senddispls[i] * sizeof(double);
+      rb[i] = recvcounts[i] * sizeof(double);
+      rdb[i] = recvdispls[i] * sizeof(double);
+      stats.payload_bytes += sb[i];
+      stats.wire_bytes += sb[i];
+      if (sendcounts[i] > 0) ++stats.messages;
+    }
+    minimpi::alltoallv(comm, std::as_bytes(send), sb, sdb,
+                       std::as_writable_bytes(recv), rb, rdb,
+                       minimpi::AlltoallAlgorithm::kPairwise);
+    stats.chunks_issued = stats.messages;
+    return stats;
+  }
+
+  const auto codec = effective_codec(options);
+  const int workers = resolve_workers(options, sendcounts);
 
   // Compress every outgoing payload into one contiguous wire buffer. For
   // fixed-size codecs the per-destination offsets follow from the counts,

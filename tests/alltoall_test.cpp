@@ -81,8 +81,9 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.ranks);
     });
 
-void check_alltoallv(int p, AlltoallAlgorithm algo) {
-  run_ranks(p, [=](Comm& comm) {
+void check_alltoallv(int p, AlltoallAlgorithm algo,
+                     const MinimpiOptions& options = {}) {
+  run_ranks(p, options, [=](Comm& comm) {
     const int me = comm.rank();
     // Triangular counts: rank s sends (s + d + 1) doubles to rank d.
     const auto count = [](int s, int d) {
@@ -201,6 +202,101 @@ TEST(Alltoall, AutoDispatchDeliversForSmallAndLargeBlocks) {
 
 TEST(Alltoallv, AutoFallsBackToPairwise) {
   check_alltoallv(5, AlltoallAlgorithm::kAuto);
+}
+
+// ------------------------------------------------ transport edge cases
+
+TEST(AlltoallvTransport, RendezvousRoutesUnevenCounts) {
+  // Every message forced through the zero-copy rendezvous path.
+  const MinimpiOptions all_rendezvous{.rendezvous_threshold = 1};
+  check_alltoallv(6, AlltoallAlgorithm::kPairwise, all_rendezvous);
+  check_alltoallv(6, AlltoallAlgorithm::kLinear, all_rendezvous);
+}
+
+TEST(AlltoallvTransport, SelfOnlyCommunicator) {
+  // p = 1 is a pure local memcpy on both transports.
+  for (const std::size_t threshold : {std::size_t{1}, kEagerOnlyThreshold}) {
+    check_alltoallv(1, AlltoallAlgorithm::kPairwise,
+                    MinimpiOptions{.rendezvous_threshold = threshold});
+  }
+}
+
+TEST(AlltoallvTransport, ZeroSizeBlocksUnderForcedRendezvous) {
+  // Zero-size lanes mixed into a forced-rendezvous exchange: 0-byte
+  // messages always fall back to eager and must still complete.
+  run_ranks(4, MinimpiOptions{.rendezvous_threshold = 1}, [](Comm& comm) {
+    const int me = comm.rank();
+    // Rank r sends to destination d only when (r + d) is even.
+    std::vector<std::uint64_t> sc(4, 0), sd(4, 0), rc(4, 0), rd(4, 0);
+    std::uint64_t stot = 0, rtot = 0;
+    for (int r = 0; r < 4; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      sc[i] = (me + r) % 2 == 0 ? sizeof(double) * 3 : 0;
+      rc[i] = (r + me) % 2 == 0 ? sizeof(double) * 3 : 0;
+      sd[i] = stot;
+      rd[i] = rtot;
+      stot += sc[i];
+      rtot += rc[i];
+    }
+    std::vector<double> send(stot / 8), recv(rtot / 8, -1.0);
+    for (int d = 0; d < 4; ++d) {
+      double* blk = send.data() + sd[static_cast<std::size_t>(d)] / 8;
+      for (std::uint64_t k = 0; k < sc[static_cast<std::size_t>(d)] / 8; ++k) {
+        blk[k] = cell_value(me, d, k);
+      }
+    }
+    alltoallv(comm, std::as_bytes(std::span<const double>(send)), sc, sd,
+              std::as_writable_bytes(std::span<double>(recv)), rc, rd,
+              AlltoallAlgorithm::kPairwise);
+    for (int s = 0; s < 4; ++s) {
+      const double* blk = recv.data() + rd[static_cast<std::size_t>(s)] / 8;
+      for (std::uint64_t k = 0; k < rc[static_cast<std::size_t>(s)] / 8; ++k) {
+        EXPECT_EQ(blk[k], cell_value(s, me, k)) << s << "," << k;
+      }
+    }
+  });
+}
+
+TEST(AlltoallvTransport, RendezvousAndEagerAreByteIdentical) {
+  // The transport choice is invisible in the delivered bytes: run the
+  // same non-uniform exchange under both and compare per rank.
+  const auto exchange = [](std::size_t threshold) {
+    std::vector<std::vector<double>> got(5);
+    run_ranks(5, MinimpiOptions{.rendezvous_threshold = threshold},
+              [&](Comm& comm) {
+                const int me = comm.rank();
+                std::vector<std::uint64_t> sc(5), sd(5), rc(5), rd(5);
+                std::uint64_t stot = 0, rtot = 0;
+                for (int r = 0; r < 5; ++r) {
+                  const auto i = static_cast<std::size_t>(r);
+                  sc[i] = static_cast<std::uint64_t>(me + r + 1) * 8;
+                  rc[i] = static_cast<std::uint64_t>(r + me + 1) * 8;
+                  sd[i] = stot;
+                  rd[i] = rtot;
+                  stot += sc[i];
+                  rtot += rc[i];
+                }
+                std::vector<double> send(stot / 8), recv(rtot / 8, -1.0);
+                for (std::size_t k = 0; k < send.size(); ++k) {
+                  send[k] = 1.0 / (me + 2.0) + static_cast<double>(k) * 0.125;
+                }
+                alltoallv(comm, std::as_bytes(std::span<const double>(send)),
+                          sc, sd,
+                          std::as_writable_bytes(std::span<double>(recv)), rc,
+                          rd, AlltoallAlgorithm::kPairwise);
+                got[static_cast<std::size_t>(me)] = recv;
+              });
+    return got;
+  };
+  const auto rdz = exchange(1);
+  const auto eag = exchange(kEagerOnlyThreshold);
+  for (std::size_t r = 0; r < 5; ++r) {
+    ASSERT_EQ(rdz[r].size(), eag[r].size());
+    ASSERT_EQ(std::memcmp(rdz[r].data(), eag[r].data(),
+                          rdz[r].size() * sizeof(double)),
+              0)
+        << "rank " << r;
+  }
 }
 
 TEST(Alltoall, RepeatedCallsStayConsistent) {

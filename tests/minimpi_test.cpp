@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -609,6 +611,146 @@ TEST(ManyRanks, CollectivesAtScale) {
     EXPECT_DOUBLE_EQ(s, 64.0);
     comm.barrier();
   });
+}
+
+// ------------------------------------------------- rendezvous transport
+
+// Threshold 1 forces every nonzero message through the zero-copy
+// rendezvous path; kEagerOnlyThreshold forces the copy-through-envelope
+// eager path. Payloads land byte-identically either way.
+constexpr MinimpiOptions kAllRendezvous{.rendezvous_threshold = 1};
+constexpr MinimpiOptions kAllEager{.rendezvous_threshold =
+                                       kEagerOnlyThreshold};
+
+TEST(Rendezvous, ForcedRendezvousDeliversSmallMessages) {
+  run_ranks(2, kAllRendezvous, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double v = 42.5;
+      comm.send(bytes_of(v), 1, 7);
+    } else {
+      double v = 0.0;
+      const Status st =
+          comm.recv(std::as_writable_bytes(std::span<double>(&v, 1)), 0, 7);
+      EXPECT_EQ(v, 42.5);
+      EXPECT_EQ(st.bytes, sizeof(double));
+    }
+  });
+}
+
+TEST(Rendezvous, ZeroByteMessagesStayEager) {
+  // A 0-byte payload has no buffer to expose; it must take the eager path
+  // even with the threshold forced to its minimum.
+  run_ranks(2, kAllRendezvous, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::span<const std::byte>{}, 1, 1);
+    } else {
+      const Status st = comm.recv(std::span<std::byte>{}, 0, 1);
+      EXPECT_EQ(st.bytes, 0u);
+    }
+  });
+}
+
+TEST(Rendezvous, SendrecvRingExchangesWithoutDeadlock) {
+  // sendrecv posts the send before blocking on the recv, so a fully
+  // cyclic ring completes even when every message is rendezvous.
+  run_ranks(5, kAllRendezvous, [](Comm& comm) {
+    const int me = comm.rank();
+    const int right = (me + 1) % 5, left = (me + 4) % 5;
+    std::vector<double> out(64), in(64, -1.0);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      out[k] = 100.0 * me + static_cast<double>(k);
+    }
+    comm.sendrecv(std::as_bytes(std::span<const double>(out)), right, 8,
+                  std::as_writable_bytes(std::span<double>(in)), left, 8);
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      EXPECT_EQ(in[k], 100.0 * left + static_cast<double>(k));
+    }
+  });
+}
+
+TEST(Rendezvous, IsendOwnsBufferUntilWait) {
+  // The rendezvous receiver copies straight out of the sender's buffer;
+  // wait() returning is the sender's license to reuse it.
+  run_ranks(2, kAllRendezvous, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> buf(256, 3.25);
+      auto req = comm.isend(std::as_bytes(std::span<const double>(buf)), 1, 4);
+      comm.wait(req);
+      std::fill(buf.begin(), buf.end(), -1.0);  // Safe only after wait.
+      comm.barrier();
+    } else {
+      std::vector<double> got(256, 0.0);
+      comm.recv(std::as_writable_bytes(std::span<double>(got)), 0, 4);
+      for (const double v : got) EXPECT_EQ(v, 3.25);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Rendezvous, OversizedMessageReleasesSenderBeforeThrow) {
+  // The receiver must signal the sender (or release the envelope) before
+  // throwing on a too-small buffer, or the sender would block forever.
+  run_ranks(2, kAllRendezvous, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double big[4] = {1, 2, 3, 4};
+      comm.send(std::as_bytes(std::span<const double>(big, 4)), 1, 0);
+      // Reaching here at all proves the receiver unblocked us.
+    } else {
+      double small[2];
+      EXPECT_THROW(
+          comm.recv(std::as_writable_bytes(std::span<double>(small, 2)), 0, 0),
+          Error);
+    }
+  });
+}
+
+TEST(Rendezvous, CollectivesCompleteUnderForcedRendezvous) {
+  // Ring/tree collectives are built on sendrecv and matched send/recv
+  // pairs; force every hop through the rendezvous path.
+  run_ranks(6, kAllRendezvous, [](Comm& comm) {
+    const double s = comm.allreduce_one(comm.rank() + 1.0, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(s, 21.0);
+    std::array<std::int64_t, 2> mine = {comm.rank(), comm.rank() * 10};
+    std::vector<std::int64_t> all(12);
+    comm.allgather(std::span<const std::int64_t>(mine),
+                   std::span<std::int64_t>(all));
+    for (int r = 0; r < 6; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r) * 2], r);
+    }
+    std::array<double, 3> v{};
+    if (comm.rank() == 2) v = {1.5, 2.5, 3.5};
+    comm.bcast(std::span<double>(v), 2);
+    EXPECT_EQ(v[1], 2.5);
+    comm.barrier();
+  });
+}
+
+TEST(Rendezvous, EagerAndRendezvousPayloadsAreByteIdentical) {
+  // Same exchange under both transports; the received bytes must match
+  // exactly — the protocol is an execution detail, not a format.
+  const auto exchange = [](const MinimpiOptions& options) {
+    std::vector<std::vector<double>> got(4);
+    run_ranks(4, options, [&](Comm& comm) {
+      const int me = comm.rank();
+      const int right = (me + 1) % 4, left = (me + 3) % 4;
+      std::vector<double> out(33), in(33, -1.0);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        out[k] = std::sqrt(2.0) * me + static_cast<double>(k) / 7.0;
+      }
+      comm.sendrecv(std::as_bytes(std::span<const double>(out)), right, 3,
+                    std::as_writable_bytes(std::span<double>(in)), left, 3);
+      got[static_cast<std::size_t>(me)] = in;
+    });
+    return got;
+  };
+  const auto rdz = exchange(kAllRendezvous);
+  const auto eag = exchange(kAllEager);
+  for (std::size_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(std::memcmp(rdz[r].data(), eag[r].data(),
+                          rdz[r].size() * sizeof(double)),
+              0)
+        << "rank " << r;
+  }
 }
 
 }  // namespace

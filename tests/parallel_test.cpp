@@ -27,6 +27,7 @@
 #include "compress/truncate.hpp"
 #include "compress/zfpx.hpp"
 #include "dfft/decomp.hpp"
+#include "dfft/fft3d.hpp"
 #include "dfft/reshape.hpp"
 #include "minimpi/runtime.hpp"
 
@@ -177,6 +178,19 @@ TEST(WorkerPool, EnvWorkersPolicy) {
   EXPECT_GE(WorkerPool::env_workers(), 1);
 }
 
+TEST(WorkerPool, EffectiveShardsClampsByPayload) {
+  // Explicit min_bytes so the LOSSYFFT_MIN_SHARD_BYTES default is moot.
+  EXPECT_EQ(WorkerPool::effective_shards(4, 1024, 256), 4);
+  EXPECT_EQ(WorkerPool::effective_shards(4, 512, 256), 2);   // Cap at 2.
+  EXPECT_EQ(WorkerPool::effective_shards(4, 255, 256), 1);   // Serial.
+  EXPECT_EQ(WorkerPool::effective_shards(4, 0, 256), 1);     // Empty.
+  EXPECT_EQ(WorkerPool::effective_shards(1, 1 << 20, 256), 1);
+  EXPECT_EQ(WorkerPool::effective_shards(8, 1, 0), 8);  // Floor disabled.
+  // 0 resolves to the global pool's full concurrency before clamping.
+  EXPECT_EQ(WorkerPool::effective_shards(0, std::size_t{1} << 40, 1),
+            WorkerPool::global().concurrency());
+}
+
 // -------------------------------------------------- ParallelCodec bitwise
 
 struct CodecCase {
@@ -212,7 +226,7 @@ TEST_P(ParallelCodecSweep, BitwiseIdenticalToSerialAtEveryWorkerCount) {
   EXPECT_EQ(c.codec->parallel_granularity(), c.granularity);
 
   WorkerPool pool(total_workers - 1);
-  // min_parallel_elems = 1 so even tiny inputs exercise the sharded path.
+  // min_shard_bytes = 1 so even tiny inputs exercise the sharded path.
   ParallelCodec par(c.codec, &pool, total_workers, 1);
 
   for (const std::size_t n : {1u, 5u, 63u, 1024u, 4099u, 20000u}) {
@@ -344,6 +358,46 @@ TEST(ReshapeParallel, TwoSidedVariableRateMatchesSerial) {
 
 TEST(ReshapeParallel, RawPackUnpackFanOutMatchesSerial) {
   expect_parallel_matches_serial(ExchangeBackend::kPairwise, nullptr, 4);
+}
+
+// ----------------------------------- FFT stages: parallel == serial
+
+TEST(Fft3dParallel, FftWorkersBitwiseIdenticalToSerial) {
+  // 32^3 on one rank keeps each stage's payload (512 KiB) above the
+  // 256 KiB bytes-per-shard floor, so fft_workers = 3 really fans out
+  // (to 2 shards) instead of degrading to serial.
+  run_ranks(1, [](Comm& comm) {
+    const std::array<int, 3> n = {32, 32, 32};
+    Fft3dOptions serial_o;
+    serial_o.fft_workers = 1;
+    Fft3dOptions par_o;
+    par_o.fft_workers = 3;
+    Fft3d<double> serial(comm, n, serial_o);
+    Fft3d<double> parallel(comm, n, par_o);
+
+    const std::size_t count = serial.local_count();
+    std::vector<std::complex<double>> in(count);
+    Xoshiro256 rng(321);
+    std::vector<double> raw(2 * count);
+    fill_uniform(rng, raw, -1.0, 1.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      in[i] = {raw[2 * i], raw[2 * i + 1]};
+    }
+
+    std::vector<std::complex<double>> sfwd(count), pfwd(count);
+    serial.forward(in, sfwd);
+    parallel.forward(in, pfwd);
+    ASSERT_EQ(std::memcmp(pfwd.data(), sfwd.data(),
+                          count * sizeof(std::complex<double>)),
+              0);
+
+    std::vector<std::complex<double>> sbwd(count), pbwd(count);
+    serial.backward(sfwd, sbwd);
+    parallel.backward(pfwd, pbwd);
+    ASSERT_EQ(std::memcmp(pbwd.data(), sbwd.data(),
+                          count * sizeof(std::complex<double>)),
+              0);
+  });
 }
 
 }  // namespace
