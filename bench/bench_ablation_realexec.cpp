@@ -24,17 +24,22 @@
 #include "dfft/fft3d.hpp"
 #include "minimpi/alltoall.hpp"
 #include "minimpi/runtime.hpp"
+#include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
 
 using namespace lossyfft;
 
-int main() {
+int main(int argc, char** argv) {
   // Size the process pool before its first use; keep a user's explicit
   // choice. The pool is shared by every config below.
   ::setenv("LOSSYFFT_WORKERS", "4", /*overwrite=*/0);
 
-  const int ranks = 8, iters = 4;
-  const std::array<int, 3> n{48, 48, 48};
+  // --smoke: CI-sized run (4 ranks, 16^3, 1 roundtrip, no JSON) that still
+  // walks every backend x codec x transport combination below.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int ranks = smoke ? 4 : 8, iters = smoke ? 1 : 4;
+  const int g = smoke ? 16 : 48;
+  const std::array<int, 3> n{g, g, g};
   std::printf("== Ablation: measured execution, %dx%dx%d over %d thread "
               "ranks (%d roundtrips) ==\n", n[0], n[1], n[2], ranks, iters);
 
@@ -135,29 +140,48 @@ int main() {
   // for every *other* rank's serialized FFT stage (on an oversubscribed
   // host that wait dwarfs the transport), so the exchange column above
   // cannot resolve transport changes. Timing back-to-back alltoallv calls
-  // with no compute in between isolates the exchange itself.
+  // with no compute in between isolates the exchange itself. "plan" rows
+  // hold a persistent osc::ExchangePlan across iterations (the
+  // Reshape-steady-state configuration); call rows pay the per-call setup.
+  // "staged" vs "fused" isolates the compression-fused rendezvous path
+  // against the encode+copy+decode baseline on the same codec.
   struct XRow {
     std::string label;
     double ms;
+    double ratio;
   };
   std::vector<XRow> xrows;
   {
     const std::size_t per_peer = static_cast<std::size_t>(n[0]) * n[1] * n[2] /
                                  static_cast<std::size_t>(ranks * ranks);
-    const int xiters = 50;
+    const int xiters = smoke ? 4 : 50;
+    enum class XMode { kPairwise, kOscCall, kOscPlan, kTwoCall, kTwoPlan };
     struct XCfg {
       const char* label;
-      bool osc;
-      bool eager_only;
+      XMode mode;
+      CodecPtr codec;           // nullptr = raw bytes.
+      bool fused = true;        // Two-sided codec paths only.
+      bool eager_only = false;  // Force the copy-through-envelope transport.
     };
     const XCfg xcfgs[] = {
-        {"osc raw", true, false},
-        {"pairwise raw", false, false},
-        {"pairwise raw eager", false, true},
+        {"osc raw", XMode::kOscCall, nullptr},
+        {"osc raw plan", XMode::kOscPlan, nullptr},
+        {"pairwise raw", XMode::kPairwise, nullptr},
+        {"pairwise raw eager", XMode::kPairwise, nullptr, true, true},
+        {"fp32 osc", XMode::kOscCall, fp32},
+        {"fp32 osc plan", XMode::kOscPlan, fp32},
+        {"fp32 twosided staged", XMode::kTwoCall, fp32, false},
+        {"fp32 twosided fused", XMode::kTwoCall, fp32, true},
+        {"fp32 twosided plan", XMode::kTwoPlan, fp32, true},
+        {"bittrim20 osc", XMode::kOscCall, trim20},
+        {"bittrim20 osc plan", XMode::kOscPlan, trim20},
+        {"bittrim20 twosided staged", XMode::kTwoCall, trim20, false},
+        {"bittrim20 twosided fused", XMode::kTwoCall, trim20, true},
+        {"bittrim20 twosided plan", XMode::kTwoPlan, trim20, true},
     };
-    TablePrinter xt({"exchange only", "ms/exchange"});
+    TablePrinter xt({"exchange only", "ms/exchange", "wire ratio"});
     for (const auto& xcfg : xcfgs) {
-      double xms = 0;
+      double xms = 0, xratio = 1;
       minimpi::MinimpiOptions mo;
       if (xcfg.eager_only) {
         mo.rendezvous_threshold = minimpi::kEagerOnlyThreshold;
@@ -171,30 +195,59 @@ int main() {
           displs[r] = r * per_peer;
           bdispls[r] = displs[r] * sizeof(double);
         }
-        osc::OscOptions oo;  // codec == nullptr: raw zero-copy path.
+        osc::OscOptions oo;
+        oo.codec = xcfg.codec;
+        oo.fused = xcfg.fused;
+        std::unique_ptr<osc::ExchangePlan> plan;
+        if (xcfg.mode == XMode::kOscPlan || xcfg.mode == XMode::kTwoPlan) {
+          plan = std::make_unique<osc::ExchangePlan>(
+              comm,
+              xcfg.mode == XMode::kOscPlan ? osc::PlanBackend::kOneSided
+                                           : osc::PlanBackend::kTwoSided,
+              counts, displs, counts, displs, std::span<double>(recvb), oo);
+        }
+        osc::ExchangeStats st;
         comm.barrier();
         Stopwatch watch;
         for (int it = 0; it < xiters; ++it) {
-          if (xcfg.osc) {
-            osc::osc_alltoallv(comm, send, counts, displs, recvb, counts,
-                               displs, oo);
-          } else {
-            minimpi::alltoallv(comm,
-                               std::as_bytes(std::span<const double>(send)),
-                               bcounts, bdispls,
-                               std::as_writable_bytes(std::span<double>(recvb)),
-                               bcounts, bdispls);
+          switch (xcfg.mode) {
+            case XMode::kPairwise:
+              minimpi::alltoallv(
+                  comm, std::as_bytes(std::span<const double>(send)), bcounts,
+                  bdispls, std::as_writable_bytes(std::span<double>(recvb)),
+                  bcounts, bdispls);
+              break;
+            case XMode::kOscCall:
+              st = osc::osc_alltoallv(comm, send, counts, displs, recvb,
+                                      counts, displs, oo);
+              break;
+            case XMode::kTwoCall:
+              st = osc::compressed_alltoallv(comm, send, counts, displs, recvb,
+                                             counts, displs, oo);
+              break;
+            case XMode::kOscPlan:
+            case XMode::kTwoPlan:
+              st = plan->execute(send, recvb);
+              break;
           }
         }
         comm.barrier();
-        if (comm.rank() == 0) xms = watch.seconds() * 1e3 / xiters;
+        if (comm.rank() == 0) {
+          xms = watch.seconds() * 1e3 / xiters;
+          xratio = st.wire_bytes > 0 ? st.compression_ratio() : 1.0;
+        }
       });
-      xt.add_row({xcfg.label, TablePrinter::fmt(xms, 3)});
-      xrows.push_back({xcfg.label, xms});
+      xt.add_row({xcfg.label, TablePrinter::fmt(xms, 3),
+                  TablePrinter::fmt(xratio, 2)});
+      xrows.push_back({xcfg.label, xms, xratio});
     }
     xt.print();
   }
 
+  if (smoke) {
+    std::printf("Smoke mode: skipping BENCH_realexec.json\n");
+    return 0;
+  }
   if (std::FILE* f = std::fopen("BENCH_realexec.json", "w")) {
     std::fprintf(f,
                  "{\n  \"grid\": [%d, %d, %d],\n  \"ranks\": %d,\n"
@@ -223,8 +276,10 @@ int main() {
     // on an oversubscribed host (see the note printed above).
     std::fprintf(f, "  ],\n  \"exchange_only\": [\n");
     for (std::size_t i = 0; i < xrows.size(); ++i) {
-      std::fprintf(f, "    {\"config\": \"%s\", \"ms_per_exchange\": %.3f}%s\n",
-                   xrows[i].label.c_str(), xrows[i].ms,
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"ms_per_exchange\": %.3f, "
+                   "\"wire_ratio\": %.4f}%s\n",
+                   xrows[i].label.c_str(), xrows[i].ms, xrows[i].ratio,
                    i + 1 < xrows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

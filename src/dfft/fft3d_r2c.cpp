@@ -23,6 +23,39 @@ std::vector<Box3> reduce_xpencils(std::vector<Box3> pencils, int hx) {
   return pencils;
 }
 
+// Shard `lines` independent r2c/c2r x-lines across the pool on per-shard
+// FftR2c workspaces (the same shareable-plan split run_fft_lines gives the
+// complex stages). Lines are disjoint, shard boundaries are static, so the
+// result is bitwise identical to the serial loop. `line(l, ws)` runs one
+// line; a null ws means "use the plan's default workspace" (serial path).
+template <typename T, typename LineFn>
+void run_r2c_lines(std::size_t lines, int shards, const FftR2c<T>& plan,
+                   std::vector<typename FftR2c<T>::Workspace>& ws,
+                   const LineFn& line) {
+  if (lines == 0) return;
+  const std::size_t ns =
+      std::min<std::size_t>(shards < 1 ? 1 : static_cast<std::size_t>(shards),
+                            lines);
+  if (ns <= 1 || WorkerPool::global().workers() == 0) {
+    for (std::size_t l = 0; l < lines; ++l) {
+      line(l, static_cast<typename FftR2c<T>::Workspace*>(nullptr));
+    }
+    return;
+  }
+  while (ws.size() < ns) ws.push_back(plan.make_workspace());
+  const std::size_t per = (lines + ns - 1) / ns;
+  WorkerPool::global().parallel_for(
+      ns, 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::size_t begin = s * per;
+          const std::size_t end = std::min(lines, begin + per);
+          for (std::size_t l = begin; l < end; ++l) line(l, &ws[s]);
+        }
+      },
+      static_cast<int>(ns));
+}
+
 }  // namespace
 
 template <typename T>
@@ -115,8 +148,19 @@ void Fft3dR2c<T>::forward(std::span<const T> in,
   const auto hx = static_cast<std::size_t>(nr_[0]);
   std::span<std::complex<T>> xp(work_a_.data(),
                                 static_cast<std::size_t>(xp_spec_.count()));
-  for (std::size_t l = 0; l < lines; ++l) {
-    r2c_->forward(real_work_.data() + l * nx, xp.data() + l * hx);
+  {
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers, lines * nx * sizeof(T));
+    run_r2c_lines(lines, shards, *r2c_, r2c_ws_,
+                  [&](std::size_t l, typename FftR2c<T>::Workspace* ws) {
+                    const T* src = real_work_.data() + l * nx;
+                    std::complex<T>* dst = xp.data() + l * hx;
+                    if (ws) {
+                      r2c_->forward(src, dst, *ws);
+                    } else {
+                      r2c_->forward(src, dst);
+                    }
+                  });
   }
 
   // Reduced-grid pencils: y then z, then out to the spectral bricks.
@@ -200,8 +244,19 @@ void Fft3dR2c<T>::backward(std::span<const std::complex<T>> in,
                      static_cast<std::size_t>(xp_real_.size[2]);
   const auto nx = static_cast<std::size_t>(n_[0]);
   const auto hx = static_cast<std::size_t>(nr_[0]);
-  for (std::size_t l = 0; l < lines; ++l) {
-    r2c_->inverse(xp.data() + l * hx, real_work_.data() + l * nx);
+  {
+    const int shards = WorkerPool::effective_shards(
+        options_.fft_workers, lines * nx * sizeof(T));
+    run_r2c_lines(lines, shards, *r2c_, r2c_ws_,
+                  [&](std::size_t l, typename FftR2c<T>::Workspace* ws) {
+                    const std::complex<T>* src = xp.data() + l * hx;
+                    T* dst = real_work_.data() + l * nx;
+                    if (ws) {
+                      r2c_->inverse(src, dst, *ws);
+                    } else {
+                      r2c_->inverse(src, dst);
+                    }
+                  });
   }
   from_xpencil_->execute(std::span<const T>(real_work_), out);
 

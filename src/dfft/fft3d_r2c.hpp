@@ -71,9 +71,11 @@ class Fft3dR2c {
 
   std::unique_ptr<FftR2c<T>> r2c_;
   std::unique_ptr<Fft1d<T>> fft_y_, fft_z_;
-  // Per-shard plan workspaces of the parallel y/z FFT stages (the r2c/c2r
-  // x stage stays serial: FftR2c carries no shareable-plan split yet).
+  // Per-shard plan workspaces of the parallel FFT stages: all three 1-D
+  // plans are read-only at transform time, so one workspace per shard is
+  // the whole synchronization story (r2c/c2r x-lines included).
   std::vector<typename Fft1d<T>::Workspace> fft_y_ws_, fft_z_ws_;
+  std::vector<typename FftR2c<T>::Workspace> r2c_ws_;
 
   std::vector<T> real_work_;
   std::vector<std::complex<T>> work_a_, work_b_;

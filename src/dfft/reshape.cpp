@@ -150,6 +150,25 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
       wire_codec_ = std::make_shared<const ParallelCodec>(
           wire_codec_, &WorkerPool::global(), workers_);
     }
+    if (options_.codec || options_.backend == ExchangeBackend::kOsc) {
+      // Persistent plan: window + slot offsets + codec staging set up once
+      // here (collectively), so execute() is pure data movement.
+      osc::OscOptions oo;
+      oo.codec = wire_codec_;
+      oo.chunks = options_.osc_chunks;
+      oo.gpus_per_node = options_.gpus_per_node;
+      oo.sync = options_.osc_sync;
+      oo.workers = workers_;
+      const std::span<double> recv_view(
+          reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
+      plan_ = std::make_unique<osc::ExchangePlan>(
+          comm_,
+          options_.backend == ExchangeBackend::kOsc
+              ? osc::PlanBackend::kOneSided
+              : osc::PlanBackend::kTwoSided,
+          wire_send_counts_, wire_send_displs_, wire_recv_counts_,
+          wire_recv_displs_, recv_view, oo);
+    }
   }
 }
 
@@ -182,7 +201,7 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
   // Exchange.
   bool exchanged = false;
   if constexpr (kReshapeDoubleBased<E>) {
-    if (options_.codec || options_.backend == ExchangeBackend::kOsc) {
+    if (plan_) {
       exchanged = true;
       constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
       const std::span<const double> send_view(
@@ -190,21 +209,7 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
           kDbl * sendbuf_.size());
       const std::span<double> recv_view(
           reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
-      osc::OscOptions oo;
-      oo.codec = wire_codec_;
-      oo.chunks = options_.osc_chunks;
-      oo.gpus_per_node = options_.gpus_per_node;
-      oo.sync = options_.osc_sync;
-      oo.workers = workers_;
-      const auto st =
-          options_.backend == ExchangeBackend::kOsc
-              ? osc::osc_alltoallv(comm_, send_view, wire_send_counts_,
-                                   wire_send_displs_, recv_view,
-                                   wire_recv_counts_, wire_recv_displs_, oo)
-              : osc::compressed_alltoallv(comm_, send_view, wire_send_counts_,
-                                          wire_send_displs_, recv_view,
-                                          wire_recv_counts_, wire_recv_displs_,
-                                          oo);
+      const auto st = plan_->execute(send_view, recv_view);
       stats_.payload_bytes += st.payload_bytes;
       stats_.wire_bytes += st.wire_bytes;
       stats_.rounds += st.rounds;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "compress/codec.hpp"
 #include "dfft/box.hpp"
 #include "minimpi/comm.hpp"
+#include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
 
 namespace lossyfft {
@@ -62,6 +64,12 @@ class Reshape {
   /// Redistribute from `all_in[r]` to `all_out[r]` over `comm`
   /// (r = comm rank). Box lists must cover disjointly; this rank's boxes
   /// are all_in[comm.rank()] / all_out[comm.rank()].
+  ///
+  /// For the codec and kOsc paths the constructor builds a persistent
+  /// osc::ExchangePlan (cached window + hoisted offset exchange + pinned
+  /// codec staging), which makes construction and destruction *collective*
+  /// on those paths: every rank must create and destroy its Reshapes in
+  /// the same order, which Fft3d's symmetric plan setup already does.
   Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
           std::vector<Box3> all_out, ReshapeOptions options);
 
@@ -107,6 +115,10 @@ class Reshape {
   int pack_shards_ = 1, unpack_shards_ = 1;
 
   std::vector<E> sendbuf_, recvbuf_;
+  /// Persistent exchange plan (codec / kOsc paths; null otherwise). Pins a
+  /// double view of recvbuf_, and in raw one-sided mode exposes it as the
+  /// RMA window — declared after recvbuf_ so the window dies first.
+  std::unique_ptr<osc::ExchangePlan> plan_;
   osc::ExchangeStats stats_;
 };
 

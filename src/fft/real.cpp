@@ -9,6 +9,7 @@ namespace lossyfft {
 template <typename T>
 struct FftR2c<T>::Impl {
   using Complex = std::complex<T>;
+  using Workspace = typename FftR2c<T>::Workspace;
 
   std::size_t n;
   bool even;
@@ -16,10 +17,12 @@ struct FftR2c<T>::Impl {
   // w[k] = exp(-2*pi*i*k/n).
   std::unique_ptr<Fft1d<T>> half_plan;
   std::vector<Complex> w;
-  mutable std::vector<Complex> z;  // Length n/2 packing buffer.
   // Odd path: full-length complex plan.
   std::unique_ptr<Fft1d<T>> full_plan;
-  mutable std::vector<Complex> full;  // Length n buffer.
+  // Default workspace for the legacy (single-thread) entry points. All
+  // per-call mutable state lives in a Workspace; the plan itself is
+  // read-only at transform time and therefore shareable across threads.
+  mutable Workspace dws;
 
   explicit Impl(std::size_t size) : n(size), even(size % 2 == 0) {
     LFFT_REQUIRE(n >= 1, "r2c FFT size must be >= 1");
@@ -33,26 +36,29 @@ struct FftR2c<T>::Impl {
         w[k] = Complex(static_cast<T>(std::cos(ang)),
                        static_cast<T>(std::sin(ang)));
       }
-      z.resize(h);
     } else {
       full_plan = std::make_unique<Fft1d<T>>(n);
-      full.resize(n);
     }
   }
 
-  void forward(const T* in, Complex* out) const {
+  std::size_t line_len() const { return even && n >= 2 ? n / 2 : n; }
+
+  void forward(const T* in, Complex* out, Workspace& ws) const {
+    if (ws.buf.size() != line_len()) ws.buf.resize(line_len());
     if (!even || n < 2) {
+      Complex* full = ws.buf.data();
       for (std::size_t i = 0; i < n; ++i) full[i] = Complex(in[i], T(0));
-      full_plan->transform(full.data(), FftDirection::kForward);
+      full_plan->transform(full, FftDirection::kForward, ws.fft);
       for (std::size_t k = 0; k <= n / 2; ++k) out[k] = full[k];
       return;
     }
     // Pack pairs into complex points: z[j] = x[2j] + i*x[2j+1].
     const std::size_t h = n / 2;
+    Complex* z = ws.buf.data();
     for (std::size_t j = 0; j < h; ++j) {
       z[j] = Complex(in[2 * j], in[2 * j + 1]);
     }
-    half_plan->transform(z.data(), FftDirection::kForward);
+    half_plan->transform(z, FftDirection::kForward, ws.fft);
     // Untangle: with Z = FFT(z), E[k] = (Z[k] + conj(Z[h-k]))/2 (spectrum
     // of the even samples) and O[k] = (Z[k] - conj(Z[h-k]))/(2i); then
     // X[k] = E[k] + w^k * O[k] for k = 0..h (Z[h] wraps to Z[0]).
@@ -67,15 +73,17 @@ struct FftR2c<T>::Impl {
     }
   }
 
-  void inverse(const Complex* in, T* out) const {
+  void inverse(const Complex* in, T* out, Workspace& ws) const {
+    if (ws.buf.size() != line_len()) ws.buf.resize(line_len());
     if (!even || n < 2) {
       // Rebuild the conjugate-symmetric full spectrum.
+      Complex* full = ws.buf.data();
       full[0] = Complex(in[0].real(), T(0));
       for (std::size_t k = 1; k <= n / 2; ++k) {
         full[k] = in[k];
         full[n - k] = std::conj(in[k]);
       }
-      full_plan->transform(full.data(), FftDirection::kInverse);
+      full_plan->transform(full, FftDirection::kInverse, ws.fft);
       for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
       return;
     }
@@ -86,6 +94,7 @@ struct FftR2c<T>::Impl {
     // and the packed sequence satisfies Z[k] = E[k] + i O[k].
     const std::size_t h = n / 2;
     const Complex half(T(0.5), T(0));
+    Complex* z = ws.buf.data();
     for (std::size_t k = 0; k < h; ++k) {
       const Complex xk = k == 0 ? Complex(in[0].real(), T(0)) : in[k];
       const Complex xmk =
@@ -94,7 +103,7 @@ struct FftR2c<T>::Impl {
       const Complex o = (xk - xmk) * half / w[k];
       z[k] = e + Complex(T(0), T(1)) * o;
     }
-    half_plan->transform(z.data(), FftDirection::kInverse);
+    half_plan->transform(z, FftDirection::kInverse, ws.fft);
     for (std::size_t j = 0; j < h; ++j) {
       out[2 * j] = z[j].real();
       out[2 * j + 1] = z[j].imag();
@@ -115,15 +124,36 @@ template <typename T>
 FftR2c<T>& FftR2c<T>::operator=(FftR2c&&) noexcept = default;
 
 template <typename T>
+typename FftR2c<T>::Workspace FftR2c<T>::make_workspace() const {
+  Workspace ws;
+  ws.buf.resize(impl_->line_len());
+  ws.fft = impl_->even && n_ >= 2 ? impl_->half_plan->make_workspace()
+                                  : impl_->full_plan->make_workspace();
+  return ws;
+}
+
+template <typename T>
 void FftR2c<T>::forward(const T* in, Complex* out) const {
   LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
-  impl_->forward(in, out);
+  impl_->forward(in, out, impl_->dws);
+}
+
+template <typename T>
+void FftR2c<T>::forward(const T* in, Complex* out, Workspace& ws) const {
+  LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
+  impl_->forward(in, out, ws);
 }
 
 template <typename T>
 void FftR2c<T>::inverse(const Complex* in, T* out) const {
   LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
-  impl_->inverse(in, out);
+  impl_->inverse(in, out, impl_->dws);
+}
+
+template <typename T>
+void FftR2c<T>::inverse(const Complex* in, T* out, Workspace& ws) const {
+  LFFT_REQUIRE(in != nullptr && out != nullptr, "null data");
+  impl_->inverse(in, out, ws);
 }
 
 template class FftR2c<float>;

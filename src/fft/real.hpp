@@ -32,16 +32,32 @@ class FftR2c {
   /// Number of complex outputs: n/2 + 1.
   std::size_t spectrum_size() const { return n_ / 2 + 1; }
 
+  /// All call-local mutable state of one r2c/c2r transform: the packing
+  /// line plus the inner complex plan's workspace. One Workspace per
+  /// thread = concurrent transforms over one shared plan (twiddles and
+  /// the inner Fft1d are read-only at transform time) — the same
+  /// shareable-plan split as Fft1d::Workspace. Buffers are (re)sized
+  /// lazily, so a default-constructed Workspace also works.
+  struct Workspace {
+    std::vector<Complex> buf;  // Even n: n/2 packing line; odd: n line.
+    typename Fft1d<T>::Workspace fft;
+  };
+  Workspace make_workspace() const;
+
   /// Forward: `in` holds n reals, `out` receives n/2+1 complex values
   /// (the non-redundant half spectrum; X[0] and, for even n, X[n/2] are
   /// purely real up to roundoff).
   void forward(const T* in, Complex* out) const;
+  /// Thread-safe variant over a caller-owned workspace.
+  void forward(const T* in, Complex* out, Workspace& ws) const;
 
   /// Inverse: reconstructs n reals from the half spectrum, scaled by 1/n
   /// so that inverse(forward(x)) == x up to roundoff. `in` must satisfy
   /// the conjugate-symmetry boundary conditions (imag parts of X[0] and
   /// X[n/2] are ignored).
   void inverse(const Complex* in, T* out) const;
+  /// Thread-safe variant over a caller-owned workspace.
+  void inverse(const Complex* in, T* out, Workspace& ws) const;
 
  private:
   struct Impl;

@@ -70,8 +70,10 @@ bool Comm::use_rendezvous(std::size_t bytes) const {
 detail::Envelope* Comm::post_message(std::span<const std::byte> data, int dest,
                                      int tag) {
   LFFT_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
-  detail::Envelope* e = state_->pool().acquire(rank_, tag, ctx_);
+  detail::Envelope* e =
+      state_->pool().acquire(world_rank_of(rank_), rank_, tag, ctx_);
   e->size = data.size();
+  state_->note_message_posted();
   if (use_rendezvous(data.size())) {
     e->zptr = data.data();
     state_->mailbox(world_rank_of(dest)).push(e);
@@ -92,6 +94,16 @@ void Comm::complete_send(detail::Envelope* e) {
   state_->pool().release(e);
 }
 
+void Comm::release_envelope(detail::Envelope* e) {
+  if (e->zptr != nullptr) {
+    // Rendezvous: wake the sender, which owns the envelope from here on.
+    e->done.store(1, std::memory_order_release);
+    e->done.notify_one();
+  } else {
+    state_->pool().release(e);
+  }
+}
+
 Status Comm::complete_recv(detail::Envelope* e, std::span<std::byte> data,
                            const char* oversize_msg) {
   const Status st{e->src, e->tag, e->size};
@@ -100,17 +112,63 @@ Status Comm::complete_recv(detail::Envelope* e, std::span<std::byte> data,
     const std::byte* payload = e->zptr != nullptr ? e->zptr : e->data.data();
     std::memcpy(data.data(), payload, e->size);
   }
-  if (e->zptr != nullptr) {
-    // Rendezvous: wake the sender, which owns the envelope from here on.
-    e->done.store(1, std::memory_order_release);
-    e->done.notify_one();
-  } else {
-    state_->pool().release(e);
-  }
+  release_envelope(e);
   // Oversize is reported only after the release protocol ran: throwing
   // first would leave a rendezvous sender blocked forever.
   LFFT_REQUIRE(fits, oversize_msg);
   return st;
+}
+
+Status Comm::recv_consume(int src, int tag, ByteSink consume, void* ctx) {
+  LFFT_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
+               "recv: bad source rank");
+  detail::Envelope* e =
+      state_->mailbox(world_rank_of(rank_)).pop_match(src, tag, ctx_);
+  const Status st{e->src, e->tag, e->size};
+  const std::byte* payload = e->zptr != nullptr ? e->zptr : e->data.data();
+  try {
+    consume(ctx, e->size > 0 ? std::span<const std::byte>(payload, e->size)
+                             : std::span<const std::byte>{});
+  } catch (...) {
+    // Release before rethrowing: a rendezvous sender must never be left
+    // blocked on a receiver that bailed out of its decode.
+    release_envelope(e);
+    throw;
+  }
+  release_envelope(e);
+  return st;
+}
+
+Comm::Request Comm::isend_produce(std::size_t bytes,
+                                  std::span<std::byte> staging, int dest,
+                                  int tag, ByteFill fill, void* ctx) {
+  LFFT_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
+  Request req;
+  req.status_ = Status{rank_, tag, bytes};
+  if (use_rendezvous(bytes)) {
+    LFFT_REQUIRE(staging.size() >= bytes,
+                 "isend_produce: staging too small for a rendezvous message");
+    fill(ctx, staging.first(bytes));
+    req.send_env_ = post_message(staging.first(bytes), dest, tag);
+    req.done_ = req.send_env_ == nullptr;
+    return req;
+  }
+  // Eager: produce straight into the pooled envelope — the copy into the
+  // eager slab and the producer's own write collapse to one pass.
+  detail::Envelope* e =
+      state_->pool().acquire(world_rank_of(rank_), rank_, tag, ctx_);
+  e->size = bytes;
+  e->data.resize(bytes);
+  try {
+    fill(ctx, std::span<std::byte>(e->data.data(), bytes));
+  } catch (...) {
+    state_->pool().release(e);
+    throw;
+  }
+  state_->note_message_posted();
+  state_->mailbox(world_rank_of(dest)).push(e);
+  req.done_ = true;
+  return req;
 }
 
 void Comm::send(std::span<const std::byte> data, int dest, int tag) {

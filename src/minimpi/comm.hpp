@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "minimpi/state.hpp"
@@ -73,6 +74,52 @@ class Comm {
 
   Request isend(std::span<const std::byte> data, int dest, int tag);
   Request irecv(std::span<std::byte> data, int src, int tag);
+
+  // --- Fused transport hooks ----------------------------------------------
+  // The compressed exchange collapses its encode+copy+decode chain with two
+  // hooks that run the codec inside the transport's own copy slot. Both are
+  // allocation-free: callbacks are erased to a plain function pointer plus a
+  // context pointer (the template sugar wraps stateful lambdas by address).
+  using ByteSink = void (*)(void* ctx, std::span<const std::byte> payload);
+  using ByteFill = void (*)(void* ctx, std::span<std::byte> dst);
+
+  /// Fused-decode receive: match (src, tag) and run `consume` on the message
+  /// payload *in place* — the sender's published buffer for rendezvous
+  /// messages (so a codec decodes straight out of the peer's staging,
+  /// skipping the receive-side copy) or the pooled envelope for eager ones.
+  /// The release protocol (waking a blocked rendezvous sender, recycling an
+  /// eager envelope) runs after `consume` returns, and also on its exception
+  /// so a throwing decode cannot strand the sender.
+  Status recv_consume(int src, int tag, ByteSink consume, void* ctx);
+  template <typename F>
+  Status recv_consume(int src, int tag, F&& consume) {
+    return recv_consume(
+        src, tag,
+        [](void* c, std::span<const std::byte> payload) {
+          (*static_cast<std::remove_reference_t<F>*>(c))(payload);
+        },
+        static_cast<void*>(std::addressof(consume)));
+  }
+
+  /// Fused-encode send of exactly `bytes` bytes: `fill` writes the wire
+  /// payload directly into the transport's buffer — the pooled eager
+  /// envelope below the rendezvous threshold (so encode and the eager-slab
+  /// copy collapse to one pass), or the prefix of caller-owned `staging`
+  /// (published zero-copy) at rendezvous sizes. Nonblocking like isend: a
+  /// rendezvous send stays pending until the receiver drains `staging`, so
+  /// wait() the request before reusing either buffer.
+  Request isend_produce(std::size_t bytes, std::span<std::byte> staging,
+                        int dest, int tag, ByteFill fill, void* ctx);
+  template <typename F>
+  Request isend_produce(std::size_t bytes, std::span<std::byte> staging,
+                        int dest, int tag, F&& fill) {
+    return isend_produce(
+        bytes, staging, dest, tag,
+        [](void* c, std::span<std::byte> dst) {
+          (*static_cast<std::remove_reference_t<F>*>(c))(dst);
+        },
+        static_cast<void*>(std::addressof(fill)));
+  }
 
   /// Block until `req` completes; returns its Status. Idempotent.
   Status wait(Request& req);
@@ -166,6 +213,9 @@ class Comm {
   /// Block until the receiver signals the rendezvous copy-out, then
   /// recycle the envelope.
   void complete_send(detail::Envelope* e);
+  /// Receiver-side release: wake a blocked rendezvous sender or return an
+  /// eager envelope to its pool shard.
+  void release_envelope(detail::Envelope* e);
   /// Copy a matched envelope into `data`, run the mode-specific release
   /// protocol, and return the receive Status. `oversize_msg` is thrown
   /// (after releasing the peer) when the payload does not fit.

@@ -4,15 +4,23 @@
 
 namespace lossyfft::minimpi::detail {
 
-Envelope* EnvelopePool::acquire(int src, int tag, ContextId ctx) {
+EnvelopePool::EnvelopePool(int shards) {
+  LFFT_REQUIRE(shards > 0, "envelope pool needs at least one shard");
+  for (int i = 0; i < shards; ++i) shards_.emplace_back();
+}
+
+Envelope* EnvelopePool::acquire(int shard, int src, int tag, ContextId ctx) {
+  LFFT_ASSERT(shard >= 0 && shard < static_cast<int>(shards_.size()));
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
   Envelope* e = nullptr;
   {
-    std::lock_guard lk(mu_);
-    if (free_.empty()) {
-      e = &slab_.emplace_back();
+    std::lock_guard lk(s.mu);
+    if (s.free.empty()) {
+      e = &s.slab.emplace_back();
+      e->pool_shard = shard;
     } else {
-      e = free_.back();
-      free_.pop_back();
+      e = s.free.back();
+      s.free.pop_back();
     }
   }
   e->src = src;
@@ -26,8 +34,9 @@ Envelope* EnvelopePool::acquire(int src, int tag, ContextId ctx) {
 }
 
 void EnvelopePool::release(Envelope* e) {
-  std::lock_guard lk(mu_);
-  free_.push_back(e);
+  Shard& s = shards_[static_cast<std::size_t>(e->pool_shard)];
+  std::lock_guard lk(s.mu);
+  s.free.push_back(e);
 }
 
 void Mailbox::push(Envelope* e) {
@@ -72,7 +81,7 @@ Envelope* Mailbox::try_pop_match(int src, int tag, ContextId ctx) {
 }
 
 SharedState::SharedState(int world_size, const MinimpiOptions& options)
-    : mailboxes_(world_size), options_(options) {
+    : mailboxes_(world_size), options_(options), pool_(world_size) {
   LFFT_REQUIRE(world_size > 0, "world size must be positive");
 }
 
@@ -99,6 +108,7 @@ WindowExposure* SharedState::window_begin(ContextId ctx, std::uint64_t epoch,
                                           const std::vector<int>& participants,
                                           int comm_rank,
                                           std::span<std::byte> local) {
+  windows_created_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lk(win_mu_);
   const auto key = std::make_pair(ctx, epoch);
   WindowSlot& slot = windows_[key];

@@ -33,27 +33,43 @@ struct Envelope {
   int src = 0;
   int tag = 0;
   ContextId ctx = 0;
+  int pool_shard = 0;                    // Owning EnvelopePool shard.
   std::size_t size = 0;                  // Payload bytes (both modes).
   std::vector<std::byte> data;           // Eager payload storage.
   const std::byte* zptr = nullptr;       // Rendezvous: sender's buffer.
   std::atomic<std::uint32_t> done{0};    // Rendezvous completion flag.
 };
 
-/// Free-list over a slab of envelopes. The slab is a deque so envelope
-/// addresses stay stable forever (a late `done.notify_one()` may land on a
-/// recycled envelope; `atomic::wait` re-checks the value, so a stable,
-/// still-live address is all that is required). Eager `data` vectors keep
-/// their capacity across reuse, so steady-state traffic allocates nothing.
+/// Free-list over per-sender slabs of envelopes. Each world rank owns a
+/// shard (its own slab + free list + mutex): a sender only ever acquires
+/// from its shard, and releases go back to the envelope's owning shard, so
+/// acquire/release from different senders never contend on one global
+/// mutex and eager payload buffers stay local to the rank that fills them.
+/// Slabs are deques so envelope addresses stay stable forever (a late
+/// `done.notify_one()` may land on a recycled envelope; `atomic::wait`
+/// re-checks the value, so a stable, still-live address is all that is
+/// required). Eager `data` vectors keep their capacity across reuse, so
+/// steady-state traffic allocates nothing.
 class EnvelopePool {
  public:
-  /// Pop (or slab-extend) an envelope, reset to eager defaults.
-  Envelope* acquire(int src, int tag, ContextId ctx);
+  /// One shard per world rank.
+  explicit EnvelopePool(int shards);
+
+  /// Pop (or slab-extend) an envelope from `shard` (the sender's world
+  /// rank), reset to eager defaults.
+  Envelope* acquire(int shard, int src, int tag, ContextId ctx);
+  /// Return `e` to the shard it was carved from (recorded in the
+  /// envelope, so eager receivers and rendezvous senders both route it
+  /// home without knowing the topology).
   void release(Envelope* e);
 
  private:
-  std::mutex mu_;
-  std::deque<Envelope> slab_;    // Stable addresses; never shrinks.
-  std::vector<Envelope*> free_;
+  struct Shard {
+    std::mutex mu;
+    std::deque<Envelope> slab;   // Stable addresses; never shrinks.
+    std::vector<Envelope*> free;
+  };
+  std::deque<Shard> shards_;  // deque: Shard holds a mutex (immovable).
 };
 
 /// Per-rank receive queue with MPI-style (source, tag, context) matching.
@@ -129,6 +145,21 @@ class SharedState {
                                int comm_rank, std::span<std::byte> local);
   void window_end(ContextId ctx, std::uint64_t epoch);
 
+  // --- Observability counters ----------------------------------------------
+  // Monotonic world-wide tallies, used by tests to assert that a plan's
+  // steady state performs no hidden setup traffic (window churn, offset
+  // exchanges). Relaxed increments: readers synchronize externally
+  // (barrier) before comparing deltas.
+  std::uint64_t window_begin_count() const {
+    return windows_created_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t message_post_count() const {
+    return messages_posted_.load(std::memory_order_relaxed);
+  }
+  void note_message_posted() {
+    messages_posted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   std::vector<Mailbox> mailboxes_;
   MinimpiOptions options_;
@@ -150,6 +181,9 @@ class SharedState {
   // Node-based map: BarrierState holds atomics, so addresses must be stable.
   std::mutex barrier_mu_;
   std::map<ContextId, BarrierState> barriers_;
+
+  std::atomic<std::uint64_t> windows_created_{0};   // Per-rank window_begin calls.
+  std::atomic<std::uint64_t> messages_posted_{0};   // Two-sided messages enqueued.
 };
 
 }  // namespace lossyfft::minimpi::detail

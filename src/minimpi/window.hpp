@@ -7,6 +7,13 @@
 // what the paper's algorithm guarantees by construction: between two fences,
 // no two ranks put into overlapping target regions, and a target does not
 // read regions being put. Fences carry the happens-before edges.
+//
+// Windows are designed to be *cached for a plan's lifetime*: construction
+// and destruction are collective (a registration handshake plus a barrier
+// each), but a live window is reusable for any number of access epochs via
+// fence()/PSCW, paying one atomic barrier per epoch instead of the
+// create+destroy round trips. osc::ExchangePlan holds one Window per plan
+// and fences it every execute; per-call users keep the old scoped lifetime.
 #pragma once
 
 #include <span>

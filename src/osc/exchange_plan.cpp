@@ -1,0 +1,544 @@
+#include "osc/exchange_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/worker_pool.hpp"
+#include "compress/truncate.hpp"
+#include "minimpi/alltoall.hpp"
+#include "osc/schedule.hpp"
+
+namespace lossyfft::osc {
+
+namespace {
+
+// Two-sided fused exchange tag, in the collective tag space clear of both
+// user tags and the alltoallv pairwise/Bruck tags at (1 << 27).
+constexpr int kFusedTag = (1 << 28) + 72;
+
+}  // namespace
+
+ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
+                           std::span<const std::uint64_t> sendcounts,
+                           std::span<const std::uint64_t> senddispls,
+                           std::span<const std::uint64_t> recvcounts,
+                           std::span<const std::uint64_t> recvdispls,
+                           std::span<double> recv, const OscOptions& options)
+    : comm_(comm),
+      options_(options),
+      backend_(backend),
+      raw_(options.codec == nullptr),
+      codec_(options.codec ? options.codec
+                           : std::make_shared<const IdentityCodec>()),
+      p_(comm.size()),
+      recv_pinned_(recv),
+      sendcounts_(sendcounts.begin(), sendcounts.end()),
+      senddispls_(senddispls.begin(), senddispls.end()),
+      recvcounts_(recvcounts.begin(), recvcounts.end()),
+      recvdispls_(recvdispls.begin(), recvdispls.end()) {
+  const auto p = static_cast<std::size_t>(p_);
+  LFFT_REQUIRE(sendcounts.size() == p && senddispls.size() == p &&
+                   recvcounts.size() == p && recvdispls.size() == p,
+               "alltoallv: counts/displs must have comm.size() entries");
+  fixed_ = codec_->fixed_size();
+
+  std::uint64_t payload = 0;
+  for (const std::uint64_t c : sendcounts_) payload += c;
+  workers_ = WorkerPool::effective_shards(
+      options_.workers, static_cast<std::size_t>(payload) * sizeof(double));
+
+  // Per-message chunk count (fixed codecs): user value, or the Section V-B
+  // pipeline model's pick for that message size. Deterministic from counts,
+  // so sender and receiver always agree.
+  const auto chunks_for = [&](std::uint64_t count) {
+    if (!fixed_) return 1;
+    if (options_.chunks > 0) return options_.chunks;
+    return plan_pipeline_chunks(count * sizeof(double),
+                                codec_->nominal_rate());
+  };
+
+  // --- Wire capacities ----------------------------------------------------
+  // Chunk-capacity sums for fixed codecs (exact wire sizes, the property
+  // Section V-B relies on); whole-message caps otherwise.
+  send_wire_cap_.resize(p);
+  recv_wire_cap_.resize(p);
+  send_wire_.resize(p);
+  recv_wire_.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (raw_) {
+      send_wire_cap_[i] = sendcounts_[i] * sizeof(double);
+      recv_wire_cap_[i] = recvcounts_[i] * sizeof(double);
+    } else if (fixed_) {
+      std::uint64_t s = 0;
+      for (const std::uint64_t c :
+           chunk_partition(sendcounts_[i], chunks_for(sendcounts_[i]))) {
+        s += codec_->max_compressed_bytes(c);
+      }
+      send_wire_cap_[i] = s;
+      std::uint64_t q = 0;
+      for (const std::uint64_t c :
+           chunk_partition(recvcounts_[i], chunks_for(recvcounts_[i]))) {
+        q += codec_->max_compressed_bytes(c);
+      }
+      recv_wire_cap_[i] = q;
+    } else {
+      send_wire_cap_[i] = codec_->max_compressed_bytes(sendcounts_[i]);
+      recv_wire_cap_[i] = codec_->max_compressed_bytes(recvcounts_[i]);
+    }
+    send_wire_[i] = send_wire_cap_[i];
+    recv_wire_[i] = recv_wire_cap_[i];
+  }
+
+  // Capacity-prefix staging offsets (shared by one-sided variable staging
+  // and the whole two-sided send slab).
+  stage_off_.resize(p);
+  rstage_off_.resize(p);
+  std::uint64_t s_total = 0;
+  std::uint64_t r_total = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    stage_off_[i] = s_total;
+    s_total += send_wire_cap_[i];
+    rstage_off_[i] = r_total;
+    r_total += recv_wire_cap_[i];
+  }
+
+  if (backend_ == PlanBackend::kTwoSided) {
+    if (raw_) {
+      byte_sc_.resize(p);
+      byte_sd_.resize(p);
+      byte_rc_.resize(p);
+      byte_rd_.resize(p);
+      for (std::size_t i = 0; i < p; ++i) {
+        byte_sc_[i] = sendcounts_[i] * sizeof(double);
+        byte_sd_[i] = senddispls_[i] * sizeof(double);
+        byte_rc_[i] = recvcounts_[i] * sizeof(double);
+        byte_rd_[i] = recvdispls_[i] * sizeof(double);
+      }
+    } else {
+      stage_.resize(s_total);
+      if (!options_.fused) rstage_.resize(r_total);
+    }
+    return;
+  }
+
+  // --- One-sided plan: window layout, offsets, schedule -------------------
+  // The window holds one slot per source at capacity offsets, so the whole
+  // layout is count-derived and survives every epoch; raw mode exposes the
+  // pinned receive buffer itself and slots are the final recvdispls.
+  slot_offset_.resize(p);
+  std::uint64_t window_bytes = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (raw_) {
+      slot_offset_[i] = recvdispls_[i] * sizeof(double);
+    } else {
+      slot_offset_[i] = window_bytes;
+      window_bytes += recv_wire_cap_[i];
+    }
+  }
+  // The one-time offset exchange: each receiver tells every source where to
+  // put. Hoisted here from the old per-call path.
+  target_offset_.resize(p);
+  minimpi::alltoall(
+      comm_, std::as_bytes(std::span<const std::uint64_t>(slot_offset_)),
+      std::as_writable_bytes(std::span<std::uint64_t>(target_offset_)),
+      sizeof(std::uint64_t));
+
+  window_store_.resize(window_bytes);
+  win_ = std::make_unique<minimpi::Window>(
+      comm_, raw_ ? std::as_writable_bytes(recv_pinned_)
+                  : std::span<std::byte>(window_store_));
+
+  rounds_ = ring_targets(p_, options_.gpus_per_node, comm_.rank());
+  const int nodes = static_cast<int>(rounds_.size());
+  const int my_node = comm_.rank() / options_.gpus_per_node;
+  if (options_.sync == OscSync::kPscw) {
+    pscw_sources_.resize(static_cast<std::size_t>(nodes));
+    for (int j = 0; j < nodes; ++j) {
+      // Round j's puts into me come from the node at ring distance -j.
+      const int src_node = (my_node - j % nodes + nodes) % nodes;
+      const int base = src_node * options_.gpus_per_node;
+      for (int r = base; r < std::min(p_, base + options_.gpus_per_node);
+           ++r) {
+        pscw_sources_[static_cast<std::size_t>(j)].push_back(r);
+      }
+    }
+  }
+
+  if (raw_ || !fixed_) {
+    if (!raw_) stage_.resize(s_total);  // Variable: all-destination slab.
+    return;
+  }
+
+  // Fixed codec: pin every round's chunk jobs and the unpack schedule. The
+  // round slab is reused each round (sized for the largest), exactly the
+  // old per-call arena footprint.
+  round_jobs_.resize(static_cast<std::size_t>(nodes));
+  std::uint64_t slab = 0;
+  std::size_t max_jobs = 0;
+  for (int j = 0; j < nodes; ++j) {
+    auto& jobs = round_jobs_[static_cast<std::size_t>(j)];
+    std::uint64_t round_off = 0;
+    for (const int dst : rounds_[static_cast<std::size_t>(j)]) {
+      const auto d = static_cast<std::size_t>(dst);
+      const std::uint64_t count = sendcounts_[d];
+      if (count == 0) continue;
+      std::uint64_t elem = 0;
+      std::uint64_t wire_off = 0;
+      for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
+        const std::uint64_t cap = codec_->max_compressed_bytes(c);
+        jobs.push_back(PlanChunk{dst, elem, c, round_off, cap,
+                                 target_offset_[d] + wire_off});
+        round_off += cap;
+        elem += c;
+        wire_off += cap;
+      }
+    }
+    slab = std::max(slab, round_off);
+    max_jobs = std::max(max_jobs, jobs.size());
+  }
+  stage_.resize(slab);
+  inflight_.reserve(max_jobs);
+
+  for (std::size_t s = 0; s < p; ++s) {
+    const std::uint64_t count = recvcounts_[s];
+    if (count == 0) continue;
+    std::uint64_t elem = 0;
+    std::uint64_t wire_off = 0;
+    for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
+      const std::uint64_t cap = codec_->max_compressed_bytes(c);
+      unpack_jobs_.push_back(PlanChunk{static_cast<int>(s), elem, c,
+                                       slot_offset_[s] + wire_off, cap, 0});
+      elem += c;
+      wire_off += cap;
+    }
+  }
+}
+
+ExchangePlan::~ExchangePlan() = default;
+
+ExchangeStats ExchangePlan::execute(std::span<const double> send,
+                                    std::span<double> recv) {
+  LFFT_REQUIRE(recv.data() == recv_pinned_.data() &&
+                   recv.size() == recv_pinned_.size(),
+               "ExchangePlan::execute: recv must be the span pinned at plan "
+               "construction");
+  return backend_ == PlanBackend::kOneSided ? execute_one_sided(send, recv)
+                                            : execute_two_sided(send, recv);
+}
+
+ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
+                                              std::span<double> recv) {
+  ExchangeStats stats;
+  stats.rounds = static_cast<int>(rounds_.size());
+
+  // --- Variable codec: compress up front, exchange the actual sizes ------
+  // The only per-execute collective a plan ever runs, and only because the
+  // sizes are data-dependent. Fixed codecs know every size from the plan.
+  if (!raw_ && !fixed_) {
+    const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        send_wire_[i] = codec_->compress(
+            send.subspan(senddispls_[i], sendcounts_[i]),
+            std::span<std::byte>(stage_.data() + stage_off_[i],
+                                 send_wire_cap_[i]));
+      }
+    };
+    if (workers_ > 1) {
+      WorkerPool::global().parallel_for(static_cast<std::size_t>(p_), 1,
+                                        compress_dst, workers_);
+    } else {
+      compress_dst(0, static_cast<std::size_t>(p_));
+    }
+    minimpi::alltoall(
+        comm_, std::as_bytes(std::span<const std::uint64_t>(send_wire_)),
+        std::as_writable_bytes(std::span<std::uint64_t>(recv_wire_)),
+        sizeof(std::uint64_t));
+  }
+
+  // --- Epoch open ---------------------------------------------------------
+  // The opening fence keeps epoch N+1's puts out of buffers a slower rank
+  // is still draining from epoch N (its unpack/decompress runs after the
+  // closing fence). PSCW needs none: a put blocks on the target's post,
+  // which the target only issues once it re-enters execute. The very first
+  // epoch rides the window-creation barrier from the constructor.
+  if (options_.sync == OscSync::kFence && !first_execute_) win_->fence();
+  first_execute_ = false;
+
+  // --- Ring of puts (Algorithm 3) -----------------------------------------
+  const bool pipelined = !raw_ && fixed_ && workers_ > 1 &&
+                         WorkerPool::global().workers() > 0;
+  const auto compress_job = [&](const PlanChunk& job) {
+    const std::size_t used = codec_->compress(
+        send.subspan(senddispls_[static_cast<std::size_t>(job.peer)] +
+                         job.elem_off,
+                     job.elem_cnt),
+        std::span<std::byte>(stage_.data() + job.stage_off, job.wire_bytes));
+    LFFT_ASSERT(used == job.wire_bytes);  // Fixed-size codecs are exact.
+  };
+
+  const int nodes = static_cast<int>(rounds_.size());
+  for (int j = 0; j < nodes; ++j) {
+    const auto& round = rounds_[static_cast<std::size_t>(j)];
+    if (options_.sync == OscSync::kPscw) {
+      win_->post(pscw_sources_[static_cast<std::size_t>(j)]);
+      win_->start(round);
+    }
+    const auto* jobs = raw_ || !fixed_
+                           ? nullptr
+                           : &round_jobs_[static_cast<std::size_t>(j)];
+    if (pipelined) {
+      // Hand the whole round to the pool: chunk k+1 compresses while chunk
+      // k is being put — Section V-B's stream overlap executed for real.
+      inflight_.clear();
+      for (const PlanChunk& job : *jobs) {
+        inflight_.push_back(WorkerPool::global().submit(
+            [&compress_job, &job] { compress_job(job); }));
+      }
+    }
+    std::size_t next_job = 0;
+    for (const int dst : round) {
+      const auto d = static_cast<std::size_t>(dst);
+      const std::uint64_t count = sendcounts_[d];
+      stats.payload_bytes += count * sizeof(double);
+      if (count == 0) continue;
+      ++stats.messages;
+      if (raw_) {
+        // One direct store from the send payload into the peer's receive
+        // buffer: the only copy this exchange makes for the message.
+        win_->put(std::as_bytes(send.subspan(senddispls_[d], count)), dst,
+                  target_offset_[d]);
+        stats.wire_bytes += count * sizeof(double);
+        ++stats.chunks_issued;
+        continue;
+      }
+      if (!fixed_) {
+        // Pre-compressed: one put of the whole stream.
+        win_->put(std::span<const std::byte>(stage_.data() + stage_off_[d],
+                                             send_wire_[d]),
+                  dst, target_offset_[d]);
+        stats.wire_bytes += send_wire_[d];
+        ++stats.chunks_issued;
+        continue;
+      }
+      while (next_job < jobs->size() && (*jobs)[next_job].peer == dst) {
+        const PlanChunk& job = (*jobs)[next_job];
+        if (pipelined) {
+          inflight_[next_job].get();  // Rethrows a failed chunk's error.
+        } else {
+          compress_job(job);
+        }
+        win_->put(std::span<const std::byte>(stage_.data() + job.stage_off,
+                                             job.wire_bytes),
+                  dst, job.target_off);
+        stats.wire_bytes += job.wire_bytes;
+        ++stats.chunks_issued;
+        ++next_job;
+      }
+    }
+    // End of round: wait for this round's data movement (Algorithm 3 line
+    // 10). Raw fence mode needs no per-round fence — puts target disjoint
+    // final recv regions and no staging is recycled between rounds.
+    if (options_.sync == OscSync::kPscw) {
+      win_->complete();
+      win_->wait_posted();
+    } else if (!raw_) {
+      win_->fence();
+    }
+  }
+  // Raw fence mode: single global completion fence (codec fence mode
+  // already closed the last round's epoch above).
+  if (options_.sync == OscSync::kFence && raw_) win_->fence();
+
+  if (raw_) return stats;
+
+  // --- Decompress the received window -------------------------------------
+  if (fixed_) {
+    const auto unpack_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const PlanChunk& job = unpack_jobs_[i];
+        codec_->decompress(
+            std::span<const std::byte>(window_store_.data() + job.stage_off,
+                                       job.wire_bytes),
+            recv.subspan(recvdispls_[static_cast<std::size_t>(job.peer)] +
+                             job.elem_off,
+                         job.elem_cnt));
+      }
+    };
+    if (workers_ > 1) {
+      WorkerPool::global().parallel_for(unpack_jobs_.size(), 1, unpack_range,
+                                        workers_);
+    } else {
+      unpack_range(0, unpack_jobs_.size());
+    }
+    return stats;
+  }
+  const auto unpack_src = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      if (recvcounts_[s] == 0) continue;
+      codec_->decompress(
+          std::span<const std::byte>(window_store_.data() + slot_offset_[s],
+                                     recv_wire_[s]),
+          recv.subspan(recvdispls_[s], recvcounts_[s]));
+    }
+  };
+  if (workers_ > 1) {
+    WorkerPool::global().parallel_for(static_cast<std::size_t>(p_), 1,
+                                      unpack_src, workers_);
+  } else {
+    unpack_src(0, static_cast<std::size_t>(p_));
+  }
+  return stats;
+}
+
+ExchangeStats ExchangePlan::execute_two_sided(std::span<const double> send,
+                                              std::span<double> recv) {
+  const auto p = static_cast<std::size_t>(p_);
+  ExchangeStats stats;
+  stats.rounds = p_;
+
+  if (raw_) {
+    // Raw: hand the payload spans to alltoallv directly — with the
+    // rendezvous transport each message is a single receiver-side copy.
+    for (std::size_t i = 0; i < p; ++i) {
+      stats.payload_bytes += byte_sc_[i];
+      stats.wire_bytes += byte_sc_[i];
+      if (sendcounts_[i] > 0) ++stats.messages;
+    }
+    minimpi::alltoallv(comm_, std::as_bytes(send), byte_sc_, byte_sd_,
+                       std::as_writable_bytes(recv), byte_rc_, byte_rd_,
+                       minimpi::AlltoallAlgorithm::kPairwise);
+    stats.chunks_issued = stats.messages;
+    return stats;
+  }
+
+  if (options_.fused) return execute_two_sided_fused(send, recv);
+
+  // --- Unfused baseline: encode all, pairwise alltoallv, decode all -------
+  // Kept selectable (OscOptions::fused = false) as the measured ablation
+  // baseline for the fused path.
+  for (std::size_t i = 0; i < p; ++i) {
+    stats.payload_bytes += sendcounts_[i] * sizeof(double);
+    if (sendcounts_[i] > 0) ++stats.messages;
+  }
+  const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t used = codec_->compress(
+          send.subspan(senddispls_[i], sendcounts_[i]),
+          std::span<std::byte>(stage_.data() + stage_off_[i],
+                               send_wire_cap_[i]));
+      send_wire_[i] = fixed_ ? send_wire_cap_[i] : used;
+    }
+  };
+  if (workers_ > 1) {
+    WorkerPool::global().parallel_for(p, 1, compress_dst, workers_);
+  } else {
+    compress_dst(0, p);
+  }
+  for (std::size_t i = 0; i < p; ++i) stats.wire_bytes += send_wire_[i];
+  if (!fixed_) {
+    minimpi::alltoall(
+        comm_, std::as_bytes(std::span<const std::uint64_t>(send_wire_)),
+        std::as_writable_bytes(std::span<std::uint64_t>(recv_wire_)),
+        sizeof(std::uint64_t));
+  }
+  minimpi::alltoallv(comm_, stage_, send_wire_, stage_off_, rstage_,
+                     recv_wire_, rstage_off_,
+                     minimpi::AlltoallAlgorithm::kPairwise);
+  const auto decompress_src = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      if (recvcounts_[s] == 0) continue;
+      codec_->decompress(
+          std::span<const std::byte>(rstage_.data() + rstage_off_[s],
+                                     recv_wire_[s]),
+          recv.subspan(recvdispls_[s], recvcounts_[s]));
+    }
+  };
+  if (workers_ > 1) {
+    WorkerPool::global().parallel_for(p, 1, decompress_src, workers_);
+  } else {
+    decompress_src(0, p);
+  }
+  stats.chunks_issued = stats.messages;
+  return stats;
+}
+
+ExchangeStats ExchangePlan::execute_two_sided_fused(
+    std::span<const double> send, std::span<double> recv) {
+  // Pairwise exchange with the codec fused into the transport: encode runs
+  // inside isend_produce (straight into the eager slab, or into this
+  // plan's pinned staging published zero-copy), decode runs inside
+  // recv_consume (straight out of the sender's buffer). One codec pass per
+  // direction, no intermediate wire buffers — the two-sided compressed
+  // path at the one-sided raw path's copy count. Wire bytes are identical
+  // to the unfused baseline; peers agree on which pairs exchange because
+  // count knowledge is symmetric.
+  const auto p = static_cast<std::size_t>(p_);
+  const int me = comm_.rank();
+  ExchangeStats stats;
+  stats.rounds = p_;
+  for (std::size_t i = 0; i < p; ++i) {
+    stats.payload_bytes += sendcounts_[i] * sizeof(double);
+    if (sendcounts_[i] > 0) ++stats.messages;
+  }
+
+  // Self message: local codec round trip (kept — the exchange must stay
+  // byte-identical to the staged/one-sided paths, lossiness included).
+  const auto m = static_cast<std::size_t>(me);
+  if (sendcounts_[m] > 0) {
+    std::span<std::byte> staging(stage_.data() + stage_off_[m],
+                                 send_wire_cap_[m]);
+    const std::size_t used = codec_->compress(
+        send.subspan(senddispls_[m], sendcounts_[m]), staging);
+    stats.wire_bytes += used;
+    codec_->decompress(std::span<const std::byte>(staging.data(), used),
+                       recv.subspan(recvdispls_[m], recvcounts_[m]));
+  }
+
+  for (int j = 1; j < p_; ++j) {
+    const auto dst = static_cast<std::size_t>((me + j) % p_);
+    const auto src = static_cast<std::size_t>((me - j + p_) % p_);
+    minimpi::Comm::Request req;
+    bool sent = false;
+    if (sendcounts_[dst] > 0) {
+      std::span<std::byte> staging(stage_.data() + stage_off_[dst],
+                                   send_wire_cap_[dst]);
+      if (fixed_) {
+        // Size is count-derived: the transport can place the encode.
+        req = comm_.isend_produce(
+            send_wire_cap_[dst], staging, static_cast<int>(dst), kFusedTag,
+            [&](std::span<std::byte> out) {
+              // Whole-message encodes may undershoot the cap on tail
+              // packing; the message still travels at cap size, like the
+              // staged baseline (decoders read only what they need).
+              const std::size_t used = codec_->compress(
+                  send.subspan(senddispls_[dst], sendcounts_[dst]), out);
+              LFFT_ASSERT(used <= out.size());
+            });
+        stats.wire_bytes += send_wire_cap_[dst];
+      } else {
+        // Variable size is known only after the encode: stage first, then
+        // publish (still zero intermediate copies at rendezvous sizes).
+        const std::size_t used = codec_->compress(
+            send.subspan(senddispls_[dst], sendcounts_[dst]), staging);
+        req = comm_.isend(std::span<const std::byte>(staging.data(), used),
+                          static_cast<int>(dst), kFusedTag);
+        stats.wire_bytes += used;
+      }
+      sent = true;
+    }
+    if (recvcounts_[src] > 0) {
+      comm_.recv_consume(static_cast<int>(src), kFusedTag,
+                         [&](std::span<const std::byte> payload) {
+                           codec_->decompress(
+                               payload, recv.subspan(recvdispls_[src],
+                                                     recvcounts_[src]));
+                         });
+    }
+    if (sent) comm_.wait(req);
+  }
+  stats.chunks_issued = stats.messages;
+  return stats;
+}
+
+}  // namespace lossyfft::osc

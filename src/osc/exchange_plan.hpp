@@ -1,0 +1,137 @@
+// Persistent exchange plans: the per-call setup of osc_alltoallv /
+// compressed_alltoallv hoisted into plan construction, so a repeated
+// exchange (Reshape::execute every FFT iteration) pays only the data
+// movement — the persistent-collective model of Dalcin et al.'s advanced
+// MPI FFT applied to the paper's Algorithm 3.
+//
+// A plan pins everything derivable from the counts at construction time:
+//
+//  * the RMA Window (one-sided), created once and fence-reused per execute
+//    instead of create/destroy (two barriers) per call;
+//  * the slot-offset u64 all-to-all, run once at plan time. Slots are laid
+//    out at max_compressed_bytes capacities, so the layout is count-derived
+//    even for variable-rate codecs (whose *actual* sizes still travel per
+//    execute — they are data-dependent);
+//  * codec staging slabs, chunk partitions, ring schedule, PSCW source
+//    lists, and byte-unit count/displ arrays.
+//
+// Steady-state execute() therefore performs no window create/destroy, no
+// offset exchange, and (fixed-rate codecs, workers == 1) no heap
+// allocation — asserted by counters in tests/exchange_plan_test.cpp.
+//
+// The two-sided path additionally fuses the codec into the transport
+// (Comm::isend_produce / recv_consume): the sender encodes straight into
+// the eager slab or its pinned staging, and the receiver decodes straight
+// out of the sender's published buffer, collapsing encode+copy+decode to a
+// single pass — the same copy count as the one-sided raw path.
+//
+// Construction, execution, and destruction of a one-sided plan are
+// collective over the communicator (window lifecycle + offset exchange):
+// every rank must create, execute, and destroy its plans in the same order.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/window.hpp"
+#include "osc/osc_alltoall.hpp"
+
+namespace lossyfft::osc {
+
+/// Which transport the plan drives.
+enum class PlanBackend {
+  kOneSided,  // Algorithm 3: node-aware ring of puts over the cached window.
+  kTwoSided,  // Pairwise two-sided exchange (fused-rendezvous codec path).
+};
+
+class ExchangePlan {
+ public:
+  /// Collective for kOneSided (offset all-to-all + window creation).
+  /// Counts/displs are in double elements and are copied; `recv` is pinned
+  /// for the plan's lifetime — every execute() must pass the same span
+  /// (raw one-sided mode exposes it as the RMA window).
+  ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
+               std::span<const std::uint64_t> sendcounts,
+               std::span<const std::uint64_t> senddispls,
+               std::span<const std::uint64_t> recvcounts,
+               std::span<const std::uint64_t> recvdispls,
+               std::span<double> recv, const OscOptions& options);
+
+  /// Collective for kOneSided (window destruction).
+  ~ExchangePlan();
+
+  ExchangePlan(const ExchangePlan&) = delete;
+  ExchangePlan& operator=(const ExchangePlan&) = delete;
+
+  /// Run the exchange. Collective; `recv` must be the pinned span. The
+  /// wire format is byte-identical to the per-call free functions.
+  ExchangeStats execute(std::span<const double> send, std::span<double> recv);
+
+  PlanBackend backend() const { return backend_; }
+  const OscOptions& options() const { return options_; }
+
+ private:
+  // One unit of codec work pinned at plan time: chunk
+  // [elem_off, elem_off+elem_cnt) of the message to/from peer `peer`,
+  // staged `wire_bytes` at `stage_off` (round slab for sends, absolute
+  // window offset for unpacks), put at `target_off` on the peer.
+  struct PlanChunk {
+    int peer = 0;
+    std::uint64_t elem_off = 0;
+    std::uint64_t elem_cnt = 0;
+    std::uint64_t stage_off = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t target_off = 0;
+  };
+
+  ExchangeStats execute_one_sided(std::span<const double> send,
+                                  std::span<double> recv);
+  ExchangeStats execute_two_sided(std::span<const double> send,
+                                  std::span<double> recv);
+  ExchangeStats execute_two_sided_fused(std::span<const double> send,
+                                        std::span<double> recv);
+
+  minimpi::Comm& comm_;
+  OscOptions options_;
+  PlanBackend backend_;
+  bool raw_ = false;    // No codec: direct byte exchange.
+  bool fixed_ = false;  // Codec wire sizes are count-derived.
+  CodecPtr codec_;
+  int p_ = 0;
+  int workers_ = 1;
+  bool first_execute_ = true;  // Ctor's window barrier covers epoch 0.
+
+  std::span<double> recv_pinned_;
+  std::vector<std::uint64_t> sendcounts_, senddispls_;
+  std::vector<std::uint64_t> recvcounts_, recvdispls_;
+  // Wire capacities (bytes, max_compressed_bytes-based; exact when fixed_).
+  std::vector<std::uint64_t> send_wire_cap_, recv_wire_cap_;
+  // Per-execute actual wire sizes (variable codecs; == cap when fixed_).
+  std::vector<std::uint64_t> send_wire_, recv_wire_;
+  // Capacity-prefix byte offsets into the staging slabs.
+  std::vector<std::uint64_t> stage_off_, rstage_off_;
+  // Two-sided raw: counts/displs rescaled to bytes once.
+  std::vector<std::uint64_t> byte_sc_, byte_sd_, byte_rc_, byte_rd_;
+
+  // One-sided state.
+  std::vector<std::uint64_t> slot_offset_, target_offset_;
+  std::vector<std::byte> window_store_;  // Codec modes; raw exposes recv.
+  std::unique_ptr<minimpi::Window> win_;
+  std::vector<std::vector<int>> rounds_;        // ring_targets schedule.
+  std::vector<std::vector<int>> pscw_sources_;  // Per-round exposure group.
+  std::vector<std::vector<PlanChunk>> round_jobs_;  // Fixed codec sends.
+  std::vector<PlanChunk> unpack_jobs_;              // Fixed codec unpacks.
+  std::vector<std::future<void>> inflight_;
+
+  // Codec staging: one-sided fixed = largest round's chunk slab (reused
+  // every round, exactly the old per-call arena footprint); one-sided
+  // variable and two-sided = all destinations at capacity offsets.
+  std::vector<std::byte> stage_;
+  std::vector<std::byte> rstage_;  // Two-sided unfused receive slab.
+};
+
+}  // namespace lossyfft::osc

@@ -1,67 +1,12 @@
 #include "osc/osc_alltoall.hpp"
 
-#include <cstring>
-#include <future>
-#include <numeric>
-#include <vector>
+#include <algorithm>
 
-#include "common/arena.hpp"
 #include "common/error.hpp"
-#include "common/worker_pool.hpp"
-#include "compress/truncate.hpp"
-#include "minimpi/alltoall.hpp"
-#include "minimpi/window.hpp"
 #include "netsim/model.hpp"
-#include "osc/schedule.hpp"
+#include "osc/exchange_plan.hpp"
 
 namespace lossyfft::osc {
-
-namespace {
-
-CodecPtr effective_codec(const OscOptions& options) {
-  return options.codec ? options.codec
-                       : std::make_shared<const IdentityCodec>();
-}
-
-// Resolve the worker knob against this exchange's total payload: the
-// bytes-per-shard floor keeps small exchanges (and their chunk pipeline)
-// serial, where submit/steal overhead costs more than the codec work.
-int resolve_workers(const OscOptions& options,
-                    std::span<const std::uint64_t> sendcounts) {
-  std::uint64_t payload = 0;
-  for (const std::uint64_t c : sendcounts) payload += c;
-  return WorkerPool::effective_shards(
-      options.workers,
-      static_cast<std::size_t>(payload) * sizeof(double));
-}
-
-void validate(const minimpi::Comm& comm, std::span<const std::uint64_t> sc,
-              std::span<const std::uint64_t> sd,
-              std::span<const std::uint64_t> rc,
-              std::span<const std::uint64_t> rd) {
-  const auto p = static_cast<std::size_t>(comm.size());
-  LFFT_REQUIRE(sc.size() == p && sd.size() == p && rc.size() == p &&
-                   rd.size() == p,
-               "alltoallv: counts/displs must have comm.size() entries");
-}
-
-// Codec staging arena, one per rank thread, reused across exchanges: the
-// chunk pipeline and the variable-codec staging stop hitting malloc once
-// the first call has sized it (steady-state zero allocation).
-thread_local ScratchArena tls_arena;
-
-// One compression job of the round pipeline: chunk `elem_off..+elem_cnt`
-// of the message to `dst`, staged at `wire` for the put at
-// target_offset[dst] + wire_off.
-struct ChunkJob {
-  int dst = 0;
-  std::uint64_t elem_off = 0;
-  std::uint64_t elem_cnt = 0;
-  std::uint64_t wire_off = 0;
-  std::span<std::byte> wire;
-};
-
-}  // namespace
 
 int plan_pipeline_chunks(std::uint64_t payload_bytes, double rate) {
   const netsim::NetworkParams params;
@@ -99,6 +44,11 @@ std::vector<std::uint64_t> chunk_partition(std::uint64_t count, int chunks) {
   return sizes;
 }
 
+// Both per-call entry points are transient plans: construct (which runs the
+// setup collectives the plan would otherwise amortize), execute once,
+// destroy. Building them on the plan guarantees the per-call and persistent
+// paths share one wire format by construction.
+
 ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
                             std::span<const std::uint64_t> sendcounts,
                             std::span<const std::uint64_t> senddispls,
@@ -106,290 +56,9 @@ ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
                             std::span<const std::uint64_t> recvcounts,
                             std::span<const std::uint64_t> recvdispls,
                             const OscOptions& options) {
-  validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
-  const int p = comm.size();
-  // Raw (no codec) takes a zero-copy route: the receive buffer itself is
-  // exposed as the RMA window, so every put is one direct store from the
-  // sender's payload into its final destination — no staging arena, no
-  // intermediate window copy, no decompress pass.
-  const bool raw = options.codec == nullptr;
-  const auto codec = effective_codec(options);
-  const int workers = resolve_workers(options, sendcounts);
-  // Per-message chunk count: fixed user value, or the pipeline model's
-  // choice for that message size (0 = auto). Both sides derive it from the
-  // element count they already know, so no extra exchange is needed.
-  const auto chunks_for = [&](std::uint64_t count) {
-    if (!codec->fixed_size()) return 1;
-    if (options.chunks > 0) return options.chunks;
-    return plan_pipeline_chunks(count * sizeof(double), codec->nominal_rate());
-  };
-
-  ExchangeStats stats;
-
-  // --- Wire sizes -------------------------------------------------------
-  // Fixed-rate codecs let both sides compute every compressed size locally
-  // (the property Section V-B relies on for truncation). Variable-rate
-  // codecs must compress before they know the wire size, so those sizes
-  // travel through a small uniform all-to-all first.
-  std::vector<std::uint64_t> send_wire(static_cast<std::size_t>(p));
-  std::vector<std::uint64_t> recv_wire(static_cast<std::size_t>(p));
-
-  // Per-destination compressed payload staging (compressed up front for
-  // variable codecs; chunk-at-a-time for fixed codecs during the ring).
-  std::vector<std::span<const std::byte>> staged(static_cast<std::size_t>(p));
-  tls_arena.reset();
-
-  if (raw) {
-    for (int r = 0; r < p; ++r) {
-      const auto i = static_cast<std::size_t>(r);
-      send_wire[i] = sendcounts[i] * sizeof(double);
-      recv_wire[i] = recvcounts[i] * sizeof(double);
-    }
-  } else if (codec->fixed_size()) {
-    for (int r = 0; r < p; ++r) {
-      std::uint64_t s = 0;
-      for (const std::uint64_t c :
-           chunk_partition(sendcounts[static_cast<std::size_t>(r)],
-                           chunks_for(sendcounts[static_cast<std::size_t>(r)]))) {
-        s += codec->max_compressed_bytes(c);
-      }
-      send_wire[static_cast<std::size_t>(r)] = s;
-      std::uint64_t q = 0;
-      for (const std::uint64_t c :
-           chunk_partition(recvcounts[static_cast<std::size_t>(r)],
-                           chunks_for(recvcounts[static_cast<std::size_t>(r)]))) {
-        q += codec->max_compressed_bytes(c);
-      }
-      recv_wire[static_cast<std::size_t>(r)] = q;
-    }
-  } else {
-    // Whole-message compression, per destination. Destinations are
-    // independent streams, so fanning them across workers changes nothing
-    // on the wire.
-    std::size_t cap = 0;
-    for (int r = 0; r < p; ++r) {
-      cap += codec->max_compressed_bytes(sendcounts[static_cast<std::size_t>(r)]);
-    }
-    tls_arena.reserve(cap);
-    std::vector<std::span<std::byte>> room(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
-      const auto i = static_cast<std::size_t>(r);
-      room[i] = tls_arena.alloc(codec->max_compressed_bytes(sendcounts[i]));
-    }
-    const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t used = codec->compress(
-            send.subspan(senddispls[i], sendcounts[i]), room[i]);
-        send_wire[i] = used;
-        staged[i] = std::span<const std::byte>(room[i].data(), used);
-      }
-    };
-    if (workers > 1) {
-      WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
-                                        compress_dst, workers);
-    } else {
-      compress_dst(0, static_cast<std::size_t>(p));
-    }
-    minimpi::alltoall(comm, std::as_bytes(std::span<const std::uint64_t>(
-                                send_wire)),
-                      std::as_writable_bytes(std::span<std::uint64_t>(
-                          recv_wire)),
-                      sizeof(std::uint64_t));
-  }
-
-  // --- Window layout ----------------------------------------------------
-  // The exposed buffer holds one slot per source, in rank order. Each
-  // receiver computes its own offsets and tells every source where to put
-  // (one uniform all-to-all of u64 offsets). Raw mode exposes the receive
-  // buffer itself and its slots are the final recvdispls positions.
-  std::vector<std::uint64_t> slot_offset(static_cast<std::size_t>(p));
-  std::uint64_t window_bytes = 0;
-  for (int r = 0; r < p; ++r) {
-    const auto i = static_cast<std::size_t>(r);
-    if (raw) {
-      slot_offset[i] = recvdispls[i] * sizeof(double);
-    } else {
-      slot_offset[i] = window_bytes;
-      window_bytes += recv_wire[i];
-    }
-  }
-  std::vector<std::uint64_t> target_offset(static_cast<std::size_t>(p));
-  minimpi::alltoall(
-      comm, std::as_bytes(std::span<const std::uint64_t>(slot_offset)),
-      std::as_writable_bytes(std::span<std::uint64_t>(target_offset)),
-      sizeof(std::uint64_t));
-
-  std::vector<std::byte> window_store(window_bytes);
-  minimpi::Window win(comm, raw ? std::as_writable_bytes(recv)
-                                : std::span<std::byte>(window_store));
-
-  // --- Ring of puts (Algorithm 3) ----------------------------------------
-  const auto rounds = ring_targets(p, options.gpus_per_node, comm.rank());
-  stats.rounds = static_cast<int>(rounds.size());
-  const int nodes = static_cast<int>(rounds.size());
-  const int my_node = comm.rank() / options.gpus_per_node;
-  std::vector<ChunkJob> jobs;
-  std::vector<std::future<void>> inflight;
-  for (int j = 0; j < nodes; ++j) {
-    const auto& round = rounds[static_cast<std::size_t>(j)];
-    std::vector<int> sources;
-    if (options.sync == OscSync::kPscw) {
-      // Round j's puts into me come from the node at ring distance -j.
-      const int src_node = (my_node - j % nodes + nodes) % nodes;
-      const int base = src_node * options.gpus_per_node;
-      for (int r = base; r < std::min(p, base + options.gpus_per_node); ++r) {
-        sources.push_back(r);
-      }
-      win.post(sources);
-      win.start(round);
-    }
-    // Stage 1: lay the round's chunk jobs out in the arena. The job list
-    // and every staging offset are pure functions of the counts, so the
-    // wire is identical whether chunks compress serially or on workers.
-    jobs.clear();
-    if (!raw && codec->fixed_size()) {
-      tls_arena.reset();
-      std::uint64_t round_wire = 0;
-      for (const int dst : round) {
-        round_wire += send_wire[static_cast<std::size_t>(dst)];
-      }
-      tls_arena.reserve(round_wire);
-      for (const int dst : round) {
-        const auto d = static_cast<std::size_t>(dst);
-        const std::uint64_t count = sendcounts[d];
-        if (count == 0) continue;
-        std::uint64_t elem = 0;
-        std::uint64_t wire_off = 0;
-        for (const std::uint64_t c :
-             chunk_partition(count, chunks_for(count))) {
-          const std::size_t cap = codec->max_compressed_bytes(c);
-          jobs.push_back(
-              ChunkJob{dst, elem, c, wire_off, tls_arena.alloc(cap)});
-          elem += c;
-          wire_off += cap;
-        }
-      }
-    }
-    // Stage 2: compress. Pipelined mode hands every chunk of the round to
-    // the pool at once — chunk k+1 (of this and every other peer of the
-    // round) compresses while chunk k is being put below, the overlap
-    // Section V-B models with CUDA streams.
-    const auto compress_job = [&](const ChunkJob& job) {
-      const std::size_t used = codec->compress(
-          send.subspan(senddispls[static_cast<std::size_t>(job.dst)] +
-                           job.elem_off,
-                       job.elem_cnt),
-          job.wire);
-      LFFT_ASSERT(used == job.wire.size());  // Fixed-size codecs are exact.
-    };
-    const bool pipelined = workers > 1 && WorkerPool::global().workers() > 0;
-    if (pipelined) {
-      inflight.clear();
-      inflight.reserve(jobs.size());
-      for (const ChunkJob& job : jobs) {
-        inflight.push_back(
-            WorkerPool::global().submit([&compress_job, &job] {
-              compress_job(job);
-            }));
-      }
-    }
-    // Stage 3: put, in deterministic job order.
-    std::size_t next_job = 0;
-    for (const int dst : round) {
-      const auto d = static_cast<std::size_t>(dst);
-      const std::uint64_t count = sendcounts[d];
-      stats.payload_bytes += count * sizeof(double);
-      if (count == 0) continue;
-      ++stats.messages;
-      if (raw) {
-        // One direct store from the send payload into the peer's receive
-        // buffer: the only copy this exchange makes for the message.
-        win.put(std::as_bytes(send.subspan(senddispls[d], count)), dst,
-                target_offset[d]);
-        stats.wire_bytes += count * sizeof(double);
-        ++stats.chunks_issued;
-        continue;
-      }
-      if (!codec->fixed_size()) {
-        // Pre-compressed: one put of the whole stream.
-        win.put(staged[d], dst, target_offset[d]);
-        stats.wire_bytes += staged[d].size();
-        ++stats.chunks_issued;
-        continue;
-      }
-      while (next_job < jobs.size() && jobs[next_job].dst == dst) {
-        const ChunkJob& job = jobs[next_job];
-        if (pipelined) {
-          inflight[next_job].get();  // Rethrows a failed chunk's error.
-        } else {
-          compress_job(job);
-        }
-        win.put(job.wire, dst, target_offset[d] + job.wire_off);
-        stats.wire_bytes += job.wire.size();
-        ++stats.chunks_issued;
-        ++next_job;
-      }
-    }
-    // End of round: wait for all data movement of this round (line 10).
-    // Raw fence mode skips it — raw puts target disjoint final recv
-    // regions and there is no staging arena to recycle between rounds, so
-    // the single global fence below is the only synchronization needed.
-    if (options.sync == OscSync::kPscw) {
-      win.complete();
-      win.wait_posted();
-    } else if (!raw) {
-      win.fence();
-    }
-  }
-  if (options.sync == OscSync::kFence) {
-    win.fence();  // Global completion: every slot is now filled.
-  }
-
-  // --- Decompress the received window ------------------------------------
-  // Raw mode is done: every put landed in its final recv position.
-  if (raw) return stats;
-  // Chunks land in disjoint slices of `recv`, so they decode independently
-  // — serially in rank order, or fanned across the pool.
-  std::vector<ChunkJob> unpack;
-  for (int src = 0; src < p; ++src) {
-    const auto s = static_cast<std::size_t>(src);
-    const std::uint64_t count = recvcounts[s];
-    if (count == 0) continue;
-    if (!codec->fixed_size()) {
-      unpack.push_back(ChunkJob{
-          src, 0, count, 0,
-          std::span<std::byte>(window_store.data() + slot_offset[s],
-                               recv_wire[s])});
-      continue;
-    }
-    std::uint64_t elem = 0;
-    std::uint64_t wire_off = 0;
-    for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
-      const std::size_t cbytes = codec->max_compressed_bytes(c);
-      unpack.push_back(ChunkJob{
-          src, elem, c, wire_off,
-          std::span<std::byte>(
-              window_store.data() + slot_offset[s] + wire_off, cbytes)});
-      elem += c;
-      wire_off += cbytes;
-    }
-  }
-  const auto unpack_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const ChunkJob& job = unpack[i];
-      codec->decompress(
-          job.wire,
-          recv.subspan(recvdispls[static_cast<std::size_t>(job.dst)] +
-                           job.elem_off,
-                       job.elem_cnt));
-    }
-  };
-  if (workers > 1) {
-    WorkerPool::global().parallel_for(unpack.size(), 1, unpack_range, workers);
-  } else {
-    unpack_range(0, unpack.size());
-  }
-  return stats;
+  ExchangePlan plan(comm, PlanBackend::kOneSided, sendcounts, senddispls,
+                    recvcounts, recvdispls, recv, options);
+  return plan.execute(send, recv);
 }
 
 ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
@@ -400,149 +69,9 @@ ExchangeStats compressed_alltoallv(minimpi::Comm& comm,
                                    std::span<const std::uint64_t> recvcounts,
                                    std::span<const std::uint64_t> recvdispls,
                                    const OscOptions& options) {
-  validate(comm, sendcounts, senddispls, recvcounts, recvdispls);
-  const int p = comm.size();
-  ExchangeStats stats;
-  stats.rounds = p;
-
-  if (options.codec == nullptr) {
-    // Raw: no staging through a wire buffer — hand the payload spans to
-    // alltoallv directly. With the rendezvous transport each message is a
-    // single receiver-side copy from sendbuf into recvbuf.
-    std::vector<std::uint64_t> sb(static_cast<std::size_t>(p)),
-        sdb(static_cast<std::size_t>(p)), rb(static_cast<std::size_t>(p)),
-        rdb(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
-      const auto i = static_cast<std::size_t>(r);
-      sb[i] = sendcounts[i] * sizeof(double);
-      sdb[i] = senddispls[i] * sizeof(double);
-      rb[i] = recvcounts[i] * sizeof(double);
-      rdb[i] = recvdispls[i] * sizeof(double);
-      stats.payload_bytes += sb[i];
-      stats.wire_bytes += sb[i];
-      if (sendcounts[i] > 0) ++stats.messages;
-    }
-    minimpi::alltoallv(comm, std::as_bytes(send), sb, sdb,
-                       std::as_writable_bytes(recv), rb, rdb,
-                       minimpi::AlltoallAlgorithm::kPairwise);
-    stats.chunks_issued = stats.messages;
-    return stats;
-  }
-
-  const auto codec = effective_codec(options);
-  const int workers = resolve_workers(options, sendcounts);
-
-  // Compress every outgoing payload into one contiguous wire buffer. For
-  // fixed-size codecs the per-destination offsets follow from the counts,
-  // so destinations compress independently (and in parallel); variable
-  // codecs stage per destination and compact afterwards.
-  std::vector<std::uint64_t> swire(static_cast<std::size_t>(p));
-  std::vector<std::uint64_t> sdispl(static_cast<std::size_t>(p));
-  std::vector<std::byte> sbuf;
-  {
-    std::size_t cap = 0;
-    for (int r = 0; r < p; ++r) {
-      cap += codec->max_compressed_bytes(sendcounts[static_cast<std::size_t>(r)]);
-    }
-    sbuf.resize(cap);
-    if (codec->fixed_size()) {
-      std::size_t pos = 0;
-      for (int r = 0; r < p; ++r) {
-        const auto i = static_cast<std::size_t>(r);
-        sdispl[i] = pos;
-        swire[i] = codec->max_compressed_bytes(sendcounts[i]);
-        pos += swire[i];
-      }
-      const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          codec->compress(send.subspan(senddispls[i], sendcounts[i]),
-                          std::span<std::byte>(sbuf.data() + sdispl[i],
-                                               swire[i]));
-        }
-      };
-      if (workers > 1) {
-        WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
-                                          compress_dst, workers);
-      } else {
-        compress_dst(0, static_cast<std::size_t>(p));
-      }
-      sbuf.resize(pos);
-    } else {
-      tls_arena.reset();
-      tls_arena.reserve(cap);
-      std::vector<std::span<std::byte>> room(static_cast<std::size_t>(p));
-      for (int r = 0; r < p; ++r) {
-        const auto i = static_cast<std::size_t>(r);
-        room[i] = tls_arena.alloc(codec->max_compressed_bytes(sendcounts[i]));
-      }
-      const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          swire[i] = codec->compress(
-              send.subspan(senddispls[i], sendcounts[i]), room[i]);
-        }
-      };
-      if (workers > 1) {
-        WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
-                                          compress_dst, workers);
-      } else {
-        compress_dst(0, static_cast<std::size_t>(p));
-      }
-      std::size_t pos = 0;
-      for (int r = 0; r < p; ++r) {
-        const auto i = static_cast<std::size_t>(r);
-        sdispl[i] = pos;
-        std::memcpy(sbuf.data() + pos, room[i].data(), swire[i]);
-        pos += swire[i];
-      }
-      sbuf.resize(pos);
-    }
-    for (int r = 0; r < p; ++r) {
-      const auto i = static_cast<std::size_t>(r);
-      stats.payload_bytes += sendcounts[i] * sizeof(double);
-      stats.wire_bytes += swire[i];
-      if (sendcounts[i] > 0) ++stats.messages;
-    }
-  }
-
-  // Wire sizes across, then the payload.
-  std::vector<std::uint64_t> rwire(static_cast<std::size_t>(p));
-  if (codec->fixed_size()) {
-    for (int r = 0; r < p; ++r) {
-      const auto i = static_cast<std::size_t>(r);
-      rwire[i] = codec->max_compressed_bytes(recvcounts[i]);
-    }
-  } else {
-    minimpi::alltoall(comm,
-                      std::as_bytes(std::span<const std::uint64_t>(swire)),
-                      std::as_writable_bytes(std::span<std::uint64_t>(rwire)),
-                      sizeof(std::uint64_t));
-  }
-  std::vector<std::uint64_t> rdispl(static_cast<std::size_t>(p));
-  std::uint64_t rtotal = 0;
-  for (int r = 0; r < p; ++r) {
-    rdispl[static_cast<std::size_t>(r)] = rtotal;
-    rtotal += rwire[static_cast<std::size_t>(r)];
-  }
-  std::vector<std::byte> rbuf(rtotal);
-  minimpi::alltoallv(comm, sbuf, swire, sdispl, rbuf, rwire, rdispl,
-                     minimpi::AlltoallAlgorithm::kPairwise);
-
-  const auto decompress_src = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t s = lo; s < hi; ++s) {
-      if (recvcounts[s] == 0) continue;
-      codec->decompress(
-          std::span<const std::byte>(rbuf.data() + rdispl[s], rwire[s]),
-          recv.subspan(recvdispls[s], recvcounts[s]));
-    }
-  };
-  if (workers > 1) {
-    WorkerPool::global().parallel_for(static_cast<std::size_t>(p), 1,
-                                      decompress_src, workers);
-  } else {
-    decompress_src(0, static_cast<std::size_t>(p));
-  }
-  stats.chunks_issued = stats.messages;
-  return stats;
+  ExchangePlan plan(comm, PlanBackend::kTwoSided, sendcounts, senddispls,
+                    recvcounts, recvdispls, recv, options);
+  return plan.execute(send, recv);
 }
 
 }  // namespace lossyfft::osc

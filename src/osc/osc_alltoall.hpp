@@ -49,6 +49,12 @@ struct OscOptions {
   /// executed for real instead of modeled. Wire bytes are identical at
   /// every setting.
   int workers = 1;
+  /// Two-sided codec path only: fuse the codec into the transport
+  /// (encode inside isend_produce, decode inside recv_consume — one codec
+  /// pass per direction, no intermediate wire buffers). false restores the
+  /// staged encode+copy+decode baseline for A/B measurement. Received
+  /// values and wire byte counts are identical either way.
+  bool fused = true;
 };
 
 /// Model-driven chunk count: minimizes the compression/transfer pipeline
@@ -73,6 +79,9 @@ struct ExchangeStats {
 };
 
 /// One-sided ring all-to-all with on-the-fly compression (Algorithm 3).
+/// Per-call convenience over osc::ExchangePlan (exchange_plan.hpp): builds
+/// a transient plan, executes once, tears it down. Repeated identical
+/// exchanges should hold a plan instead and skip the per-call setup.
 ExchangeStats osc_alltoallv(minimpi::Comm& comm, std::span<const double> send,
                             std::span<const std::uint64_t> sendcounts,
                             std::span<const std::uint64_t> senddispls,

@@ -1,0 +1,359 @@
+// Persistent exchange plans: reuse identity, window-cache lifecycle, the
+// fused two-sided transport, and the steady-state guarantees (no window
+// churn, no message posts on the one-sided path, no heap allocation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/decomp.hpp"
+#include "dfft/reshape.hpp"
+#include "minimpi/runtime.hpp"
+#include "osc/exchange_plan.hpp"
+#include "osc/osc_alltoall.hpp"
+
+// ---- Heap-allocation counter -----------------------------------------------
+// Replaces the global (un-aligned) new/delete with a malloc shim that bumps a
+// thread-local counter while armed. Only the arming thread counts, so worker
+// threads and other ranks never perturb an assertion. Aligned news are not
+// replaced; none of the counted paths use them.
+namespace {
+thread_local bool t_count_allocs = false;
+thread_local std::uint64_t t_allocs = 0;
+}  // namespace
+
+// noinline keeps GCC from pairing an inlined free() with a new expression
+// at call sites and warning about a mismatched allocation function.
+#define LFFT_TEST_ALLOC __attribute__((noinline))
+LFFT_TEST_ALLOC void* operator new(std::size_t n) {
+  if (t_count_allocs) ++t_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+LFFT_TEST_ALLOC void* operator new[](std::size_t n) {
+  return ::operator new(n);
+}
+LFFT_TEST_ALLOC void operator delete(void* p) noexcept { std::free(p); }
+LFFT_TEST_ALLOC void operator delete[](void* p) noexcept { std::free(p); }
+LFFT_TEST_ALLOC void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+LFFT_TEST_ALLOC void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace lossyfft::osc {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_ranks;
+
+struct Layout {
+  std::vector<std::uint64_t> sc, sd, rc, rd;
+  std::vector<double> send;
+  std::vector<double> recv;
+};
+
+double cell_value(int s, int d, std::uint64_t k) {
+  return std::sin(0.2 * s + 0.03 * d + 0.002 * static_cast<double>(k)) + 2.0;
+}
+
+// Uneven triangular counts with per-cell values every rank can recompute.
+Layout make_layout(int p, int me) {
+  Layout l;
+  const auto count = [](int s, int d) {
+    return static_cast<std::uint64_t>(2 * s + 3 * d + 1);
+  };
+  l.sc.resize(static_cast<std::size_t>(p));
+  l.sd.resize(static_cast<std::size_t>(p));
+  l.rc.resize(static_cast<std::size_t>(p));
+  l.rd.resize(static_cast<std::size_t>(p));
+  std::uint64_t st = 0, rt = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    l.sc[i] = count(me, r);
+    l.rc[i] = count(r, me);
+    l.sd[i] = st;
+    l.rd[i] = rt;
+    st += l.sc[i];
+    rt += l.rc[i];
+  }
+  l.send.resize(st);
+  l.recv.resize(rt, -999.0);
+  for (int d = 0; d < p; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    for (std::uint64_t k = 0; k < l.sc[i]; ++k) {
+      l.send[l.sd[i] + k] = cell_value(me, d, k);
+    }
+  }
+  return l;
+}
+
+void expect_delivery(int p, int me, const Layout& l, double tol) {
+  for (int s = 0; s < p; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    for (std::uint64_t k = 0; k < l.rc[i]; ++k) {
+      EXPECT_NEAR(l.recv[l.rd[i] + k], cell_value(s, me, k), tol)
+          << "src=" << s << " k=" << k;
+    }
+  }
+}
+
+void expect_same_recv(const Layout& a, const Layout& b) {
+  ASSERT_EQ(a.recv.size(), b.recv.size());
+  for (std::size_t i = 0; i < a.recv.size(); ++i) {
+    EXPECT_EQ(a.recv[i], b.recv[i]) << i;
+  }
+}
+
+// --- Plan reuse: repeated executes are byte-identical to the per-call path --
+
+TEST(PlanReuse, OneSidedByteIdenticalAcrossExecutes) {
+  run_ranks(6, [](Comm& comm) {
+    auto ref = make_layout(6, comm.rank());
+    auto l = make_layout(6, comm.rank());
+    OscOptions o;
+    o.codec = std::make_shared<CastFp32Codec>();
+    o.chunks = 4;
+    const auto rst =
+        osc_alltoallv(comm, ref.send, ref.sc, ref.sd, ref.recv, ref.rc,
+                      ref.rd, o);
+    ExchangePlan plan(comm, PlanBackend::kOneSided, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    for (int it = 0; it < 3; ++it) {
+      std::fill(l.recv.begin(), l.recv.end(), -1.0);
+      const auto st = plan.execute(l.send, l.recv);
+      expect_same_recv(ref, l);
+      EXPECT_EQ(st.wire_bytes, rst.wire_bytes) << "it=" << it;
+      EXPECT_EQ(st.rounds, rst.rounds) << "it=" << it;
+    }
+  });
+}
+
+TEST(PlanReuse, TwoSidedFusedByteIdenticalAcrossExecutes) {
+  run_ranks(6, [](Comm& comm) {
+    auto ref = make_layout(6, comm.rank());
+    auto l = make_layout(6, comm.rank());
+    OscOptions o;
+    o.codec = std::make_shared<BitTrimCodec>(20);
+    const auto rst = compressed_alltoallv(comm, ref.send, ref.sc, ref.sd,
+                                          ref.recv, ref.rc, ref.rd, o);
+    ExchangePlan plan(comm, PlanBackend::kTwoSided, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    for (int it = 0; it < 3; ++it) {
+      std::fill(l.recv.begin(), l.recv.end(), -1.0);
+      const auto st = plan.execute(l.send, l.recv);
+      expect_same_recv(ref, l);
+      EXPECT_EQ(st.wire_bytes, rst.wire_bytes) << "it=" << it;
+    }
+  });
+}
+
+TEST(PlanReuse, VariableCodecPlanMatchesPerCall) {
+  run_ranks(5, [](Comm& comm) {
+    auto ref = make_layout(5, comm.rank());
+    auto l = make_layout(5, comm.rank());
+    OscOptions o;
+    o.codec = std::make_shared<SzqCodec>(1e-7);
+    const auto rst =
+        osc_alltoallv(comm, ref.send, ref.sc, ref.sd, ref.recv, ref.rc,
+                      ref.rd, o);
+    ExchangePlan plan(comm, PlanBackend::kOneSided, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    for (int it = 0; it < 3; ++it) {
+      std::fill(l.recv.begin(), l.recv.end(), -1.0);
+      const auto st = plan.execute(l.send, l.recv);
+      expect_same_recv(ref, l);
+      EXPECT_EQ(st.wire_bytes, rst.wire_bytes) << "it=" << it;
+    }
+  });
+}
+
+TEST(PlanReuse, ReshapeRepeatedExecutesAreByteIdentical) {
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{12, 10, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 0, 4);
+    ReshapeOptions ro;
+    ro.backend = ExchangeBackend::kOsc;
+    ro.codec = std::make_shared<CastFp32Codec>();
+    Reshape<double> shape(comm, bricks, pencils, ro);
+    Reshape<double> fresh(comm, bricks, pencils, ro);
+    const auto in_n = static_cast<std::size_t>(shape.inbox().count());
+    const auto out_n = static_cast<std::size_t>(shape.outbox().count());
+    std::vector<double> in(in_n), first(out_n), out(out_n);
+    Xoshiro256 rng(17 + static_cast<std::uint64_t>(comm.rank()));
+    fill_uniform(rng, in);
+    shape.execute(std::span<const double>(in), std::span<double>(first));
+    for (int it = 0; it < 3; ++it) {
+      std::fill(out.begin(), out.end(), -1.0);
+      shape.execute(std::span<const double>(in), std::span<double>(out));
+      for (std::size_t i = 0; i < out_n; ++i) {
+        EXPECT_EQ(out[i], first[i]) << "it=" << it << " i=" << i;
+      }
+    }
+    // A plan-fresh Reshape of the same decomposition agrees bytewise.
+    std::fill(out.begin(), out.end(), -1.0);
+    fresh.execute(std::span<const double>(in), std::span<double>(out));
+    for (std::size_t i = 0; i < out_n; ++i) EXPECT_EQ(out[i], first[i]) << i;
+  });
+}
+
+// --- Window cache: several live plans, out-of-order teardown ---------------
+
+TEST(WindowCache, MultipleLivePlansAndOutOfOrderTeardown) {
+  run_ranks(4, [](Comm& comm) {
+    const int p = 4;
+    auto la = make_layout(p, comm.rank());
+    auto lb = make_layout(p, comm.rank());
+    auto lc = make_layout(p, comm.rank());
+    OscOptions raw;
+    OscOptions fp32;
+    fp32.codec = std::make_shared<CastFp32Codec>();
+    OscOptions trim;
+    trim.codec = std::make_shared<BitTrimCodec>(20);
+    // Three plans (three cached windows) alive at once.
+    auto a = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                            la.sc, la.sd, la.rc, la.rd,
+                                            std::span<double>(la.recv), raw);
+    auto b = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                            lb.sc, lb.sd, lb.rc, lb.rd,
+                                            std::span<double>(lb.recv), fp32);
+    auto c = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                            lc.sc, lc.sd, lc.rc, lc.rd,
+                                            std::span<double>(lc.recv), trim);
+    a->execute(la.send, la.recv);
+    b->execute(lb.send, lb.recv);
+    c->execute(lc.send, lc.recv);
+    expect_delivery(p, comm.rank(), la, 0.0);
+    expect_delivery(p, comm.rank(), lb, 3e-7);
+    expect_delivery(p, comm.rank(), lc, std::ldexp(1.0, -20));
+    // Tear down out of creation order (collectively — all ranks agree on
+    // the order), then bring up a fourth plan while C is still live.
+    b.reset();
+    a.reset();
+    auto ld = make_layout(p, comm.rank());
+    auto d = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                            ld.sc, ld.sd, ld.rc, ld.rd,
+                                            std::span<double>(ld.recv), fp32);
+    d->execute(ld.send, ld.recv);
+    std::fill(lc.recv.begin(), lc.recv.end(), -1.0);
+    c->execute(lc.send, lc.recv);
+    expect_delivery(p, comm.rank(), ld, 3e-7);
+    expect_delivery(p, comm.rank(), lc, std::ldexp(1.0, -20));
+  });
+}
+
+// --- Fused vs staged: byte identity across the eager/rendezvous crossover --
+
+TEST(FusedRendezvous, MatchesStagedAcrossThresholdsAndCodecs) {
+  // SIZE_MAX forces every message through the eager (copy-through-envelope)
+  // transport, 0 forces rendezvous for every nonempty message, 4096 is the
+  // default crossover (this layout straddles it).
+  const std::size_t thresholds[] = {minimpi::kEagerOnlyThreshold, 4096, 0};
+  for (const std::size_t threshold : thresholds) {
+    minimpi::MinimpiOptions mo;
+    mo.rendezvous_threshold = threshold;
+    run_ranks(5, mo, [&](Comm& comm) {
+      const auto codecs = [] {
+        std::vector<CodecPtr> cs;
+        cs.push_back(std::make_shared<CastFp32Codec>());
+        cs.push_back(std::make_shared<BitTrimCodec>(20));
+        cs.push_back(std::make_shared<SzqCodec>(1e-6));
+        cs.push_back(std::make_shared<ByteplaneRleCodec>());
+        return cs;
+      }();
+      for (const CodecPtr& codec : codecs) {
+        auto staged = make_layout(5, comm.rank());
+        auto fused = make_layout(5, comm.rank());
+        OscOptions so;
+        so.codec = codec;
+        so.fused = false;
+        OscOptions fo = so;
+        fo.fused = true;
+        const auto sst =
+            compressed_alltoallv(comm, staged.send, staged.sc, staged.sd,
+                                 staged.recv, staged.rc, staged.rd, so);
+        const auto fst =
+            compressed_alltoallv(comm, fused.send, fused.sc, fused.sd,
+                                 fused.recv, fused.rc, fused.rd, fo);
+        expect_same_recv(staged, fused);
+        EXPECT_EQ(sst.wire_bytes, fst.wire_bytes) << "threshold=" << threshold;
+      }
+    });
+  }
+}
+
+// --- Steady state: no window churn, no message posts, no heap allocation ---
+
+TEST(SteadyState, OneSidedExecuteIsSetupAndAllocationFree) {
+  run_ranks(4, [](Comm& comm) {
+    auto raw = make_layout(4, comm.rank());
+    auto fix = make_layout(4, comm.rank());
+    OscOptions ro;  // Raw bytes, kFence, workers = 1.
+    OscOptions fo;
+    fo.codec = std::make_shared<CastFp32Codec>();
+    ExchangePlan rplan(comm, PlanBackend::kOneSided, raw.sc, raw.sd, raw.rc,
+                       raw.rd, std::span<double>(raw.recv), ro);
+    ExchangePlan fplan(comm, PlanBackend::kOneSided, fix.sc, fix.sd, fix.rc,
+                       fix.rd, std::span<double>(fix.recv), fo);
+    // Warm epoch: caches the barrier pointer and passes first_execute_.
+    rplan.execute(raw.send, raw.recv);
+    fplan.execute(fix.send, fix.recv);
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    for (int it = 0; it < 3; ++it) {
+      rplan.execute(raw.send, raw.recv);
+      fplan.execute(fix.send, fix.recv);
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    // No rank created a window, posted a message, or allocated: the fenced
+    // one-sided plan moves bytes with puts and barriers only.
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(comm.state().message_post_count(), m0);
+    EXPECT_EQ(t_allocs, 0u);
+    expect_delivery(4, comm.rank(), raw, 0.0);
+    expect_delivery(4, comm.rank(), fix, 3e-7);
+  });
+}
+
+TEST(SteadyState, ReshapeExecuteIsAllocationFree) {
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{12, 10, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 0, 4);
+    ReshapeOptions ro;
+    ro.backend = ExchangeBackend::kOsc;
+    ro.codec = std::make_shared<CastFp32Codec>();
+    Reshape<double> shape(comm, bricks, pencils, ro);
+    std::vector<double> in(static_cast<std::size_t>(shape.inbox().count())),
+        out(static_cast<std::size_t>(shape.outbox().count()));
+    Xoshiro256 rng(23 + static_cast<std::uint64_t>(comm.rank()));
+    fill_uniform(rng, in);
+    shape.execute(std::span<const double>(in), std::span<double>(out));
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    for (int it = 0; it < 3; ++it) {
+      shape.execute(std::span<const double>(in), std::span<double>(out));
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(t_allocs, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft::osc
