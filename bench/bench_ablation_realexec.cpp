@@ -162,22 +162,35 @@ int main(int argc, char** argv) {
       CodecPtr codec;           // nullptr = raw bytes.
       bool fused = true;        // Two-sided codec paths only.
       bool eager_only = false;  // Force the copy-through-envelope transport.
+      osc::OscSync sync = osc::OscSync::kFence;  // One-sided epoch close.
+      int workers = 1;          // >1 enables pool-pipelined target decode.
     };
+    constexpr auto kPscw = osc::OscSync::kPscw;
     const XCfg xcfgs[] = {
         {"osc raw", XMode::kOscCall, nullptr},
         {"osc raw plan", XMode::kOscPlan, nullptr},
+        {"osc raw pscw plan", XMode::kOscPlan, nullptr, true, false, kPscw},
         {"pairwise raw", XMode::kPairwise, nullptr},
         {"pairwise raw eager", XMode::kPairwise, nullptr, true, true},
         {"fp32 osc", XMode::kOscCall, fp32},
         {"fp32 osc plan", XMode::kOscPlan, fp32},
+        {"fp32 osc pscw plan", XMode::kOscPlan, fp32, true, false, kPscw},
+        {"fp32 osc pscw piped plan", XMode::kOscPlan, fp32, true, false, kPscw,
+         4},
         {"fp32 twosided staged", XMode::kTwoCall, fp32, false},
         {"fp32 twosided fused", XMode::kTwoCall, fp32, true},
         {"fp32 twosided plan", XMode::kTwoPlan, fp32, true},
         {"bittrim20 osc", XMode::kOscCall, trim20},
         {"bittrim20 osc plan", XMode::kOscPlan, trim20},
+        {"bittrim20 osc pscw plan", XMode::kOscPlan, trim20, true, false,
+         kPscw},
+        {"bittrim20 osc pscw piped plan", XMode::kOscPlan, trim20, true, false,
+         kPscw, 4},
         {"bittrim20 twosided staged", XMode::kTwoCall, trim20, false},
         {"bittrim20 twosided fused", XMode::kTwoCall, trim20, true},
         {"bittrim20 twosided plan", XMode::kTwoPlan, trim20, true},
+        {"szq1e-6 osc plan", XMode::kOscPlan, szq6},
+        {"szq1e-6 osc pscw plan", XMode::kOscPlan, szq6, true, false, kPscw},
     };
     TablePrinter xt({"exchange only", "ms/exchange", "wire ratio"});
     for (const auto& xcfg : xcfgs) {
@@ -198,6 +211,8 @@ int main(int argc, char** argv) {
         osc::OscOptions oo;
         oo.codec = xcfg.codec;
         oo.fused = xcfg.fused;
+        oo.sync = xcfg.sync;
+        oo.workers = xcfg.workers;
         std::unique_ptr<osc::ExchangePlan> plan;
         if (xcfg.mode == XMode::kOscPlan || xcfg.mode == XMode::kTwoPlan) {
           plan = std::make_unique<osc::ExchangePlan>(

@@ -1,6 +1,7 @@
 #include "compress/lossless.hpp"
 
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -39,6 +40,16 @@ void rle_decode(const std::byte* in, std::size_t in_bytes, std::byte* out,
   LFFT_REQUIRE(o == n, "rle: plane underflow");
 }
 
+// Reused per-thread byteplane scratch: steady-state plan executes must not
+// allocate, codec calls included. Per-thread because ranks are threads and
+// pool workers decode concurrently; grown on warm-up, recycled after.
+thread_local std::vector<std::byte> t_plane;
+
+std::span<std::byte> plane_scratch(std::size_t n) {
+  if (t_plane.size() < n) t_plane.resize(n);
+  return std::span<std::byte>(t_plane.data(), n);
+}
+
 }  // namespace
 
 std::size_t ByteplaneRleCodec::max_compressed_bytes(std::size_t n) const {
@@ -55,7 +66,7 @@ std::size_t ByteplaneRleCodec::compress(std::span<const double> in,
   std::memcpy(out.data(), &n, 8);
   std::size_t pos = 8;
 
-  std::vector<std::byte> plane(in.size());
+  const std::span<std::byte> plane = plane_scratch(in.size());
   const auto* raw = reinterpret_cast<const std::byte*>(in.data());
   for (int b = 0; b < 8; ++b) {
     for (std::size_t i = 0; i < in.size(); ++i) {
@@ -79,7 +90,7 @@ void ByteplaneRleCodec::decompress(std::span<const std::byte> in,
   LFFT_REQUIRE(n == out.size(), "rle: element count mismatch");
   std::size_t pos = 8;
 
-  std::vector<std::byte> plane(out.size());
+  const std::span<std::byte> plane = plane_scratch(out.size());
   auto* raw = reinterpret_cast<std::byte*>(out.data());
   for (int b = 0; b < 8; ++b) {
     LFFT_REQUIRE(pos + 8 <= in.size(), "rle: truncated plane header");

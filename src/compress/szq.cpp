@@ -1,5 +1,6 @@
 #include "compress/szq.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -31,6 +32,13 @@ int bit_width_of(std::uint64_t v) {
   }
   return w;
 }
+
+// Reused per-thread scratch: steady-state ExchangePlan::execute() is
+// allocation-free, which extends into the codec calls it makes. Ranks are
+// threads (and pool workers decode concurrently), so the scratch must be
+// per-thread; capacity grows on the warm-up epoch and is then recycled.
+thread_local std::vector<double> t_outliers;
+thread_local std::vector<std::int64_t> t_quant;
 
 }  // namespace
 
@@ -64,8 +72,9 @@ std::size_t SzqCodec::compress(std::span<const double> in,
   std::memcpy(out.data(), &n, 8);
   std::size_t pos = 8;
 
-  std::vector<double> outliers;
-  std::vector<std::uint64_t> zz(kBlock);
+  std::vector<double>& outliers = t_outliers;
+  outliers.clear();
+  std::array<std::uint64_t, kBlock> zz;
   double prev = 0.0;  // Previous *reconstructed* value (decoder agrees).
   const double quantum = 2.0 * eb_;
 
@@ -117,7 +126,8 @@ void SzqCodec::decompress(std::span<const std::byte> in,
   std::size_t pos = 8;
 
   // First pass: decode quantized indices.
-  std::vector<std::int64_t> q(out.size());
+  if (t_quant.size() < out.size()) t_quant.resize(out.size());
+  std::vector<std::int64_t>& q = t_quant;
   for (std::size_t base = 0; base < out.size(); base += kBlock) {
     const std::size_t bn = std::min(kBlock, out.size() - base);
     LFFT_REQUIRE(pos < in.size(), "szq: truncated stream");

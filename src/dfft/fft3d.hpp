@@ -59,8 +59,14 @@ struct Fft3dOptions {
   int fft_workers = 1;
 
   ReshapeOptions reshape_options() const {
-    return ReshapeOptions{backend,  codec,    osc_chunks,
-                          gpus_per_node, osc_sync, reshape_workers};
+    ReshapeOptions ro;
+    ro.backend = backend;
+    ro.codec = codec;
+    ro.osc_chunks = osc_chunks;
+    ro.gpus_per_node = gpus_per_node;
+    ro.osc_sync = osc_sync;
+    ro.workers = reshape_workers;
+    return ro;
   }
 };
 

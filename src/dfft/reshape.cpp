@@ -54,6 +54,26 @@ void unpack_subvolume(const Box3& box, const Box3& sub, E* box_data,
   }
 }
 
+// unpack_subvolume reading from raw bytes of unknown alignment (an eager
+// envelope or a peer's published staging): row copies addressed in bytes.
+template <typename E>
+void unpack_subvolume_bytes(const Box3& box, const Box3& sub, E* box_data,
+                            const std::byte* staged) {
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(sub.size[0]) * sizeof(E);
+  std::size_t s = 0;
+  for (int z = sub.lo[2]; z < sub.hi(2); ++z) {
+    for (int y = sub.lo[1]; y < sub.hi(1); ++y) {
+      std::memcpy(box_data + subvolume_row_base<E>(box, sub, y, z), staged + s,
+                  row_bytes);
+      s += row_bytes;
+    }
+  }
+}
+
+// Clear of user tags and the other reserved transport tags.
+constexpr int kReshapeFusedTag = (1 << 28) + 73;
+
 int resolve_workers(int requested) {
   if (requested == 0) return WorkerPool::global().concurrency();
   return requested > 1 ? requested : 1;
@@ -107,8 +127,18 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
                "reshape: output boxes do not tile this rank's inbox");
   LFFT_REQUIRE(recv_total_ == static_cast<std::uint64_t>(my_out.count()),
                "reshape: input boxes do not tile this rank's outbox");
+  // Will this rank exchange through a persistent plan (codec / kOsc), or
+  // through the raw two-sided path? The fused raw pairwise exchange unpacks
+  // straight out of the sender's buffer, so recvbuf_ would be dead weight —
+  // leave it unallocated.
+  bool planned = false;
+  if constexpr (kReshapeDoubleBased<E>) {
+    planned = options_.codec || options_.backend == ExchangeBackend::kOsc;
+  }
+  fused_raw_ = !planned && options_.fused_raw &&
+               options_.backend == ExchangeBackend::kPairwise;
   sendbuf_.resize(send_total_);
-  recvbuf_.resize(recv_total_);
+  if (!fused_raw_) recvbuf_.resize(recv_total_);
   // Pack/unpack fan-outs clamp against the staging volume: below the
   // bytes-per-shard floor the memcpy loops run serially on the rank
   // thread (submit/steal overhead beats the copies there).
@@ -219,6 +249,17 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
   }
   if (!exchanged) {
     // Raw two-sided path (also the only path for float-based fields).
+    const std::uint64_t sent = send_total_ * sizeof(E);
+    stats_.payload_bytes += sent;
+    stats_.wire_bytes += sent;
+    stats_.rounds += comm_.size();
+    stats_.messages += comm_.size() - 1;
+    if (fused_raw_) {
+      // Exchange and unpack are one pass; recvbuf_ does not exist.
+      execute_raw_fused(out);
+      stats_.seconds += watch.seconds();
+      return;
+    }
     minimpi::alltoallv(comm_, std::as_bytes(std::span<const E>(sendbuf_)),
                        byte_send_counts_, byte_send_displs_,
                        std::as_writable_bytes(std::span<E>(recvbuf_)),
@@ -226,11 +267,6 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
                        options_.backend == ExchangeBackend::kLinear
                            ? minimpi::AlltoallAlgorithm::kLinear
                            : minimpi::AlltoallAlgorithm::kPairwise);
-    const std::uint64_t sent = send_total_ * sizeof(E);
-    stats_.payload_bytes += sent;
-    stats_.wire_bytes += sent;
-    stats_.rounds += comm_.size();
-    stats_.messages += comm_.size() - 1;
   }
 
   // Unpack: sources read disjoint staging slices and write disjoint
@@ -249,6 +285,49 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
     unpack_range(0, recv_boxes_.size());
   }
   stats_.seconds += watch.seconds();
+}
+
+template <typename E>
+void Reshape<E>::execute_raw_fused(std::span<E> out) {
+  // Pairwise rounds with the unpack fused into the receive: recv_consume
+  // hands us the message payload in place — the sender's sendbuf_ slice for
+  // rendezvous messages, the pooled envelope for eager ones — and we scatter
+  // its rows straight into `out`. The staged path's recvbuf_ copy is gone;
+  // results are byte-identical (same rows, same sources, one fewer hop).
+  const Box3& my_out = all_out_[static_cast<std::size_t>(rank_)];
+  const int p = comm_.size();
+  const auto me = static_cast<std::size_t>(rank_);
+
+  // Self overlap: unpack directly from the packed send staging.
+  if (recv_counts_[me] > 0) {
+    unpack_subvolume(my_out, recv_boxes_[me], out.data(),
+                     sendbuf_.data() + send_displs_[me]);
+  }
+
+  for (int j = 1; j < p; ++j) {
+    const auto dst = static_cast<std::size_t>((rank_ + j) % p);
+    const auto src = static_cast<std::size_t>((rank_ - j + p) % p);
+    minimpi::Comm::Request req;
+    bool sent = false;
+    if (byte_send_counts_[dst] > 0) {
+      req = comm_.isend(
+          std::as_bytes(std::span<const E>(sendbuf_))
+              .subspan(byte_send_displs_[dst], byte_send_counts_[dst]),
+          static_cast<int>(dst), kReshapeFusedTag);
+      sent = true;
+    }
+    if (byte_recv_counts_[src] > 0) {
+      comm_.recv_consume(
+          static_cast<int>(src), kReshapeFusedTag,
+          [&](std::span<const std::byte> payload) {
+            LFFT_REQUIRE(payload.size() == byte_recv_counts_[src],
+                         "reshape: fused raw payload size mismatch");
+            unpack_subvolume_bytes(my_out, recv_boxes_[src], out.data(),
+                                   payload.data());
+          });
+    }
+    if (sent) comm_.wait(req);
+  }
 }
 
 template class Reshape<float>;

@@ -43,6 +43,13 @@ struct ReshapeOptions {
   int osc_chunks = 8;
   int gpus_per_node = 6;
   osc::OscSync osc_sync = osc::OscSync::kFence;
+  /// Raw two-sided kPairwise path (no codec): fuse the receive-side unpack
+  /// into the transport — recv_consume reads each sub-volume straight from
+  /// the sender's published buffer (rendezvous) or the eager envelope, so
+  /// nothing stages through recvbuf_ and the buffer is never allocated.
+  /// false selects the staged alltoallv baseline; results are
+  /// byte-identical either way (reshape_test locks this down).
+  bool fused_raw = true;
   /// Codec/pack worker shards: 1 = serial (default), 0 = the process-wide
   /// pool's full concurrency, k > 1 = fan out to k shards. Parallelism is
   /// an execution detail: packed bytes, wire bytes, and results are
@@ -113,6 +120,13 @@ class Reshape {
   /// (WorkerPool::effective_shards) against this plan's staging totals, so
   /// small reshapes stay serial where fan-out overhead dominates.
   int pack_shards_ = 1, unpack_shards_ = 1;
+  /// Resolved at construction: the raw pairwise exchange runs fused
+  /// (recv_consume straight into `out`; recvbuf_ stays unallocated).
+  bool fused_raw_ = false;
+
+  /// The fused raw exchange: pairwise isend/recv_consume rounds that unpack
+  /// each source's sub-volume directly from the sender's buffer into `out`.
+  void execute_raw_fused(std::span<E> out);
 
   std::vector<E> sendbuf_, recvbuf_;
   /// Persistent exchange plan (codec / kOsc paths; null otherwise). Pins a

@@ -7,6 +7,20 @@ namespace lossyfft::minimpi::detail {
 EnvelopePool::EnvelopePool(int shards) {
   LFFT_REQUIRE(shards > 0, "envelope pool needs at least one shard");
   for (int i = 0; i < shards; ++i) shards_.emplace_back();
+  // Seed every shard: fire-and-forget zero-byte traffic (barrier-free PSCW
+  // handshakes) leaves a scheduling-dependent number of envelopes in
+  // flight, and seeding keeps those bursts from growing the slab once a
+  // plan's steady state begins. ~8 KiB per shard.
+  constexpr int kSeedEnvelopes = 16;
+  for (int i = 0; i < shards; ++i) {
+    Shard& s = shards_[static_cast<std::size_t>(i)];
+    s.free.reserve(kSeedEnvelopes * 2);
+    for (int k = 0; k < kSeedEnvelopes; ++k) {
+      Envelope& e = s.slab.emplace_back();
+      e.pool_shard = i;
+      s.free.push_back(&e);
+    }
+  }
 }
 
 Envelope* EnvelopePool::acquire(int shard, int src, int tag, ContextId ctx) {
@@ -42,7 +56,13 @@ void EnvelopePool::release(Envelope* e) {
 void Mailbox::push(Envelope* e) {
   {
     std::lock_guard lk(mu_);
-    q_.push_back(e);
+    e->qnext = nullptr;
+    if (tail_ == nullptr) {
+      head_ = e;
+    } else {
+      tail_->qnext = e;
+    }
+    tail_ = e;
   }
   cv_.notify_all();
 }
@@ -54,30 +74,33 @@ bool matches(const Envelope& e, int src, int tag, ContextId ctx) {
 }
 }  // namespace
 
+Envelope* Mailbox::unlink_match(int src, int tag, ContextId ctx) {
+  Envelope* prev = nullptr;
+  for (Envelope* e = head_; e != nullptr; prev = e, e = e->qnext) {
+    if (!matches(*e, src, tag, ctx)) continue;
+    if (prev == nullptr) {
+      head_ = e->qnext;
+    } else {
+      prev->qnext = e->qnext;
+    }
+    if (tail_ == e) tail_ = prev;
+    e->qnext = nullptr;
+    return e;
+  }
+  return nullptr;
+}
+
 Envelope* Mailbox::pop_match(int src, int tag, ContextId ctx) {
   std::unique_lock lk(mu_);
   for (;;) {
-    for (auto it = q_.begin(); it != q_.end(); ++it) {
-      if (matches(**it, src, tag, ctx)) {
-        Envelope* e = *it;
-        q_.erase(it);
-        return e;
-      }
-    }
+    if (Envelope* e = unlink_match(src, tag, ctx)) return e;
     cv_.wait(lk);
   }
 }
 
 Envelope* Mailbox::try_pop_match(int src, int tag, ContextId ctx) {
   std::lock_guard lk(mu_);
-  for (auto it = q_.begin(); it != q_.end(); ++it) {
-    if (matches(**it, src, tag, ctx)) {
-      Envelope* e = *it;
-      q_.erase(it);
-      return e;
-    }
-  }
-  return nullptr;
+  return unlink_match(src, tag, ctx);
 }
 
 SharedState::SharedState(int world_size, const MinimpiOptions& options)

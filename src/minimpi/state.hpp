@@ -38,6 +38,7 @@ struct Envelope {
   std::vector<std::byte> data;           // Eager payload storage.
   const std::byte* zptr = nullptr;       // Rendezvous: sender's buffer.
   std::atomic<std::uint32_t> done{0};    // Rendezvous completion flag.
+  Envelope* qnext = nullptr;             // Mailbox intrusive FIFO link.
 };
 
 /// Free-list over per-sender slabs of envelopes. Each world rank owns a
@@ -75,10 +76,13 @@ class EnvelopePool {
 /// Per-rank receive queue with MPI-style (source, tag, context) matching.
 /// Matching is FIFO per (src, tag, ctx) triple: the first enqueued envelope
 /// that satisfies the pattern wins, which preserves MPI's non-overtaking
-/// guarantee for messages between a fixed pair of ranks. The queue holds
-/// pool-owned pointers; push/pop mutex ordering gives the happens-before
-/// edge that makes the receiver's read of the sender's buffer (rendezvous)
-/// or of `data` (eager) race-free.
+/// guarantee for messages between a fixed pair of ranks. The queue is an
+/// intrusive list threaded through the pool-owned envelopes (`qnext`), so
+/// steady-state push/pop never allocates — a deque would buy a fresh node
+/// every buffer's worth of traffic — and mid-queue unlinks are O(1) once
+/// matched. Push/pop mutex ordering gives the happens-before edge that
+/// makes the receiver's read of the sender's buffer (rendezvous) or of
+/// `data` (eager) race-free.
 class Mailbox {
  public:
   void push(Envelope* e);
@@ -91,9 +95,13 @@ class Mailbox {
   Envelope* try_pop_match(int src, int tag, ContextId ctx);
 
  private:
+  /// Unlink and return the first queued match, or nullptr. Caller holds mu_.
+  Envelope* unlink_match(int src, int tag, ContextId ctx);
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Envelope*> q_;
+  Envelope* head_ = nullptr;
+  Envelope* tail_ = nullptr;
 };
 
 /// Centralized sense-reversing barrier over the shared address space: one

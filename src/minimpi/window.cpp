@@ -1,10 +1,26 @@
 #include "minimpi/window.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/error.hpp"
 
 namespace lossyfft::minimpi {
+
+namespace {
+
+std::uint64_t* header_word(std::span<std::byte> window,
+                           std::size_t slot_offset) {
+  LFFT_REQUIRE(slot_offset + kHeaderWordBytes <= window.size(),
+               "header: slot beyond window");
+  std::byte* const addr = window.data() + slot_offset;
+  LFFT_REQUIRE(reinterpret_cast<std::uintptr_t>(addr) % alignof(std::uint64_t)
+                   == 0,
+               "header: slot offset must be 8-aligned");
+  return reinterpret_cast<std::uint64_t*>(addr);
+}
+
+}  // namespace
 
 Window::Window(Comm& comm, std::span<std::byte> local)
     : comm_(comm), epoch_(comm.next_window_epoch()) {
@@ -48,6 +64,46 @@ void Window::get(std::span<std::byte> dest, int target_rank,
   if (!dest.empty()) {
     std::memcpy(dest.data(), target.data() + target_offset, dest.size());
   }
+}
+
+void Window::put_with_header(std::span<const std::byte> payload,
+                             int target_rank, std::size_t slot_offset,
+                             std::uint64_t header) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "put_with_header: bad target rank");
+  std::span<std::byte> target =
+      exposure_->spans[static_cast<std::size_t>(target_rank)];
+  LFFT_REQUIRE(slot_offset + kHeaderWordBytes + payload.size() <=
+                   target.size(),
+               "put_with_header: write beyond target window");
+  // Validate the header word (bounds + alignment) before touching the
+  // payload bytes, so a rejected put leaves the slot untouched.
+  std::uint64_t* const hw = header_word(target, slot_offset);
+  if (!payload.empty()) {
+    std::memcpy(target.data() + slot_offset + kHeaderWordBytes, payload.data(),
+                payload.size());
+  }
+  // Release after the payload memcpy: an acquire-loader of this word sees
+  // the payload complete.
+  std::atomic_ref<std::uint64_t>(*hw).store(header, std::memory_order_release);
+}
+
+void Window::put_header(int target_rank, std::size_t slot_offset,
+                        std::uint64_t header) {
+  LFFT_REQUIRE(target_rank >= 0 && target_rank < comm_.size(),
+               "put_header: bad target rank");
+  std::span<std::byte> target =
+      exposure_->spans[static_cast<std::size_t>(target_rank)];
+  std::atomic_ref<std::uint64_t>(*header_word(target, slot_offset))
+      .store(header, std::memory_order_release);
+}
+
+std::uint64_t Window::read_local_header(std::size_t slot_offset) const {
+  std::span<std::byte> local =
+      exposure_->spans[static_cast<std::size_t>(comm_.rank())];
+  // atomic_ref<const T> arrives only in C++26; the load itself is read-only.
+  return std::atomic_ref<std::uint64_t>(*header_word(local, slot_offset))
+      .load(std::memory_order_acquire);
 }
 
 void Window::accumulate_add(std::span<const double> origin, int target_rank,

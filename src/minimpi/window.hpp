@@ -22,6 +22,14 @@
 
 namespace lossyfft::minimpi {
 
+/// Size of the per-slot header word used by put_with_header/put_header:
+/// one u64 at the front of a slot, written with release semantics after the
+/// slot's payload so a target that acquire-loads it (read_local_header)
+/// observes the complete payload — MPI_Put with notification, the primitive
+/// that lets a receiver consume one source's slot while other sources are
+/// still putting elsewhere in the window.
+inline constexpr std::size_t kHeaderWordBytes = sizeof(std::uint64_t);
+
 class Window {
  public:
   /// Collective: every rank of `comm` exposes `local`. Spans may have
@@ -43,6 +51,30 @@ class Window {
   /// Copy from `target_rank`'s exposed buffer into `dest`.
   void get(std::span<std::byte> dest, int target_rank,
            std::size_t target_offset);
+
+  // --- Put with notification (header word) --------------------------------
+  // A "slot" is [u64 header][payload...] at an 8-aligned window offset. The
+  // header word carries caller-defined metadata (epoch sequence + payload
+  // byte count in the exchange plan) and doubles as the completion flag:
+  // it is stored with memory_order_release *after* the payload bytes, so a
+  // target that acquire-loads the expected value may read the payload
+  // without any further synchronization.
+
+  /// Copy `payload` to `slot_offset + kHeaderWordBytes` on `target_rank`,
+  /// then release-store `header` into the slot's header word.
+  /// `slot_offset` must be 8-aligned within the target's window.
+  void put_with_header(std::span<const std::byte> payload, int target_rank,
+                       std::size_t slot_offset, std::uint64_t header);
+
+  /// Release-store just the header word (for slots whose payload was
+  /// already delivered by earlier chunked put() calls).
+  void put_header(int target_rank, std::size_t slot_offset,
+                  std::uint64_t header);
+
+  /// Target side: acquire-load the header word of a slot in *this rank's*
+  /// exposed buffer. Returns whatever the last put_with_header/put_header
+  /// stored (0 for never-written window memory).
+  std::uint64_t read_local_header(std::size_t slot_offset) const;
 
   /// MPI_Accumulate with MPI_SUM over doubles: element-wise add `origin`
   /// into the target window at byte offset `target_offset` (must be

@@ -17,6 +17,16 @@ namespace {
 // user tags and the alltoallv pairwise/Bruck tags at (1 << 27).
 constexpr int kFusedTag = (1 << 28) + 72;
 
+// Slot header word: (epoch sequence << 48) | compressed payload bytes.
+// 48 bits bound a single slot's payload at 256 TiB — far beyond any
+// max_compressed_bytes this library produces (see the Codec contract).
+constexpr std::uint64_t kHeaderBytesMask = (std::uint64_t{1} << 48) - 1;
+
+std::uint64_t make_slot_header(std::uint16_t seq, std::uint64_t bytes) {
+  LFFT_ASSERT(bytes <= kHeaderBytesMask);
+  return (std::uint64_t{seq} << 48) | bytes;
+}
+
 }  // namespace
 
 ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
@@ -125,7 +135,9 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   // --- One-sided plan: window layout, offsets, schedule -------------------
   // The window holds one slot per source at capacity offsets, so the whole
   // layout is count-derived and survives every epoch; raw mode exposes the
-  // pinned receive buffer itself and slots are the final recvdispls.
+  // pinned receive buffer itself and slots are the final recvdispls. Codec
+  // slots carry an 8-aligned u64 header word ahead of the payload — the
+  // size + completion word put_with_header/put_header release-store.
   slot_offset_.resize(p);
   std::uint64_t window_bytes = 0;
   for (std::size_t i = 0; i < p; ++i) {
@@ -133,7 +145,9 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
       slot_offset_[i] = recvdispls_[i] * sizeof(double);
     } else {
       slot_offset_[i] = window_bytes;
-      window_bytes += recv_wire_cap_[i];
+      window_bytes += minimpi::kHeaderWordBytes + recv_wire_cap_[i];
+      // Keep the next slot's header word 8-aligned.
+      window_bytes = (window_bytes + 7) / 8 * 8;
     }
   }
   // The one-time offset exchange: each receiver tells every source where to
@@ -151,18 +165,9 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
 
   rounds_ = ring_targets(p_, options_.gpus_per_node, comm_.rank());
   const int nodes = static_cast<int>(rounds_.size());
-  const int my_node = comm_.rank() / options_.gpus_per_node;
   if (options_.sync == OscSync::kPscw) {
-    pscw_sources_.resize(static_cast<std::size_t>(nodes));
-    for (int j = 0; j < nodes; ++j) {
-      // Round j's puts into me come from the node at ring distance -j.
-      const int src_node = (my_node - j % nodes + nodes) % nodes;
-      const int base = src_node * options_.gpus_per_node;
-      for (int r = base; r < std::min(p_, base + options_.gpus_per_node);
-           ++r) {
-        pscw_sources_[static_cast<std::size_t>(j)].push_back(r);
-      }
-    }
+    pscw_sources_ = ring_sources(p_, options_.gpus_per_node, comm_.rank());
+    decode_inflight_.reserve(p);
   }
 
   if (raw_ || !fixed_) {
@@ -187,8 +192,9 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
       std::uint64_t wire_off = 0;
       for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
         const std::uint64_t cap = codec_->max_compressed_bytes(c);
-        jobs.push_back(PlanChunk{dst, elem, c, round_off, cap,
-                                 target_offset_[d] + wire_off});
+        jobs.push_back(PlanChunk{
+            dst, elem, c, round_off, cap,
+            target_offset_[d] + minimpi::kHeaderWordBytes + wire_off});
         round_off += cap;
         elem += c;
         wire_off += cap;
@@ -200,18 +206,21 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   stage_.resize(slab);
   inflight_.reserve(max_jobs);
 
+  unpack_range_.resize(p);
   for (std::size_t s = 0; s < p; ++s) {
+    const std::size_t begin = unpack_jobs_.size();
     const std::uint64_t count = recvcounts_[s];
-    if (count == 0) continue;
     std::uint64_t elem = 0;
     std::uint64_t wire_off = 0;
     for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
       const std::uint64_t cap = codec_->max_compressed_bytes(c);
-      unpack_jobs_.push_back(PlanChunk{static_cast<int>(s), elem, c,
-                                       slot_offset_[s] + wire_off, cap, 0});
+      unpack_jobs_.push_back(PlanChunk{
+          static_cast<int>(s), elem, c,
+          slot_offset_[s] + minimpi::kHeaderWordBytes + wire_off, cap, 0});
       elem += c;
       wire_off += cap;
     }
+    unpack_range_[s] = {begin, unpack_jobs_.size()};
   }
 }
 
@@ -231,10 +240,16 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
                                               std::span<double> recv) {
   ExchangeStats stats;
   stats.rounds = static_cast<int>(rounds_.size());
+  // Epoch sequence stamped into every slot header this execute. Execution
+  // is collective and plans run in lockstep, so sender and receiver always
+  // agree on the expected value; a stale header (sync bug) trips the
+  // decode-side assert instead of decoding garbage.
+  const auto seq = static_cast<std::uint16_t>(++epoch_seq_);
 
-  // --- Variable codec: compress up front, exchange the actual sizes ------
-  // The only per-execute collective a plan ever runs, and only because the
-  // sizes are data-dependent. Fixed codecs know every size from the plan.
+  // --- Variable codec: compress every destination up front ----------------
+  // The data-dependent sizes ride in the slot header words (written by the
+  // same put as the payload), so no size collective runs — steady-state
+  // execute() is collective-free for every codec class.
   if (!raw_ && !fixed_) {
     const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
@@ -250,24 +265,31 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
     } else {
       compress_dst(0, static_cast<std::size_t>(p_));
     }
-    minimpi::alltoall(
-        comm_, std::as_bytes(std::span<const std::uint64_t>(send_wire_)),
-        std::as_writable_bytes(std::span<std::uint64_t>(recv_wire_)),
-        sizeof(std::uint64_t));
   }
 
   // --- Epoch open ---------------------------------------------------------
-  // The opening fence keeps epoch N+1's puts out of buffers a slower rank
-  // is still draining from epoch N (its unpack/decompress runs after the
-  // closing fence). PSCW needs none: a put blocks on the target's post,
-  // which the target only issues once it re-enters execute. The very first
-  // epoch rides the window-creation barrier from the constructor.
-  if (options_.sync == OscSync::kFence && !first_execute_) win_->fence();
-  first_execute_ = false;
+  // The opening fence keeps this epoch's puts out of buffers the target is
+  // still writing locally: a slower rank draining epoch N-1's decode, or —
+  // raw mode, where the window aliases the caller's receive span — the
+  // caller initializing recv between plan construction and execute. The
+  // first epoch needs it as much as any other (the constructor's window
+  // barrier does not cover caller-side writes issued after it). PSCW needs
+  // none: a put blocks on the target's post, which the target only issues
+  // once it enters execute.
+  if (options_.sync == OscSync::kFence) win_->fence();
 
   // --- Ring of puts (Algorithm 3) -----------------------------------------
+  const bool pscw = options_.sync == OscSync::kPscw;
   const bool pipelined = !raw_ && fixed_ && workers_ > 1 &&
                          WorkerPool::global().workers() > 0;
+  // Target-side pipelined decode (kPscw codec modes): once round j's
+  // exposure epoch closes, each source slot of that round is complete and
+  // its decode+unpack runs while rounds j+1..n are still putting. With
+  // workers the jobs go to the pool (reaped before return); serially they
+  // run inline between rounds — either way ahead of the final
+  // synchronization the fence mode has to wait for.
+  const bool decode_async =
+      pscw && !raw_ && workers_ > 1 && WorkerPool::global().workers() > 0;
   const auto compress_job = [&](const PlanChunk& job) {
     const std::size_t used = codec_->compress(
         send.subspan(senddispls_[static_cast<std::size_t>(job.peer)] +
@@ -280,7 +302,7 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   const int nodes = static_cast<int>(rounds_.size());
   for (int j = 0; j < nodes; ++j) {
     const auto& round = rounds_[static_cast<std::size_t>(j)];
-    if (options_.sync == OscSync::kPscw) {
+    if (pscw) {
       win_->post(pscw_sources_[static_cast<std::size_t>(j)]);
       win_->start(round);
     }
@@ -313,10 +335,12 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
         continue;
       }
       if (!fixed_) {
-        // Pre-compressed: one put of the whole stream.
-        win_->put(std::span<const std::byte>(stage_.data() + stage_off_[d],
-                                             send_wire_[d]),
-                  dst, target_offset_[d]);
+        // Pre-compressed: one put of the whole stream, notify included —
+        // the header word delivers the data-dependent byte count.
+        win_->put_with_header(
+            std::span<const std::byte>(stage_.data() + stage_off_[d],
+                                       send_wire_[d]),
+            dst, target_offset_[d], make_slot_header(seq, send_wire_[d]));
         stats.wire_bytes += send_wire_[d];
         ++stats.chunks_issued;
         continue;
@@ -335,13 +359,30 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
         ++stats.chunks_issued;
         ++next_job;
       }
+      // All of dst's chunks are delivered: raise the notify flag.
+      win_->put_header(dst, target_offset_[d],
+                       make_slot_header(seq, send_wire_cap_[d]));
     }
     // End of round: wait for this round's data movement (Algorithm 3 line
     // 10). Raw fence mode needs no per-round fence — puts target disjoint
     // final recv regions and no staging is recycled between rounds.
-    if (options_.sync == OscSync::kPscw) {
+    if (pscw) {
       win_->complete();
       win_->wait_posted();
+      // Round j's exposure is closed: every source slot of this round is
+      // complete, so its decode can overlap the remaining rounds' puts.
+      if (!raw_) {
+        for (const int src : pscw_sources_[static_cast<std::size_t>(j)]) {
+          const auto s = static_cast<std::size_t>(src);
+          if (recvcounts_[s] == 0) continue;
+          if (decode_async) {
+            decode_inflight_.push_back(WorkerPool::global().submit(
+                [this, s, seq, recv] { decode_source(s, seq, recv); }));
+          } else {
+            decode_source(s, seq, recv);
+          }
+        }
+      }
     } else if (!raw_) {
       win_->fence();
     }
@@ -352,34 +393,21 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
 
   if (raw_) return stats;
 
-  // --- Decompress the received window -------------------------------------
-  if (fixed_) {
-    const auto unpack_range = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const PlanChunk& job = unpack_jobs_[i];
-        codec_->decompress(
-            std::span<const std::byte>(window_store_.data() + job.stage_off,
-                                       job.wire_bytes),
-            recv.subspan(recvdispls_[static_cast<std::size_t>(job.peer)] +
-                             job.elem_off,
-                         job.elem_cnt));
-      }
-    };
-    if (workers_ > 1) {
-      WorkerPool::global().parallel_for(unpack_jobs_.size(), 1, unpack_range,
-                                        workers_);
-    } else {
-      unpack_range(0, unpack_jobs_.size());
-    }
+  if (pscw) {
+    // Every source was decoded (or dispatched) as its round completed;
+    // reap the pool jobs before the next epoch may repost their slots.
+    for (auto& f : decode_inflight_) f.get();
+    decode_inflight_.clear();
     return stats;
   }
+
+  // --- Fence mode: decompress the whole received window -------------------
+  // As the paper does, decode starts only after the final synchronization;
+  // sizes come from the slot headers, never from a collective.
   const auto unpack_src = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
       if (recvcounts_[s] == 0) continue;
-      codec_->decompress(
-          std::span<const std::byte>(window_store_.data() + slot_offset_[s],
-                                     recv_wire_[s]),
-          recv.subspan(recvdispls_[s], recvcounts_[s]));
+      decode_source(s, seq, recv);
     }
   };
   if (workers_ > 1) {
@@ -389,6 +417,33 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
     unpack_src(0, static_cast<std::size_t>(p_));
   }
   return stats;
+}
+
+void ExchangePlan::decode_source(std::size_t s, std::uint16_t seq,
+                                 std::span<double> recv) {
+  const std::uint64_t header = win_->read_local_header(slot_offset_[s]);
+  // The notify flag: a mismatched sequence means the source's put for this
+  // epoch has not landed (or a stale epoch leaked through) — a
+  // synchronization bug, caught here instead of decoding garbage.
+  LFFT_ASSERT(static_cast<std::uint16_t>(header >> 48) == seq);
+  const std::uint64_t wire = header & kHeaderBytesMask;
+  if (fixed_) {
+    LFFT_ASSERT(wire == recv_wire_cap_[s]);
+    const auto [begin, end] = unpack_range_[s];
+    for (std::size_t i = begin; i < end; ++i) {
+      const PlanChunk& job = unpack_jobs_[i];
+      codec_->decompress(
+          std::span<const std::byte>(window_store_.data() + job.stage_off,
+                                     job.wire_bytes),
+          recv.subspan(recvdispls_[s] + job.elem_off, job.elem_cnt));
+    }
+    return;
+  }
+  codec_->decompress(
+      std::span<const std::byte>(window_store_.data() + slot_offset_[s] +
+                                     minimpi::kHeaderWordBytes,
+                                 wire),
+      recv.subspan(recvdispls_[s], recvcounts_[s]));
 }
 
 ExchangeStats ExchangePlan::execute_two_sided(std::span<const double> send,

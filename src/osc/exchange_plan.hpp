@@ -10,14 +10,31 @@
 //    instead of create/destroy (two barriers) per call;
 //  * the slot-offset u64 all-to-all, run once at plan time. Slots are laid
 //    out at max_compressed_bytes capacities, so the layout is count-derived
-//    even for variable-rate codecs (whose *actual* sizes still travel per
-//    execute — they are data-dependent);
+//    even for variable-rate codecs;
 //  * codec staging slabs, chunk partitions, ring schedule, PSCW source
 //    lists, and byte-unit count/displ arrays.
 //
+// Wire format of a codec-mode window slot: one 8-aligned u64 header word
+// followed by the payload at max_compressed_bytes capacity. The header
+// packs (epoch sequence << 48 | compressed payload bytes) and is written by
+// the same put that delivers the payload (release-store after the payload
+// memcpy — put-with-notify). That word does two jobs:
+//
+//  * it carries the data-dependent sizes of variable-rate codecs, so their
+//    executes run *zero* collectives in steady state (the old per-execute
+//    u64 size all-to-all is gone for every codec class);
+//  * it is the per-source completion flag behind target-side pipelined
+//    decode: under kPscw epochs, once round j's exposure closes the
+//    receiver verifies each source slot's header and dispatches that
+//    slot's decode+unpack while later ring rounds are still putting —
+//    overlap the decode-after-final-fence schedule (the paper's, and the
+//    fence mode's) cannot offer.
+//
 // Steady-state execute() therefore performs no window create/destroy, no
-// offset exchange, and (fixed-rate codecs, workers == 1) no heap
-// allocation — asserted by counters in tests/exchange_plan_test.cpp.
+// offset exchange, no size collectives, and (workers == 1) no heap
+// allocation for every codec class — asserted by counters in
+// tests/exchange_plan_test.cpp. (With workers > 1 the pipelined compress /
+// decode jobs allocate their task control blocks on submission.)
 //
 // The two-sided path additionally fuses the codec into the transport
 // (Comm::isend_produce / recv_consume): the sender encodes straight into
@@ -95,6 +112,12 @@ class ExchangePlan {
   ExchangeStats execute_two_sided_fused(std::span<const double> send,
                                         std::span<double> recv);
 
+  /// Decode+unpack source `s`'s window slot into `recv`, after verifying
+  /// the slot header's epoch sequence (the put-with-notify flag) matches
+  /// `seq`. Runs on the rank thread or a pool worker; sources touch
+  /// disjoint window and recv regions, so decodes need no coordination.
+  void decode_source(std::size_t s, std::uint16_t seq, std::span<double> recv);
+
   minimpi::Comm& comm_;
   OscOptions options_;
   PlanBackend backend_;
@@ -103,7 +126,6 @@ class ExchangePlan {
   CodecPtr codec_;
   int p_ = 0;
   int workers_ = 1;
-  bool first_execute_ = true;  // Ctor's window barrier covers epoch 0.
 
   std::span<double> recv_pinned_;
   std::vector<std::uint64_t> sendcounts_, senddispls_;
@@ -117,15 +139,21 @@ class ExchangePlan {
   // Two-sided raw: counts/displs rescaled to bytes once.
   std::vector<std::uint64_t> byte_sc_, byte_sd_, byte_rc_, byte_rd_;
 
-  // One-sided state.
+  // One-sided state. Codec-mode slot_offset_[i] points at source i's header
+  // word; the payload follows at +kHeaderWordBytes (raw mode exposes the
+  // receive buffer itself — no headers, slots are the final recvdispls).
   std::vector<std::uint64_t> slot_offset_, target_offset_;
   std::vector<std::byte> window_store_;  // Codec modes; raw exposes recv.
   std::unique_ptr<minimpi::Window> win_;
+  std::uint64_t epoch_seq_ = 0;  // Stamped into slot headers each execute.
   std::vector<std::vector<int>> rounds_;        // ring_targets schedule.
-  std::vector<std::vector<int>> pscw_sources_;  // Per-round exposure group.
+  std::vector<std::vector<int>> pscw_sources_;  // ring_sources exposure.
   std::vector<std::vector<PlanChunk>> round_jobs_;  // Fixed codec sends.
   std::vector<PlanChunk> unpack_jobs_;              // Fixed codec unpacks.
+  // Per-source [begin, end) into unpack_jobs_ (fixed codecs).
+  std::vector<std::pair<std::size_t, std::size_t>> unpack_range_;
   std::vector<std::future<void>> inflight_;
+  std::vector<std::future<void>> decode_inflight_;  // PSCW pipelined decode.
 
   // Codec staging: one-sided fixed = largest round's chunk slab (reused
   // every round, exactly the old per-call arena footprint); one-sided

@@ -39,6 +39,24 @@ std::vector<std::vector<int>> ring_targets(int p, int gpn, int me) {
   return rounds;
 }
 
+std::vector<std::vector<int>> ring_sources(int p, int gpn, int me) {
+  LFFT_REQUIRE(me >= 0 && me < p, "ring: bad rank");
+  const int nodes = node_count(p, gpn);
+  const int my_node = me / gpn;
+
+  std::vector<std::vector<int>> rounds(static_cast<std::size_t>(nodes));
+  for (int j = 0; j < nodes; ++j) {
+    // Round j's puts into me originate from the node at ring distance -j.
+    const int src_node = (my_node - j % nodes + nodes) % nodes;
+    const int base = src_node * gpn;
+    const int node_size = std::min(gpn, p - base);
+    auto& sources = rounds[static_cast<std::size_t>(j)];
+    sources.reserve(static_cast<std::size_t>(node_size));
+    for (int r = base; r < base + node_size; ++r) sources.push_back(r);
+  }
+  return rounds;
+}
+
 netsim::Schedule schedule_linear(int p, int gpn, const BytesFn& bytes) {
   (void)gpn;
   netsim::Schedule sched;

@@ -29,6 +29,14 @@ using BytesFn = std::function<std::uint64_t(int src, int dst)>;
 /// order (includes `me` itself in round 0).
 std::vector<std::vector<int>> ring_targets(int p, int gpn, int me);
 
+/// The mirror of ring_targets: result[j] lists the ranks whose round-j puts
+/// land in `me`'s window (the node at ring distance -j), i.e. the exposure
+/// group a PSCW target posts to for round j. s appears in
+/// ring_sources(p, gpn, me)[j] exactly when me appears in
+/// ring_targets(p, gpn, s)[j] — the per-source completion knowledge the
+/// target-side pipelined decode relies on.
+std::vector<std::vector<int>> ring_sources(int p, int gpn, int me);
+
 /// Number of node rounds for p ranks at gpn per node.
 int ring_rounds(int p, int gpn);
 

@@ -1,0 +1,143 @@
+// End-to-end accuracy: the 3-D FFT round trip (backward ∘ forward) on a
+// seeded random 32³ field must stay within codec-derived error bounds for
+// every truncation codec the paper evaluates (Section VI-B). The bound is
+// C · eps_codec with eps the codec's per-element relative error and C a
+// slack constant covering the handful of compressed reshapes a round trip
+// performs — loose enough to be robust, tight enough that a codec applied
+// at the wrong precision (or a decode reading the wrong bytes) fails by
+// orders of magnitude.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/fft3d.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace lossyfft {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_ranks;
+
+constexpr std::array<int, 3> kGrid{32, 32, 32};
+constexpr std::uint64_t kSeed = 0x5eed5eedULL;
+
+std::vector<std::complex<double>> local_field(const Box3& b) {
+  std::vector<std::complex<double>> v(static_cast<std::size_t>(b.count()));
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        const auto i =
+            static_cast<std::size_t>(x - b.lo[0]) +
+            static_cast<std::size_t>(b.size[0]) *
+                (static_cast<std::size_t>(y - b.lo[1]) +
+                 static_cast<std::size_t>(b.size[1]) *
+                     static_cast<std::size_t>(z - b.lo[2]));
+        Xoshiro256 cell(kSeed + static_cast<std::uint64_t>(x) +
+                        (static_cast<std::uint64_t>(y) << 20) +
+                        (static_cast<std::uint64_t>(z) << 40));
+        v[i] = {cell.uniform(-1, 1), cell.uniform(-1, 1)};
+      }
+  return v;
+}
+
+struct BoundCase {
+  const char* name;
+  CodecPtr codec;
+  double eps;  // Per-element relative error the codec guarantees.
+};
+
+// Round-trip relative L2 error <= kSlack * eps. A forward+backward pair
+// runs at most 8 compressed reshapes; independent per-element errors add
+// sub-linearly in L2, so 32x leaves generous margin without masking a
+// precision-class bug (the next codec down is >= 2^10 away).
+constexpr double kSlack = 32.0;
+
+void expect_round_trip_within(Comm& comm, ExchangeBackend backend,
+                              const BoundCase& bc) {
+  Fft3dOptions fo;
+  fo.backend = backend;
+  fo.codec = bc.codec;
+  Fft3d<double> fft(comm, kGrid, fo);
+  const auto in = local_field(fft.inbox());
+  std::vector<std::complex<double>> spec(fft.output_count());
+  std::vector<std::complex<double>> back(fft.local_count());
+  fft.forward(std::span<const std::complex<double>>(in),
+              std::span<std::complex<double>>(spec));
+  fft.backward(std::span<const std::complex<double>>(spec),
+               std::span<std::complex<double>>(back));
+  const double err = rel_l2_error<double>(
+      comm, std::span<const std::complex<double>>(back),
+      std::span<const std::complex<double>>(in));
+  EXPECT_LE(err, kSlack * bc.eps) << "codec=" << bc.name;
+  // A lossy codec that silently stopped compressing would also pass the
+  // bound — make sure the error is not *implausibly* small either (exact
+  // codecs are exercised by their own case below).
+  if (bc.eps > 1e-12) {
+    EXPECT_GE(err, bc.eps * 1e-4) << "codec=" << bc.name;
+  }
+}
+
+TEST(Accuracy, RoundTripFp32WithinBound) {
+  run_ranks(4, [](Comm& comm) {
+    expect_round_trip_within(
+        comm, ExchangeBackend::kPairwise,
+        {"fp32", std::make_shared<CastFp32Codec>(), std::ldexp(1.0, -24)});
+  });
+}
+
+TEST(Accuracy, RoundTripFp16ScaledWithinBound) {
+  run_ranks(4, [](Comm& comm) {
+    expect_round_trip_within(
+        comm, ExchangeBackend::kPairwise,
+        {"fp16", std::make_shared<CastFp16Codec>(true),
+         std::ldexp(1.0, -11)});
+  });
+}
+
+TEST(Accuracy, RoundTripBitTrimWithinBound) {
+  run_ranks(4, [](Comm& comm) {
+    for (const int m : {16, 24, 32}) {
+      expect_round_trip_within(comm, ExchangeBackend::kPairwise,
+                               {"bittrim", std::make_shared<BitTrimCodec>(m),
+                                std::ldexp(1.0, -m)});
+    }
+  });
+}
+
+TEST(Accuracy, RoundTripOneSidedMatchesBoundToo) {
+  // Same bounds over the one-sided ring transport (the paper's Algorithm 3
+  // path, PSCW-pipelined by Reshape's default when it wins the ablation).
+  run_ranks(4, [](Comm& comm) {
+    expect_round_trip_within(
+        comm, ExchangeBackend::kOsc,
+        {"fp32-osc", std::make_shared<CastFp32Codec>(), std::ldexp(1.0, -24)});
+    expect_round_trip_within(comm, ExchangeBackend::kOsc,
+                             {"bittrim-osc",
+                              std::make_shared<BitTrimCodec>(20),
+                              std::ldexp(1.0, -20)});
+  });
+}
+
+TEST(Accuracy, RoundTripExactForLosslessWire) {
+  run_ranks(4, [](Comm& comm) {
+    // Raw and byteplane-RLE wires add zero communication error: the round
+    // trip is limited by FFT roundoff alone.
+    const double fft_eps = 1e-13;
+    expect_round_trip_within(comm, ExchangeBackend::kPairwise,
+                             {"raw", nullptr, fft_eps / kSlack});
+    expect_round_trip_within(
+        comm, ExchangeBackend::kOsc,
+        {"lossless", std::make_shared<ByteplaneRleCodec>(), fft_eps / kSlack});
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft

@@ -1,0 +1,231 @@
+// Randomized exchange conformance suite: every transport path must produce
+// byte-identical receive buffers for the same layout and codec. The serial
+// two-sided staged plan is the reference; the fused two-sided, one-sided
+// fence, one-sided PSCW (inline and pool-pipelined decode) plans must match
+// it bit for bit — lossy codecs included, since lossiness is decided at
+// encode time and every path ships the same encoded stream.
+//
+// Layouts are drawn from common/rng seeded by LOSSYFFT_FUZZ_SEED (decimal;
+// default fixed so `ctest -L fuzz` is reproducible in tier-1, overridable
+// for soak runs). They sweep zero-size blocks, self-only communication,
+// padded (non-uniform) displacements, and varying ranks-per-node ring
+// shapes across {2, 3, 4, 8} ranks and all codec classes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "minimpi/runtime.hpp"
+#include "osc/exchange_plan.hpp"
+#include "osc/osc_alltoall.hpp"
+
+namespace lossyfft::osc {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_ranks;
+
+std::uint64_t fuzz_seed() {
+  if (const char* s = std::getenv("LOSSYFFT_FUZZ_SEED")) {
+    if (const auto v = std::strtoull(s, nullptr, 10); v != 0) return v;
+  }
+  return 20260805;  // Fixed tier-1 seed.
+}
+
+// A randomized alltoallv layout. Counts and displacement padding are drawn
+// from a seed every rank shares, so all ranks agree on the global matrix
+// without communicating — displs include random gaps (non-prefix-sum), and
+// roughly a third of the blocks are empty.
+struct FuzzLayout {
+  std::vector<std::uint64_t> sc, sd, rc, rd;
+  std::vector<double> send;
+  std::vector<double> recv;
+};
+
+// Deterministic per-pair block values any rank can regenerate.
+void fill_block(std::uint64_t seed, int s, int d, std::span<double> out) {
+  Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(s) * 1000003 +
+                         static_cast<std::uint64_t>(d) * 7919 + 1));
+  fill_uniform(rng, out, -4.0, 4.0);
+}
+
+FuzzLayout make_fuzz_layout(std::uint64_t seed, int p, int me,
+                            bool self_only) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p) *
+                                    static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> gaps(counts.size());
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      const auto i =
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+          static_cast<std::size_t>(d);
+      const bool zero = rng.uniform() < 0.3 || (self_only && s != d);
+      counts[i] =
+          zero ? 0 : static_cast<std::uint64_t>(rng.uniform(1.0, 41.0));
+      gaps[i] = static_cast<std::uint64_t>(rng.uniform(0.0, 4.0));
+    }
+  }
+  const auto at = [&](int s, int d) {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+           static_cast<std::size_t>(d);
+  };
+  FuzzLayout l;
+  l.sc.resize(static_cast<std::size_t>(p));
+  l.sd.resize(static_cast<std::size_t>(p));
+  l.rc.resize(static_cast<std::size_t>(p));
+  l.rd.resize(static_cast<std::size_t>(p));
+  std::uint64_t st = 0, rt = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    st += gaps[at(me, r)];  // Padding before the block: non-uniform displs.
+    rt += gaps[at(r, me)];
+    l.sc[i] = counts[at(me, r)];
+    l.rc[i] = counts[at(r, me)];
+    l.sd[i] = st;
+    l.rd[i] = rt;
+    st += l.sc[i];
+    rt += l.rc[i];
+  }
+  l.send.resize(st, -777.0);
+  l.recv.resize(rt, -999.0);
+  for (int d = 0; d < p; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    fill_block(seed, me, d, std::span<double>(l.send).subspan(l.sd[i],
+                                                              l.sc[i]));
+  }
+  return l;
+}
+
+struct PathSpec {
+  const char* name;
+  PlanBackend backend;
+  OscSync sync;
+  bool fused;
+  int workers;
+};
+
+// The conformance matrix: reference first.
+constexpr PathSpec kPaths[] = {
+    {"twosided-staged", PlanBackend::kTwoSided, OscSync::kFence, false, 1},
+    {"twosided-fused", PlanBackend::kTwoSided, OscSync::kFence, true, 1},
+    {"osc-fence", PlanBackend::kOneSided, OscSync::kFence, false, 1},
+    {"osc-pscw", PlanBackend::kOneSided, OscSync::kPscw, false, 1},
+    {"osc-pscw-pool", PlanBackend::kOneSided, OscSync::kPscw, false, 2},
+};
+
+struct CodecCase {
+  std::string name;
+  CodecPtr codec;
+};
+
+std::vector<CodecCase> codec_cases(Xoshiro256& rng) {
+  const int trim = static_cast<int>(rng.uniform(10.0, 40.0));
+  std::vector<CodecCase> cs;
+  cs.push_back({"raw", nullptr});
+  cs.push_back({"fp32", std::make_shared<CastFp32Codec>()});
+  cs.push_back({"fp16", std::make_shared<CastFp16Codec>(true)});
+  cs.push_back({"bittrim(" + std::to_string(trim) + ")",
+                std::make_shared<BitTrimCodec>(trim)});
+  cs.push_back({"szq", std::make_shared<SzqCodec>(1e-7)});
+  cs.push_back({"lossless", std::make_shared<ByteplaneRleCodec>()});
+  return cs;
+}
+
+// Run one (layout, codec) configuration through every path twice (plan
+// reuse) and demand bitwise identity against the staged reference.
+void check_conformance(Comm& comm, std::uint64_t seed, bool self_only,
+                       int gpn, const CodecCase& cc) {
+  const int p = comm.size();
+  auto ref = make_fuzz_layout(seed, p, comm.rank(), self_only);
+  OscOptions base;
+  base.codec = cc.codec;
+  base.gpus_per_node = gpn;
+  base.chunks = 1 + static_cast<int>(seed % 4);
+
+  std::vector<double> ref_recv;
+  for (const PathSpec& ps : kPaths) {
+    auto l = make_fuzz_layout(seed, p, comm.rank(), self_only);
+    OscOptions o = base;
+    o.sync = ps.sync;
+    o.fused = ps.fused;
+    o.workers = ps.workers;
+    ExchangePlan plan(comm, ps.backend, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    for (int it = 0; it < 2; ++it) {
+      std::fill(l.recv.begin(), l.recv.end(), -999.0);
+      plan.execute(l.send, l.recv);
+      if (ref_recv.empty()) {
+        ref_recv = l.recv;  // First execute of the staged reference.
+        continue;
+      }
+      // EXPECT (not ASSERT): plans are collective, so every rank must keep
+      // walking the same construct/execute sequence even after a mismatch —
+      // an early return here would deadlock the other ranks. Cap the spam.
+      EXPECT_EQ(l.recv.size(), ref_recv.size());
+      int reported = 0;
+      for (std::size_t i = 0; i < ref_recv.size() && reported < 5; ++i) {
+        if (l.recv[i] != ref_recv[i]) {
+          ++reported;
+          EXPECT_EQ(l.recv[i], ref_recv[i])
+              << "path=" << ps.name << " codec=" << cc.name << " p=" << p
+              << " gpn=" << gpn << " seed=" << seed << " it=" << it
+              << " i=" << i;
+        }
+      }
+    }
+  }
+
+  // Exactness oracle for the non-lossy classes: the reference itself must
+  // deliver the sender-generated block values untouched.
+  if (!cc.codec || cc.name == "lossless") {
+    auto l = make_fuzz_layout(seed, p, comm.rank(), self_only);
+    std::vector<double> expect(64);
+    for (int s = 0; s < p; ++s) {
+      const auto i = static_cast<std::size_t>(s);
+      expect.resize(l.rc[i]);
+      fill_block(seed, s, comm.rank(), expect);
+      for (std::uint64_t k = 0; k < l.rc[i]; ++k) {
+        EXPECT_EQ(ref_recv[l.rd[i] + k], expect[k])
+            << "codec=" << cc.name << " src=" << s << " k=" << k;
+      }
+    }
+  }
+}
+
+class ExchangeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeFuzz, AllPathsBitwiseAgree) {
+  const int p = GetParam();
+  run_ranks(p, [&](Comm& comm) {
+    Xoshiro256 meta(fuzz_seed() + static_cast<std::uint64_t>(p) * 101);
+    const auto codecs = codec_cases(meta);
+    // Ring shapes: flat (every rank its own node), packed pairs, one node.
+    const int gpns[] = {1, 2, p};
+    for (int variant = 0; variant < 3; ++variant) {
+      const bool self_only = variant == 2;
+      const std::uint64_t seed =
+          fuzz_seed() + static_cast<std::uint64_t>(p) * 1009 +
+          static_cast<std::uint64_t>(variant) * 17;
+      const int gpn = gpns[variant % 3];
+      for (const CodecCase& cc : codecs) {
+        check_conformance(comm, seed, self_only, gpn, cc);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzz, ::testing::Values(2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lossyfft::osc

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -32,7 +33,12 @@ thread_local std::uint64_t t_allocs = 0;
 // at call sites and warning about a mismatched allocation function.
 #define LFFT_TEST_ALLOC __attribute__((noinline))
 LFFT_TEST_ALLOC void* operator new(std::size_t n) {
-  if (t_count_allocs) ++t_allocs;
+  if (t_count_allocs) {
+    ++t_allocs;
+    if (std::getenv("LFFT_ALLOC_TRACE")) {
+      std::fprintf(stderr, "counted alloc: %zu bytes\n", n);
+    }
+  }
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
 }
@@ -324,6 +330,181 @@ TEST(SteadyState, OneSidedExecuteIsSetupAndAllocationFree) {
     EXPECT_EQ(t_allocs, 0u);
     expect_delivery(4, comm.rank(), raw, 0.0);
     expect_delivery(4, comm.rank(), fix, 3e-7);
+  });
+}
+
+TEST(SteadyState, VariableCodecPlansAreCollectiveAndAllocationFree) {
+  // The headline guarantee of the slot-header wire format: data-dependent
+  // sizes ride in the put-with-notify header word, so variable-rate codec
+  // plans run zero collectives in steady state. Under kFence the barrier is
+  // message-free, so the message-post counter must not move at all — the
+  // old per-execute u64 size all-to-all would post p*(p-1) messages.
+  run_ranks(4, [](Comm& comm) {
+    auto szq = make_layout(4, comm.rank());
+    auto rle = make_layout(4, comm.rank());
+    OscOptions so;
+    so.codec = std::make_shared<SzqCodec>(1e-7);
+    OscOptions lo;
+    lo.codec = std::make_shared<ByteplaneRleCodec>();
+    ExchangePlan splan(comm, PlanBackend::kOneSided, szq.sc, szq.sd, szq.rc,
+                       szq.rd, std::span<double>(szq.recv), so);
+    ExchangePlan lplan(comm, PlanBackend::kOneSided, rle.sc, rle.sd, rle.rc,
+                       rle.rd, std::span<double>(rle.recv), lo);
+    splan.execute(szq.send, szq.recv);
+    lplan.execute(rle.send, rle.recv);
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    for (int it = 0; it < 3; ++it) {
+      splan.execute(szq.send, szq.recv);
+      lplan.execute(rle.send, rle.recv);
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(comm.state().message_post_count(), m0);
+    EXPECT_EQ(t_allocs, 0u);
+    expect_delivery(4, comm.rank(), szq, 1e-6);
+    expect_delivery(4, comm.rank(), rle, 0.0);
+  });
+}
+
+TEST(SteadyState, PscwPipelinedExecuteIsHandshakeOnlyAndAllocationFree) {
+  // kPscw with workers = 1: per-round inline decode (pipelined against the
+  // remaining rounds' puts) must stay allocation-free, and the only
+  // messages are the zero-byte PSCW handshakes — one post per source plus
+  // one complete per target per execute, i.e. 2p sends per rank. Any size
+  // collective sneaking back in would break the exact count.
+  run_ranks(4, [](Comm& comm) {
+    const int p = 4;
+    auto fix = make_layout(p, comm.rank());
+    auto var = make_layout(p, comm.rank());
+    OscOptions fo;
+    fo.codec = std::make_shared<CastFp32Codec>();
+    fo.sync = OscSync::kPscw;
+    OscOptions vo;
+    vo.codec = std::make_shared<SzqCodec>(1e-7);
+    vo.sync = OscSync::kPscw;
+    ExchangePlan fplan(comm, PlanBackend::kOneSided, fix.sc, fix.sd, fix.rc,
+                       fix.rd, std::span<double>(fix.recv), fo);
+    ExchangePlan vplan(comm, PlanBackend::kOneSided, var.sc, var.sd, var.rc,
+                       var.rd, std::span<double>(var.recv), vo);
+    fplan.execute(fix.send, fix.recv);
+    vplan.execute(var.send, var.recv);
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    // Unlike the fence suites (message-free steady state), the armed loop
+    // below posts handshakes — a second barrier keeps every rank's baseline
+    // read ahead of the first armed send.
+    comm.barrier();
+    t_allocs = 0;
+    t_count_allocs = true;
+    constexpr int kIters = 3;
+    for (int it = 0; it < kIters; ++it) {
+      fplan.execute(fix.send, fix.recv);
+      vplan.execute(var.send, var.recv);
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(t_allocs, 0u);
+    // Global handshake budget: kIters executes x 2 plans x p ranks x 2p.
+    const std::uint64_t handshakes =
+        static_cast<std::uint64_t>(kIters) * 2 * p * 2 * p;
+    EXPECT_EQ(comm.state().message_post_count() - m0, handshakes);
+    expect_delivery(p, comm.rank(), fix, 3e-7);
+    expect_delivery(p, comm.rank(), var, 1e-6);
+  });
+}
+
+// --- Plan lifecycle: interleaved construct/execute/destroy stress ----------
+
+TEST(PlanLifecycle, InterleavedConstructExecuteDestroyStress) {
+  run_ranks(4, [](Comm& comm) {
+    const int p = 4;
+    for (int it = 0; it < 4; ++it) {
+      auto la = make_layout(p, comm.rank());
+      auto lb = make_layout(p, comm.rank());
+      auto lc = make_layout(p, comm.rank());
+      OscOptions ao;  // PSCW + variable codec: pipelined header-word path.
+      ao.codec = std::make_shared<SzqCodec>(1e-7);
+      ao.sync = OscSync::kPscw;
+      OscOptions bo;  // Fenced fixed codec.
+      bo.codec = std::make_shared<CastFp32Codec>();
+      OscOptions co;  // Raw PSCW.
+      co.sync = OscSync::kPscw;
+      auto a = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                              la.sc, la.sd, la.rc, la.rd,
+                                              std::span<double>(la.recv), ao);
+      auto b = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                              lb.sc, lb.sd, lb.rc, lb.rd,
+                                              std::span<double>(lb.recv), bo);
+      a->execute(la.send, la.recv);
+      b->execute(lb.send, lb.recv);
+      auto c = std::make_unique<ExchangePlan>(comm, PlanBackend::kOneSided,
+                                              lc.sc, lc.sd, lc.rc, lc.rd,
+                                              std::span<double>(lc.recv), co);
+      c->execute(lc.send, lc.recv);
+      // Steady-state stretch across all three live plans allocates nothing.
+      t_allocs = 0;
+      t_count_allocs = true;
+      a->execute(la.send, la.recv);
+      c->execute(lc.send, lc.recv);
+      b->execute(lb.send, lb.recv);
+      t_count_allocs = false;
+      EXPECT_EQ(t_allocs, 0u) << "it=" << it;
+      expect_delivery(p, comm.rank(), la, 1e-6);
+      expect_delivery(p, comm.rank(), lb, 3e-7);
+      expect_delivery(p, comm.rank(), lc, 0.0);
+      // Vary the (collective) teardown order per iteration.
+      switch (it % 3) {
+        case 0: a.reset(); b.reset(); c.reset(); break;
+        case 1: c.reset(); a.reset(); b.reset(); break;
+        default: b.reset(); c.reset(); a.reset(); break;
+      }
+    }
+  });
+}
+
+// --- PSCW pipelined decode agrees with fence, inline and pooled ------------
+
+TEST(PscwPipelined, MatchesFenceAcrossCodecClasses) {
+  run_ranks(6, [](Comm& comm) {
+    std::vector<CodecPtr> codecs;
+    codecs.push_back(nullptr);
+    codecs.push_back(std::make_shared<CastFp32Codec>());
+    codecs.push_back(std::make_shared<BitTrimCodec>(20));
+    codecs.push_back(std::make_shared<SzqCodec>(1e-6));
+    codecs.push_back(std::make_shared<ByteplaneRleCodec>());
+    for (const CodecPtr& codec : codecs) {
+      for (const int workers : {1, 2}) {
+        auto fen = make_layout(6, comm.rank());
+        auto pip = make_layout(6, comm.rank());
+        OscOptions fo;
+        fo.codec = codec;
+        fo.workers = workers;
+        fo.gpus_per_node = 2;  // Three-node ring: real multi-round overlap.
+        OscOptions po = fo;
+        po.sync = OscSync::kPscw;
+        ExchangePlan fence_plan(comm, PlanBackend::kOneSided, fen.sc, fen.sd,
+                                fen.rc, fen.rd, std::span<double>(fen.recv),
+                                fo);
+        ExchangePlan pscw_plan(comm, PlanBackend::kOneSided, pip.sc, pip.sd,
+                               pip.rc, pip.rd, std::span<double>(pip.recv),
+                               po);
+        for (int it = 0; it < 2; ++it) {
+          std::fill(fen.recv.begin(), fen.recv.end(), -1.0);
+          std::fill(pip.recv.begin(), pip.recv.end(), -1.0);
+          const auto fst = fence_plan.execute(fen.send, fen.recv);
+          const auto pst = pscw_plan.execute(pip.send, pip.recv);
+          expect_same_recv(fen, pip);
+          EXPECT_EQ(fst.wire_bytes, pst.wire_bytes) << "workers=" << workers;
+        }
+      }
+    }
   });
 }
 

@@ -537,6 +537,62 @@ TEST(Window, OutOfBoundsPutRejected) {
   });
 }
 
+TEST(Window, PutWithHeaderDeliversPayloadAndNotifyWord) {
+  // The put-with-notify primitive behind the exchange-plan slot format: the
+  // header word lands (release-stored) after the payload bytes, and the
+  // target reads it back with read_local_header.
+  run_ranks(3, [](Comm& comm) {
+    // Per source slot: one u64 header word + up to 2 doubles of payload.
+    constexpr std::size_t kSlot = kHeaderWordBytes + 2 * sizeof(double);
+    std::vector<std::byte> store(3 * kSlot);
+    Window win(comm, store);
+    win.fence();
+    const int me = comm.rank();
+    for (int r = 0; r < 3; ++r) {
+      // Send (me - r)-dependent sizes: rank r gets 1 or 2 doubles from me.
+      const std::size_t n = 1 + static_cast<std::size_t>((me + r) % 2);
+      std::vector<double> payload(n);
+      for (std::size_t k = 0; k < n; ++k) payload[k] = 10.0 * me + r + 0.5 * k;
+      const auto header =
+          (std::uint64_t{7} << 48) | (n * sizeof(double));
+      win.put_with_header(std::as_bytes(std::span<const double>(payload)), r,
+                          static_cast<std::size_t>(me) * kSlot, header);
+    }
+    win.fence();
+    for (int s = 0; s < 3; ++s) {
+      const std::size_t slot = static_cast<std::size_t>(s) * kSlot;
+      const std::uint64_t h = win.read_local_header(slot);
+      EXPECT_EQ(h >> 48, 7u);
+      const std::uint64_t bytes = h & ((std::uint64_t{1} << 48) - 1);
+      const std::size_t n = 1 + static_cast<std::size_t>((s + comm.rank()) % 2);
+      ASSERT_EQ(bytes, n * sizeof(double));
+      for (std::size_t k = 0; k < n; ++k) {
+        double v;
+        std::memcpy(&v, store.data() + slot + kHeaderWordBytes +
+                            k * sizeof(double),
+                    sizeof(double));
+        EXPECT_DOUBLE_EQ(v, 10.0 * s + comm.rank() + 0.5 * k);
+      }
+    }
+    // Header-only rewrite (the fixed-codec notify flag).
+    win.fence();
+    win.put_header((me + 1) % 3, static_cast<std::size_t>(me) * kSlot,
+                   std::uint64_t{42} << 48);
+    win.fence();
+    EXPECT_EQ(win.read_local_header(
+                  static_cast<std::size_t>((me + 2) % 3) * kSlot) >> 48,
+              42u);
+    // Misaligned slot offsets and overflowing payloads are rejected.
+    const double v = 1.0;
+    EXPECT_THROW(win.put_with_header(bytes_of(v), me, 4, 0), Error);
+    EXPECT_THROW(
+        win.put_with_header(bytes_of(v), me, store.size() - kHeaderWordBytes,
+                            0),
+        Error);
+    win.fence();
+  });
+}
+
 TEST(Window, SequentialWindowsOnSameComm) {
   run_ranks(2, [](Comm& comm) {
     for (int round = 0; round < 3; ++round) {

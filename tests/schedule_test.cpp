@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -55,6 +56,45 @@ TEST(RingTargets, PermutationStaggersConcurrentSources) {
       first_targets.insert(rounds[static_cast<std::size_t>(j)].front());
     }
     EXPECT_EQ(first_targets.size(), static_cast<std::size_t>(gpn)) << j;
+  }
+}
+
+TEST(RingSources, ExactInverseOfRingTargets) {
+  // s appears in ring_sources(me)[j] exactly when me appears in
+  // ring_targets(s)[j] — the property the PSCW exposure groups and the
+  // per-round pipelined decode both rely on.
+  for (const auto& [p, gpn] : std::vector<std::pair<int, int>>{
+           {12, 6}, {24, 6}, {7, 3}, {16, 4}, {5, 6}, {9, 2}, {8, 1}}) {
+    std::vector<std::vector<std::vector<int>>> targets;
+    targets.reserve(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) targets.push_back(ring_targets(p, gpn, s));
+    for (int me = 0; me < p; ++me) {
+      const auto sources = ring_sources(p, gpn, me);
+      ASSERT_EQ(static_cast<int>(sources.size()), ring_rounds(p, gpn));
+      std::set<int> seen;
+      for (std::size_t j = 0; j < sources.size(); ++j) {
+        for (const int s : sources[j]) {
+          EXPECT_TRUE(seen.insert(s).second) << "duplicate source " << s;
+          const auto& tj = targets[static_cast<std::size_t>(s)][j];
+          EXPECT_NE(std::find(tj.begin(), tj.end(), me), tj.end())
+              << "p=" << p << " gpn=" << gpn << " me=" << me << " j=" << j
+              << " s=" << s;
+        }
+      }
+      // Exhaustive: every rank sources exactly one round.
+      EXPECT_EQ(static_cast<int>(seen.size()), p);
+      // And the reverse inclusion: me in targets[s][j] => s in sources[j].
+      for (int s = 0; s < p; ++s) {
+        for (std::size_t j = 0; j < sources.size(); ++j) {
+          const auto& tj = targets[static_cast<std::size_t>(s)][j];
+          if (std::find(tj.begin(), tj.end(), me) != tj.end()) {
+            const auto& sj = sources[j];
+            EXPECT_NE(std::find(sj.begin(), sj.end(), s), sj.end())
+                << "p=" << p << " gpn=" << gpn << " me=" << me << " j=" << j;
+          }
+        }
+      }
+    }
   }
 }
 
