@@ -26,6 +26,7 @@
 #include "minimpi/runtime.hpp"
 #include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
+#include "tuner/tuner.hpp"
 
 using namespace lossyfft;
 
@@ -157,7 +158,7 @@ int main(int argc, char** argv) {
     const int xiters = smoke ? 4 : 50;
     enum class XMode { kPairwise, kOscCall, kOscPlan, kTwoCall, kTwoPlan };
     struct XCfg {
-      const char* label;
+      std::string label;
       XMode mode;
       CodecPtr codec;           // nullptr = raw bytes.
       bool fused = true;        // Two-sided codec paths only.
@@ -166,7 +167,7 @@ int main(int argc, char** argv) {
       int workers = 1;          // >1 enables pool-pipelined target decode.
     };
     constexpr auto kPscw = osc::OscSync::kPscw;
-    const XCfg xcfgs[] = {
+    std::vector<XCfg> xcfgs = {
         {"osc raw", XMode::kOscCall, nullptr},
         {"osc raw plan", XMode::kOscPlan, nullptr},
         {"osc raw pscw plan", XMode::kOscPlan, nullptr, true, false, kPscw},
@@ -192,6 +193,52 @@ int main(int argc, char** argv) {
         {"szq1e-6 osc plan", XMode::kOscPlan, szq6},
         {"szq1e-6 osc pscw plan", XMode::kOscPlan, szq6, true, false, kPscw},
     };
+    // "auto" rows: the model-guided tuner (src/tuner/) resolves each codec
+    // class at this exchange signature — calibrating on first use or
+    // reading LOSSYFFT_TUNE_CACHE — and the picked path/sync/fan-out runs
+    // through the same persistent-plan harness as the fixed rows above, so
+    // the pick can be compared against every configuration it rejected.
+    {
+      const auto path_name = [](tuner::TunePath tp) {
+        switch (tp) {
+          case tuner::TunePath::kOneSidedFence: return "osc-fence";
+          case tuner::TunePath::kOneSidedPscw: return "osc-pscw";
+          case tuner::TunePath::kTwoSidedFused: return "two-fused";
+          case tuner::TunePath::kTwoSidedStaged: return "two-staged";
+        }
+        return "?";
+      };
+      struct AutoCase {
+        const char* name;
+        CodecPtr codec;
+        double e_tol;
+      };
+      const AutoCase autos[] = {{"raw", nullptr, 0.0},
+                                {"fp32", fp32, 0.0},
+                                {"bittrim20", trim20, 0.0},
+                                {"szq1e-6", szq6, 1e-6}};
+      for (const AutoCase& ac : autos) {
+        tuner::ExchangeSignature sig;
+        sig.p = ranks;
+        sig.gpn = osc::OscOptions{}.gpus_per_node;
+        sig.pair_bytes = per_peer * sizeof(double);
+        sig.codec = ac.codec;
+        sig.e_tol = ac.e_tol;
+        const tuner::TuneDecision d = tuner::Tuner::global().decide(sig);
+        XCfg c;
+        c.label = std::string("auto ") + ac.name + " [" + path_name(d.path) +
+                  (d.workers > 1 ? " x" + std::to_string(d.workers) : "") +
+                  "]";
+        c.mode = d.plan_backend() == osc::PlanBackend::kOneSided
+                     ? XMode::kOscPlan
+                     : XMode::kTwoPlan;
+        c.codec = ac.codec;
+        c.fused = d.fused();
+        c.sync = d.sync();
+        c.workers = d.workers;
+        xcfgs.push_back(std::move(c));
+      }
+    }
     TablePrinter xt({"exchange only", "ms/exchange", "wire ratio"});
     for (const auto& xcfg : xcfgs) {
       double xms = 0, xratio = 1;

@@ -84,6 +84,12 @@ lossyfft_plan* lossyfft_plan_c2c(lossyfft_comm* comm, int nx, int ny, int nz,
     case LOSSYFFT_BACKEND_OSC:
       options.backend = lossyfft::ExchangeBackend::kOsc;
       break;
+    case LOSSYFFT_BACKEND_AUTO:
+      // kOsc keeps the exchange planned even without a codec so the tuner
+      // has a plan to configure; the decided path overrides the backend.
+      options.backend = lossyfft::ExchangeBackend::kOsc;
+      options.autotune = true;
+      break;
     default:
       return nullptr;
   }

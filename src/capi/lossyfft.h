@@ -20,11 +20,16 @@ extern "C" {
 typedef struct lossyfft_comm lossyfft_comm;
 typedef struct lossyfft_plan lossyfft_plan;
 
-/* Exchange backends (ExchangeBackend). */
+/* Exchange backends (ExchangeBackend). LOSSYFFT_BACKEND_AUTO hands the
+ * choice of transport path, sync mode, and worker fan-out to the
+ * model-guided autotuner (src/tuner/); decisions persist across processes
+ * in the cache file named by the LOSSYFFT_TUNE_CACHE environment
+ * variable. Results are identical to any fixed backend. */
 enum {
   LOSSYFFT_BACKEND_PAIRWISE = 0,
   LOSSYFFT_BACKEND_LINEAR = 1,
-  LOSSYFFT_BACKEND_OSC = 2
+  LOSSYFFT_BACKEND_OSC = 2,
+  LOSSYFFT_BACKEND_AUTO = 3
 };
 
 /* Run fn(comm, user) on nranks thread ranks; blocks until all return.

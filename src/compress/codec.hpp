@@ -54,8 +54,10 @@ class Codec {
 
   /// Element granularity at which the stream may be split into
   /// independently coded shards, or 0 when it cannot be split (the
-  /// default). A nonzero value g promises, for every element offset e
-  /// that is a multiple of g:
+  /// default). What a nonzero value g promises depends on the rate class:
+  ///
+  /// For fixed_size() codecs, for every element offset e that is a
+  /// multiple of g:
   ///   - the encoded prefix of e elements occupies exactly
   ///     max_compressed_bytes(e) bytes (shard boundaries are byte-aligned
   ///     and max_compressed_bytes is additive across them), and
@@ -63,10 +65,39 @@ class Codec {
   ///     encoder writes at [max_compressed_bytes(e),
   ///     max_compressed_bytes(m)), with decompression sharding the same
   ///     way.
-  /// This is what lets ParallelCodec fan shards out across workers while
-  /// staying bitwise identical to the serial encoder. Only meaningful for
-  /// fixed_size() codecs.
+  ///
+  /// For variable-rate codecs the stream cannot be prefix-exact (payload
+  /// sizes are data-dependent), so a nonzero g instead promises the
+  /// stream is *internally shard-framed*:
+  ///   u64 count | u64 dir[ceil(count/g)] | compacted shard payloads
+  /// where shard i covers elements [i*g, min((i+1)*g, count)), its payload
+  /// occupies exactly dir[i] bytes, and every shard is coded independently
+  /// (any cross-element predictor state resets at shard boundaries).
+  /// compress_shard/decompress_shard expose the per-shard core and
+  /// shard_payload_bound its size bound; the serial encoder emits the
+  /// identical framing, so wire bytes never depend on the fan-out.
+  ///
+  /// Either way, this is what lets ParallelCodec fan shards out across
+  /// workers while staying bitwise identical to the serial encoder.
   virtual std::size_t parallel_granularity() const { return 0; }
+
+  /// Shard-framing core for variable-rate codecs with a nonzero
+  /// parallel_granularity() (see above). Never called otherwise; the
+  /// defaults are placeholders for codecs that do not frame.
+  /// Upper bound on one shard's payload bytes for `m` elements
+  /// (m <= parallel_granularity()).
+  virtual std::size_t shard_payload_bound(std::size_t /*m*/) const {
+    return 0;
+  }
+  /// Encode one shard's payload (no count header, no directory entry);
+  /// returns the bytes written. `out` holds shard_payload_bound(in.size()).
+  virtual std::size_t compress_shard(std::span<const double> /*in*/,
+                                     std::span<std::byte> /*out*/) const {
+    return 0;
+  }
+  /// Decode one shard's payload (`in` is exactly the dir[i] bytes).
+  virtual void decompress_shard(std::span<const std::byte> /*in*/,
+                                std::span<double> /*out*/) const {}
 };
 
 using CodecPtr = std::shared_ptr<const Codec>;

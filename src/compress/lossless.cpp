@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "compress/shard_frame.hpp"
 
 namespace lossyfft {
 
@@ -42,7 +43,7 @@ void rle_decode(const std::byte* in, std::size_t in_bytes, std::byte* out,
 
 // Reused per-thread byteplane scratch: steady-state plan executes must not
 // allocate, codec calls included. Per-thread because ranks are threads and
-// pool workers decode concurrently; grown on warm-up, recycled after.
+// pool workers decode concurrently; shard framing caps it at kShardElems.
 thread_local std::vector<std::byte> t_plane;
 
 std::span<std::byte> plane_scratch(std::size_t n) {
@@ -52,20 +53,20 @@ std::span<std::byte> plane_scratch(std::size_t n) {
 
 }  // namespace
 
-std::size_t ByteplaneRleCodec::max_compressed_bytes(std::size_t n) const {
-  // Count header + 8 plane headers + worst-case 2x expansion per plane.
-  return 8 + 8 * 8 + 16 * n;
+std::size_t ByteplaneRleCodec::shard_payload_bound(std::size_t m) const {
+  // 8 plane headers + worst-case 2x expansion per plane.
+  return 8 * 8 + 16 * m;
 }
 
-// Layout: u64 count | 8 x { u64 plane_bytes | rle data }.
-std::size_t ByteplaneRleCodec::compress(std::span<const double> in,
-                                        std::span<std::byte> out) const {
-  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
-               "rle: output too small");
-  const std::uint64_t n = in.size();
-  std::memcpy(out.data(), &n, 8);
-  std::size_t pos = 8;
+std::size_t ByteplaneRleCodec::max_compressed_bytes(std::size_t n) const {
+  return framed_max_bytes(*this, n);
+}
 
+// Shard payload layout (one frame shard):
+//   8 x { u64 plane_bytes | rle data } over that shard's elements only.
+std::size_t ByteplaneRleCodec::compress_shard(std::span<const double> in,
+                                              std::span<std::byte> out) const {
+  std::size_t pos = 0;
   const std::span<std::byte> plane = plane_scratch(in.size());
   const auto* raw = reinterpret_cast<const std::byte*>(in.data());
   for (int b = 0; b < 8; ++b) {
@@ -82,14 +83,9 @@ std::size_t ByteplaneRleCodec::compress(std::span<const double> in,
   return pos;
 }
 
-void ByteplaneRleCodec::decompress(std::span<const std::byte> in,
-                                   std::span<double> out) const {
-  LFFT_REQUIRE(in.size() >= 8, "rle: truncated stream");
-  std::uint64_t n = 0;
-  std::memcpy(&n, in.data(), 8);
-  LFFT_REQUIRE(n == out.size(), "rle: element count mismatch");
-  std::size_t pos = 8;
-
+void ByteplaneRleCodec::decompress_shard(std::span<const std::byte> in,
+                                         std::span<double> out) const {
+  std::size_t pos = 0;
   const std::span<std::byte> plane = plane_scratch(out.size());
   auto* raw = reinterpret_cast<std::byte*>(out.data());
   for (int b = 0; b < 8; ++b) {
@@ -106,6 +102,16 @@ void ByteplaneRleCodec::decompress(std::span<const std::byte> in,
     }
     pos += bytes;
   }
+}
+
+std::size_t ByteplaneRleCodec::compress(std::span<const double> in,
+                                        std::span<std::byte> out) const {
+  return framed_compress(*this, in, out);
+}
+
+void ByteplaneRleCodec::decompress(std::span<const std::byte> in,
+                                   std::span<double> out) const {
+  framed_decompress(*this, in, out);
 }
 
 }  // namespace lossyfft

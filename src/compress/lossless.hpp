@@ -7,6 +7,12 @@
 // run-length encodes each plane. Exponent and sign bytes of smooth data are
 // highly repetitive and compress well; mantissa planes of random data cost
 // a small expansion bounded by the escape overhead.
+//
+// The stream is shard-framed at kShardElems (the variable-codec
+// parallel_granularity() contract in codec.hpp): byte planes are
+// transposed and run-length coded per shard, so shards code independently
+// and the WorkerPool can encode or decode one large slot concurrently —
+// target-side pipelined decode included — bitwise identical to serial.
 #pragma once
 
 #include "compress/codec.hpp"
@@ -24,6 +30,16 @@ class ByteplaneRleCodec final : public Codec {
   bool fixed_size() const override { return false; }
   double nominal_rate() const override { return 1.3; }  // Design point.
   bool lossless() const override { return true; }
+  std::size_t parallel_granularity() const override { return kShardElems; }
+  std::size_t shard_payload_bound(std::size_t m) const override;
+  std::size_t compress_shard(std::span<const double> in,
+                             std::span<std::byte> out) const override;
+  void decompress_shard(std::span<const std::byte> in,
+                        std::span<double> out) const override;
+
+  /// Frame shard size: 32 KiB of raw payload per shard (matches szq), so
+  /// per-shard plane headers stay negligible next to the plane data.
+  static constexpr std::size_t kShardElems = 4096;
 };
 
 }  // namespace lossyfft

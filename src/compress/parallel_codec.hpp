@@ -10,9 +10,13 @@
 // serial encoder's, bit for bit, at every worker count: parallelism here
 // is an execution detail, never a format change.
 //
-// Codecs that cannot shard (variable-rate szq/RLE, scaled FP16, checksum
-// frames) fall through to the serial inner codec, so the decorator is
-// always safe to apply.
+// Fixed-rate codecs shard by the prefix-exactness promise; variable-rate
+// codecs (szq, byteplane RLE) shard through their internal frame — the
+// directory-plus-compacted-payloads layout in codec.hpp — with a serial
+// compaction (encode) or directory scan (decode) bracketing the fan-out.
+// Codecs that declare no granularity (scaled FP16, checksum frames) fall
+// through to the serial inner codec, so the decorator is always safe to
+// apply.
 #pragma once
 
 #include "common/worker_pool.hpp"
@@ -46,6 +50,17 @@ class ParallelCodec final : public Codec {
   bool lossless() const override { return inner_->lossless(); }
   std::size_t parallel_granularity() const override {
     return inner_->parallel_granularity();
+  }
+  std::size_t shard_payload_bound(std::size_t m) const override {
+    return inner_->shard_payload_bound(m);
+  }
+  std::size_t compress_shard(std::span<const double> in,
+                             std::span<std::byte> out) const override {
+    return inner_->compress_shard(in, out);
+  }
+  void decompress_shard(std::span<const std::byte> in,
+                        std::span<double> out) const override {
+    inner_->decompress_shard(in, out);
   }
 
   const CodecPtr& inner() const { return inner_; }

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "compress/bitio.hpp"
+#include "compress/shard_frame.hpp"
 
 namespace lossyfft {
 
@@ -37,6 +38,7 @@ int bit_width_of(std::uint64_t v) {
 // allocation-free, which extends into the codec calls it makes. Ranks are
 // threads (and pool workers decode concurrently), so the scratch must be
 // per-thread; capacity grows on the warm-up epoch and is then recycled.
+// Shard framing caps both at kShardElems entries.
 thread_local std::vector<double> t_outliers;
 thread_local std::vector<std::int64_t> t_quant;
 
@@ -53,25 +55,24 @@ std::string SzqCodec::name() const {
   return buf;
 }
 
-std::size_t SzqCodec::max_compressed_bytes(std::size_t n) const {
-  // Worst case: every value is an outlier — one header byte per block,
-  // a 1-bit outlier flag packed as a full 32-bit index budget, plus the
-  // raw doubles. Sized generously; compress() reports the exact usage.
-  const std::size_t blocks = (n + kBlock - 1) / kBlock;
-  return 16 + blocks * (1 + kBlock * 5) + n * 8;
+std::size_t SzqCodec::shard_payload_bound(std::size_t m) const {
+  // Worst case: every value is an outlier — one header byte per block, a
+  // generous 5-byte budget per packed index, plus the raw doubles. Sized
+  // generously; compress_shard() reports the exact usage.
+  const std::size_t blocks = (m + kBlock - 1) / kBlock;
+  return blocks * (1 + kBlock * 5) + m * 8;
 }
 
-// Stream layout:
-//   u64 count | per block: u8 width | width*block_n packed zigzag indices |
-//   trailing raw doubles for outliers (in order of appearance).
-std::size_t SzqCodec::compress(std::span<const double> in,
-                               std::span<std::byte> out) const {
-  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
-               "szq: output too small");
-  const std::uint64_t n = in.size();
-  std::memcpy(out.data(), &n, 8);
-  std::size_t pos = 8;
+std::size_t SzqCodec::max_compressed_bytes(std::size_t n) const {
+  return framed_max_bytes(*this, n);
+}
 
+// Shard payload layout (one frame shard, predictor starts at 0):
+//   per block: u8 width | width*block_n packed zigzag indices |
+//   trailing raw doubles for outliers (in order of appearance).
+std::size_t SzqCodec::compress_shard(std::span<const double> in,
+                                     std::span<std::byte> out) const {
+  std::size_t pos = 0;
   std::vector<double>& outliers = t_outliers;
   outliers.clear();
   std::array<std::uint64_t, kBlock> zz;
@@ -91,7 +92,8 @@ std::size_t SzqCodec::compress(std::span<const double> in,
       std::int64_t q;
       // The negated comparison also catches qd == NaN (e.g. when the
       // previous reconstructed value was a non-finite outlier).
-      if (!std::isfinite(v) || !(std::fabs(qd) <= static_cast<double>(kMaxQuant))) {
+      if (!std::isfinite(v) ||
+          !(std::fabs(qd) <= static_cast<double>(kMaxQuant))) {
         q = kMaxQuant + 1;  // Outlier sentinel.
         outliers.push_back(v);
         block_prev = v;
@@ -117,13 +119,9 @@ std::size_t SzqCodec::compress(std::span<const double> in,
   return pos;
 }
 
-void SzqCodec::decompress(std::span<const std::byte> in,
-                          std::span<double> out) const {
-  LFFT_REQUIRE(in.size() >= 8, "szq: truncated stream");
-  std::uint64_t n = 0;
-  std::memcpy(&n, in.data(), 8);
-  LFFT_REQUIRE(n == out.size(), "szq: element count mismatch");
-  std::size_t pos = 8;
+void SzqCodec::decompress_shard(std::span<const std::byte> in,
+                                std::span<double> out) const {
+  std::size_t pos = 0;
 
   // First pass: decode quantized indices.
   if (t_quant.size() < out.size()) t_quant.resize(out.size());
@@ -156,6 +154,16 @@ void SzqCodec::decompress(std::span<const std::byte> in,
       out[i] = prev;
     }
   }
+}
+
+std::size_t SzqCodec::compress(std::span<const double> in,
+                               std::span<std::byte> out) const {
+  return framed_compress(*this, in, out);
+}
+
+void SzqCodec::decompress(std::span<const std::byte> in,
+                          std::span<double> out) const {
+  framed_decompress(*this, in, out);
 }
 
 }  // namespace lossyfft

@@ -8,6 +8,12 @@
 // "outliers". Quantized indices are zigzag-mapped and bit-packed per block
 // of 64 with a shared bit width, so smooth data (small residuals) packs
 // tightly while random data degrades gracefully. Variable rate.
+//
+// The stream is shard-framed at kShardElems (the variable-codec
+// parallel_granularity() contract in codec.hpp): the Lorenzo predictor
+// resets at every shard boundary, so shards code independently and the
+// WorkerPool can encode or decode one large slot concurrently — target-side
+// pipelined decode included — while staying bitwise identical to serial.
 #pragma once
 
 #include "compress/codec.hpp"
@@ -27,10 +33,20 @@ class SzqCodec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return false; }
   double nominal_rate() const override { return 4.0; }  // Design point.
+  std::size_t parallel_granularity() const override { return kShardElems; }
+  std::size_t shard_payload_bound(std::size_t m) const override;
+  std::size_t compress_shard(std::span<const double> in,
+                             std::span<std::byte> out) const override;
+  void decompress_shard(std::span<const std::byte> in,
+                        std::span<double> out) const override;
 
   double error_bound() const { return eb_; }
 
   static constexpr std::size_t kBlock = 64;
+  /// Frame shard size: a multiple of kBlock, 32 KiB of raw payload — big
+  /// enough that per-shard predictor resets cost ~nothing, small enough
+  /// that a pool can shard a single per-peer slot.
+  static constexpr std::size_t kShardElems = 4096;
 
  private:
   double eb_;

@@ -10,6 +10,32 @@
 
 namespace lossyfft {
 
+namespace {
+
+// Share of the 1/N normalization each direction applies on top of the
+// unscaled forward / 1/N-total backward stages.
+double forward_scale(Scaling s, double N) {
+  switch (s) {
+    case Scaling::kBackward:
+    case Scaling::kNone: return 1.0;
+    case Scaling::kForward: return 1.0 / N;
+    case Scaling::kSymmetric: return 1.0 / std::sqrt(N);
+  }
+  return 1.0;
+}
+
+double backward_scale(Scaling s, double N) {
+  switch (s) {
+    case Scaling::kBackward: return 1.0;
+    case Scaling::kForward:
+    case Scaling::kNone: return N;
+    case Scaling::kSymmetric: return std::sqrt(N);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
 template <typename T>
 void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
                     const std::vector<Box3>& boxes_out) {
@@ -18,6 +44,9 @@ void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
   inbox_ = boxes_in[me];
   outbox_ = boxes_out[me];
   const auto ropts = options_.reshape_options();
+  // Work buffers hold one bank per batched field (contiguous field
+  // images, the layout Reshape::execute_batch exchanges).
+  const auto batch = static_cast<std::size_t>(ropts.batch);
 
   for (int d = 0; d < 3; ++d) {
     fft_[static_cast<std::size_t>(d)] = std::make_unique<Fft1d<T>>(
@@ -38,7 +67,8 @@ void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
         comm_, zslabs, xslabs, ropts);
     fwd_reshape_[2] = std::make_unique<Reshape<std::complex<T>>>(
         comm_, xslabs, boxes_out, ropts);
-    work_a_.resize(std::max(static_cast<std::size_t>(pencil_[0].count()),
+    work_a_.resize(batch *
+                   std::max(static_cast<std::size_t>(pencil_[0].count()),
                             static_cast<std::size_t>(pencil_[2].count())));
     work_b_.resize(work_a_.size());
     return;
@@ -60,9 +90,10 @@ void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
   fwd_reshape_[3] = std::make_unique<Reshape<std::complex<T>>>(
       comm_, pencils[2], boxes_out, ropts);
 
-  work_a_.resize(std::max(static_cast<std::size_t>(pencil_[0].count()),
+  work_a_.resize(batch *
+                 std::max(static_cast<std::size_t>(pencil_[0].count()),
                           static_cast<std::size_t>(pencil_[2].count())));
-  work_b_.resize(static_cast<std::size_t>(pencil_[1].count()));
+  work_b_.resize(batch * static_cast<std::size_t>(pencil_[1].count()));
 }
 
 template <typename T>
@@ -133,10 +164,9 @@ Fft3d<T>::Fft3d(minimpi::Comm& comm, std::array<int, 3> n, const Box3& inbox,
 }
 
 template <typename T>
-void Fft3d<T>::fft_pencil(int dir, FftDirection fdir) {
+void Fft3d<T>::fft_pencil(int dir, FftDirection fdir, std::complex<T>* data) {
   const Box3& box = pencil_[static_cast<std::size_t>(dir)];
   if (box.empty()) return;
-  std::complex<T>* data = (dir == 1 ? work_b_ : work_a_).data();
   const auto sx = static_cast<std::size_t>(box.size[0]);
   const auto sy = static_cast<std::size_t>(box.size[1]);
   const auto sz = static_cast<std::size_t>(box.size[2]);
@@ -172,86 +202,112 @@ void Fft3d<T>::fft_pencil(int dir, FftDirection fdir) {
 
 template <typename T>
 void Fft3d<T>::run_slab(std::span<const std::complex<T>> in,
-                        std::span<std::complex<T>> out, FftDirection dir) {
+                        std::span<std::complex<T>> out, FftDirection dir,
+                        int fields) {
   // Slab pipeline: 2-D FFT (x then y) inside each z-slab, one internal
-  // reshape, then the z-direction FFTs inside x-slabs.
+  // reshape, then the z-direction FFTs inside x-slabs. All `fields` banks
+  // move through each reshape as one batched exchange.
   const Box3& zslab = pencil_[0];
   const Box3& xslab = pencil_[2];
-  std::span<std::complex<T>> zs(work_a_.data(),
-                                static_cast<std::size_t>(zslab.count()));
-  std::span<std::complex<T>> xs(work_b_.data(),
-                                static_cast<std::size_t>(xslab.count()));
-  fwd_reshape_[0]->execute(in, zs);
+  const auto nf = static_cast<std::size_t>(fields);
+  const auto zext = static_cast<std::size_t>(zslab.count());
+  const auto xext = static_cast<std::size_t>(xslab.count());
+  std::span<std::complex<T>> zs(work_a_.data(), nf * zext);
+  std::span<std::complex<T>> xs(work_b_.data(), nf * xext);
+  fwd_reshape_[0]->execute_batch(in, zs, fields);
   if (!zslab.empty()) {
     const auto sx = static_cast<std::size_t>(zslab.size[0]);
     const auto sy = static_cast<std::size_t>(zslab.size[1]);
     const auto sz = static_cast<std::size_t>(zslab.size[2]);
     const int shards = WorkerPool::effective_shards(
-        options_.fft_workers,
-        static_cast<std::size_t>(zslab.count()) * sizeof(std::complex<T>));
-    std::complex<T>* data = zs.data();
-    detail::run_fft_lines(*fft_[0], 1, sy * sz, dir, shards, fft_ws_[0],
-                          [&](std::size_t l) { return data + l * sx; });
-    detail::run_fft_lines(
-        *fft_[1], static_cast<std::ptrdiff_t>(sx), sx * sz, dir, shards,
-        fft_ws_[1],
-        [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
+        options_.fft_workers, zext * sizeof(std::complex<T>));
+    for (std::size_t f = 0; f < nf; ++f) {
+      std::complex<T>* data = zs.data() + f * zext;
+      detail::run_fft_lines(*fft_[0], 1, sy * sz, dir, shards, fft_ws_[0],
+                            [&](std::size_t l) { return data + l * sx; });
+      detail::run_fft_lines(
+          *fft_[1], static_cast<std::ptrdiff_t>(sx), sx * sz, dir, shards,
+          fft_ws_[1],
+          [&](std::size_t l) { return data + (l / sx) * sx * sy + l % sx; });
+    }
   }
-  fwd_reshape_[1]->execute(zs, xs);
+  fwd_reshape_[1]->execute_batch(zs, xs, fields);
   if (!xslab.empty()) {
     const auto sx = static_cast<std::size_t>(xslab.size[0]);
     const auto sy = static_cast<std::size_t>(xslab.size[1]);
     const int shards = WorkerPool::effective_shards(
-        options_.fft_workers,
-        static_cast<std::size_t>(xslab.count()) * sizeof(std::complex<T>));
-    std::complex<T>* data = xs.data();
-    detail::run_fft_lines(*fft_[2], static_cast<std::ptrdiff_t>(sx * sy),
-                          sx * sy, dir, shards, fft_ws_[2],
-                          [&](std::size_t l) { return data + l; });
+        options_.fft_workers, xext * sizeof(std::complex<T>));
+    for (std::size_t f = 0; f < nf; ++f) {
+      std::complex<T>* data = xs.data() + f * xext;
+      detail::run_fft_lines(*fft_[2], static_cast<std::ptrdiff_t>(sx * sy),
+                            sx * sy, dir, shards, fft_ws_[2],
+                            [&](std::size_t l) { return data + l; });
+    }
   }
-  fwd_reshape_[2]->execute(xs, out);
+  fwd_reshape_[2]->execute_batch(xs, out, fields);
 }
 
 template <typename T>
 void Fft3d<T>::run(std::span<const std::complex<T>> in,
-                   std::span<std::complex<T>> out, FftDirection dir) {
+                   std::span<std::complex<T>> out, FftDirection dir,
+                   int fields) {
   if (options_.algorithm == FftAlgorithm::kSlab) {
-    run_slab(in, out, dir);
+    run_slab(in, out, dir, fields);
     return;
   }
-  // The four-reshape pipeline of Fig. 1. Inverse transforms reuse the same
-  // pipeline (1-D FFT directions commute); each inverse 1-D FFT scales by
-  // 1/n_d, so the full backward pass carries the 1/N normalization.
+  // The four-reshape pipeline of Fig. 1, advanced `fields` banks at a time.
+  // Inverse transforms reuse the same pipeline (1-D FFT directions
+  // commute); each inverse 1-D FFT scales by 1/n_d, so the full backward
+  // pass carries the 1/N normalization.
+  const auto nf = static_cast<std::size_t>(fields);
   auto a = [&](const Box3& b) {
     return std::span<std::complex<T>>(work_a_.data(),
-                                      static_cast<std::size_t>(b.count()));
+                                      nf * static_cast<std::size_t>(b.count()));
   };
   auto b = [&](const Box3& bx) {
-    return std::span<std::complex<T>>(work_b_.data(),
-                                      static_cast<std::size_t>(bx.count()));
+    return std::span<std::complex<T>>(
+        work_b_.data(), nf * static_cast<std::size_t>(bx.count()));
   };
-  fwd_reshape_[0]->execute(in, a(pencil_[0]));
-  fft_pencil(0, dir);
-  fwd_reshape_[1]->execute(a(pencil_[0]), b(pencil_[1]));
-  fft_pencil(1, dir);
-  fwd_reshape_[2]->execute(b(pencil_[1]), a(pencil_[2]));
-  fft_pencil(2, dir);
-  fwd_reshape_[3]->execute(a(pencil_[2]), out);
+  const auto bank = [&](std::vector<std::complex<T>>& w, int d,
+                        std::size_t f) {
+    return w.data() + f * static_cast<std::size_t>(
+                              pencil_[static_cast<std::size_t>(d)].count());
+  };
+  fwd_reshape_[0]->execute_batch(in, a(pencil_[0]), fields);
+  for (std::size_t f = 0; f < nf; ++f) fft_pencil(0, dir, bank(work_a_, 0, f));
+  fwd_reshape_[1]->execute_batch(a(pencil_[0]), b(pencil_[1]), fields);
+  for (std::size_t f = 0; f < nf; ++f) fft_pencil(1, dir, bank(work_b_, 1, f));
+  fwd_reshape_[2]->execute_batch(b(pencil_[1]), a(pencil_[2]), fields);
+  for (std::size_t f = 0; f < nf; ++f) fft_pencil(2, dir, bank(work_a_, 2, f));
+  fwd_reshape_[3]->execute_batch(a(pencil_[2]), out, fields);
+}
+
+template <typename T>
+void Fft3d<T>::run_batched(std::span<const std::complex<T>> in,
+                           std::span<std::complex<T>> out, FftDirection dir,
+                           int fields) {
+  // Advance the pipeline in capacity-sized chunks: each chunk's fields
+  // share every reshape's synchronization epoch.
+  const auto nf = static_cast<std::size_t>(fields);
+  const std::size_t iext = in.size() / nf;
+  const std::size_t oext = out.size() / nf;
+  const int cap = options_.reshape_options().batch;
+  for (int f0 = 0; f0 < fields; f0 += cap) {
+    const int k = std::min(cap, fields - f0);
+    const auto f = static_cast<std::size_t>(f0);
+    const auto kk = static_cast<std::size_t>(k);
+    run(in.subspan(f * iext, kk * iext), out.subspan(f * oext, kk * oext),
+        dir, k);
+  }
 }
 
 template <typename T>
 void Fft3d<T>::forward(std::span<const std::complex<T>> in,
                        std::span<std::complex<T>> out) {
-  run(in, out, FftDirection::kForward);
+  run(in, out, FftDirection::kForward, 1);
   // The 1-D stages never scale forward; apply the requested share of 1/N.
-  const double N = static_cast<double>(global_count());
-  double s = 1.0;
-  switch (options_.scaling) {
-    case Scaling::kBackward:
-    case Scaling::kNone: s = 1.0; break;
-    case Scaling::kForward: s = 1.0 / N; break;
-    case Scaling::kSymmetric: s = 1.0 / std::sqrt(N); break;
-  }
+  const double s =
+      forward_scale(options_.scaling, static_cast<double>(global_count()));
   if (s != 1.0) {
     const T st = static_cast<T>(s);
     for (auto& v : out) v *= st;
@@ -261,17 +317,11 @@ void Fft3d<T>::forward(std::span<const std::complex<T>> in,
 template <typename T>
 void Fft3d<T>::backward(std::span<const std::complex<T>> in,
                         std::span<std::complex<T>> out) {
-  run(in, out, FftDirection::kInverse);
+  run(in, out, FftDirection::kInverse, 1);
   // The 1-D inverse stages already applied 1/N in total; correct to the
   // requested backward share.
-  const double N = static_cast<double>(global_count());
-  double s = 1.0;
-  switch (options_.scaling) {
-    case Scaling::kBackward: s = 1.0; break;
-    case Scaling::kForward:
-    case Scaling::kNone: s = N; break;
-    case Scaling::kSymmetric: s = std::sqrt(N); break;
-  }
+  const double s =
+      backward_scale(options_.scaling, static_cast<double>(global_count()));
   if (s != 1.0) {
     const T st = static_cast<T>(s);
     for (auto& v : out) v *= st;
@@ -285,11 +335,12 @@ void Fft3d<T>::forward_batch(std::span<const std::complex<T>> in,
   LFFT_REQUIRE(in.size() == fields * local_count() &&
                    out.size() == fields * output_count(),
                "fft3d: batch span sizes mismatch");
-  for (int f = 0; f < fields; ++f) {
-    forward(in.subspan(static_cast<std::size_t>(f) * local_count(),
-                       local_count()),
-            out.subspan(static_cast<std::size_t>(f) * output_count(),
-                        output_count()));
+  run_batched(in, out, FftDirection::kForward, fields);
+  const double s =
+      forward_scale(options_.scaling, static_cast<double>(global_count()));
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : out) v *= st;
   }
 }
 
@@ -300,11 +351,12 @@ void Fft3d<T>::backward_batch(std::span<const std::complex<T>> in,
   LFFT_REQUIRE(in.size() == fields * output_count() &&
                    out.size() == fields * local_count(),
                "fft3d: batch span sizes mismatch");
-  for (int f = 0; f < fields; ++f) {
-    backward(in.subspan(static_cast<std::size_t>(f) * output_count(),
-                        output_count()),
-             out.subspan(static_cast<std::size_t>(f) * local_count(),
-                         local_count()));
+  run_batched(in, out, FftDirection::kInverse, fields);
+  const double s =
+      backward_scale(options_.scaling, static_cast<double>(global_count()));
+  if (s != 1.0) {
+    const T st = static_cast<T>(s);
+    for (auto& v : out) v *= st;
   }
 }
 

@@ -57,6 +57,20 @@ struct Fft3dOptions {
   /// stages fall back to serial below the bytes-per-shard floor. Results
   /// are bitwise identical at every setting.
   int fft_workers = 1;
+  /// Reshape batch capacity (>= 1): forward_batch / backward_batch runs
+  /// up to `batch_fields` fields through each reshape as one batched
+  /// exchange (ReshapeOptions::batch), paying the per-round fence / PSCW
+  /// handshake once per batch instead of once per field. Larger batches
+  /// than the capacity are processed in capacity-sized chunks. 1 (default)
+  /// keeps the per-field pipeline and the single-field memory footprint.
+  int batch_fields = 1;
+  /// Route plan construction through the model-guided autotuner
+  /// (src/tuner/): the exchange signature (p, gpus_per_node, pair bytes,
+  /// codec class, tolerance) selects sync mode, path, and fan-out from the
+  /// calibrated netsim cost model, overriding osc_sync / reshape_workers.
+  /// Decisions come from the persistent tune cache (LOSSYFFT_TUNE_CACHE)
+  /// when warm, so steady-state plan construction runs no probes.
+  bool autotune = false;
 
   ReshapeOptions reshape_options() const {
     ReshapeOptions ro;
@@ -64,8 +78,9 @@ struct Fft3dOptions {
     ro.codec = codec;
     ro.osc_chunks = osc_chunks;
     ro.gpus_per_node = gpus_per_node;
-    ro.osc_sync = osc_sync;
+    ro.osc_sync = autotune ? osc::OscSync::kAuto : osc_sync;
     ro.workers = reshape_workers;
+    ro.batch = batch_fields < 1 ? 1 : batch_fields;
     return ro;
   }
 };
@@ -116,7 +131,10 @@ class Fft3d {
 
   /// Batched transforms for multi-component fields (e.g. a velocity
   /// vector): `fields` consecutive bricks of local_count()/output_count()
-  /// elements each. Collective.
+  /// elements each. With batch_fields > 1 the pipeline advances all
+  /// fields of a capacity-sized chunk through each reshape as one batched
+  /// exchange (synchronization cost per chunk, not per field); results
+  /// are identical to per-field transforms. Collective.
   void forward_batch(std::span<const std::complex<T>> in,
                      std::span<std::complex<T>> out, int fields);
   void backward_batch(std::span<const std::complex<T>> in,
@@ -130,14 +148,21 @@ class Fft3d {
   double model_flops() const;
 
  private:
+  /// One pipeline pass over `fields` consecutive field images
+  /// (1 <= fields <= reshape batch capacity); fields == 1 is the classic
+  /// single-field transform.
   void run(std::span<const std::complex<T>> in, std::span<std::complex<T>> out,
-           FftDirection dir);
-  void fft_pencil(int dir, FftDirection fdir);
+           FftDirection dir, int fields);
+  void fft_pencil(int dir, FftDirection fdir, std::complex<T>* data);
 
   void init(const std::vector<Box3>& boxes_in,
             const std::vector<Box3>& boxes_out);
   void run_slab(std::span<const std::complex<T>> in,
-                std::span<std::complex<T>> out, FftDirection dir);
+                std::span<std::complex<T>> out, FftDirection dir, int fields);
+  /// Chunked batch driver shared by forward_batch / backward_batch.
+  void run_batched(std::span<const std::complex<T>> in,
+                   std::span<std::complex<T>> out, FftDirection dir,
+                   int fields);
 
   minimpi::Comm& comm_;
   std::array<int, 3> n_;

@@ -7,6 +7,7 @@
 #include "common/worker_pool.hpp"
 #include "compress/parallel_codec.hpp"
 #include "minimpi/alltoall.hpp"
+#include "tuner/tuner.hpp"
 
 namespace lossyfft {
 
@@ -103,6 +104,7 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
                  "reshape: codecs only apply to double-based fields");
   }
   workers_ = resolve_workers(options_.workers);
+  LFFT_REQUIRE(options_.batch >= 1, "reshape: batch capacity must be >= 1");
 
   send_boxes_.resize(p);
   recv_boxes_.resize(p);
@@ -137,8 +139,43 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
   }
   fused_raw_ = !planned && options_.fused_raw &&
                options_.backend == ExchangeBackend::kPairwise;
-  sendbuf_.resize(send_total_);
-  if (!fused_raw_) recvbuf_.resize(recv_total_);
+  if (options_.osc_sync == osc::OscSync::kAuto) {
+    if (!planned) {
+      // Nothing to tune without a plan: kAuto degrades to the inert default.
+      options_.osc_sync = osc::OscSync::kFence;
+    } else {
+      // Model-guided configuration. Rank 0 resolves the signature through
+      // the tuner (memo -> persistent cache -> calibrate + cost model) and
+      // broadcasts the POD decision: calibration is timing-based and would
+      // diverge across ranks, and plan construction is collective, so all
+      // ranks must apply one rank's answer.
+      tuner::ExchangeSignature sig;
+      sig.p = static_cast<int>(p);
+      sig.gpn = options_.gpus_per_node > 0 ? options_.gpus_per_node : 1;
+      std::uint64_t largest = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        if (static_cast<int>(r) != rank_) {
+          largest = std::max(largest, send_counts_[r]);
+        }
+      }
+      sig.pair_bytes = largest * sizeof(E);
+      sig.codec = options_.codec;
+      tuner::TuneDecision d;
+      if (rank_ == 0) d = tuner::Tuner::global().decide(sig);
+      comm_.bcast(std::span<tuner::TuneDecision>(&d, 1), 0);
+      options_.osc_sync = d.sync();
+      options_.workers = d.workers;
+      workers_ = resolve_workers(options_.workers);
+      tuned_ = d;
+    }
+  }
+  // Batched plans stage every field bank at once (the plan pins the whole
+  // recv span and the window replicates per field); unplanned paths run
+  // batches as per-field loops, so one bank suffices there.
+  const auto banks =
+      planned ? static_cast<std::size_t>(options_.batch) : std::size_t{1};
+  sendbuf_.resize(send_total_ * banks);
+  if (!fused_raw_) recvbuf_.resize(recv_total_ * banks);
   // Pack/unpack fan-outs clamp against the staging volume: below the
   // bytes-per-shard floor the memcpy loops run serially on the rank
   // thread (submit/steal overhead beats the copies there).
@@ -189,15 +226,18 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
       oo.gpus_per_node = options_.gpus_per_node;
       oo.sync = options_.osc_sync;
       oo.workers = workers_;
+      oo.batch = options_.batch;
+      if (tuned_) oo.fused = tuned_->fused();
+      const osc::PlanBackend backend =
+          tuned_ ? tuned_->plan_backend()
+                 : (options_.backend == ExchangeBackend::kOsc
+                        ? osc::PlanBackend::kOneSided
+                        : osc::PlanBackend::kTwoSided);
       const std::span<double> recv_view(
           reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
       plan_ = std::make_unique<osc::ExchangePlan>(
-          comm_,
-          options_.backend == ExchangeBackend::kOsc
-              ? osc::PlanBackend::kOneSided
-              : osc::PlanBackend::kTwoSided,
-          wire_send_counts_, wire_send_displs_, wire_recv_counts_,
-          wire_recv_displs_, recv_view, oo);
+          comm_, backend, wire_send_counts_, wire_send_displs_,
+          wire_recv_counts_, wire_recv_displs_, recv_view, oo);
     }
   }
 }
@@ -234,11 +274,14 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
     if (plan_) {
       exchanged = true;
       constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
+      // Bank 0 of the (possibly batch-sized) staging: the plan's
+      // single-field execute expects exactly one field image.
       const std::span<const double> send_view(
           reinterpret_cast<const double*>(sendbuf_.data()),
-          kDbl * sendbuf_.size());
+          static_cast<std::size_t>(kDbl * send_total_));
       const std::span<double> recv_view(
-          reinterpret_cast<double*>(recvbuf_.data()), kDbl * recvbuf_.size());
+          reinterpret_cast<double*>(recvbuf_.data()),
+          static_cast<std::size_t>(kDbl * recv_total_));
       const auto st = plan_->execute(send_view, recv_view);
       stats_.payload_bytes += st.payload_bytes;
       stats_.wire_bytes += st.wire_bytes;
@@ -285,6 +328,86 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
     unpack_range(0, recv_boxes_.size());
   }
   stats_.seconds += watch.seconds();
+}
+
+template <typename E>
+void Reshape<E>::execute_batch(std::span<const E> in, std::span<E> out,
+                               int fields) {
+  LFFT_REQUIRE(fields >= 1 && fields <= options_.batch,
+               "reshape: execute_batch fields must be in [1, options.batch]");
+  const Box3& my_in = all_in_[static_cast<std::size_t>(rank_)];
+  const Box3& my_out = all_out_[static_cast<std::size_t>(rank_)];
+  const auto nf = static_cast<std::size_t>(fields);
+  const auto in_ext = static_cast<std::size_t>(my_in.count());
+  const auto out_ext = static_cast<std::size_t>(my_out.count());
+  LFFT_REQUIRE(in.size() == nf * in_ext,
+               "reshape: batch input must hold `fields` field images");
+  LFFT_REQUIRE(out.size() == nf * out_ext,
+               "reshape: batch output must hold `fields` field images");
+
+  // Unplanned paths (raw two-sided, float-based fields) have no
+  // synchronization epoch to amortize: the batch is a per-field loop.
+  if (!plan_ || fields == 1) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      execute(in.subspan(f * in_ext, in_ext), out.subspan(f * out_ext, out_ext));
+    }
+    return;
+  }
+
+  if constexpr (kReshapeDoubleBased<E>) {
+    const Stopwatch watch;
+    const auto p = send_boxes_.size();
+
+    // Pack every field into its staging bank; (field, destination) items
+    // write disjoint slices, so the whole batch fans out at once.
+    const auto pack_item = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t f = k / p;
+        const std::size_t r = k % p;
+        if (send_counts_[r] == 0) continue;
+        pack_subvolume(my_in, send_boxes_[r], in.data() + f * in_ext,
+                       sendbuf_.data() + f * send_total_ + send_displs_[r]);
+      }
+    };
+    if (pack_shards_ > 1) {
+      WorkerPool::global().parallel_for(nf * p, 1, pack_item, pack_shards_);
+    } else {
+      pack_item(0, nf * p);
+    }
+
+    // One batched exchange: all field banks travel under a single fence /
+    // PSCW handshake sequence.
+    constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
+    const std::span<const double> send_view(
+        reinterpret_cast<const double*>(sendbuf_.data()),
+        static_cast<std::size_t>(kDbl * send_total_) * nf);
+    const std::span<double> recv_view(
+        reinterpret_cast<double*>(recvbuf_.data()),
+        static_cast<std::size_t>(kDbl * recv_total_) * nf);
+    const auto st = plan_->execute_batch(send_view, recv_view, fields);
+    stats_.payload_bytes += st.payload_bytes;
+    stats_.wire_bytes += st.wire_bytes;
+    stats_.rounds += st.rounds;
+    stats_.messages += st.messages;
+    stats_.chunks_issued += st.chunks_issued;
+
+    const auto unpack_item = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t f = k / p;
+        const std::size_t r = k % p;
+        if (recv_counts_[r] == 0) continue;
+        unpack_subvolume(my_out, recv_boxes_[r], out.data() + f * out_ext,
+                         recvbuf_.data() + f * recv_total_ + recv_displs_[r]);
+      }
+    };
+    if (unpack_shards_ > 1) {
+      WorkerPool::global().parallel_for(nf * p, 1, unpack_item,
+                                        unpack_shards_);
+    } else {
+      unpack_item(0, nf * p);
+    }
+    stats_.seconds += watch.seconds();
+  }
 }
 
 template <typename E>

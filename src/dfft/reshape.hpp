@@ -18,6 +18,7 @@
 
 #include <complex>
 #include <memory>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "minimpi/comm.hpp"
 #include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
+#include "tuner/signature.hpp"
 
 namespace lossyfft {
 
@@ -42,6 +44,15 @@ struct ReshapeOptions {
   CodecPtr codec;
   int osc_chunks = 8;
   int gpus_per_node = 6;
+  /// Per-round synchronization of the one-sided plan. kAuto routes plan
+  /// construction through the model-guided tuner (src/tuner/): rank 0
+  /// resolves the exchange signature against its calibrated cost model
+  /// (or the LOSSYFFT_TUNE_CACHE persistent cache) and broadcasts the
+  /// decision — sync mode, one-/two-sided path, fused/staged codec
+  /// placement, and worker fan-out — so all ranks build the identical
+  /// plan. Results are byte-identical to any fixed configuration; only
+  /// speed changes. kAuto on an unplanned path (raw two-sided, float
+  /// fields) is inert.
   osc::OscSync osc_sync = osc::OscSync::kFence;
   /// Raw two-sided kPairwise path (no codec): fuse the receive-side unpack
   /// into the transport — recv_consume reads each sub-volume straight from
@@ -57,6 +68,13 @@ struct ReshapeOptions {
   /// per process and sized by LOSSYFFT_WORKERS (default: hardware
   /// concurrency); this knob only says how much of it a reshape uses.
   int workers = 1;
+  /// Batch capacity (>= 1): how many same-layout fields one
+  /// execute_batch() call may exchange per synchronization epoch. Staging
+  /// buffers and (for planned paths) the exchange window are sized for
+  /// `batch` consecutive field banks, so a batch of k fields pays the
+  /// fence / PSCW handshake cost once instead of k times. 1 (default)
+  /// keeps the single-field footprint.
+  int batch = 1;
 };
 
 template <typename E>
@@ -89,8 +107,24 @@ class Reshape {
   /// outbox().count(). Collective.
   void execute(std::span<const E> in, std::span<E> out);
 
+  /// Redistribute `fields` same-layout fields
+  /// (1 <= fields <= options.batch) in one exchange epoch. `in` holds
+  /// `fields` consecutive inbox().count()-element images; `out` receives
+  /// the matching outbox().count()-element images. On the planned paths
+  /// every field is packed into its staging bank, the plan exchanges all
+  /// banks under a single fence / PSCW handshake sequence, and all banks
+  /// unpack — synchronization cost is per batch, not per field. Results
+  /// are identical to `fields` back-to-back execute() calls. Collective.
+  void execute_batch(std::span<const E> in, std::span<E> out, int fields);
+
   /// Exchange statistics accumulated over all execute() calls on this rank.
   const osc::ExchangeStats& stats() const { return stats_; }
+
+  /// The tuner decision applied at construction when osc_sync was kAuto on
+  /// a planned path; empty otherwise (fixed config, or nothing to tune).
+  const std::optional<tuner::TuneDecision>& tuned_decision() const {
+    return tuned_;
+  }
 
  private:
   minimpi::Comm& comm_;
@@ -123,6 +157,9 @@ class Reshape {
   /// Resolved at construction: the raw pairwise exchange runs fused
   /// (recv_consume straight into `out`; recvbuf_ stays unallocated).
   bool fused_raw_ = false;
+  /// The tuner's broadcast decision when osc_sync was kAuto on a planned
+  /// path (overrides backend / fused / workers at plan construction).
+  std::optional<tuner::TuneDecision> tuned_;
 
   /// The fused raw exchange: pairwise isend/recv_consume rounds that unpack
   /// each source's sub-volume directly from the sender's buffer into `out`.

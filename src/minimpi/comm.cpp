@@ -251,6 +251,7 @@ void Comm::barrier() {
   // dissemination barrier provided, minus its log2(p) mailbox round trips.
   const int p = size();
   if (p < 2) return;
+  state_->note_barrier();
   if (barrier_ == nullptr) barrier_ = &state_->barrier_state(ctx_);
   detail::BarrierState& b = *barrier_;
   const std::uint32_t gen = b.generation.load(std::memory_order_acquire);

@@ -167,6 +167,12 @@ class SharedState {
   void note_message_posted() {
     messages_posted_.fetch_add(1, std::memory_order_relaxed);
   }
+  std::uint64_t barrier_count() const {
+    return barriers_passed_.load(std::memory_order_relaxed);
+  }
+  void note_barrier() {
+    barriers_passed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   std::vector<Mailbox> mailboxes_;
@@ -192,6 +198,7 @@ class SharedState {
 
   std::atomic<std::uint64_t> windows_created_{0};   // Per-rank window_begin calls.
   std::atomic<std::uint64_t> messages_posted_{0};   // Two-sided messages enqueued.
+  std::atomic<std::uint64_t> barriers_passed_{0};   // Per-rank barrier entries.
 };
 
 }  // namespace lossyfft::minimpi::detail

@@ -47,11 +47,19 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
       senddispls_(senddispls.begin(), senddispls.end()),
       recvcounts_(recvcounts.begin(), recvcounts.end()),
       recvdispls_(recvdispls.begin(), recvdispls.end()) {
+  LFFT_REQUIRE(options_.sync != OscSync::kAuto,
+               "ExchangePlan: OscSync::kAuto must be resolved (tuner) "
+               "before plan construction");
   const auto p = static_cast<std::size_t>(p_);
   LFFT_REQUIRE(sendcounts.size() == p && senddispls.size() == p &&
                    recvcounts.size() == p && recvdispls.size() == p,
                "alltoallv: counts/displs must have comm.size() entries");
   fixed_ = codec_->fixed_size();
+  batch_ = options_.batch;
+  LFFT_REQUIRE(batch_ >= 1, "ExchangePlan: batch capacity must be >= 1");
+  LFFT_REQUIRE(recv.size() % static_cast<std::size_t>(batch_) == 0,
+               "ExchangePlan: pinned recv must hold `batch` equal fields");
+  recv_extent_ = recv.size() / static_cast<std::size_t>(batch_);
 
   std::uint64_t payload = 0;
   for (const std::uint64_t c : sendcounts_) payload += c;
@@ -158,7 +166,22 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
       std::as_writable_bytes(std::span<std::uint64_t>(target_offset_)),
       sizeof(std::uint64_t));
 
-  window_store_.resize(window_bytes);
+  // Batched plans replicate the window in per-field banks: field f's slots
+  // sit at +f * bank_stride_ locally. Receivers have rank-specific strides
+  // (their own capacities), so senders learn each target's stride with one
+  // more construction-time u64 all-to-all — steady state stays
+  // collective-free.
+  bank_stride_ = raw_ ? recv_extent_ * sizeof(double) : window_bytes;
+  if (batch_ > 1) {
+    const std::vector<std::uint64_t> mine(p, bank_stride_);
+    target_bank_stride_.resize(p);
+    minimpi::alltoall(
+        comm_, std::as_bytes(std::span<const std::uint64_t>(mine)),
+        std::as_writable_bytes(std::span<std::uint64_t>(target_bank_stride_)),
+        sizeof(std::uint64_t));
+  }
+
+  window_store_.resize(window_bytes * static_cast<std::size_t>(batch_));
   win_ = std::make_unique<minimpi::Window>(
       comm_, raw_ ? std::as_writable_bytes(recv_pinned_)
                   : std::span<std::byte>(window_store_));
@@ -167,11 +190,15 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   const int nodes = static_cast<int>(rounds_.size());
   if (options_.sync == OscSync::kPscw) {
     pscw_sources_ = ring_sources(p_, options_.gpus_per_node, comm_.rank());
-    decode_inflight_.reserve(p);
+    decode_inflight_.reserve(p * static_cast<std::size_t>(batch_));
   }
 
   if (raw_ || !fixed_) {
-    if (!raw_) stage_.resize(s_total);  // Variable: all-destination slab.
+    if (!raw_) {
+      // Variable: all-destination slab, one bank per batch field.
+      stage_.resize(s_total * static_cast<std::size_t>(batch_));
+      send_wire_.resize(p * static_cast<std::size_t>(batch_));
+    }
     return;
   }
 
@@ -229,41 +256,96 @@ ExchangePlan::~ExchangePlan() = default;
 ExchangeStats ExchangePlan::execute(std::span<const double> send,
                                     std::span<double> recv) {
   LFFT_REQUIRE(recv.data() == recv_pinned_.data() &&
-                   recv.size() == recv_pinned_.size(),
-               "ExchangePlan::execute: recv must be the span pinned at plan "
-               "construction");
-  return backend_ == PlanBackend::kOneSided ? execute_one_sided(send, recv)
-                                            : execute_two_sided(send, recv);
+                   recv.size() == recv_extent_,
+               "ExchangePlan::execute: recv must be the first field of the "
+               "span pinned at plan construction");
+  return backend_ == PlanBackend::kOneSided
+             ? execute_one_sided(send, recv, 1)
+             : execute_two_sided(send, recv);
+}
+
+ExchangeStats ExchangePlan::execute_batch(std::span<const double> send,
+                                          std::span<double> recv, int fields) {
+  LFFT_REQUIRE(fields >= 1 && fields <= batch_,
+               "ExchangePlan::execute_batch: fields must be in [1, batch]");
+  LFFT_REQUIRE(recv.data() == recv_pinned_.data() &&
+                   recv.size() ==
+                       recv_extent_ * static_cast<std::size_t>(fields),
+               "ExchangePlan::execute_batch: recv must be the leading "
+               "`fields` banks of the pinned span");
+  LFFT_REQUIRE(send.size() % static_cast<std::size_t>(fields) == 0,
+               "ExchangePlan::execute_batch: send must hold `fields` equal "
+               "field images");
+  if (backend_ == PlanBackend::kOneSided) {
+    return execute_one_sided(send, recv, fields);
+  }
+  // Two-sided transports are message-paced (no epoch to amortize), so the
+  // batch is a plain per-field loop sharing this plan's staging.
+  const std::size_t sext = send.size() / static_cast<std::size_t>(fields);
+  ExchangeStats stats;
+  for (int f = 0; f < fields; ++f) {
+    const ExchangeStats one = execute_two_sided(
+        send.subspan(static_cast<std::size_t>(f) * sext, sext),
+        recv.subspan(static_cast<std::size_t>(f) * recv_extent_,
+                     recv_extent_));
+    stats.payload_bytes += one.payload_bytes;
+    stats.wire_bytes += one.wire_bytes;
+    stats.messages += one.messages;
+    stats.chunks_issued += one.chunks_issued;
+    stats.rounds = one.rounds;
+  }
+  return stats;
 }
 
 ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
-                                              std::span<double> recv) {
+                                              std::span<double> recv,
+                                              int fields) {
+  const auto nf = static_cast<std::size_t>(fields);
+  const std::size_t sext = send.size() / nf;  // Per-field send extent.
+  const auto field_send = [&](std::size_t f) {
+    return send.subspan(f * sext, sext);
+  };
+  const auto field_recv = [&](std::size_t f) {
+    return recv.subspan(f * recv_extent_, recv_extent_);
+  };
+  // Field f's bank displacement on peer d's window (0 for field 0, so the
+  // single-field path never touches target_bank_stride_, which batch == 1
+  // plans do not exchange).
+  const auto bank_off = [&](std::size_t d, std::size_t f) {
+    return f == 0 ? std::uint64_t{0} : f * target_bank_stride_[d];
+  };
   ExchangeStats stats;
   stats.rounds = static_cast<int>(rounds_.size());
-  // Epoch sequence stamped into every slot header this execute. Execution
-  // is collective and plans run in lockstep, so sender and receiver always
-  // agree on the expected value; a stale header (sync bug) trips the
-  // decode-side assert instead of decoding garbage.
+  // Epoch sequence stamped into every slot header this execute (all fields
+  // of a batch share one epoch). Execution is collective and plans run in
+  // lockstep, so sender and receiver always agree on the expected value; a
+  // stale header (sync bug) trips the decode-side assert instead of
+  // decoding garbage.
   const auto seq = static_cast<std::uint16_t>(++epoch_seq_);
 
-  // --- Variable codec: compress every destination up front ----------------
+  // --- Variable codec: compress every (field, destination) up front -------
   // The data-dependent sizes ride in the slot header words (written by the
   // same put as the payload), so no size collective runs — steady-state
-  // execute() is collective-free for every codec class.
+  // execute() is collective-free for every codec class. Stage bank f holds
+  // field f's destinations; send_wire_[f*p + i] its actual sizes.
+  const std::size_t sstride =
+      raw_ || fixed_ ? 0 : stage_.size() / static_cast<std::size_t>(batch_);
   if (!raw_ && !fixed_) {
     const auto compress_dst = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        send_wire_[i] = codec_->compress(
-            send.subspan(senddispls_[i], sendcounts_[i]),
-            std::span<std::byte>(stage_.data() + stage_off_[i],
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t f = k / static_cast<std::size_t>(p_);
+        const std::size_t i = k % static_cast<std::size_t>(p_);
+        send_wire_[k] = codec_->compress(
+            field_send(f).subspan(senddispls_[i], sendcounts_[i]),
+            std::span<std::byte>(stage_.data() + f * sstride + stage_off_[i],
                                  send_wire_cap_[i]));
       }
     };
+    const std::size_t work = static_cast<std::size_t>(p_) * nf;
     if (workers_ > 1) {
-      WorkerPool::global().parallel_for(static_cast<std::size_t>(p_), 1,
-                                        compress_dst, workers_);
+      WorkerPool::global().parallel_for(work, 1, compress_dst, workers_);
     } else {
-      compress_dst(0, static_cast<std::size_t>(p_));
+      compress_dst(0, work);
     }
   }
 
@@ -287,14 +369,19 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   // its decode+unpack runs while rounds j+1..n are still putting. With
   // workers the jobs go to the pool (reaped before return); serially they
   // run inline between rounds — either way ahead of the final
-  // synchronization the fence mode has to wait for.
-  const bool decode_async =
-      pscw && !raw_ && workers_ > 1 && WorkerPool::global().workers() > 0;
-  const auto compress_job = [&](const PlanChunk& job) {
+  // synchronization the fence mode has to wait for. Variable codecs that
+  // shard (parallel_granularity > 0) decode inline instead: a pool task
+  // would run its inner fan-out sequentially (nested-submit guard), while
+  // the rank thread can spread one big slot across the whole pool.
+  const bool decode_async = pscw && !raw_ && workers_ > 1 &&
+                            WorkerPool::global().workers() > 0 &&
+                            (fixed_ || codec_->parallel_granularity() == 0);
+  const auto compress_job = [&](const PlanChunk& job,
+                                std::span<const double> fsend) {
     const std::size_t used = codec_->compress(
-        send.subspan(senddispls_[static_cast<std::size_t>(job.peer)] +
-                         job.elem_off,
-                     job.elem_cnt),
+        fsend.subspan(senddispls_[static_cast<std::size_t>(job.peer)] +
+                          job.elem_off,
+                      job.elem_cnt),
         std::span<std::byte>(stage_.data() + job.stage_off, job.wire_bytes));
     LFFT_ASSERT(used == job.wire_bytes);  // Fixed-size codecs are exact.
   };
@@ -309,77 +396,94 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
     const auto* jobs = raw_ || !fixed_
                            ? nullptr
                            : &round_jobs_[static_cast<std::size_t>(j)];
-    if (pipelined) {
-      // Hand the whole round to the pool: chunk k+1 compresses while chunk
-      // k is being put — Section V-B's stream overlap executed for real.
-      inflight_.clear();
-      for (const PlanChunk& job : *jobs) {
-        inflight_.push_back(WorkerPool::global().submit(
-            [&compress_job, &job] { compress_job(job); }));
-      }
-    }
-    std::size_t next_job = 0;
-    for (const int dst : round) {
-      const auto d = static_cast<std::size_t>(dst);
-      const std::uint64_t count = sendcounts_[d];
-      stats.payload_bytes += count * sizeof(double);
-      if (count == 0) continue;
-      ++stats.messages;
-      if (raw_) {
-        // One direct store from the send payload into the peer's receive
-        // buffer: the only copy this exchange makes for the message.
-        win_->put(std::as_bytes(send.subspan(senddispls_[d], count)), dst,
-                  target_offset_[d]);
-        stats.wire_bytes += count * sizeof(double);
-        ++stats.chunks_issued;
-        continue;
-      }
-      if (!fixed_) {
-        // Pre-compressed: one put of the whole stream, notify included —
-        // the header word delivers the data-dependent byte count.
-        win_->put_with_header(
-            std::span<const std::byte>(stage_.data() + stage_off_[d],
-                                       send_wire_[d]),
-            dst, target_offset_[d], make_slot_header(seq, send_wire_[d]));
-        stats.wire_bytes += send_wire_[d];
-        ++stats.chunks_issued;
-        continue;
-      }
-      while (next_job < jobs->size() && (*jobs)[next_job].peer == dst) {
-        const PlanChunk& job = (*jobs)[next_job];
-        if (pipelined) {
-          inflight_[next_job].get();  // Rethrows a failed chunk's error.
-        } else {
-          compress_job(job);
+    // All fields of the batch put inside this one exposure epoch; fields
+    // run sequentially so the fixed-codec round slab can be recycled (puts
+    // are synchronous copies, so reuse after put is safe).
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::span<const double> fsend = field_send(f);
+      if (pipelined) {
+        // Hand the whole round to the pool: chunk k+1 compresses while
+        // chunk k is being put — Section V-B's stream overlap executed for
+        // real.
+        inflight_.clear();
+        for (const PlanChunk& job : *jobs) {
+          inflight_.push_back(WorkerPool::global().submit(
+              [&compress_job, &job, fsend] { compress_job(job, fsend); }));
         }
-        win_->put(std::span<const std::byte>(stage_.data() + job.stage_off,
-                                             job.wire_bytes),
-                  dst, job.target_off);
-        stats.wire_bytes += job.wire_bytes;
-        ++stats.chunks_issued;
-        ++next_job;
       }
-      // All of dst's chunks are delivered: raise the notify flag.
-      win_->put_header(dst, target_offset_[d],
-                       make_slot_header(seq, send_wire_cap_[d]));
+      std::size_t next_job = 0;
+      for (const int dst : round) {
+        const auto d = static_cast<std::size_t>(dst);
+        const std::uint64_t count = sendcounts_[d];
+        stats.payload_bytes += count * sizeof(double);
+        if (count == 0) continue;
+        ++stats.messages;
+        if (raw_) {
+          // One direct store from the send payload into the peer's receive
+          // buffer: the only copy this exchange makes for the message.
+          win_->put(std::as_bytes(fsend.subspan(senddispls_[d], count)), dst,
+                    target_offset_[d] + bank_off(d, f));
+          stats.wire_bytes += count * sizeof(double);
+          ++stats.chunks_issued;
+          continue;
+        }
+        if (!fixed_) {
+          // Pre-compressed: one put of the whole stream, notify included —
+          // the header word delivers the data-dependent byte count.
+          const std::uint64_t wire =
+              send_wire_[f * static_cast<std::size_t>(p_) + d];
+          win_->put_with_header(
+              std::span<const std::byte>(
+                  stage_.data() + f * sstride + stage_off_[d], wire),
+              dst, target_offset_[d] + bank_off(d, f),
+              make_slot_header(seq, wire));
+          stats.wire_bytes += wire;
+          ++stats.chunks_issued;
+          continue;
+        }
+        while (next_job < jobs->size() && (*jobs)[next_job].peer == dst) {
+          const PlanChunk& job = (*jobs)[next_job];
+          if (pipelined) {
+            inflight_[next_job].get();  // Rethrows a failed chunk's error.
+          } else {
+            compress_job(job, fsend);
+          }
+          win_->put(std::span<const std::byte>(stage_.data() + job.stage_off,
+                                               job.wire_bytes),
+                    dst, job.target_off + bank_off(d, f));
+          stats.wire_bytes += job.wire_bytes;
+          ++stats.chunks_issued;
+          ++next_job;
+        }
+        // All of dst's chunks are delivered: raise the notify flag.
+        win_->put_header(dst, target_offset_[d] + bank_off(d, f),
+                         make_slot_header(seq, send_wire_cap_[d]));
+      }
     }
     // End of round: wait for this round's data movement (Algorithm 3 line
-    // 10). Raw fence mode needs no per-round fence — puts target disjoint
-    // final recv regions and no staging is recycled between rounds.
+    // 10) — once per batch, not once per field. Raw fence mode needs no
+    // per-round fence: puts target disjoint final recv regions and no
+    // staging is recycled between rounds.
     if (pscw) {
       win_->complete();
       win_->wait_posted();
-      // Round j's exposure is closed: every source slot of this round is
-      // complete, so its decode can overlap the remaining rounds' puts.
+      // Round j's exposure is closed: every (source, field) slot of this
+      // round is complete, so its decode can overlap the remaining rounds'
+      // puts.
       if (!raw_) {
         for (const int src : pscw_sources_[static_cast<std::size_t>(j)]) {
           const auto s = static_cast<std::size_t>(src);
           if (recvcounts_[s] == 0) continue;
-          if (decode_async) {
-            decode_inflight_.push_back(WorkerPool::global().submit(
-                [this, s, seq, recv] { decode_source(s, seq, recv); }));
-          } else {
-            decode_source(s, seq, recv);
+          for (std::size_t f = 0; f < nf; ++f) {
+            if (decode_async) {
+              decode_inflight_.push_back(
+                  WorkerPool::global().submit([this, s, seq, f, fr =
+                                                                field_recv(f)] {
+                    decode_source(s, seq, fr, f);
+                  }));
+            } else {
+              decode_source(s, seq, field_recv(f), f);
+            }
           }
         }
       }
@@ -403,25 +507,29 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
 
   // --- Fence mode: decompress the whole received window -------------------
   // As the paper does, decode starts only after the final synchronization;
-  // sizes come from the slot headers, never from a collective.
+  // sizes come from the slot headers, never from a collective. Work items
+  // cover every (field, source) pair of the batch.
   const auto unpack_src = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t s = lo; s < hi; ++s) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t f = k / static_cast<std::size_t>(p_);
+      const std::size_t s = k % static_cast<std::size_t>(p_);
       if (recvcounts_[s] == 0) continue;
-      decode_source(s, seq, recv);
+      decode_source(s, seq, field_recv(f), f);
     }
   };
+  const std::size_t work = static_cast<std::size_t>(p_) * nf;
   if (workers_ > 1) {
-    WorkerPool::global().parallel_for(static_cast<std::size_t>(p_), 1,
-                                      unpack_src, workers_);
+    WorkerPool::global().parallel_for(work, 1, unpack_src, workers_);
   } else {
-    unpack_src(0, static_cast<std::size_t>(p_));
+    unpack_src(0, work);
   }
   return stats;
 }
 
 void ExchangePlan::decode_source(std::size_t s, std::uint16_t seq,
-                                 std::span<double> recv) {
-  const std::uint64_t header = win_->read_local_header(slot_offset_[s]);
+                                 std::span<double> recv, std::size_t f) {
+  const std::uint64_t bank = f * bank_stride_;
+  const std::uint64_t header = win_->read_local_header(slot_offset_[s] + bank);
   // The notify flag: a mismatched sequence means the source's put for this
   // epoch has not landed (or a stale epoch leaked through) — a
   // synchronization bug, caught here instead of decoding garbage.
@@ -433,14 +541,15 @@ void ExchangePlan::decode_source(std::size_t s, std::uint16_t seq,
     for (std::size_t i = begin; i < end; ++i) {
       const PlanChunk& job = unpack_jobs_[i];
       codec_->decompress(
-          std::span<const std::byte>(window_store_.data() + job.stage_off,
-                                     job.wire_bytes),
+          std::span<const std::byte>(
+              window_store_.data() + bank + job.stage_off, job.wire_bytes),
           recv.subspan(recvdispls_[s] + job.elem_off, job.elem_cnt));
     }
     return;
   }
   codec_->decompress(
-      std::span<const std::byte>(window_store_.data() + slot_offset_[s] +
+      std::span<const std::byte>(window_store_.data() + bank +
+                                     slot_offset_[s] +
                                      minimpi::kHeaderWordBytes,
                                  wire),
       recv.subspan(recvdispls_[s], recvcounts_[s]));

@@ -84,9 +84,20 @@ class ExchangePlan {
   ExchangePlan(const ExchangePlan&) = delete;
   ExchangePlan& operator=(const ExchangePlan&) = delete;
 
-  /// Run the exchange. Collective; `recv` must be the pinned span. The
-  /// wire format is byte-identical to the per-call free functions.
+  /// Run the exchange. Collective; `recv` must be the first pinned field
+  /// (the whole pinned span when options.batch == 1). The wire format is
+  /// byte-identical to the per-call free functions.
   ExchangeStats execute(std::span<const double> send, std::span<double> recv);
+
+  /// Exchange `fields` same-layout fields (1 <= fields <= options.batch)
+  /// in one synchronization epoch: the one-sided path opens the epoch
+  /// once, issues every field's puts per ring round, and closes each round
+  /// once — fences and PSCW handshakes are paid per *batch*, not per
+  /// field. `send` and `recv` hold `fields` consecutive field images
+  /// (`recv` must be the pinned span's leading `fields` banks). Collective;
+  /// received bytes are identical to `fields` back-to-back execute() calls.
+  ExchangeStats execute_batch(std::span<const double> send,
+                              std::span<double> recv, int fields);
 
   PlanBackend backend() const { return backend_; }
   const OscOptions& options() const { return options_; }
@@ -106,17 +117,19 @@ class ExchangePlan {
   };
 
   ExchangeStats execute_one_sided(std::span<const double> send,
-                                  std::span<double> recv);
+                                  std::span<double> recv, int fields);
   ExchangeStats execute_two_sided(std::span<const double> send,
                                   std::span<double> recv);
   ExchangeStats execute_two_sided_fused(std::span<const double> send,
                                         std::span<double> recv);
 
-  /// Decode+unpack source `s`'s window slot into `recv`, after verifying
-  /// the slot header's epoch sequence (the put-with-notify flag) matches
-  /// `seq`. Runs on the rank thread or a pool worker; sources touch
-  /// disjoint window and recv regions, so decodes need no coordination.
-  void decode_source(std::size_t s, std::uint16_t seq, std::span<double> recv);
+  /// Decode+unpack source `s`'s slot in field bank `f` into that field's
+  /// `recv` span, after verifying the slot header's epoch sequence (the
+  /// put-with-notify flag) matches `seq`. Runs on the rank thread or a
+  /// pool worker; (source, field) pairs touch disjoint window and recv
+  /// regions, so decodes need no coordination.
+  void decode_source(std::size_t s, std::uint16_t seq, std::span<double> recv,
+                     std::size_t f);
 
   minimpi::Comm& comm_;
   OscOptions options_;
@@ -126,8 +139,13 @@ class ExchangePlan {
   CodecPtr codec_;
   int p_ = 0;
   int workers_ = 1;
+  int batch_ = 1;  // Field capacity (options.batch).
 
   std::span<double> recv_pinned_;
+  // Per-field extent of the pinned receive span, in elements
+  // (recv_pinned_.size() / batch_): bank f of recv starts at
+  // f * recv_extent_.
+  std::uint64_t recv_extent_ = 0;
   std::vector<std::uint64_t> sendcounts_, senddispls_;
   std::vector<std::uint64_t> recvcounts_, recvdispls_;
   // Wire capacities (bytes, max_compressed_bytes-based; exact when fixed_).
@@ -142,7 +160,11 @@ class ExchangePlan {
   // One-sided state. Codec-mode slot_offset_[i] points at source i's header
   // word; the payload follows at +kHeaderWordBytes (raw mode exposes the
   // receive buffer itself — no headers, slots are the final recvdispls).
+  // All offsets are field-bank-0 values: field f adds f * bank_stride_
+  // locally and f * target_bank_stride_[peer] on the target.
   std::vector<std::uint64_t> slot_offset_, target_offset_;
+  std::uint64_t bank_stride_ = 0;  // Local per-field window bytes.
+  std::vector<std::uint64_t> target_bank_stride_;  // Peers' bank strides.
   std::vector<std::byte> window_store_;  // Codec modes; raw exposes recv.
   std::unique_ptr<minimpi::Window> win_;
   std::uint64_t epoch_seq_ = 0;  // Stamped into slot headers each execute.

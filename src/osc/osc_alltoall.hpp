@@ -28,6 +28,10 @@ enum class OscSync {
   kFence,  // Global MPI_Win_fence after each round (Algorithm 3 as written).
   kPscw,   // Scoped post/start/complete/wait with just the round's node
            // pair: O(gpn) messages instead of an O(log p) barrier.
+  kAuto,   // Resolve through the tuner at plan construction (src/tuner/):
+           // the calibrated netsim cost model picks the sync mode, path,
+           // and fan-out for the exchange signature. Callers below the
+           // tuner layer (ExchangePlan itself) never see kAuto.
 };
 
 struct OscOptions {
@@ -55,6 +59,13 @@ struct OscOptions {
   /// staged encode+copy+decode baseline for A/B measurement. Received
   /// values and wire byte counts are identical either way.
   bool fused = true;
+  /// Batch capacity of the plan (>= 1): how many same-layout fields one
+  /// execute_batch() may exchange per synchronization epoch. The pinned
+  /// receive span at construction holds `batch` consecutive fields; the
+  /// window is laid out in per-field banks, so a batch pays the fence /
+  /// PSCW handshake cost once instead of once per field. 1 (default)
+  /// keeps the single-field footprint.
+  int batch = 1;
 };
 
 /// Model-driven chunk count: minimizes the compression/transfer pipeline

@@ -48,6 +48,25 @@ void PoissonSolver::solve(std::span<const std::complex<double>> f,
   fft_.backward(spec_, u);
 }
 
+void PoissonSolver::solve_batch(std::span<const std::complex<double>> f,
+                                std::span<std::complex<double>> u,
+                                int fields) {
+  LFFT_REQUIRE(fields >= 1, "poisson: batch needs at least one field");
+  const auto nf = static_cast<std::size_t>(fields);
+  LFFT_REQUIRE(f.size() == nf * local_count() &&
+                   u.size() == nf * local_count(),
+               "poisson: batch spans must hold `fields` local bricks");
+  if (spec_.size() < nf * local_count()) spec_.resize(nf * local_count());
+  const std::span<std::complex<double>> spec(spec_.data(),
+                                             nf * local_count());
+  fft_.forward_batch(f, spec, fields);
+  for (std::size_t b = 0; b < nf; ++b) {
+    apply_symbol(spec.subspan(b * local_count(), local_count()),
+                 /*invert=*/true);
+  }
+  fft_.backward_batch(spec, u, fields);
+}
+
 void PoissonSolver::apply(std::span<const std::complex<double>> u,
                           std::span<std::complex<double>> out) {
   LFFT_REQUIRE(u.size() == local_count() && out.size() == local_count(),

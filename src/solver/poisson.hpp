@@ -38,6 +38,15 @@ class PoissonSolver {
   void solve(std::span<const std::complex<double>> f,
              std::span<std::complex<double>> u);
 
+  /// Multi-RHS solve: `fields` consecutive local bricks of right-hand
+  /// sides in `f`, matching solution bricks in `u`. Both transforms run
+  /// through Fft3d's batched pipeline, so with fft.batch_fields > 1 every
+  /// reshape exchanges a whole chunk of fields per synchronization epoch.
+  /// Results are identical to `fields` independent solve() calls.
+  /// Collective.
+  void solve_batch(std::span<const std::complex<double>> f,
+                   std::span<std::complex<double>> u, int fields);
+
   /// out = (-lap + c) u, evaluated spectrally with this solver's FFT
   /// (so a lossy-wire solver also applies the operator lossily).
   void apply(std::span<const std::complex<double>> u,

@@ -1,0 +1,134 @@
+#include "tuner/tuner.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "tuner/calibrate.hpp"
+
+namespace lossyfft::tuner {
+
+namespace {
+
+// Codec rates are continuous (szq's depends on e_tol); bucket them at
+// quarter-octave resolution so near-identical tolerances share a cache
+// line while genuinely different compression regimes do not.
+long rate_bucket(double rate) {
+  return std::lround(std::log2(std::max(rate, 1e-9)) * 4.0);
+}
+
+// Cache keys are single whitespace-separated tokens per field.
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  return s.empty() ? std::string("raw") : s;
+}
+
+}  // namespace
+
+Tuner::Tuner(TunerOptions options) : options_(std::move(options)) {
+  constants_ = options_.constants;
+  std::lock_guard<std::mutex> lock(mu_);
+  load_cache_locked();
+}
+
+Tuner& Tuner::global() {
+  static Tuner instance([] {
+    TunerOptions o;
+    if (const char* path = std::getenv("LOSSYFFT_TUNE_CACHE")) o.cache_path = path;
+    return o;
+  }());
+  return instance;
+}
+
+std::string Tuner::key(const ExchangeSignature& sig) const {
+  std::ostringstream os;
+  os << sig.p << ' ' << sig.gpn << ' ' << size_class(sig.pair_bytes) << ' '
+     << sanitize(sig.codec_class()) << ' ' << rate_bucket(sig.rate());
+  return os.str();
+}
+
+void Tuner::load_cache_locked() {
+  if (options_.cache_path.empty()) return;
+  std::ifstream in(options_.cache_path);
+  if (!in) return;
+  std::string header;
+  int version = -1;
+  if (!(in >> header >> version) || header != "lossyfft-tune-cache" ||
+      version != kCacheVersion) {
+    return;  // Unknown or stale format: ignore the whole file.
+  }
+  int p = 0, gpn = 0, sc = 0, path = 0, workers = 0;
+  long rb = 0;
+  std::string cls;
+  std::uint64_t rendezvous = 0;
+  double seconds = 0.0;
+  while (in >> p >> gpn >> sc >> cls >> rb >> path >> workers >> rendezvous >>
+         seconds) {
+    if (path < 0 || path > static_cast<int>(TunePath::kTwoSidedStaged) ||
+        workers < 1) {
+      continue;  // Tolerate a corrupt row without dropping the rest.
+    }
+    std::ostringstream os;
+    os << p << ' ' << gpn << ' ' << sc << ' ' << cls << ' ' << rb;
+    TuneDecision d;
+    d.path = static_cast<TunePath>(path);
+    d.workers = workers;
+    d.rendezvous_threshold = rendezvous;
+    d.modeled_seconds = seconds;
+    memo_[os.str()] = d;
+  }
+}
+
+void Tuner::store_cache_locked() {
+  if (options_.cache_path.empty()) return;
+  // Rewrite-in-place: the file is tiny (one row per size class per shape)
+  // and a full rewrite keeps the on-disk table in sync with the memo.
+  std::ofstream out(options_.cache_path, std::ios::trunc);
+  if (!out) return;  // Unwritable cache degrades to in-memory tuning.
+  // max_digits10 so modeled_seconds round-trips bit-exactly: a reloaded
+  // cache must reproduce decisions (and their reported costs) verbatim.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "lossyfft-tune-cache " << kCacheVersion << '\n';
+  for (const auto& [k, d] : memo_) {
+    out << k << ' ' << static_cast<int>(d.path) << ' ' << d.workers << ' '
+        << d.rendezvous_threshold << ' ' << d.modeled_seconds << '\n';
+  }
+}
+
+CostConstants& Tuner::constants_locked(const ExchangeSignature* sig) {
+  if (!constants_) constants_ = calibrate_host();
+  if (!options_.constants && sig && sig->codec &&
+      calibrated_codec_class_ != sig->codec_class()) {
+    calibrate_codec(*sig->codec, *constants_);
+    calibrated_codec_class_ = sig->codec_class();
+  }
+  return *constants_;
+}
+
+const CostConstants& Tuner::constants() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return constants_locked(nullptr);
+}
+
+TuneDecision Tuner::decide(const ExchangeSignature& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string k = key(sig);
+  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+
+  const CostConstants& cc = constants_locked(&sig);
+  // Decide at the bucket's deterministic representative so every
+  // pair_bytes in the size class yields the identical decision.
+  ExchangeSignature rep = sig;
+  rep.pair_bytes = representative_bytes(size_class(sig.pair_bytes));
+  const TuneDecision d = lossyfft::tuner::decide(rep, cc);
+  memo_[k] = d;
+  store_cache_locked();
+  return d;
+}
+
+}  // namespace lossyfft::tuner

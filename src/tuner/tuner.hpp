@@ -1,0 +1,80 @@
+// Tuner layer 3: decision memo + persistent cache + integration surface.
+//
+// Tuner::decide(signature) resolves an exchange signature to a full
+// execution configuration (signature.hpp). Resolution order:
+//
+//   1. in-memory memo (steady state: a map lookup, nothing else);
+//   2. the persistent cache file — a versioned text table keyed by
+//      (p, gpn, size class, codec class, rate bucket), loaded once at
+//      construction. LOSSYFFT_TUNE_CACHE names the file; unset means
+//      in-memory only. A version-line mismatch ignores the file wholesale
+//      (stale model constants must not resurrect stale decisions);
+//   3. compute: calibrate the host once per process (calibrate.hpp),
+//      calibrate the signature's codec class once, run the cost model's
+//      exhaustive argmin at the size bucket's representative, memoize,
+//      and rewrite the cache file.
+//
+// Decisions are bucketed by size class (bit width of pair_bytes) and
+// computed at the bucket's deterministic representative, so every member
+// of a bucket maps to the identical decision regardless of query order —
+// the property the cache round-trip test pins down.
+//
+// Plan construction is collective, calibration timings are not: callers
+// integrating over a communicator (Reshape) must have one rank decide and
+// broadcast the (trivially copyable) TuneDecision, which also keeps probe
+// cost at one rank's worth. decide() itself is thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "tuner/cost_model.hpp"
+
+namespace lossyfft::tuner {
+
+struct TunerOptions {
+  /// Persistent cache path; empty = in-memory memo only.
+  std::string cache_path;
+  /// Injected model constants (tests, tune_dump --summit). When set,
+  /// calibration never runs.
+  std::optional<CostConstants> constants;
+};
+
+class Tuner {
+ public:
+  /// Explicit options (tests construct isolated instances this way).
+  explicit Tuner(TunerOptions options);
+
+  /// The process-wide instance: cache path from LOSSYFFT_TUNE_CACHE,
+  /// live-host calibration on first miss.
+  static Tuner& global();
+
+  /// Resolve a signature (thread-safe; probes only on a cold bucket).
+  TuneDecision decide(const ExchangeSignature& sig);
+
+  /// The model constants decisions are computed with; triggers host
+  /// calibration when no injected constants exist and no decision has
+  /// needed them yet. Codec throughputs reflect the last codec class
+  /// calibrated.
+  const CostConstants& constants();
+
+  /// Cache-format version of this build (first line of the cache file is
+  /// "lossyfft-tune-cache <version>"; other versions are ignored).
+  static constexpr int kCacheVersion = 1;
+
+ private:
+  std::string key(const ExchangeSignature& sig) const;
+  void load_cache_locked();
+  void store_cache_locked();
+  CostConstants& constants_locked(const ExchangeSignature* sig);
+
+  std::mutex mu_;
+  TunerOptions options_;
+  std::optional<CostConstants> constants_;  // Lazily calibrated.
+  std::string calibrated_codec_class_;      // Last codec probe target.
+  std::map<std::string, TuneDecision> memo_;
+};
+
+}  // namespace lossyfft::tuner

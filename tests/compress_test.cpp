@@ -7,9 +7,11 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/bitio.hpp"
 #include "compress/checksum.hpp"
 #include "compress/lossless.hpp"
+#include "compress/parallel_codec.hpp"
 #include "compress/planner.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
@@ -659,15 +661,20 @@ TEST(ParallelGranularity, DeclaredOnlyWhereShardingIsSound) {
     EXPECT_GT(c->parallel_granularity(), 0u) << c->name();
     EXPECT_TRUE(c->fixed_size()) << c->name();
   }
-  // Scaled FP16 appends all block scales after all halves; szq and RLE are
-  // variable-rate streams; checksum frames the whole message. None can be
-  // cut-and-concatenated, and they must say so.
+  // Scaled FP16 appends all block scales after all halves; checksum frames
+  // the whole message. Neither can be cut-and-concatenated, and they must
+  // say so.
   EXPECT_EQ(CastFp16Codec(/*scaled=*/true).parallel_granularity(), 0u);
-  EXPECT_EQ(SzqCodec(1e-6).parallel_granularity(), 0u);
-  EXPECT_EQ(ByteplaneRleCodec().parallel_granularity(), 0u);
   EXPECT_EQ(
       ChecksumCodec(std::make_shared<IdentityCodec>()).parallel_granularity(),
       0u);
+  // szq and RLE are variable-rate, so they shard through the internal
+  // frame (directory + compacted payloads) instead of prefix exactness.
+  EXPECT_EQ(SzqCodec(1e-6).parallel_granularity(), SzqCodec::kShardElems);
+  EXPECT_EQ(ByteplaneRleCodec().parallel_granularity(),
+            ByteplaneRleCodec::kShardElems);
+  EXPECT_FALSE(SzqCodec(1e-6).fixed_size());
+  EXPECT_FALSE(ByteplaneRleCodec().fixed_size());
 }
 
 TEST(ParallelGranularity, SizesAreAdditiveAtGranularityMultiples) {
@@ -719,6 +726,90 @@ TEST(ParallelGranularity, ShardConcatenationEqualsSerialStream) {
                 0)
           << c->name() << " cut=" << cut;
     }
+  }
+}
+
+// --------------------------------------------- variable-codec shard frame
+// szq and RLE shard through the internal frame documented in codec.hpp:
+// `u64 count | u64 dir[ceil(n/g)] | compacted shard payloads`, every shard
+// coded independently. The wire stream must be a pure function of the data
+// — identical whether the serial encoder or ParallelCodec's fan-out (any
+// shard count) produced it — and each shard payload must match what
+// compress_shard emits for that element range alone.
+
+std::vector<std::shared_ptr<const Codec>> framed_codecs() {
+  return {std::make_shared<SzqCodec>(1e-7),
+          std::make_shared<ByteplaneRleCodec>()};
+}
+
+TEST(ShardFrame, ParallelFanOutIsBitwiseIdenticalToSerial) {
+  WorkerPool pool(3);
+  for (const auto& c : framed_codecs()) {
+    const std::size_t g = c->parallel_granularity();
+    // Ragged tail on purpose: the last shard is a partial one.
+    for (const std::size_t n : {g / 2, g, 3 * g + g / 3, 8 * g + 1}) {
+      const auto in = uniform_data(n, 777 + n);
+      std::vector<std::byte> serial(c->max_compressed_bytes(n));
+      std::vector<std::byte> fanned(serial.size(), std::byte{0x5C});
+      const std::size_t used = c->compress(in, serial);
+      for (const int shards : {2, 3, 7}) {
+        ParallelCodec pc(c, &pool, shards, /*min_shard_bytes=*/1);
+        std::fill(fanned.begin(), fanned.end(), std::byte{0x5C});
+        ASSERT_EQ(pc.compress(in, fanned), used)
+            << c->name() << " n=" << n << " shards=" << shards;
+        EXPECT_EQ(std::memcmp(fanned.data(), serial.data(), used), 0)
+            << c->name() << " n=" << n << " shards=" << shards;
+
+        // And the parallel decoder reconstructs the serial decode exactly.
+        std::vector<double> whole(n), sharded(n, -1.0);
+        c->decompress(std::span<const std::byte>(serial.data(), used),
+                      whole);
+        pc.decompress(std::span<const std::byte>(serial.data(), used),
+                      sharded);
+        EXPECT_EQ(
+            std::memcmp(whole.data(), sharded.data(), n * sizeof(double)),
+            0)
+            << c->name() << " n=" << n << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardFrame, DirectoryMatchesIndependentShardEncodes) {
+  for (const auto& c : framed_codecs()) {
+    const std::size_t g = c->parallel_granularity();
+    const std::size_t n = 2 * g + g / 5;
+    const auto in = uniform_data(n, 4141);
+    std::vector<std::byte> wire(c->max_compressed_bytes(n));
+    const std::size_t used = c->compress(in, wire);
+    const std::size_t ns = (n + g - 1) / g;
+    std::uint64_t count = 0;
+    std::memcpy(&count, wire.data(), 8);
+    ASSERT_EQ(count, n);
+    std::size_t pos = 8 + 8 * ns;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const std::size_t m = std::min(g, n - s * g);
+      std::uint64_t bytes = 0;
+      std::memcpy(&bytes, wire.data() + 8 + 8 * s, 8);
+      std::vector<std::byte> solo(c->shard_payload_bound(m));
+      const std::size_t solo_used = c->compress_shard(
+          std::span<const double>(in).subspan(s * g, m), solo);
+      ASSERT_EQ(solo_used, bytes) << c->name() << " shard=" << s;
+      EXPECT_EQ(std::memcmp(solo.data(), wire.data() + pos, bytes), 0)
+          << c->name() << " shard=" << s;
+      pos += bytes;
+    }
+    EXPECT_EQ(pos, used) << c->name();
+  }
+}
+
+TEST(ShardFrame, EmptyStreamIsJustTheCountWord) {
+  for (const auto& c : framed_codecs()) {
+    EXPECT_EQ(c->max_compressed_bytes(0), 8u) << c->name();
+    std::vector<std::byte> wire(8);
+    EXPECT_EQ(c->compress({}, wire), 8u) << c->name();
+    std::vector<double> out;
+    EXPECT_NO_THROW(c->decompress(wire, out)) << c->name();
   }
 }
 

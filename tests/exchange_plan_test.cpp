@@ -508,6 +508,160 @@ TEST(PscwPipelined, MatchesFenceAcrossCodecClasses) {
   });
 }
 
+// --- Batched execute: one epoch per batch, identical to per-field runs -----
+
+// A `fields`-bank copy of `l` where bank f's cells are the base values
+// shifted by f (so banks are distinguishable but share the layout).
+Layout make_batched_layout(const Layout& l, int fields, double shift) {
+  Layout b = l;
+  b.send.resize(l.send.size() * static_cast<std::size_t>(fields));
+  b.recv.assign(l.recv.size() * static_cast<std::size_t>(fields), -999.0);
+  for (int f = 0; f < fields; ++f) {
+    for (std::size_t i = 0; i < l.send.size(); ++i) {
+      b.send[static_cast<std::size_t>(f) * l.send.size() + i] =
+          l.send[i] + shift * f;
+    }
+  }
+  return b;
+}
+
+TEST(BatchExecute, MatchesBackToBackExecutesAcrossCodecsAndSync) {
+  run_ranks(4, [](Comm& comm) {
+    constexpr int kFields = 3;
+    std::vector<CodecPtr> codecs;
+    codecs.push_back(nullptr);
+    codecs.push_back(std::make_shared<CastFp32Codec>());
+    codecs.push_back(std::make_shared<SzqCodec>(1e-7));
+    codecs.push_back(std::make_shared<ByteplaneRleCodec>());
+    for (const CodecPtr& codec : codecs) {
+      for (const OscSync sync : {OscSync::kFence, OscSync::kPscw}) {
+        const auto base = make_layout(4, comm.rank());
+        auto ref = make_batched_layout(base, kFields, 0.125);
+        auto bat = make_batched_layout(base, kFields, 0.125);
+        OscOptions ro;
+        ro.codec = codec;
+        ro.sync = sync;
+        ro.gpus_per_node = 2;  // Two-node ring: multi-round epochs.
+        OscOptions bo = ro;
+        bo.batch = kFields;
+        // Reference: a single-field plan run once per bank, banks copied
+        // out of the pinned recv between executes.
+        std::vector<double> expected(bat.recv.size(), -1.0);
+        ExchangePlan rplan(
+            comm, PlanBackend::kOneSided, ref.sc, ref.sd, ref.rc, ref.rd,
+            std::span<double>(ref.recv.data(), base.recv.size()), ro);
+        for (int f = 0; f < kFields; ++f) {
+          const auto fo = static_cast<std::size_t>(f);
+          rplan.execute(
+              std::span<const double>(ref.send.data() + fo * base.send.size(),
+                                      base.send.size()),
+              std::span<double>(ref.recv.data(), base.recv.size()));
+          std::copy_n(ref.recv.data(), base.recv.size(),
+                      expected.data() + fo * base.recv.size());
+        }
+        // Batched: every bank travels under one epoch sequence.
+        ExchangePlan bplan(comm, PlanBackend::kOneSided, bat.sc, bat.sd,
+                           bat.rc, bat.rd, std::span<double>(bat.recv), bo);
+        for (int it = 0; it < 2; ++it) {
+          std::fill(bat.recv.begin(), bat.recv.end(), -1.0);
+          bplan.execute_batch(bat.send, std::span<double>(bat.recv), kFields);
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(bat.recv[i], expected[i]) << "it=" << it << " i=" << i;
+          }
+        }
+        // A partial batch reuses the leading banks only.
+        std::fill(bat.recv.begin(), bat.recv.end(), -1.0);
+        bplan.execute_batch(
+            std::span<const double>(bat.send.data(), 2 * base.send.size()),
+            std::span<double>(bat.recv.data(), 2 * base.recv.size()), 2);
+        for (std::size_t i = 0; i < 2 * base.recv.size(); ++i) {
+          EXPECT_EQ(bat.recv[i], expected[i]) << i;
+        }
+      }
+    }
+  });
+}
+
+TEST(BatchExecute, SyncCostIsPerBatchNotPerField) {
+  // The point of batching: a k-field batch pays the epoch synchronization
+  // once, not k times. Exact budgets per batched execute (gpn = 2, so the
+  // 4-rank world is a two-node ring): raw fence = 2 barriers (open +
+  // close); codec fence = nodes + 1 barriers (open + one per round); PSCW
+  // = 2p posts per rank (one post per source, one complete per target) —
+  // all independent of the field count.
+  run_ranks(4, [](Comm& comm) {
+    const int p = 4;
+    constexpr int kFields = 3;
+    constexpr int kIters = 2;
+    const auto base = make_layout(p, comm.rank());
+    auto raw = make_batched_layout(base, kFields, 0.25);
+    auto cod = make_batched_layout(base, kFields, 0.25);
+    auto hsk = make_batched_layout(base, kFields, 0.25);
+    OscOptions ro;  // Raw fence.
+    ro.gpus_per_node = 2;
+    ro.batch = kFields;
+    OscOptions co = ro;  // Fixed codec, fence.
+    co.codec = std::make_shared<CastFp32Codec>();
+    OscOptions po = co;  // Fixed codec, PSCW.
+    po.sync = OscSync::kPscw;
+    ExchangePlan rplan(comm, PlanBackend::kOneSided, raw.sc, raw.sd, raw.rc,
+                       raw.rd, std::span<double>(raw.recv), ro);
+    ExchangePlan cplan(comm, PlanBackend::kOneSided, cod.sc, cod.sd, cod.rc,
+                       cod.rd, std::span<double>(cod.recv), co);
+    ExchangePlan pplan(comm, PlanBackend::kOneSided, hsk.sc, hsk.sd, hsk.rc,
+                       hsk.rd, std::span<double>(hsk.recv), po);
+    rplan.execute_batch(raw.send, std::span<double>(raw.recv), kFields);
+    cplan.execute_batch(cod.send, std::span<double>(cod.recv), kFields);
+    pplan.execute_batch(hsk.send, std::span<double>(hsk.recv), kFields);
+
+    // Fence budgets. The shared counter bumps at barrier *entry*, so the
+    // baseline/final reads are bracketed with bcasts (message-based — they
+    // never touch the barrier counter) instead of barriers: no rank can
+    // reach the next fence before rank 0 has read the counter.
+    std::array<std::byte, 1> tok{};
+    comm.barrier();
+    std::uint64_t b0 = 0;
+    if (comm.rank() == 0) b0 = comm.state().barrier_count();
+    comm.bcast(std::span<std::byte>(tok), 0);
+    for (int it = 0; it < kIters; ++it) {
+      rplan.execute_batch(raw.send, std::span<double>(raw.recv), kFields);
+      cplan.execute_batch(cod.send, std::span<double>(cod.recv), kFields);
+    }
+    if (comm.rank() == 0) {
+      const std::uint64_t nodes = 2;
+      const std::uint64_t fences_per_iter = 2 + (nodes + 1);
+      EXPECT_EQ(comm.state().barrier_count() - b0,
+                kIters * fences_per_iter * static_cast<std::uint64_t>(p));
+    }
+    comm.bcast(std::span<std::byte>(tok), 0);
+
+    // PSCW handshake budget (mailbox messages; barriers post none).
+    comm.barrier();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    comm.barrier();
+    for (int it = 0; it < kIters; ++it) {
+      pplan.execute_batch(hsk.send, std::span<double>(hsk.recv), kFields);
+    }
+    comm.barrier();
+    EXPECT_EQ(comm.state().message_post_count() - m0,
+              static_cast<std::uint64_t>(kIters) * p * 2 * p);
+
+    // Spot-check delivery of the last banks (raw is exact; fp32 rounds).
+    for (int s = 0; s < p; ++s) {
+      const auto i = static_cast<std::size_t>(s);
+      for (std::uint64_t k = 0; k < base.rc[i]; ++k) {
+        const double want =
+            cell_value(s, comm.rank(), k) + 0.25 * (kFields - 1);
+        const std::size_t at =
+            static_cast<std::size_t>(kFields - 1) * base.recv.size() +
+            base.rd[i] + k;
+        EXPECT_EQ(raw.recv[at], want);
+        EXPECT_NEAR(hsk.recv[at], want, 3e-7);
+      }
+    }
+  });
+}
+
 TEST(SteadyState, ReshapeExecuteIsAllocationFree) {
   run_ranks(4, [](Comm& comm) {
     const std::array<int, 3> n{12, 10, 8};

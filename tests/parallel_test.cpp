@@ -209,8 +209,9 @@ std::vector<CodecCase> codec_cases() {
       {"bittrim20", std::make_shared<BitTrimCodec>(20), 8},
       {"bittrim9", std::make_shared<BitTrimCodec>(9), 8},
       {"zfpx20", std::make_shared<Zfpx1dCodec>(20), 4},
-      {"szq", std::make_shared<SzqCodec>(1e-6), 0},
-      {"rle", std::make_shared<ByteplaneRleCodec>(), 0},
+      {"szq", std::make_shared<SzqCodec>(1e-6), SzqCodec::kShardElems},
+      {"rle", std::make_shared<ByteplaneRleCodec>(),
+       ByteplaneRleCodec::kShardElems},
       {"checksum",
        std::make_shared<ChecksumCodec>(std::make_shared<CastFp32Codec>()), 0},
   };

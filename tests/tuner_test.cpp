@@ -1,0 +1,346 @@
+// The model-guided autotuner (src/tuner/): decision quality against the
+// exhaustive argmin, persistent-cache round trips, stale-cache rejection,
+// kAuto result identity, and the kAuto steady-state counter guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "dfft/decomp.hpp"
+#include "dfft/fft3d.hpp"
+#include "dfft/reshape.hpp"
+#include "minimpi/runtime.hpp"
+#include "tuner/tuner.hpp"
+
+// ---- Heap-allocation counter (same shim as exchange_plan_test) -------------
+namespace {
+thread_local bool t_count_allocs = false;
+thread_local std::uint64_t t_allocs = 0;
+}  // namespace
+
+#define LFFT_TEST_ALLOC __attribute__((noinline))
+LFFT_TEST_ALLOC void* operator new(std::size_t n) {
+  if (t_count_allocs) ++t_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+LFFT_TEST_ALLOC void* operator new[](std::size_t n) {
+  return ::operator new(n);
+}
+LFFT_TEST_ALLOC void operator delete(void* p) noexcept { std::free(p); }
+LFFT_TEST_ALLOC void operator delete[](void* p) noexcept { std::free(p); }
+LFFT_TEST_ALLOC void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+LFFT_TEST_ALLOC void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace lossyfft::tuner {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_ranks;
+
+std::vector<std::pair<std::string, CodecPtr>> sweep_codecs() {
+  return {
+      {"raw", nullptr},
+      {"fp32", std::make_shared<CastFp32Codec>()},
+      {"szq", std::make_shared<SzqCodec>(1e-6)},
+      {"rle", std::make_shared<ByteplaneRleCodec>()},
+  };
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The signature Reshape builds for its tuner query: largest off-diagonal
+// send payload of rank 0 under the given decomposition.
+std::uint64_t reshape_pair_bytes(const std::vector<Box3>& all_in,
+                                 const std::vector<Box3>& all_out) {
+  std::uint64_t largest = 0;
+  for (std::size_t r = 1; r < all_out.size(); ++r) {
+    const auto c = Box3::intersect(all_in[0], all_out[r]).count();
+    largest = std::max(largest, static_cast<std::uint64_t>(c));
+  }
+  return largest * sizeof(double);
+}
+
+// --- Decision quality: bucketed pick within 10% of the exhaustive best ------
+
+TEST(TunerModel, PickWithinTenPercentOfExhaustiveBest) {
+  const CostConstants k;  // Summit defaults: deterministic.
+  TunerOptions to;
+  to.constants = k;
+  Tuner tuner(std::move(to));
+  const auto codecs = sweep_codecs();
+  for (const int p : {2, 4, 8, 16}) {
+    for (const int gpn : {1, 2, 6}) {
+      if (gpn > p) continue;
+      for (const std::uint64_t kib : {4ull, 32ull, 256ull, 2048ull}) {
+        for (const auto& [label, codec] : codecs) {
+          ExchangeSignature sig;
+          sig.p = p;
+          sig.gpn = gpn;
+          sig.pair_bytes = kib * 1024;
+          sig.codec = codec;
+          const TuneDecision d = tuner.decide(sig);
+          const double picked =
+              evaluate(sig, TuneCandidate{d.path, d.workers}, k);
+          double best = -1.0;
+          for (const TuneCandidate& c : candidate_space(sig, k)) {
+            const double cost = evaluate(sig, c, k);
+            if (best < 0.0 || cost < best) best = cost;
+          }
+          EXPECT_LE(picked, best * 1.10 + 1e-12)
+              << "p=" << p << " gpn=" << gpn << " KiB=" << kib
+              << " codec=" << label << " picked=" << to_string(d.path)
+              << " w=" << d.workers;
+        }
+      }
+    }
+  }
+}
+
+// --- Persistent cache: write -> reload -> identical, probe-free ------------
+
+TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
+  const std::string path = ::testing::TempDir() + "lossyfft_tune_rt.txt";
+  std::remove(path.c_str());
+  const auto codecs = sweep_codecs();
+  std::vector<ExchangeSignature> sigs;
+  for (const int p : {4, 8}) {
+    for (const std::uint64_t kib : {16ull, 512ull}) {
+      for (const auto& [label, codec] : codecs) {
+        ExchangeSignature sig;
+        sig.p = p;
+        sig.gpn = 2;
+        sig.pair_bytes = kib * 1024;
+        sig.codec = codec;
+        sigs.push_back(sig);
+      }
+    }
+  }
+
+  std::vector<TuneDecision> first;
+  {
+    TunerOptions to;
+    to.cache_path = path;
+    to.constants = CostConstants{};  // No probing in the writer either.
+    Tuner writer(std::move(to));
+    for (const auto& sig : sigs) first.push_back(writer.decide(sig));
+  }
+  const std::string written = read_file(path);
+  ASSERT_FALSE(written.empty());
+  EXPECT_EQ(written.rfind("lossyfft-tune-cache 1\n", 0), 0u);
+
+  // A fresh tuner with NO injected constants: on any cache miss it would
+  // have to calibrate, and a hit must not rewrite the file — so decisions
+  // matching bit-for-bit plus an untouched file proves every query was
+  // served from the reloaded cache.
+  TunerOptions ro;
+  ro.cache_path = path;
+  Tuner reader(std::move(ro));
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const TuneDecision d = reader.decide(sigs[i]);
+    EXPECT_EQ(static_cast<int>(d.path), static_cast<int>(first[i].path)) << i;
+    EXPECT_EQ(d.workers, first[i].workers) << i;
+    EXPECT_EQ(d.rendezvous_threshold, first[i].rendezvous_threshold) << i;
+    EXPECT_EQ(d.modeled_seconds, first[i].modeled_seconds) << i;
+  }
+  EXPECT_EQ(read_file(path), written);
+
+  // Size-class bucketing: every payload in a bucket maps to the bucket
+  // representative's decision, so nearby sizes reuse cache rows.
+  ExchangeSignature a = sigs[0], b = sigs[0];
+  a.pair_bytes = 5000;
+  b.pair_bytes = 8000;  // Same bucket [4096, 8192).
+  const TuneDecision da = reader.decide(a);
+  const TuneDecision db = reader.decide(b);
+  EXPECT_EQ(static_cast<int>(da.path), static_cast<int>(db.path));
+  EXPECT_EQ(da.workers, db.workers);
+  EXPECT_EQ(da.modeled_seconds, db.modeled_seconds);
+}
+
+TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
+  const std::string path = ::testing::TempDir() + "lossyfft_tune_stale.txt";
+  ExchangeSignature sig;  // Raw signature: cache key "8 2 <sc> raw 0".
+  sig.p = 8;
+  sig.gpn = 2;
+  sig.pair_bytes = 64 * 1024;
+  sig.codec = nullptr;
+
+  // The reference decision from a clean tuner.
+  TunerOptions co;
+  co.constants = CostConstants{};
+  Tuner clean(std::move(co));
+  const TuneDecision want = clean.decide(sig);
+
+  // A stale-version file carrying a poisoned row under this signature's
+  // exact key: workers = 77 on the staged path, which decide() can never
+  // produce for a raw exchange. If the version gate leaked, this row would
+  // be returned verbatim.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "lossyfft-tune-cache 99\n";
+    out << sig.p << " " << sig.gpn << " " << size_class(sig.pair_bytes)
+        << " raw 0 " << static_cast<int>(TunePath::kTwoSidedStaged)
+        << " 77 4096 1e-9\n";
+  }
+  TunerOptions so;
+  so.cache_path = path;
+  so.constants = CostConstants{};
+  Tuner stale(std::move(so));
+  const TuneDecision got = stale.decide(sig);
+  EXPECT_EQ(static_cast<int>(got.path), static_cast<int>(want.path));
+  EXPECT_EQ(got.workers, want.workers);
+  EXPECT_NE(got.workers, 77);
+  // The recomputed decision replaces the stale file, current version first.
+  EXPECT_EQ(read_file(path).rfind("lossyfft-tune-cache 1\n", 0), 0u);
+}
+
+// --- kAuto integration ------------------------------------------------------
+
+// Seed the process-wide tuner's cache with a pinned decision for the
+// reshape signature the steady-state test constructs, before anything
+// touches Tuner::global(). This is the warm-cache production scenario:
+// plan construction must run zero probes and apply the cached row.
+const std::string& global_cache_path() {
+  static const std::string path =
+      ::testing::TempDir() + "lossyfft_tune_global.txt";
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::array<int, 3> n{12, 10, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 0, 4);
+    const auto pair = reshape_pair_bytes(bricks, pencils);
+    // fp32's rate bucket: lround(log2(nominal_rate) * 4), as keyed by the
+    // tuner (quarter-octave buckets).
+    const CastFp32Codec fp32;
+    const long rb = std::lround(std::log2(fp32.nominal_rate()) * 4.0);
+    std::ofstream out(path, std::ios::trunc);
+    out << "lossyfft-tune-cache 1\n";
+    // Pin: one-sided fence, serial workers (the config whose steady-state
+    // budgets the counter asserts below encode).
+    out << "4 6 " << size_class(pair) << " " << fp32.name() << " " << rb
+        << " " << static_cast<int>(TunePath::kOneSidedFence)
+        << " 1 4096 1e-3\n";
+    ::setenv("LOSSYFFT_TUNE_CACHE", path.c_str(), 1);
+  });
+  return path;
+}
+
+TEST(TunerAuto, SteadyStateExecuteIsCollectiveAndAllocationFree) {
+  global_cache_path();
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{12, 10, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 0, 4);
+    ReshapeOptions ro;
+    ro.backend = ExchangeBackend::kOsc;
+    ro.codec = std::make_shared<CastFp32Codec>();
+    ro.osc_sync = osc::OscSync::kAuto;
+    Reshape<double> shape(comm, bricks, pencils, ro);
+    // The pinned cache row resolved the plan: fence, one-sided, serial.
+    ASSERT_TRUE(shape.tuned_decision().has_value());
+    EXPECT_EQ(static_cast<int>(shape.tuned_decision()->path),
+              static_cast<int>(TunePath::kOneSidedFence));
+    EXPECT_EQ(shape.tuned_decision()->workers, 1);
+    std::vector<double> in(static_cast<std::size_t>(shape.inbox().count())),
+        out(static_cast<std::size_t>(shape.outbox().count()));
+    Xoshiro256 rng(29 + static_cast<std::uint64_t>(comm.rank()));
+    fill_uniform(rng, in);
+    shape.execute(std::span<const double>(in), std::span<double>(out));
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    for (int it = 0; it < 3; ++it) {
+      shape.execute(std::span<const double>(in), std::span<double>(out));
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    // Steady state on the autotuned path: no window churn, no messages
+    // (fenced epochs are barrier-only), no heap allocation.
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(comm.state().message_post_count(), m0);
+    EXPECT_EQ(t_allocs, 0u);
+  });
+}
+
+TEST(TunerAuto, ReshapeMatchesFixedConfigForEveryCodecClass) {
+  global_cache_path();
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{10, 9, 8};
+    const auto bricks = split_brick(n, proc_grid3(4));
+    const auto pencils = split_pencil(n, 1, 4);
+    std::vector<CodecPtr> codecs;
+    codecs.push_back(nullptr);
+    codecs.push_back(std::make_shared<CastFp32Codec>());
+    codecs.push_back(std::make_shared<BitTrimCodec>(20));
+    codecs.push_back(std::make_shared<SzqCodec>(1e-6));
+    codecs.push_back(std::make_shared<ByteplaneRleCodec>());
+    for (const CodecPtr& codec : codecs) {
+      ReshapeOptions fixed;
+      fixed.backend = ExchangeBackend::kOsc;
+      fixed.codec = codec;
+      ReshapeOptions tuned = fixed;
+      tuned.osc_sync = osc::OscSync::kAuto;
+      Reshape<double> f(comm, bricks, pencils, fixed);
+      Reshape<double> t(comm, bricks, pencils, tuned);
+      const auto in_n = static_cast<std::size_t>(f.inbox().count());
+      const auto out_n = static_cast<std::size_t>(f.outbox().count());
+      std::vector<double> in(in_n), fo(out_n, -1.0), to(out_n, -2.0);
+      Xoshiro256 rng(31 + static_cast<std::uint64_t>(comm.rank()));
+      fill_uniform(rng, in);
+      for (int it = 0; it < 2; ++it) {
+        f.execute(std::span<const double>(in), std::span<double>(fo));
+        t.execute(std::span<const double>(in), std::span<double>(to));
+        for (std::size_t i = 0; i < out_n; ++i) {
+          EXPECT_EQ(to[i], fo[i]) << "codec=" << (codec ? codec->name() : "raw")
+                                  << " it=" << it << " i=" << i;
+        }
+      }
+    }
+  });
+}
+
+TEST(TunerAuto, Fft3dAutotuneRoundTrips) {
+  global_cache_path();
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{8, 6, 6};
+    Fft3dOptions fo;
+    fo.backend = ExchangeBackend::kOsc;
+    fo.autotune = true;
+    Fft3d<double> fft(comm, n, /*e_tol=*/1e-6, fo);
+    const auto count = fft.local_count();
+    std::vector<std::complex<double>> u(count), spec(count), back(count);
+    Xoshiro256 rng(37 + static_cast<std::uint64_t>(comm.rank()));
+    for (auto& c : u) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    fft.forward(u, spec);
+    fft.backward(spec, back);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_NEAR(back[i].real(), u[i].real(), 1e-4) << i;
+      EXPECT_NEAR(back[i].imag(), u[i].imag(), 1e-4) << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lossyfft::tuner

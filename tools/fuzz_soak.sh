@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Soak-run the randomized exchange conformance suite under rotating seeds.
+#
+# Each iteration exports a fresh LOSSYFFT_FUZZ_SEED and runs the `fuzz`
+# CMake workflow preset (configure + build + `ctest -L fuzz`), so every run
+# draws new layouts, codec parameters, and ring shapes through every
+# transport path. Failures are collected and reported at the end with the
+# exact seed and a one-line reproduction command — a soak failure is only
+# useful if it can be replayed.
+#
+# Usage: tools/fuzz_soak.sh [runs] [start-seed]
+#   runs        number of iterations (default 10)
+#   start-seed  first seed (default: current epoch seconds); subsequent
+#               runs advance by a fixed prime stride so a soak is fully
+#               described by (runs, start-seed).
+#
+# CI runs a short fixed-seed soak via the `ci-soak` workflow preset.
+set -u
+
+RUNS="${1:-10}"
+SEED="${2:-$(date +%s)}"
+cd "$(dirname "$0")/.." || exit 2
+
+failed=()
+for i in $(seq 1 "$RUNS"); do
+  echo "== fuzz soak ${i}/${RUNS}: LOSSYFFT_FUZZ_SEED=${SEED} =="
+  if ! LOSSYFFT_FUZZ_SEED="$SEED" cmake --workflow --preset fuzz; then
+    failed+=("$SEED")
+  fi
+  SEED=$((SEED + 7919))
+done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo ""
+  echo "FUZZ SOAK: ${#failed[@]}/${RUNS} runs FAILED. Reproduce with:"
+  for s in "${failed[@]}"; do
+    echo "  LOSSYFFT_FUZZ_SEED=${s} cmake --workflow --preset fuzz"
+  done
+  exit 1
+fi
+echo "fuzz soak: ${RUNS}/${RUNS} runs passed"

@@ -1,0 +1,138 @@
+// tune_dump: print the autotuner's decision table.
+//
+// For a sweep of exchange signatures (rank counts x ranks-per-node x
+// per-pair payload sizes x codec classes) this prints the path, fan-out,
+// advisory rendezvous threshold, and modeled seconds the tuner would pick,
+// plus the modeled seconds of every candidate when --verbose is given.
+//
+// By default decisions use the built-in Summit-like model constants, so
+// the output is deterministic and diffable. --calibrate measures the live
+// host first (the same micro-probes plan construction runs on a tune-cache
+// miss) and prints the fitted constants. When LOSSYFFT_TUNE_CACHE is set,
+// decisions go through the persistent cache exactly as production plan
+// construction does — running tune_dump once can pre-warm a cache file.
+//
+// Usage: tune_dump [--calibrate] [--verbose]
+//                  [--p LIST] [--gpn LIST] [--kib LIST]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compress/lossless.hpp"
+#include "compress/szq.hpp"
+#include "compress/truncate.hpp"
+#include "tuner/calibrate.hpp"
+#include "tuner/tuner.hpp"
+
+namespace {
+
+using namespace lossyfft;
+using namespace lossyfft::tuner;
+
+std::vector<int> parse_list(const char* s) {
+  std::vector<int> out;
+  int v = 0;
+  bool have = false;
+  for (; *s != '\0'; ++s) {
+    if (*s >= '0' && *s <= '9') {
+      v = v * 10 + (*s - '0');
+      have = true;
+    } else if (have) {
+      out.push_back(v);
+      v = 0;
+      have = false;
+    }
+  }
+  if (have) out.push_back(v);
+  return out;
+}
+
+struct CodecRow {
+  const char* label;
+  CodecPtr codec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool calibrate = false, verbose = false;
+  std::vector<int> ps = {4, 8, 16};
+  std::vector<int> gpns = {1, 2, 6};
+  std::vector<int> kibs = {16, 256, 4096};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--calibrate") {
+      calibrate = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--p" && i + 1 < argc) {
+      ps = parse_list(argv[++i]);
+    } else if (arg == "--gpn" && i + 1 < argc) {
+      gpns = parse_list(argv[++i]);
+    } else if (arg == "--kib" && i + 1 < argc) {
+      kibs = parse_list(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: tune_dump [--calibrate] [--verbose] [--p LIST] "
+                   "[--gpn LIST] [--kib LIST]\n");
+      return 2;
+    }
+  }
+
+  TunerOptions topts;
+  if (const char* path = std::getenv("LOSSYFFT_TUNE_CACHE")) {
+    topts.cache_path = path;
+  }
+  if (!calibrate) topts.constants = CostConstants{};  // Summit defaults.
+  Tuner tuner(std::move(topts));
+
+  const CostConstants& k = tuner.constants();  // Calibrates when asked to.
+  std::printf("# constants: %s\n", k.calibrated ? "calibrated" : "summit");
+  std::printf("#   copy_bw=%.3g encode_bw=%.3g decode_bw=%.3g B/s\n",
+              k.copy_bw, k.encode_bw, k.decode_bw);
+  std::printf("#   msg_two=%.3g msg_one=%.3g handshake=%.3g barrier=%.3g s\n",
+              k.net.msg_overhead_two_sided, k.net.msg_overhead_one_sided,
+              k.handshake_seconds, k.net.barrier_hop_latency);
+  std::printf("#   pool_concurrency=%d worker_efficiency=%.2f\n\n",
+              k.pool_concurrency, k.worker_efficiency);
+
+  const CodecRow codecs[] = {
+      {"raw", nullptr},
+      {"bittrim", std::make_shared<BitTrimCodec>(16)},
+      {"szq", std::make_shared<SzqCodec>(1e-6)},
+      {"rle", std::make_shared<ByteplaneRleCodec>()},
+  };
+
+  std::printf("%4s %4s %9s %-8s  %-15s %7s %11s %12s\n", "p", "gpn",
+              "pair_KiB", "codec", "path", "workers", "rendezvous",
+              "modeled_us");
+  for (const int p : ps) {
+    for (const int gpn : gpns) {
+      if (gpn > p) continue;
+      for (const int kib : kibs) {
+        for (const CodecRow& row : codecs) {
+          ExchangeSignature sig;
+          sig.p = p;
+          sig.gpn = gpn;
+          sig.pair_bytes = static_cast<std::uint64_t>(kib) * 1024;
+          sig.codec = row.codec;
+          const TuneDecision d = tuner.decide(sig);
+          std::printf("%4d %4d %9d %-8s  %-15s %7d %11" PRIu64 " %12.2f\n", p,
+                      gpn, kib, row.label, to_string(d.path), d.workers,
+                      d.rendezvous_threshold, d.modeled_seconds * 1e6);
+          if (verbose) {
+            for (const TuneCandidate& c : candidate_space(sig, k)) {
+              std::printf("      | %-15s w=%-2d %12.2f us\n",
+                          to_string(c.path), c.workers,
+                          evaluate(sig, c, k) * 1e6);
+            }
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}
