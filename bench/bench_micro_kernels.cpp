@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/rng.hpp"
 #include "common/worker_pool.hpp"
 #include "compress/lossless.hpp"
@@ -101,6 +102,82 @@ void BM_Decompress(benchmark::State& state) {
 }
 BENCHMARK(BM_Decompress)->DenseRange(0, 6);
 
+// Scalar-vs-SIMD rows for every dispatched kernel family: each codec runs
+// once pinned to the scalar reference kernels and once at the detected
+// level. Both levels produce bit-identical streams, so the delta is pure
+// kernel throughput. Arg 1 selects the level (0 = scalar, 1 = detected),
+// arg 2 the element count as log2(n): 2^12 keeps in+out L1-resident
+// (raw kernel speed), 2^16 streams from L2 (the delivered bandwidth a
+// slot decode actually sees — memory-bound kernels like the fp32 cast
+// converge toward the cache ceiling there). The label carries
+// "<codec> <level>" so recorded JSONs stay self-describing. Rows at the
+// detected level are skipped (not silently renamed) on hosts where
+// detection lands on scalar.
+std::shared_ptr<Codec> make_dispatched_codec(int which) {
+  switch (which) {
+    case 0: return std::make_shared<CastFp32Codec>();
+    case 1: return std::make_shared<BitTrimCodec>(20);  // 32-bit packed words
+    case 2: return std::make_shared<BitTrimCodec>(40);  // 52-bit generic pack
+    case 3: return std::make_shared<Zfpx1dCodec>(16);
+    case 4: return std::make_shared<ZfpxAccuracyCodec>(1e-6);
+    default: return std::make_shared<SzqCodec>(1e-6);
+  }
+}
+
+bool enter_simd_row(benchmark::State& state, SimdLevel* prev) {
+  const bool want_simd = state.range(1) != 0;
+  if (want_simd && detected_simd_level() == SimdLevel::kScalar) {
+    state.SkipWithError("host detects no SIMD level above scalar");
+    return false;
+  }
+  *prev = set_simd_level(want_simd ? detected_simd_level()
+                                   : SimdLevel::kScalar);
+  return true;
+}
+
+void BM_CompressSimd(benchmark::State& state) {
+  SimdLevel prev;
+  if (!enter_simd_row(state, &prev)) return;
+  const auto codec = make_dispatched_codec(static_cast<int>(state.range(0)));
+  const std::size_t n = std::size_t{1} << state.range(2);
+  Xoshiro256 rng(7);
+  std::vector<double> in(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec->max_compressed_bytes(n));
+  for (auto _ : state) {
+    const std::size_t used = codec->compress(in, wire);
+    benchmark::DoNotOptimize(used);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(codec->name() + " " + simd_level_name());
+  set_simd_level(prev);
+}
+BENCHMARK(BM_CompressSimd)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}, {12, 16}});
+
+void BM_DecompressSimd(benchmark::State& state) {
+  SimdLevel prev;
+  if (!enter_simd_row(state, &prev)) return;
+  const auto codec = make_dispatched_codec(static_cast<int>(state.range(0)));
+  const std::size_t n = std::size_t{1} << state.range(2);
+  Xoshiro256 rng(8);
+  std::vector<double> in(n), out(n);
+  fill_uniform(rng, in);
+  std::vector<std::byte> wire(codec->max_compressed_bytes(n));
+  const std::size_t used = codec->compress(in, wire);
+  for (auto _ : state) {
+    codec->decompress(std::span<const std::byte>(wire.data(), used), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+  state.SetLabel(codec->name() + " " + simd_level_name());
+  set_simd_level(prev);
+}
+BENCHMARK(BM_DecompressSimd)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}, {12, 16}});
+
 // Sharded cast/trim kernels at 1/2/4 total workers (caller included). At
 // one worker the ParallelCodec runs the plain serial kernel, so the
 // worker sweep isolates the fan-out overhead/speedup on this machine;
@@ -158,4 +235,21 @@ BENCHMARK(BM_DecompressParallel)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so recorded JSONs carry honest provenance. The stock
+// "library_build_type" context field describes the distro-packaged
+// libbenchmark (compiled without NDEBUG, so it always says "debug"); the
+// build type that matters for kernel numbers is this binary's, injected
+// here from CMAKE_BUILD_TYPE, alongside the detected dispatch level.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifdef LOSSYFFT_BUILD_TYPE
+  benchmark::AddCustomContext("lossyfft_build_type", LOSSYFFT_BUILD_TYPE);
+#endif
+  benchmark::AddCustomContext(
+      "lossyfft_simd_detected",
+      lossyfft::simd_level_name(lossyfft::detected_simd_level()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

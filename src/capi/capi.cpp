@@ -5,6 +5,7 @@
 #include <exception>
 #include <functional>
 
+#include "common/cpu_dispatch.hpp"
 #include "dfft/fft3d.hpp"
 #include "minimpi/runtime.hpp"
 
@@ -132,6 +133,10 @@ int lossyfft_backward(lossyfft_plan* plan, const double* in, double* out) {
 
 double lossyfft_compression_ratio(const lossyfft_plan* plan) {
   return plan != nullptr ? plan->fft.stats().compression_ratio() : 0.0;
+}
+
+const char* lossyfft_simd_level(void) {
+  return lossyfft::simd_level_name();
 }
 
 }  // extern "C"

@@ -63,6 +63,12 @@ int lossyfft_backward(lossyfft_plan* plan, const double* in, double* out);
 /* payload bytes / wire bytes over this plan's exchanges so far. */
 double lossyfft_compression_ratio(const lossyfft_plan* plan);
 
+/* Active codec kernel dispatch level ("scalar" or "avx2"): the best level
+ * the CPU supports, clamped by the LOSSYFFT_SIMD environment variable
+ * ("auto", "avx2", "scalar") read once at first use. Static string; never
+ * NULL. Compressed streams are bit-identical across levels. */
+const char* lossyfft_simd_level(void);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -1,0 +1,69 @@
+#include "common/cpu_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace lossyfft {
+
+namespace {
+
+SimdLevel detect() {
+#if defined(LOSSYFFT_SIMD_FORCE_SCALAR)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2
+                                        : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel clamp(SimdLevel level, SimdLevel cap) {
+  return static_cast<int>(level) > static_cast<int>(cap) ? cap : level;
+}
+
+SimdLevel initial_level() {
+  const SimdLevel cap = detected_simd_level();
+  if (const char* env = std::getenv("LOSSYFFT_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return clamp(SimdLevel::kAvx2, cap);
+    // "auto" (and anything unrecognized) falls through to detection.
+  }
+  return cap;
+}
+
+std::atomic<SimdLevel>& level_slot() {
+  static std::atomic<SimdLevel> level{initial_level()};
+  return level;
+}
+
+}  // namespace
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+SimdLevel simd_level() {
+  return level_slot().load(std::memory_order_relaxed);
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  return level_slot().exchange(clamp(level, detected_simd_level()),
+                               std::memory_order_relaxed);
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+const char* simd_level_name() { return simd_level_name(simd_level()); }
+
+}  // namespace lossyfft

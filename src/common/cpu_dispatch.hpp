@@ -1,0 +1,37 @@
+// One-time CPU feature dispatch for the SIMD codec kernels.
+//
+// The compress hot loops (zfpx bit-plane coder, bittrim pack/unpack, szq
+// index unpack, the casts) each exist twice: a scalar reference build and
+// an AVX2 build that must produce bit-identical streams. Which one runs is
+// decided here, once, from cpuid — overridable per process with
+// LOSSYFFT_SIMD={auto,avx2,scalar} and per test with set_simd_level().
+// Levels are ordered so an AVX-512 tier can slot in above kAvx2 later.
+#pragma once
+
+namespace lossyfft {
+
+enum class SimdLevel : int {
+  kScalar = 0,  // Always available; the reference implementation.
+  kAvx2 = 1,    // x86-64 AVX2 lanes (requires a -mavx2 build of the TUs).
+};
+
+/// Best level this binary + host supports (compile-time force and cpuid
+/// only; ignores the environment override).
+SimdLevel detected_simd_level();
+
+/// Active dispatch level: detected_simd_level() clamped by the
+/// LOSSYFFT_SIMD environment override, cached after the first call.
+SimdLevel simd_level();
+
+/// Test/bench hook: pin the active level (clamped to the detected level so
+/// the name never overstates what actually runs). Takes effect for kernels
+/// dispatched after the call; callers restore the previous level.
+SimdLevel set_simd_level(SimdLevel level);
+
+/// Stable lowercase name ("scalar", "avx2").
+const char* simd_level_name(SimdLevel level);
+
+/// Name of the active level — what tune_dump and the C API report.
+const char* simd_level_name();
+
+}  // namespace lossyfft

@@ -2,9 +2,11 @@
 // (BitTrim, zfpx, szq). Bits are appended LSB-first into bytes.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -95,6 +97,41 @@ class BitReader {
     const int bit = static_cast<int>(pos_ & 7);
     ++pos_;
     return (in_[byte] & (std::byte{1} << bit)) != std::byte{0};
+  }
+
+  /// Peek at up to `max_bits` (<= 64) upcoming bits without consuming
+  /// them. Returns {bits LSB-first, avail} where avail = min(max_bits,
+  /// bits left in the buffer); bit positions at and above avail are zero.
+  /// Never faults: near the end of the stream the caller sees a short
+  /// avail and falls back to per-bit reads, so a truncated stream fails
+  /// the same LFFT_REQUIRE a bit-by-bit reader would hit.
+  std::pair<std::uint64_t, int> peek_upto(int max_bits) const {
+    LFFT_ASSERT(max_bits >= 0 && max_bits <= 64);
+    const std::size_t left = (in_.size() << 3) - pos_;
+    const int avail = static_cast<int>(
+        std::min(static_cast<std::size_t>(max_bits), left));
+    std::uint64_t v = 0;
+    int done = 0;
+    std::size_t p = pos_;
+    while (done < avail) {
+      const std::size_t byte = p >> 3;
+      const int bit = static_cast<int>(p & 7);
+      const int take = std::min(8 - bit, avail - done);
+      const std::uint64_t chunk =
+          (std::to_integer<std::uint64_t>(in_[byte]) >> bit) &
+          ((std::uint64_t{1} << take) - 1);
+      v |= chunk << done;
+      p += static_cast<std::size_t>(take);
+      done += take;
+    }
+    return {v, avail};
+  }
+
+  /// Consume `nbits` previously peeked bits.
+  void skip(int nbits) {
+    LFFT_ASSERT(nbits >= 0 &&
+                pos_ + static_cast<std::size_t>(nbits) <= (in_.size() << 3));
+    pos_ += static_cast<std::size_t>(nbits);
   }
 
   std::size_t bit_count() const { return pos_; }

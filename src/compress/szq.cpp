@@ -1,6 +1,7 @@
 #include "compress/szq.hpp"
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/error.hpp"
 #include "compress/bitio.hpp"
 #include "compress/shard_frame.hpp"
+#include "compress/simd.hpp"
 
 namespace lossyfft {
 
@@ -25,13 +27,17 @@ std::int64_t unzigzag(std::uint64_t u) {
          -static_cast<std::int64_t>(u & 1);
 }
 
-int bit_width_of(std::uint64_t v) {
-  int w = 0;
-  while (v) {
-    ++w;
-    v >>= 1;
-  }
-  return w;
+int bit_width_of(std::uint64_t v) { return std::bit_width(v); }
+
+// Scalar index unpack: the reference the AVX2 gather build in szq_simd.cpp
+// must match bit-for-bit. The quantize/reconstruct recurrences themselves
+// stay scalar everywhere — each step feeds the next through rounded
+// floating-point adds, and re-associating them would change reconstructed
+// values, breaking the bit-identity contract on re-compression.
+void unpack_indices_scalar(const std::byte* in, std::size_t in_len, int width,
+                           std::int64_t* q, std::size_t n) {
+  BitReader br({in, in_len});
+  for (std::size_t i = 0; i < n; ++i) q[i] = unzigzag(br.get(width));
 }
 
 // Reused per-thread scratch: steady-state ExchangePlan::execute() is
@@ -130,11 +136,9 @@ void SzqCodec::decompress_shard(std::span<const std::byte> in,
     const std::size_t bn = std::min(kBlock, out.size() - base);
     LFFT_REQUIRE(pos < in.size(), "szq: truncated stream");
     const int width = static_cast<int>(in[pos++]);
-    BitReader br(in.subspan(pos));
-    for (std::size_t i = 0; i < bn; ++i) {
-      q[base + i] = unzigzag(br.get(width));
-    }
-    pos += (br.bit_count() + 7) / 8;
+    simd::szq_kernels().unpack_indices(in.data() + pos, in.size() - pos, width,
+                                       q.data() + base, bn);
+    pos += (static_cast<std::size_t>(width) * bn + 7) / 8;
   }
 
   const double quantum = 2.0 * eb_;
@@ -165,5 +169,11 @@ void SzqCodec::decompress(std::span<const std::byte> in,
                           std::span<double> out) const {
   framed_decompress(*this, in, out);
 }
+
+namespace simd {
+
+SzqKernels scalar_szq_kernels() { return {&unpack_indices_scalar}; }
+
+}  // namespace simd
 
 }  // namespace lossyfft

@@ -1,0 +1,73 @@
+// AVX2 build of the szq index unpack: a 64-bit gather per four packed
+// indices, variable right-shift by the in-byte phase, mask, and a vector
+// unzigzag. Valid because szq widths never exceed 32 bits (the outlier
+// sentinel zigzags to 2^31), so phase (<= 7) + width fits the gathered
+// 64-bit window. Tail values and short inputs drop to the scalar
+// BitReader at the same bit position, so a truncated stream trips the
+// same "read past end" requirement the scalar kernel reports.
+#include "compress/simd.hpp"
+
+#if defined(LOSSYFFT_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace lossyfft::simd {
+namespace {
+
+void unpack_indices_avx2(const std::byte* in, std::size_t in_len, int width,
+                         std::int64_t* q, std::size_t n) {
+  const std::uint64_t w = static_cast<std::uint64_t>(width);
+  std::size_t i = 0;
+  if (width > 0) {
+    const __m256i vmask = _mm256_set1_epi64x(
+        static_cast<long long>((std::uint64_t{1} << width) - 1));
+    const __m256i one = _mm256_set1_epi64x(1);
+    for (; i + 4 <= n; i += 4) {
+      const std::uint64_t bit0 = i * w;
+      const std::size_t b3 = (bit0 + 3 * w) >> 3;
+      if (b3 + 8 > in_len) break;  // Tail: scalar byte assembly.
+      const __m256i idx = _mm256_set_epi64x(
+          static_cast<long long>(b3), static_cast<long long>((bit0 + 2 * w) >> 3),
+          static_cast<long long>((bit0 + w) >> 3),
+          static_cast<long long>(bit0 >> 3));
+      const __m256i phases = _mm256_set_epi64x(
+          static_cast<long long>((bit0 + 3 * w) & 7),
+          static_cast<long long>((bit0 + 2 * w) & 7),
+          static_cast<long long>((bit0 + w) & 7),
+          static_cast<long long>(bit0 & 7));
+      const __m256i g = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(in), idx, 1);
+      const __m256i u =
+          _mm256_and_si256(_mm256_srlv_epi64(g, phases), vmask);
+      // unzigzag: (u >> 1) ^ -(u & 1).
+      const __m256i v = _mm256_xor_si256(
+          _mm256_srli_epi64(u, 1),
+          _mm256_sub_epi64(_mm256_setzero_si256(),
+                           _mm256_and_si256(u, one)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i), v);
+    }
+  }
+  BitReader br({in, in_len});
+  br.skip(static_cast<int>(i * w));
+  for (; i < n; ++i) {
+    const std::uint64_t u = br.get(width);
+    q[i] = static_cast<std::int64_t>(u >> 1) ^
+           -static_cast<std::int64_t>(u & 1);
+  }
+}
+
+}  // namespace
+
+SzqKernels avx2_szq_kernels() { return {&unpack_indices_avx2}; }
+
+}  // namespace lossyfft::simd
+
+#else  // !LOSSYFFT_SIMD_AVX2
+
+namespace lossyfft::simd {
+
+SzqKernels avx2_szq_kernels() { return scalar_szq_kernels(); }
+
+}  // namespace lossyfft::simd
+
+#endif

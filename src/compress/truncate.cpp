@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "compress/bitio.hpp"
+#include "compress/simd.hpp"
 #include "softfloat/half.hpp"
 #include "softfloat/trim.hpp"
 
@@ -20,7 +21,109 @@ namespace {
 // friends), where the per-element memcpy form defeated vectorization.
 constexpr std::size_t kLane = 1024;
 
+// Scalar reference kernels, registered as the dispatch table's scalar row
+// (truncate_simd.cpp holds the AVX2 row; streams are bit-identical).
+
+void cast_fp32_scalar(const double* in, std::size_t n, std::byte* out) {
+  float lane[kLane];
+  for (std::size_t i = 0; i < n; i += kLane) {
+    const std::size_t m = std::min(kLane, n - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      lane[j] = static_cast<float>(in[i + j]);
+    }
+    std::memcpy(out + i * 4, lane, m * 4);
+  }
+}
+
+void uncast_fp32_scalar(const std::byte* in, std::size_t n, double* out) {
+  float lane[kLane];
+  for (std::size_t i = 0; i < n; i += kLane) {
+    const std::size_t m = std::min(kLane, n - i);
+    std::memcpy(lane, in + i * 4, m * 4);
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i + j] = static_cast<double>(lane[j]);
+    }
+  }
+}
+
+void trim_pack_scalar(const double* in, std::size_t n, int mantissa_bits,
+                      int bits, std::byte* out) {
+  // Word-at-a-time packer: values accumulate LSB-first in a uint64_t lane
+  // that is flushed whole (same stream BitWriter produces, ~bits/8 byte
+  // stores per value instead of one pass per bit).
+  const int drop = 52 - mantissa_bits;
+  std::byte* dst = out;
+  std::size_t pos = 0;          // Bytes flushed so far.
+  std::uint64_t acc = 0;        // Pending stream bits, LSB-first.
+  int filled = 0;               // In [0, 63].
+  const auto flush_word = [&] {
+    for (int k = 0; k < 8; ++k) {
+      dst[pos + static_cast<std::size_t>(k)] = std::byte(acc >> (8 * k));
+    }
+    pos += 8;
+  };
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    // Layout of a trimmed double, high to low: sign(1) exp(11)
+    // kept-mantissa. We transmit the top (12 + m) bits; the dropped low
+    // bits are zero.
+    const double t = trim_mantissa(in[idx], mantissa_bits);
+    const std::uint64_t u = std::bit_cast<std::uint64_t>(t) >> drop;
+    acc |= u << filled;
+    const int take = 64 - filled;
+    if (bits >= take) {
+      flush_word();
+      acc = take < 64 ? (u >> take) : 0;
+      filled = bits - take;
+    } else {
+      filled += bits;
+    }
+  }
+  for (int k = 0; k * 8 < filled; ++k) {
+    dst[pos++] = std::byte(acc >> (8 * k));
+  }
+}
+
+void trim_unpack_scalar(const std::byte* in, std::size_t nbytes, double* out,
+                        std::size_t n, int bits, int drop) {
+  // Word-at-a-time unpacker: load 8 stream bytes as one little-endian
+  // word at the value's byte offset, shift the in-byte phase away, and
+  // top up from a ninth byte when the value straddles the word. Near the
+  // end of the stream the load falls back to byte assembly.
+  const std::uint64_t mask =
+      bits < 64 ? (std::uint64_t{1} << bits) - 1 : ~std::uint64_t{0};
+  const std::byte* src = in;
+  std::size_t bitpos = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::size_t byte = bitpos >> 3;
+    const int phase = static_cast<int>(bitpos & 7);
+    std::uint64_t w;
+    if (byte + 8 <= nbytes) {
+      std::memcpy(&w, src + byte, 8);  // Little-endian stream word.
+    } else {
+      w = 0;
+      for (std::size_t k = byte; k < nbytes; ++k) {
+        w |= std::to_integer<std::uint64_t>(src[k]) << (8 * (k - byte));
+      }
+    }
+    std::uint64_t u = w >> phase;
+    if (phase != 0 && phase + bits > 64 && byte + 8 < nbytes) {
+      u |= std::to_integer<std::uint64_t>(src[byte + 8]) << (64 - phase);
+    }
+    out[idx] = std::bit_cast<double>((u & mask) << drop);
+    bitpos += static_cast<std::size_t>(bits);
+  }
+}
+
 }  // namespace
+
+namespace simd {
+
+TrimKernels scalar_trim_kernels() {
+  return {&trim_pack_scalar, &trim_unpack_scalar, &cast_fp32_scalar,
+          &uncast_fp32_scalar};
+}
+
+}  // namespace simd
 
 // ---------------------------------------------------------------- Identity
 
@@ -44,28 +147,14 @@ void IdentityCodec::decompress(std::span<const std::byte> in,
 std::size_t CastFp32Codec::compress(std::span<const double> in,
                                     std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= in.size() * 4, "fp32 cast: output too small");
-  float lane[kLane];
-  for (std::size_t i = 0; i < in.size(); i += kLane) {
-    const std::size_t m = std::min(kLane, in.size() - i);
-    for (std::size_t j = 0; j < m; ++j) {
-      lane[j] = static_cast<float>(in[i + j]);
-    }
-    std::memcpy(out.data() + i * 4, lane, m * 4);
-  }
+  simd::trim_kernels().cast_fp32(in.data(), in.size(), out.data());
   return in.size() * 4;
 }
 
 void CastFp32Codec::decompress(std::span<const std::byte> in,
                                std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= out.size() * 4, "fp32 cast: input too small");
-  float lane[kLane];
-  for (std::size_t i = 0; i < out.size(); i += kLane) {
-    const std::size_t m = std::min(kLane, out.size() - i);
-    std::memcpy(lane, in.data() + i * 4, m * 4);
-    for (std::size_t j = 0; j < m; ++j) {
-      out[i + j] = static_cast<double>(lane[j]);
-    }
-  }
+  simd::trim_kernels().uncast_fp32(in.data(), out.size(), out.data());
 }
 
 // ------------------------------------------------------------------- FP16
@@ -203,40 +292,8 @@ std::size_t BitTrimCodec::compress(std::span<const double> in,
                                    std::span<std::byte> out) const {
   LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
                "bittrim: output too small");
-  // Word-at-a-time packer: values accumulate LSB-first in a uint64_t lane
-  // that is flushed whole (same stream BitWriter produces, ~bits/8 byte
-  // stores per value instead of one pass per bit).
-  const int bits = bits_per_value_;
-  const int drop = 52 - mantissa_bits_;
-  std::byte* dst = out.data();
-  std::size_t pos = 0;          // Bytes flushed so far.
-  std::uint64_t acc = 0;        // Pending stream bits, LSB-first.
-  int filled = 0;               // In [0, 63].
-  const auto flush_word = [&] {
-    for (int k = 0; k < 8; ++k) {
-      dst[pos + static_cast<std::size_t>(k)] = std::byte(acc >> (8 * k));
-    }
-    pos += 8;
-  };
-  for (const double v : in) {
-    // Layout of a trimmed double, high to low: sign(1) exp(11)
-    // kept-mantissa. We transmit the top (12 + m) bits; the dropped low
-    // bits are zero.
-    const double t = trim_mantissa(v, mantissa_bits_);
-    const std::uint64_t u = std::bit_cast<std::uint64_t>(t) >> drop;
-    acc |= u << filled;
-    const int take = 64 - filled;
-    if (bits >= take) {
-      flush_word();
-      acc = take < 64 ? (u >> take) : 0;
-      filled = bits - take;
-    } else {
-      filled += bits;
-    }
-  }
-  for (int k = 0; k * 8 < filled; ++k) {
-    dst[pos++] = std::byte(acc >> (8 * k));
-  }
+  simd::trim_kernels().pack(in.data(), in.size(), mantissa_bits_,
+                            bits_per_value_, out.data());
   return max_compressed_bytes(in.size());
 }
 
@@ -244,36 +301,8 @@ void BitTrimCodec::decompress(std::span<const std::byte> in,
                               std::span<double> out) const {
   LFFT_REQUIRE(in.size() >= max_compressed_bytes(out.size()),
                "bittrim: input too small");
-  // Word-at-a-time unpacker: load 8 stream bytes as one little-endian
-  // word at the value's byte offset, shift the in-byte phase away, and
-  // top up from a ninth byte when the value straddles the word. Near the
-  // end of the stream the load falls back to byte assembly.
-  const int bits = bits_per_value_;
-  const int drop = 52 - mantissa_bits_;
-  const std::uint64_t mask =
-      bits < 64 ? (std::uint64_t{1} << bits) - 1 : ~std::uint64_t{0};
-  const std::byte* src = in.data();
-  const std::size_t nbytes = in.size();
-  std::size_t bitpos = 0;
-  for (auto& v : out) {
-    const std::size_t byte = bitpos >> 3;
-    const int phase = static_cast<int>(bitpos & 7);
-    std::uint64_t w;
-    if (byte + 8 <= nbytes) {
-      std::memcpy(&w, src + byte, 8);  // Little-endian stream word.
-    } else {
-      w = 0;
-      for (std::size_t k = byte; k < nbytes; ++k) {
-        w |= std::to_integer<std::uint64_t>(src[k]) << (8 * (k - byte));
-      }
-    }
-    std::uint64_t u = w >> phase;
-    if (phase != 0 && phase + bits > 64 && byte + 8 < nbytes) {
-      u |= std::to_integer<std::uint64_t>(src[byte + 8]) << (64 - phase);
-    }
-    v = std::bit_cast<double>((u & mask) << drop);
-    bitpos += static_cast<std::size_t>(bits);
-  }
+  simd::trim_kernels().unpack(in.data(), in.size(), out.data(), out.size(),
+                              bits_per_value_, 52 - mantissa_bits_);
 }
 
 }  // namespace lossyfft

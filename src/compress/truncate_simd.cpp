@@ -1,0 +1,269 @@
+// AVX2 build of the cast/trim kernels. The mantissa round-to-nearest-even
+// (including its carry into the exponent and the non-finite passthrough)
+// is pure 64-bit integer arithmetic, so four lanes of it are exact; the
+// fp64<->fp32 casts use the hardware converters the scalar static_cast
+// compiles to. Streams are bit-identical to the scalar row in truncate.cpp
+// by construction — the bits==32 pack stores each value as one aligned
+// little-endian dword, exactly the bytes the scalar accumulator flushes,
+// and the generic path reuses the scalar accumulator on vector-trimmed
+// lanes.
+#include "compress/simd.hpp"
+
+#if defined(LOSSYFFT_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "softfloat/trim.hpp"
+
+namespace lossyfft::simd {
+namespace {
+
+// trim_mantissa (softfloat/trim.cpp) on four double-bit lanes. `drop` in
+// [1, 52]; callers special-case mantissa_bits == 52 (identity).
+inline __m256i trim4(__m256i u, int drop) {
+  const std::uint64_t half = std::uint64_t{1} << (drop - 1);
+  const std::uint64_t unit = std::uint64_t{1} << drop;
+  const __m256i keep_mask =
+      _mm256_set1_epi64x(static_cast<long long>(~(unit - 1)));
+  const __m256i halfway = _mm256_set1_epi64x(static_cast<long long>(half));
+  const __m256i unit_v = _mm256_set1_epi64x(static_cast<long long>(unit));
+  const __m256i rem = _mm256_andnot_si256(keep_mask, u);
+  __m256i kept = _mm256_and_si256(u, keep_mask);
+  // Round up when rem > halfway, or rem == halfway and the kept LSB is
+  // set (ties to even). rem and halfway are < 2^52, so the signed
+  // compare is exact.
+  const __m256i gt = _mm256_cmpgt_epi64(rem, halfway);
+  const __m256i eq = _mm256_cmpeq_epi64(rem, halfway);
+  const __m256i odd =
+      _mm256_cmpeq_epi64(_mm256_and_si256(kept, unit_v), unit_v);
+  const __m256i round = _mm256_or_si256(gt, _mm256_and_si256(eq, odd));
+  kept = _mm256_add_epi64(kept, _mm256_and_si256(round, unit_v));
+  // Non-finite passthrough: exponent field all ones.
+  const __m256i expmask =
+      _mm256_set1_epi64x(static_cast<long long>(0x7FF0000000000000ull));
+  const __m256i nonfinite =
+      _mm256_cmpeq_epi64(_mm256_and_si256(u, expmask), expmask);
+  return _mm256_blendv_epi8(kept, u, nonfinite);
+}
+
+inline __m256i load_bits4(const double* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+void trim_pack_avx2(const double* in, std::size_t n, int mantissa_bits,
+                    int bits, std::byte* out) {
+  const int drop = 52 - mantissa_bits;
+  if (bits == 32) {
+    // m == 20: every packed value is one little-endian dword at out+4i.
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v =
+          _mm256_srli_epi64(trim4(load_bits4(in + i), drop), drop);
+      // Compact the four low dwords: [v0 - v1 - | v2 - v3 -] -> dwords.
+      const __m256i sh = _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 0, 2, 0));
+      const __m128i packed = _mm_unpacklo_epi64(
+          _mm256_castsi256_si128(sh), _mm256_extracti128_si256(sh, 1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * i), packed);
+    }
+    for (; i < n; ++i) {
+      const double t = trim_mantissa(in[i], mantissa_bits);
+      const std::uint32_t u =
+          static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(t) >> drop);
+      std::memcpy(out + 4 * i, &u, 4);
+    }
+    return;
+  }
+  // Generic width: trim four lanes at a time into a staging buffer, then
+  // run the scalar bit accumulator over it — same stream, trim cost
+  // amortized across lanes.
+  constexpr std::size_t kLane = 256;
+  std::uint64_t lane[kLane];
+  std::byte* dst = out;
+  std::size_t pos = 0;
+  std::uint64_t acc = 0;
+  int filled = 0;
+  const auto flush_word = [&] {
+    for (int k = 0; k < 8; ++k) {
+      dst[pos + static_cast<std::size_t>(k)] = std::byte(acc >> (8 * k));
+    }
+    pos += 8;
+  };
+  for (std::size_t base = 0; base < n; base += kLane) {
+    const std::size_t m = std::min(kLane, n - base);
+    std::size_t j = 0;
+    if (drop > 0) {
+      for (; j + 4 <= m; j += 4) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(lane + j),
+            _mm256_srli_epi64(trim4(load_bits4(in + base + j), drop), drop));
+      }
+    }
+    for (; j < m; ++j) {
+      const double t = trim_mantissa(in[base + j], mantissa_bits);
+      lane[j] = std::bit_cast<std::uint64_t>(t) >> drop;
+    }
+    for (j = 0; j < m; ++j) {
+      const std::uint64_t u = lane[j];
+      acc |= u << filled;
+      const int take = 64 - filled;
+      if (bits >= take) {
+        flush_word();
+        acc = take < 64 ? (u >> take) : 0;
+        filled = bits - take;
+      } else {
+        filled += bits;
+      }
+    }
+  }
+  for (int k = 0; k * 8 < filled; ++k) {
+    dst[pos++] = std::byte(acc >> (8 * k));
+  }
+}
+
+// Scalar reference loop for the unpack tail (identical to the scalar row
+// in truncate.cpp, starting at value `idx`).
+void unpack_tail(const std::byte* in, std::size_t nbytes, double* out,
+                 std::size_t n, int bits, int drop, std::size_t idx) {
+  const std::uint64_t mask =
+      bits < 64 ? (std::uint64_t{1} << bits) - 1 : ~std::uint64_t{0};
+  std::size_t bitpos = idx * static_cast<std::size_t>(bits);
+  for (; idx < n; ++idx) {
+    const std::size_t byte = bitpos >> 3;
+    const int phase = static_cast<int>(bitpos & 7);
+    std::uint64_t w;
+    if (byte + 8 <= nbytes) {
+      std::memcpy(&w, in + byte, 8);
+    } else {
+      w = 0;
+      for (std::size_t k = byte; k < nbytes; ++k) {
+        w |= std::to_integer<std::uint64_t>(in[k]) << (8 * (k - byte));
+      }
+    }
+    std::uint64_t u = w >> phase;
+    if (phase != 0 && phase + bits > 64 && byte + 8 < nbytes) {
+      u |= std::to_integer<std::uint64_t>(in[byte + 8]) << (64 - phase);
+    }
+    out[idx] = std::bit_cast<double>((u & mask) << drop);
+    bitpos += static_cast<std::size_t>(bits);
+  }
+}
+
+void trim_unpack_avx2(const std::byte* in, std::size_t nbytes, double* out,
+                      std::size_t n, int bits, int drop) {
+  if (bits == 64) {
+    const std::size_t bytes = std::min(nbytes, n * 8);
+    std::memcpy(out, in, bytes);
+    if (bytes < n * 8) unpack_tail(in, nbytes, out, n, bits, drop, bytes / 8);
+    return;
+  }
+  if (bits == 32) {
+    std::size_t i = 0;
+    for (; i + 4 <= n && 4 * i + 16 <= nbytes; i += 4) {
+      const __m128i p =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * i));
+      const __m256i v =
+          _mm256_slli_epi64(_mm256_cvtepu32_epi64(p), drop);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+    unpack_tail(in, nbytes, out, n, bits, drop, i);
+    return;
+  }
+  if (bits > 57) {
+    // phase + bits can exceed the 64-bit gather window; the scalar loop's
+    // ninth-byte top-up handles it.
+    unpack_tail(in, nbytes, out, n, bits, drop, 0);
+    return;
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::size_t bit0 = i * static_cast<std::size_t>(bits);
+    const std::size_t b0 = bit0 >> 3;
+    const std::size_t b1 = (bit0 + static_cast<std::size_t>(bits)) >> 3;
+    const std::size_t b2 = (bit0 + 2 * static_cast<std::size_t>(bits)) >> 3;
+    const std::size_t b3 = (bit0 + 3 * static_cast<std::size_t>(bits)) >> 3;
+    if (b3 + 8 > nbytes) break;  // Tail: scalar byte assembly.
+    const __m256i idx = _mm256_set_epi64x(
+        static_cast<long long>(b3), static_cast<long long>(b2),
+        static_cast<long long>(b1), static_cast<long long>(b0));
+    const __m256i phases = _mm256_set_epi64x(
+        static_cast<long long>((bit0 + 3 * static_cast<std::size_t>(bits)) & 7),
+        static_cast<long long>((bit0 + 2 * static_cast<std::size_t>(bits)) & 7),
+        static_cast<long long>((bit0 + static_cast<std::size_t>(bits)) & 7),
+        static_cast<long long>(bit0 & 7));
+    const __m256i g = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(in), idx, 1);
+    const __m256i v = _mm256_slli_epi64(
+        _mm256_and_si256(_mm256_srlv_epi64(g, phases), vmask), drop);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  unpack_tail(in, nbytes, out, n, bits, drop, i);
+}
+
+void cast_fp32_avx2(const double* in, std::size_t n, std::byte* out) {
+  std::size_t i = 0;
+  // Pair two converts into one 256-bit store: the kernel is store-bound
+  // once the input streams from L2, so halving the store count matters
+  // more than the extra insertf128 shuffle.
+  for (; i + 8 <= n; i += 8) {
+    const __m128 lo = _mm256_cvtpd_ps(_mm256_loadu_pd(in + i));
+    const __m128 hi = _mm256_cvtpd_ps(_mm256_loadu_pd(in + i + 4));
+    _mm256_storeu_ps(reinterpret_cast<float*>(out + 4 * i),
+                     _mm256_insertf128_ps(_mm256_castps128_ps256(lo), hi, 1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128 f = _mm256_cvtpd_ps(_mm256_loadu_pd(in + i));
+    _mm_storeu_ps(reinterpret_cast<float*>(out + 4 * i), f);
+  }
+  for (; i < n; ++i) {
+    const float f = static_cast<float>(in[i]);
+    std::memcpy(out + 4 * i, &f, 4);
+  }
+}
+
+void uncast_fp32_avx2(const std::byte* in, std::size_t n, double* out) {
+  std::size_t i = 0;
+  // One 256-bit load feeds two widening converts (upper half peeled off
+  // with extractf128), halving the load count of the 4-at-a-time form.
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f =
+        _mm256_loadu_ps(reinterpret_cast<const float*>(in + 4 * i));
+    _mm256_storeu_pd(out + i, _mm256_cvtps_pd(_mm256_castps256_ps128(f)));
+    _mm256_storeu_pd(out + i + 4,
+                     _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128 f =
+        _mm_loadu_ps(reinterpret_cast<const float*>(in + 4 * i));
+    _mm256_storeu_pd(out + i, _mm256_cvtps_pd(f));
+  }
+  for (; i < n; ++i) {
+    float f;
+    std::memcpy(&f, in + 4 * i, 4);
+    out[i] = static_cast<double>(f);
+  }
+}
+
+}  // namespace
+
+TrimKernels avx2_trim_kernels() {
+  return {&trim_pack_avx2, &trim_unpack_avx2, &cast_fp32_avx2,
+          &uncast_fp32_avx2};
+}
+
+}  // namespace lossyfft::simd
+
+#else  // !LOSSYFFT_SIMD_AVX2
+
+namespace lossyfft::simd {
+
+TrimKernels avx2_trim_kernels() { return scalar_trim_kernels(); }
+
+}  // namespace lossyfft::simd
+
+#endif

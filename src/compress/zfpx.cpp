@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "compress/bitio.hpp"
+#include "compress/shard_frame.hpp"
+#include "compress/simd.hpp"
 
 namespace lossyfft {
 namespace zfpx_detail {
@@ -118,6 +120,51 @@ void decode_planes(std::uint64_t* u, int size, int budget, BitReader& br,
         }
       }
     }
+  }
+}
+
+// Scalar block transform, factored out of encode_block/decode_block so it
+// dispatches alongside the plane coder: lifting along each dimension,
+// sequency permute, negabinary map.
+void fwd_transform(std::int64_t* q, int n, const int* perm,
+                   std::uint64_t* u) {
+  if (n == 4) {
+    fwd_lift4(q, 1);
+    for (int i = 0; i < 4; ++i) u[i] = int_to_negabinary(q[i]);
+  } else if (n == 16) {
+    for (int j = 0; j < 4; ++j) fwd_lift4(q + 4 * j, 1);
+    for (int i = 0; i < 4; ++i) fwd_lift4(q + i, 4);
+    for (int i = 0; i < 16; ++i) u[i] = int_to_negabinary(q[perm[i]]);
+  } else {
+    LFFT_ASSERT(n == 64);
+    for (int k = 0; k < 4; ++k)
+      for (int j = 0; j < 4; ++j) fwd_lift4(q + 4 * j + 16 * k, 1);
+    for (int k = 0; k < 4; ++k)
+      for (int i = 0; i < 4; ++i) fwd_lift4(q + i + 16 * k, 4);
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 4; ++i) fwd_lift4(q + i + 4 * j, 16);
+    for (int i = 0; i < 64; ++i) u[i] = int_to_negabinary(q[perm[i]]);
+  }
+}
+
+void inv_transform(const std::uint64_t* u, int n, const int* perm,
+                   std::int64_t* q) {
+  if (n == 4) {
+    for (int i = 0; i < 4; ++i) q[i] = negabinary_to_int(u[i]);
+    inv_lift4(q, 1);
+  } else if (n == 16) {
+    for (int i = 0; i < 16; ++i) q[perm[i]] = negabinary_to_int(u[i]);
+    for (int i = 0; i < 4; ++i) inv_lift4(q + i, 4);
+    for (int j = 0; j < 4; ++j) inv_lift4(q + 4 * j, 1);
+  } else {
+    LFFT_ASSERT(n == 64);
+    for (int i = 0; i < 64; ++i) q[perm[i]] = negabinary_to_int(u[i]);
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 4; ++i) inv_lift4(q + i + 4 * j, 16);
+    for (int k = 0; k < 4; ++k)
+      for (int i = 0; i < 4; ++i) inv_lift4(q + i + 16 * k, 4);
+    for (int k = 0; k < 4; ++k)
+      for (int j = 0; j < 4; ++j) inv_lift4(q + 4 * j + 16 * k, 1);
   }
 }
 
@@ -240,30 +287,14 @@ void encode_block(const double* values, int n, int budget_bits,
   std::int64_t q[64];
   quantize(values, n, e, q);
 
-  // Lifting along each dimension, then sequency reorder.
+  const simd::ZfpxKernels& kern = simd::zfpx_kernels();
   std::uint64_t u[64];
-  if (n == 4) {
-    fwd_lift4(q, 1);
-    for (int i = 0; i < 4; ++i) u[i] = int_to_negabinary(q[i]);
-  } else if (n == 16) {
-    for (int j = 0; j < 4; ++j) fwd_lift4(q + 4 * j, 1);
-    for (int i = 0; i < 4; ++i) fwd_lift4(q + i, 4);
-    for (int i = 0; i < 16; ++i) u[i] = int_to_negabinary(q[perm[i]]);
-  } else {
-    LFFT_ASSERT(n == 64);
-    for (int k = 0; k < 4; ++k)
-      for (int j = 0; j < 4; ++j) fwd_lift4(q + 4 * j + 16 * k, 1);
-    for (int k = 0; k < 4; ++k)
-      for (int i = 0; i < 4; ++i) fwd_lift4(q + i + 16 * k, 4);
-    for (int j = 0; j < 4; ++j)
-      for (int i = 0; i < 4; ++i) fwd_lift4(q + i + 4 * j, 16);
-    for (int i = 0; i < 64; ++i) u[i] = int_to_negabinary(q[perm[i]]);
-  }
+  kern.fwd_transform(q, n, perm, u);
 
   std::span<std::byte> payload(out + 2, block_payload_bytes(budget_bits));
   std::fill(payload.begin(), payload.end(), std::byte{0});
   BitWriter bw(payload);
-  zfpx_detail::encode_planes(u, n, budget_bits, bw);  // NOLINT
+  kern.encode_planes(u, n, budget_bits, bw, 0);
 }
 
 void decode_block(const std::byte* in, int n, int budget_bits,
@@ -272,28 +303,14 @@ void decode_block(const std::byte* in, int n, int budget_bits,
   std::memcpy(&he, in, 2);
   const int e = he;
 
+  const simd::ZfpxKernels& kern = simd::zfpx_kernels();
   std::uint64_t u[64];
   BitReader br(std::span<const std::byte>(in + 2,
                                           block_payload_bytes(budget_bits)));
-  zfpx_detail::decode_planes(u, n, budget_bits, br);  // NOLINT
+  kern.decode_planes(u, n, budget_bits, br, 0);
 
   std::int64_t q[64];
-  if (n == 4) {
-    for (int i = 0; i < 4; ++i) q[i] = negabinary_to_int(u[i]);
-    inv_lift4(q, 1);
-  } else if (n == 16) {
-    for (int i = 0; i < 16; ++i) q[perm[i]] = negabinary_to_int(u[i]);
-    for (int i = 0; i < 4; ++i) inv_lift4(q + i, 4);
-    for (int j = 0; j < 4; ++j) inv_lift4(q + 4 * j, 1);
-  } else {
-    for (int i = 0; i < 64; ++i) q[perm[i]] = negabinary_to_int(u[i]);
-    for (int j = 0; j < 4; ++j)
-      for (int i = 0; i < 4; ++i) inv_lift4(q + i + 4 * j, 16);
-    for (int k = 0; k < 4; ++k)
-      for (int i = 0; i < 4; ++i) inv_lift4(q + i + 16 * k, 4);
-    for (int k = 0; k < 4; ++k)
-      for (int j = 0; j < 4; ++j) inv_lift4(q + 4 * j + 16 * k, 1);
-  }
+  kern.inv_transform(u, n, perm, q);
   dequantize(q, n, e, values);
 }
 
@@ -380,26 +397,28 @@ int accuracy_k_min(double tol, int e) {
 
 }  // namespace
 
-std::size_t ZfpxAccuracyCodec::max_compressed_bytes(std::size_t n) const {
+std::size_t ZfpxAccuracyCodec::shard_payload_bound(std::size_t m) const {
   // Worst case per 4-block: 16-bit header + 62 planes x (<= 13 bits).
-  const std::size_t blocks = (n + 3) / 4;
-  return 8 + blocks * (2 + 104);
+  return ((m + 3) / 4) * (2 + 104);
 }
 
-std::size_t ZfpxAccuracyCodec::compress(std::span<const double> in,
-                                        std::span<std::byte> out) const {
-  LFFT_REQUIRE(out.size() >= max_compressed_bytes(in.size()),
-               "zfpx-acc: output too small");
-  const std::uint64_t count = in.size();
-  std::memcpy(out.data(), &count, 8);
-  std::fill(out.begin() + 8, out.end(), std::byte{0});
-  BitWriter bw(out.subspan(8));
+std::size_t ZfpxAccuracyCodec::max_compressed_bytes(std::size_t n) const {
+  return framed_max_bytes(*this, n);
+}
 
+std::size_t ZfpxAccuracyCodec::compress_shard(std::span<const double> in,
+                                              std::span<std::byte> out) const {
+  // One shard is a self-contained run of 4-blocks (the tail block
+  // replicates the shard's last element, so shard boundaries do not leak
+  // across). BitWriter initializes every byte it touches, so no pre-fill.
+  const simd::ZfpxKernels& kern = simd::zfpx_kernels();
+  BitWriter bw(out);
   const std::size_t blocks = (in.size() + 3) / 4;
   for (std::size_t b = 0; b < blocks; ++b) {
     double block[4];
     for (int i = 0; i < 4; ++i) {
-      const std::size_t src = std::min(in.size() - 1, b * 4 + i);
+      const std::size_t src =
+          std::min(in.size() - 1, b * 4 + static_cast<std::size_t>(i));
       block[i] = in.empty() ? 0.0 : in[src];
     }
     const int e = block_exponent(block, 4);
@@ -409,22 +428,17 @@ std::size_t ZfpxAccuracyCodec::compress(std::span<const double> in,
 
     std::int64_t q[4];
     quantize(block, 4, e, q);
-    zfpx_detail::fwd_lift4(q, 1);
     std::uint64_t u[4];
-    for (int i = 0; i < 4; ++i) u[i] = zfpx_detail::int_to_negabinary(q[i]);
-    zfpx_detail::encode_planes(u, 4, 1 << 30, bw, k_min);
+    kern.fwd_transform(q, 4, nullptr, u);
+    kern.encode_planes(u, 4, 1 << 30, bw, k_min);
   }
-  return 8 + (bw.bit_count() + 7) / 8;
+  return (bw.bit_count() + 7) / 8;
 }
 
-void ZfpxAccuracyCodec::decompress(std::span<const std::byte> in,
-                                   std::span<double> out) const {
-  LFFT_REQUIRE(in.size() >= 8, "zfpx-acc: truncated stream");
-  std::uint64_t count = 0;
-  std::memcpy(&count, in.data(), 8);
-  LFFT_REQUIRE(count == out.size(), "zfpx-acc: element count mismatch");
-  BitReader br(in.subspan(8));
-
+void ZfpxAccuracyCodec::decompress_shard(std::span<const std::byte> in,
+                                         std::span<double> out) const {
+  const simd::ZfpxKernels& kern = simd::zfpx_kernels();
+  BitReader br(in);
   const std::size_t blocks = (out.size() + 3) / 4;
   for (std::size_t b = 0; b < blocks; ++b) {
     const int e = static_cast<std::int16_t>(br.get(16));
@@ -432,16 +446,26 @@ void ZfpxAccuracyCodec::decompress(std::span<const std::byte> in,
     const int k_min = accuracy_k_min(tol_, e);
     if (k_min <= 61) {
       std::uint64_t u[4];
-      zfpx_detail::decode_planes(u, 4, 1 << 30, br, k_min);
+      kern.decode_planes(u, 4, 1 << 30, br, k_min);
       std::int64_t q[4];
-      for (int i = 0; i < 4; ++i) q[i] = zfpx_detail::negabinary_to_int(u[i]);
-      zfpx_detail::inv_lift4(q, 1);
+      kern.inv_transform(u, 4, nullptr, q);
       dequantize(q, 4, e, block);
     }
-    for (int i = 0; i < 4 && b * 4 + i < out.size(); ++i) {
-      out[b * 4 + i] = block[i];
+    for (int i = 0; i < 4 && b * 4 + static_cast<std::size_t>(i) < out.size();
+         ++i) {
+      out[b * 4 + static_cast<std::size_t>(i)] = block[i];
     }
   }
+}
+
+std::size_t ZfpxAccuracyCodec::compress(std::span<const double> in,
+                                        std::span<std::byte> out) const {
+  return framed_compress(*this, in, out);
+}
+
+void ZfpxAccuracyCodec::decompress(std::span<const std::byte> in,
+                                   std::span<double> out) const {
+  framed_decompress(*this, in, out);
 }
 
 // ----------------------------------------------------------------- 2-D API
@@ -576,5 +600,17 @@ void Zfpx3d::decompress(std::span<const std::byte> in,
     }
   }
 }
+
+namespace simd {
+
+// The reference kernels ARE the scalar coder above: the dispatch table's
+// scalar row points straight at them, so LOSSYFFT_SIMD=scalar runs exactly
+// the code this file has always run.
+ZfpxKernels scalar_zfpx_kernels() {
+  return {&zfpx_detail::encode_planes, &zfpx_detail::decode_planes,
+          &zfpx_detail::fwd_transform, &zfpx_detail::inv_transform};
+}
+
+}  // namespace simd
 
 }  // namespace lossyfft

@@ -52,8 +52,19 @@ class Zfpx1dCodec final : public Codec {
 /// encoded down to the bit plane where the remaining truncation error is
 /// below `abs_tol`. Variable rate: smooth data costs few bits, random data
 /// approaches the fixed-rate cost for the same tolerance.
+///
+/// The stream is shard-framed (codec.hpp documents the layout): runs of
+/// kShardElems elements are coded independently behind a per-shard offset
+/// directory, so ParallelCodec can fan one large variable slot across the
+/// WorkerPool — on both sides — and still emit the bytes the serial
+/// encoder writes.
 class ZfpxAccuracyCodec final : public Codec {
  public:
+  /// Frame shard size: 1024 4-blocks per shard, matching szq's choice —
+  /// coarse enough that directory + per-shard ramp-up cost is noise, fine
+  /// enough that a typical exchange slot splits across the whole pool.
+  static constexpr std::size_t kShardElems = 4096;
+
   explicit ZfpxAccuracyCodec(double abs_tol);
 
   std::string name() const override;
@@ -64,6 +75,13 @@ class ZfpxAccuracyCodec final : public Codec {
                   std::span<double> out) const override;
   bool fixed_size() const override { return false; }
   double nominal_rate() const override { return 4.0; }  // Design point.
+
+  std::size_t parallel_granularity() const override { return kShardElems; }
+  std::size_t shard_payload_bound(std::size_t m) const override;
+  std::size_t compress_shard(std::span<const double> in,
+                             std::span<std::byte> out) const override;
+  void decompress_shard(std::span<const std::byte> in,
+                        std::span<double> out) const override;
 
   double tolerance() const { return tol_; }
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/cpu_dispatch.hpp"
 #include "tuner/calibrate.hpp"
 
 namespace lossyfft::tuner {
@@ -58,9 +59,13 @@ void Tuner::load_cache_locked() {
   if (!in) return;
   std::string header;
   int version = -1;
-  if (!(in >> header >> version) || header != "lossyfft-tune-cache" ||
-      version != kCacheVersion) {
-    return;  // Unknown or stale format: ignore the whole file.
+  std::string level;
+  if (!(in >> header >> version >> level) ||
+      header != "lossyfft-tune-cache" || version != kCacheVersion ||
+      level != simd_level_name()) {
+    // Unknown or stale format — or a cache calibrated under a different
+    // kernel dispatch level: ignore the whole file and recalibrate.
+    return;
   }
   int p = 0, gpn = 0, sc = 0, path = 0, workers = 0;
   long rb = 0;
@@ -93,7 +98,8 @@ void Tuner::store_cache_locked() {
   // max_digits10 so modeled_seconds round-trips bit-exactly: a reloaded
   // cache must reproduce decisions (and their reported costs) verbatim.
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << "lossyfft-tune-cache " << kCacheVersion << '\n';
+  out << "lossyfft-tune-cache " << kCacheVersion << ' '
+      << simd_level_name() << '\n';
   for (const auto& [k, d] : memo_) {
     out << k << ' ' << static_cast<int>(d.path) << ' ' << d.workers << ' '
         << d.rendezvous_threshold << ' ' << d.modeled_seconds << '\n';

@@ -61,8 +61,11 @@ class Tuner {
   const CostConstants& constants();
 
   /// Cache-format version of this build (first line of the cache file is
-  /// "lossyfft-tune-cache <version>"; other versions are ignored).
-  static constexpr int kCacheVersion = 1;
+  /// "lossyfft-tune-cache <version> <simd-level>"; other versions are
+  /// ignored, as is any file calibrated under a different kernel dispatch
+  /// level — SIMD codecs shift the codec-throughput constants enough to
+  /// flip path decisions. Version 2 added the level token.
+  static constexpr int kCacheVersion = 2;
 
  private:
   std::string key(const ExchangeSignature& sig) const;

@@ -78,6 +78,15 @@ TEST(CApi, RankAndSizeVisible) {
   EXPECT_EQ(seen_size, 3);
 }
 
+TEST(CApi, SimdLevelIsVisibleAndStable) {
+  const char* level = lossyfft_simd_level();
+  ASSERT_NE(level, nullptr);
+  EXPECT_TRUE(std::string(level) == "scalar" || std::string(level) == "avx2")
+      << level;
+  // Static string: repeated calls return the same pointer.
+  EXPECT_EQ(level, lossyfft_simd_level());
+}
+
 TEST(CApi, InvalidArgumentsReportErrors) {
   EXPECT_EQ(lossyfft_run_ranks(0, roundtrip_rank_fn, nullptr), 1);
   EXPECT_EQ(lossyfft_run_ranks(2, nullptr, nullptr), 1);

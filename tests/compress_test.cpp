@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <tuple>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/worker_pool.hpp"
@@ -668,13 +670,17 @@ TEST(ParallelGranularity, DeclaredOnlyWhereShardingIsSound) {
   EXPECT_EQ(
       ChecksumCodec(std::make_shared<IdentityCodec>()).parallel_granularity(),
       0u);
-  // szq and RLE are variable-rate, so they shard through the internal
-  // frame (directory + compacted payloads) instead of prefix exactness.
+  // szq, RLE, and zfpx accuracy mode are variable-rate, so they shard
+  // through the internal frame (directory + compacted payloads) instead of
+  // prefix exactness.
   EXPECT_EQ(SzqCodec(1e-6).parallel_granularity(), SzqCodec::kShardElems);
   EXPECT_EQ(ByteplaneRleCodec().parallel_granularity(),
             ByteplaneRleCodec::kShardElems);
+  EXPECT_EQ(ZfpxAccuracyCodec(1e-6).parallel_granularity(),
+            ZfpxAccuracyCodec::kShardElems);
   EXPECT_FALSE(SzqCodec(1e-6).fixed_size());
   EXPECT_FALSE(ByteplaneRleCodec().fixed_size());
+  EXPECT_FALSE(ZfpxAccuracyCodec(1e-6).fixed_size());
 }
 
 TEST(ParallelGranularity, SizesAreAdditiveAtGranularityMultiples) {
@@ -739,7 +745,8 @@ TEST(ParallelGranularity, ShardConcatenationEqualsSerialStream) {
 
 std::vector<std::shared_ptr<const Codec>> framed_codecs() {
   return {std::make_shared<SzqCodec>(1e-7),
-          std::make_shared<ByteplaneRleCodec>()};
+          std::make_shared<ByteplaneRleCodec>(),
+          std::make_shared<ZfpxAccuracyCodec>(1e-7)};
 }
 
 TEST(ShardFrame, ParallelFanOutIsBitwiseIdenticalToSerial) {
@@ -813,6 +820,165 @@ TEST(ShardFrame, EmptyStreamIsJustTheCountWord) {
   }
 }
 
+TEST(ZfpxAccuracyCodec, ShardBoundarySizesRoundTrip) {
+  ZfpxAccuracyCodec c(1e-7);
+  const std::size_t g = ZfpxAccuracyCodec::kShardElems;
+  // Exactly at, one element either side of, and well past the shard
+  // boundary: the frame directory and the shard-local tail replication
+  // must all agree with the serial reconstruction.
+  for (const std::size_t n : {g - 1, g, g + 1, 2 * g, 3 * g + 1}) {
+    const auto in = uniform_data(n, 99 + n);
+    const auto out = roundtrip(c, in);
+    EXPECT_LE(max_abs_err(out, in), 1e-7 * (1 + 1e-12)) << n;
+  }
+}
+
+// ------------------------------------------------------- SIMD identity
+// Every AVX2 kernel must emit the exact bytes of its scalar reference:
+// the wire format is frozen (persistent plans, the fuzz corpus, and the
+// tuner cache all assume the stream is a pure function of the data), so a
+// vector path that is merely "close" is a wire-format break. Compress
+// under both levels and compare streams byte-for-byte, then decode each
+// stream under the opposite level and compare reconstructions bitwise.
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(set_simd_level(level)) {}
+  ~ScopedSimdLevel() { set_simd_level(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+// Codecs whose hot loops go through simd.hpp dispatch.
+std::vector<std::shared_ptr<const Codec>> simd_dispatched_codecs() {
+  return {std::make_shared<CastFp32Codec>(),
+          std::make_shared<BitTrimCodec>(20),
+          std::make_shared<BitTrimCodec>(9),
+          std::make_shared<BitTrimCodec>(52),
+          std::make_shared<Zfpx1dCodec>(20),
+          std::make_shared<Zfpx1dCodec>(7),
+          std::make_shared<ZfpxAccuracyCodec>(1e-6),
+          std::make_shared<ZfpxAccuracyCodec>(1e-2),
+          std::make_shared<SzqCodec>(1e-7)};
+}
+
+// Adversarial inputs for the bit-exactness property. `finite` variants go
+// to every codec; the specials mix (inf/NaN payloads) only to codecs that
+// accept non-finite input (zfpx rejects it by contract).
+struct SimdInput {
+  const char* label;
+  bool finite;
+  std::vector<double> data;
+};
+
+std::vector<SimdInput> simd_identity_inputs() {
+  std::vector<SimdInput> inputs;
+  inputs.push_back({"uniform", true, uniform_data(10007, 31337)});
+  inputs.push_back({"zeros", true, std::vector<double>(5000, 0.0)});
+  // Denormals: uniform magnitudes scaled into the subnormal range, where
+  // a sloppy vector exponent path would flush or misround.
+  {
+    auto v = uniform_data(4097, 4242);
+    for (double& x : v) x = std::ldexp(x, -1060);
+    inputs.push_back({"denormal", true, std::move(v)});
+  }
+  // Single-bit planes: pure powers of two exercise the group-test coder's
+  // one-significant-coefficient paths and the run-emission batching.
+  {
+    std::vector<double> v(4099);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::ldexp(i % 2 ? 1.0 : -1.0, -static_cast<int>(i % 40));
+    }
+    inputs.push_back({"single-bit-planes", true, std::move(v)});
+  }
+  // Non-finite payloads: trim keeps them bit-exact via the exponent
+  // passthrough, szq stores them as verbatim outliers.
+  {
+    auto v = uniform_data(4001, 77);
+    for (std::size_t i = 0; i < v.size(); i += 97) {
+      v[i] = std::numeric_limits<double>::infinity();
+      if (i + 13 < v.size()) v[i + 13] = -std::numeric_limits<double>::infinity();
+      if (i + 31 < v.size()) v[i + 31] = std::numeric_limits<double>::quiet_NaN();
+    }
+    inputs.push_back({"specials", false, std::move(v)});
+  }
+  return inputs;
+}
+
+TEST(SimdIdentity, StreamsBitIdenticalAcrossLevels) {
+  if (detected_simd_level() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD level available in this build/host";
+  }
+  for (const auto& c : simd_dispatched_codecs()) {
+    const bool finite_only =
+        c->name().rfind("zfpx", 0) == 0;  // zfpx rejects non-finite input.
+    for (const auto& input : simd_identity_inputs()) {
+      if (finite_only && !input.finite) continue;
+      const std::span<const double> in(input.data);
+      std::vector<std::byte> scalar_wire(c->max_compressed_bytes(in.size()));
+      std::vector<std::byte> simd_wire(scalar_wire.size(), std::byte{0x5C});
+      std::size_t scalar_used = 0, simd_used = 0;
+      {
+        ScopedSimdLevel guard(SimdLevel::kScalar);
+        scalar_used = c->compress(in, scalar_wire);
+      }
+      {
+        ScopedSimdLevel guard(detected_simd_level());
+        simd_used = c->compress(in, simd_wire);
+      }
+      ASSERT_EQ(scalar_used, simd_used) << c->name() << " " << input.label;
+      ASSERT_EQ(std::memcmp(scalar_wire.data(), simd_wire.data(), scalar_used),
+                0)
+          << c->name() << " " << input.label;
+
+      // Cross-decode: each level must reconstruct the other's stream to
+      // the same bits (NaN payloads included, hence memcmp).
+      const std::span<const std::byte> wire(scalar_wire.data(), scalar_used);
+      std::vector<double> scalar_out(in.size()), simd_out(in.size());
+      {
+        ScopedSimdLevel guard(SimdLevel::kScalar);
+        c->decompress(wire, scalar_out);
+      }
+      {
+        ScopedSimdLevel guard(detected_simd_level());
+        c->decompress(wire, simd_out);
+      }
+      EXPECT_EQ(std::memcmp(scalar_out.data(), simd_out.data(),
+                            in.size() * sizeof(double)),
+                0)
+          << c->name() << " " << input.label;
+    }
+  }
+}
+
+TEST(SimdIdentity, FieldCodecsMatchAcrossLevels) {
+  if (detected_simd_level() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD level available in this build/host";
+  }
+  // The 2-D/3-D block interfaces run the same dispatched transform +
+  // coder; odd extents exercise the padded edge blocks.
+  Xoshiro256 rng(2026);
+  const auto field = make_smooth_field3d(rng, 13, 10, 7, 3);
+  Zfpx3d z3{13, 10, 7, 14};
+  std::vector<std::byte> a(z3.compressed_bytes()), b(z3.compressed_bytes());
+  std::vector<double> out_a(field.size()), out_b(field.size());
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    z3.compress(field, a);
+    z3.decompress(a, out_a);
+  }
+  {
+    ScopedSimdLevel guard(detected_simd_level());
+    z3.compress(field, b);
+    z3.decompress(a, out_b);  // Cross-decode the scalar stream.
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::memcmp(out_a.data(), out_b.data(),
+                        field.size() * sizeof(double)),
+            0);
+}
+
 // ------------------------------------------------------------ bit I/O
 // The byte-chunked fast paths must agree with the single-bit reference.
 
@@ -846,6 +1012,35 @@ TEST(BitIo, ChunkedPutMatchesBitByBitReference) {
     }
     EXPECT_EQ(bitwise, v & mask);
   }
+}
+
+TEST(BitIo, PeekUptoMatchesGetAndDoesNotConsume) {
+  Xoshiro256 rng(999);
+  std::vector<std::byte> buf(37);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xff);
+  BitReader peeker(buf);
+  BitReader getter(buf);
+  std::size_t left = buf.size() * 8;
+  while (left > 0) {
+    const int want = static_cast<int>(rng.below(64)) + 1;
+    const auto first = peeker.peek_upto(want);
+    const auto second = peeker.peek_upto(want);
+    EXPECT_EQ(first, second);  // Peeking consumes nothing.
+    const int avail = first.second;
+    ASSERT_EQ(avail, static_cast<int>(
+                         std::min(static_cast<std::size_t>(want), left)));
+    if (avail < 64) {
+      EXPECT_EQ(first.first >> avail, 0u);  // Zero above avail.
+    }
+    // A short peek near the end still reports the remaining bits exactly.
+    EXPECT_EQ(first.first, getter.get(avail));
+    peeker.skip(avail);
+    left -= static_cast<std::size_t>(avail);
+  }
+  // Fully consumed: nothing left to peek, and that is not an error.
+  const auto end = peeker.peek_upto(64);
+  EXPECT_EQ(end.first, 0u);
+  EXPECT_EQ(end.second, 0);
 }
 
 TEST(BitIo, ReaderRejectsTruncatedStream) {

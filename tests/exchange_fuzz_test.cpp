@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/rng.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
 #include "minimpi/runtime.hpp"
 #include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
@@ -134,6 +136,7 @@ std::vector<CodecCase> codec_cases(Xoshiro256& rng) {
   cs.push_back({"bittrim(" + std::to_string(trim) + ")",
                 std::make_shared<BitTrimCodec>(trim)});
   cs.push_back({"szq", std::make_shared<SzqCodec>(1e-7)});
+  cs.push_back({"zfpxacc", std::make_shared<ZfpxAccuracyCodec>(1e-7)});
   cs.push_back({"lossless", std::make_shared<ByteplaneRleCodec>()});
   return cs;
 }
@@ -246,6 +249,56 @@ INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzz, ::testing::Values(2, 3, 4, 8),
                          [](const auto& info) {
                            return "p" + std::to_string(info.param);
                          });
+
+// --- SIMD dispatch cross-check ---------------------------------------------
+// The codec kernels exist twice (scalar reference, AVX2); the wire format
+// is frozen, so a full exchange must deliver bit-identical receive buffers
+// whichever level encoded and decoded it. Run the same fuzz layout once
+// under the forced-scalar level and once under the detected level, every
+// codec class, and compare per-rank buffers bitwise.
+TEST(ExchangeFuzzSimd, ScalarAndSimdLevelsDeliverIdenticalBuffers) {
+  const SimdLevel detected = detected_simd_level();
+  if (detected == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD level available in this build/host";
+  }
+  const int p = 4;
+  const std::uint64_t seed = fuzz_seed() + 555;
+  Xoshiro256 meta(seed);
+  const auto codecs = codec_cases(meta);
+  for (const CodecCase& cc : codecs) {
+    std::vector<std::vector<double>> recv_at(2);
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::vector<double>> per_rank(static_cast<std::size_t>(p));
+      const SimdLevel prev =
+          set_simd_level(pass == 0 ? SimdLevel::kScalar : detected);
+      run_ranks(p, [&](Comm& comm) {
+        auto l = make_fuzz_layout(seed, p, comm.rank(), false);
+        OscOptions o;
+        o.codec = cc.codec;
+        o.gpus_per_node = 2;
+        o.sync = OscSync::kPscw;
+        ExchangePlan plan(comm, PlanBackend::kOneSided, l.sc, l.sd, l.rc,
+                          l.rd, std::span<double>(l.recv), o);
+        plan.execute(l.send, l.recv);
+        per_rank[static_cast<std::size_t>(comm.rank())] = l.recv;
+      });
+      set_simd_level(prev);
+      // Flatten rank buffers in rank order for the cross-level compare.
+      std::vector<double> flat;
+      for (const auto& r : per_rank) flat.insert(flat.end(), r.begin(), r.end());
+      recv_at[static_cast<std::size_t>(pass)] = std::move(flat);
+    }
+    ASSERT_EQ(recv_at[0].size(), recv_at[1].size()) << cc.name;
+    int reported = 0;
+    for (std::size_t i = 0; i < recv_at[0].size() && reported < 5; ++i) {
+      if (recv_at[0][i] != recv_at[1][i]) {
+        ++reported;
+        EXPECT_EQ(recv_at[0][i], recv_at[1][i]) << "codec=" << cc.name
+                                                << " i=" << i;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lossyfft::osc

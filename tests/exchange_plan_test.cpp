@@ -7,12 +7,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <new>
+#include <set>
+#include <thread>
 
 #include "common/rng.hpp"
+#include "common/worker_pool.hpp"
 #include "compress/lossless.hpp"
+#include "compress/parallel_codec.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
 #include "dfft/decomp.hpp"
 #include "dfft/reshape.hpp"
 #include "minimpi/runtime.hpp"
@@ -504,6 +510,122 @@ TEST(PscwPipelined, MatchesFenceAcrossCodecClasses) {
           EXPECT_EQ(fst.wire_bytes, pst.wire_bytes) << "workers=" << workers;
         }
       }
+    }
+  });
+}
+
+// A transparent decorator that counts decompress_shard fan-out and where
+// it ran: the proof that one large variable-rate slot really decodes as
+// independent frame shards (across the pool) instead of serially through
+// the monolithic decompress entry point.
+class ShardCountingCodec final : public Codec {
+ public:
+  explicit ShardCountingCodec(CodecPtr inner) : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::size_t max_compressed_bytes(std::size_t n) const override {
+    return inner_->max_compressed_bytes(n);
+  }
+  std::size_t compress(std::span<const double> in,
+                       std::span<std::byte> out) const override {
+    return inner_->compress(in, out);
+  }
+  void decompress(std::span<const std::byte> in,
+                  std::span<double> out) const override {
+    inner_->decompress(in, out);
+  }
+  bool fixed_size() const override { return inner_->fixed_size(); }
+  double nominal_rate() const override { return inner_->nominal_rate(); }
+  bool lossless() const override { return inner_->lossless(); }
+  std::size_t parallel_granularity() const override {
+    return inner_->parallel_granularity();
+  }
+  std::size_t shard_payload_bound(std::size_t m) const override {
+    return inner_->shard_payload_bound(m);
+  }
+  std::size_t compress_shard(std::span<const double> in,
+                             std::span<std::byte> out) const override {
+    return inner_->compress_shard(in, out);
+  }
+  void decompress_shard(std::span<const std::byte> in,
+                        std::span<double> out) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++shard_decodes_;
+      threads_.insert(std::this_thread::get_id());
+    }
+    inner_->decompress_shard(in, out);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shard_decodes_ = 0;
+    threads_.clear();
+  }
+  int shard_decodes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shard_decodes_;
+  }
+  int distinct_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+  }
+
+ private:
+  CodecPtr inner_;
+  mutable std::mutex mu_;
+  mutable int shard_decodes_ = 0;
+  mutable std::set<std::thread::id> threads_;
+};
+
+TEST(PscwPipelined, LargeVariableSlotDecodesAcrossThePool) {
+  run_ranks(2, [](Comm& comm) {
+    // One slot of 5 zfpx-accuracy frame shards per pair. Variable codecs
+    // with a granularity decode inline on the rank thread under kPscw
+    // (decode_async stays off), and the ParallelCodec wrapper must spread
+    // that one big slot across the worker pool as >= 4 concurrent shard
+    // decodes — not run it as a single serial decompress.
+    const std::uint64_t slot = 4 * ZfpxAccuracyCodec::kShardElems +
+                               ZfpxAccuracyCodec::kShardElems / 2;
+    const int p = comm.size();
+    const int me = comm.rank();
+    Layout l;
+    l.sc.assign(static_cast<std::size_t>(p), slot);
+    l.rc.assign(static_cast<std::size_t>(p), slot);
+    l.sd.resize(static_cast<std::size_t>(p));
+    l.rd.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      l.sd[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(r) * slot;
+      l.rd[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(r) * slot;
+    }
+    l.send.resize(static_cast<std::size_t>(p) * slot);
+    l.recv.assign(static_cast<std::size_t>(p) * slot, -999.0);
+    for (int d = 0; d < p; ++d) {
+      for (std::uint64_t k = 0; k < slot; ++k) {
+        l.send[l.sd[static_cast<std::size_t>(d)] + k] = cell_value(me, d, k);
+      }
+    }
+
+    WorkerPool pool(4);
+    auto counting = std::make_shared<ShardCountingCodec>(
+        std::make_shared<ZfpxAccuracyCodec>(1e-8));
+    OscOptions o;
+    o.codec = std::make_shared<ParallelCodec>(counting, &pool, /*shards=*/4,
+                                              /*min_shard_bytes=*/1);
+    o.sync = OscSync::kPscw;
+    ExchangePlan plan(comm, PlanBackend::kOneSided, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    for (int it = 0; it < 2; ++it) {
+      counting->reset();
+      std::fill(l.recv.begin(), l.recv.end(), -999.0);
+      plan.execute(l.send, l.recv);
+      expect_delivery(p, me, l, 1e-8 * (1 + 1e-9));
+      // Every received slot fanned out: ns = 5 frame shards per slot, so
+      // the per-execute count must reach at least 4 shard decodes (and in
+      // fact 5 per decoded slot). Zero would mean the slot fell through to
+      // the serial decompress entry point.
+      EXPECT_GE(counting->shard_decodes(), 4) << "it=" << it;
+      EXPECT_GE(counting->distinct_threads(), 1) << "it=" << it;
     }
   });
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/rng.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
@@ -147,7 +148,9 @@ TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
   }
   const std::string written = read_file(path);
   ASSERT_FALSE(written.empty());
-  EXPECT_EQ(written.rfind("lossyfft-tune-cache 1\n", 0), 0u);
+  const std::string header = std::string("lossyfft-tune-cache 2 ") +
+                             lossyfft::simd_level_name() + "\n";
+  EXPECT_EQ(written.rfind(header, 0), 0u);
 
   // A fresh tuner with NO injected constants: on any cache miss it would
   // have to calibrate, and a hit must not rewrite the file — so decisions
@@ -211,7 +214,9 @@ TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
   EXPECT_EQ(got.workers, want.workers);
   EXPECT_NE(got.workers, 77);
   // The recomputed decision replaces the stale file, current version first.
-  EXPECT_EQ(read_file(path).rfind("lossyfft-tune-cache 1\n", 0), 0u);
+  const std::string header = std::string("lossyfft-tune-cache 2 ") +
+                             lossyfft::simd_level_name() + "\n";
+  EXPECT_EQ(read_file(path).rfind(header, 0), 0u);
 }
 
 // --- kAuto integration ------------------------------------------------------
@@ -234,7 +239,7 @@ const std::string& global_cache_path() {
     const CastFp32Codec fp32;
     const long rb = std::lround(std::log2(fp32.nominal_rate()) * 4.0);
     std::ofstream out(path, std::ios::trunc);
-    out << "lossyfft-tune-cache 1\n";
+    out << "lossyfft-tune-cache 2 " << lossyfft::simd_level_name() << "\n";
     // Pin: one-sided fence, serial workers (the config whose steady-state
     // budgets the counter asserts below encode).
     out << "4 6 " << size_class(pair) << " " << fp32.name() << " " << rb

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_dispatch.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
@@ -91,6 +92,9 @@ int main(int argc, char** argv) {
 
   const CostConstants& k = tuner.constants();  // Calibrates when asked to.
   std::printf("# constants: %s\n", k.calibrated ? "calibrated" : "summit");
+  // The dispatch level the codec throughput constants were measured under
+  // (and that the cache file is keyed by).
+  std::printf("#   simd=%s\n", lossyfft::simd_level_name());
   std::printf("#   copy_bw=%.3g encode_bw=%.3g decode_bw=%.3g B/s\n",
               k.copy_bw, k.encode_bw, k.decode_bw);
   std::printf("#   msg_two=%.3g msg_one=%.3g handshake=%.3g barrier=%.3g s\n",
