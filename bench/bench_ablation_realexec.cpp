@@ -21,7 +21,9 @@
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
+#include "dfft/decomp.hpp"
 #include "dfft/fft3d.hpp"
+#include "dfft/reshape.hpp"
 #include "minimpi/alltoall.hpp"
 #include "minimpi/runtime.hpp"
 #include "osc/exchange_plan.hpp"
@@ -303,8 +305,76 @@ int main(int argc, char** argv) {
                   TablePrinter::fmt(xratio, 2)});
       xrows.push_back({xcfg.label, xms, xratio});
     }
+
+    // --- Pack elision on a real reshape ------------------------------------
+    // The z-pencil -> brick boundary stage sends contiguous runs of the
+    // source field, so the elided plan posts sends straight from the field
+    // (no pack jobs, no staging buffer). The packed twin runs the same
+    // exchange with ReshapeOptions::pack_elision = false; outputs are
+    // bitwise identical, only the pack stage differs.
+    {
+      struct RCfg {
+        const char* label;
+        CodecPtr codec;
+        bool elide;
+      };
+      const RCfg rcfgs[] = {
+          {"reshape zp->brick raw elided", nullptr, true},
+          {"reshape zp->brick raw packed", nullptr, false},
+          {"reshape zp->brick fp32 elided", fp32, true},
+          {"reshape zp->brick fp32 packed", fp32, false},
+      };
+      const auto zp =
+          split_pencil(n, 2, std::array<int, 2>{2, ranks / 2});
+      const auto bricks = split_brick(n, proc_grid3(ranks));
+      for (const RCfg& rc : rcfgs) {
+        double xms = 0, xratio = 1;
+        minimpi::run_ranks(ranks, [&](minimpi::Comm& comm) {
+          ReshapeOptions ro;
+          ro.backend = ExchangeBackend::kOsc;
+          ro.codec = rc.codec;
+          ro.pack_elision = rc.elide;
+          Reshape<std::complex<double>> rs(comm, zp, bricks, ro);
+          if (rc.elide && !rs.pack_elided()) {
+            std::fprintf(stderr, "expected elision on zp->brick\n");
+            std::abort();
+          }
+          const auto me = static_cast<std::size_t>(comm.rank());
+          std::vector<std::complex<double>> in(
+              static_cast<std::size_t>(zp[me].count()), {1.0, -1.0});
+          std::vector<std::complex<double>> out(
+              static_cast<std::size_t>(bricks[me].count()));
+          rs.execute(in, out);  // Warm the plan.
+          comm.barrier();
+          Stopwatch watch;
+          for (int it = 0; it < xiters; ++it) rs.execute(in, out);
+          comm.barrier();
+          if (comm.rank() == 0) {
+            xms = watch.seconds() * 1e3 / xiters;
+            const auto& st = rs.stats();
+            xratio = st.wire_bytes > 0 ? st.compression_ratio() : 1.0;
+          }
+        });
+        xt.add_row({rc.label, TablePrinter::fmt(xms, 3),
+                    TablePrinter::fmt(xratio, 2)});
+        xrows.push_back({rc.label, xms, xratio});
+      }
+    }
     xt.print();
   }
+
+  // Which of the default pencil pipeline's four reshapes elide packing at
+  // this geometry (recorded so the JSON shows elision firing in the real
+  // transform, not just the isolated reshape rows).
+  std::array<bool, 4> elided{};
+  minimpi::run_ranks(ranks, [&](minimpi::Comm& comm) {
+    Fft3dOptions eo;
+    eo.backend = ExchangeBackend::kOsc;
+    Fft3d<double> fft(comm, n, eo);
+    if (comm.rank() == 0) elided = fft.reshape_pack_elided();
+  });
+  std::printf("pencil reshape pack elision: [%d, %d, %d, %d]\n", elided[0],
+              elided[1], elided[2], elided[3]);
 
   if (smoke) {
     std::printf("Smoke mode: skipping BENCH_realexec.json\n");
@@ -320,8 +390,11 @@ int main(int argc, char** argv) {
                  "rows are scheduler noise, not fan-out cost. exchange_ms "
                  "on an oversubscribed host is dominated by compute arrival "
                  "skew; see exchange_only for the transport-only number.\",\n"
+                 "  \"pencil_reshape_pack_elided\": [%s, %s, %s, %s],\n"
                  "  \"configs\": [\n",
-                 n[0], n[1], n[2], ranks, iters);
+                 n[0], n[1], n[2], ranks, iters,
+                 elided[0] ? "true" : "false", elided[1] ? "true" : "false",
+                 elided[2] ? "true" : "false", elided[3] ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(f,

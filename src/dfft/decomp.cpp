@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -49,6 +50,71 @@ std::array<int, 2> proc_grid2(int p) {
   return nearest_factor_pair(p);
 }
 
+std::vector<std::array<int, 2>> admissible_grids2(int p) {
+  LFFT_REQUIRE(p > 0, "admissible_grids2: p must be positive");
+  std::vector<std::array<int, 2>> grids;
+  for (int a = 1; a <= p; ++a) {
+    if (p % a == 0) grids.push_back({a, p / a});
+  }
+  std::sort(grids.begin(), grids.end(),
+            [](const std::array<int, 2>& x, const std::array<int, 2>& y) {
+              const int dx = std::abs(x[0] - x[1]);
+              const int dy = std::abs(y[0] - y[1]);
+              return dx != dy ? dx < dy : x[0] < y[0];
+            });
+  return grids;
+}
+
+std::array<int, 2> proc_grid2_for(int p, int e1, int e2) {
+  LFFT_REQUIRE(p > 0 && e1 >= 1 && e2 >= 1, "proc_grid2_for: bad arguments");
+  // Maximize the non-empty rank count: a balanced split_interval leaves
+  // exactly max(0, parts - extent) ranks with zero-extent pieces, so a
+  // grid {a, b} keeps min(a, e1) * min(b, e2) ranks busy. The admissible
+  // list is near-square-first, so the first maximum is the tie-break.
+  std::array<int, 2> best = proc_grid2(p);
+  long long best_busy = -1;
+  for (const auto& g : admissible_grids2(p)) {
+    const long long busy = static_cast<long long>(std::min(g[0], e1)) *
+                           static_cast<long long>(std::min(g[1], e2));
+    if (busy > best_busy) {
+      best_busy = busy;
+      best = g;
+    }
+  }
+  return best;
+}
+
+std::array<int, 3> proc_grid3_for(int p, std::array<int, 3> n) {
+  LFFT_REQUIRE(p > 0 && n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
+               "proc_grid3_for: bad arguments");
+  std::array<int, 3> best = proc_grid3(p);
+  long long best_busy = -1;
+  long long best_score = -1;
+  for (int a = 1; a <= p; ++a) {
+    if (p % a != 0) continue;
+    const int q = p / a;
+    for (int b = 1; b <= q; ++b) {
+      if (q % b != 0) continue;
+      const int c = q / b;
+      const long long busy = static_cast<long long>(std::min(a, n[0])) *
+                             static_cast<long long>(std::min(b, n[1])) *
+                             static_cast<long long>(std::min(c, n[2]));
+      const long long score = static_cast<long long>(a) * b +
+                              static_cast<long long>(b) * c +
+                              static_cast<long long>(a) * c;
+      // Busiest grid wins; among those the most cubic; the ordered (a, b,
+      // c) scan then makes the lexicographically smallest permutation the
+      // final tie-break (which is proc_grid3's sorted triple).
+      if (busy > best_busy || (busy == best_busy && score < best_score)) {
+        best_busy = busy;
+        best_score = score;
+        best = {a, b, c};
+      }
+    }
+  }
+  return best;
+}
+
 std::vector<std::array<int, 2>> split_interval(int n, int parts) {
   LFFT_REQUIRE(n >= 0 && parts > 0, "split_interval: bad arguments");
   std::vector<std::array<int, 2>> out(static_cast<std::size_t>(parts));
@@ -87,17 +153,34 @@ std::vector<Box3> split_brick(std::array<int, 3> n, std::array<int, 3> pg) {
 }
 
 std::vector<Box3> split_pencil(std::array<int, 3> n, int dir, int p) {
+  return split_pencil(n, dir, proc_grid2(p));
+}
+
+std::vector<Box3> split_pencil(std::array<int, 3> n, int dir,
+                               std::array<int, 2> grid) {
   LFFT_REQUIRE(dir >= 0 && dir < 3, "split_pencil: bad direction");
-  const auto [a, b] = proc_grid2(p);
+  LFFT_REQUIRE(grid[0] >= 1 && grid[1] >= 1, "split_pencil: bad grid");
   std::array<int, 3> pg{};
   // Full extent in `dir`; the remaining dimensions (in increasing index
   // order) get the two process-grid factors.
   const int d1 = dir == 0 ? 1 : 0;
   const int d2 = dir == 2 ? 1 : 2;
   pg[static_cast<std::size_t>(dir)] = 1;
-  pg[static_cast<std::size_t>(d1)] = a;
-  pg[static_cast<std::size_t>(d2)] = b;
+  pg[static_cast<std::size_t>(d1)] = grid[0];
+  pg[static_cast<std::size_t>(d2)] = grid[1];
   return split_brick(n, pg);
+}
+
+bool subvolume_contiguous(const Box3& box, const Box3& sub) {
+  if (sub.empty()) return true;
+  // x-fastest storage: a multi-plane sub needs full x and y rows of the
+  // box; a single-plane multi-row sub needs full x rows; one row is
+  // always a single run.
+  if (sub.size[2] > 1) {
+    return sub.size[0] == box.size[0] && sub.size[1] == box.size[1];
+  }
+  if (sub.size[1] > 1) return sub.size[0] == box.size[0];
+  return true;
 }
 
 }  // namespace lossyfft

@@ -19,6 +19,26 @@ std::array<int, 3> proc_grid3(int p);
 /// Factor p into a near-square 2-D process grid.
 std::array<int, 2> proc_grid2(int p);
 
+/// Every ordered factorization p = a*b with a, b >= 1, sorted by
+/// |a - b| (near-square first) then by a — the admissible 2-D process
+/// grids the decomposition tuner enumerates. The first entry that fits
+/// the grid extents is what proc_grid2_for picks.
+std::vector<std::array<int, 2>> admissible_grids2(int p);
+
+/// Extent-aware near-square grid: among all factorizations of p, pick the
+/// one maximizing the number of non-empty ranks when factor a splits an
+/// extent-e1 dimension and b an extent-e2 one (ties broken near-square,
+/// then by smaller a). Identical to proc_grid2 whenever that grid fits
+/// both extents; rebalances the degenerate cases (prime p, p > extent)
+/// where the near-square split would leave zero-extent local boxes.
+std::array<int, 2> proc_grid2_for(int p, int e1, int e2);
+
+/// Extent-aware near-cubic grid for split_brick over grid `n`: the
+/// factor triple maximizing non-empty ranks, ties broken by surface
+/// (most cubic) then lexicographically. Identical to proc_grid3 whenever
+/// that triple fits all three extents.
+std::array<int, 3> proc_grid3_for(int p, std::array<int, 3> n);
+
 /// Balanced 1-D split of n points into parts pieces; piece i gets
 /// n/parts + (i < n%parts ? 1 : 0) points.
 std::vector<std::array<int, 2>> split_interval(int n, int parts);
@@ -31,5 +51,17 @@ std::vector<Box3> split_brick(std::array<int, 3> n, std::array<int, 3> pg);
 /// dimensions are split over proc_grid2(p) (lower dimension index gets the
 /// first factor).
 std::vector<Box3> split_pencil(std::array<int, 3> n, int dir, int p);
+
+/// Pencil decomposition with an explicit process grid {a, b}: the lower
+/// of the two non-dir dimensions is split into a pieces, the higher into
+/// b. split_pencil(n, dir, p) == split_pencil(n, dir, proc_grid2(p)).
+std::vector<Box3> split_pencil(std::array<int, 3> n, int dir,
+                               std::array<int, 2> grid);
+
+/// True when `sub`'s elements occupy one contiguous run of `box`'s
+/// x-fastest local storage — the geometry test that lets a reshape elide
+/// its pack stage and exchange straight out of the field (sub must lie
+/// inside box).
+bool subvolume_contiguous(const Box3& box, const Box3& sub);
 
 }  // namespace lossyfft

@@ -7,6 +7,7 @@
 #include "compress/planner.hpp"
 #include "dfft/decomp.hpp"
 #include "dfft/fft_exec.hpp"
+#include "tuner/tuner.hpp"
 
 namespace lossyfft {
 
@@ -37,8 +38,34 @@ double backward_scale(Scaling s, double N) {
 }  // namespace
 
 template <typename T>
+void Fft3d<T>::resolve_auto_decomp() {
+  if (options_.algorithm != FftAlgorithm::kAuto) return;
+  // The decision is deterministic in (signature, constants) but the
+  // constants come from timing-based calibration, which would diverge
+  // across ranks — rank 0 decides and broadcasts the POD decision, exactly
+  // like the exchange-level kAuto path in Reshape.
+  tuner::DecompSignature sig;
+  sig.n = n_;
+  sig.p = comm_.size();
+  sig.gpn = options_.gpus_per_node > 0 ? options_.gpus_per_node : 1;
+  sig.codec = options_.codec;
+  sig.elem_bytes = sizeof(std::complex<T>);
+  tuner::DecompDecision d;
+  if (comm_.rank() == 0) d = tuner::Tuner::global().decide_decomp(sig);
+  comm_.bcast(std::span<tuner::DecompDecision>(&d, 1), 0);
+  options_.algorithm = d.algorithm == tuner::DecompAlgorithm::kSlab
+                           ? FftAlgorithm::kSlab
+                           : FftAlgorithm::kPencil;
+  if (options_.algorithm == FftAlgorithm::kPencil) {
+    options_.pencil_grid = d.grid;
+  }
+  decomp_ = d;
+}
+
+template <typename T>
 void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
                     const std::vector<Box3>& boxes_out) {
+  resolve_auto_decomp();
   const int p = comm_.size();
   const auto me = static_cast<std::size_t>(comm_.rank());
   inbox_ = boxes_in[me];
@@ -74,9 +101,24 @@ void Fft3d<T>::init(const std::vector<Box3>& boxes_in,
     return;
   }
 
-  std::array<std::vector<Box3>, 3> pencils = {split_pencil(n_, 0, p),
-                                              split_pencil(n_, 1, p),
-                                              split_pencil(n_, 2, p)};
+  // Pencil stages. An explicit (or tuner-chosen) grid applies to all three
+  // orientations; the {0, 0} default picks the extent-aware near-square
+  // grid per orientation — identical to the classic proc_grid2 split
+  // whenever that fits, rebalanced when it would leave zero-extent boxes
+  // (prime p, p > extent).
+  const auto pencil_boxes = [&](int dir) {
+    if (options_.pencil_grid[0] >= 1 && options_.pencil_grid[1] >= 1) {
+      return split_pencil(n_, dir, options_.pencil_grid);
+    }
+    const int d1 = dir == 0 ? 1 : 0;
+    const int d2 = dir == 2 ? 1 : 2;
+    return split_pencil(
+        n_, dir,
+        proc_grid2_for(p, n_[static_cast<std::size_t>(d1)],
+                       n_[static_cast<std::size_t>(d2)]));
+  };
+  std::array<std::vector<Box3>, 3> pencils = {pencil_boxes(0), pencil_boxes(1),
+                                              pencil_boxes(2)};
   for (int d = 0; d < 3; ++d) {
     pencil_[static_cast<std::size_t>(d)] =
         pencils[static_cast<std::size_t>(d)][me];
@@ -102,7 +144,9 @@ Fft3d<T>::Fft3d(minimpi::Comm& comm, std::array<int, 3> n,
     : comm_(comm), n_(n), options_(options) {
   LFFT_REQUIRE(n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
                "fft3d: grid extents must be >= 1");
-  const auto bricks = split_brick(n_, proc_grid3(comm.size()));
+  // Extent-aware near-cubic bricks: identical to proc_grid3 whenever that
+  // triple fits the grid, rebalanced when it would leave zero-extent boxes.
+  const auto bricks = split_brick(n_, proc_grid3_for(comm.size(), n_));
   init(bricks, bricks);
 }
 
@@ -373,6 +417,15 @@ osc::ExchangeStats Fft3d<T>::stats() const {
     total.seconds += r->stats().seconds;
   }
   return total;
+}
+
+template <typename T>
+std::array<bool, 4> Fft3d<T>::reshape_pack_elided() const {
+  std::array<bool, 4> out{false, false, false, false};
+  for (std::size_t i = 0; i < fwd_reshape_.size(); ++i) {
+    if (fwd_reshape_[i]) out[i] = fwd_reshape_[i]->pack_elided();
+  }
+  return out;
 }
 
 template <typename T>

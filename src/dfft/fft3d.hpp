@@ -17,16 +17,24 @@
 
 #include "dfft/reshape.hpp"
 #include "fft/fft1d.hpp"
+#include "tuner/decomp_model.hpp"
 
 namespace lossyfft {
 
-/// Reshape strategy of the transform pipeline.
+/// Reshape strategy of the transform pipeline. kPencil/kSlab values match
+/// tuner::DecompAlgorithm (the tuner layer cannot include this header).
 enum class FftAlgorithm {
   /// Fig. 1's general pencil pipeline: 4 reshapes, scales to p <= n^2.
-  kPencil,
+  kPencil = 0,
   /// Slab pipeline: z-slabs (2-D FFT in x,y locally) -> x-slabs (1-D FFT
   /// in z): 3 reshapes, but only p <= min(nx, nz) ranks stay busy.
-  kSlab,
+  kSlab = 1,
+  /// Tuner-chosen decomposition: rank 0 prices the slab pipeline and the
+  /// pencil pipeline under every admissible process-grid factorization
+  /// through the netsim cost model (Tuner::decide_decomp) and broadcasts
+  /// the winner. Results are byte-identical to planning the chosen shape
+  /// explicitly; only speed changes.
+  kAuto = 2,
 };
 
 /// Where the 1/N normalization lands (heFFTe's scale options).
@@ -45,6 +53,12 @@ struct Fft3dOptions {
   int gpus_per_node = 6;
   Scaling scaling = Scaling::kBackward;
   FftAlgorithm algorithm = FftAlgorithm::kPencil;
+  /// Pencil process grid {a, b} for the intermediate pencil stages
+  /// (split_pencil's convention: the lower non-transform dimension splits
+  /// into a pieces, the higher into b). {0, 0} (default) picks the
+  /// extent-aware near-square grid per orientation (proc_grid2_for);
+  /// kAuto overwrites this with the tuner's choice. Must factor p.
+  std::array<int, 2> pencil_grid = {0, 0};
   osc::OscSync osc_sync = osc::OscSync::kFence;
   /// Codec/pack worker shards per reshape (see ReshapeOptions::workers):
   /// 1 = serial, 0 = full pool concurrency, k > 1 = k shards. Results are
@@ -71,6 +85,10 @@ struct Fft3dOptions {
   /// Decisions come from the persistent tune cache (LOSSYFFT_TUNE_CACHE)
   /// when warm, so steady-state plan construction runs no probes.
   bool autotune = false;
+  /// Per-reshape pack elision (ReshapeOptions::pack_elision): skip the
+  /// pack stage on ranks whose send sub-volumes are contiguous in the
+  /// source field. Byte-identical either way; false forces packing.
+  bool pack_elision = true;
 
   ReshapeOptions reshape_options() const {
     ReshapeOptions ro;
@@ -81,6 +99,7 @@ struct Fft3dOptions {
     ro.osc_sync = autotune ? osc::OscSync::kAuto : osc_sync;
     ro.workers = reshape_workers;
     ro.batch = batch_fields < 1 ? 1 : batch_fields;
+    ro.pack_elision = pack_elision;
     return ro;
   }
 };
@@ -143,6 +162,21 @@ class Fft3d {
   /// Combined wire statistics of all reshapes so far (this rank).
   osc::ExchangeStats stats() const;
 
+  /// The pipeline shape actually planned (kAuto resolves to kPencil or
+  /// kSlab at construction).
+  FftAlgorithm algorithm() const { return options_.algorithm; }
+  /// The pencil process grid actually planned; {0, 0} when the pipeline is
+  /// slab or uses the per-orientation near-square default.
+  std::array<int, 2> pencil_grid() const { return options_.pencil_grid; }
+  /// The tuner's decomposition decision when algorithm was kAuto; empty
+  /// otherwise.
+  const std::optional<tuner::DecompDecision>& decomp_decision() const {
+    return decomp_;
+  }
+  /// Per-reshape pack-elision flags on this rank (slab pipelines use the
+  /// first three entries; the unused slot reads false).
+  std::array<bool, 4> reshape_pack_elided() const;
+
   /// Number of flops the Gflop/s metric charges one forward transform:
   /// 5 N log2(N) with N = nx*ny*nz (the standard FFT benchmark metric).
   double model_flops() const;
@@ -164,9 +198,15 @@ class Fft3d {
                    std::span<std::complex<T>> out, FftDirection dir,
                    int fields);
 
+  /// Resolve FftAlgorithm::kAuto (and a {0, 0} pencil_grid under it) into
+  /// options_ via the tuner: rank 0 decides, everyone applies the
+  /// broadcast. No-op for fixed algorithms.
+  void resolve_auto_decomp();
+
   minimpi::Comm& comm_;
   std::array<int, 3> n_;
   Fft3dOptions options_;
+  std::optional<tuner::DecompDecision> decomp_;
   Box3 inbox_, outbox_;
   std::array<Box3, 3> pencil_;  // Pencil path: x/y/z pencils.
                                 // Slab path: [0] = z-slab, [2] = x-slab.

@@ -7,6 +7,7 @@
 #include "compress/planner.hpp"
 #include "dfft/decomp.hpp"
 #include "dfft/fft_exec.hpp"
+#include "tuner/tuner.hpp"
 
 namespace lossyfft {
 
@@ -68,12 +69,42 @@ Fft3dR2c<T>::Fft3dR2c(minimpi::Comm& comm, std::array<int, 3> n,
   const int p = comm.size();
   const auto me = static_cast<std::size_t>(comm.rank());
 
-  const auto real_bricks = split_brick(n_, proc_grid3(p));
-  const auto xp_real = split_pencil(n_, 0, p);
+  if (options_.algorithm == FftAlgorithm::kAuto) {
+    // The r2c pipeline is always pencil-shaped (the half-spectrum x stage
+    // precludes a slab variant), so kAuto here resolves only the pencil
+    // process grid: rank 0 prices the spectral-grid pipeline and
+    // broadcasts; a slab verdict keeps the near-square default.
+    tuner::DecompSignature sig;
+    sig.n = nr_;
+    sig.p = p;
+    sig.gpn = options_.gpus_per_node > 0 ? options_.gpus_per_node : 1;
+    sig.codec = options_.codec;
+    sig.elem_bytes = sizeof(std::complex<T>);
+    tuner::DecompDecision d;
+    if (comm.rank() == 0) d = tuner::Tuner::global().decide_decomp(sig);
+    comm.bcast(std::span<tuner::DecompDecision>(&d, 1), 0);
+    options_.algorithm = FftAlgorithm::kPencil;
+    if (d.algorithm == tuner::DecompAlgorithm::kPencil) {
+      options_.pencil_grid = d.grid;
+    }
+  }
+  // Extent-aware grids: identical to proc_grid3/proc_grid2 whenever those
+  // fit, rebalanced when they would leave zero-extent boxes.
+  const auto pgrid = [&](std::array<int, 3> gn, int dir) {
+    if (options_.pencil_grid[0] >= 1 && options_.pencil_grid[1] >= 1) {
+      return options_.pencil_grid;
+    }
+    const int d1 = dir == 0 ? 1 : 0;
+    const int d2 = dir == 2 ? 1 : 2;
+    return proc_grid2_for(p, gn[static_cast<std::size_t>(d1)],
+                          gn[static_cast<std::size_t>(d2)]);
+  };
+  const auto real_bricks = split_brick(n_, proc_grid3_for(p, n_));
+  const auto xp_real = split_pencil(n_, 0, pgrid(n_, 0));
   const auto xp_spec = reduce_xpencils(xp_real, nr_[0]);
-  const auto yp = split_pencil(nr_, 1, p);
-  const auto zp = split_pencil(nr_, 2, p);
-  const auto spec_bricks = split_brick(nr_, proc_grid3(p));
+  const auto yp = split_pencil(nr_, 1, pgrid(nr_, 1));
+  const auto zp = split_pencil(nr_, 2, pgrid(nr_, 2));
+  const auto spec_bricks = split_brick(nr_, proc_grid3_for(p, nr_));
 
   real_box_ = real_bricks[me];
   spec_box_ = spec_bricks[me];

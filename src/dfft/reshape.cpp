@@ -6,6 +6,7 @@
 #include "common/stopwatch.hpp"
 #include "common/worker_pool.hpp"
 #include "compress/parallel_codec.hpp"
+#include "dfft/decomp.hpp"
 #include "minimpi/alltoall.hpp"
 #include "tuner/tuner.hpp"
 
@@ -169,18 +170,46 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
       tuned_ = d;
     }
   }
+  // Pack elision: when every nonzero sub-volume this rank sends occupies
+  // one contiguous run of the source field, packing is an identity copy.
+  // Rewrite the send displacements to field-linear element offsets and
+  // exchange straight out of `in` — every exchange layer (ExchangePlan,
+  // alltoallv, the fused pairwise rounds) addresses send data exclusively
+  // through (displacement, count) subspans and peers only learn counts,
+  // so the decision is rank-local and results are byte-identical.
+  pack_elided_ = options_.pack_elision;
+  for (std::size_t r = 0; r < p && pack_elided_; ++r) {
+    if (send_counts_[r] > 0 &&
+        !subvolume_contiguous(my_in, send_boxes_[r])) {
+      pack_elided_ = false;
+    }
+  }
+  if (pack_elided_) {
+    for (std::size_t r = 0; r < p; ++r) {
+      send_displs_[r] =
+          send_counts_[r] > 0
+              ? static_cast<std::uint64_t>(subvolume_row_base<E>(
+                    my_in, send_boxes_[r], send_boxes_[r].lo[1],
+                    send_boxes_[r].lo[2]))
+              : 0;
+    }
+  }
   // Batched plans stage every field bank at once (the plan pins the whole
   // recv span and the window replicates per field); unplanned paths run
   // batches as per-field loops, so one bank suffices there.
   const auto banks =
       planned ? static_cast<std::size_t>(options_.batch) : std::size_t{1};
-  sendbuf_.resize(send_total_ * banks);
+  if (!pack_elided_) sendbuf_.resize(send_total_ * banks);
   if (!fused_raw_) recvbuf_.resize(recv_total_ * banks);
   // Pack/unpack fan-outs clamp against the staging volume: below the
   // bytes-per-shard floor the memcpy loops run serially on the rank
   // thread (submit/steal overhead beats the copies there).
-  pack_shards_ = WorkerPool::effective_shards(
-      options_.workers, static_cast<std::size_t>(send_total_) * sizeof(E));
+  pack_shards_ =
+      pack_elided_
+          ? 1
+          : WorkerPool::effective_shards(
+                options_.workers,
+                static_cast<std::size_t>(send_total_) * sizeof(E));
   unpack_shards_ = WorkerPool::effective_shards(
       options_.workers, static_cast<std::size_t>(recv_total_) * sizeof(E));
 
@@ -252,21 +281,26 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
                "reshape: output span size mismatch");
   const Stopwatch watch;
 
-  // Pack per-destination sub-volumes. Destinations write disjoint staging
-  // slices, so they fan out across workers without coordination.
-  const auto pack_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      if (send_counts_[r] == 0) continue;
-      pack_subvolume(my_in, send_boxes_[r], in.data(),
-                     sendbuf_.data() + send_displs_[r]);
+  // Pack per-destination sub-volumes (skipped entirely when the pack stage
+  // elided: the exchange reads the field directly). Destinations write
+  // disjoint staging slices, so they fan out across workers without
+  // coordination.
+  if (!pack_elided_) {
+    const auto pack_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        if (send_counts_[r] == 0) continue;
+        pack_subvolume(my_in, send_boxes_[r], in.data(),
+                       sendbuf_.data() + send_displs_[r]);
+      }
+    };
+    if (pack_shards_ > 1) {
+      WorkerPool::global().parallel_for(send_boxes_.size(), 1, pack_range,
+                                        pack_shards_);
+    } else {
+      pack_range(0, send_boxes_.size());
     }
-  };
-  if (pack_shards_ > 1) {
-    WorkerPool::global().parallel_for(send_boxes_.size(), 1, pack_range,
-                                      pack_shards_);
-  } else {
-    pack_range(0, send_boxes_.size());
   }
+  const E* send_base = pack_elided_ ? in.data() : sendbuf_.data();
 
   // Exchange.
   bool exchanged = false;
@@ -277,7 +311,7 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
       // Bank 0 of the (possibly batch-sized) staging: the plan's
       // single-field execute expects exactly one field image.
       const std::span<const double> send_view(
-          reinterpret_cast<const double*>(sendbuf_.data()),
+          reinterpret_cast<const double*>(send_base),
           static_cast<std::size_t>(kDbl * send_total_));
       const std::span<double> recv_view(
           reinterpret_cast<double*>(recvbuf_.data()),
@@ -299,11 +333,13 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
     stats_.messages += comm_.size() - 1;
     if (fused_raw_) {
       // Exchange and unpack are one pass; recvbuf_ does not exist.
-      execute_raw_fused(out);
+      execute_raw_fused(in, out);
       stats_.seconds += watch.seconds();
       return;
     }
-    minimpi::alltoallv(comm_, std::as_bytes(std::span<const E>(sendbuf_)),
+    minimpi::alltoallv(comm_,
+                       std::as_bytes(std::span<const E>(
+                           send_base, static_cast<std::size_t>(send_total_))),
                        byte_send_counts_, byte_send_displs_,
                        std::as_writable_bytes(std::span<E>(recvbuf_)),
                        byte_recv_counts_, byte_recv_displs_,
@@ -359,27 +395,33 @@ void Reshape<E>::execute_batch(std::span<const E> in, std::span<E> out,
     const auto p = send_boxes_.size();
 
     // Pack every field into its staging bank; (field, destination) items
-    // write disjoint slices, so the whole batch fans out at once.
-    const auto pack_item = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t k = lo; k < hi; ++k) {
-        const std::size_t f = k / p;
-        const std::size_t r = k % p;
-        if (send_counts_[r] == 0) continue;
-        pack_subvolume(my_in, send_boxes_[r], in.data() + f * in_ext,
-                       sendbuf_.data() + f * send_total_ + send_displs_[r]);
+    // write disjoint slices, so the whole batch fans out at once. An
+    // elided pack skips this wholesale: the field banks in `in` already
+    // have the bank stride (in_ext == send_total_) and the field-linear
+    // displacements the exchange addresses with.
+    if (!pack_elided_) {
+      const auto pack_item = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t f = k / p;
+          const std::size_t r = k % p;
+          if (send_counts_[r] == 0) continue;
+          pack_subvolume(my_in, send_boxes_[r], in.data() + f * in_ext,
+                         sendbuf_.data() + f * send_total_ + send_displs_[r]);
+        }
+      };
+      if (pack_shards_ > 1) {
+        WorkerPool::global().parallel_for(nf * p, 1, pack_item, pack_shards_);
+      } else {
+        pack_item(0, nf * p);
       }
-    };
-    if (pack_shards_ > 1) {
-      WorkerPool::global().parallel_for(nf * p, 1, pack_item, pack_shards_);
-    } else {
-      pack_item(0, nf * p);
     }
 
     // One batched exchange: all field banks travel under a single fence /
     // PSCW handshake sequence.
     constexpr std::uint64_t kDbl = sizeof(E) / sizeof(double);
     const std::span<const double> send_view(
-        reinterpret_cast<const double*>(sendbuf_.data()),
+        reinterpret_cast<const double*>(pack_elided_ ? in.data()
+                                                     : sendbuf_.data()),
         static_cast<std::size_t>(kDbl * send_total_) * nf);
     const std::span<double> recv_view(
         reinterpret_cast<double*>(recvbuf_.data()),
@@ -411,7 +453,7 @@ void Reshape<E>::execute_batch(std::span<const E> in, std::span<E> out,
 }
 
 template <typename E>
-void Reshape<E>::execute_raw_fused(std::span<E> out) {
+void Reshape<E>::execute_raw_fused(std::span<const E> in, std::span<E> out) {
   // Pairwise rounds with the unpack fused into the receive: recv_consume
   // hands us the message payload in place — the sender's sendbuf_ slice for
   // rendezvous messages, the pooled envelope for eager ones — and we scatter
@@ -420,11 +462,16 @@ void Reshape<E>::execute_raw_fused(std::span<E> out) {
   const Box3& my_out = all_out_[static_cast<std::size_t>(rank_)];
   const int p = comm_.size();
   const auto me = static_cast<std::size_t>(rank_);
+  // Send source: the field itself when the pack stage elided (a contiguous
+  // sub-volume's packed bytes *are* its field bytes at the linear offset).
+  const std::span<const E> send_span(
+      pack_elided_ ? in.data() : sendbuf_.data(),
+      static_cast<std::size_t>(send_total_));
 
-  // Self overlap: unpack directly from the packed send staging.
+  // Self overlap: unpack directly from the (real or elided) send staging.
   if (recv_counts_[me] > 0) {
     unpack_subvolume(my_out, recv_boxes_[me], out.data(),
-                     sendbuf_.data() + send_displs_[me]);
+                     send_span.data() + send_displs_[me]);
   }
 
   for (int j = 1; j < p; ++j) {
@@ -434,7 +481,7 @@ void Reshape<E>::execute_raw_fused(std::span<E> out) {
     bool sent = false;
     if (byte_send_counts_[dst] > 0) {
       req = comm_.isend(
-          std::as_bytes(std::span<const E>(sendbuf_))
+          std::as_bytes(send_span)
               .subspan(byte_send_displs_[dst], byte_send_counts_[dst]),
           static_cast<int>(dst), kReshapeFusedTag);
       sent = true;

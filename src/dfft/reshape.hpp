@@ -61,6 +61,15 @@ struct ReshapeOptions {
   /// false selects the staged alltoallv baseline; results are
   /// byte-identical either way (reshape_test locks this down).
   bool fused_raw = true;
+  /// Pack elision: when every nonzero sub-volume this rank sends occupies
+  /// one contiguous run of its source field (subvolume_contiguous), the
+  /// pack stage is a pure identity copy — skip it. Send displacements
+  /// become field-linear offsets, the exchange reads straight out of `in`,
+  /// and sendbuf_ is never allocated. The decision is rank-local (every
+  /// exchange layer addresses send data through (displacement, count)
+  /// subspans; peers only ever learn counts), and results are byte-
+  /// identical to the packed path. false forces packing (A/B benches).
+  bool pack_elision = true;
   /// Codec/pack worker shards: 1 = serial (default), 0 = the process-wide
   /// pool's full concurrency, k > 1 = fan out to k shards. Parallelism is
   /// an execution detail: packed bytes, wire bytes, and results are
@@ -126,6 +135,10 @@ class Reshape {
     return tuned_;
   }
 
+  /// True when this rank's pack stage elided (sends go straight from the
+  /// source field; sendbuf_ was never allocated).
+  bool pack_elided() const { return pack_elided_; }
+
  private:
   minimpi::Comm& comm_;
   int rank_;
@@ -157,13 +170,18 @@ class Reshape {
   /// Resolved at construction: the raw pairwise exchange runs fused
   /// (recv_consume straight into `out`; recvbuf_ stays unallocated).
   bool fused_raw_ = false;
+  /// Resolved at construction: every send sub-volume is contiguous in the
+  /// source field, so execute() skips packing and exchanges out of `in`
+  /// via field-linear send displacements (sendbuf_ stays unallocated).
+  bool pack_elided_ = false;
   /// The tuner's broadcast decision when osc_sync was kAuto on a planned
   /// path (overrides backend / fused / workers at plan construction).
   std::optional<tuner::TuneDecision> tuned_;
 
   /// The fused raw exchange: pairwise isend/recv_consume rounds that unpack
   /// each source's sub-volume directly from the sender's buffer into `out`.
-  void execute_raw_fused(std::span<E> out);
+  /// `in` is the send source when the pack stage elided (sendbuf_ otherwise).
+  void execute_raw_fused(std::span<const E> in, std::span<E> out);
 
   std::vector<E> sendbuf_, recvbuf_;
   /// Persistent exchange plan (codec / kOsc paths; null otherwise). Pins a

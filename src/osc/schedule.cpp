@@ -109,6 +109,43 @@ netsim::Schedule schedule_bruck(int p, int gpn, std::uint64_t block_bytes) {
   return sched;
 }
 
+netsim::Schedule schedule_pairwise_sparse(
+    int p, int gpn, std::span<const netsim::Message> msgs) {
+  (void)gpn;
+  LFFT_REQUIRE(p > 0, "schedule: bad size");
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kTwoSided;
+  sched.phases.resize(static_cast<std::size_t>(std::max(0, p - 1)));
+  for (const netsim::Message& m : msgs) {
+    LFFT_REQUIRE(m.src >= 0 && m.src < p && m.dst >= 0 && m.dst < p,
+                 "schedule: message rank out of range");
+    if (m.src == m.dst || m.bytes == 0) continue;
+    // Pairwise step j exchanges with the rank at distance j.
+    const int j = (m.dst - m.src + p) % p;
+    sched.phases[static_cast<std::size_t>(j - 1)].messages.push_back(m);
+  }
+  return sched;
+}
+
+netsim::Schedule schedule_osc_ring_sparse(
+    int p, int gpn, std::span<const netsim::Message> msgs) {
+  LFFT_REQUIRE(p > 0 && gpn > 0, "schedule: bad sizes");
+  netsim::Schedule sched;
+  sched.semantics = netsim::Semantics::kOneSided;
+  sched.phase_barrier = true;
+  const int rounds = ring_rounds(p, gpn);
+  sched.phases.resize(static_cast<std::size_t>(rounds));
+  for (const netsim::Message& m : msgs) {
+    LFFT_REQUIRE(m.src >= 0 && m.src < p && m.dst >= 0 && m.dst < p,
+                 "schedule: message rank out of range");
+    if (m.src == m.dst || m.bytes == 0) continue;
+    // Round j serves the node at ring distance j (round 0 is intra-node).
+    const int j = ((m.dst / gpn) - (m.src / gpn) + rounds) % rounds;
+    sched.phases[static_cast<std::size_t>(j)].messages.push_back(m);
+  }
+  return sched;
+}
+
 netsim::Schedule schedule_osc_ring(int p, int gpn, const BytesFn& bytes) {
   netsim::Schedule sched;
   sched.semantics = netsim::Semantics::kOneSided;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "netsim/model.hpp"
@@ -54,5 +55,17 @@ netsim::Schedule schedule_bruck(int p, int gpn, std::uint64_t block_bytes);
 /// The paper's OSC ring: one phase per node round, one-sided semantics,
 /// fence (tree barrier) between rounds.
 netsim::Schedule schedule_osc_ring(int p, int gpn, const BytesFn& bytes);
+
+/// Sparse builders: identical phase placement to the dense builders above,
+/// but driven by an explicit (src, dst, bytes) message list instead of a
+/// p^2 BytesFn scan — O(messages) instead of O(p^2), which is what makes
+/// pricing emitted schedules at 1k–16k simulated ranks feasible. Zero-byte
+/// and self messages are skipped; each message lands in the phase the
+/// dense builder would place it in (pairwise: rank distance, ring: node
+/// ring distance).
+netsim::Schedule schedule_pairwise_sparse(int p, int gpn,
+                                          std::span<const netsim::Message> msgs);
+netsim::Schedule schedule_osc_ring_sparse(int p, int gpn,
+                                          std::span<const netsim::Message> msgs);
 
 }  // namespace lossyfft::osc

@@ -41,6 +41,11 @@ struct CostConstants {
   double worker_efficiency = 0.75;
   /// PSCW post/start/complete/wait cost per exposure peer per round.
   double handshake_seconds = 2e-6;
+  /// Per-rank 1-D FFT throughput in flops/s, pricing the compute stages of
+  /// a decomposition candidate (5 n log2 n per line). The *max* local
+  /// element count enters the term, so slab pipelines and oversubscribed
+  /// grids pay for their idle ranks.
+  double fft_flops = 2e9;
   /// Worker shards available to one exchange (WorkerPool concurrency).
   int pool_concurrency = 4;
   /// True once calibrate_host has replaced the Summit defaults.

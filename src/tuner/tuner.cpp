@@ -53,6 +53,16 @@ std::string Tuner::key(const ExchangeSignature& sig) const {
   return os.str();
 }
 
+std::string Tuner::decomp_key(const DecompSignature& sig) const {
+  // Exact grid extents, no bucketing: decompositions are decided once per
+  // plan, and nearby grids can genuinely prefer different shapes.
+  std::ostringstream os;
+  os << sig.p << ' ' << sig.gpn << ' ' << sig.n[0] << ' ' << sig.n[1] << ' '
+     << sig.n[2] << ' ' << sanitize(sig.codec_class()) << ' '
+     << rate_bucket(sig.rate()) << ' ' << sig.elem_bytes;
+  return os.str();
+}
+
 void Tuner::load_cache_locked() {
   if (options_.cache_path.empty()) return;
   std::ifstream in(options_.cache_path);
@@ -67,13 +77,51 @@ void Tuner::load_cache_locked() {
     // kernel dispatch level: ignore the whole file and recalibrate.
     return;
   }
-  int p = 0, gpn = 0, sc = 0, path = 0, workers = 0;
-  long rb = 0;
-  std::string cls;
-  std::uint64_t rendezvous = 0;
-  double seconds = 0.0;
-  while (in >> p >> gpn >> sc >> cls >> rb >> path >> workers >> rendezvous >>
-         seconds) {
+  // Two row kinds share the table: exchange rows start with the numeric p
+  // token, decomposition rows carry a leading "d" tag. Peek the first
+  // token of each row to dispatch.
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "d") {
+      int p = 0, gpn = 0, algo = 0;
+      std::array<int, 3> n{};
+      long rb = 0;
+      std::string cls;
+      std::uint64_t eb = 0;
+      std::array<int, 2> grid{};
+      double seconds = 0.0;
+      if (!(in >> p >> gpn >> n[0] >> n[1] >> n[2] >> cls >> rb >> eb >>
+            algo >> grid[0] >> grid[1] >> seconds)) {
+        break;
+      }
+      if (algo < 0 || algo > static_cast<int>(DecompAlgorithm::kSlab) ||
+          grid[0] < 1 || grid[1] < 1) {
+        continue;  // Tolerate a corrupt row without dropping the rest.
+      }
+      std::ostringstream os;
+      os << p << ' ' << gpn << ' ' << n[0] << ' ' << n[1] << ' ' << n[2]
+         << ' ' << cls << ' ' << rb << ' ' << eb;
+      DecompDecision d;
+      d.algorithm = static_cast<DecompAlgorithm>(algo);
+      d.grid = grid;
+      d.modeled_seconds = seconds;
+      decomp_memo_[os.str()] = d;
+      continue;
+    }
+    int p = 0, gpn = 0, sc = 0, path = 0, workers = 0;
+    long rb = 0;
+    std::string cls;
+    std::uint64_t rendezvous = 0;
+    double seconds = 0.0;
+    try {
+      p = std::stoi(tok);
+    } catch (...) {
+      continue;  // Unknown tag — skip the token and resynchronize.
+    }
+    if (!(in >> gpn >> sc >> cls >> rb >> path >> workers >> rendezvous >>
+          seconds)) {
+      break;
+    }
     if (path < 0 || path > static_cast<int>(TunePath::kTwoSidedStaged) ||
         workers < 1) {
       continue;  // Tolerate a corrupt row without dropping the rest.
@@ -104,21 +152,25 @@ void Tuner::store_cache_locked() {
     out << k << ' ' << static_cast<int>(d.path) << ' ' << d.workers << ' '
         << d.rendezvous_threshold << ' ' << d.modeled_seconds << '\n';
   }
+  for (const auto& [k, d] : decomp_memo_) {
+    out << "d " << k << ' ' << static_cast<int>(d.algorithm) << ' '
+        << d.grid[0] << ' ' << d.grid[1] << ' ' << d.modeled_seconds << '\n';
+  }
 }
 
-CostConstants& Tuner::constants_locked(const ExchangeSignature* sig) {
+CostConstants& Tuner::constants_locked(const CodecPtr& codec,
+                                       const std::string& codec_class) {
   if (!constants_) constants_ = calibrate_host();
-  if (!options_.constants && sig && sig->codec &&
-      calibrated_codec_class_ != sig->codec_class()) {
-    calibrate_codec(*sig->codec, *constants_);
-    calibrated_codec_class_ = sig->codec_class();
+  if (!options_.constants && codec && calibrated_codec_class_ != codec_class) {
+    calibrate_codec(*codec, *constants_);
+    calibrated_codec_class_ = codec_class;
   }
   return *constants_;
 }
 
 const CostConstants& Tuner::constants() {
   std::lock_guard<std::mutex> lock(mu_);
-  return constants_locked(nullptr);
+  return constants_locked(nullptr, std::string());
 }
 
 TuneDecision Tuner::decide(const ExchangeSignature& sig) {
@@ -126,13 +178,26 @@ TuneDecision Tuner::decide(const ExchangeSignature& sig) {
   const std::string k = key(sig);
   if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
 
-  const CostConstants& cc = constants_locked(&sig);
+  const CostConstants& cc = constants_locked(sig.codec, sig.codec_class());
   // Decide at the bucket's deterministic representative so every
   // pair_bytes in the size class yields the identical decision.
   ExchangeSignature rep = sig;
   rep.pair_bytes = representative_bytes(size_class(sig.pair_bytes));
   const TuneDecision d = lossyfft::tuner::decide(rep, cc);
   memo_[k] = d;
+  store_cache_locked();
+  return d;
+}
+
+DecompDecision Tuner::decide_decomp(const DecompSignature& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string k = decomp_key(sig);
+  if (const auto it = decomp_memo_.find(k); it != decomp_memo_.end()) {
+    return it->second;
+  }
+  const CostConstants& cc = constants_locked(sig.codec, sig.codec_class());
+  const DecompDecision d = lossyfft::tuner::decide_decomp(sig, cc);
+  decomp_memo_[k] = d;
   store_cache_locked();
   return d;
 }

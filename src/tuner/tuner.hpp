@@ -31,6 +31,7 @@
 #include <string>
 
 #include "tuner/cost_model.hpp"
+#include "tuner/decomp_model.hpp"
 
 namespace lossyfft::tuner {
 
@@ -54,6 +55,13 @@ class Tuner {
   /// Resolve a signature (thread-safe; probes only on a cold bucket).
   TuneDecision decide(const ExchangeSignature& sig);
 
+  /// Resolve a pipeline signature to a decomposition (algorithm + pencil
+  /// process grid). Keyed by the exact grid extents — decompositions are
+  /// per-plan, not per-message, so there is no size bucketing. Same memo /
+  /// cache / compute resolution order as decide(); rows share the cache
+  /// file under a "d" tag.
+  DecompDecision decide_decomp(const DecompSignature& sig);
+
   /// The model constants decisions are computed with; triggers host
   /// calibration when no injected constants exist and no decision has
   /// needed them yet. Codec throughputs reflect the last codec class
@@ -64,20 +72,26 @@ class Tuner {
   /// "lossyfft-tune-cache <version> <simd-level>"; other versions are
   /// ignored, as is any file calibrated under a different kernel dispatch
   /// level — SIMD codecs shift the codec-throughput constants enough to
-  /// flip path decisions. Version 2 added the level token.
-  static constexpr int kCacheVersion = 2;
+  /// flip path decisions. Version 2 added the level token; version 3 added
+  /// "d"-tagged decomposition rows (exchange rows are unchanged but the
+  /// decomposition model's constants ride the same calibration, so older
+  /// caches are not resurrected).
+  static constexpr int kCacheVersion = 3;
 
  private:
   std::string key(const ExchangeSignature& sig) const;
+  std::string decomp_key(const DecompSignature& sig) const;
   void load_cache_locked();
   void store_cache_locked();
-  CostConstants& constants_locked(const ExchangeSignature* sig);
+  CostConstants& constants_locked(const CodecPtr& codec,
+                                  const std::string& codec_class);
 
   std::mutex mu_;
   TunerOptions options_;
   std::optional<CostConstants> constants_;  // Lazily calibrated.
   std::string calibrated_codec_class_;      // Last codec probe target.
   std::map<std::string, TuneDecision> memo_;
+  std::map<std::string, DecompDecision> decomp_memo_;
 };
 
 }  // namespace lossyfft::tuner

@@ -144,6 +144,109 @@ TEST(Decomp, RejectsBadArguments) {
   EXPECT_THROW(proc_grid2(-1), Error);
   EXPECT_THROW(split_interval(5, 0), Error);
   EXPECT_THROW(split_pencil({4, 4, 4}, 3, 4), Error);
+  EXPECT_THROW(split_pencil({4, 4, 4}, 0, std::array<int, 2>{0, 4}), Error);
+}
+
+TEST(AdmissibleGrids2, EnumeratesEveryOrderedFactorizationNearSquareFirst) {
+  const auto g12 = admissible_grids2(12);
+  // 12 = 1*12, 2*6, 3*4, 4*3, 6*2, 12*1 — near-square first, then by a.
+  ASSERT_EQ(g12.size(), 6u);
+  EXPECT_EQ(g12[0], (std::array<int, 2>{3, 4}));
+  EXPECT_EQ(g12[1], (std::array<int, 2>{4, 3}));
+  EXPECT_EQ(g12[2], (std::array<int, 2>{2, 6}));
+  EXPECT_EQ(g12[3], (std::array<int, 2>{6, 2}));
+  EXPECT_EQ(g12[4], (std::array<int, 2>{1, 12}));
+  EXPECT_EQ(g12[5], (std::array<int, 2>{12, 1}));
+  for (const int p : {1, 2, 7, 16, 24, 96}) {
+    std::set<std::array<int, 2>> seen;
+    for (const auto& g : admissible_grids2(p)) {
+      EXPECT_EQ(g[0] * g[1], p);
+      EXPECT_TRUE(seen.insert(g).second) << "duplicate grid for p=" << p;
+    }
+    // a ranges over every divisor exactly once.
+    int divisors = 0;
+    for (int a = 1; a <= p; ++a) {
+      if (p % a == 0) ++divisors;
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), divisors) << p;
+  }
+}
+
+TEST(ProcGrid2For, MatchesNearSquareWheneverItFits) {
+  EXPECT_EQ(proc_grid2_for(16, 8, 8), proc_grid2(16));
+  EXPECT_EQ(proc_grid2_for(12, 4, 4), proc_grid2(12));
+  EXPECT_EQ(proc_grid2_for(6, 100, 100), proc_grid2(6));
+}
+
+TEST(ProcGrid2For, RebalancesPrimeRankCounts) {
+  // proc_grid2(7) = {1, 7}: on a 8 x 4 split that leaves 3 of 7 ranks
+  // empty (7 > 4). The extent-aware grid flips to {7, 1}: all 7 busy.
+  EXPECT_EQ(proc_grid2(7), (std::array<int, 2>{1, 7}));
+  const auto g = proc_grid2_for(7, 8, 4);
+  EXPECT_EQ(g, (std::array<int, 2>{7, 1}));
+  // And every rank owns a nonempty piece.
+  const auto pieces = split_interval(8, g[0]);
+  for (const auto& pc : pieces) EXPECT_GT(pc[1], 0);
+}
+
+TEST(ProcGrid2For, RebalancesOversubscribedExtents) {
+  // 24 ranks on extents {4, 50}: the near-square {4, 6} fits, but on
+  // {4, 4} no factorization keeps all ranks busy — maximize busy ranks.
+  const auto g = proc_grid2_for(24, 4, 4);
+  EXPECT_EQ(g[0] * g[1], 24);
+  EXPECT_EQ(std::min(g[0], 4) * std::min(g[1], 4), 16);  // Best possible.
+  // Every admissible grid is no better.
+  for (const auto& h : admissible_grids2(24)) {
+    EXPECT_LE(std::min(h[0], 4) * std::min(h[1], 4),
+              std::min(g[0], 4) * std::min(g[1], 4));
+  }
+}
+
+TEST(ProcGrid3For, MatchesNearCubicWheneverItFits) {
+  EXPECT_EQ(proc_grid3_for(8, {8, 8, 8}), proc_grid3(8));
+  EXPECT_EQ(proc_grid3_for(27, {16, 8, 4}), proc_grid3(27));
+  EXPECT_EQ(proc_grid3_for(64, {32, 32, 32}), proc_grid3(64));
+}
+
+TEST(ProcGrid3For, RebalancesDegenerateFactorizations) {
+  // Prime p on a thin grid: proc_grid3(13) = {1, 1, 13} leaves 9 of 13
+  // ranks empty when n = {64, 64, 4}; the extent-aware triple keeps all
+  // 13 busy by splitting a long dimension instead.
+  const auto g = proc_grid3_for(13, {64, 64, 4});
+  EXPECT_EQ(g[0] * g[1] * g[2], 13);
+  const std::array<int, 3> n{64, 64, 4};
+  long long busy = 1;
+  for (int d = 0; d < 3; ++d) {
+    busy *= std::min(g[static_cast<std::size_t>(d)],
+                     n[static_cast<std::size_t>(d)]);
+  }
+  EXPECT_EQ(busy, 13);
+  // Oversubscribed: p > n in every dimension — no triple keeps everyone
+  // busy; the choice must still maximize the busy count over all triples.
+  const auto h = proc_grid3_for(64, {2, 2, 2});
+  EXPECT_EQ(h[0] * h[1] * h[2], 64);
+  EXPECT_EQ(std::min(h[0], 2) * std::min(h[1], 2) * std::min(h[2], 2), 8);
+  // The resulting bricks still tile the grid.
+  expect_tiling(split_brick({2, 2, 2}, h), {2, 2, 2});
+  expect_tiling(split_brick({64, 64, 4}, g), {64, 64, 4});
+}
+
+TEST(SubvolumeContiguous, ExactRunDetection) {
+  const Box3 box{{4, 8, 0}, {6, 5, 4}};
+  // Empty sub-volume: trivially contiguous.
+  EXPECT_TRUE(subvolume_contiguous(box, Box3{{4, 8, 0}, {0, 0, 0}}));
+  // The whole box.
+  EXPECT_TRUE(subvolume_contiguous(box, box));
+  // Full x/y cross-sections over a z range: one run.
+  EXPECT_TRUE(subvolume_contiguous(box, Box3{{4, 8, 1}, {6, 5, 2}}));
+  // Full x rows over a y range within one z plane: one run.
+  EXPECT_TRUE(subvolume_contiguous(box, Box3{{4, 9, 2}, {6, 3, 1}}));
+  // Partial x with a single row: one run.
+  EXPECT_TRUE(subvolume_contiguous(box, Box3{{5, 9, 2}, {3, 1, 1}}));
+  // Partial x with multiple rows: strided.
+  EXPECT_FALSE(subvolume_contiguous(box, Box3{{5, 9, 2}, {3, 2, 1}}));
+  // Full x but partial y across multiple z planes: strided.
+  EXPECT_FALSE(subvolume_contiguous(box, Box3{{4, 9, 1}, {6, 3, 2}}));
 }
 
 }  // namespace

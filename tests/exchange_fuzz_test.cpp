@@ -17,12 +17,18 @@
 #include <string>
 #include <vector>
 
+#include <array>
+#include <complex>
+#include <cstring>
+#include <tuple>
+
 #include "common/cpu_dispatch.hpp"
 #include "common/rng.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
 #include "compress/zfpx.hpp"
+#include "dfft/fft3d.hpp"
 #include "minimpi/runtime.hpp"
 #include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
@@ -297,6 +303,152 @@ TEST(ExchangeFuzzSimd, ScalarAndSimdLevelsDeliverIdenticalBuffers) {
                                                 << " i=" << i;
       }
     }
+  }
+}
+
+// --- Decomposition matrix: slab vs pencil vs tuner-chosen -------------------
+//
+// The slab pipeline applies the same 1-D transforms in the same x, y, z
+// order as the pencil pipeline — only the data motion between them differs.
+// With an exact wire (raw or lossless codec) the two must therefore be
+// *bitwise* identical, forward and backward, which pins the reshape layer
+// (including pack elision on compatible stages) to pure data movement.
+// Lossy wires get a determinism check (two runs bitwise equal) plus a
+// tolerance agreement, since each pipeline quantizes different payloads.
+
+// Deterministic brick field from global coordinates: every algorithm and
+// rank regenerates the same global volume without communicating.
+std::vector<std::complex<double>> decomp_brick_field(const Box3& b,
+                                                     std::uint64_t seed) {
+  std::vector<std::complex<double>> v(static_cast<std::size_t>(b.count()));
+  std::size_t i = 0;
+  for (int z = b.lo[2]; z < b.hi(2); ++z)
+    for (int y = b.lo[1]; y < b.hi(1); ++y)
+      for (int x = b.lo[0]; x < b.hi(0); ++x) {
+        Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(x) * 73856093 +
+                               static_cast<std::uint64_t>(y) * 19349663 +
+                               static_cast<std::uint64_t>(z) * 83492791 + 1));
+        v[i++] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      }
+  return v;
+}
+
+bool bitwise_equal(const std::vector<std::complex<double>>& a,
+                   const std::vector<std::complex<double>>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(a[0])) == 0);
+}
+
+double max_abs_diff(const std::vector<std::complex<double>>& a,
+                    const std::vector<std::complex<double>>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+struct DecompCodecCase {
+  std::string name;
+  CodecPtr codec;
+  bool exact;   // bitwise slab == pencil expected
+  double tol;   // agreement tolerance when not exact
+};
+
+class ExchangeFuzzDecomp : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeFuzzDecomp, SlabAndPencilForwardBackwardAgree) {
+  const int p = GetParam();
+  // p = 8 on an 8-deep z extent keeps every slab busy; the smaller grid at
+  // p <= 4 still splits unevenly (6 and 4 do not divide by 4).
+  const std::array<int, 3> n = p == 8 ? std::array<int, 3>{8, 6, 8}
+                                      : std::array<int, 3>{8, 6, 4};
+  run_ranks(p, [&](Comm& comm) {
+    const std::uint64_t seed = fuzz_seed() + static_cast<std::uint64_t>(p) * 31;
+    const std::vector<DecompCodecCase> cases = {
+        {"raw", nullptr, true, 0.0},
+        {"lossless", std::make_shared<ByteplaneRleCodec>(), true, 0.0},
+        {"fp32", std::make_shared<CastFp32Codec>(), false, 1e-4},
+        {"szq", std::make_shared<SzqCodec>(1e-7), false, 1e-4},
+    };
+    for (const auto& cc : cases) {
+      auto run = [&](FftAlgorithm algo) {
+        Fft3dOptions o;
+        o.backend = ExchangeBackend::kOsc;
+        o.gpus_per_node = 2;
+        o.codec = cc.codec;
+        o.algorithm = algo;
+        Fft3d<double> fft(comm, n, o);
+        auto in = decomp_brick_field(fft.inbox(), seed);
+        std::vector<std::complex<double>> spec(fft.local_count());
+        std::vector<std::complex<double>> back(fft.local_count());
+        fft.forward(in, spec);
+        fft.backward(spec, back);
+        return std::tuple(std::move(in), std::move(spec), std::move(back));
+      };
+      const auto [in_p, spec_p, back_p] = run(FftAlgorithm::kPencil);
+      const auto [in_s, spec_s, back_s] = run(FftAlgorithm::kSlab);
+      // Determinism: a second pass of each pipeline is bitwise identical.
+      const auto [in_p2, spec_p2, back_p2] = run(FftAlgorithm::kPencil);
+      const auto [in_s2, spec_s2, back_s2] = run(FftAlgorithm::kSlab);
+      EXPECT_TRUE(bitwise_equal(spec_p, spec_p2)) << cc.name;
+      EXPECT_TRUE(bitwise_equal(back_p, back_p2)) << cc.name;
+      EXPECT_TRUE(bitwise_equal(spec_s, spec_s2)) << cc.name;
+      EXPECT_TRUE(bitwise_equal(back_s, back_s2)) << cc.name;
+      ASSERT_TRUE(bitwise_equal(in_p, in_s)) << cc.name;
+      if (cc.exact) {
+        EXPECT_TRUE(bitwise_equal(spec_p, spec_s)) << cc.name;
+        EXPECT_TRUE(bitwise_equal(back_p, back_s)) << cc.name;
+        EXPECT_LT(max_abs_diff(back_p, in_p), 1e-9) << cc.name;
+      } else {
+        EXPECT_LT(max_abs_diff(spec_p, spec_s),
+                  cc.tol * static_cast<double>(n[0] * n[1] * n[2]))
+            << cc.name;
+        EXPECT_LT(max_abs_diff(back_p, in_p), cc.tol) << cc.name;
+        EXPECT_LT(max_abs_diff(back_s, in_s), cc.tol) << cc.name;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzzDecomp, ::testing::Values(2, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(ExchangeFuzzDecomp, AutoMatchesItsResolvedFixedConfiguration) {
+  // kAuto must be a pure planning-time choice: an Fft3d configured
+  // explicitly with the decomposition kAuto resolved to (same algorithm,
+  // same pencil grid) produces bitwise-identical spectra and inverses.
+  for (const int p : {2, 4, 8}) {
+    run_ranks(p, [&](Comm& comm) {
+      const std::array<int, 3> n{8, 8, 8};
+      Fft3dOptions ao;
+      ao.backend = ExchangeBackend::kOsc;
+      ao.gpus_per_node = 2;
+      ao.algorithm = FftAlgorithm::kAuto;
+      Fft3d<double> tuned(comm, n, ao);
+      ASSERT_TRUE(tuned.decomp_decision().has_value()) << "p=" << p;
+      ASSERT_NE(tuned.algorithm(), FftAlgorithm::kAuto) << "p=" << p;
+      Fft3dOptions fo = ao;
+      fo.algorithm = tuned.algorithm();
+      fo.pencil_grid = tuned.pencil_grid();
+      Fft3d<double> fixed(comm, n, fo);
+      const auto in =
+          decomp_brick_field(tuned.inbox(),
+                             fuzz_seed() + static_cast<std::uint64_t>(p) * 7);
+      std::vector<std::complex<double>> spec_a(tuned.local_count());
+      std::vector<std::complex<double>> spec_f(fixed.local_count());
+      std::vector<std::complex<double>> back_a(tuned.local_count());
+      std::vector<std::complex<double>> back_f(fixed.local_count());
+      tuned.forward(in, spec_a);
+      fixed.forward(in, spec_f);
+      tuned.backward(spec_a, back_a);
+      fixed.backward(spec_f, back_f);
+      EXPECT_TRUE(bitwise_equal(spec_a, spec_f)) << "p=" << p;
+      EXPECT_TRUE(bitwise_equal(back_a, back_f)) << "p=" << p;
+      EXPECT_LT(max_abs_diff(back_a, in), 1e-9) << "p=" << p;
+    });
   }
 }
 

@@ -217,6 +217,56 @@ TEST(PlanReuse, ReshapeRepeatedExecutesAreByteIdentical) {
   });
 }
 
+TEST(SteadyState, ElidedReshapeExecuteIsCollectiveAndAllocationFree) {
+  // A Reshape whose pack stage elides feeds the one-sided plan straight
+  // from the user's field. The steady-state guarantees must survive the
+  // elision: no window churn, no message posts, no heap allocation — and
+  // the field-sourced puts deliver the same bytes as the packed path.
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{8, 6, 8};
+    // z-pencils {2, 2} -> bricks {1, 2, 2}: sends span full x and y of
+    // each pencil, so every rank elides.
+    const auto zp = split_pencil(n, 2, std::array<int, 2>{2, 2});
+    const auto bricks = split_brick(n, {1, 2, 2});
+    ReshapeOptions eo;
+    eo.backend = ExchangeBackend::kOsc;
+    eo.gpus_per_node = 2;
+    eo.codec = std::make_shared<CastFp32Codec>();
+    Reshape<double> elided(comm, zp, bricks, eo);
+    ReshapeOptions po = eo;
+    po.pack_elision = false;
+    Reshape<double> packed(comm, zp, bricks, po);
+    ASSERT_TRUE(elided.pack_elided());
+    ASSERT_FALSE(packed.pack_elided());
+
+    const auto in_n = static_cast<std::size_t>(elided.inbox().count());
+    const auto out_n = static_cast<std::size_t>(elided.outbox().count());
+    std::vector<double> in(in_n), eout(out_n), pout(out_n);
+    Xoshiro256 rng(43 + static_cast<std::uint64_t>(comm.rank()));
+    fill_uniform(rng, in);
+    elided.execute(std::span<const double>(in), std::span<double>(eout));
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    for (int it = 0; it < 3; ++it) {
+      elided.execute(std::span<const double>(in), std::span<double>(eout));
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(comm.state().message_post_count(), m0);
+    EXPECT_EQ(t_allocs, 0u);
+
+    // Cross-check against the forced-pack twin: bitwise identical.
+    packed.execute(std::span<const double>(in), std::span<double>(pout));
+    for (std::size_t i = 0; i < out_n; ++i) {
+      EXPECT_EQ(eout[i], pout[i]) << i;
+    }
+  });
+}
+
 // --- Window cache: several live plans, out-of-order teardown ---------------
 
 TEST(WindowCache, MultipleLivePlansAndOutOfOrderTeardown) {

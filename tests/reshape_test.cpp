@@ -221,6 +221,94 @@ TEST(Reshape, FusedRawMatchesStagedBytewise) {
   }
 }
 
+TEST(Reshape, PackElisionFiresOnCompatibleGeometryAndMatchesPackedBytewise) {
+  // z-pencils {2, 4} -> bricks {2, 2, 2} on a cubic grid: every sub-volume
+  // a rank sends spans full x and y of its pencil, so the pack stage is an
+  // identity copy and elides — the exchange reads straight out of the
+  // field. Results must be bitwise identical to the forced-pack path on
+  // every backend (fused raw, staged raw, one-sided raw, codec).
+  run_ranks(8, [](Comm& comm) {
+    const std::array<int, 3> n{8, 8, 8};
+    const auto zp = split_pencil(n, 2, std::array<int, 2>{2, 4});
+    const auto bricks = split_brick(n, {2, 2, 2});
+
+    const auto check = [&](ReshapeOptions base) {
+      ReshapeOptions packed = base;
+      packed.pack_elision = false;
+      Reshape<std::complex<double>> er(comm, zp, bricks, base);
+      Reshape<std::complex<double>> pr(comm, zp, bricks, packed);
+      EXPECT_TRUE(er.pack_elided()) << to_string(base.backend);
+      EXPECT_FALSE(pr.pack_elided());
+      const auto in = fill_box(er.inbox());
+      const auto out_n = static_cast<std::size_t>(er.outbox().count());
+      std::vector<std::complex<double>> eout(out_n, {-1, -1});
+      std::vector<std::complex<double>> pout(out_n, {-2, -2});
+      for (int it = 0; it < 2; ++it) {
+        er.execute(in, eout);
+        pr.execute(in, pout);
+        for (std::size_t i = 0; i < out_n; ++i) {
+          ASSERT_EQ(eout[i], pout[i])
+              << to_string(base.backend) << " it=" << it << " i=" << i;
+        }
+      }
+      // Elision is an execution detail: stats are unchanged.
+      EXPECT_EQ(er.stats().payload_bytes, pr.stats().payload_bytes);
+      EXPECT_EQ(er.stats().wire_bytes, pr.stats().wire_bytes);
+    };
+
+    ReshapeOptions fused;  // Raw pairwise, fused unpack.
+    check(fused);
+    ReshapeOptions staged;
+    staged.fused_raw = false;
+    check(staged);
+    ReshapeOptions osc;
+    osc.backend = ExchangeBackend::kOsc;
+    osc.gpus_per_node = 2;
+    check(osc);
+    ReshapeOptions codec = osc;
+    codec.codec = std::make_shared<CastFp32Codec>();
+    check(codec);
+
+    // Incompatible geometry (x-pencils -> y-pencils: sends take a partial
+    // x range over multiple rows) keeps packing even with elision enabled.
+    Reshape<std::complex<double>> strided(comm, split_pencil(n, 0, 8),
+                                          split_pencil(n, 1, 8),
+                                          ReshapeOptions{});
+    EXPECT_FALSE(strided.pack_elided());
+  });
+}
+
+TEST(Reshape, PackElisionBatchedExecuteMatchesPerField) {
+  // Batched elided exchanges read the field banks of `in` directly (bank
+  // stride == send_total_); results must match per-field executes exactly.
+  run_ranks(4, [](Comm& comm) {
+    const std::array<int, 3> n{6, 4, 8};
+    const auto zp = split_pencil(n, 2, std::array<int, 2>{2, 2});
+    const auto bricks = split_brick(n, {1, 2, 2});
+    ReshapeOptions bo;
+    bo.backend = ExchangeBackend::kOsc;
+    bo.gpus_per_node = 2;
+    bo.batch = 3;
+    Reshape<std::complex<double>> batched(comm, zp, bricks, bo);
+    ReshapeOptions po = bo;
+    po.pack_elision = false;
+    Reshape<std::complex<double>> packed(comm, zp, bricks, po);
+    ASSERT_TRUE(batched.pack_elided());
+    const auto in_n = static_cast<std::size_t>(batched.inbox().count());
+    const auto out_n = static_cast<std::size_t>(batched.outbox().count());
+    std::vector<std::complex<double>> in(3 * in_n);
+    Xoshiro256 rng(11 + static_cast<std::uint64_t>(comm.rank()));
+    fill_uniform_complex(rng, in);
+    std::vector<std::complex<double>> bout(3 * out_n, {-1, -1});
+    std::vector<std::complex<double>> pout(3 * out_n, {-2, -2});
+    batched.execute_batch(in, bout, 3);
+    packed.execute_batch(in, pout, 3);
+    for (std::size_t i = 0; i < bout.size(); ++i) {
+      ASSERT_EQ(bout[i], pout[i]) << i;
+    }
+  });
+}
+
 TEST(Reshape, FloatWithCodecRejected) {
   run_ranks(2, [](Comm& comm) {
     const std::array<int, 3> n{4, 4, 4};

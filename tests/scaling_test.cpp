@@ -1,0 +1,209 @@
+// Scaling gate: the netsim-backed pieces that price decompositions at
+// simulated Summit scale must stay correct and fast.
+//
+//   1. The sparse schedule builders (driven by explicit message lists, the
+//      O(messages) path the decomposition model emits through) place every
+//      message in exactly the phase the dense BytesFn builders would —
+//      checked pair-by-pair at small p where the dense scan is cheap.
+//   2. Pricing a full candidate space at 1024 simulated ranks finishes
+//      comfortably inside the CI budget (< 30 s wall for the whole suite)
+//      and returns finite, internally-consistent costs. This is the fast
+//      `ctest -L scaling` gate in front of the bench_scaling curves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/truncate.hpp"
+#include "netsim/model.hpp"
+#include "netsim/topology.hpp"
+#include "osc/schedule.hpp"
+#include "tuner/cost_model.hpp"
+#include "tuner/decomp_model.hpp"
+
+namespace lossyfft::tuner {
+namespace {
+
+using netsim::Message;
+using netsim::Schedule;
+using osc::schedule_osc_ring;
+using osc::schedule_osc_ring_sparse;
+using osc::schedule_pairwise;
+using osc::schedule_pairwise_sparse;
+
+// Random sparse byte matrix: ~half the off-diagonal pairs carry traffic,
+// self-pairs get nonzero bytes the builders must both ignore.
+std::vector<std::uint64_t> random_matrix(int p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(p) *
+                                   static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s)
+    for (int d = 0; d < p; ++d) {
+      const bool carry = s == d || rng.uniform(0.0, 1.0) < 0.5;
+      bytes[static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+            static_cast<std::size_t>(d)] =
+          carry ? 64 + static_cast<std::uint64_t>(rng.uniform(0.0, 4096.0))
+                : 0;
+    }
+  return bytes;
+}
+
+std::vector<Message> matrix_messages(int p,
+                                     const std::vector<std::uint64_t>& bytes) {
+  std::vector<Message> msgs;
+  for (int s = 0; s < p; ++s)
+    for (int d = 0; d < p; ++d) {
+      const std::uint64_t b =
+          bytes[static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+                static_cast<std::size_t>(d)];
+      if (b > 0) msgs.push_back({s, d, b});
+    }
+  return msgs;
+}
+
+// Order-insensitive per-phase comparison: both builders must emit the same
+// message multiset in the same phase.
+void expect_same_schedule(const Schedule& dense, const Schedule& sparse) {
+  ASSERT_EQ(dense.phases.size(), sparse.phases.size());
+  EXPECT_EQ(static_cast<int>(dense.semantics),
+            static_cast<int>(sparse.semantics));
+  EXPECT_EQ(dense.phase_barrier, sparse.phase_barrier);
+  const auto key = [](const Message& m) {
+    return std::tuple(m.src, m.dst, m.bytes);
+  };
+  for (std::size_t j = 0; j < dense.phases.size(); ++j) {
+    auto a = dense.phases[j].messages;
+    auto b = sparse.phases[j].messages;
+    ASSERT_EQ(a.size(), b.size()) << "phase " << j;
+    std::sort(a.begin(), a.end(),
+              [&](const Message& x, const Message& y) { return key(x) < key(y); });
+    std::sort(b.begin(), b.end(),
+              [&](const Message& x, const Message& y) { return key(x) < key(y); });
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(key(a[i]), key(b[i])) << "phase " << j << " slot " << i;
+    }
+  }
+}
+
+TEST(SparseSchedules, PairwiseMatchesDenseBuilder) {
+  for (const int p : {2, 3, 4, 8, 13}) {
+    const auto bytes = random_matrix(p, 7u + static_cast<std::uint64_t>(p));
+    const auto fn = [&](int s, int d) {
+      return bytes[static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+                   static_cast<std::size_t>(d)];
+    };
+    const auto msgs = matrix_messages(p, bytes);
+    expect_same_schedule(schedule_pairwise(p, 1, fn),
+                         schedule_pairwise_sparse(p, 1, msgs));
+  }
+}
+
+TEST(SparseSchedules, OscRingMatchesDenseBuilderAcrossNodeShapes) {
+  for (const int p : {2, 4, 8, 12}) {
+    // gpn sweeps divisors and ragged shapes (the short last node).
+    for (const int gpn : {1, 2, 3, 5, p}) {
+      if (gpn > p) continue;
+      const auto bytes = random_matrix(
+          p, 31u + static_cast<std::uint64_t>(p * 100 + gpn));
+      const auto fn = [&](int s, int d) {
+        return bytes[static_cast<std::size_t>(s) * static_cast<std::size_t>(p) +
+                     static_cast<std::size_t>(d)];
+      };
+      const auto msgs = matrix_messages(p, bytes);
+      expect_same_schedule(schedule_osc_ring(p, gpn, fn),
+                           schedule_osc_ring_sparse(p, gpn, msgs));
+    }
+  }
+}
+
+// --- Simulated-rank pricing gate --------------------------------------------
+
+TEST(ScalingGate, DecompPricingAtOneThousandSimulatedRanks) {
+  const CostConstants k;  // Summit defaults.
+  DecompSignature sig;
+  sig.n = {1024, 1024, 1024};
+  sig.p = 1024;
+  sig.gpn = 6;
+  sig.codec = std::make_shared<CastFp32Codec>();
+
+  const auto cands = decomp_candidate_space(sig);
+  ASSERT_GE(cands.size(), 2u);  // At least one pencil grid plus the slab.
+
+  double best = -1.0;
+  for (const auto& c : cands) {
+    const DecompCost cost = evaluate_decomp(sig, c, k);
+    ASSERT_TRUE(std::isfinite(cost.seconds));
+    EXPECT_GT(cost.seconds, 0.0);
+    EXPECT_GT(cost.compute_seconds, 0.0);
+    const std::size_t want =
+        c.algorithm == DecompAlgorithm::kSlab ? 3u : 4u;
+    ASSERT_EQ(cost.reshapes.size(), want);
+    // Degenerate grids can make adjacent stages identical (e.g. the
+    // {1, p} pencil grid leaves x- and y-pencils the same decomposition),
+    // so a single reshape may carry zero messages — but never the whole
+    // pipeline.
+    double sum = cost.compute_seconds;
+    std::uint64_t total_messages = 0;
+    for (const auto& r : cost.reshapes) {
+      EXPECT_GE(r.net_seconds, 0.0);
+      total_messages += r.messages;
+      sum += r.seconds();
+    }
+    EXPECT_GT(total_messages, 0u);
+    EXPECT_NEAR(cost.seconds, sum, 1e-12 * std::max(1.0, sum));
+    if (best < 0.0 || cost.seconds < best) best = cost.seconds;
+  }
+
+  // decide_decomp is the exhaustive argmin over the same space.
+  const DecompDecision d = decide_decomp(sig, k);
+  EXPECT_NEAR(d.modeled_seconds, best, best * 1e-9);
+}
+
+TEST(ScalingGate, PackElisionFiresInTheThousandRankModel) {
+  // The model must see elision on the brick <-> pencil boundary stages at
+  // scale, and elision-off pricing must never be cheaper.
+  const CostConstants k;
+  DecompSignature sig;
+  sig.n = {1024, 1024, 1024};
+  sig.p = 1024;
+  sig.gpn = 6;
+
+  const DecompCandidate pencil{DecompAlgorithm::kPencil, {32, 32}};
+  const DecompCost with = evaluate_decomp(sig, pencil, k, true);
+  const DecompCost without = evaluate_decomp(sig, pencil, k, false);
+  int elided_stages = 0;
+  for (const auto& r : with.reshapes)
+    if (r.elided_ranks > 0) ++elided_stages;
+  EXPECT_GE(elided_stages, 1);
+  for (const auto& r : without.reshapes) EXPECT_EQ(r.elided_ranks, 0);
+  EXPECT_LE(with.seconds, without.seconds + 1e-15);
+}
+
+TEST(ScalingGate, SparseRingScheduleSimulatesAtScale) {
+  // Emit a synthetic 1024-rank neighbor exchange through the sparse ring
+  // builder and run it through the contention model — the end-to-end path
+  // bench_scaling takes, held under a second of work here.
+  const int p = 1024, gpn = 6;
+  std::vector<Message> msgs;
+  for (int s = 0; s < p; ++s)
+    for (int step = 1; step <= 8; ++step)
+      msgs.push_back({s, (s + step * 17) % p, 1 << 16});
+  const Schedule sched = schedule_osc_ring_sparse(p, gpn, msgs);
+  std::size_t placed = 0;
+  for (const auto& ph : sched.phases) placed += ph.messages.size();
+  EXPECT_EQ(placed, msgs.size());  // No self/zero messages in this set.
+  const auto topo = netsim::Topology::make((p + gpn - 1) / gpn, gpn);
+  const auto res = netsim::simulate(topo, sched, netsim::NetworkParams{});
+  EXPECT_TRUE(std::isfinite(res.seconds));
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_EQ(res.total_bytes, static_cast<std::uint64_t>(msgs.size()) << 16);
+}
+
+}  // namespace
+}  // namespace lossyfft::tuner

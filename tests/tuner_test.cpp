@@ -148,7 +148,7 @@ TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
   }
   const std::string written = read_file(path);
   ASSERT_FALSE(written.empty());
-  const std::string header = std::string("lossyfft-tune-cache 2 ") +
+  const std::string header = std::string("lossyfft-tune-cache 3 ") +
                              lossyfft::simd_level_name() + "\n";
   EXPECT_EQ(written.rfind(header, 0), 0u);
 
@@ -214,7 +214,7 @@ TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
   EXPECT_EQ(got.workers, want.workers);
   EXPECT_NE(got.workers, 77);
   // The recomputed decision replaces the stale file, current version first.
-  const std::string header = std::string("lossyfft-tune-cache 2 ") +
+  const std::string header = std::string("lossyfft-tune-cache 3 ") +
                              lossyfft::simd_level_name() + "\n";
   EXPECT_EQ(read_file(path).rfind(header, 0), 0u);
 }
@@ -239,7 +239,7 @@ const std::string& global_cache_path() {
     const CastFp32Codec fp32;
     const long rb = std::lround(std::log2(fp32.nominal_rate()) * 4.0);
     std::ofstream out(path, std::ios::trunc);
-    out << "lossyfft-tune-cache 2 " << lossyfft::simd_level_name() << "\n";
+    out << "lossyfft-tune-cache 3 " << lossyfft::simd_level_name() << "\n";
     // Pin: one-sided fence, serial workers (the config whose steady-state
     // budgets the counter asserts below encode).
     out << "4 6 " << size_class(pair) << " " << fp32.name() << " " << rb
@@ -345,6 +345,134 @@ TEST(TunerAuto, Fft3dAutotuneRoundTrips) {
       EXPECT_NEAR(back[i].imag(), u[i].imag(), 1e-4) << i;
     }
   });
+}
+
+// --- Decomposition decisions: exhaustive pick, cache rows, memoization ------
+
+TEST(TunerDecomp, PickMatchesExhaustiveBestOverCandidateSpace) {
+  const CostConstants k;  // Summit defaults: deterministic.
+  TunerOptions to;
+  to.constants = k;
+  Tuner tuner(std::move(to));
+  const auto codecs = sweep_codecs();
+  const std::array<std::array<int, 3>, 3> grids = {
+      std::array<int, 3>{32, 32, 32}, std::array<int, 3>{64, 32, 16},
+      std::array<int, 3>{16, 48, 64}};
+  for (const int p : {4, 8, 12, 16}) {
+    for (const int gpn : {1, 2}) {
+      for (const auto& n : grids) {
+        for (const auto& [label, codec] : codecs) {
+          DecompSignature sig;
+          sig.n = n;
+          sig.p = p;
+          sig.gpn = gpn;
+          sig.codec = codec;
+          const DecompDecision d = tuner.decide_decomp(sig);
+          const double picked =
+              evaluate_decomp(sig, DecompCandidate{d.algorithm, d.grid}, k)
+                  .seconds;
+          double best = -1.0;
+          for (const DecompCandidate& c : decomp_candidate_space(sig)) {
+            const double cost = evaluate_decomp(sig, c, k).seconds;
+            if (best < 0.0 || cost < best) best = cost;
+          }
+          ASSERT_GT(best, 0.0);
+          EXPECT_LE(picked, best * 1.10 + 1e-12)
+              << "p=" << p << " gpn=" << gpn << " n=" << n[0] << "x" << n[1]
+              << "x" << n[2] << " codec=" << label << " picked "
+              << to_string(d.algorithm) << " " << d.grid[0] << "x"
+              << d.grid[1];
+          EXPECT_NEAR(d.modeled_seconds, picked, picked * 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(TunerDecompCache, DecompRowsRoundTripAlongsideExchangeRows) {
+  const std::string path = ::testing::TempDir() + "lossyfft_tune_decomp.txt";
+  std::remove(path.c_str());
+  const auto codecs = sweep_codecs();
+  std::vector<DecompSignature> sigs;
+  for (const int p : {4, 8}) {
+    for (const auto& n :
+         {std::array<int, 3>{32, 32, 32}, std::array<int, 3>{16, 48, 64}}) {
+      for (const auto& [label, codec] : codecs) {
+        DecompSignature sig;
+        sig.n = n;
+        sig.p = p;
+        sig.gpn = 2;
+        sig.codec = codec;
+        sigs.push_back(sig);
+      }
+    }
+  }
+
+  std::vector<DecompDecision> first;
+  {
+    TunerOptions to;
+    to.cache_path = path;
+    to.constants = CostConstants{};
+    Tuner writer(std::move(to));
+    // Mix in an exchange decision so both row kinds share one file.
+    ExchangeSignature xsig;
+    xsig.p = 8;
+    xsig.gpn = 2;
+    xsig.pair_bytes = 64 * 1024;
+    writer.decide(xsig);
+    for (const auto& sig : sigs) first.push_back(writer.decide_decomp(sig));
+  }
+  const std::string written = read_file(path);
+  ASSERT_FALSE(written.empty());
+  EXPECT_NE(written.find("\nd "), std::string::npos)
+      << "no tagged decomposition rows in cache";
+
+  // A fresh tuner with no injected constants: decisions matching
+  // bit-for-bit plus an untouched file proves the decomp rows were served
+  // from the reloaded cache (a miss would re-price and rewrite).
+  TunerOptions ro;
+  ro.cache_path = path;
+  Tuner reader(std::move(ro));
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const DecompDecision d = reader.decide_decomp(sigs[i]);
+    EXPECT_EQ(static_cast<int>(d.algorithm),
+              static_cast<int>(first[i].algorithm))
+        << i;
+    EXPECT_EQ(d.grid[0], first[i].grid[0]) << i;
+    EXPECT_EQ(d.grid[1], first[i].grid[1]) << i;
+    EXPECT_EQ(d.modeled_seconds, first[i].modeled_seconds) << i;
+  }
+  EXPECT_EQ(read_file(path), written);
+}
+
+TEST(TunerDecomp, SlabWinsWhenItMovesFewerModeledBytes) {
+  // Sanity on the axis itself: both algorithms are genuinely priced, and
+  // candidates carry distinct costs (slab's three reshapes vs pencil's
+  // four). Whichever wins, the decision must carry its candidate's cost.
+  const CostConstants k;
+  DecompSignature sig;
+  sig.n = {32, 32, 32};
+  sig.p = 8;
+  sig.gpn = 2;
+  const auto cands = decomp_candidate_space(sig);
+  bool saw_slab = false, saw_pencil = false;
+  for (const auto& c : cands) {
+    if (c.algorithm == DecompAlgorithm::kSlab) saw_slab = true;
+    if (c.algorithm == DecompAlgorithm::kPencil) saw_pencil = true;
+    const DecompCost cost = evaluate_decomp(sig, c, k);
+    EXPECT_GT(cost.seconds, 0.0);
+    EXPECT_EQ(cost.reshapes.size(),
+              c.algorithm == DecompAlgorithm::kSlab ? 3u : 4u);
+  }
+  EXPECT_TRUE(saw_slab);
+  EXPECT_TRUE(saw_pencil);
+  // Pack elision can only help: pricing with elision disabled is never
+  // cheaper for any candidate.
+  for (const auto& c : cands) {
+    const double with = evaluate_decomp(sig, c, k, true).seconds;
+    const double without = evaluate_decomp(sig, c, k, false).seconds;
+    EXPECT_LE(with, without + 1e-15);
+  }
 }
 
 }  // namespace

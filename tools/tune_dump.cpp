@@ -12,9 +12,18 @@
 // decisions go through the persistent cache exactly as production plan
 // construction does — running tune_dump once can pre-warm a cache file.
 //
+// A second table prints the decomposition decisions for the same sweep:
+// for each (p, gpn, n, codec) signature, which pipeline the tuner picks
+// (slab vs pencil), the process-grid factorization of the pencil stages,
+// how many reshape stages elide their pack, and the modeled seconds.
+// --verbose additionally prices every candidate in the space with its
+// per-reshape net/codec/copy split. --n sets the global grid extents
+// (one value = cube, three = n0,n1,n2).
+//
 // Usage: tune_dump [--calibrate] [--verbose]
-//                  [--p LIST] [--gpn LIST] [--kib LIST]
+//                  [--p LIST] [--gpn LIST] [--kib LIST] [--n LIST]
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -63,6 +72,7 @@ int main(int argc, char** argv) {
   std::vector<int> ps = {4, 8, 16};
   std::vector<int> gpns = {1, 2, 6};
   std::vector<int> kibs = {16, 256, 4096};
+  std::array<int, 3> n = {64, 64, 64};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--calibrate") {
@@ -75,10 +85,20 @@ int main(int argc, char** argv) {
       gpns = parse_list(argv[++i]);
     } else if (arg == "--kib" && i + 1 < argc) {
       kibs = parse_list(argv[++i]);
+    } else if (arg == "--n" && i + 1 < argc) {
+      const auto ns = parse_list(argv[++i]);
+      if (ns.size() == 1) {
+        n = {ns[0], ns[0], ns[0]};
+      } else if (ns.size() == 3) {
+        n = {ns[0], ns[1], ns[2]};
+      } else {
+        std::fprintf(stderr, "--n wants one extent (cube) or three\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: tune_dump [--calibrate] [--verbose] [--p LIST] "
-                   "[--gpn LIST] [--kib LIST]\n");
+                   "[--gpn LIST] [--kib LIST] [--n LIST]\n");
       return 2;
     }
   }
@@ -132,6 +152,56 @@ int main(int argc, char** argv) {
               std::printf("      | %-15s w=%-2d %12.2f us\n",
                           to_string(c.path), c.workers,
                           evaluate(sig, c, k) * 1e6);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Decomposition table: which pipeline and process grid the tuner would
+  // run the whole transform under, per signature.
+  std::printf("\n# decomposition: n = %d x %d x %d\n", n[0], n[1], n[2]);
+  std::printf("%4s %4s %-8s  %-7s %9s %8s %12s\n", "p", "gpn", "codec",
+              "algo", "grid", "elided", "modeled_us");
+  for (const int p : ps) {
+    for (const int gpn : gpns) {
+      if (gpn > p) continue;
+      for (const CodecRow& row : codecs) {
+        DecompSignature sig;
+        sig.n = n;
+        sig.p = p;
+        sig.gpn = gpn;
+        sig.codec = row.codec;
+        const DecompDecision d = tuner.decide_decomp(sig);
+        const DecompCost cost =
+            evaluate_decomp(sig, DecompCandidate{d.algorithm, d.grid}, k);
+        int elided_stages = 0;
+        for (const auto& r : cost.reshapes)
+          if (r.elided_ranks > 0) ++elided_stages;
+        char grid[32];
+        std::snprintf(grid, sizeof grid, "%dx%d", d.grid[0], d.grid[1]);
+        char elided[32];
+        std::snprintf(elided, sizeof elided, "%d/%zu", elided_stages,
+                      cost.reshapes.size());
+        std::printf("%4d %4d %-8s  %-7s %9s %8s %12.2f\n", p, gpn, row.label,
+                    to_string(d.algorithm), grid, elided,
+                    d.modeled_seconds * 1e6);
+        if (verbose) {
+          for (const DecompCandidate& c : decomp_candidate_space(sig)) {
+            const DecompCost cc = evaluate_decomp(sig, c, k);
+            std::snprintf(grid, sizeof grid, "%dx%d", c.grid[0], c.grid[1]);
+            std::printf("      | %-7s %9s %12.2f us  (compute %.2f)\n",
+                        to_string(c.algorithm), grid, cc.seconds * 1e6,
+                        cc.compute_seconds * 1e6);
+            for (std::size_t ri = 0; ri < cc.reshapes.size(); ++ri) {
+              const auto& r = cc.reshapes[ri];
+              std::printf("      |   reshape%zu net=%.2f codec=%.2f "
+                          "copy=%.2f us  msgs=%" PRIu64 " wire=%" PRIu64
+                          "B elided_ranks=%d\n",
+                          ri, r.net_seconds * 1e6, r.codec_seconds * 1e6,
+                          r.copy_seconds * 1e6, r.messages, r.wire_bytes,
+                          r.elided_ranks);
             }
           }
         }
