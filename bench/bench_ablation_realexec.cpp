@@ -15,12 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
+#include "compress/zfpx.hpp"
 #include "dfft/decomp.hpp"
 #include "dfft/fft3d.hpp"
 #include "dfft/reshape.hpp"
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   const auto fp16 = std::make_shared<CastFp16Codec>();
   const auto trim20 = std::make_shared<BitTrimCodec>(20);
   const auto szq6 = std::make_shared<SzqCodec>(1e-6);
+  const auto zacc6 = std::make_shared<ZfpxAccuracyCodec>(1e-6);
   const auto rle = std::make_shared<ByteplaneRleCodec>();
   const Cfg cfgs[] = {
       {"pairwise raw", ExchangeBackend::kPairwise, nullptr, 1},
@@ -194,6 +197,14 @@ int main(int argc, char** argv) {
         {"bittrim20 twosided plan", XMode::kTwoPlan, trim20, true},
         {"szq1e-6 osc plan", XMode::kOscPlan, szq6},
         {"szq1e-6 osc pscw plan", XMode::kOscPlan, szq6, true, false, kPscw},
+        // The bit-plane codec rows time the scan-then-fill zfpx decode on
+        // the wire it actually rides (target-side decode inside the
+        // one-sided epoch); the piped row adds pool-pipelined decode.
+        {"zfpx-acc1e-6 osc plan", XMode::kOscPlan, zacc6},
+        {"zfpx-acc1e-6 osc pscw plan", XMode::kOscPlan, zacc6, true, false,
+         kPscw},
+        {"zfpx-acc1e-6 osc pscw piped plan", XMode::kOscPlan, zacc6, true,
+         false, kPscw, 4},
     };
     // "auto" rows: the model-guided tuner (src/tuner/) resolves each codec
     // class at this exchange signature — calibrating on first use or
@@ -384,6 +395,8 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n  \"grid\": [%d, %d, %d],\n  \"ranks\": %d,\n"
                  "  \"iters\": %d,\n"
+                 "  \"simd_effective\": \"%s\",\n"
+                 "  \"simd_requested\": \"%s\",\n"
                  "  \"note\": \"At this problem size the per-config payloads "
                  "sit below the bytes-per-shard floor, so xN rows fall back "
                  "to the serial path by design; their deltas versus the x1 "
@@ -392,7 +405,8 @@ int main(int argc, char** argv) {
                  "skew; see exchange_only for the transport-only number.\",\n"
                  "  \"pencil_reshape_pack_elided\": [%s, %s, %s, %s],\n"
                  "  \"configs\": [\n",
-                 n[0], n[1], n[2], ranks, iters,
+                 n[0], n[1], n[2], ranks, iters, simd_level_name(),
+                 simd_requested_name(),
                  elided[0] ? "true" : "false", elided[1] ? "true" : "false",
                  elided[2] ? "true" : "false", elided[3] ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {

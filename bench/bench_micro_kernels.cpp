@@ -102,17 +102,17 @@ void BM_Decompress(benchmark::State& state) {
 }
 BENCHMARK(BM_Decompress)->DenseRange(0, 6);
 
-// Scalar-vs-SIMD rows for every dispatched kernel family: each codec runs
-// once pinned to the scalar reference kernels and once at the detected
-// level. Both levels produce bit-identical streams, so the delta is pure
-// kernel throughput. Arg 1 selects the level (0 = scalar, 1 = detected),
-// arg 2 the element count as log2(n): 2^12 keeps in+out L1-resident
-// (raw kernel speed), 2^16 streams from L2 (the delivered bandwidth a
-// slot decode actually sees — memory-bound kernels like the fp32 cast
-// converge toward the cache ceiling there). The label carries
-// "<codec> <level>" so recorded JSONs stay self-describing. Rows at the
-// detected level are skipped (not silently renamed) on hosts where
-// detection lands on scalar.
+// Per-level rows for every dispatched kernel family: each codec runs once
+// pinned to each kernel tier (0 = scalar, 1 = avx2, 2 = avx512). All
+// levels produce bit-identical streams, so the deltas are pure kernel
+// throughput. Arg 2 gives the element count as log2(n): 2^12 keeps in+out
+// L1-resident (raw kernel speed), 2^16 streams from L2 (the delivered
+// bandwidth a slot decode actually sees — memory-bound kernels like the
+// fp32 cast converge toward the cache ceiling there), 2^20 streams from
+// L3/DRAM (full exchange-sized payloads). The label carries
+// "<codec> <level>" so recorded JSONs stay self-describing. Rows above
+// the detected level are skipped (not silently renamed or rerun at a
+// lower tier) so a JSON recorded on a lesser host cannot mislabel rows.
 std::shared_ptr<Codec> make_dispatched_codec(int which) {
   switch (which) {
     case 0: return std::make_shared<CastFp32Codec>();
@@ -125,13 +125,12 @@ std::shared_ptr<Codec> make_dispatched_codec(int which) {
 }
 
 bool enter_simd_row(benchmark::State& state, SimdLevel* prev) {
-  const bool want_simd = state.range(1) != 0;
-  if (want_simd && detected_simd_level() == SimdLevel::kScalar) {
-    state.SkipWithError("host detects no SIMD level above scalar");
+  const auto want = static_cast<SimdLevel>(state.range(1));
+  if (want > detected_simd_level()) {
+    state.SkipWithError("level not supported by this build/host");
     return false;
   }
-  *prev = set_simd_level(want_simd ? detected_simd_level()
-                                   : SimdLevel::kScalar);
+  *prev = set_simd_level(want);
   return true;
 }
 
@@ -154,7 +153,7 @@ void BM_CompressSimd(benchmark::State& state) {
   set_simd_level(prev);
 }
 BENCHMARK(BM_CompressSimd)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}, {12, 16}});
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1, 2}, {12, 16, 20}});
 
 void BM_DecompressSimd(benchmark::State& state) {
   SimdLevel prev;
@@ -176,7 +175,7 @@ void BM_DecompressSimd(benchmark::State& state) {
   set_simd_level(prev);
 }
 BENCHMARK(BM_DecompressSimd)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}, {12, 16}});
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1, 2}, {12, 16, 20}});
 
 // Sharded cast/trim kernels at 1/2/4 total workers (caller included). At
 // one worker the ParallelCodec runs the plain serial kernel, so the
@@ -249,6 +248,10 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "lossyfft_simd_detected",
       lossyfft::simd_level_name(lossyfft::detected_simd_level()));
+  benchmark::AddCustomContext("lossyfft_simd_effective",
+                              lossyfft::simd_level_name());
+  benchmark::AddCustomContext("lossyfft_simd_requested",
+                              lossyfft::simd_requested_name());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

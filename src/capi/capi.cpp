@@ -139,4 +139,8 @@ const char* lossyfft_simd_level(void) {
   return lossyfft::simd_level_name();
 }
 
+const char* lossyfft_simd_requested(void) {
+  return lossyfft::simd_requested_name();
+}
+
 }  // extern "C"

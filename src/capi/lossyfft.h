@@ -63,11 +63,20 @@ int lossyfft_backward(lossyfft_plan* plan, const double* in, double* out);
 /* payload bytes / wire bytes over this plan's exchanges so far. */
 double lossyfft_compression_ratio(const lossyfft_plan* plan);
 
-/* Active codec kernel dispatch level ("scalar" or "avx2"): the best level
- * the CPU supports, clamped by the LOSSYFFT_SIMD environment variable
- * ("auto", "avx2", "scalar") read once at first use. Static string; never
- * NULL. Compressed streams are bit-identical across levels. */
+/* Active codec kernel dispatch level ("scalar", "avx2", or "avx512"):
+ * the best level the binary + CPU + OS support, clamped by the
+ * LOSSYFFT_SIMD environment variable ("auto", "avx512", "avx2",
+ * "scalar") read once at first use. An override naming an unsupported
+ * level warns once on stderr and falls back to the best supported tier.
+ * Static string; never NULL. Compressed streams are bit-identical across
+ * levels. */
 const char* lossyfft_simd_level(void);
+
+/* Level LOSSYFFT_SIMD requested: "auto" when unset/"auto"/unrecognized,
+ * otherwise the requested name even when unsupported (compare with
+ * lossyfft_simd_level() to detect a fallback). Static string; never
+ * NULL. */
+const char* lossyfft_simd_requested(void);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -1,11 +1,13 @@
 // One-time CPU feature dispatch for the SIMD codec kernels.
 //
 // The compress hot loops (zfpx bit-plane coder, bittrim pack/unpack, szq
-// index unpack, the casts) each exist twice: a scalar reference build and
-// an AVX2 build that must produce bit-identical streams. Which one runs is
-// decided here, once, from cpuid — overridable per process with
-// LOSSYFFT_SIMD={auto,avx2,scalar} and per test with set_simd_level().
-// Levels are ordered so an AVX-512 tier can slot in above kAvx2 later.
+// index unpack, the casts) each exist three times: a scalar reference
+// build, an AVX2 build, and an AVX-512 build that must all produce
+// bit-identical streams. Which one runs is decided here, once, from cpuid
+// (plus an OS-xsave check for the ZMM state) — overridable per process
+// with LOSSYFFT_SIMD={auto,avx512,avx2,scalar} and per test with
+// set_simd_level(). An override naming a level the host or build cannot
+// run warns once on stderr and falls back to the best supported tier.
 #pragma once
 
 namespace lossyfft {
@@ -13,10 +15,11 @@ namespace lossyfft {
 enum class SimdLevel : int {
   kScalar = 0,  // Always available; the reference implementation.
   kAvx2 = 1,    // x86-64 AVX2 lanes (requires a -mavx2 build of the TUs).
+  kAvx512 = 2,  // AVX-512 F+BW+VBMI2 lanes with OS-enabled ZMM state.
 };
 
-/// Best level this binary + host supports (compile-time force and cpuid
-/// only; ignores the environment override).
+/// Best level this binary + host supports (compile-time force, cpuid, and
+/// the xsave check only; ignores the environment override).
 SimdLevel detected_simd_level();
 
 /// Active dispatch level: detected_simd_level() clamped by the
@@ -28,10 +31,16 @@ SimdLevel simd_level();
 /// dispatched after the call; callers restore the previous level.
 SimdLevel set_simd_level(SimdLevel level);
 
-/// Stable lowercase name ("scalar", "avx2").
+/// Stable lowercase name ("scalar", "avx2", "avx512").
 const char* simd_level_name(SimdLevel level);
 
 /// Name of the active level — what tune_dump and the C API report.
 const char* simd_level_name();
+
+/// Level the LOSSYFFT_SIMD override asked for: "auto" when the variable is
+/// unset, "auto", or unrecognized; otherwise the requested name even when
+/// the host/build cannot run it. Lets tools surface requested-vs-effective
+/// instead of silently reporting the fallback as the user's choice.
+const char* simd_requested_name();
 
 }  // namespace lossyfft

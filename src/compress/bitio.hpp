@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <utility>
 
@@ -69,23 +70,10 @@ class BitReader {
   explicit BitReader(std::span<const std::byte> in) : in_(in) {}
 
   std::uint64_t get(int nbits) {
-    LFFT_ASSERT(nbits >= 0 && nbits <= 64);
-    std::uint64_t v = 0;
-    int done = 0;
-    while (done < nbits) {
-      const std::size_t byte = pos_ >> 3;
-      // Reading past the end means a truncated/corrupted wire stream — a
-      // recoverable input error, not a library bug.
-      LFFT_REQUIRE(byte < in_.size(), "bitstream: read past end of input");
-      const int bit = static_cast<int>(pos_ & 7);
-      const int take = std::min(8 - bit, nbits - done);
-      const std::uint64_t chunk =
-          (std::to_integer<std::uint64_t>(in_[byte]) >> bit) &
-          ((std::uint64_t{1} << take) - 1);
-      v |= chunk << done;
-      pos_ += static_cast<std::size_t>(take);
-      done += take;
-    }
+    // read_at carries the bounds REQUIRE: reading past the end means a
+    // truncated/corrupted wire stream — a recoverable input error.
+    const std::uint64_t v = read_at(pos_, nbits);
+    pos_ += static_cast<std::size_t>(nbits);
     return v;
   }
 
@@ -107,34 +95,67 @@ class BitReader {
   /// the same LFFT_REQUIRE a bit-by-bit reader would hit.
   std::pair<std::uint64_t, int> peek_upto(int max_bits) const {
     LFFT_ASSERT(max_bits >= 0 && max_bits <= 64);
-    const std::size_t left = (in_.size() << 3) - pos_;
+    const std::size_t left = bit_size() - pos_;
     const int avail = static_cast<int>(
         std::min(static_cast<std::size_t>(max_bits), left));
-    std::uint64_t v = 0;
-    int done = 0;
-    std::size_t p = pos_;
-    while (done < avail) {
-      const std::size_t byte = p >> 3;
-      const int bit = static_cast<int>(p & 7);
-      const int take = std::min(8 - bit, avail - done);
-      const std::uint64_t chunk =
-          (std::to_integer<std::uint64_t>(in_[byte]) >> bit) &
-          ((std::uint64_t{1} << take) - 1);
-      v |= chunk << done;
-      p += static_cast<std::size_t>(take);
-      done += take;
-    }
-    return {v, avail};
+    return {read_at(pos_, avail), avail};
   }
 
-  /// Consume `nbits` previously peeked bits.
+  /// Consume `nbits` previously peeked (or offset-directory-accounted)
+  /// bits. Skipping past the end of the buffer means a truncated wire
+  /// stream — the same recoverable input error a bit-by-bit get() would
+  /// hit, not a library bug, so adversarially short shard slabs fail
+  /// cleanly instead of walking the cursor out of bounds.
   void skip(int nbits) {
-    LFFT_ASSERT(nbits >= 0 &&
-                pos_ + static_cast<std::size_t>(nbits) <= (in_.size() << 3));
+    LFFT_ASSERT(nbits >= 0);
+    LFFT_REQUIRE(pos_ + static_cast<std::size_t>(nbits) <= bit_size(),
+                 "bitstream: read past end of input");
     pos_ += static_cast<std::size_t>(nbits);
   }
 
+  /// Random-access read of `nbits` (<= 64) at absolute bit offset
+  /// `bit_pos`, without moving the cursor. This is the offset-directory
+  /// primitive behind the scan-then-fill zfpx decode: the metadata scan
+  /// records where each plane's verbatim prefix starts, then the fill
+  /// phase reads the prefixes in any order. Bounds are checked the same
+  /// way get() checks them: out of range is a recoverable input error.
+  std::uint64_t read_at(std::size_t bit_pos, int nbits) const {
+    LFFT_ASSERT(nbits >= 0 && nbits <= 64);
+    LFFT_REQUIRE(bit_pos + static_cast<std::size_t>(nbits) <= bit_size(),
+                 "bitstream: read past end of input");
+    if (nbits == 0) return 0;
+    const std::uint64_t mask =
+        nbits < 64 ? (std::uint64_t{1} << nbits) - 1 : ~std::uint64_t{0};
+    const std::size_t byte = bit_pos >> 3;
+    const int bit = static_cast<int>(bit_pos & 7);
+    if (byte + 8 <= in_.size()) {
+      std::uint64_t w;
+      std::memcpy(&w, in_.data() + byte, 8);  // little-endian host
+      w >>= bit;
+      if (bit != 0 && bit + nbits > 64) {
+        // The read spans a 9th byte; the REQUIRE above guarantees it is
+        // in range (bit_pos + nbits reaches past byte+8's last bit).
+        w |= std::to_integer<std::uint64_t>(in_[byte + 8]) << (64 - bit);
+      }
+      return w & mask;
+    }
+    // Tail of the buffer: assemble the remaining bytes by hand.
+    std::uint64_t w = 0;
+    for (std::size_t b = byte; b < in_.size() && b < byte + 9; ++b) {
+      const std::uint64_t c = std::to_integer<std::uint64_t>(in_[b]);
+      const int sh = static_cast<int>(b - byte) * 8 - bit;
+      w |= sh >= 0 ? c << sh : c >> -sh;
+    }
+    return w & mask;
+  }
+
   std::size_t bit_count() const { return pos_; }
+
+  /// Total bits in the underlying buffer.
+  std::size_t bit_size() const { return in_.size() << 3; }
+
+  /// Bits remaining ahead of the cursor.
+  std::size_t bits_left() const { return bit_size() - pos_; }
 
  private:
   std::span<const std::byte> in_;

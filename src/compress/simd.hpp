@@ -3,17 +3,14 @@
 // Each table holds function pointers to the loops that dominate codec
 // time: the zfpx block transform + bit-plane group-test coder, the BitTrim
 // pack/unpack, the fp64<->fp32 casts, and the szq packed-index unpack.
-// Two builds of every kernel exist — the scalar reference (defined beside
-// the reference codec in zfpx.cpp / truncate.cpp / szq.cpp) and an AVX2
-// build in the matching *_simd.cpp TU — and the accessor picks one from
-// the active SimdLevel on every call, so set_simd_level() takes effect
-// immediately. Both builds produce bit-identical streams: the wire format
-// is frozen (plans, the fuzz suite and the tuner cache all depend on it),
-// which is pinned by the compress_test SimdIdentity suite.
-//
-// The tables are structured for an AVX-512 tier: add a kAvx512 level, a
-// third factory per table, and wider lanes drop in without touching the
-// codec call sites.
+// Three builds of every kernel exist — the scalar reference (defined
+// beside the reference codec in zfpx.cpp / truncate.cpp / szq.cpp), an
+// AVX2 build in the matching *_simd.cpp TU, and an AVX-512 build in
+// *_simd512.cpp — and the accessor picks one from the active SimdLevel on
+// every call, so set_simd_level() takes effect immediately. All builds
+// produce bit-identical streams: the wire format is frozen (plans, the
+// fuzz suite and the tuner cache all depend on it), which is pinned by the
+// compress_test SimdIdentity cross-level matrix.
 #pragma once
 
 #include <cstddef>
@@ -68,14 +65,20 @@ const ZfpxKernels& zfpx_kernels();
 const TrimKernels& trim_kernels();
 const SzqKernels& szq_kernels();
 
-/// Per-level factories (internal; exposed for the identity tests). The
-/// avx2 factories return the scalar table when the TU was compiled
-/// without AVX2 lanes (non-x86 or LOSSYFFT_SIMD_FORCE=scalar builds).
+/// Per-level factories (internal; exposed for the identity tests). Each
+/// factory degrades one tier when its TU was compiled without the needed
+/// lanes: avx512 falls back to the avx2 table (old compiler or forced-avx2
+/// build), avx2 falls back to scalar (non-x86 or forced-scalar build) —
+/// so every table index is always populated and dispatch never overruns
+/// what the binary actually contains.
 ZfpxKernels scalar_zfpx_kernels();
 ZfpxKernels avx2_zfpx_kernels();
+ZfpxKernels avx512_zfpx_kernels();
 TrimKernels scalar_trim_kernels();
 TrimKernels avx2_trim_kernels();
+TrimKernels avx512_trim_kernels();
 SzqKernels scalar_szq_kernels();
 SzqKernels avx2_szq_kernels();
+SzqKernels avx512_szq_kernels();
 
 }  // namespace lossyfft::simd

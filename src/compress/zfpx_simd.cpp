@@ -1,295 +1,24 @@
 // AVX2 build of the zfpx kernels: vectorized block transform (Haar lifts
-// with an arithmetic-shift emulation, negabinary map) and a word-at-a-time
-// formulation of the bit-plane group-test coder.
+// with an arithmetic-shift emulation, negabinary map), a word-at-a-time
+// formulation of the bit-plane group-test encoder, and the scan-then-fill
+// decoder (zfpx_scanfill.hpp) that breaks the decode stream dependency —
+// one metadata scan records every plane's verbatim-prefix offset, then
+// planes fill order-free via chunked random-access reads.
 //
-// Bit-identity with the scalar reference in zfpx.cpp is the contract here,
-// and the coder leans on two exact equivalences:
-//   - a chunked BitWriter::put / BitReader::get of n bits produces the
-//     same stream as n put_bit/get_bit calls (pinned by the BitIo tests);
-//   - one group-test "run" is a string of zeros terminated by a one, so
-//     emitting it as put(1 << run, run + 1) — or put(0, budget) when the
-//     budget cuts the run short — matches the scalar per-bit loop bit for
-//     bit, as does skipping a decoded run via countr_zero of peeked bits.
-// Plane bits are gathered into one 64-bit word per plane: with
-// slli+movemask for 4-blocks, and one 64x64 bit-matrix transpose for the
-// 16/64 field blocks. Budget/k_min/end-of-stream behavior replicates the
-// scalar control flow exactly, including which LFFT_REQUIRE fires on a
-// truncated stream.
+// Bit-identity with the scalar reference in zfpx.cpp is the contract:
+// budget/k_min/end-of-stream behavior replicates the scalar control flow
+// exactly, including which LFFT_REQUIRE fires on a truncated stream. The
+// lane helpers and encoder live in zfpx_simd_lanes.hpp, shared with the
+// AVX-512 TU.
 #include "compress/simd.hpp"
 
 #if defined(LOSSYFFT_SIMD_AVX2)
 
-#include <immintrin.h>
-
-#include <algorithm>
-#include <bit>
-#include <cstring>
-
-#include "common/error.hpp"
-#include "compress/zfpx.hpp"
+#include "compress/zfpx_scanfill.hpp"
+#include "compress/zfpx_simd_lanes.hpp"
 
 namespace lossyfft::simd {
 namespace {
-
-constexpr int kTopPlane = 61;  // Matches the scalar coder in zfpx.cpp.
-
-// ------------------------------------------------------------ lane helpers
-
-// Arithmetic >>1 for int64 lanes (AVX2 has no vpsraq): logical shift plus
-// a reinstated sign bit — exact for shift-by-one.
-inline __m256i sra1_epi64(__m256i v) {
-  const __m256i sign = _mm256_and_si256(
-      v, _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull)));
-  return _mm256_or_si256(_mm256_srli_epi64(v, 1), sign);
-}
-
-// Negabinary map and inverse, four lanes at a time. Wrapping adds match
-// the scalar unsigned arithmetic.
-inline __m256i negabinary4(__m256i v) {
-  const __m256i mask =
-      _mm256_set1_epi64x(static_cast<long long>(0xAAAAAAAAAAAAAAAAull));
-  return _mm256_xor_si256(_mm256_add_epi64(v, mask), mask);
-}
-
-inline __m256i unnegabinary4(__m256i u) {
-  const __m256i mask =
-      _mm256_set1_epi64x(static_cast<long long>(0xAAAAAAAAAAAAAAAAull));
-  return _mm256_sub_epi64(_mm256_xor_si256(u, mask), mask);
-}
-
-// Four independent Haar S-transform lifts in parallel: lane l of (a, b, c,
-// d) holds the four values of lift l.
-inline void fwd_lift4_vec(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
-  const __m256i h0 = _mm256_sub_epi64(a, b);
-  const __m256i l0 = _mm256_add_epi64(b, sra1_epi64(h0));
-  const __m256i h1 = _mm256_sub_epi64(c, d);
-  const __m256i l1 = _mm256_add_epi64(d, sra1_epi64(h1));
-  const __m256i hh = _mm256_sub_epi64(l0, l1);
-  const __m256i ll = _mm256_add_epi64(l1, sra1_epi64(hh));
-  a = ll;
-  b = hh;
-  c = h0;
-  d = h1;
-}
-
-inline void inv_lift4_vec(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
-  const __m256i ll = a, hh = b, h0 = c, h1 = d;
-  const __m256i l1 = _mm256_sub_epi64(ll, sra1_epi64(hh));
-  const __m256i l0 = _mm256_add_epi64(l1, hh);
-  const __m256i vb = _mm256_sub_epi64(l0, sra1_epi64(h0));
-  const __m256i va = _mm256_add_epi64(vb, h0);
-  const __m256i vd = _mm256_sub_epi64(l1, sra1_epi64(h1));
-  const __m256i vc = _mm256_add_epi64(vd, h1);
-  a = va;
-  b = vb;
-  c = vc;
-  d = vd;
-}
-
-// 4x4 int64 transpose across four ymm rows.
-inline void transpose4x4_epi64(__m256i& r0, __m256i& r1, __m256i& r2,
-                               __m256i& r3) {
-  const __m256i t0 = _mm256_unpacklo_epi64(r0, r1);
-  const __m256i t1 = _mm256_unpackhi_epi64(r0, r1);
-  const __m256i t2 = _mm256_unpacklo_epi64(r2, r3);
-  const __m256i t3 = _mm256_unpackhi_epi64(r2, r3);
-  r0 = _mm256_permute2x128_si256(t0, t2, 0x20);
-  r1 = _mm256_permute2x128_si256(t1, t3, 0x20);
-  r2 = _mm256_permute2x128_si256(t0, t2, 0x31);
-  r3 = _mm256_permute2x128_si256(t1, t3, 0x31);
-}
-
-inline __m256i load4(const std::int64_t* p) {
-  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
-}
-
-inline void store4(std::int64_t* p, __m256i v) {
-  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
-}
-
-// Lift four contiguous 4-rows at once: transpose so each lift's values
-// line up across lanes, lift, transpose back.
-inline void fwd_lift_rows(std::int64_t* q) {
-  __m256i r0 = load4(q), r1 = load4(q + 4), r2 = load4(q + 8),
-          r3 = load4(q + 12);
-  transpose4x4_epi64(r0, r1, r2, r3);
-  fwd_lift4_vec(r0, r1, r2, r3);
-  transpose4x4_epi64(r0, r1, r2, r3);
-  store4(q, r0);
-  store4(q + 4, r1);
-  store4(q + 8, r2);
-  store4(q + 12, r3);
-}
-
-inline void inv_lift_rows(std::int64_t* q) {
-  __m256i r0 = load4(q), r1 = load4(q + 4), r2 = load4(q + 8),
-          r3 = load4(q + 12);
-  transpose4x4_epi64(r0, r1, r2, r3);
-  inv_lift4_vec(r0, r1, r2, r3);
-  transpose4x4_epi64(r0, r1, r2, r3);
-  store4(q, r0);
-  store4(q + 4, r1);
-  store4(q + 8, r2);
-  store4(q + 12, r3);
-}
-
-// Lift across four vectors loaded at stride 4 (columns of a 4x4 tile).
-inline void fwd_lift_cols(std::int64_t* q, std::size_t stride) {
-  __m256i a = load4(q), b = load4(q + stride), c = load4(q + 2 * stride),
-          d = load4(q + 3 * stride);
-  fwd_lift4_vec(a, b, c, d);
-  store4(q, a);
-  store4(q + stride, b);
-  store4(q + 2 * stride, c);
-  store4(q + 3 * stride, d);
-}
-
-inline void inv_lift_cols(std::int64_t* q, std::size_t stride) {
-  __m256i a = load4(q), b = load4(q + stride), c = load4(q + 2 * stride),
-          d = load4(q + 3 * stride);
-  inv_lift4_vec(a, b, c, d);
-  store4(q, a);
-  store4(q + stride, b);
-  store4(q + 2 * stride, c);
-  store4(q + 3 * stride, d);
-}
-
-// ----------------------------------------------------------- transforms
-
-void fwd_transform_avx2(std::int64_t* q, int n, const int* perm,
-                        std::uint64_t* u) {
-  if (n == 4) {
-    zfpx_detail::fwd_lift4(q, 1);  // One lift: horizontal, stay scalar.
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(u), negabinary4(load4(q)));
-    return;
-  }
-  alignas(32) std::uint64_t t[64];
-  if (n == 16) {
-    fwd_lift_rows(q);        // x: lift within each of the 4 rows.
-    fwd_lift_cols(q, 4);     // y: lift across the rows.
-  } else {
-    LFFT_ASSERT(n == 64);
-    for (int r = 0; r < 64; r += 16) fwd_lift_rows(q + r);       // x
-    for (int k = 0; k < 4; ++k) fwd_lift_cols(q + 16 * k, 4);    // y
-    for (int j = 0; j < 4; ++j) fwd_lift_cols(q + 4 * j, 16);    // z
-  }
-  for (int i = 0; i < n; i += 4) {
-    _mm256_store_si256(reinterpret_cast<__m256i*>(t + i),
-                       negabinary4(load4(q + i)));
-  }
-  for (int i = 0; i < n; ++i) u[i] = t[perm[i]];
-}
-
-void inv_transform_avx2(const std::uint64_t* u, int n, const int* perm,
-                        std::int64_t* q) {
-  if (n == 4) {
-    store4(q, unnegabinary4(_mm256_loadu_si256(
-                  reinterpret_cast<const __m256i*>(u))));
-    zfpx_detail::inv_lift4(q, 1);
-    return;
-  }
-  alignas(32) std::int64_t t[64];
-  for (int i = 0; i < n; i += 4) {
-    _mm256_store_si256(
-        reinterpret_cast<__m256i*>(t + i),
-        unnegabinary4(_mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(u + i))));
-  }
-  for (int i = 0; i < n; ++i) q[perm[i]] = t[i];
-  if (n == 16) {
-    inv_lift_cols(q, 4);     // y
-    inv_lift_rows(q);        // x
-  } else {
-    LFFT_ASSERT(n == 64);
-    for (int j = 0; j < 4; ++j) inv_lift_cols(q + 4 * j, 16);    // z
-    for (int k = 0; k < 4; ++k) inv_lift_cols(q + 16 * k, 4);    // y
-    for (int r = 0; r < 64; r += 16) inv_lift_rows(q + r);       // x
-  }
-}
-
-// -------------------------------------------------------- plane-word coder
-
-// 64x64 bit-matrix transpose, LSB-first columns: after the call, word k
-// holds bit k of every input word — the plane word the coder consumes.
-void transpose64(std::uint64_t* a) {
-  std::uint64_t m = 0x00000000FFFFFFFFull;
-  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
-      a[k] ^= t << j;
-      a[k + j] ^= t;
-    }
-  }
-}
-
-// Plane word of a 4-block without a transpose: shift plane k into the sign
-// bit of each lane and movemask.
-inline std::uint64_t plane_word4(__m256i v, int k) {
-  const __m256i sh = _mm256_sll_epi64(v, _mm_cvtsi32_si128(63 - k));
-  return static_cast<std::uint64_t>(
-      static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(sh))));
-}
-
-// Word-at-a-time encoder, exactly equivalent to the scalar per-bit loop:
-// the verbatim prefix of a plane is the low n_sig bits of its plane word
-// (one chunked put), a run is countr_zero zeros plus the terminating one
-// (one chunked put), and an empty plane is min(n_sig (+1), budget) zero
-// bits. `pw(k)` supplies plane words; `or_all` batches the all-empty top
-// planes into a single put.
-template <typename PlaneFn>
-void encode_planes_words(PlaneFn pw, std::uint64_t or_all, int size,
-                         int budget, BitWriter& bw, int k_min) {
-  int n_sig = 0;
-  int k = kTopPlane;
-  const int top = or_all == 0 ? k_min - 1 : std::bit_width(or_all) - 1;
-  const int empties =
-      std::max(0, kTopPlane - std::max(top + 1, k_min) + 1);
-  if (empties > 0) {
-    // While nothing is significant, an empty plane is one 0 any-bit.
-    const int nb = std::min(empties, budget);
-    bw.put(0, nb);
-    budget -= nb;
-    k -= empties;
-  }
-  for (; k >= k_min && budget > 0; --k) {
-    const std::uint64_t w = pw(k);
-    if (w == 0) {
-      const int extra = n_sig < size ? 1 : 0;
-      const int nb = std::min(n_sig + extra, budget);
-      bw.put(0, nb);
-      budget -= nb;
-      continue;
-    }
-    const int m = std::min(n_sig, budget);
-    if (m > 0) {
-      bw.put(m < 64 ? (w & ((std::uint64_t{1} << m) - 1)) : w, m);
-      budget -= m;
-    }
-    if (budget == 0) break;
-    int i = n_sig;
-    while (i < size && budget > 0) {
-      const std::uint64_t rem = w >> i;
-      if (rem == 0) {
-        bw.put_bit(false);
-        --budget;
-        break;
-      }
-      bw.put_bit(true);
-      --budget;
-      if (budget == 0) break;
-      const int run = std::countr_zero(rem);
-      if (run + 1 <= budget) {
-        bw.put(std::uint64_t{1} << run, run + 1);
-        budget -= run + 1;
-        i += run + 1;
-        n_sig = i;
-      } else {
-        bw.put(0, budget);  // The terminating one no longer fits.
-        budget = 0;
-      }
-    }
-  }
-}
 
 void encode_planes_avx2(const std::uint64_t* u, int size, int budget,
                         BitWriter& bw, int k_min) {
@@ -297,97 +26,18 @@ void encode_planes_avx2(const std::uint64_t* u, int size, int budget,
     const __m256i v =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(u));
     const std::uint64_t or_all = u[0] | u[1] | u[2] | u[3];
-    encode_planes_words([v](int k) { return plane_word4(v, k); }, or_all,
-                        size, budget, bw, k_min);
+    lanes::encode_planes_words([v](int k) { return lanes::plane_word4(v, k); },
+                               or_all, size, budget, bw, k_min);
     return;
   }
-  std::uint64_t rows[64] = {};
-  std::uint64_t or_all = 0;
-  for (int j = 0; j < size; ++j) {
-    rows[j] = u[j];
-    or_all |= u[j];
-  }
-  transpose64(rows);
-  encode_planes_words([&rows](int k) { return rows[k]; }, or_all, size,
-                      budget, bw, k_min);
-}
-
-// Word-at-a-time decoder: chunked prefix reads scattered via countr_zero,
-// runs skipped via peeked bits, and consecutive empty planes (one 0 bit
-// each while nothing is significant) batched through one peek. Near the
-// end of the buffer every path falls back to per-bit reads, so a
-// truncated stream trips the same LFFT_REQUIRE as the scalar decoder.
-void decode_planes_avx2(std::uint64_t* u, int size, int budget, BitReader& br,
-                        int k_min) {
-  std::fill(u, u + size, 0ull);
-  int n_sig = 0;
-  int k = kTopPlane;
-  while (k >= k_min && budget > 0) {
-    if (n_sig == 0) {
-      const int span = std::min(budget, k - k_min + 1);
-      const auto [bits, avail] = br.peek_upto(span);
-      if (avail > 0) {
-        const int z = bits != 0 ? std::countr_zero(bits) : avail;
-        if (z > 0) {
-          br.skip(z);
-          budget -= z;
-          k -= z;
-          continue;
-        }
-      }
-    }
-    const int m = std::min(n_sig, budget);
-    if (m > 0) {
-      std::uint64_t w = br.get(m);
-      budget -= m;
-      while (w != 0) {
-        const int j = std::countr_zero(w);
-        u[j] |= std::uint64_t{1} << k;
-        w &= w - 1;
-      }
-    }
-    if (budget == 0) break;
-    int i = n_sig;
-    while (i < size && budget > 0) {
-      const bool any = br.get_bit();
-      --budget;
-      if (!any || budget == 0) break;
-      const int want = std::min(size - i, budget);
-      const auto [bits, avail] = br.peek_upto(want);
-      if (bits != 0) {
-        const int t = std::countr_zero(bits);
-        br.skip(t + 1);
-        budget -= t + 1;
-        u[i + t] |= std::uint64_t{1} << k;
-        i += t + 1;
-        n_sig = i;
-      } else if (avail >= want) {
-        br.skip(want);
-        budget -= want;
-        i += want;
-      } else {
-        // Truncated stream: replicate the scalar reads (and their REQUIRE).
-        while (i < size && budget > 0) {
-          const bool b = br.get_bit();
-          --budget;
-          if (b) u[i] |= std::uint64_t{1} << k;
-          ++i;
-          if (b) {
-            n_sig = i;
-            break;
-          }
-        }
-      }
-    }
-    --k;
-  }
+  lanes::encode_planes_rows(u, size, budget, bw, k_min);
 }
 
 }  // namespace
 
 ZfpxKernels avx2_zfpx_kernels() {
-  return {&encode_planes_avx2, &decode_planes_avx2, &fwd_transform_avx2,
-          &inv_transform_avx2};
+  return {&encode_planes_avx2, &scanfill::decode_planes,
+          &lanes::fwd_transform, &lanes::inv_transform};
 }
 
 }  // namespace lossyfft::simd

@@ -1,0 +1,172 @@
+// AVX-512 build of the zfpx kernels (F+BW+VBMI2 flag set, runtime
+// dispatch-guarded). What 512-bit registers genuinely improve over the
+// AVX2 TU:
+//   - the 64-block Haar lifts run 8 lifts per instruction with a native
+//     arithmetic shift (vpsraq) instead of AVX2's two-op sign-reinstate
+//     emulation, with the y-dimension gathered by vpermt2q instead of
+//     4x4 transposes;
+//   - 4-block plane words come from one masked vptestmq against the plane
+//     bit instead of shift+movemask.
+// The 4/16-block transforms reuse the 256-bit helpers (the data is too
+// narrow for ZMM to pay), the encoder core is the shared word-at-a-time
+// coder, and the decoder is the shared scan-then-fill pass — both tiers
+// and the scalar reference emit/accept bit-identical streams.
+#include "compress/simd.hpp"
+
+#if defined(LOSSYFFT_SIMD_AVX512)
+
+#include "compress/zfpx_scanfill.hpp"
+#include "compress/zfpx_simd_lanes.hpp"
+
+namespace lossyfft::simd {
+namespace {
+
+inline __m512i negabinary8(__m512i v) {
+  const __m512i mask =
+      _mm512_set1_epi64(static_cast<long long>(0xAAAAAAAAAAAAAAAAull));
+  return _mm512_xor_si512(_mm512_add_epi64(v, mask), mask);
+}
+
+inline __m512i unnegabinary8(__m512i u) {
+  const __m512i mask =
+      _mm512_set1_epi64(static_cast<long long>(0xAAAAAAAAAAAAAAAAull));
+  return _mm512_sub_epi64(_mm512_xor_si512(u, mask), mask);
+}
+
+// Eight independent Haar S-transform lifts per call — vpsraq is native
+// here, so no sign-reinstate emulation.
+inline void fwd_lift8_vec(__m512i& a, __m512i& b, __m512i& c, __m512i& d) {
+  const __m512i h0 = _mm512_sub_epi64(a, b);
+  const __m512i l0 = _mm512_add_epi64(b, _mm512_srai_epi64(h0, 1));
+  const __m512i h1 = _mm512_sub_epi64(c, d);
+  const __m512i l1 = _mm512_add_epi64(d, _mm512_srai_epi64(h1, 1));
+  const __m512i hh = _mm512_sub_epi64(l0, l1);
+  const __m512i ll = _mm512_add_epi64(l1, _mm512_srai_epi64(hh, 1));
+  a = ll;
+  b = hh;
+  c = h0;
+  d = h1;
+}
+
+inline void inv_lift8_vec(__m512i& a, __m512i& b, __m512i& c, __m512i& d) {
+  const __m512i ll = a, hh = b, h0 = c, h1 = d;
+  const __m512i l1 = _mm512_sub_epi64(ll, _mm512_srai_epi64(hh, 1));
+  const __m512i l0 = _mm512_add_epi64(l1, hh);
+  const __m512i vb = _mm512_sub_epi64(l0, _mm512_srai_epi64(h0, 1));
+  const __m512i va = _mm512_add_epi64(vb, h0);
+  const __m512i vd = _mm512_sub_epi64(l1, _mm512_srai_epi64(h1, 1));
+  const __m512i vc = _mm512_add_epi64(vd, h1);
+  a = va;
+  b = vb;
+  c = vc;
+  d = vd;
+}
+
+// The 64-block as eight ZMM registers: z[t] = q[8t..8t+7], i.e. slab k
+// (fixed z-index, 16 values) = {z[2k], z[2k+1]}.
+//
+// z-dimension lifts (stride 16) line up for free: lane l of
+// (z0,z2,z4,z6) walks q[l + 16k] for k = 0..3, likewise the odd set.
+//
+// y-dimension lifts (stride 4) need one vpermt2q gather per operand:
+// for a pair of slabs, a/b/c/d = the j=0/1/2/3 rows of both slabs.
+const long long kIdxLo[8] = {0, 1, 2, 3, 8, 9, 10, 11};
+const long long kIdxHi[8] = {4, 5, 6, 7, 12, 13, 14, 15};
+
+template <typename LiftFn>
+inline void lift_y_pair(__m512i* z, int g, LiftFn lift) {
+  const __m512i lo = _mm512_loadu_si512(kIdxLo);
+  const __m512i hi = _mm512_loadu_si512(kIdxHi);
+  __m512i a = _mm512_permutex2var_epi64(z[g], lo, z[g + 2]);
+  __m512i b = _mm512_permutex2var_epi64(z[g], hi, z[g + 2]);
+  __m512i c = _mm512_permutex2var_epi64(z[g + 1], lo, z[g + 3]);
+  __m512i d = _mm512_permutex2var_epi64(z[g + 1], hi, z[g + 3]);
+  lift(a, b, c, d);
+  z[g] = _mm512_permutex2var_epi64(a, lo, b);
+  z[g + 1] = _mm512_permutex2var_epi64(c, lo, d);
+  z[g + 2] = _mm512_permutex2var_epi64(a, hi, b);
+  z[g + 3] = _mm512_permutex2var_epi64(c, hi, d);
+}
+
+void fwd_transform_avx512(std::int64_t* q, int n, const int* perm,
+                          std::uint64_t* u) {
+  if (n != 64) {
+    lanes::fwd_transform(q, n, perm, u);  // Too narrow for ZMM to pay.
+    return;
+  }
+  for (int r = 0; r < 64; r += 16) lanes::fwd_lift_rows(q + r);  // x
+  __m512i z[8];
+  for (int t = 0; t < 8; ++t) z[t] = _mm512_loadu_si512(q + 8 * t);
+  lift_y_pair(z, 0, [](auto&... v) { fwd_lift8_vec(v...); });    // y
+  lift_y_pair(z, 4, [](auto&... v) { fwd_lift8_vec(v...); });
+  fwd_lift8_vec(z[0], z[2], z[4], z[6]);                         // z
+  fwd_lift8_vec(z[1], z[3], z[5], z[7]);
+  alignas(64) std::uint64_t t[64];
+  for (int i = 0; i < 8; ++i) {
+    _mm512_store_si512(t + 8 * i, negabinary8(z[i]));
+  }
+  for (int i = 0; i < 64; ++i) u[i] = t[perm[i]];
+}
+
+void inv_transform_avx512(const std::uint64_t* u, int n, const int* perm,
+                          std::int64_t* q) {
+  if (n != 64) {
+    lanes::inv_transform(u, n, perm, q);
+    return;
+  }
+  alignas(64) std::int64_t t[64];
+  for (int i = 0; i < 8; ++i) {
+    _mm512_store_si512(
+        t + 8 * i, unnegabinary8(_mm512_loadu_si512(u + 8 * i)));
+  }
+  for (int i = 0; i < 64; ++i) q[perm[i]] = t[i];
+  __m512i z[8];
+  for (int i = 0; i < 8; ++i) z[i] = _mm512_loadu_si512(q + 8 * i);
+  inv_lift8_vec(z[0], z[2], z[4], z[6]);                         // z
+  inv_lift8_vec(z[1], z[3], z[5], z[7]);
+  lift_y_pair(z, 0, [](auto&... v) { inv_lift8_vec(v...); });    // y
+  lift_y_pair(z, 4, [](auto&... v) { inv_lift8_vec(v...); });
+  for (int i = 0; i < 8; ++i) _mm512_storeu_si512(q + 8 * i, z[i]);
+  for (int r = 0; r < 64; r += 16) lanes::inv_lift_rows(q + r);  // x
+}
+
+void encode_planes_avx512(const std::uint64_t* u, int size, int budget,
+                          BitWriter& bw, int k_min) {
+  if (size == 4) {
+    // Masked plane extraction: vptestmq against the plane bit yields the
+    // 4-bit plane word directly (upper lanes stay zero via the masked
+    // load).
+    const __m512i v = _mm512_maskz_loadu_epi64(0x0F, u);
+    const std::uint64_t or_all = u[0] | u[1] | u[2] | u[3];
+    lanes::encode_planes_words(
+        [v](int k) {
+          return static_cast<std::uint64_t>(_mm512_test_epi64_mask(
+              v, _mm512_set1_epi64(1LL << k)));
+        },
+        or_all, size, budget, bw, k_min);
+    return;
+  }
+  lanes::encode_planes_rows(u, size, budget, bw, k_min);
+}
+
+}  // namespace
+
+ZfpxKernels avx512_zfpx_kernels() {
+  return {&encode_planes_avx512, &scanfill::decode_planes,
+          &fwd_transform_avx512, &inv_transform_avx512};
+}
+
+}  // namespace lossyfft::simd
+
+#else  // !LOSSYFFT_SIMD_AVX512
+
+namespace lossyfft::simd {
+
+// Built without AVX-512 lanes (old compiler, non-x86, or a forced-scalar/
+// forced-avx2 build): the avx512 table degrades to the AVX2 tier, which
+// itself degrades to scalar when AVX2 lanes are absent.
+ZfpxKernels avx512_zfpx_kernels() { return avx2_zfpx_kernels(); }
+
+}  // namespace lossyfft::simd
+
+#endif

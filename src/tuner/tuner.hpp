@@ -75,8 +75,11 @@ class Tuner {
   /// flip path decisions. Version 2 added the level token; version 3 added
   /// "d"-tagged decomposition rows (exchange rows are unchanged but the
   /// decomposition model's constants ride the same calibration, so older
-  /// caches are not resurrected).
-  static constexpr int kCacheVersion = 3;
+  /// caches are not resurrected). Version 4 invalidated caches recorded
+  /// before the scan-then-fill zfpx decoder and the avx512 kernel tier:
+  /// decode throughput moved enough to flip path decisions even for rows
+  /// keyed under an unchanged level name.
+  static constexpr int kCacheVersion = 4;
 
  private:
   std::string key(const ExchangeSignature& sig) const;

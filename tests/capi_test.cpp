@@ -81,10 +81,23 @@ TEST(CApi, RankAndSizeVisible) {
 TEST(CApi, SimdLevelIsVisibleAndStable) {
   const char* level = lossyfft_simd_level();
   ASSERT_NE(level, nullptr);
-  EXPECT_TRUE(std::string(level) == "scalar" || std::string(level) == "avx2")
+  EXPECT_TRUE(std::string(level) == "scalar" ||
+              std::string(level) == "avx2" ||
+              std::string(level) == "avx512")
       << level;
   // Static string: repeated calls return the same pointer.
   EXPECT_EQ(level, lossyfft_simd_level());
+}
+
+TEST(CApi, SimdRequestedDefaultsToAuto) {
+  // The suite runs without a LOSSYFFT_SIMD override (the forced-scalar and
+  // forced-avx2 presets force at build time, not via the env), so the
+  // requested level reports "auto" and the effective level is whatever
+  // detection picked.
+  const char* requested = lossyfft_simd_requested();
+  ASSERT_NE(requested, nullptr);
+  EXPECT_STREQ(requested, "auto");
+  EXPECT_EQ(requested, lossyfft_simd_requested());  // Static string.
 }
 
 TEST(CApi, InvalidArgumentsReportErrors) {

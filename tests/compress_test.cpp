@@ -834,12 +834,13 @@ TEST(ZfpxAccuracyCodec, ShardBoundarySizesRoundTrip) {
 }
 
 // ------------------------------------------------------- SIMD identity
-// Every AVX2 kernel must emit the exact bytes of its scalar reference:
-// the wire format is frozen (persistent plans, the fuzz corpus, and the
-// tuner cache all assume the stream is a pure function of the data), so a
-// vector path that is merely "close" is a wire-format break. Compress
-// under both levels and compare streams byte-for-byte, then decode each
-// stream under the opposite level and compare reconstructions bitwise.
+// Every vector kernel tier must emit the exact bytes of its scalar
+// reference: the wire format is frozen (persistent plans, the fuzz
+// corpus, and the tuner cache all assume the stream is a pure function of
+// the data), so a vector path that is merely "close" is a wire-format
+// break. Compress under every available level and compare streams
+// byte-for-byte, then decode every (encode level, decode level) pair and
+// compare reconstructions bitwise.
 
 class ScopedSimdLevel {
  public:
@@ -849,6 +850,20 @@ class ScopedSimdLevel {
  private:
   SimdLevel prev_;
 };
+
+// Every level the dispatcher can select on this build + host, scalar
+// first. On an AVX-512 host this is {scalar, avx2, avx512}; a forced or
+// non-x86 build collapses to {scalar}.
+std::vector<SimdLevel> available_simd_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detected_simd_level() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  if (detected_simd_level() >= SimdLevel::kAvx512) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
 
 // Codecs whose hot loops go through simd.hpp dispatch.
 std::vector<std::shared_ptr<const Codec>> simd_dispatched_codecs() {
@@ -892,6 +907,18 @@ std::vector<SimdInput> simd_identity_inputs() {
     }
     inputs.push_back({"single-bit-planes", true, std::move(v)});
   }
+  // Mixed exponents: magnitudes spanning ~200 binades force deep
+  // bit-plane recursion inside each zfpx block — many planes carrying
+  // exactly one newly significant coefficient, the worst case for the
+  // scan-then-fill decoder's plane directory and empty-plane batching.
+  {
+    auto v = uniform_data(4096 + 37, 909);
+    Xoshiro256 exp_rng(910);
+    for (double& x : v) {
+      x = std::ldexp(x, -static_cast<int>(exp_rng.below(200)));
+    }
+    inputs.push_back({"mixed-exponent", true, std::move(v)});
+  }
   // Non-finite payloads: trim keeps them bit-exact via the exponent
   // passthrough, szq stores them as verbatim outliers.
   {
@@ -907,7 +934,8 @@ std::vector<SimdInput> simd_identity_inputs() {
 }
 
 TEST(SimdIdentity, StreamsBitIdenticalAcrossLevels) {
-  if (detected_simd_level() == SimdLevel::kScalar) {
+  const std::vector<SimdLevel> levels = available_simd_levels();
+  if (levels.size() < 2) {
     GTEST_SKIP() << "no SIMD level available in this build/host";
   }
   for (const auto& c : simd_dispatched_codecs()) {
@@ -916,44 +944,126 @@ TEST(SimdIdentity, StreamsBitIdenticalAcrossLevels) {
     for (const auto& input : simd_identity_inputs()) {
       if (finite_only && !input.finite) continue;
       const std::span<const double> in(input.data);
+
+      // Encode under every level; every wire must match the scalar wire.
       std::vector<std::byte> scalar_wire(c->max_compressed_bytes(in.size()));
-      std::vector<std::byte> simd_wire(scalar_wire.size(), std::byte{0x5C});
-      std::size_t scalar_used = 0, simd_used = 0;
+      std::size_t scalar_used = 0;
       {
         ScopedSimdLevel guard(SimdLevel::kScalar);
         scalar_used = c->compress(in, scalar_wire);
       }
-      {
-        ScopedSimdLevel guard(detected_simd_level());
-        simd_used = c->compress(in, simd_wire);
+      for (std::size_t li = 1; li < levels.size(); ++li) {
+        std::vector<std::byte> wire(scalar_wire.size(), std::byte{0x5C});
+        std::size_t used = 0;
+        {
+          ScopedSimdLevel guard(levels[li]);
+          used = c->compress(in, wire);
+        }
+        ASSERT_EQ(used, scalar_used)
+            << c->name() << " " << input.label << " enc="
+            << simd_level_name(levels[li]);
+        ASSERT_EQ(std::memcmp(wire.data(), scalar_wire.data(), used), 0)
+            << c->name() << " " << input.label << " enc="
+            << simd_level_name(levels[li]);
       }
-      ASSERT_EQ(scalar_used, simd_used) << c->name() << " " << input.label;
-      ASSERT_EQ(std::memcmp(scalar_wire.data(), simd_wire.data(), scalar_used),
-                0)
-          << c->name() << " " << input.label;
 
-      // Cross-decode: each level must reconstruct the other's stream to
-      // the same bits (NaN payloads included, hence memcmp).
+      // Decode matrix: the (now proven common) wire must reconstruct to
+      // the same bits under every level (NaN payloads included, hence
+      // memcmp). With the wires identical, decoding the shared stream
+      // under each level covers every (encode level, decode level) pair.
       const std::span<const std::byte> wire(scalar_wire.data(), scalar_used);
-      std::vector<double> scalar_out(in.size()), simd_out(in.size());
+      std::vector<double> scalar_out(in.size());
       {
         ScopedSimdLevel guard(SimdLevel::kScalar);
         c->decompress(wire, scalar_out);
       }
-      {
-        ScopedSimdLevel guard(detected_simd_level());
-        c->decompress(wire, simd_out);
+      for (std::size_t li = 1; li < levels.size(); ++li) {
+        std::vector<double> out(in.size(), -2.0);
+        {
+          ScopedSimdLevel guard(levels[li]);
+          c->decompress(wire, out);
+        }
+        EXPECT_EQ(std::memcmp(out.data(), scalar_out.data(),
+                              in.size() * sizeof(double)),
+                  0)
+            << c->name() << " " << input.label << " dec="
+            << simd_level_name(levels[li]);
       }
-      EXPECT_EQ(std::memcmp(scalar_out.data(), simd_out.data(),
-                            in.size() * sizeof(double)),
-                0)
-          << c->name() << " " << input.label;
+    }
+  }
+}
+
+TEST(SimdIdentity, ShardedFrameDecodeMatchesSerialAtEveryLevel) {
+  // The scan-then-fill decoder runs inside ParallelCodec's sharded frames
+  // too: each worker decodes its shard range with its own BitReader
+  // cursor. Fan the decode out over >= 4 workers at every dispatch level
+  // and demand the serial scalar reconstruction, bit for bit.
+  WorkerPool pool(4);
+  ZfpxAccuracyCodec c(1e-6);
+  const std::size_t g = c.parallel_granularity();
+  const auto in = uniform_data(4 * g + g / 3, 6006);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  std::size_t used = 0;
+  std::vector<double> serial(in.size());
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    used = c.compress(in, wire);
+    c.decompress(std::span<const std::byte>(wire.data(), used), serial);
+  }
+  for (const SimdLevel level : available_simd_levels()) {
+    ParallelCodec pc(std::make_shared<ZfpxAccuracyCodec>(1e-6), &pool,
+                     /*shards=*/5, /*min_shard_bytes=*/1);
+    std::vector<double> sharded(in.size(), -1.0);
+    {
+      ScopedSimdLevel guard(level);
+      pc.decompress(std::span<const std::byte>(wire.data(), used), sharded);
+    }
+    EXPECT_EQ(std::memcmp(sharded.data(), serial.data(),
+                          in.size() * sizeof(double)),
+              0)
+        << simd_level_name(level);
+  }
+}
+
+TEST(SimdIdentity, TruncatedStreamFailsCleanlyAtEveryLevel) {
+  // Chopping a zfpx stream anywhere must surface as a recoverable Error
+  // (never an over-read) and must fail identically under the scan-then-
+  // fill vector decoders and the scalar reference.
+  ZfpxAccuracyCodec c(1e-6);
+  const auto in = uniform_data(3000, 1234);
+  std::vector<std::byte> wire(c.max_compressed_bytes(in.size()));
+  const std::size_t used = c.compress(in, wire);
+  std::vector<double> out(in.size());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{8}, used / 4, used / 2,
+        used - 1}) {
+    bool scalar_threw = false;
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      try {
+        c.decompress(std::span<const std::byte>(wire.data(), keep), out);
+      } catch (const Error&) {
+        scalar_threw = true;
+      }
+    }
+    for (const SimdLevel level : available_simd_levels()) {
+      if (level == SimdLevel::kScalar) continue;
+      ScopedSimdLevel guard(level);
+      bool threw = false;
+      try {
+        c.decompress(std::span<const std::byte>(wire.data(), keep), out);
+      } catch (const Error&) {
+        threw = true;
+      }
+      EXPECT_EQ(threw, scalar_threw)
+          << "keep=" << keep << " level=" << simd_level_name(level);
     }
   }
 }
 
 TEST(SimdIdentity, FieldCodecsMatchAcrossLevels) {
-  if (detected_simd_level() == SimdLevel::kScalar) {
+  const std::vector<SimdLevel> levels = available_simd_levels();
+  if (levels.size() < 2) {
     GTEST_SKIP() << "no SIMD level available in this build/host";
   }
   // The 2-D/3-D block interfaces run the same dispatched transform +
@@ -961,22 +1071,27 @@ TEST(SimdIdentity, FieldCodecsMatchAcrossLevels) {
   Xoshiro256 rng(2026);
   const auto field = make_smooth_field3d(rng, 13, 10, 7, 3);
   Zfpx3d z3{13, 10, 7, 14};
-  std::vector<std::byte> a(z3.compressed_bytes()), b(z3.compressed_bytes());
-  std::vector<double> out_a(field.size()), out_b(field.size());
+  std::vector<std::byte> a(z3.compressed_bytes());
+  std::vector<double> out_a(field.size());
   {
     ScopedSimdLevel guard(SimdLevel::kScalar);
     z3.compress(field, a);
     z3.decompress(a, out_a);
   }
-  {
-    ScopedSimdLevel guard(detected_simd_level());
-    z3.compress(field, b);
-    z3.decompress(a, out_b);  // Cross-decode the scalar stream.
+  for (std::size_t li = 1; li < levels.size(); ++li) {
+    std::vector<std::byte> b(z3.compressed_bytes());
+    std::vector<double> out_b(field.size());
+    {
+      ScopedSimdLevel guard(levels[li]);
+      z3.compress(field, b);
+      z3.decompress(a, out_b);  // Cross-decode the scalar stream.
+    }
+    EXPECT_EQ(a, b) << simd_level_name(levels[li]);
+    EXPECT_EQ(std::memcmp(out_a.data(), out_b.data(),
+                          field.size() * sizeof(double)),
+              0)
+        << simd_level_name(levels[li]);
   }
-  EXPECT_EQ(a, b);
-  EXPECT_EQ(std::memcmp(out_a.data(), out_b.data(),
-                        field.size() * sizeof(double)),
-            0);
 }
 
 // ------------------------------------------------------------ bit I/O
@@ -1048,6 +1163,47 @@ TEST(BitIo, ReaderRejectsTruncatedStream) {
   BitReader r(buf);
   EXPECT_EQ(r.get(16), 0u);  // The whole stream reads fine...
   EXPECT_THROW(r.get(1), Error);  // ...and one more bit is an input error.
+}
+
+TEST(BitIo, SkipPastEndIsARecoverableError) {
+  // skip() is fed by offset-directory accounting during scan-then-fill
+  // decode; an adversarially short stream must fail the same way a
+  // bit-by-bit get() would, not walk the cursor out of bounds.
+  std::vector<std::byte> buf(3, std::byte{0xFF});
+  BitReader r(buf);
+  r.skip(20);
+  EXPECT_THROW(r.skip(5), Error);  // 20 + 5 > 24.
+  EXPECT_EQ(r.bit_count(), 20u);   // Cursor unchanged by the failed skip.
+  r.skip(4);                       // Exactly to the end is fine.
+  EXPECT_EQ(r.bits_left(), 0u);
+  EXPECT_THROW(r.skip(1), Error);
+}
+
+TEST(BitIo, ReadAtMatchesSequentialGet) {
+  // Random-access reads (the scan-then-fill fill phase) must see exactly
+  // the bits a sequential reader sees, at every offset x width, including
+  // the byte-assembly tail path within 8 bytes of the buffer end.
+  Xoshiro256 rng(321);
+  std::vector<std::byte> buf(41);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xff);
+  const BitReader ra(buf);
+  for (std::size_t pos = 0; pos < buf.size() * 8; ++pos) {
+    const int max_bits =
+        static_cast<int>(std::min<std::size_t>(64, buf.size() * 8 - pos));
+    for (const int nbits : {0, 1, 7, 13, 33, 57, 64}) {
+      if (nbits > max_bits) continue;
+      BitReader seq(buf);
+      seq.skip(static_cast<int>(pos));
+      ASSERT_EQ(ra.read_at(pos, nbits), seq.get(nbits))
+          << "pos=" << pos << " nbits=" << nbits;
+    }
+  }
+  // Cursor untouched by random access, and out-of-range reads throw.
+  BitReader r(buf);
+  (void)r.read_at(100, 64);
+  EXPECT_EQ(r.bit_count(), 0u);
+  EXPECT_THROW((void)r.read_at(buf.size() * 8 - 3, 4), Error);
+  EXPECT_THROW((void)r.read_at(buf.size() * 8 + 1, 0), Error);
 }
 
 }  // namespace

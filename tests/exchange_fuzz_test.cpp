@@ -257,14 +257,21 @@ INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzz, ::testing::Values(2, 3, 4, 8),
                          });
 
 // --- SIMD dispatch cross-check ---------------------------------------------
-// The codec kernels exist twice (scalar reference, AVX2); the wire format
-// is frozen, so a full exchange must deliver bit-identical receive buffers
-// whichever level encoded and decoded it. Run the same fuzz layout once
-// under the forced-scalar level and once under the detected level, every
-// codec class, and compare per-rank buffers bitwise.
+// The codec kernels exist once per dispatch tier (scalar reference, AVX2,
+// AVX-512); the wire format is frozen, so a full exchange must deliver
+// bit-identical receive buffers whichever level encoded and decoded it.
+// Run the same fuzz layout once per level the build + host supports (the
+// scalar pass is the reference), every codec class, and compare per-rank
+// buffers bitwise.
 TEST(ExchangeFuzzSimd, ScalarAndSimdLevelsDeliverIdenticalBuffers) {
-  const SimdLevel detected = detected_simd_level();
-  if (detected == SimdLevel::kScalar) {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detected_simd_level() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  if (detected_simd_level() >= SimdLevel::kAvx512) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  if (levels.size() < 2) {
     GTEST_SKIP() << "no SIMD level available in this build/host";
   }
   const int p = 4;
@@ -272,11 +279,10 @@ TEST(ExchangeFuzzSimd, ScalarAndSimdLevelsDeliverIdenticalBuffers) {
   Xoshiro256 meta(seed);
   const auto codecs = codec_cases(meta);
   for (const CodecCase& cc : codecs) {
-    std::vector<std::vector<double>> recv_at(2);
-    for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::vector<double>> recv_at(levels.size());
+    for (std::size_t pass = 0; pass < levels.size(); ++pass) {
       std::vector<std::vector<double>> per_rank(static_cast<std::size_t>(p));
-      const SimdLevel prev =
-          set_simd_level(pass == 0 ? SimdLevel::kScalar : detected);
+      const SimdLevel prev = set_simd_level(levels[pass]);
       run_ranks(p, [&](Comm& comm) {
         auto l = make_fuzz_layout(seed, p, comm.rank(), false);
         OscOptions o;
@@ -292,15 +298,19 @@ TEST(ExchangeFuzzSimd, ScalarAndSimdLevelsDeliverIdenticalBuffers) {
       // Flatten rank buffers in rank order for the cross-level compare.
       std::vector<double> flat;
       for (const auto& r : per_rank) flat.insert(flat.end(), r.begin(), r.end());
-      recv_at[static_cast<std::size_t>(pass)] = std::move(flat);
+      recv_at[pass] = std::move(flat);
     }
-    ASSERT_EQ(recv_at[0].size(), recv_at[1].size()) << cc.name;
-    int reported = 0;
-    for (std::size_t i = 0; i < recv_at[0].size() && reported < 5; ++i) {
-      if (recv_at[0][i] != recv_at[1][i]) {
-        ++reported;
-        EXPECT_EQ(recv_at[0][i], recv_at[1][i]) << "codec=" << cc.name
-                                                << " i=" << i;
+    for (std::size_t pass = 1; pass < levels.size(); ++pass) {
+      ASSERT_EQ(recv_at[pass].size(), recv_at[0].size())
+          << cc.name << " level=" << simd_level_name(levels[pass]);
+      int reported = 0;
+      for (std::size_t i = 0; i < recv_at[0].size() && reported < 5; ++i) {
+        if (recv_at[0][i] != recv_at[pass][i]) {
+          ++reported;
+          EXPECT_EQ(recv_at[0][i], recv_at[pass][i])
+              << "codec=" << cc.name << " i=" << i
+              << " level=" << simd_level_name(levels[pass]);
+        }
       }
     }
   }

@@ -148,7 +148,8 @@ TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
   }
   const std::string written = read_file(path);
   ASSERT_FALSE(written.empty());
-  const std::string header = std::string("lossyfft-tune-cache 3 ") +
+  const std::string header = std::string("lossyfft-tune-cache ") +
+                             std::to_string(Tuner::kCacheVersion) + " " +
                              lossyfft::simd_level_name() + "\n";
   EXPECT_EQ(written.rfind(header, 0), 0u);
 
@@ -214,7 +215,8 @@ TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
   EXPECT_EQ(got.workers, want.workers);
   EXPECT_NE(got.workers, 77);
   // The recomputed decision replaces the stale file, current version first.
-  const std::string header = std::string("lossyfft-tune-cache 3 ") +
+  const std::string header = std::string("lossyfft-tune-cache ") +
+                             std::to_string(Tuner::kCacheVersion) + " " +
                              lossyfft::simd_level_name() + "\n";
   EXPECT_EQ(read_file(path).rfind(header, 0), 0u);
 }
@@ -239,7 +241,8 @@ const std::string& global_cache_path() {
     const CastFp32Codec fp32;
     const long rb = std::lround(std::log2(fp32.nominal_rate()) * 4.0);
     std::ofstream out(path, std::ios::trunc);
-    out << "lossyfft-tune-cache 3 " << lossyfft::simd_level_name() << "\n";
+    out << "lossyfft-tune-cache " << Tuner::kCacheVersion << " "
+        << lossyfft::simd_level_name() << "\n";
     // Pin: one-sided fence, serial workers (the config whose steady-state
     // budgets the counter asserts below encode).
     out << "4 6 " << size_class(pair) << " " << fp32.name() << " " << rb

@@ -4,9 +4,13 @@
 # Each iteration exports a fresh LOSSYFFT_FUZZ_SEED and runs the `fuzz`
 # CMake workflow preset (configure + build + `ctest -L fuzz`), so every run
 # draws new layouts, codec parameters, and ring shapes through every
-# transport path. Failures are collected and reported at the end with the
-# exact seed and a one-line reproduction command — a soak failure is only
-# useful if it can be replayed.
+# transport path. Iterations also rotate the LOSSYFFT_SIMD dispatch
+# override through auto/scalar/avx2/avx512 so the soak exercises every
+# kernel tier the host supports (an unsupported level warns once and falls
+# back — still a valid run of the best supported tier). Failures are
+# collected and reported at the end with the exact seed, the SIMD level,
+# and a one-line reproduction command — a soak failure is only useful if
+# it can be replayed.
 #
 # Usage: tools/fuzz_soak.sh [runs] [start-seed]
 #   runs        number of iterations (default 10)
@@ -21,11 +25,14 @@ RUNS="${1:-10}"
 SEED="${2:-$(date +%s)}"
 cd "$(dirname "$0")/.." || exit 2
 
+SIMD_LEVELS=(auto scalar avx2 avx512)
 failed=()
 for i in $(seq 1 "$RUNS"); do
-  echo "== fuzz soak ${i}/${RUNS}: LOSSYFFT_FUZZ_SEED=${SEED} =="
-  if ! LOSSYFFT_FUZZ_SEED="$SEED" cmake --workflow --preset fuzz; then
-    failed+=("$SEED")
+  SIMD="${SIMD_LEVELS[$(( (i - 1) % ${#SIMD_LEVELS[@]} ))]}"
+  echo "== fuzz soak ${i}/${RUNS}: LOSSYFFT_FUZZ_SEED=${SEED} LOSSYFFT_SIMD=${SIMD} =="
+  if ! LOSSYFFT_FUZZ_SEED="$SEED" LOSSYFFT_SIMD="$SIMD" \
+       cmake --workflow --preset fuzz; then
+    failed+=("LOSSYFFT_FUZZ_SEED=${SEED} LOSSYFFT_SIMD=${SIMD}")
   fi
   SEED=$((SEED + 7919))
 done
@@ -34,7 +41,7 @@ if [ "${#failed[@]}" -gt 0 ]; then
   echo ""
   echo "FUZZ SOAK: ${#failed[@]}/${RUNS} runs FAILED. Reproduce with:"
   for s in "${failed[@]}"; do
-    echo "  LOSSYFFT_FUZZ_SEED=${s} cmake --workflow --preset fuzz"
+    echo "  ${s} cmake --workflow --preset fuzz"
   done
   exit 1
 fi

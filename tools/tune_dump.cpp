@@ -113,8 +113,18 @@ int main(int argc, char** argv) {
   const CostConstants& k = tuner.constants();  // Calibrates when asked to.
   std::printf("# constants: %s\n", k.calibrated ? "calibrated" : "summit");
   // The dispatch level the codec throughput constants were measured under
-  // (and that the cache file is keyed by).
-  std::printf("#   simd=%s\n", lossyfft::simd_level_name());
+  // (and that the cache file is keyed by), plus what LOSSYFFT_SIMD asked
+  // for when that differs — an unsupported override falls back with a
+  // one-time warning, and this line makes the fallback visible.
+  if (std::strcmp(lossyfft::simd_requested_name(), "auto") != 0 &&
+      std::strcmp(lossyfft::simd_requested_name(),
+                  lossyfft::simd_level_name()) != 0) {
+    std::printf("#   simd=%s (requested=%s, unsupported -> fell back)\n",
+                lossyfft::simd_level_name(),
+                lossyfft::simd_requested_name());
+  } else {
+    std::printf("#   simd=%s\n", lossyfft::simd_level_name());
+  }
   std::printf("#   copy_bw=%.3g encode_bw=%.3g decode_bw=%.3g B/s\n",
               k.copy_bw, k.encode_bw, k.decode_bw);
   std::printf("#   msg_two=%.3g msg_one=%.3g handshake=%.3g barrier=%.3g s\n",
