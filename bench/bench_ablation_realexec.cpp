@@ -27,6 +27,7 @@
 #include "dfft/fft3d.hpp"
 #include "dfft/reshape.hpp"
 #include "minimpi/alltoall.hpp"
+#include "minimpi/fault.hpp"
 #include "minimpi/runtime.hpp"
 #include "osc/exchange_plan.hpp"
 #include "osc/osc_alltoall.hpp"
@@ -155,6 +156,11 @@ int main(int argc, char** argv) {
     std::string label;
     double ms;
     double ratio;
+    // Coded rows only (parity >= 0 marks one): resilience counters summed
+    // over rank 0's iterations.
+    int parity = -1;
+    std::uint64_t reconstructed = 0;
+    std::uint64_t straggler_waits = 0;
   };
   std::vector<XRow> xrows;
   {
@@ -170,6 +176,8 @@ int main(int argc, char** argv) {
       bool eager_only = false;  // Force the copy-through-envelope transport.
       osc::OscSync sync = osc::OscSync::kFence;  // One-sided epoch close.
       int workers = 1;          // >1 enables pool-pipelined target decode.
+      int parity = 0;           // Coded-exchange parity chunks per group.
+      const minimpi::FaultPlan* faults = nullptr;  // Injected stragglers.
     };
     constexpr auto kPscw = osc::OscSync::kPscw;
     std::vector<XCfg> xcfgs = {
@@ -206,6 +214,24 @@ int main(int argc, char** argv) {
         {"zfpx-acc1e-6 osc pscw piped plan", XMode::kOscPlan, zacc6, true,
          false, kPscw, 4},
     };
+    // Coded exchange under injected stragglers: a probabilistic delay plan
+    // parks a slice of the one-sided puts past the epoch close. With m = 0
+    // the target must flush-and-wait for every late frame; with m > 0 it
+    // reconstructs the missing chunk from parity instead of waiting, which
+    // is the latency the coded wire format buys. The delay seed is fixed so
+    // the three rows face an identical fault stream.
+    minimpi::FaultPlan straggle;
+    straggle.seed = 0x5eed5eedull;
+    straggle.delay_prob = 0.15;
+    for (const int m : {0, 1, 2}) {
+      XCfg c;
+      c.label = "fp32 osc plan delay15% m" + std::to_string(m);
+      c.mode = XMode::kOscPlan;
+      c.codec = fp32;
+      c.parity = m;
+      c.faults = &straggle;
+      xcfgs.push_back(std::move(c));
+    }
     // "auto" rows: the model-guided tuner (src/tuner/) resolves each codec
     // class at this exchange signature — calibrating on first use or
     // reading LOSSYFFT_TUNE_CACHE — and the picked path/sync/fan-out runs
@@ -255,6 +281,7 @@ int main(int argc, char** argv) {
     TablePrinter xt({"exchange only", "ms/exchange", "wire ratio"});
     for (const auto& xcfg : xcfgs) {
       double xms = 0, xratio = 1;
+      std::uint64_t xrecon = 0, xwaits = 0;
       minimpi::MinimpiOptions mo;
       if (xcfg.eager_only) {
         mo.rendezvous_threshold = minimpi::kEagerOnlyThreshold;
@@ -273,6 +300,8 @@ int main(int argc, char** argv) {
         oo.fused = xcfg.fused;
         oo.sync = xcfg.sync;
         oo.workers = xcfg.workers;
+        oo.parity = xcfg.parity;
+        oo.fault_plan = xcfg.faults;
         std::unique_ptr<osc::ExchangePlan> plan;
         if (xcfg.mode == XMode::kOscPlan || xcfg.mode == XMode::kTwoPlan) {
           plan = std::make_unique<osc::ExchangePlan>(
@@ -305,6 +334,10 @@ int main(int argc, char** argv) {
               st = plan->execute(send, recvb);
               break;
           }
+          if (xcfg.faults != nullptr && comm.rank() == 0) {
+            xrecon += st.chunks_reconstructed;
+            xwaits += st.straggler_waits;
+          }
         }
         comm.barrier();
         if (comm.rank() == 0) {
@@ -314,7 +347,13 @@ int main(int argc, char** argv) {
       });
       xt.add_row({xcfg.label, TablePrinter::fmt(xms, 3),
                   TablePrinter::fmt(xratio, 2)});
-      xrows.push_back({xcfg.label, xms, xratio});
+      XRow xr{xcfg.label, xms, xratio};
+      if (xcfg.faults != nullptr) {
+        xr.parity = xcfg.parity;
+        xr.reconstructed = xrecon;
+        xr.straggler_waits = xwaits;
+      }
+      xrows.push_back(std::move(xr));
     }
 
     // --- Pack elision on a real reshape ------------------------------------
@@ -372,6 +411,15 @@ int main(int argc, char** argv) {
       }
     }
     xt.print();
+    std::printf("coded rows under delay_prob=0.15 (rank-0 totals over %d "
+                "exchanges):\n", xiters);
+    for (const XRow& r : xrows) {
+      if (r.parity < 0) continue;
+      std::printf("  %-28s m=%d  reconstructed=%llu  flush_waits=%llu\n",
+                  r.label.c_str(), r.parity,
+                  static_cast<unsigned long long>(r.reconstructed),
+                  static_cast<unsigned long long>(r.straggler_waits));
+    }
   }
 
   // Which of the default pencil pipeline's four reshapes elide packing at
@@ -403,6 +451,10 @@ int main(int argc, char** argv) {
                  "rows are scheduler noise, not fan-out cost. exchange_ms "
                  "on an oversubscribed host is dominated by compute arrival "
                  "skew; see exchange_only for the transport-only number.\",\n"
+                 "  \"faults\": {\"delay_prob\": 0.15, "
+                 "\"seed\": \"0x5eed5eed\", \"note\": \"exchange_only rows "
+                 "carrying a parity field ran under this probabilistic "
+                 "delay plan; all other rows ran fault-free\"},\n"
                  "  \"pencil_reshape_pack_elided\": [%s, %s, %s, %s],\n"
                  "  \"configs\": [\n",
                  n[0], n[1], n[2], ranks, iters, simd_level_name(),
@@ -425,11 +477,18 @@ int main(int argc, char** argv) {
     // on an oversubscribed host (see the note printed above).
     std::fprintf(f, "  ],\n  \"exchange_only\": [\n");
     for (std::size_t i = 0; i < xrows.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"config\": \"%s\", \"ms_per_exchange\": %.3f, "
-                   "\"wire_ratio\": %.4f}%s\n",
-                   xrows[i].label.c_str(), xrows[i].ms, xrows[i].ratio,
-                   i + 1 < xrows.size() ? "," : "");
+      const XRow& r = xrows[i];
+      std::fprintf(f, "    {\"config\": \"%s\", \"ms_per_exchange\": %.3f, "
+                      "\"wire_ratio\": %.4f", r.label.c_str(), r.ms, r.ratio);
+      if (r.parity >= 0) {
+        std::fprintf(f,
+                     ", \"parity\": %d, \"chunks_reconstructed\": %llu, "
+                     "\"straggler_waits\": %llu",
+                     r.parity,
+                     static_cast<unsigned long long>(r.reconstructed),
+                     static_cast<unsigned long long>(r.straggler_waits));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < xrows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

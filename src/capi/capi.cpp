@@ -73,8 +73,15 @@ int lossyfft_comm_size(const lossyfft_comm* comm) {
 
 lossyfft_plan* lossyfft_plan_c2c(lossyfft_comm* comm, int nx, int ny, int nz,
                                  double e_tol, int backend) {
-  if (comm == nullptr) return nullptr;
+  return lossyfft_plan_c2c_ex(comm, nx, ny, nz, e_tol, backend, 0);
+}
+
+lossyfft_plan* lossyfft_plan_c2c_ex(lossyfft_comm* comm, int nx, int ny,
+                                    int nz, double e_tol, int backend,
+                                    int parity) {
+  if (comm == nullptr || parity < 0) return nullptr;
   lossyfft::Fft3dOptions options;
+  options.exchange_parity = parity;
   switch (backend) {
     case LOSSYFFT_BACKEND_PAIRWISE:
       options.backend = lossyfft::ExchangeBackend::kPairwise;

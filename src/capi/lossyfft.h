@@ -47,6 +47,18 @@ int lossyfft_comm_size(const lossyfft_comm* comm);
 lossyfft_plan* lossyfft_plan_c2c(lossyfft_comm* comm, int nx, int ny, int nz,
                                  double e_tol, int backend);
 
+/* Extended planner: like lossyfft_plan_c2c plus the coded-exchange parity
+ * budget. parity = m > 0 ships m erasure-coded parity frames per exchange
+ * round so a receiver reconstructs up to m missing / late / corrupt
+ * arrivals instead of stalling; 0 keeps the uncoded wire (and under
+ * LOSSYFFT_BACKEND_AUTO lets the autotuner pick m from its straggler
+ * model). Fault-free coded results are bit-identical to uncoded. Only
+ * planned backends (codec or OSC/AUTO) carry parity; parity < 0 or beyond
+ * the transport budget (8) fails. */
+lossyfft_plan* lossyfft_plan_c2c_ex(lossyfft_comm* comm, int nx, int ny,
+                                    int nz, double e_tol, int backend,
+                                    int parity);
+
 void lossyfft_plan_destroy(lossyfft_plan* plan);
 
 /* Number of complex elements in this rank's brick. */

@@ -89,6 +89,15 @@ struct Fft3dOptions {
   /// pack stage on ranks whose send sub-volumes are contiguous in the
   /// source field. Byte-identical either way; false forces packing.
   bool pack_elision = true;
+  /// Coded-exchange parity per message group for every planned reshape
+  /// (ReshapeOptions::exchange_parity): m > 0 ships m erasure-coded parity
+  /// frames per round so targets reconstruct up to m missing / late /
+  /// corrupt arrivals. Zero-fault coded runs stay byte-identical to
+  /// uncoded; under autotune the tuner's pick fills in a 0 here.
+  int exchange_parity = 0;
+  /// Deterministic fault-injection plan for every planned reshape (tests;
+  /// ReshapeOptions::fault_plan). Must outlive the Fft3d.
+  const minimpi::FaultPlan* fault_plan = nullptr;
 
   ReshapeOptions reshape_options() const {
     ReshapeOptions ro;
@@ -100,6 +109,8 @@ struct Fft3dOptions {
     ro.workers = reshape_workers;
     ro.batch = batch_fields < 1 ? 1 : batch_fields;
     ro.pack_elision = pack_elision;
+    ro.exchange_parity = exchange_parity;
+    ro.fault_plan = fault_plan;
     return ro;
   }
 };

@@ -167,6 +167,11 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
       options_.osc_sync = d.sync();
       options_.workers = d.workers;
       workers_ = resolve_workers(options_.workers);
+      // The tuner's parity pick only fills in an unset knob: an explicit
+      // exchange_parity is the caller's resilience requirement.
+      if (options_.exchange_parity == 0) {
+        options_.exchange_parity = d.parity;
+      }
       tuned_ = d;
     }
   }
@@ -256,6 +261,8 @@ Reshape<E>::Reshape(minimpi::Comm& comm, std::vector<Box3> all_in,
       oo.sync = options_.osc_sync;
       oo.workers = workers_;
       oo.batch = options_.batch;
+      oo.parity = options_.exchange_parity;
+      oo.fault_plan = options_.fault_plan;
       if (tuned_) oo.fused = tuned_->fused();
       const osc::PlanBackend backend =
           tuned_ ? tuned_->plan_backend()

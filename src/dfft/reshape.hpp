@@ -84,6 +84,18 @@ struct ReshapeOptions {
   /// fence / PSCW handshake cost once instead of k times. 1 (default)
   /// keeps the single-field footprint.
   int batch = 1;
+  /// Coded-exchange parity chunks per message group (OscOptions::parity):
+  /// m > 0 makes the planned exchange ship m erasure-coded parity frames
+  /// alongside each round's data so targets reconstruct up to m missing /
+  /// late / corrupt arrivals. Zero-fault coded runs are byte-identical to
+  /// uncoded. Ignored on unplanned paths. Under kAuto the tuner's parity
+  /// pick overrides a 0 here.
+  int exchange_parity = 0;
+  /// Deterministic fault-injection plan threaded into the planned
+  /// exchange's transport (tests; OscOptions::fault_plan). Must outlive
+  /// the Reshape. Installing a plan forces the coded framed wire even at
+  /// exchange_parity == 0.
+  const minimpi::FaultPlan* fault_plan = nullptr;
 };
 
 template <typename E>

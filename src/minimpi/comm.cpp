@@ -1,7 +1,9 @@
 #include "minimpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -61,25 +63,59 @@ int Comm::world_rank_of(int r) const {
   return group_[static_cast<std::size_t>(r)];
 }
 
+void Comm::set_fault(const FaultPlan* plan, std::uint64_t epoch) {
+  fault_plan_ = plan != nullptr && plan->enabled() ? plan : nullptr;
+  fault_epoch_ = epoch;
+  fault_seq_.assign(static_cast<std::size_t>(size()), 0);
+}
+
 bool Comm::use_rendezvous(std::size_t bytes) const {
   // Zero-byte messages always stay eager: they carry no payload to copy, so
   // a handshake would be pure latency (barriers/PSCW are all zero-byte).
   return bytes > 0 && bytes >= state_->options().rendezvous_threshold;
 }
 
+FaultKind Comm::send_fault(int dest) {
+  const std::uint32_t idx = fault_seq_[static_cast<std::size_t>(dest)]++;
+  FaultKind kind = fault_plan_->decide(fault_epoch_, rank_, dest, idx);
+  // Reliable in-order transport: a true drop would leave the receiver
+  // blocked on a recv that never matches, so it degrades to corrupt —
+  // damaged but detectable content (see comm.hpp).
+  if (kind == FaultKind::kDrop) {
+    ++fault_stats_.drops;
+    kind = FaultKind::kCorrupt;
+  } else if (kind == FaultKind::kCorrupt) {
+    ++fault_stats_.corrupts;
+  } else if (kind == FaultKind::kDelay) {
+    ++fault_stats_.delays;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    kind = FaultKind::kNone;
+  }
+  return kind;
+}
+
 detail::Envelope* Comm::post_message(std::span<const std::byte> data, int dest,
                                      int tag) {
   LFFT_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
+  const bool corrupt = fault_plan_ != nullptr && !data.empty() &&
+                       send_fault(dest) == FaultKind::kCorrupt;
   detail::Envelope* e =
       state_->pool().acquire(world_rank_of(rank_), rank_, tag, ctx_);
   e->size = data.size();
   state_->note_message_posted();
   if (use_rendezvous(data.size())) {
+    if (corrupt) {
+      // Fault scopes are only enabled around sends whose buffers the
+      // enabling layer owns (comm.hpp contract), so the published bytes
+      // are writable in fact even though this signature takes them const.
+      const_cast<std::byte*>(data.data())[data.size() / 2] ^= std::byte{0x5a};
+    }
     e->zptr = data.data();
     state_->mailbox(world_rank_of(dest)).push(e);
     return e;
   }
   e->data.assign(data.begin(), data.end());
+  if (corrupt) e->data[data.size() / 2] ^= std::byte{0x5a};
   state_->mailbox(world_rank_of(dest)).push(e);
   return nullptr;
 }
@@ -164,6 +200,10 @@ Comm::Request Comm::isend_produce(std::size_t bytes,
   } catch (...) {
     state_->pool().release(e);
     throw;
+  }
+  if (fault_plan_ != nullptr && bytes > 0 &&
+      send_fault(dest) == FaultKind::kCorrupt) {
+    e->data[bytes / 2] ^= std::byte{0x5a};
   }
   state_->note_message_posted();
   state_->mailbox(world_rank_of(dest)).push(e);

@@ -12,6 +12,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "minimpi/fault.hpp"
 #include "minimpi/state.hpp"
 #include "minimpi/types.hpp"
 
@@ -186,6 +187,27 @@ class Comm {
     return split(rank() / gpus_per_node, rank());
   }
 
+  // --- Deterministic fault injection (minimpi/fault.hpp) ------------------
+  // Scoped: the layer that owns the in-flight payload buffers (the coded
+  // two-sided exchange) installs the plan around *its own* sends and clears
+  // it before any control traffic runs. Decisions are per (fault epoch,
+  // this rank, dest, send_index). The transport is reliable and in-order,
+  // so the semantics degrade honestly: kDrop lands as kCorrupt (content is
+  // damaged but detectable, never silently missing — a receiver blocked on
+  // a recv that will never match would hang, not fail loudly) and kDelay is
+  // a short real stall of the sender (a straggler, recovered by the
+  // receiver's parity fallback or by simply waiting it out).
+  //
+  // Rendezvous sends publish the caller's buffer; a kCorrupt verdict flips
+  // a byte *in that buffer*. Enable a fault scope only around sends whose
+  // buffers the enabling layer owns and rewrites each epoch.
+
+  /// Install (plan != nullptr) or clear (nullptr) the fault scope for
+  /// epoch `epoch`. Resets the per-destination send counters. Local.
+  void set_fault(const FaultPlan* plan, std::uint64_t epoch);
+  /// Injection tallies for sends this Comm issued under fault scopes.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   // --- Internals shared with Window / alltoall algorithms ----------------
   detail::SharedState& state() const { return *state_; }
   ContextId context() const { return ctx_; }
@@ -221,6 +243,10 @@ class Comm {
   /// (after releasing the peer) when the payload does not fit.
   Status complete_recv(detail::Envelope* e, std::span<std::byte> data,
                        const char* oversize_msg);
+  /// Fault-scope verdict for one send to `dest` (kDrop already degraded to
+  /// kCorrupt, kDelay's stall already served). kCorrupt means the caller
+  /// must flip a payload byte in whichever buffer carries the message.
+  FaultKind send_fault(int dest);
 
   std::shared_ptr<detail::SharedState> state_;
   ContextId ctx_ = 0;
@@ -228,6 +254,10 @@ class Comm {
   int rank_ = 0;
   mutable std::uint64_t split_epoch_ = 0;
   mutable std::uint64_t window_epoch_ = 0;
+  const FaultPlan* fault_plan_ = nullptr;  // Scoped by set_fault.
+  std::uint64_t fault_epoch_ = 0;
+  std::vector<std::uint32_t> fault_seq_;  // Per-dest send counters.
+  FaultStats fault_stats_;
   // Cached per-context barrier state (stable address inside SharedState).
   detail::BarrierState* barrier_ = nullptr;
 };

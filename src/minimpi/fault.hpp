@@ -1,0 +1,122 @@
+// Deterministic fault and straggler injection for the minimpi transport.
+//
+// A FaultPlan is a pure function from (epoch, src, dst, put_index) to a
+// fault decision: every rank holding the same plan computes the same
+// verdicts with no shared state and no RNG stream ordering, so a faulty run
+// is exactly reproducible from the plan alone — the property the resilience
+// conformance suite (tests/failure_test.cpp) and the fuzz soak's rotating
+// fault seeds rely on. Two decision sources compose:
+//
+//  * `targeted` — explicit (epoch, src, dst, put_index) entries, the
+//    surgical mode the conformance suite uses to hit every (round, src)
+//    position exactly once;
+//  * seed-driven probabilities — a splitmix64-style hash of
+//    (seed, epoch, src, dst, put_index) mapped to [0, 1) and compared
+//    against the drop/delay/corrupt thresholds, the fuzz mode.
+//
+// The plan is *policy only*. The mechanism lives in the transport:
+// Window::put/put_with_header consult the plan installed via
+// Window::set_fault_plan (one decision per put; a dropped put writes
+// nothing, a delayed put parks in the exposure's delayed queue until the
+// target's Window::flush_delayed, a corrupted put lands with one payload
+// byte — or one header bit — flipped), and Comm::set_fault brackets the
+// two-sided fused exchange the same way (reliable in-order transport, so
+// drop degrades to corrupt and delay to a short real stall; content is
+// never silently lost without detection). Control traffic — collectives,
+// PSCW handshakes, rendezvous wakeups — is never faulted: only the layer
+// that owns the payload enables a fault scope around its own puts/sends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lossyfft::minimpi {
+
+/// Verdict for one put/send.
+enum class FaultKind : int {
+  kNone = 0,
+  kDrop = 1,     // The bytes never land (erasure).
+  kDelay = 2,    // Window: parked until flush_delayed; Comm: a real stall.
+  kCorrupt = 3,  // Lands with one payload byte (or header bit) flipped.
+};
+
+/// One surgical injection: fault the `put_index`-th put (0-based, counted
+/// per (epoch, src→dst) pair in issue order) of epoch `epoch` from `src`
+/// to `dst`. `put_index < 0` faults every put of the pair.
+struct FaultSpec {
+  std::uint64_t epoch = 0;
+  int src = 0;
+  int dst = 0;
+  int put_index = -1;
+  FaultKind kind = FaultKind::kDrop;
+  /// kCorrupt only: flip a bit in the slot *header word* instead of the
+  /// payload (the FailureHeader regression: a corrupted header must read
+  /// as an erasure, never as a trusted length).
+  bool header = false;
+};
+
+/// Deterministic per-put fault decisions; see file comment.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double corrupt_prob = 0.0;
+  std::vector<FaultSpec> targeted;
+
+  bool enabled() const {
+    return !targeted.empty() ||
+           drop_prob + delay_prob + corrupt_prob > 0.0;
+  }
+
+  /// Uniform [0, 1) hash of the decision coordinates (splitmix64 finalizer
+  /// over the mixed key — no sequential RNG state, so decisions are
+  /// order-independent and replayable).
+  static double hash_unit(std::uint64_t seed, std::uint64_t epoch, int src,
+                          int dst, std::uint32_t put_index) {
+    std::uint64_t x = seed;
+    x ^= epoch * 0x9e3779b97f4a7c15ull;
+    x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+          static_cast<std::uint32_t>(dst)) *
+         0xbf58476d1ce4e5b9ull;
+    x ^= static_cast<std::uint64_t>(put_index) * 0x94d049bb133111ebull;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+
+  /// Decide the fate of one put. `header_out` (optional) reports whether a
+  /// kCorrupt verdict targets the header word rather than the payload.
+  FaultKind decide(std::uint64_t epoch, int src, int dst,
+                   std::uint32_t put_index, bool* header_out = nullptr) const {
+    if (header_out != nullptr) *header_out = false;
+    for (const FaultSpec& t : targeted) {
+      if (t.epoch == epoch && t.src == src && t.dst == dst &&
+          (t.put_index < 0 ||
+           static_cast<std::uint32_t>(t.put_index) == put_index)) {
+        if (header_out != nullptr) *header_out = t.header;
+        return t.kind;
+      }
+    }
+    const double total = drop_prob + delay_prob + corrupt_prob;
+    if (total <= 0.0) return FaultKind::kNone;
+    const double u = hash_unit(seed, epoch, src, dst, put_index);
+    if (u < drop_prob) return FaultKind::kDrop;
+    if (u < drop_prob + delay_prob) return FaultKind::kDelay;
+    if (u < total) return FaultKind::kCorrupt;
+    return FaultKind::kNone;
+  }
+};
+
+/// Injection tallies, per Window / per Comm fault scope. Tests read these
+/// to assert a run actually exercised the fault path it claims to cover.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corrupts = 0;
+
+  std::uint64_t total() const { return drops + delays + corrupts; }
+};
+
+}  // namespace lossyfft::minimpi

@@ -114,6 +114,20 @@ struct BarrierState {
   std::atomic<std::uint32_t> generation{0};
 };
 
+/// A put parked by fault injection (FaultKind::kDelay): the full effect of
+/// the original call — payload bytes and, for put_with_header, the notify
+/// word — captured at put time and replayed only when the *target* rank
+/// calls Window::flush_delayed. Nothing lands asynchronously, so a delayed
+/// chunk is invisible to the target's header scan until the target itself
+/// elects to wait — the deterministic model of a straggling arrival.
+struct DelayedPut {
+  int target = 0;  // Comm rank whose window region the put addresses.
+  std::size_t slot_offset = 0;
+  bool has_header = false;
+  std::uint64_t header = 0;
+  std::vector<std::byte> payload;
+};
+
 /// Window exposure record: where rank r's exposed span lives.
 struct WindowExposure {
   std::vector<std::span<std::byte>> spans;  // Indexed by comm rank.
@@ -123,6 +137,11 @@ struct WindowExposure {
   std::mutex accumulate_mu;
   /// Per-target passive-target locks (MPI_Win_lock, exclusive mode).
   std::deque<std::mutex> target_locks;
+  /// Fault injection: puts parked by FaultKind::kDelay, drained by the
+  /// target's Window::flush_delayed. Mutex-protected (any origin may park,
+  /// any target may drain); empty — and never locked — in fault-free runs.
+  std::mutex delayed_mu;
+  std::vector<DelayedPut> delayed;
 };
 
 /// State shared by every rank thread of one Runtime.

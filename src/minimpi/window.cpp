@@ -1,5 +1,6 @@
 #include "minimpi/window.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -48,8 +49,18 @@ void Window::put(std::span<const std::byte> origin, int target_rank,
       exposure_->spans[static_cast<std::size_t>(target_rank)];
   LFFT_REQUIRE(target_offset + origin.size() <= target.size(),
                "put: write beyond target window");
+  FaultKind fault = FaultKind::kNone;
+  if (fault_plan_ != nullptr) {
+    bool corrupt_header = false;
+    fault = fault_verdict(target_rank, origin, target_offset,
+                          /*has_header=*/false, 0, &corrupt_header);
+    if (fault == FaultKind::kDrop || fault == FaultKind::kDelay) return;
+  }
   if (!origin.empty()) {
     std::memcpy(target.data() + target_offset, origin.data(), origin.size());
+    if (fault == FaultKind::kCorrupt) {
+      target[target_offset + origin.size() / 2] ^= std::byte{0x5a};
+    }
   }
 }
 
@@ -79,9 +90,25 @@ void Window::put_with_header(std::span<const std::byte> payload,
   // Validate the header word (bounds + alignment) before touching the
   // payload bytes, so a rejected put leaves the slot untouched.
   std::uint64_t* const hw = header_word(target, slot_offset);
+  FaultKind fault = FaultKind::kNone;
+  bool corrupt_header = false;
+  if (fault_plan_ != nullptr) {
+    fault = fault_verdict(target_rank, payload, slot_offset,
+                          /*has_header=*/true, header, &corrupt_header);
+    if (fault == FaultKind::kDrop || fault == FaultKind::kDelay) return;
+    if (fault == FaultKind::kCorrupt && corrupt_header) {
+      // Flip a bit of the epoch-sequence field: the header still *looks*
+      // written, but carries wrong metadata — the FailureHeader scenario.
+      header ^= std::uint64_t{1} << 52;
+    }
+  }
   if (!payload.empty()) {
     std::memcpy(target.data() + slot_offset + kHeaderWordBytes, payload.data(),
                 payload.size());
+    if (fault == FaultKind::kCorrupt && !corrupt_header) {
+      target[slot_offset + kHeaderWordBytes + payload.size() / 2] ^=
+          std::byte{0x5a};
+    }
   }
   // Release after the payload memcpy: an acquire-loader of this word sees
   // the payload complete.
@@ -181,6 +208,104 @@ void Window::unlock(int target_rank) {
 std::size_t Window::size_at(int rank) const {
   LFFT_REQUIRE(rank >= 0 && rank < comm_.size(), "size_at: bad rank");
   return exposure_->spans[static_cast<std::size_t>(rank)].size();
+}
+
+void Window::set_fault_plan(const FaultPlan* plan) {
+  fault_plan_ = plan != nullptr && plan->enabled() ? plan : nullptr;
+  fault_seq_.assign(static_cast<std::size_t>(comm_.size()), 0);
+}
+
+void Window::set_fault_epoch(std::uint64_t epoch) {
+  fault_epoch_ = epoch;
+  if (fault_plan_ != nullptr) {
+    std::fill(fault_seq_.begin(), fault_seq_.end(), 0);
+    // Purge stale parked puts addressed to this rank: the previous epoch's
+    // closing synchronization already decided their fate (reconstructed
+    // from parity or flushed), and applying one later would clobber a
+    // fresh slot with last epoch's bytes. Epochs are separated by a
+    // fence / complete+wait on every rank, so no put of the old epoch can
+    // still be parking entries concurrently.
+    const int me = comm_.rank();
+    std::lock_guard lk(exposure_->delayed_mu);
+    auto& q = exposure_->delayed;
+    for (std::size_t i = 0; i < q.size();) {
+      if (q[i].target == me) {
+        q[i] = std::move(q.back());
+        q.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+FaultKind Window::fault_verdict(int target_rank,
+                                std::span<const std::byte> payload,
+                                std::size_t slot_offset, bool has_header,
+                                std::uint64_t header, bool* corrupt_header) {
+  const auto t = static_cast<std::size_t>(target_rank);
+  const std::uint32_t idx = fault_seq_[t]++;
+  const FaultKind kind = fault_plan_->decide(fault_epoch_, comm_.rank(),
+                                             target_rank, idx, corrupt_header);
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDrop:
+      ++fault_stats_.drops;
+      break;
+    case FaultKind::kDelay: {
+      ++fault_stats_.delays;
+      detail::DelayedPut d;
+      d.target = target_rank;
+      d.slot_offset = slot_offset;
+      d.has_header = has_header;
+      d.header = header;
+      d.payload.assign(payload.begin(), payload.end());
+      std::lock_guard lk(exposure_->delayed_mu);
+      exposure_->delayed.push_back(std::move(d));
+      break;
+    }
+    case FaultKind::kCorrupt:
+      // An empty payload offers nothing to flip; only a header-carrying
+      // put can still be faulted (via its metadata word).
+      if (payload.empty() && !(has_header && *corrupt_header)) {
+        return FaultKind::kNone;
+      }
+      ++fault_stats_.corrupts;
+      break;
+  }
+  return kind;
+}
+
+std::size_t Window::flush_delayed() {
+  const int me = comm_.rank();
+  std::span<std::byte> local =
+      exposure_->spans[static_cast<std::size_t>(me)];
+  std::size_t applied = 0;
+  std::lock_guard lk(exposure_->delayed_mu);
+  auto& q = exposure_->delayed;
+  for (std::size_t i = 0; i < q.size();) {
+    if (q[i].target != me) {
+      ++i;
+      continue;
+    }
+    const detail::DelayedPut& d = q[i];
+    const std::size_t payload_off =
+        d.slot_offset + (d.has_header ? kHeaderWordBytes : 0);
+    LFFT_ASSERT(payload_off + d.payload.size() <= local.size());
+    if (!d.payload.empty()) {
+      std::memcpy(local.data() + payload_off, d.payload.data(),
+                  d.payload.size());
+    }
+    if (d.has_header) {
+      std::atomic_ref<std::uint64_t>(*header_word(local, d.slot_offset))
+          .store(d.header, std::memory_order_release);
+    }
+    ++applied;
+    q[i] = std::move(q.back());
+    q.pop_back();
+  }
+  return applied;
 }
 
 }  // namespace lossyfft::minimpi

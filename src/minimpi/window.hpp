@@ -19,6 +19,7 @@
 #include <span>
 
 #include "minimpi/comm.hpp"
+#include "minimpi/fault.hpp"
 
 namespace lossyfft::minimpi {
 
@@ -112,12 +113,47 @@ class Window {
 
   std::size_t size_at(int rank) const;
 
+  // --- Deterministic fault injection (minimpi/fault.hpp) ------------------
+  // Policy installed by the layer that owns the puts (the coded exchange
+  // plan); disabled (`nullptr`) the put paths cost one untaken branch.
+  // Decisions are per (fault epoch, this rank, target, put_index) where
+  // put_index counts this window's put/put_with_header calls to `target`
+  // since the last set_fault_epoch — deterministic because the plan's put
+  // order is.
+
+  /// Install (or clear, with nullptr) the fault plan. Non-owning: the plan
+  /// must outlive the window or the next set_fault_plan(nullptr). Local.
+  void set_fault_plan(const FaultPlan* plan);
+  /// Begin fault epoch `epoch`: resets the per-target put counters so
+  /// decisions are reproducible per epoch. Local.
+  void set_fault_epoch(std::uint64_t epoch);
+  /// Target side: land every delayed put parked for *this rank's* window
+  /// region — the "fall back to waiting" step of coded decode. Returns the
+  /// number of puts applied. Local; payload copies and header release-
+  /// stores happen on the calling (target) thread, so a subsequent header
+  /// scan observes them without further synchronization.
+  std::size_t flush_delayed();
+  /// Injection tallies for puts *this rank* issued (origin side).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
+  /// Consult the installed plan for a put of `payload_bytes` to
+  /// `target_rank`; applies drop/delay bookkeeping and returns the verdict
+  /// the caller must honor (kNone/kCorrupt: proceed — kCorrupt flips a
+  /// byte after landing; kDrop/kDelay: return without writing).
+  FaultKind fault_verdict(int target_rank, std::span<const std::byte> payload,
+                          std::size_t slot_offset, bool has_header,
+                          std::uint64_t header, bool* corrupt_header);
+
   Comm& comm_;
   std::uint64_t epoch_;
   detail::WindowExposure* exposure_ = nullptr;
   std::vector<int> pscw_targets_;  // Open access epoch (start..complete).
   std::vector<int> pscw_origins_;  // Open exposure epoch (post..wait).
+  const FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t fault_epoch_ = 0;
+  std::vector<std::uint32_t> fault_seq_;  // Per-target put counters.
+  FaultStats fault_stats_;
 };
 
 }  // namespace lossyfft::minimpi

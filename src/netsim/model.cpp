@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "common/error.hpp"
@@ -17,6 +18,20 @@ double effective_inter_bw(const NetworkParams& p, double flows) {
   return p.inter_bw / (1.0 + penalty);
 }
 
+// P(Binomial(n, q) > a), by the incremental pmf recurrence — n stays small
+// (flows per node per phase), so the sum is exact and cheap.
+double binom_tail_gt(double n, double q, int a) {
+  if (q <= 0.0 || n <= static_cast<double>(a)) return 0.0;
+  if (q >= 1.0) return 1.0;
+  double pmf = std::pow(1.0 - q, n);
+  double cdf = pmf;
+  for (int i = 0; i < a && static_cast<double>(i) < n; ++i) {
+    pmf *= (n - i) / (i + 1) * q / (1.0 - q);
+    cdf += pmf;
+  }
+  return std::max(0.0, 1.0 - cdf);
+}
+
 }  // namespace
 
 SimResult simulate(const Topology& topo, const Schedule& sched,
@@ -28,7 +43,11 @@ SimResult simulate(const Topology& topo, const Schedule& sched,
                                   : params.msg_overhead_one_sided;
 
   std::vector<double> egress(n), ingress(n), intra(n);
-  std::vector<double> msgs(n), flows(n);
+  std::vector<double> msgs(n), flows(n), inflows(n);
+  // Inbound per-rank delays, gathered per node each phase for the
+  // deterministic straggler term.
+  const bool rank_delays = !params.rank_delay_seconds.empty();
+  std::vector<std::vector<double>> indelay(rank_delays ? n : 0);
 
   for (const Phase& phase : sched.phases) {
     std::fill(egress.begin(), egress.end(), 0.0);
@@ -36,6 +55,8 @@ SimResult simulate(const Topology& topo, const Schedule& sched,
     std::fill(intra.begin(), intra.end(), 0.0);
     std::fill(msgs.begin(), msgs.end(), 0.0);
     std::fill(flows.begin(), flows.end(), 0.0);
+    std::fill(inflows.begin(), inflows.end(), 0.0);
+    for (auto& d : indelay) d.clear();
 
     for (const Message& m : phase.messages) {
       LFFT_REQUIRE(m.src >= 0 && m.src < topo.ranks() && m.dst >= 0 &&
@@ -54,15 +75,39 @@ SimResult simulate(const Topology& topo, const Schedule& sched,
       msgs[sn] += 1.0;
       flows[sn] += 1.0;
       flows[dn] += 1.0;
+      inflows[dn] += 1.0;
+      if (rank_delays) {
+        const auto r = static_cast<std::size_t>(m.src);
+        const double d = r < params.rank_delay_seconds.size()
+                             ? params.rank_delay_seconds[r]
+                             : 0.0;
+        if (d > 0.0) indelay[dn].push_back(d);
+      }
     }
 
+    const int absorb = std::max(0, sched.parity_absorb);
     double phase_time = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double bw = effective_inter_bw(params, flows[i]);
       const double wire = std::max(egress[i], ingress[i]) / bw;
       const double local = intra[i] / params.intra_bw;
       const double overhead = msgs[i] * msg_overhead;
-      phase_time = std::max(phase_time, wire + local + overhead);
+      // Receiver-side straggler stall: the node waits for its slowest
+      // inbound arrivals minus the `absorb` a coded exchange reconstructs
+      // around (deterministic injected delays), plus the expected stall of
+      // random per-flow lateness.
+      double straggle = 0.0;
+      if (rank_delays && indelay[i].size() > static_cast<std::size_t>(absorb)) {
+        auto& d = indelay[i];
+        std::nth_element(d.begin(), d.begin() + absorb, d.end(),
+                         std::greater<double>());
+        straggle += d[static_cast<std::size_t>(absorb)];
+      }
+      if (params.straggler_prob > 0.0 && params.straggler_seconds > 0.0) {
+        straggle += params.straggler_seconds *
+                    binom_tail_gt(inflows[i], params.straggler_prob, absorb);
+      }
+      phase_time = std::max(phase_time, wire + local + overhead + straggle);
     }
     phase_time += params.base_latency;
     if (sched.phase_barrier) {

@@ -54,6 +54,11 @@ struct Schedule {
   /// Extra per-phase synchronization cost multiplier (e.g. a fence costs a
   /// log(p)-depth barrier); 0 for algorithms that synchronize pairwise.
   bool phase_barrier = false;
+  /// Late inbound flows a receiver can absorb per phase without stalling
+  /// (the coded exchange's parity budget m): with m parity chunks a target
+  /// reconstructs up to m missing arrivals instead of waiting for them, so
+  /// only the (m+1)-th slowest inbound flow costs time. 0 = uncoded.
+  int parity_absorb = 0;
 };
 
 /// Calibrated machine constants. Defaults approximate Summit as described
@@ -73,6 +78,21 @@ struct NetworkParams {
   // *input* processed per second, and fixed kernel launch cost per chunk.
   double compress_bw = 200e9;
   double kernel_launch = 4e-6;
+
+  // Straggler model (receiver side — the cost of a late arrival lands on
+  // the node that waits for it, which is what the coded exchange's parity
+  // absorbs). Two terms per phase and node:
+  //  * deterministic: an inbound flow from world rank r arrives
+  //    rank_delay_seconds[r] late (an injected per-rank slowdown — a flaky
+  //    uplink, a throttled GPU). The receiver pays the (parity_absorb+1)-th
+  //    largest inbound delay: coded targets reconstruct the m slowest
+  //    arrivals instead of waiting.
+  //  * probabilistic: every inbound flow is independently late by
+  //    straggler_seconds with probability straggler_prob; the expected
+  //    stall is straggler_seconds * P(Binomial(inflows, prob) > absorb).
+  double straggler_prob = 0.0;
+  double straggler_seconds = 0.0;
+  std::vector<double> rank_delay_seconds;  // Per world rank; empty = none.
 };
 
 /// Result of timing a schedule.

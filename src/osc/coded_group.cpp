@@ -1,0 +1,167 @@
+#include "osc/coded_group.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lossyfft::osc::coded {
+
+namespace {
+
+// log/exp tables over GF(256) with generator 2 (primitive for 0x11d —
+// generator 3, the AES-field choice, has order 51 here and would leave
+// the tables inconsistent). Built once; lookups after that are two loads
+// and an add.
+struct GfTables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+  GfTables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      // x *= 2 in GF(256), reduced by 0x11d.
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    // Mirror so exp[a + b] never needs a mod-255 reduction.
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const GfTables& tables() {
+  static const GfTables t;
+  return t;
+}
+
+// dst ^= c * src, byte-wise over the overlap length.
+void gf_mul_acc(std::span<std::byte> dst, std::span<const std::byte> src,
+                std::uint8_t c) {
+  if (c == 0) return;
+  const std::size_t n = std::min(dst.size(), src.size());
+  if (c == 1) {
+    for (std::size_t b = 0; b < n; ++b) dst[b] ^= src[b];
+    return;
+  }
+  const GfTables& t = tables();
+  const int lc = t.log[c];
+  for (std::size_t b = 0; b < n; ++b) {
+    const auto s = static_cast<std::uint8_t>(src[b]);
+    if (s != 0) {
+      dst[b] ^= static_cast<std::byte>(
+          t.exp[static_cast<std::size_t>(lc + t.log[s])]);
+    }
+  }
+}
+
+// dst *= c in place.
+void gf_scale(std::span<std::byte> dst, std::uint8_t c) {
+  if (c == 1) return;
+  LFFT_ASSERT(c != 0);
+  const GfTables& t = tables();
+  const int lc = t.log[c];
+  for (std::byte& v : dst) {
+    const auto s = static_cast<std::uint8_t>(v);
+    if (s != 0) {
+      v = static_cast<std::byte>(t.exp[static_cast<std::size_t>(lc + t.log[s])]);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a] + t.log[b])];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  LFFT_ASSERT(a != 0);
+  const GfTables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+std::uint8_t rs_coeff(int j, int i) {
+  LFFT_ASSERT(j >= 0 && j < kMaxParity && i >= 0 && i < kMaxDataChunks);
+  const auto alpha = static_cast<std::uint8_t>(i + 1);
+  std::uint8_t c = 1;
+  for (int n = 0; n < j; ++n) c = gf_mul(c, alpha);
+  return c;
+}
+
+void rs_encode(int j, std::span<const std::span<const std::byte>> data,
+               std::span<std::byte> parity) {
+  LFFT_ASSERT(data.size() <= static_cast<std::size_t>(kMaxDataChunks));
+  std::memset(parity.data(), 0, parity.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    gf_mul_acc(parity, data[i], rs_coeff(j, static_cast<int>(i)));
+  }
+}
+
+void rs_reconstruct(std::span<const std::span<const std::byte>> data,
+                    std::span<const int> parity_rows,
+                    std::span<const std::span<const std::byte>> parity,
+                    std::span<const int> erased,
+                    std::span<std::span<std::byte>> scratch,
+                    std::span<std::span<const std::byte>> solved) {
+  const std::size_t e = erased.size();
+  LFFT_REQUIRE(e > 0 && e <= parity_rows.size(),
+               "coded exchange: fewer clean parity chunks than erasures");
+  LFFT_ASSERT(parity.size() == parity_rows.size() && scratch.size() >= e &&
+              solved.size() >= e &&
+              e <= static_cast<std::size_t>(kMaxParity));
+
+  // rhs_s = P_{j_s} − Σ_{present i} α_i^{j_s} · D_i  (− is ^ in GF(2^8)):
+  // build each right-hand side straight into its scratch span.
+  std::array<std::span<std::byte>, kMaxParity> rhs;
+  for (std::size_t s = 0; s < e; ++s) {
+    rhs[s] = scratch[s];
+    const std::size_t n = std::min(rhs[s].size(), parity[s].size());
+    std::memcpy(rhs[s].data(), parity[s].data(), n);
+    std::memset(rhs[s].data() + n, 0, rhs[s].size() - n);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i].empty()) continue;
+      gf_mul_acc(rhs[s], data[i],
+                 rs_coeff(parity_rows[s], static_cast<int>(i)));
+    }
+  }
+
+  // A[s][t] = α_{erased[t]}^{j_s}; solve A x = rhs by Gauss–Jordan. Row
+  // swaps exchange the rhs *span objects*, never bytes, so the whole solve
+  // allocates nothing and moves only the payload bytes the row ops touch.
+  std::array<std::array<std::uint8_t, kMaxParity>, kMaxParity> A{};
+  for (std::size_t s = 0; s < e; ++s) {
+    for (std::size_t t = 0; t < e; ++t) {
+      A[s][t] = rs_coeff(parity_rows[s], erased[t]);
+    }
+  }
+  for (std::size_t c = 0; c < e; ++c) {
+    std::size_t piv = c;
+    while (piv < e && A[piv][c] == 0) ++piv;
+    // m ≤ 2 never lands here (the Vandermonde submatrices are provably
+    // nonsingular); larger m can, and it is the same loss to the caller.
+    LFFT_REQUIRE(piv < e,
+                 "coded exchange: singular parity system (unrecoverable)");
+    if (piv != c) {
+      std::swap(A[piv], A[c]);
+      std::swap(rhs[piv], rhs[c]);
+    }
+    const std::uint8_t inv = gf_inv(A[c][c]);
+    for (std::size_t t = 0; t < e; ++t) A[c][t] = gf_mul(A[c][t], inv);
+    gf_scale(rhs[c], inv);
+    for (std::size_t r = 0; r < e; ++r) {
+      if (r == c || A[r][c] == 0) continue;
+      const std::uint8_t f = A[r][c];
+      for (std::size_t t = 0; t < e; ++t) A[r][t] ^= gf_mul(f, A[c][t]);
+      gf_mul_acc(rhs[r], rhs[c], f);
+    }
+  }
+  // A is the identity: logical row t holds the padded image of erased[t].
+  for (std::size_t t = 0; t < e; ++t) solved[t] = rhs[t];
+}
+
+}  // namespace lossyfft::osc::coded

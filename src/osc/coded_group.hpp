@@ -1,0 +1,96 @@
+// Erasure-coded chunk groups for the one-sided exchange (osc::CodedGroup
+// layer): the Reed–Solomon arithmetic and the wire-frame vocabulary behind
+// ExchangePlan's coded mode.
+//
+// Coded FFT (Jeong et al., PAPERS.md) survives missing workers by adding
+// parity to the transform; this repo brings the idea down to the exchange:
+// per (source → target) message, the k pipeline chunks of compressed bytes
+// are augmented with m parity chunks computed over them, all put into the
+// target's window by the same source. The target reconstructs any ≤ m
+// missing, late, or corrupted data chunks from any k clean arrivals — a
+// straggler's chunk costs a GF(256) solve instead of a stall — and only
+// when more than m chunks of a group are unusable does it fall back to
+// waiting (Window::flush_delayed) and, past that, to a loud Error.
+//
+// The code is systematic Vandermonde RS over GF(256) (polynomial 0x11d):
+// parity row j of a group is P_j = Σ_i α_i^j · D_i with α_i = i + 1, over
+// chunks zero-padded to the group's largest capacity L. Row 0 is plain
+// XOR. Any square submatrix picked by ≤ 2 erasures is provably
+// nonsingular (distinct nonzero α, consecutive-or-single rows), so m ≤ 2
+// is MDS; larger m is supported with an explicit singularity check that
+// degrades to the same loud Error as an unrecoverable loss. Reconstruction
+// is allocation-free: the caller lends scratch spans and every row
+// operation of the Gauss–Jordan solve runs byte-wise on those spans.
+//
+// Wire frame of one coded chunk inside a window slot (8-aligned):
+//
+//   [u64 header][u64 checksum][payload @ capacity]
+//
+// The header is the plan's usual (epoch_seq << 48 | payload_bytes) word,
+// release-stored by put_with_header after payload *and* checksum land, so
+// an acquire scan that sees a fresh header may trust both. The checksum
+// (FNV-1a over the payload bytes) turns corruption into detectable
+// erasure; parity chunks carry their own headers — the words coded decode
+// re-validates (epoch_seq, payload_bytes) against before trusting a
+// reconstructed chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "minimpi/window.hpp"
+
+namespace lossyfft::osc::coded {
+
+/// Per-chunk frame prefix: [u64 header][u64 checksum].
+inline constexpr std::size_t kFrameBytes = 2 * minimpi::kHeaderWordBytes;
+
+/// Parity chunks per group cap (α_i must stay distinct and the stack
+/// solve bounded); the tuner prices m ∈ {0, 1, 2} in practice.
+inline constexpr int kMaxParity = 8;
+
+/// Data chunks per group cap (chunk_partition emits ≤ 64 pieces under the
+/// pipeline model; coded plans reject larger explicit chunk counts).
+inline constexpr int kMaxDataChunks = 64;
+
+/// GF(256) multiply (polynomial 0x11d, the AES-adjacent RS field).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; a must be nonzero.
+std::uint8_t gf_inv(std::uint8_t a);
+
+/// Coefficient of data chunk `i` in parity row `j`: α_i^j with α_i = i+1.
+std::uint8_t rs_coeff(int j, int i);
+
+/// Encode parity row `j` over the group's data chunks into `parity`
+/// (length L, the group capacity). Chunks shorter than L contribute
+/// zero-padded tails; an empty span is a zero chunk.
+void rs_encode(int j, std::span<const std::span<const std::byte>> data,
+               std::span<std::byte> parity);
+
+/// Reconstruct erased data chunks from any k clean arrivals.
+///
+///  * `data`        — k entries; entry i is chunk i's payload when it
+///                    arrived clean (length = its true payload bytes,
+///                    ≤ L), or an *empty span* when erased.
+///  * `parity_rows` — row indices j of the clean parity chunks in hand.
+///  * `parity`      — their payloads, length L each, same order.
+///  * `erased`      — indices of the erased data chunks (the empty `data`
+///                    entries), size e ≤ parity_rows.size().
+///  * `scratch`     — e caller-owned spans of length L; clobbered.
+///  * `solved`      — out: e entries; solved[t] is filled with the
+///                    L-byte zero-padded image of chunk erased[t] (a view
+///                    into one of the scratch spans — row swaps permute
+///                    which one).
+///
+/// Throws lossyfft::Error when the system is unsolvable (fewer clean
+/// parity rows than erasures, or a singular submatrix at m > 2) — the
+/// caller's unrecoverable-loss path.
+void rs_reconstruct(std::span<const std::span<const std::byte>> data,
+                    std::span<const int> parity_rows,
+                    std::span<const std::span<const std::byte>> parity,
+                    std::span<const int> erased,
+                    std::span<std::span<std::byte>> scratch,
+                    std::span<std::span<const std::byte>> solved);
+
+}  // namespace lossyfft::osc::coded

@@ -1,12 +1,15 @@
 #include "osc/exchange_plan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "common/error.hpp"
 #include "common/worker_pool.hpp"
+#include "compress/checksum.hpp"
 #include "compress/truncate.hpp"
 #include "minimpi/alltoall.hpp"
+#include "osc/coded_group.hpp"
 #include "osc/schedule.hpp"
 
 namespace lossyfft::osc {
@@ -16,6 +19,14 @@ namespace {
 // Two-sided fused exchange tag, in the collective tag space clear of both
 // user tags and the alltoallv pairwise/Bruck tags at (1 << 27).
 constexpr int kFusedTag = (1 << 28) + 72;
+
+// Coded two-sided parity replica tags: replica j travels on
+// kFusedParityTag + j, so the receiver can drain data and parity frames of
+// one pairwise partner independently (j < coded::kMaxParity).
+constexpr int kFusedParityTag = (1 << 28) + 80;
+
+// Frame and slot offsets keep every u64 header word 8-aligned.
+constexpr std::uint64_t align8(std::uint64_t b) { return (b + 7) / 8 * 8; }
 
 // Slot header word: (epoch sequence << 48) | compressed payload bytes.
 // 48 bits bound a single slot's payload at 256 TiB — far beyond any
@@ -55,6 +66,22 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
                    recvcounts.size() == p && recvdispls.size() == p,
                "alltoallv: counts/displs must have comm.size() entries");
   fixed_ = codec_->fixed_size();
+  // Coded mode: parity frames and/or a fault plan force the framed,
+  // checksummed wire — even `raw` exchanges route through the (exact)
+  // IdentityCodec so every chunk carries a header + checksum frame and
+  // faults are detectable. Received values stay bitwise identical to the
+  // uncoded path in fault-free runs: frames change the wire, not the
+  // payload bytes.
+  coded_ = options_.parity > 0 || options_.fault_plan != nullptr;
+  if (coded_) {
+    LFFT_REQUIRE(options_.parity >= 0 && options_.parity <= coded::kMaxParity,
+                 "ExchangePlan: parity must be in [0, coded::kMaxParity]");
+    LFFT_REQUIRE(backend_ != PlanBackend::kTwoSided || options_.fused,
+                 "ExchangePlan: coded two-sided exchange requires the fused "
+                 "path (OscOptions::fused)");
+    parity_ = options_.parity;
+    raw_ = false;
+  }
   batch_ = options_.batch;
   LFFT_REQUIRE(batch_ >= 1, "ExchangePlan: batch capacity must be >= 1");
   LFFT_REQUIRE(recv.size() % static_cast<std::size_t>(batch_) == 0,
@@ -114,9 +141,15 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   rstage_off_.resize(p);
   std::uint64_t s_total = 0;
   std::uint64_t r_total = 0;
+  // Coded staging frames carry the checksum (one-sided: [csum][payload])
+  // or the whole frame (two-sided: [header][csum][payload]) ahead of the
+  // payload; grant every destination the frame prefix and keep offsets
+  // 8-aligned so the u64 words can be stored directly.
+  const std::uint64_t spad = coded_ ? coded::kFrameBytes : 0;
   for (std::size_t i = 0; i < p; ++i) {
     stage_off_[i] = s_total;
-    s_total += send_wire_cap_[i];
+    s_total += send_wire_cap_[i] + spad;
+    if (coded_) s_total = align8(s_total);
     rstage_off_[i] = r_total;
     r_total += recv_wire_cap_[i];
   }
@@ -136,6 +169,16 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
     } else {
       stage_.resize(s_total);
       if (!options_.fused) rstage_.resize(r_total);
+      if (coded_ && parity_ > 0) {
+        // Parity replica slab, reused per pairwise partner: m clean
+        // copies of the largest data frame can be in flight at once.
+        std::uint64_t fmax = 0;
+        for (std::size_t i = 0; i < p; ++i) {
+          fmax = std::max(fmax, send_wire_cap_[i]);
+        }
+        pstage_stride_ = align8(coded::kFrameBytes + fmax);
+        pstage_.resize(pstage_stride_ * static_cast<std::size_t>(parity_));
+      }
     }
     return;
   }
@@ -151,11 +194,36 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   for (std::size_t i = 0; i < p; ++i) {
     if (raw_) {
       slot_offset_[i] = recvdispls_[i] * sizeof(double);
-    } else {
-      slot_offset_[i] = window_bytes;
+      continue;
+    }
+    slot_offset_[i] = window_bytes;
+    if (!coded_) {
       window_bytes += minimpi::kHeaderWordBytes + recv_wire_cap_[i];
       // Keep the next slot's header word 8-aligned.
-      window_bytes = (window_bytes + 7) / 8 * 8;
+      window_bytes = align8(window_bytes);
+      continue;
+    }
+    // Coded slot: one [header][checksum][payload @ cap] frame per pipeline
+    // chunk, then parity_ parity frames at the group capacity L (the
+    // largest data chunk's cap — chunk_partition's tail). Every frame
+    // self-notifies through its own header word.
+    std::uint64_t L = 0;
+    std::size_t k = 0;
+    for (const std::uint64_t c :
+         chunk_partition(recvcounts_[i], chunks_for(recvcounts_[i]))) {
+      const std::uint64_t cap = codec_->max_compressed_bytes(c);
+      coded_roff_.push_back(window_bytes);
+      window_bytes = align8(window_bytes + coded::kFrameBytes + cap);
+      L = std::max(L, cap);
+      ++k;
+    }
+    LFFT_REQUIRE(k <= static_cast<std::size_t>(coded::kMaxDataChunks),
+                 "ExchangePlan: coded exchange supports at most "
+                 "kMaxDataChunks pipeline chunks per message");
+    coded_L_.push_back(L);
+    for (int j = 0; j < parity_; ++j) {
+      coded_poff_.push_back(window_bytes);
+      window_bytes = align8(window_bytes + coded::kFrameBytes + L);
     }
   }
   // The one-time offset exchange: each receiver tells every source where to
@@ -185,6 +253,7 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   win_ = std::make_unique<minimpi::Window>(
       comm_, raw_ ? std::as_writable_bytes(recv_pinned_)
                   : std::span<std::byte>(window_store_));
+  if (coded_) win_->set_fault_plan(options_.fault_plan);
 
   rounds_ = ring_targets(p_, options_.gpus_per_node, comm_.rank());
   const int nodes = static_cast<int>(rounds_.size());
@@ -193,47 +262,78 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
     decode_inflight_.reserve(p * static_cast<std::size_t>(batch_));
   }
 
-  if (raw_ || !fixed_) {
-    if (!raw_) {
-      // Variable: all-destination slab, one bank per batch field.
-      stage_.resize(s_total * static_cast<std::size_t>(batch_));
-      send_wire_.resize(p * static_cast<std::size_t>(batch_));
-    }
-    return;
+  if (raw_) return;
+  if (!fixed_) {
+    // Variable: all-destination slab, one bank per batch field.
+    stage_.resize(s_total * static_cast<std::size_t>(batch_));
+    send_wire_.resize(p * static_cast<std::size_t>(batch_));
+    if (!coded_) return;
   }
 
-  // Fixed codec: pin every round's chunk jobs and the unpack schedule. The
-  // round slab is reused each round (sized for the largest), exactly the
-  // old per-call arena footprint.
-  round_jobs_.resize(static_cast<std::size_t>(nodes));
-  std::uint64_t slab = 0;
-  std::size_t max_jobs = 0;
-  for (int j = 0; j < nodes; ++j) {
-    auto& jobs = round_jobs_[static_cast<std::size_t>(j)];
-    std::uint64_t round_off = 0;
-    for (const int dst : rounds_[static_cast<std::size_t>(j)]) {
-      const auto d = static_cast<std::size_t>(dst);
-      const std::uint64_t count = sendcounts_[d];
-      if (count == 0) continue;
-      std::uint64_t elem = 0;
-      std::uint64_t wire_off = 0;
-      for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
-        const std::uint64_t cap = codec_->max_compressed_bytes(c);
-        jobs.push_back(PlanChunk{
-            dst, elem, c, round_off, cap,
-            target_offset_[d] + minimpi::kHeaderWordBytes + wire_off});
-        round_off += cap;
-        elem += c;
-        wire_off += cap;
+  if (fixed_) {
+    // Fixed codec: pin every round's chunk jobs. The round slab is reused
+    // each round (sized for the largest), exactly the old per-call arena
+    // footprint. Coded plans stage [checksum][payload] per frame (the
+    // header word rides the put) and append the group's parity jobs after
+    // its data jobs; target offsets walk the receiver's frame layout,
+    // which both sides derive from the same counts.
+    round_jobs_.resize(static_cast<std::size_t>(nodes));
+    std::uint64_t slab = 0;
+    std::size_t max_jobs = 0;
+    for (int j = 0; j < nodes; ++j) {
+      auto& jobs = round_jobs_[static_cast<std::size_t>(j)];
+      std::uint64_t round_off = 0;
+      for (const int dst : rounds_[static_cast<std::size_t>(j)]) {
+        const auto d = static_cast<std::size_t>(dst);
+        const std::uint64_t count = sendcounts_[d];
+        if (count == 0) continue;
+        std::uint64_t elem = 0;
+        std::uint64_t wire_off = 0;
+        std::uint64_t L = 0;
+        std::size_t k = 0;
+        for (const std::uint64_t c :
+             chunk_partition(count, chunks_for(count))) {
+          const std::uint64_t cap = codec_->max_compressed_bytes(c);
+          if (coded_) {
+            jobs.push_back(
+                PlanChunk{dst, elem, c, round_off, cap,
+                          target_offset_[d] + wire_off, /*prow=*/-1});
+            round_off = align8(round_off + minimpi::kHeaderWordBytes + cap);
+            wire_off = align8(wire_off + coded::kFrameBytes + cap);
+            L = std::max(L, cap);
+          } else {
+            jobs.push_back(PlanChunk{
+                dst, elem, c, round_off, cap,
+                target_offset_[d] + minimpi::kHeaderWordBytes + wire_off});
+            round_off += cap;
+            wire_off += cap;
+          }
+          elem += c;
+          ++k;
+        }
+        LFFT_REQUIRE(!coded_ ||
+                         k <= static_cast<std::size_t>(coded::kMaxDataChunks),
+                     "ExchangePlan: coded exchange supports at most "
+                     "kMaxDataChunks pipeline chunks per message");
+        for (int jj = 0; jj < parity_; ++jj) {
+          jobs.push_back(PlanChunk{dst, 0, 0, round_off, L,
+                                   target_offset_[d] + wire_off, jj});
+          round_off = align8(round_off + minimpi::kHeaderWordBytes + L);
+          wire_off = align8(wire_off + coded::kFrameBytes + L);
+        }
       }
+      slab = std::max(slab, round_off);
+      max_jobs = std::max(max_jobs, jobs.size());
     }
-    slab = std::max(slab, round_off);
-    max_jobs = std::max(max_jobs, jobs.size());
+    stage_.resize(slab);
+    inflight_.reserve(max_jobs);
   }
-  stage_.resize(slab);
-  inflight_.reserve(max_jobs);
 
+  // Unpack schedule: fixed codecs always; variable-rate only when coded
+  // (their single frame per source still needs the scan directory).
   unpack_range_.resize(p);
+  std::size_t fidx = 0;  // Walks coded_roff_ in the same (source, chunk)
+                         // order the layout loop pushed it.
   for (std::size_t s = 0; s < p; ++s) {
     const std::size_t begin = unpack_jobs_.size();
     const std::uint64_t count = recvcounts_[s];
@@ -241,13 +341,29 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
     std::uint64_t wire_off = 0;
     for (const std::uint64_t c : chunk_partition(count, chunks_for(count))) {
       const std::uint64_t cap = codec_->max_compressed_bytes(c);
-      unpack_jobs_.push_back(PlanChunk{
-          static_cast<int>(s), elem, c,
-          slot_offset_[s] + minimpi::kHeaderWordBytes + wire_off, cap, 0});
+      const std::uint64_t off =
+          coded_ ? coded_roff_[fidx++] + coded::kFrameBytes
+                 : slot_offset_[s] + minimpi::kHeaderWordBytes + wire_off;
+      unpack_jobs_.push_back(
+          PlanChunk{static_cast<int>(s), elem, c, off, cap, 0});
       elem += c;
       wire_off += cap;
     }
     unpack_range_[s] = {begin, unpack_jobs_.size()};
+  }
+
+  if (coded_) {
+    // Pinned reconstruction scratch: disjoint per (source, field), so the
+    // erasure solves of concurrent decodes never coordinate — and steady
+    // state recovery allocates nothing.
+    rec_off_.resize(p);
+    std::uint64_t off = 0;
+    for (std::size_t s = 0; s < p; ++s) {
+      rec_off_[s] = off;
+      off += static_cast<std::uint64_t>(parity_) * coded_L_[s];
+    }
+    rec_stride_ = off;
+    rec_scratch_.resize(off * static_cast<std::size_t>(batch_));
   }
 }
 
@@ -322,12 +438,21 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   // stale header (sync bug) trips the decode-side assert instead of
   // decoding garbage.
   const auto seq = static_cast<std::uint16_t>(++epoch_seq_);
+  if (coded_) {
+    // New fault epoch: deterministic per-(src, dst) put indices restart
+    // and stale parked puts for this rank are purged.
+    win_->set_fault_epoch(epoch_seq_);
+    reconstructed_.store(0, std::memory_order_relaxed);
+    straggler_waits_.store(0, std::memory_order_relaxed);
+  }
 
   // --- Variable codec: compress every (field, destination) up front -------
   // The data-dependent sizes ride in the slot header words (written by the
   // same put as the payload), so no size collective runs — steady-state
   // execute() is collective-free for every codec class. Stage bank f holds
-  // field f's destinations; send_wire_[f*p + i] its actual sizes.
+  // field f's destinations; send_wire_[f*p + i] its actual sizes. Coded
+  // plans stage [checksum][payload] frames (the checksum word is computed
+  // right after the encode, while the bytes are hot).
   const std::size_t sstride =
       raw_ || fixed_ ? 0 : stage_.size() / static_cast<std::size_t>(batch_);
   if (!raw_ && !fixed_) {
@@ -335,10 +460,18 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
       for (std::size_t k = lo; k < hi; ++k) {
         const std::size_t f = k / static_cast<std::size_t>(p_);
         const std::size_t i = k % static_cast<std::size_t>(p_);
+        std::byte* const frame =
+            stage_.data() + f * sstride + stage_off_[i];
+        std::byte* const payload =
+            frame + (coded_ ? minimpi::kHeaderWordBytes : 0);
         send_wire_[k] = codec_->compress(
             field_send(f).subspan(senddispls_[i], sendcounts_[i]),
-            std::span<std::byte>(stage_.data() + f * sstride + stage_off_[i],
-                                 send_wire_cap_[i]));
+            std::span<std::byte>(payload, send_wire_cap_[i]));
+        if (coded_) {
+          const std::uint64_t csum = fnv1a64(
+              std::span<const std::byte>(payload, send_wire_[k]));
+          std::memcpy(frame, &csum, sizeof(csum));
+        }
       }
     };
     const std::size_t work = static_cast<std::size_t>(p_) * nf;
@@ -376,13 +509,16 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   const bool decode_async = pscw && !raw_ && workers_ > 1 &&
                             WorkerPool::global().workers() > 0 &&
                             (fixed_ || codec_->parallel_granularity() == 0);
+  // Coded stage frames put the checksum word ahead of the payload.
+  const std::uint64_t job_pay = coded_ ? minimpi::kHeaderWordBytes : 0;
   const auto compress_job = [&](const PlanChunk& job,
                                 std::span<const double> fsend) {
     const std::size_t used = codec_->compress(
         fsend.subspan(senddispls_[static_cast<std::size_t>(job.peer)] +
                           job.elem_off,
                       job.elem_cnt),
-        std::span<std::byte>(stage_.data() + job.stage_off, job.wire_bytes));
+        std::span<std::byte>(stage_.data() + job.stage_off + job_pay,
+                             job.wire_bytes));
     LFFT_ASSERT(used == job.wire_bytes);  // Fixed-size codecs are exact.
   };
 
@@ -404,14 +540,21 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
       if (pipelined) {
         // Hand the whole round to the pool: chunk k+1 compresses while
         // chunk k is being put — Section V-B's stream overlap executed for
-        // real.
+        // real. Parity jobs stay off the pool: they encode over the
+        // group's staged payloads, serially, after those are reaped.
         inflight_.clear();
         for (const PlanChunk& job : *jobs) {
+          if (job.prow >= 0) continue;
           inflight_.push_back(WorkerPool::global().submit(
               [&compress_job, &job, fsend] { compress_job(job, fsend); }));
         }
       }
       std::size_t next_job = 0;
+      std::size_t next_inflight = 0;
+      // Coded: the group's staged payload spans, collected while its data
+      // chunks are put, consumed by the parity encodes that follow.
+      std::array<std::span<const std::byte>, coded::kMaxDataChunks> gspans;
+      std::size_t gk = 0;
       for (const int dst : round) {
         const auto d = static_cast<std::size_t>(dst);
         const std::uint64_t count = sendcounts_[d];
@@ -428,36 +571,103 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
           continue;
         }
         if (!fixed_) {
-          // Pre-compressed: one put of the whole stream, notify included —
-          // the header word delivers the data-dependent byte count.
           const std::uint64_t wire =
               send_wire_[f * static_cast<std::size_t>(p_) + d];
-          win_->put_with_header(
-              std::span<const std::byte>(
-                  stage_.data() + f * sstride + stage_off_[d], wire),
-              dst, target_offset_[d] + bank_off(d, f),
-              make_slot_header(seq, wire));
-          stats.wire_bytes += wire;
+          const std::byte* const frame =
+              stage_.data() + f * sstride + stage_off_[d];
+          if (!coded_) {
+            // Pre-compressed: one put of the whole stream, notify included
+            // — the header word delivers the data-dependent byte count.
+            win_->put_with_header(
+                std::span<const std::byte>(frame, wire), dst,
+                target_offset_[d] + bank_off(d, f), make_slot_header(seq, wire));
+            stats.wire_bytes += wire;
+            ++stats.chunks_issued;
+            continue;
+          }
+          // Coded variable rate: the message is one chunk (k = 1), so RS
+          // parity degenerates to replicas (α_1^j = 1) — the staged
+          // [checksum][payload] frame goes out once per parity slot, each
+          // put an independent fault-injection target. The parity header
+          // carries the data-dependent byte count the receiver re-validates
+          // a reconstructed chunk against.
+          const std::uint64_t h = make_slot_header(seq, wire);
+          const std::span<const std::byte> fr(
+              frame, minimpi::kHeaderWordBytes + wire);
+          win_->put_with_header(fr, dst, target_offset_[d] + bank_off(d, f),
+                                h);
+          stats.wire_bytes += coded::kFrameBytes + wire;
           ++stats.chunks_issued;
+          const std::uint64_t fstride =
+              align8(coded::kFrameBytes + send_wire_cap_[d]);
+          for (int jj = 0; jj < parity_; ++jj) {
+            win_->put_with_header(
+                fr, dst,
+                target_offset_[d] +
+                    static_cast<std::uint64_t>(jj + 1) * fstride +
+                    bank_off(d, f),
+                h);
+            stats.wire_bytes += coded::kFrameBytes + wire;
+            stats.parity_bytes += coded::kFrameBytes + wire;
+            ++stats.chunks_issued;
+          }
           continue;
         }
+        gk = 0;
         while (next_job < jobs->size() && (*jobs)[next_job].peer == dst) {
           const PlanChunk& job = (*jobs)[next_job];
-          if (pipelined) {
-            inflight_[next_job].get();  // Rethrows a failed chunk's error.
-          } else {
-            compress_job(job, fsend);
+          if (job.prow < 0) {
+            if (pipelined) {
+              inflight_[next_inflight++].get();  // Rethrows a failed
+                                                 // chunk's error.
+            } else {
+              compress_job(job, fsend);
+            }
           }
-          win_->put(std::span<const std::byte>(stage_.data() + job.stage_off,
-                                               job.wire_bytes),
-                    dst, job.target_off + bank_off(d, f));
-          stats.wire_bytes += job.wire_bytes;
+          if (!coded_) {
+            win_->put(
+                std::span<const std::byte>(stage_.data() + job.stage_off,
+                                           job.wire_bytes),
+                dst, job.target_off + bank_off(d, f));
+            stats.wire_bytes += job.wire_bytes;
+            ++stats.chunks_issued;
+            ++next_job;
+            continue;
+          }
+          // Coded fixed rate: each chunk travels as its own self-notifying
+          // [header][checksum][payload] frame; parity jobs (prow >= 0)
+          // encode RS row prow over the group's staged payloads.
+          std::byte* const fr = stage_.data() + job.stage_off;
+          if (job.prow < 0) {
+            gspans[gk++] = std::span<const std::byte>(
+                fr + minimpi::kHeaderWordBytes, job.wire_bytes);
+          } else {
+            coded::rs_encode(
+                job.prow,
+                std::span<const std::span<const std::byte>>(gspans.data(),
+                                                            gk),
+                std::span<std::byte>(fr + minimpi::kHeaderWordBytes,
+                                     job.wire_bytes));
+            stats.parity_bytes += coded::kFrameBytes + job.wire_bytes;
+          }
+          const std::uint64_t csum = fnv1a64(std::span<const std::byte>(
+              fr + minimpi::kHeaderWordBytes, job.wire_bytes));
+          std::memcpy(fr, &csum, sizeof(csum));
+          win_->put_with_header(
+              std::span<const std::byte>(
+                  fr, minimpi::kHeaderWordBytes + job.wire_bytes),
+              dst, job.target_off + bank_off(d, f),
+              make_slot_header(seq, job.wire_bytes));
+          stats.wire_bytes += coded::kFrameBytes + job.wire_bytes;
           ++stats.chunks_issued;
           ++next_job;
         }
-        // All of dst's chunks are delivered: raise the notify flag.
-        win_->put_header(dst, target_offset_[d] + bank_off(d, f),
-                         make_slot_header(seq, send_wire_cap_[d]));
+        // All of dst's chunks are delivered: raise the notify flag (coded
+        // frames each carried their own).
+        if (!coded_) {
+          win_->put_header(dst, target_offset_[d] + bank_off(d, f),
+                           make_slot_header(seq, send_wire_cap_[d]));
+        }
       }
     }
     // End of round: wait for this round's data movement (Algorithm 3 line
@@ -502,6 +712,12 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
     // reap the pool jobs before the next epoch may repost their slots.
     for (auto& f : decode_inflight_) f.get();
     decode_inflight_.clear();
+    if (coded_) {
+      stats.chunks_reconstructed =
+          reconstructed_.load(std::memory_order_relaxed);
+      stats.straggler_waits = straggler_waits_.load(std::memory_order_relaxed);
+      rethrow_decode_error();
+    }
     return stats;
   }
 
@@ -523,11 +739,30 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   } else {
     unpack_src(0, work);
   }
+  if (coded_) {
+    stats.chunks_reconstructed =
+        reconstructed_.load(std::memory_order_relaxed);
+    stats.straggler_waits = straggler_waits_.load(std::memory_order_relaxed);
+    rethrow_decode_error();
+  }
   return stats;
 }
 
 void ExchangePlan::decode_source(std::size_t s, std::uint16_t seq,
                                  std::span<double> recv, std::size_t f) {
+  if (coded_) {
+    // Coded failures are real runtime conditions (lost beyond the parity
+    // budget), not sync bugs: capture the Error and let the collective
+    // protocol finish — aborting mid-ring would deadlock the peers —
+    // then execute rethrows it.
+    try {
+      decode_source_coded(s, seq, recv, f);
+    } catch (...) {
+      std::lock_guard lk(decode_error_mu_);
+      if (!decode_error_) decode_error_ = std::current_exception();
+    }
+    return;
+  }
   const std::uint64_t bank = f * bank_stride_;
   const std::uint64_t header = win_->read_local_header(slot_offset_[s] + bank);
   // The notify flag: a mismatched sequence means the source's put for this
@@ -555,6 +790,146 @@ void ExchangePlan::decode_source(std::size_t s, std::uint16_t seq,
       recv.subspan(recvdispls_[s], recvcounts_[s]));
 }
 
+void ExchangePlan::decode_source_coded(std::size_t s, std::uint16_t seq,
+                                       std::span<double> recv,
+                                       std::size_t f) {
+  const std::uint64_t bank = f * bank_stride_;
+  const auto [begin, end] = unpack_range_[s];
+  const std::size_t k = end - begin;
+  if (k == 0) return;
+  const std::uint64_t L = coded_L_[s];
+  const std::byte* const w = window_store_.data() + bank;
+
+  // A frame is clean when its header word carries this epoch's sequence
+  // and a plausible byte count, and the FNV-1a checksum over the payload
+  // matches the frame's checksum word. Anything else — a dropped put's
+  // stale header, a parked delayed put, a flipped payload or header bit —
+  // is an erasure. The header load is the acquire side of the put's
+  // release-store, so a fresh header guarantees checksum and payload.
+  const auto frame_bytes = [&](std::uint64_t off, std::uint64_t cap,
+                               std::uint64_t* out) {
+    const std::uint64_t h = win_->read_local_header(off + bank);
+    if (static_cast<std::uint16_t>(h >> 48) != seq) return false;
+    const std::uint64_t b = h & kHeaderBytesMask;
+    if (fixed_ ? b != cap : b > cap) return false;
+    std::uint64_t csum = 0;
+    std::memcpy(&csum, w + off + minimpi::kHeaderWordBytes, sizeof(csum));
+    if (fnv1a64(std::span<const std::byte>(w + off + coded::kFrameBytes,
+                                           b)) != csum) {
+      return false;
+    }
+    *out = b;
+    return true;
+  };
+
+  std::array<bool, coded::kMaxDataChunks> clean{};
+  std::array<std::uint64_t, coded::kMaxDataChunks> nbytes{};
+  std::array<int, coded::kMaxDataChunks> erased{};
+  std::array<int, coded::kMaxParity> prows{};
+  std::array<std::span<const std::byte>, coded::kMaxParity> pspans{};
+  std::array<std::uint64_t, coded::kMaxParity> pbytes{};
+  std::size_t e = 0;
+  std::size_t np = 0;
+  const auto scan = [&, begin] {
+    e = 0;
+    np = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      clean[i] = frame_bytes(coded_roff_[begin + i],
+                             unpack_jobs_[begin + i].wire_bytes, &nbytes[i]);
+      if (!clean[i]) erased[e++] = static_cast<int>(i);
+    }
+    if (e == 0) return;
+    for (int j = 0; j < parity_; ++j) {
+      const std::uint64_t off =
+          coded_poff_[s * static_cast<std::size_t>(parity_) +
+                      static_cast<std::size_t>(j)];
+      std::uint64_t b = 0;
+      if (!frame_bytes(off, L, &b)) continue;
+      prows[np] = j;
+      pspans[np] =
+          std::span<const std::byte>(w + off + coded::kFrameBytes, b);
+      pbytes[np] = b;
+      ++np;
+    }
+  };
+
+  scan();
+  std::array<std::span<const std::byte>, coded::kMaxDataChunks> solved_for{};
+  if (e > 0 && np < e) {
+    // Fewer clean arrivals than the solve needs: only now fall back to
+    // waiting — apply any parked delayed puts addressed to this rank and
+    // rescan (a flush can resolve every erasure, dropping e to zero).
+    // Past that the group is unrecoverable and the Error fires.
+    win_->flush_delayed();
+    straggler_waits_.fetch_add(1, std::memory_order_relaxed);
+    scan();
+  }
+  if (e > 0) {
+    LFFT_REQUIRE(e <= static_cast<std::size_t>(parity_) && np >= e,
+                 "coded exchange: erasures exceed the parity budget "
+                 "(unrecoverable chunk loss)");
+    // Re-validate the reconstruction's metadata against the parity headers
+    // before any decode touches recovered bytes: every clean parity frame
+    // of the group must agree on the payload byte count (variable rate,
+    // k = 1: that count *is* the erased chunk's size; fixed rate: the
+    // group capacity L). A header word corrupted in flight cannot pass
+    // both this and its frame checksum.
+    for (std::size_t j = 1; j < np; ++j) {
+      LFFT_REQUIRE(pbytes[j] == pbytes[0],
+                   "coded exchange: parity headers disagree on payload "
+                   "size (corrupt metadata survived reconstruction)");
+    }
+    const std::uint64_t eff = fixed_ ? L : pbytes[0];
+    std::array<std::span<const std::byte>, coded::kMaxDataChunks> dspans{};
+    for (std::size_t i = 0; i < k; ++i) {
+      if (clean[i]) {
+        dspans[i] = std::span<const std::byte>(
+            w + coded_roff_[begin + i] + coded::kFrameBytes, nbytes[i]);
+      }
+    }
+    std::array<std::span<std::byte>, coded::kMaxParity> scratch{};
+    std::array<std::span<const std::byte>, coded::kMaxParity> solved{};
+    std::byte* const scr =
+        rec_scratch_.data() + rec_off_[s] + f * rec_stride_;
+    for (std::size_t t = 0; t < e; ++t) {
+      scratch[t] = std::span<std::byte>(scr + t * L, eff);
+    }
+    coded::rs_reconstruct(
+        std::span<const std::span<const std::byte>>(dspans.data(), k),
+        std::span<const int>(prows.data(), np),
+        std::span<const std::span<const std::byte>>(pspans.data(), np),
+        std::span<const int>(erased.data(), e),
+        std::span<std::span<std::byte>>(scratch.data(), e),
+        std::span<std::span<const std::byte>>(solved.data(), e));
+    for (std::size_t t = 0; t < e; ++t) {
+      solved_for[static_cast<std::size_t>(erased[t])] = solved[t];
+    }
+    reconstructed_.fetch_add(e, std::memory_order_relaxed);
+  }
+
+  // Decode: present chunks straight from the window, reconstructed ones
+  // from their (zero-padded) solve images — byte-identical to a clean run.
+  for (std::size_t i = 0; i < k; ++i) {
+    const PlanChunk& job = unpack_jobs_[begin + i];
+    const std::uint64_t b =
+        clean[i] ? nbytes[i] : (fixed_ ? job.wire_bytes : pbytes[0]);
+    const std::byte* const src =
+        clean[i] ? w + coded_roff_[begin + i] + coded::kFrameBytes
+                 : solved_for[i].data();
+    codec_->decompress(
+        std::span<const std::byte>(src, b),
+        recv.subspan(recvdispls_[s] + job.elem_off, job.elem_cnt));
+  }
+}
+
+void ExchangePlan::rethrow_decode_error() {
+  if (decode_error_) {
+    std::exception_ptr err = decode_error_;
+    decode_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
 ExchangeStats ExchangePlan::execute_two_sided(std::span<const double> send,
                                               std::span<double> recv) {
   const auto p = static_cast<std::size_t>(p_);
@@ -576,7 +951,10 @@ ExchangeStats ExchangePlan::execute_two_sided(std::span<const double> send,
     return stats;
   }
 
-  if (options_.fused) return execute_two_sided_fused(send, recv);
+  if (options_.fused) {
+    return coded_ ? execute_two_sided_coded(send, recv)
+                  : execute_two_sided_fused(send, recv);
+  }
 
   // --- Unfused baseline: encode all, pairwise alltoallv, decode all -------
   // Kept selectable (OscOptions::fused = false) as the measured ablation
@@ -702,6 +1080,144 @@ ExchangeStats ExchangePlan::execute_two_sided_fused(
     if (sent) comm_.wait(req);
   }
   stats.chunks_issued = stats.messages;
+  return stats;
+}
+
+ExchangeStats ExchangePlan::execute_two_sided_coded(
+    std::span<const double> send, std::span<double> recv) {
+  // Pairwise fused exchange on the coded wire: every message travels as
+  // one [header][checksum][payload] frame plus parity_ replica frames on
+  // their own tags (one chunk per message, so RS parity degenerates to
+  // replicas — α_1^j = 1). The transport is reliable and ordered, so drops
+  // degrade to corruption (Comm::send_fault) and the frame scan detects
+  // every fault; a corrupt data frame recovers from the first clean
+  // replica, re-validated against its own header — byte-identical to a
+  // clean run.
+  const auto p = static_cast<std::size_t>(p_);
+  const int me = comm_.rank();
+  const auto seq = static_cast<std::uint16_t>(++epoch_seq_);
+  ExchangeStats stats;
+  stats.rounds = p_;
+  for (std::size_t i = 0; i < p; ++i) {
+    stats.payload_bytes += sendcounts_[i] * sizeof(double);
+    if (sendcounts_[i] > 0) ++stats.messages;
+  }
+
+  // Fault injection brackets only this plan's own sends — cleared on every
+  // exit path so no unrelated traffic is ever faulted.
+  struct FaultScope {
+    minimpi::Comm& c;
+    ~FaultScope() { c.set_fault(nullptr, 0); }
+  } scope{comm_};
+  comm_.set_fault(options_.fault_plan, epoch_seq_);
+
+  // Self message: no transport, no faults — plain codec round trip (the
+  // exchange stays byte-identical to the one-sided paths, lossiness
+  // included).
+  const auto m = static_cast<std::size_t>(me);
+  if (sendcounts_[m] > 0) {
+    std::span<std::byte> staging(
+        stage_.data() + stage_off_[m] + coded::kFrameBytes,
+        send_wire_cap_[m]);
+    const std::size_t used = codec_->compress(
+        send.subspan(senddispls_[m], sendcounts_[m]), staging);
+    stats.wire_bytes += used;
+    codec_->decompress(std::span<const std::byte>(staging.data(), used),
+                       recv.subspan(recvdispls_[m], recvcounts_[m]));
+  }
+
+  std::uint64_t reconstructed = 0;
+  for (int j = 1; j < p_; ++j) {
+    const auto dst = static_cast<std::size_t>((me + j) % p_);
+    const auto src = static_cast<std::size_t>((me - j + p_) % p_);
+    minimpi::Comm::Request req;
+    std::array<minimpi::Comm::Request, coded::kMaxParity> preq;
+    bool sent = false;
+    if (sendcounts_[dst] > 0) {
+      std::byte* const fr = stage_.data() + stage_off_[dst];
+      const std::size_t used = codec_->compress(
+          send.subspan(senddispls_[dst], sendcounts_[dst]),
+          std::span<std::byte>(fr + coded::kFrameBytes, send_wire_cap_[dst]));
+      const std::uint64_t h = make_slot_header(seq, used);
+      std::memcpy(fr, &h, sizeof(h));
+      const std::uint64_t csum = fnv1a64(
+          std::span<const std::byte>(fr + coded::kFrameBytes, used));
+      std::memcpy(fr + minimpi::kHeaderWordBytes, &csum, sizeof(csum));
+      const std::size_t fbytes = coded::kFrameBytes + used;
+      // Replica copies taken *before* the data isend: a rendezvous corrupt
+      // flips the staged frame itself, and the replicas must not inherit
+      // it. Each replica send is an independent fault-injection target.
+      for (int jj = 0; jj < parity_; ++jj) {
+        std::memcpy(
+            pstage_.data() + static_cast<std::size_t>(jj) * pstage_stride_,
+            fr, fbytes);
+      }
+      req = comm_.isend(std::span<const std::byte>(fr, fbytes),
+                        static_cast<int>(dst), kFusedTag);
+      for (int jj = 0; jj < parity_; ++jj) {
+        preq[static_cast<std::size_t>(jj)] = comm_.isend(
+            std::span<const std::byte>(
+                pstage_.data() +
+                    static_cast<std::size_t>(jj) * pstage_stride_,
+                fbytes),
+            static_cast<int>(dst), kFusedParityTag + jj);
+      }
+      stats.wire_bytes += static_cast<std::uint64_t>(1 + parity_) * fbytes;
+      stats.parity_bytes += static_cast<std::uint64_t>(parity_) * fbytes;
+      stats.chunks_issued += 1 + parity_;
+      sent = true;
+    }
+    if (recvcounts_[src] > 0) {
+      const std::uint64_t cap = recv_wire_cap_[src];
+      bool done = false;
+      // First clean frame of the group wins; later frames are drained and
+      // discarded (the pairwise protocol consumes them regardless).
+      auto try_frame = [&](std::span<const std::byte> frame) {
+        if (done || frame.size() < coded::kFrameBytes) return;
+        std::uint64_t h = 0;
+        std::uint64_t csum = 0;
+        std::memcpy(&h, frame.data(), sizeof(h));
+        std::memcpy(&csum, frame.data() + minimpi::kHeaderWordBytes,
+                    sizeof(csum));
+        if (static_cast<std::uint16_t>(h >> 48) != seq) return;
+        const std::uint64_t b = h & kHeaderBytesMask;
+        // Whole-message fixed encodes may undershoot the cap on tail
+        // packing, so both rate classes validate b against the message
+        // length and the capacity.
+        if (b != frame.size() - coded::kFrameBytes || b > cap) return;
+        if (fnv1a64(frame.subspan(coded::kFrameBytes, b)) != csum) return;
+        codec_->decompress(frame.subspan(coded::kFrameBytes, b),
+                           recv.subspan(recvdispls_[src], recvcounts_[src]));
+        done = true;
+      };
+      comm_.recv_consume(static_cast<int>(src), kFusedTag, try_frame);
+      const bool data_clean = done;
+      for (int jj = 0; jj < parity_; ++jj) {
+        comm_.recv_consume(static_cast<int>(src), kFusedParityTag + jj,
+                           try_frame);
+      }
+      if (!data_clean && done) ++reconstructed;
+      if (!done) {
+        // Every frame of the group failed validation: unrecoverable. The
+        // pairwise protocol must keep draining, so the Error is deferred
+        // to the end of the exchange.
+        std::lock_guard lk(decode_error_mu_);
+        if (!decode_error_) {
+          decode_error_ = std::make_exception_ptr(
+              Error("coded exchange: two-sided message unrecoverable "
+                    "(data and all parity replicas faulted)"));
+        }
+      }
+    }
+    if (sent) {
+      comm_.wait(req);
+      for (int jj = 0; jj < parity_; ++jj) {
+        comm_.wait(preq[static_cast<std::size_t>(jj)]);
+      }
+    }
+  }
+  stats.chunks_reconstructed = reconstructed;
+  rethrow_decode_error();
   return stats;
 }
 

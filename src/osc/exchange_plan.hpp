@@ -47,9 +47,12 @@
 // every rank must create, execute, and destroy its plans in the same order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -114,6 +117,11 @@ class ExchangePlan {
     std::uint64_t stage_off = 0;
     std::uint64_t wire_bytes = 0;
     std::uint64_t target_off = 0;
+    // Coded mode: parity row index of this job (-1 = data chunk). Parity
+    // jobs follow their group's data jobs and encode over the staged
+    // payloads, so they run serially on the rank thread after the group's
+    // compresses are reaped.
+    int prow = -1;
   };
 
   ExchangeStats execute_one_sided(std::span<const double> send,
@@ -121,6 +129,8 @@ class ExchangePlan {
   ExchangeStats execute_two_sided(std::span<const double> send,
                                   std::span<double> recv);
   ExchangeStats execute_two_sided_fused(std::span<const double> send,
+                                        std::span<double> recv);
+  ExchangeStats execute_two_sided_coded(std::span<const double> send,
                                         std::span<double> recv);
 
   /// Decode+unpack source `s`'s slot in field bank `f` into that field's
@@ -131,11 +141,27 @@ class ExchangePlan {
   void decode_source(std::size_t s, std::uint16_t seq, std::span<double> recv,
                      std::size_t f);
 
+  /// Coded decode of source `s`: scan the slot's data+parity frame headers
+  /// and checksums, reconstruct ≤ m erasures from any k clean arrivals
+  /// (Window::flush_delayed as the waiting fallback), re-validate the
+  /// recovered chunk against the parity headers, decode. An unrecoverable
+  /// group (> m erasures) raises a loud Error — captured into
+  /// `decode_error_` by decode_source so the collective protocol finishes
+  /// before execute rethrows it.
+  void decode_source_coded(std::size_t s, std::uint16_t seq,
+                           std::span<double> recv, std::size_t f);
+
+  /// Rethrow (and clear) a decode error deferred by decode_source. Called
+  /// once per execute after every decode has been reaped.
+  void rethrow_decode_error();
+
   minimpi::Comm& comm_;
   OscOptions options_;
   PlanBackend backend_;
   bool raw_ = false;    // No codec: direct byte exchange.
   bool fixed_ = false;  // Codec wire sizes are count-derived.
+  bool coded_ = false;  // Framed + checksummed wire, parity_ RS chunks.
+  int parity_ = 0;      // m parity frames per (source → target) group.
   CodecPtr codec_;
   int p_ = 0;
   int workers_ = 1;
@@ -182,6 +208,32 @@ class ExchangePlan {
   // variable and two-sided = all destinations at capacity offsets.
   std::vector<std::byte> stage_;
   std::vector<std::byte> rstage_;  // Two-sided unfused receive slab.
+
+  // --- Coded mode (parity / fault injection) ------------------------------
+  // Receive frame directory (one-sided): data frame i of source s sits at
+  // bank-0 window byte coded_roff_[unpack_range_[s].first + i] (the frame's
+  // header word; checksum at +8, payload at +16); its parity frames at
+  // coded_poff_[s * parity_ + j] with payload capacity coded_L_[s] (the
+  // group cap L = the largest data chunk's capacity).
+  std::vector<std::uint64_t> coded_roff_, coded_poff_, coded_L_;
+  // Pinned reconstruction scratch: (source s, field f) owns the disjoint
+  // region [rec_off_[s] + f * rec_stride_, + parity_ * coded_L_[s]), so
+  // concurrent decodes never share scratch.
+  std::vector<std::byte> rec_scratch_;
+  std::vector<std::uint64_t> rec_off_;
+  std::uint64_t rec_stride_ = 0;
+  // Two-sided coded: parity replica staging — clean copies of the data
+  // frame taken *before* the data isend may be faulted (one slab, reused
+  // per pairwise partner).
+  std::vector<std::byte> pstage_;
+  std::uint64_t pstage_stride_ = 0;
+  // Resilience counters for the current execute (decodes may run on pool
+  // workers) and the deferred decode error (first failure wins; the
+  // collective protocol finishes before execute rethrows).
+  std::atomic<std::uint64_t> reconstructed_{0};
+  std::atomic<std::uint64_t> straggler_waits_{0};
+  std::mutex decode_error_mu_;
+  std::exception_ptr decode_error_;
 };
 
 }  // namespace lossyfft::osc

@@ -20,6 +20,7 @@
 
 #include "compress/codec.hpp"
 #include "minimpi/comm.hpp"
+#include "minimpi/fault.hpp"
 
 namespace lossyfft::osc {
 
@@ -66,6 +67,24 @@ struct OscOptions {
   /// PSCW handshake cost once instead of once per field. 1 (default)
   /// keeps the single-field footprint.
   int batch = 1;
+  /// Erasure-coded exchange: number of parity chunks per (source → target)
+  /// message group (0 = uncoded). With m > 0 every message's k pipeline
+  /// chunks travel in checksummed frames plus m Reed–Solomon parity chunks
+  /// (osc/coded_group.hpp), and the target reconstructs any ≤ m missing /
+  /// late / corrupted chunks from any k clean arrivals before falling back
+  /// to waiting. Zero-loss coded runs are byte-identical to the uncoded
+  /// path; recovery is byte-identical to the clean run. Steady-state
+  /// execute() stays zero-collective and zero-allocation with parity
+  /// enabled (fault handling itself may allocate — faults are
+  /// exceptional). m ∈ [0, coded::kMaxParity]; two-sided requires `fused`.
+  int parity = 0;
+  /// Deterministic fault injection (tests / soak): non-owning pointer to a
+  /// plan consulted per put (one-sided) or per send (two-sided fused).
+  /// Installing a plan forces the coded (framed + checksummed) wire even
+  /// at parity == 0, so every injected fault is *detected* — with m = 0 a
+  /// faulted chunk is an unrecoverable erasure and execute() throws a loud
+  /// Error instead of decoding garbage. nullptr (default) costs nothing.
+  const minimpi::FaultPlan* fault_plan = nullptr;
 };
 
 /// Model-driven chunk count: minimizes the compression/transfer pipeline
@@ -79,8 +98,13 @@ struct ExchangeStats {
   std::uint64_t wire_bytes = 0;     // Bytes actually put on the wire.
   int rounds = 0;
   int messages = 0;
-  int chunks_issued = 0;
+  int chunks_issued = 0;  // Coded mode counts parity frames too.
   double seconds = 0.0;  // Wall-clock spent in exchanges (this rank).
+  // Resilience counters (coded mode; all zero otherwise).
+  std::uint64_t parity_bytes = 0;  // Wire bytes spent on parity frames.
+  std::uint64_t chunks_reconstructed = 0;  // Erasures recovered via parity.
+  std::uint64_t straggler_waits = 0;  // Recoveries that had to flush
+                                      // delayed puts before reconstructing.
 
   double compression_ratio() const {
     return wire_bytes > 0 ? static_cast<double>(payload_bytes) /

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "osc/coded_group.hpp"
+#include "osc/osc_alltoall.hpp"
 #include "osc/schedule.hpp"
 
 namespace lossyfft::tuner {
@@ -61,12 +63,28 @@ std::vector<TuneCandidate> candidate_space(const ExchangeSignature& sig,
       fans.push_back(w);
     }
   }
+  // The parity axis is only worth pricing when the constants model a
+  // straggler source; otherwise parity is pure overhead and m = 0 is the
+  // argmin by construction.
+  const bool straggler =
+      (k.net.straggler_prob > 0.0 && k.net.straggler_seconds > 0.0) ||
+      std::any_of(k.net.rank_delay_seconds.begin(),
+                  k.net.rank_delay_seconds.end(),
+                  [](double d) { return d > 0.0; });
+  std::vector<int> parities = {0};
+  if (straggler) parities.insert(parities.end(), {1, 2});
   for (const TunePath path :
        {TunePath::kOneSidedFence, TunePath::kOneSidedPscw,
         TunePath::kTwoSidedFused, TunePath::kTwoSidedStaged}) {
     // Raw exchanges have no staged/fused distinction (no codec pass).
     if (raw && path == TunePath::kTwoSidedStaged) continue;
-    for (const int w : fans) out.push_back({path, w});
+    for (const int w : fans) {
+      for (const int m : parities) {
+        // The staged two-sided baseline has no coded wire format.
+        if (m > 0 && path == TunePath::kTwoSidedStaged) continue;
+        out.push_back({path, w, m});
+      }
+    }
   }
   return out;
 }
@@ -76,10 +94,36 @@ double evaluate(const ExchangeSignature& sig, const TuneCandidate& cand,
   LFFT_REQUIRE(sig.p >= 1 && sig.gpn >= 1, "tuner: bad signature extents");
   const bool raw = sig.codec == nullptr;
   const double rate = std::max(1e-9, sig.rate());
-  const std::uint64_t wire_pair =
+  const bool one_sided = cand.path == TunePath::kOneSidedFence ||
+                         cand.path == TunePath::kOneSidedPscw;
+  const std::uint64_t base_wire =
       raw ? sig.pair_bytes
           : static_cast<std::uint64_t>(
                 std::ceil(static_cast<double>(sig.pair_bytes) / rate));
+  std::uint64_t wire_pair = base_wire;
+  double parity_extra = 0.0;
+  if (cand.parity > 0) {
+    // Coded wire overhead. One-sided fixed-rate groups split a message
+    // into the pipeline's k chunks, so each of the m parity frames costs
+    // ~wire/k extra bytes; variable-rate and two-sided groups have k = 1
+    // and parity degenerates to m whole replicas. Every frame (data and
+    // parity) also carries the 16-byte header+checksum prefix.
+    const bool fixed = sig.codec == nullptr || sig.codec->fixed_size();
+    const int kc = one_sided && fixed
+                       ? std::max(1, osc::plan_pipeline_chunks(
+                                         sig.pair_bytes, std::max(1.0, rate)))
+                       : 1;
+    const double pbytes =
+        static_cast<double>(base_wire) * cand.parity / kc;
+    wire_pair = base_wire + static_cast<std::uint64_t>(std::ceil(pbytes)) +
+                static_cast<std::uint64_t>(kc + cand.parity) *
+                    osc::coded::kFrameBytes;
+    // Parity encode (GF(256) accumulate over the group) plus the checksum
+    // scan each side — all memory-bandwidth-paced host passes.
+    const double fanout = static_cast<double>(std::max(1, sig.p - 1));
+    parity_extra =
+        (pbytes + 2.0 * static_cast<double>(base_wire)) * fanout / k.copy_bw;
+  }
   const auto bytes = [&](int src, int dst) -> std::uint64_t {
     return src == dst ? 0 : wire_pair;
   };
@@ -87,11 +131,10 @@ double evaluate(const ExchangeSignature& sig, const TuneCandidate& cand,
   // --- Network term: the exact schedule the plan would emit -------------
   const int nodes = (sig.p + sig.gpn - 1) / sig.gpn;
   const netsim::Topology topo = netsim::Topology::make(nodes, sig.gpn);
-  const bool one_sided = cand.path == TunePath::kOneSidedFence ||
-                         cand.path == TunePath::kOneSidedPscw;
   netsim::Schedule sched =
       one_sided ? osc::schedule_osc_ring(sig.p, sig.gpn, bytes)
                 : osc::schedule_pairwise(sig.p, sig.gpn, bytes);
+  sched.parity_absorb = cand.parity;
   double sync_extra = 0.0;
   if (cand.path == TunePath::kOneSidedPscw) {
     // PSCW replaces the per-round tree fence with a post/start/
@@ -102,7 +145,7 @@ double evaluate(const ExchangeSignature& sig, const TuneCandidate& cand,
   }
   const double net_seconds = netsim::simulate(topo, sched, k.net).seconds;
 
-  if (raw) return net_seconds + sync_extra;
+  if (raw) return net_seconds + sync_extra + parity_extra;
 
   // --- Codec terms: granularity-aware fan-out ---------------------------
   // A codec whose stream shards (parallel_granularity > 0) spreads one
@@ -144,7 +187,7 @@ double evaluate(const ExchangeSignature& sig, const TuneCandidate& cand,
       break;
     }
   }
-  return encode + net_seconds + sync_extra + decode + extra;
+  return encode + net_seconds + sync_extra + decode + extra + parity_extra;
 }
 
 TuneDecision decide(const ExchangeSignature& sig, const CostConstants& k) {
@@ -158,6 +201,7 @@ TuneDecision decide(const ExchangeSignature& sig, const CostConstants& k) {
       best_cost = cost;
       best.path = c.path;
       best.workers = c.workers;
+      best.parity = c.parity;
     }
   }
   best.modeled_seconds = best_cost;

@@ -56,11 +56,17 @@ struct CostConstants {
 struct TuneCandidate {
   TunePath path = TunePath::kOneSidedFence;
   int workers = 1;
+  /// Coded-exchange parity chunks per message group (OscOptions::parity).
+  int parity = 0;
 };
 
 /// The candidate grid for a signature: all four paths crossed with
 /// power-of-two fan-outs up to the pool concurrency (raw exchanges carry
-/// no codec work, so only fan-out 1 is emitted for them).
+/// no codec work, so only fan-out 1 is emitted for them). When the
+/// constants carry a straggler model (straggler_prob or rank delays), the
+/// grid is additionally crossed with parity m ∈ {0, 1, 2} — the coded
+/// exchange's wire/encode overhead against its absorbed stalls (the
+/// two-sided staged path has no coded wire and stays at m = 0).
 std::vector<TuneCandidate> candidate_space(const ExchangeSignature& sig,
                                            const CostConstants& k);
 

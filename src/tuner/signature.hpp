@@ -51,6 +51,10 @@ const char* to_string(TunePath p);
 struct TuneDecision {
   TunePath path = TunePath::kOneSidedFence;
   int workers = 1;
+  /// Coded-exchange parity chunks per message group (0 = uncoded): the
+  /// modeled argmin of parity overhead vs absorbed straggler stalls under
+  /// the constants' straggler model (OscOptions::parity downstream).
+  int parity = 0;
   /// Advisory transport threshold: payload size above which the modeled
   /// zero-copy rendezvous beats the eager double-copy on this host
   /// (minimpi worlds set MinimpiOptions::rendezvous_threshold at startup,

@@ -108,7 +108,7 @@ void Tuner::load_cache_locked() {
       decomp_memo_[os.str()] = d;
       continue;
     }
-    int p = 0, gpn = 0, sc = 0, path = 0, workers = 0;
+    int p = 0, gpn = 0, sc = 0, path = 0, workers = 0, parity = 0;
     long rb = 0;
     std::string cls;
     std::uint64_t rendezvous = 0;
@@ -118,12 +118,12 @@ void Tuner::load_cache_locked() {
     } catch (...) {
       continue;  // Unknown tag — skip the token and resynchronize.
     }
-    if (!(in >> gpn >> sc >> cls >> rb >> path >> workers >> rendezvous >>
-          seconds)) {
+    if (!(in >> gpn >> sc >> cls >> rb >> path >> workers >> parity >>
+          rendezvous >> seconds)) {
       break;
     }
     if (path < 0 || path > static_cast<int>(TunePath::kTwoSidedStaged) ||
-        workers < 1) {
+        workers < 1 || parity < 0) {
       continue;  // Tolerate a corrupt row without dropping the rest.
     }
     std::ostringstream os;
@@ -131,6 +131,7 @@ void Tuner::load_cache_locked() {
     TuneDecision d;
     d.path = static_cast<TunePath>(path);
     d.workers = workers;
+    d.parity = parity;
     d.rendezvous_threshold = rendezvous;
     d.modeled_seconds = seconds;
     memo_[os.str()] = d;
@@ -150,7 +151,8 @@ void Tuner::store_cache_locked() {
       << simd_level_name() << '\n';
   for (const auto& [k, d] : memo_) {
     out << k << ' ' << static_cast<int>(d.path) << ' ' << d.workers << ' '
-        << d.rendezvous_threshold << ' ' << d.modeled_seconds << '\n';
+        << d.parity << ' ' << d.rendezvous_threshold << ' '
+        << d.modeled_seconds << '\n';
   }
   for (const auto& [k, d] : decomp_memo_) {
     out << "d " << k << ' ' << static_cast<int>(d.algorithm) << ' '

@@ -78,8 +78,9 @@ class Tuner {
   /// caches are not resurrected). Version 4 invalidated caches recorded
   /// before the scan-then-fill zfpx decoder and the avx512 kernel tier:
   /// decode throughput moved enough to flip path decisions even for rows
-  /// keyed under an unchanged level name.
-  static constexpr int kCacheVersion = 4;
+  /// keyed under an unchanged level name. Version 5 added the coded
+  /// exchange's parity token to exchange rows.
+  static constexpr int kCacheVersion = 5;
 
  private:
   std::string key(const ExchangeSignature& sig) const;

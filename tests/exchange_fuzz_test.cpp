@@ -256,6 +256,161 @@ INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzz, ::testing::Values(2, 3, 4, 8),
                            return "p" + std::to_string(info.param);
                          });
 
+// --- Coded-exchange axis ----------------------------------------------------
+// The erasure-coded wire under seed-randomized fault plans: every coded
+// path must deliver the uncoded receive buffers bit for bit, faults or not.
+// The fault schedule is drawn from LOSSYFFT_FAULT_SEED (default derived
+// from the fuzz seed; tools/fuzz_soak.sh rotates it alongside SIMD levels)
+// and is recoverable by construction: targeted drop/corrupt injections are
+// bounded to the first two frames of a group under parity m = 2, and the
+// probabilistic layer is delay-only, which one-sided targets resolve via
+// flush_delayed and two-sided targets simply ride out.
+
+std::uint64_t fault_seed() {
+  if (const char* s = std::getenv("LOSSYFFT_FAULT_SEED")) {
+    if (const auto v = std::strtoull(s, nullptr, 10); v != 0) return v;
+  }
+  return fuzz_seed() ^ 0xc0dedfau;  // Derived tier-1 default.
+}
+
+// Seed-driven but budget-respecting fault plan: per (epoch, src, dst)
+// group at most two targeted faults, pinned to put indices 0 and 1 (data
+// chunk 0 plus either data chunk 1 or the first parity frame — both
+// within an m = 2 budget for either rate class), kinds and header-bit
+// targeting drawn from the hash. Probabilistic delays layer on top.
+minimpi::FaultPlan make_fuzz_fault_plan(std::uint64_t seed, int p,
+                                        int epochs) {
+  using minimpi::FaultKind;
+  using minimpi::FaultPlan;
+  using minimpi::FaultSpec;
+  FaultPlan fp;
+  fp.seed = seed;
+  fp.delay_prob = 0.2;
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    for (int s = 0; s < p; ++s) {
+      for (int d = 0; d < p; ++d) {
+        if (s == d) continue;
+        for (int idx = 0; idx < 2; ++idx) {
+          const double u = FaultPlan::hash_unit(
+              seed ^ 0x7a11, static_cast<std::uint64_t>(epoch), s, d,
+              static_cast<std::uint32_t>(idx));
+          if (u >= (idx == 0 ? 0.5 : 0.25)) continue;
+          FaultSpec spec;
+          spec.epoch = static_cast<std::uint64_t>(epoch);
+          spec.src = s;
+          spec.dst = d;
+          spec.put_index = idx;
+          spec.kind = u < 0.1 ? FaultKind::kCorrupt : FaultKind::kDrop;
+          spec.header = spec.kind == FaultKind::kCorrupt && u < 0.03;
+          fp.targeted.push_back(spec);
+        }
+      }
+    }
+  }
+  return fp;
+}
+
+// Coded-capable paths (staged two-sided cannot carry parity frames).
+constexpr PathSpec kCodedPaths[] = {
+    {"twosided-fused", PlanBackend::kTwoSided, OscSync::kFence, true, 1},
+    {"osc-fence", PlanBackend::kOneSided, OscSync::kFence, false, 1},
+    {"osc-pscw", PlanBackend::kOneSided, OscSync::kPscw, false, 1},
+    {"osc-pscw-pool", PlanBackend::kOneSided, OscSync::kPscw, false, 2},
+};
+
+class ExchangeFuzzCoded : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeFuzzCoded, FaultedAndCleanCodedRunsMatchUncodedBitwise) {
+  const int p = GetParam();
+  const int kEpochs = 3;
+  run_ranks(p, [&](Comm& comm) {
+    Xoshiro256 meta(fuzz_seed() + static_cast<std::uint64_t>(p) * 211);
+    const auto codecs = codec_cases(meta);
+    const std::uint64_t seed =
+        fuzz_seed() + static_cast<std::uint64_t>(p) * 1009 + 23;
+    const auto fp =
+        make_fuzz_fault_plan(fault_seed() + static_cast<std::uint64_t>(p), p,
+                             kEpochs);
+    for (const CodecCase& cc : codecs) {
+      // Uncoded one-sided reference.
+      auto ref = make_fuzz_layout(seed, p, comm.rank(), false);
+      OscOptions base;
+      base.codec = cc.codec;
+      base.gpus_per_node = 2;
+      base.chunks = 1 + static_cast<int>(seed % 4);
+      {
+        ExchangePlan rp(comm, PlanBackend::kOneSided, ref.sc, ref.sd, ref.rc,
+                        ref.rd, std::span<double>(ref.recv), base);
+        rp.execute(ref.send, ref.recv);
+      }
+      const auto expect_ref = [&](const FuzzLayout& l, const char* path,
+                                  const char* mode, int epoch) {
+        // EXPECT (not ASSERT): collective lockstep, same as above.
+        EXPECT_EQ(l.recv.size(), ref.recv.size());
+        int reported = 0;
+        for (std::size_t i = 0; i < ref.recv.size() && reported < 5; ++i) {
+          if (l.recv[i] != ref.recv[i]) {
+            ++reported;
+            EXPECT_EQ(l.recv[i], ref.recv[i])
+                << "path=" << path << " codec=" << cc.name << " mode=" << mode
+                << " p=" << p << " epoch=" << epoch << " fault_seed="
+                << fault_seed() << " i=" << i;
+          }
+        }
+      };
+      for (const PathSpec& ps : kCodedPaths) {
+        OscOptions o = base;
+        o.sync = ps.sync;
+        o.fused = ps.fused;
+        o.workers = ps.workers;
+        o.parity = 2;
+        {
+          // Coded, zero faults: bit-identical, parity on the wire, nothing
+          // reconstructed.
+          auto l = make_fuzz_layout(seed, p, comm.rank(), false);
+          ExchangePlan plan(comm, ps.backend, l.sc, l.sd, l.rc, l.rd,
+                            std::span<double>(l.recv), o);
+          std::fill(l.recv.begin(), l.recv.end(), -999.0);
+          const auto st = plan.execute(l.send, l.recv);
+          expect_ref(l, ps.name, "clean", 1);
+          // Parity only travels on cross-rank messages; a rank whose
+          // random layout sends nothing off-rank legitimately reports 0.
+          bool sends_cross = false;
+          for (int d = 0; d < p; ++d) {
+            if (d != comm.rank() && l.sc[static_cast<std::size_t>(d)] > 0) {
+              sends_cross = true;
+            }
+          }
+          if (sends_cross) {
+            EXPECT_GT(st.parity_bytes, 0u) << ps.name << " " << cc.name;
+          }
+          EXPECT_EQ(st.chunks_reconstructed, 0u) << ps.name << " " << cc.name;
+        }
+        {
+          // Coded under the fault plan: every epoch recovers bitwise.
+          auto l = make_fuzz_layout(seed, p, comm.rank(), false);
+          OscOptions fo = o;
+          fo.fault_plan = &fp;
+          ExchangePlan plan(comm, ps.backend, l.sc, l.sd, l.rc, l.rd,
+                            std::span<double>(l.recv), fo);
+          for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+            std::fill(l.recv.begin(), l.recv.end(), -999.0);
+            plan.execute(l.send, l.recv);
+            expect_ref(l, ps.name, "faulted", epoch);
+          }
+        }
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeFuzzCoded,
+                         ::testing::Values(2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
 // --- SIMD dispatch cross-check ---------------------------------------------
 // The codec kernels exist once per dispatch tier (scalar reference, AVX2,
 // AVX-512); the wire format is frozen, so a full exchange must deliver

@@ -427,6 +427,51 @@ TEST(SteadyState, VariableCodecPlansAreCollectiveAndAllocationFree) {
   });
 }
 
+TEST(SteadyState, CodedExecuteIsCollectiveAndAllocationFree) {
+  // The tentpole's steady-state invariant: parity frames are carved into
+  // the pinned window and encoded into plan-owned scratch, so a fault-free
+  // coded execute() runs exactly like the uncoded one — zero collectives,
+  // zero allocations — for both rate classes.
+  run_ranks(4, [](Comm& comm) {
+    auto fix = make_layout(4, comm.rank());
+    auto var = make_layout(4, comm.rank());
+    OscOptions fo;
+    fo.codec = std::make_shared<CastFp32Codec>();
+    fo.parity = 2;
+    OscOptions vo;
+    vo.codec = std::make_shared<SzqCodec>(1e-7);
+    vo.parity = 2;
+    ExchangePlan fplan(comm, PlanBackend::kOneSided, fix.sc, fix.sd, fix.rc,
+                       fix.rd, std::span<double>(fix.recv), fo);
+    ExchangePlan vplan(comm, PlanBackend::kOneSided, var.sc, var.sd, var.rc,
+                       var.rd, std::span<double>(var.recv), vo);
+    fplan.execute(fix.send, fix.recv);
+    vplan.execute(var.send, var.recv);
+    comm.barrier();
+    const std::uint64_t w0 = comm.state().window_begin_count();
+    const std::uint64_t m0 = comm.state().message_post_count();
+    t_allocs = 0;
+    t_count_allocs = true;
+    osc::ExchangeStats fst, vst;
+    for (int it = 0; it < 3; ++it) {
+      fst = fplan.execute(fix.send, fix.recv);
+      vst = vplan.execute(var.send, var.recv);
+    }
+    t_count_allocs = false;
+    comm.barrier();
+    EXPECT_EQ(comm.state().window_begin_count(), w0);
+    EXPECT_EQ(comm.state().message_post_count(), m0);
+    EXPECT_EQ(t_allocs, 0u);
+    // The parity really was on the wire, and nothing needed recovering.
+    EXPECT_GT(fst.parity_bytes, 0u);
+    EXPECT_GT(vst.parity_bytes, 0u);
+    EXPECT_EQ(fst.chunks_reconstructed, 0u);
+    EXPECT_EQ(vst.chunks_reconstructed, 0u);
+    expect_delivery(4, comm.rank(), fix, 3e-7);
+    expect_delivery(4, comm.rank(), var, 1e-6);
+  });
+}
+
 TEST(SteadyState, PscwPipelinedExecuteIsHandshakeOnlyAndAllocationFree) {
   // kPscw with workers = 1: per-round inline decode (pipelined against the
   // remaining rounds' puts) must stay allocation-free, and the only

@@ -159,6 +159,84 @@ TEST(Simulate, CongestionTermCausesTheStormCollapse) {
   EXPECT_GT(t_with, 2.0 * t_without);
 }
 
+// --- Straggler model --------------------------------------------------------
+// The receiver-side terms the tuner prices the coded exchange against:
+// deterministic per-rank injected delays and the probabilistic binomial
+// stall, both reduced by the schedule's parity_absorb budget.
+
+// The stall is charged to the *receiving* node while per-message overhead
+// is charged to the sender, and a phase costs the busiest node's total —
+// so the analytic expectation is wire + max(sender overhead, stall) +
+// base latency, not a plain sum.
+
+TEST(Straggler, InjectedRankDelayShiftsBusiestNodeCost) {
+  const auto t = Topology::summit(2);
+  NetworkParams clean;
+  NetworkParams slow = clean;
+  slow.rank_delay_seconds.assign(static_cast<std::size_t>(t.ranks()), 0.0);
+  slow.rank_delay_seconds[0] = 5e-3;
+  const Schedule sched = one_phase({{0, 6, 1000}});
+  const double wire = 1000.0 / clean.inter_bw;
+  // The receiving node waits out the full injected delay (absorb = 0) and
+  // becomes the busiest node.
+  EXPECT_NEAR(simulate(t, sched, slow).seconds,
+              wire + 5e-3 + clean.base_latency, 1e-12);
+  // A delay on a rank that sends nothing inter-node costs nothing.
+  NetworkParams idle = clean;
+  idle.rank_delay_seconds.assign(static_cast<std::size_t>(t.ranks()), 0.0);
+  idle.rank_delay_seconds[11] = 5e-3;
+  EXPECT_NEAR(simulate(t, sched, idle).seconds,
+              simulate(t, sched, clean).seconds, 1e-12);
+}
+
+TEST(Straggler, ParityAbsorbRemovesTheLargestDelaysFirst) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  p.rank_delay_seconds.assign(static_cast<std::size_t>(t.ranks()), 0.0);
+  p.rank_delay_seconds[0] = 5e-3;
+  p.rank_delay_seconds[1] = 3e-3;
+  p.rank_delay_seconds[2] = 1e-3;
+  Schedule sched = one_phase({{0, 6, 1000}, {1, 6, 1000}, {2, 6, 1000}});
+  const double wire = 3000.0 / p.inter_bw;
+  const double overhead = 3 * p.msg_overhead_two_sided;  // Sender side.
+  const double stall[] = {5e-3, 3e-3, 1e-3, 0.0, 0.0};
+  double prev = 1e9;
+  for (int absorb = 0; absorb <= 4; ++absorb) {
+    sched.parity_absorb = absorb;
+    const double s = simulate(t, sched, p).seconds;
+    EXPECT_NEAR(s, wire + std::max(overhead, stall[absorb]) + p.base_latency,
+                1e-12)
+        << "absorb=" << absorb;
+    EXPECT_LE(s, prev) << "absorb=" << absorb;  // Monotone in the budget.
+    prev = s;
+  }
+}
+
+TEST(Straggler, ProbabilisticStallMatchesTheBinomialTail) {
+  const auto t = Topology::summit(2);
+  NetworkParams p;
+  p.straggler_prob = 0.3;
+  p.straggler_seconds = 2e-3;
+  Schedule sched = one_phase({{0, 6, 1000}, {1, 7, 1000}, {2, 8, 1000}});
+  const double wire = 3000.0 / p.inter_bw;
+  const double overhead = 3 * p.msg_overhead_two_sided;
+  // Independently computed P(Binomial(3, 0.3) > a).
+  const double q = 0.3, n = 3;
+  const double pmf0 = std::pow(1 - q, n);
+  const double pmf1 = n * q * std::pow(1 - q, n - 1);
+  const double pmf2 = 3 * q * q * (1 - q);
+  const double tail[] = {1 - pmf0, 1 - pmf0 - pmf1, 1 - pmf0 - pmf1 - pmf2,
+                         0.0};
+  for (int absorb = 0; absorb <= 3; ++absorb) {
+    sched.parity_absorb = absorb;
+    EXPECT_NEAR(simulate(t, sched, p).seconds,
+                wire + std::max(overhead, 2e-3 * tail[absorb]) +
+                    p.base_latency,
+                1e-12)
+        << "absorb=" << absorb;
+  }
+}
+
 TEST(Pipeline, MoreChunksImproveOverlapUntilLaunchCostDominates) {
   NetworkParams p;
   const std::uint64_t bytes = 64 * 1024 * 1024;

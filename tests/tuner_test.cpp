@@ -102,7 +102,7 @@ TEST(TunerModel, PickWithinTenPercentOfExhaustiveBest) {
           sig.codec = codec;
           const TuneDecision d = tuner.decide(sig);
           const double picked =
-              evaluate(sig, TuneCandidate{d.path, d.workers}, k);
+              evaluate(sig, TuneCandidate{d.path, d.workers, d.parity}, k);
           double best = -1.0;
           for (const TuneCandidate& c : candidate_space(sig, k)) {
             const double cost = evaluate(sig, c, k);
@@ -116,6 +116,123 @@ TEST(TunerModel, PickWithinTenPercentOfExhaustiveBest) {
       }
     }
   }
+}
+
+// --- Straggler model: the parity axis and the coded/uncoded pick -----------
+
+namespace {
+
+// Summit defaults with a probabilistic straggler source attached: each
+// inbound flow stalls `seconds` late with probability `prob`.
+CostConstants straggler_constants(double prob, double seconds) {
+  CostConstants k;
+  k.net.straggler_prob = prob;
+  k.net.straggler_seconds = seconds;
+  return k;
+}
+
+}  // namespace
+
+TEST(TunerStraggler, ParityAxisRequiresAStragglerModel) {
+  ExchangeSignature sig;
+  sig.p = 8;
+  sig.gpn = 2;
+  sig.pair_bytes = 256 * 1024;
+  sig.codec = std::make_shared<CastFp32Codec>();
+
+  // Without a straggler source parity is pure overhead, so the grid never
+  // prices it and every decision is uncoded by construction.
+  const CostConstants plain;
+  for (const TuneCandidate& c : candidate_space(sig, plain)) {
+    EXPECT_EQ(c.parity, 0) << to_string(c.path) << " w=" << c.workers;
+  }
+  EXPECT_EQ(decide(sig, plain).parity, 0);
+
+  // With one, every path except the staged baseline (no coded wire
+  // format) is crossed with m in {0, 1, 2}.
+  const CostConstants k = straggler_constants(0.05, 200e-6);
+  bool saw_m1 = false, saw_m2 = false;
+  for (const TuneCandidate& c : candidate_space(sig, k)) {
+    EXPECT_GE(c.parity, 0);
+    EXPECT_LE(c.parity, 2);
+    if (c.path == TunePath::kTwoSidedStaged) {
+      EXPECT_EQ(c.parity, 0) << "staged baseline must stay uncoded";
+    }
+    saw_m1 |= c.parity == 1;
+    saw_m2 |= c.parity == 2;
+  }
+  EXPECT_TRUE(saw_m1);
+  EXPECT_TRUE(saw_m2);
+
+  // A per-rank injected delay is an equally valid straggler source.
+  CostConstants kd;
+  kd.net.rank_delay_seconds.assign(static_cast<std::size_t>(sig.p), 0.0);
+  kd.net.rank_delay_seconds[3] = 1e-3;
+  bool delayed_m = false;
+  for (const TuneCandidate& c : candidate_space(sig, kd)) {
+    delayed_m |= c.parity > 0;
+  }
+  EXPECT_TRUE(delayed_m);
+}
+
+TEST(TunerStraggler, DecisionMatchesExhaustiveArgminOverTheCodedGrid) {
+  const CostConstants k = straggler_constants(0.08, 150e-6);
+  const auto codecs = sweep_codecs();
+  for (const int p : {4, 8, 16}) {
+    for (const std::uint64_t kib : {16ull, 256ull, 2048ull}) {
+      for (const auto& [label, codec] : codecs) {
+        ExchangeSignature sig;
+        sig.p = p;
+        sig.gpn = 2;
+        sig.pair_bytes = kib * 1024;
+        sig.codec = codec;
+        const TuneDecision d = decide(sig, k);
+        double best = -1.0;
+        TuneCandidate arg;
+        for (const TuneCandidate& c : candidate_space(sig, k)) {
+          const double cost = evaluate(sig, c, k);
+          if (best < 0.0 || cost < best) {
+            best = cost;
+            arg = c;
+          }
+        }
+        EXPECT_EQ(static_cast<int>(d.path), static_cast<int>(arg.path))
+            << "p=" << p << " KiB=" << kib << " codec=" << label;
+        EXPECT_EQ(d.workers, arg.workers)
+            << "p=" << p << " KiB=" << kib << " codec=" << label;
+        EXPECT_EQ(d.parity, arg.parity)
+            << "p=" << p << " KiB=" << kib << " codec=" << label;
+        EXPECT_DOUBLE_EQ(d.modeled_seconds, best);
+      }
+    }
+  }
+}
+
+TEST(TunerStraggler, HeavyStallsFavorCodedAndCleanNetworksDoNot) {
+  ExchangeSignature sig;
+  sig.p = 16;
+  sig.gpn = 2;
+  sig.pair_bytes = 64 * 1024;
+  sig.codec = std::make_shared<CastFp32Codec>();
+
+  // Frequent millisecond stalls dwarf the parity wire/encode overhead of a
+  // 64 KiB message: absorbing even one straggler per round must win.
+  const CostConstants heavy = straggler_constants(0.25, 2e-3);
+  const TuneDecision coded = decide(sig, heavy);
+  EXPECT_GT(coded.parity, 0) << to_string(coded.path);
+
+  // The same signature priced with a vanishing stall keeps the parity
+  // axis open but the argmin lands back on the uncoded plan.
+  const CostConstants light = straggler_constants(1e-4, 1e-6);
+  EXPECT_EQ(decide(sig, light).parity, 0);
+
+  // Sanity on the model itself: with the heavy constants, the winning
+  // coded candidate really does price below its uncoded twin.
+  const double coded_cost =
+      evaluate(sig, {coded.path, coded.workers, coded.parity}, heavy);
+  const double uncoded_cost =
+      evaluate(sig, {coded.path, coded.workers, 0}, heavy);
+  EXPECT_LT(coded_cost, uncoded_cost);
 }
 
 // --- Persistent cache: write -> reload -> identical, probe-free ------------
@@ -164,6 +281,7 @@ TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
     const TuneDecision d = reader.decide(sigs[i]);
     EXPECT_EQ(static_cast<int>(d.path), static_cast<int>(first[i].path)) << i;
     EXPECT_EQ(d.workers, first[i].workers) << i;
+    EXPECT_EQ(d.parity, first[i].parity) << i;
     EXPECT_EQ(d.rendezvous_threshold, first[i].rendezvous_threshold) << i;
     EXPECT_EQ(d.modeled_seconds, first[i].modeled_seconds) << i;
   }
@@ -179,6 +297,52 @@ TEST(TunerCache, RoundTripReloadsIdenticalDecisionsWithoutProbing) {
   EXPECT_EQ(static_cast<int>(da.path), static_cast<int>(db.path));
   EXPECT_EQ(da.workers, db.workers);
   EXPECT_EQ(da.modeled_seconds, db.modeled_seconds);
+}
+
+TEST(TunerCache, CodedDecisionsSurviveTheRoundTrip) {
+  // A straggler model strong enough that some decisions carry parity > 0;
+  // the cache row must persist that column and a cold reader must serve
+  // it back without re-deciding.
+  const std::string path = ::testing::TempDir() + "lossyfft_tune_coded.txt";
+  std::remove(path.c_str());
+  CostConstants k;
+  k.net.straggler_prob = 0.25;
+  k.net.straggler_seconds = 2e-3;
+
+  std::vector<ExchangeSignature> sigs;
+  for (const std::uint64_t kib : {16ull, 64ull, 1024ull}) {
+    ExchangeSignature sig;
+    sig.p = 16;
+    sig.gpn = 2;
+    sig.pair_bytes = kib * 1024;
+    sig.codec = std::make_shared<CastFp32Codec>();
+    sigs.push_back(sig);
+  }
+
+  std::vector<TuneDecision> first;
+  {
+    TunerOptions to;
+    to.cache_path = path;
+    to.constants = k;
+    Tuner writer(std::move(to));
+    for (const auto& sig : sigs) first.push_back(writer.decide(sig));
+  }
+  bool any_coded = false;
+  for (const auto& d : first) any_coded |= d.parity > 0;
+  ASSERT_TRUE(any_coded) << "straggler constants too weak to exercise parity";
+
+  // The reader gets NO constants: a cache miss would force a calibration
+  // with a clean network model and could never reproduce parity > 0.
+  TunerOptions ro;
+  ro.cache_path = path;
+  Tuner reader(std::move(ro));
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const TuneDecision d = reader.decide(sigs[i]);
+    EXPECT_EQ(static_cast<int>(d.path), static_cast<int>(first[i].path)) << i;
+    EXPECT_EQ(d.workers, first[i].workers) << i;
+    EXPECT_EQ(d.parity, first[i].parity) << i;
+    EXPECT_EQ(d.modeled_seconds, first[i].modeled_seconds) << i;
+  }
 }
 
 TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
@@ -243,11 +407,12 @@ const std::string& global_cache_path() {
     std::ofstream out(path, std::ios::trunc);
     out << "lossyfft-tune-cache " << Tuner::kCacheVersion << " "
         << lossyfft::simd_level_name() << "\n";
-    // Pin: one-sided fence, serial workers (the config whose steady-state
-    // budgets the counter asserts below encode).
+    // Pin: one-sided fence, serial workers, uncoded (the config whose
+    // steady-state budgets the counter asserts below encode). Row layout:
+    // p gpn sc cls rb path workers parity rendezvous seconds.
     out << "4 6 " << size_class(pair) << " " << fp32.name() << " " << rb
         << " " << static_cast<int>(TunePath::kOneSidedFence)
-        << " 1 4096 1e-3\n";
+        << " 1 0 4096 1e-3\n";
     ::setenv("LOSSYFFT_TUNE_CACHE", path.c_str(), 1);
   });
   return path;

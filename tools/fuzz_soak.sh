@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Soak-run the randomized exchange conformance suite under rotating seeds.
 #
-# Each iteration exports a fresh LOSSYFFT_FUZZ_SEED and runs the `fuzz`
-# CMake workflow preset (configure + build + `ctest -L fuzz`), so every run
-# draws new layouts, codec parameters, and ring shapes through every
-# transport path. Iterations also rotate the LOSSYFFT_SIMD dispatch
-# override through auto/scalar/avx2/avx512 so the soak exercises every
-# kernel tier the host supports (an unsupported level warns once and falls
-# back — still a valid run of the best supported tier). Failures are
-# collected and reported at the end with the exact seed, the SIMD level,
+# Each iteration exports a fresh LOSSYFFT_FUZZ_SEED and a fresh
+# LOSSYFFT_FAULT_SEED and runs the `fuzz` CMake workflow preset (configure
+# + build + `ctest -L fuzz`), so every run draws new layouts, codec
+# parameters, and ring shapes through every transport path, plus a new
+# coded-exchange fault schedule (drops / delays / corrupts under parity)
+# through every coded path. Iterations also rotate the LOSSYFFT_SIMD
+# dispatch override through auto/scalar/avx2/avx512 so the soak exercises
+# every kernel tier the host supports (an unsupported level warns once and
+# falls back — still a valid run of the best supported tier). Failures are
+# collected and reported at the end with the exact seeds, the SIMD level,
 # and a one-line reproduction command — a soak failure is only useful if
 # it can be replayed.
 #
 # Usage: tools/fuzz_soak.sh [runs] [start-seed]
 #   runs        number of iterations (default 10)
 #   start-seed  first seed (default: current epoch seconds); subsequent
-#               runs advance by a fixed prime stride so a soak is fully
+#               runs advance by a fixed prime stride, and the fault seed is
+#               a fixed offset of the fuzz seed, so a soak is fully
 #               described by (runs, start-seed).
 #
 # CI runs a short fixed-seed soak via the `ci-soak` workflow preset.
@@ -29,10 +32,12 @@ SIMD_LEVELS=(auto scalar avx2 avx512)
 failed=()
 for i in $(seq 1 "$RUNS"); do
   SIMD="${SIMD_LEVELS[$(( (i - 1) % ${#SIMD_LEVELS[@]} ))]}"
-  echo "== fuzz soak ${i}/${RUNS}: LOSSYFFT_FUZZ_SEED=${SEED} LOSSYFFT_SIMD=${SIMD} =="
-  if ! LOSSYFFT_FUZZ_SEED="$SEED" LOSSYFFT_SIMD="$SIMD" \
-       cmake --workflow --preset fuzz; then
-    failed+=("LOSSYFFT_FUZZ_SEED=${SEED} LOSSYFFT_SIMD=${SIMD}")
+  FAULT=$((SEED + 104729))
+  echo "== fuzz soak ${i}/${RUNS}: LOSSYFFT_FUZZ_SEED=${SEED}" \
+       "LOSSYFFT_FAULT_SEED=${FAULT} LOSSYFFT_SIMD=${SIMD} =="
+  if ! LOSSYFFT_FUZZ_SEED="$SEED" LOSSYFFT_FAULT_SEED="$FAULT" \
+       LOSSYFFT_SIMD="$SIMD" cmake --workflow --preset fuzz; then
+    failed+=("LOSSYFFT_FUZZ_SEED=${SEED} LOSSYFFT_FAULT_SEED=${FAULT} LOSSYFFT_SIMD=${SIMD}")
   fi
   SEED=$((SEED + 7919))
 done
