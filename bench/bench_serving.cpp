@@ -1,0 +1,341 @@
+// Many-client soak of the lossyfftd serving layer: one in-process Daemon
+// (4 ranks sharing the process WorkerPool), 120 concurrent client
+// sessions (16 under --smoke) drawn from a mixed pool of transform
+// signatures, QoS knobs, and job counts. All sessions open before any
+// job is submitted, so the daemon demonstrably holds 100+ live sessions
+// at once; one client in eight vanishes abruptly after submitting
+// (exercising mid-transform cancellation and lease return at scale).
+//
+// LOSSYFFT_SERVE_SEED (or --seed N) varies the per-client signature
+// draw, QoS mix, job counts, and inter-submit jitter, so repeated runs
+// walk different interleavings of the scheduler, plan cache, and
+// teardown paths — tools/fuzz_soak.sh --serving rotates it.
+//
+// The run fails (exit 1) if any session/transform fails unexpectedly, a
+// lossy roundtrip exceeds its accuracy budget, or sessions/leases leak
+// after every client is gone. Results (throughput, plan-cache hit rate,
+// peak sessions) land in BENCH_serving.json (--out PATH to redirect).
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+using namespace lossyfft;
+using namespace lossyfft::serve;
+
+struct SigTemplate {
+  const char* label;
+  std::array<int, 3> n;
+  int family;  // CodecFamily value, -1 = raw.
+  double e_tol;
+  std::uint8_t sync;  // 0 fence, 1 pscw.
+  double err_budget;  // Roundtrip rel-L2 ceiling; 0 = exact required.
+};
+
+// The mixed-tenant pool: every codec class, both sync modes, uneven grids.
+const SigTemplate kSignatures[] = {
+    {"trunc-16c-fence", {16, 16, 16}, 0, 1e-6, 0, 1e-4},
+    {"trunc-12x10x8-pscw", {12, 10, 8}, 0, 1e-5, 1, 1e-3},
+    {"zfpx-8x12x10-pscw", {8, 12, 10}, 1, 1e-5, 1, 1e-3},
+    {"szq-20x16x12-fence", {20, 16, 12}, 2, 1e-4, 0, 1e-2},
+    {"lossless-10c-fence", {10, 10, 10}, 3, 1e-6, 0, 1e-10},
+    {"raw-16x12x8-fence", {16, 12, 8}, -1, 1e-3, 0, 1e-10},
+};
+constexpr int kNumSignatures =
+    static_cast<int>(sizeof(kSignatures) / sizeof(kSignatures[0]));
+
+SessionConfig config_from(const SigTemplate& t, Xoshiro256& rng) {
+  SessionConfig cfg;
+  cfg.n = t.n;
+  cfg.family = t.family;
+  cfg.e_tol = t.e_tol;
+  cfg.sync = t.sync;
+  cfg.qos.priority = static_cast<int>(rng() % 8);
+  // A sixth of the tenants are rate-limited (fast enough not to stall
+  // the soak, slow enough to exercise the token bucket under load).
+  cfg.qos.rate = (rng() % 6 == 0) ? 200.0 : 0.0;
+  cfg.qos.max_inflight = 2 + static_cast<std::uint32_t>(rng() % 4);
+  return cfg;
+}
+
+struct ClientOutcome {
+  int sig = -1;
+  bool ok = false;
+  bool abrupt = false;
+  int jobs = 0;
+  double max_rel_err = 0.0;
+  std::string error;
+};
+
+// All-open barrier: every session is live before the first job, so the
+// daemon provably holds `clients` concurrent sessions.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  int target = 0;
+  bool open = false;
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (++waiting >= target) {
+      open = true;
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return open; });
+    }
+  }
+};
+
+double rel_l2(const std::vector<std::complex<double>>& a,
+              const std::vector<std::complex<double>>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - b[i]);
+    den += std::norm(b[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+ClientOutcome run_client(const std::string& socket_path, int index,
+                         std::uint64_t seed, Gate& gate) {
+  ClientOutcome out;
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ull + std::uint64_t(index));
+  out.sig = static_cast<int>(rng() % kNumSignatures);
+  const SigTemplate& t = kSignatures[out.sig];
+  const SessionConfig cfg = config_from(t, rng);
+  out.abrupt = rng() % 8 == 0;
+  const int jobs = 2 + static_cast<int>(rng() % 3);
+
+  std::vector<std::complex<double>> field(
+      std::size_t(cfg.n[0]) * cfg.n[1] * cfg.n[2]);
+  fill_uniform_complex(rng, field);
+  std::vector<std::complex<double>> result(field.size());
+
+  Client client;
+  const Client::OpenResult open = client.open(socket_path, cfg);
+  if (!open.ok) {
+    out.error = "open failed: " + open.reason;
+    gate.arrive_and_wait();  // Never strand the barrier.
+    return out;
+  }
+  gate.arrive_and_wait();
+
+  if (out.abrupt) {
+    // Pipeline up to the in-flight cap, then vanish without CloseSession:
+    // the daemon must cancel the queued work and return the plan lease.
+    std::string why;
+    for (std::uint64_t id = 1; id <= cfg.qos.max_inflight; ++id) {
+      if (!client.submit(id, TransformDir::kRoundtrip, field, &why)) break;
+      ++out.jobs;
+    }
+    ::shutdown(client.raw_fd(), SHUT_RDWR);
+    out.ok = true;  // An abrupt tenant has nothing further to verify.
+    return out;
+  }
+
+  for (int j = 0; j < jobs; ++j) {
+    const Client::Result res =
+        client.transform(TransformDir::kRoundtrip, field, result);
+    if (!res.ok) {
+      out.error = "transform failed: " + res.error;
+      return out;
+    }
+    ++out.jobs;
+    const double err = rel_l2(result, field);
+    if (err > out.max_rel_err) out.max_rel_err = err;
+    if (err > t.err_budget) {
+      out.error = "roundtrip error " + std::to_string(err) +
+                  " exceeds budget for " + t.label;
+      return out;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng() % 2000));
+  }
+  client.close();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint64_t seed = 20260808;
+  if (const char* env = std::getenv("LOSSYFFT_SERVE_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--smoke") {
+      smoke = true;
+    } else if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serving [--smoke] [--seed N] [--out PATH]\n");
+      return 2;
+    }
+  }
+  const int clients = smoke ? 16 : 120;
+
+  DaemonOptions opt;
+  opt.socket_path =
+      "/tmp/lossyfft_bench_serving_" + std::to_string(::getpid()) + ".sock";
+  opt.ranks = 4;
+  opt.gpus_per_node = 2;
+  opt.limits.max_sessions = static_cast<std::size_t>(clients) + 8;
+  Daemon daemon(opt);
+  try {
+    daemon.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_serving: daemon start failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("bench_serving: %d concurrent clients, seed %llu, world of %d "
+              "ranks on %s\n",
+              clients, static_cast<unsigned long long>(seed), opt.ranks,
+              opt.socket_path.c_str());
+
+  Gate gate;
+  gate.target = clients;
+  std::vector<ClientOutcome> outcomes(static_cast<std::size_t>(clients));
+  Stopwatch watch;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        outcomes[static_cast<std::size_t>(c)] =
+            run_client(opt.socket_path, c, seed, gate);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double wall = watch.seconds();
+
+  // Leak check: every session sheds (abrupt ones via the reader's EOF
+  // path) and every plan lease returns before we call it a pass.
+  bool drained = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (daemon.session_count() == 0 && daemon.cache_counters().leases == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  int failures = 0, abrupt = 0, jobs_verified = 0;
+  int per_sig_clients[kNumSignatures] = {};
+  double per_sig_err[kNumSignatures] = {};
+  for (const ClientOutcome& o : outcomes) {
+    if (!o.ok) {
+      ++failures;
+      std::fprintf(stderr, "bench_serving: client failed: %s\n",
+                   o.error.c_str());
+      continue;
+    }
+    ++per_sig_clients[o.sig];
+    if (o.max_rel_err > per_sig_err[o.sig]) per_sig_err[o.sig] = o.max_rel_err;
+    if (o.abrupt) {
+      ++abrupt;
+    } else {
+      jobs_verified += o.jobs;
+    }
+  }
+
+  const CacheCounters cc = daemon.cache_counters();
+  const DaemonCounters dc = daemon.counters();
+  daemon.stop();
+  const double lookups = static_cast<double>(cc.hits + cc.misses);
+  const double hit_rate = lookups > 0.0 ? double(cc.hits) / lookups : 0.0;
+
+  std::printf("  %d clients (%d abrupt), %d roundtrips verified in %.2f s "
+              "(%.0f jobs/s served)\n",
+              clients, abrupt, jobs_verified, wall,
+              double(dc.jobs_completed) / wall);
+  std::printf("  plan cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu entries at end\n",
+              static_cast<unsigned long long>(cc.hits),
+              static_cast<unsigned long long>(cc.misses), hit_rate * 100.0,
+              static_cast<unsigned long long>(cc.entries));
+  std::printf("  daemon: %llu jobs completed, %llu cancelled, %llu failed; "
+              "drained=%s\n",
+              static_cast<unsigned long long>(dc.jobs_completed),
+              static_cast<unsigned long long>(dc.jobs_cancelled),
+              static_cast<unsigned long long>(dc.jobs_failed),
+              drained ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 " \"note\": \"Many-client soak of lossyfftd: all sessions "
+                 "open before the first job (peak_sessions is genuinely "
+                 "concurrent), 1-in-8 clients disconnect abruptly "
+                 "mid-transform. Regenerate with bench_serving (Release "
+                 "bench preset); LOSSYFFT_SERVE_SEED rotates the mix.\",\n");
+    std::fprintf(f, " \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, " \"ranks\": %d,\n", opt.ranks);
+    std::fprintf(f, " \"clients\": %d,\n", clients);
+    std::fprintf(f, " \"peak_sessions\": %d,\n", clients);
+    std::fprintf(f, " \"abrupt_disconnects\": %d,\n", abrupt);
+    std::fprintf(f, " \"client_failures\": %d,\n", failures);
+    std::fprintf(f, " \"wall_seconds\": %.4f,\n", wall);
+    std::fprintf(f, " \"jobs_completed\": %llu,\n",
+                 static_cast<unsigned long long>(dc.jobs_completed));
+    std::fprintf(f, " \"jobs_cancelled\": %llu,\n",
+                 static_cast<unsigned long long>(dc.jobs_cancelled));
+    std::fprintf(f, " \"jobs_per_second\": %.1f,\n",
+                 double(dc.jobs_completed) / wall);
+    std::fprintf(f, " \"cache\": {\n");
+    std::fprintf(f, "  \"hits\": %llu,\n",
+                 static_cast<unsigned long long>(cc.hits));
+    std::fprintf(f, "  \"misses\": %llu,\n",
+                 static_cast<unsigned long long>(cc.misses));
+    std::fprintf(f, "  \"evictions\": %llu,\n",
+                 static_cast<unsigned long long>(cc.evictions));
+    std::fprintf(f, "  \"hit_rate\": %.4f\n", hit_rate);
+    std::fprintf(f, " },\n");
+    std::fprintf(f, " \"leak_free\": %s,\n", drained ? "true" : "false");
+    std::fprintf(f, " \"signatures\": [\n");
+    for (int s = 0; s < kNumSignatures; ++s) {
+      std::fprintf(f,
+                   "  {\"label\": \"%s\", \"clients\": %d, "
+                   "\"max_rel_err\": %.3e}%s\n",
+                   kSignatures[s].label, per_sig_clients[s], per_sig_err[s],
+                   s + 1 < kNumSignatures ? "," : "");
+    }
+    std::fprintf(f, " ]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+  if (failures > 0 || !drained) {
+    std::fprintf(stderr, "bench_serving: FAILED (%d client failures, "
+                 "drained=%s)\n",
+                 failures, drained ? "yes" : "no");
+    return 1;
+  }
+  std::printf("bench_serving: PASS\n");
+  return 0;
+}

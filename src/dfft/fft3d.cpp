@@ -408,15 +408,32 @@ template <typename T>
 osc::ExchangeStats Fft3d<T>::stats() const {
   osc::ExchangeStats total;
   for (const auto& r : fwd_reshape_) {
-    if (!r) continue;
-    total.payload_bytes += r->stats().payload_bytes;
-    total.wire_bytes += r->stats().wire_bytes;
-    total.rounds += r->stats().rounds;
-    total.messages += r->stats().messages;
-    total.chunks_issued += r->stats().chunks_issued;
-    total.seconds += r->stats().seconds;
+    if (r) total.accumulate(r->stats());
   }
   return total;
+}
+
+template <typename T>
+std::vector<double> Fft3d<T>::source_lag_seconds() const {
+  std::vector<double> lag(static_cast<std::size_t>(comm_.size()), 0.0);
+  for (const auto& r : fwd_reshape_) {
+    if (!r) continue;
+    const std::span<const double> rl = r->source_lag_seconds();
+    for (std::size_t s = 0; s < rl.size() && s < lag.size(); ++s) {
+      lag[s] += rl[s];
+    }
+  }
+  return lag;
+}
+
+template <typename T>
+std::uint64_t Fft3d<T>::footprint_bytes() const {
+  std::uint64_t b =
+      (work_a_.capacity() + work_b_.capacity()) * sizeof(std::complex<T>);
+  for (const auto& r : fwd_reshape_) {
+    if (r) b += r->footprint_bytes();
+  }
+  return b;
 }
 
 template <typename T>

@@ -173,6 +173,17 @@ class Fft3d {
   /// Combined wire statistics of all reshapes so far (this rank).
   osc::ExchangeStats stats() const;
 
+  /// Per-source arrival lag summed over every planned reshape (one slot
+  /// per communicator rank; all zero when no reshape runs a per-source
+  /// observability path). Normalize by stats().skew_epochs for a per-epoch
+  /// figure. Local.
+  std::vector<double> source_lag_seconds() const;
+
+  /// Resident bytes of this transform's pinned state: work buffers plus
+  /// every reshape's staging and plan footprint. What a byte-budgeted plan
+  /// cache (serve::PlanCache) charges for one cached Fft3d.
+  std::uint64_t footprint_bytes() const;
+
   /// The pipeline shape actually planned (kAuto resolves to kPencil or
   /// kSlab at construction).
   FftAlgorithm algorithm() const { return options_.algorithm; }

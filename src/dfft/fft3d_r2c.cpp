@@ -310,18 +310,10 @@ void Fft3dR2c<T>::backward(std::span<const std::complex<T>> in,
 template <typename T>
 osc::ExchangeStats Fft3dR2c<T>::stats() const {
   osc::ExchangeStats total;
-  const auto add = [&](const osc::ExchangeStats& st) {
-    total.payload_bytes += st.payload_bytes;
-    total.wire_bytes += st.wire_bytes;
-    total.rounds += st.rounds;
-    total.messages += st.messages;
-    total.chunks_issued += st.chunks_issued;
-    total.seconds += st.seconds;
-  };
-  add(to_xpencil_->stats());
-  add(from_xpencil_->stats());
-  for (const auto& r : fwd_) add(r->stats());
-  for (const auto& r : bwd_) add(r->stats());
+  total.accumulate(to_xpencil_->stats());
+  total.accumulate(from_xpencil_->stats());
+  for (const auto& r : fwd_) total.accumulate(r->stats());
+  for (const auto& r : bwd_) total.accumulate(r->stats());
   return total;
 }
 

@@ -324,11 +324,7 @@ void Reshape<E>::execute(std::span<const E> in, std::span<E> out) {
           reinterpret_cast<double*>(recvbuf_.data()),
           static_cast<std::size_t>(kDbl * recv_total_));
       const auto st = plan_->execute(send_view, recv_view);
-      stats_.payload_bytes += st.payload_bytes;
-      stats_.wire_bytes += st.wire_bytes;
-      stats_.rounds += st.rounds;
-      stats_.messages += st.messages;
-      stats_.chunks_issued += st.chunks_issued;
+      stats_.accumulate(st);
     }
   }
   if (!exchanged) {
@@ -434,11 +430,7 @@ void Reshape<E>::execute_batch(std::span<const E> in, std::span<E> out,
         reinterpret_cast<double*>(recvbuf_.data()),
         static_cast<std::size_t>(kDbl * recv_total_) * nf);
     const auto st = plan_->execute_batch(send_view, recv_view, fields);
-    stats_.payload_bytes += st.payload_bytes;
-    stats_.wire_bytes += st.wire_bytes;
-    stats_.rounds += st.rounds;
-    stats_.messages += st.messages;
-    stats_.chunks_issued += st.chunks_issued;
+    stats_.accumulate(st);
 
     const auto unpack_item = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t k = lo; k < hi; ++k) {

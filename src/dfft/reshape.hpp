@@ -141,6 +141,23 @@ class Reshape {
   /// Exchange statistics accumulated over all execute() calls on this rank.
   const osc::ExchangeStats& stats() const { return stats_; }
 
+  /// Accumulated per-source arrival lag from the underlying plan
+  /// (ExchangePlan::source_lag_seconds); empty on unplanned paths, which
+  /// have no per-source completion events to stamp.
+  std::span<const double> source_lag_seconds() const {
+    return plan_ ? plan_->source_lag_seconds() : std::span<const double>{};
+  }
+
+  /// Resident bytes of this reshape's staging buffers plus its plan's
+  /// pinned footprint — the per-reshape cost a byte-budgeted plan cache
+  /// charges.
+  std::uint64_t footprint_bytes() const {
+    std::uint64_t b =
+        (sendbuf_.capacity() + recvbuf_.capacity()) * sizeof(E);
+    if (plan_) b += plan_->footprint_bytes();
+    return b;
+  }
+
   /// The tuner decision applied at construction when osc_sync was kAuto on
   /// a planned path; empty otherwise (fixed config, or nothing to tune).
   const std::optional<tuner::TuneDecision>& tuned_decision() const {

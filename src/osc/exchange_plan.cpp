@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -36,6 +37,14 @@ constexpr std::uint64_t kHeaderBytesMask = (std::uint64_t{1} << 48) - 1;
 std::uint64_t make_slot_header(std::uint16_t seq, std::uint64_t bytes) {
   LFFT_ASSERT(bytes <= kHeaderBytesMask);
   return (std::uint64_t{seq} << 48) | bytes;
+}
+
+// Monotonic stamp for the arrival-skew counters. Only differences within
+// one epoch are ever consumed, so the epoch base is irrelevant.
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -87,6 +96,10 @@ ExchangePlan::ExchangePlan(minimpi::Comm& comm, PlanBackend backend,
   LFFT_REQUIRE(recv.size() % static_cast<std::size_t>(batch_) == 0,
                "ExchangePlan: pinned recv must hold `batch` equal fields");
   recv_extent_ = recv.size() / static_cast<std::size_t>(batch_);
+
+  // Arrival-skew scratch (pre-sized: stamping allocates nothing).
+  arrival_time_.assign(p, -1.0);
+  source_lag_.assign(p, 0.0);
 
   std::uint64_t payload = 0;
   for (const std::uint64_t c : sendcounts_) payload += c;
@@ -404,11 +417,11 @@ ExchangeStats ExchangePlan::execute_batch(std::span<const double> send,
         send.subspan(static_cast<std::size_t>(f) * sext, sext),
         recv.subspan(static_cast<std::size_t>(f) * recv_extent_,
                      recv_extent_));
-    stats.payload_bytes += one.payload_bytes;
-    stats.wire_bytes += one.wire_bytes;
-    stats.messages += one.messages;
-    stats.chunks_issued += one.chunks_issued;
-    stats.rounds = one.rounds;
+    const int schedule_rounds = one.rounds;
+    stats.accumulate(one);
+    // Pairwise rounds describe the schedule, not work done: a batch
+    // reports one pass's round count.
+    stats.rounds = schedule_rounds;
   }
   return stats;
 }
@@ -677,6 +690,15 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
     if (pscw) {
       win_->complete();
       win_->wait_posted();
+      // Round j's exposure just closed: stamp its sources' arrivals for the
+      // skew counters (the finest per-source completion event PSCW offers;
+      // fence mode ends in one global event and records nothing).
+      const double t_round = now_seconds();
+      for (const int src : pscw_sources_[static_cast<std::size_t>(j)]) {
+        if (recvcounts_[static_cast<std::size_t>(src)] > 0) {
+          arrival_time_[static_cast<std::size_t>(src)] = t_round;
+        }
+      }
       // Round j's exposure is closed: every (source, field) slot of this
       // round is complete, so its decode can overlap the remaining rounds'
       // puts.
@@ -705,13 +727,17 @@ ExchangeStats ExchangePlan::execute_one_sided(std::span<const double> send,
   // already closed the last round's epoch above).
   if (options_.sync == OscSync::kFence && raw_) win_->fence();
 
-  if (raw_) return stats;
+  if (raw_) {
+    if (pscw) finish_skew_epoch(stats);
+    return stats;
+  }
 
   if (pscw) {
     // Every source was decoded (or dispatched) as its round completed;
     // reap the pool jobs before the next epoch may repost their slots.
     for (auto& f : decode_inflight_) f.get();
     decode_inflight_.clear();
+    finish_skew_epoch(stats);
     if (coded_) {
       stats.chunks_reconstructed =
           reconstructed_.load(std::memory_order_relaxed);
@@ -1035,6 +1061,7 @@ ExchangeStats ExchangePlan::execute_two_sided_fused(
     stats.wire_bytes += used;
     codec_->decompress(std::span<const std::byte>(staging.data(), used),
                        recv.subspan(recvdispls_[m], recvcounts_[m]));
+    if (recvcounts_[m] > 0) arrival_time_[m] = now_seconds();
   }
 
   for (int j = 1; j < p_; ++j) {
@@ -1076,9 +1103,12 @@ ExchangeStats ExchangePlan::execute_two_sided_fused(
                                payload, recv.subspan(recvdispls_[src],
                                                      recvcounts_[src]));
                          });
+      // Per-partner completion: the fused pairwise loop's arrival event.
+      arrival_time_[src] = now_seconds();
     }
     if (sent) comm_.wait(req);
   }
+  finish_skew_epoch(stats);
   stats.chunks_issued = stats.messages;
   return stats;
 }
@@ -1219,6 +1249,53 @@ ExchangeStats ExchangePlan::execute_two_sided_coded(
   stats.chunks_reconstructed = reconstructed;
   rethrow_decode_error();
   return stats;
+}
+
+void ExchangePlan::finish_skew_epoch(ExchangeStats& stats) {
+  double first = 0.0;
+  double last = 0.0;
+  int seen = 0;
+  for (const double t : arrival_time_) {
+    if (t < 0.0) continue;
+    if (seen == 0 || t < first) first = t;
+    if (seen == 0 || t > last) last = t;
+    ++seen;
+  }
+  // One arrival has no skew to measure; the self round trip alone (p == 1
+  // or a one-partner round) records nothing.
+  if (seen >= 2) {
+    const double delta = last - first;
+    ++stats.skew_epochs;
+    stats.skew_seconds += delta;
+    if (delta > stats.max_skew_seconds) stats.max_skew_seconds = delta;
+    for (std::size_t s = 0; s < arrival_time_.size(); ++s) {
+      if (arrival_time_[s] >= 0.0) source_lag_[s] += arrival_time_[s] - first;
+    }
+  }
+  std::fill(arrival_time_.begin(), arrival_time_.end(), -1.0);
+}
+
+std::uint64_t ExchangePlan::footprint_bytes() const {
+  std::uint64_t b = 0;
+  b += window_store_.capacity();
+  b += stage_.capacity();
+  b += rstage_.capacity();
+  b += rec_scratch_.capacity();
+  b += pstage_.capacity();
+  b += (sendcounts_.capacity() + senddispls_.capacity() +
+        recvcounts_.capacity() + recvdispls_.capacity() +
+        send_wire_cap_.capacity() + recv_wire_cap_.capacity() +
+        send_wire_.capacity() + recv_wire_.capacity() +
+        stage_off_.capacity() + rstage_off_.capacity() + byte_sc_.capacity() +
+        byte_sd_.capacity() + byte_rc_.capacity() + byte_rd_.capacity() +
+        slot_offset_.capacity() + target_offset_.capacity() +
+        target_bank_stride_.capacity() + coded_roff_.capacity() +
+        coded_poff_.capacity() + coded_L_.capacity() + rec_off_.capacity()) *
+       sizeof(std::uint64_t);
+  b += (arrival_time_.capacity() + source_lag_.capacity()) * sizeof(double);
+  b += unpack_jobs_.capacity() * sizeof(PlanChunk);
+  for (const auto& jobs : round_jobs_) b += jobs.capacity() * sizeof(PlanChunk);
+  return b;
 }
 
 }  // namespace lossyfft::osc

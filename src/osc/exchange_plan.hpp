@@ -105,6 +105,21 @@ class ExchangePlan {
   PlanBackend backend() const { return backend_; }
   const OscOptions& options() const { return options_; }
 
+  /// Accumulated per-source arrival lag (seconds behind the epoch's first
+  /// arrival, summed over epochs), one slot per communicator rank. Only the
+  /// per-source observability paths record it — PSCW one-sided (a source is
+  /// stamped when its round's exposure closes) and the fused two-sided
+  /// pairwise loop (stamped per recv_consume); fence epochs end in one
+  /// global event and contribute nothing. Normalize by
+  /// ExchangeStats::skew_epochs for a per-epoch figure. Local, not
+  /// collective; the span stays valid for the plan's lifetime.
+  std::span<const double> source_lag_seconds() const { return source_lag_; }
+
+  /// Resident bytes of this plan's pinned buffers (window, staging slabs,
+  /// reconstruction scratch). The honest per-plan cost a byte-budgeted
+  /// plan cache (serve::PlanCache) charges its LRU accounting with.
+  std::uint64_t footprint_bytes() const;
+
  private:
   // One unit of codec work pinned at plan time: chunk
   // [elem_off, elem_off+elem_cnt) of the message to/from peer `peer`,
@@ -208,6 +223,15 @@ class ExchangePlan {
   // variable and two-sided = all destinations at capacity offsets.
   std::vector<std::byte> stage_;
   std::vector<std::byte> rstage_;  // Two-sided unfused receive slab.
+
+  // Arrival-skew scratch, pre-sized to p at construction so steady-state
+  // stamping allocates nothing: arrival_time_[s] is source s's completion
+  // stamp this epoch (negative = unseen), source_lag_ the lifetime lag
+  // accumulation behind source_lag_seconds().
+  std::vector<double> arrival_time_;
+  std::vector<double> source_lag_;
+  /// Reduce this epoch's arrival_time_ stamps into `stats` + source_lag_.
+  void finish_skew_epoch(ExchangeStats& stats);
 
   // --- Coded mode (parity / fault injection) ------------------------------
   // Receive frame directory (one-sided): data frame i of source s sits at

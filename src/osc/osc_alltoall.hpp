@@ -105,6 +105,35 @@ struct ExchangeStats {
   std::uint64_t chunks_reconstructed = 0;  // Erasures recovered via parity.
   std::uint64_t straggler_waits = 0;  // Recoveries that had to flush
                                       // delayed puts before reconstructing.
+  // Arrival-skew counters (per-source observability paths only: PSCW
+  // one-sided and the fused two-sided pairwise loop, where each source's
+  // completion is individually visible; fence mode sees one global event
+  // and records nothing). The measurement hook for feeding measured
+  // straggler statistics back into the tuner's straggler constants.
+  std::uint64_t skew_epochs = 0;   // Epochs that observed >= 2 arrivals.
+  double skew_seconds = 0.0;       // Sum over epochs of (last - first).
+  double max_skew_seconds = 0.0;   // Worst single-epoch delta.
+
+  /// Fold another stats record into this one: counters add, rounds add,
+  /// the worst-epoch skew takes the max. Every accumulation site (Reshape,
+  /// Fft3d::stats, batch merges, the serving layer's per-tenant tallies)
+  /// goes through here so new counters cannot be silently dropped.
+  void accumulate(const ExchangeStats& o) {
+    payload_bytes += o.payload_bytes;
+    wire_bytes += o.wire_bytes;
+    rounds += o.rounds;
+    messages += o.messages;
+    chunks_issued += o.chunks_issued;
+    seconds += o.seconds;
+    parity_bytes += o.parity_bytes;
+    chunks_reconstructed += o.chunks_reconstructed;
+    straggler_waits += o.straggler_waits;
+    skew_epochs += o.skew_epochs;
+    skew_seconds += o.skew_seconds;
+    if (o.max_skew_seconds > max_skew_seconds) {
+      max_skew_seconds = o.max_skew_seconds;
+    }
+  }
 
   double compression_ratio() const {
     return wire_bytes > 0 ? static_cast<double>(payload_bytes) /

@@ -1,0 +1,247 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lossyfft::serve {
+
+bool Client::connect_only(const std::string& socket_path) {
+  if (fd_ >= 0) return true;
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+Client::OpenResult Client::open(const std::string& socket_path,
+                                const SessionConfig& cfg) {
+  OpenResult res;
+  if (!connect_only(socket_path)) {
+    res.reason = "cannot connect to " + socket_path;
+    return res;
+  }
+  WireWriter w;
+  encode_config(w, cfg);
+  if (!write_frame(fd_, MsgType::kOpenSession, w.payload())) {
+    res.reason = "connection lost while opening";
+    return res;
+  }
+  Frame f;
+  if (!next_of_type(MsgType::kOpenAck, f)) {
+    res.reason = last_error_;
+    return res;
+  }
+  try {
+    WireReader r(f.payload);
+    if (r.u8() != 0) {
+      res.ok = true;
+      res.session_id = r.u64();
+      res.ranks = r.u32();
+      session_open_ = true;
+    } else {
+      res.reason = r.str();
+    }
+  } catch (const Error& e) {
+    res.reason = e.what();
+  }
+  return res;
+}
+
+bool Client::submit(std::uint64_t job_id, TransformDir dir,
+                    std::span<const std::complex<double>> field,
+                    std::string* reason) {
+  if (fd_ < 0) {
+    if (reason) *reason = "not connected";
+    return false;
+  }
+  WireWriter w;
+  w.u64(job_id);
+  w.u8(static_cast<std::uint8_t>(dir));
+  w.bytes(std::as_bytes(field));
+  if (!write_frame(fd_, MsgType::kSubmitTransform, w.payload())) {
+    if (reason) *reason = "connection lost";
+    return false;
+  }
+  Frame f;
+  if (!next_of_type(MsgType::kSubmitAck, f)) {
+    if (reason) *reason = last_error_;
+    return false;
+  }
+  try {
+    WireReader r(f.payload);
+    (void)r.u64();  // Echoed job id.
+    if (r.u8() != 0) return true;
+    if (reason) *reason = r.str();
+  } catch (const Error& e) {
+    if (reason) *reason = e.what();
+  }
+  return false;
+}
+
+Client::Result Client::wait(std::uint64_t job_id,
+                            std::span<std::complex<double>> out) {
+  Result res;
+  std::vector<std::byte> payload;
+  if (const auto it = done_.find(job_id); it != done_.end()) {
+    payload = std::move(it->second);
+    done_.erase(it);
+  } else {
+    for (;;) {
+      Frame f;
+      if (!next_of_type(MsgType::kTransformDone, f)) {
+        res.error = last_error_;
+        return res;
+      }
+      WireReader peek(f.payload);
+      const std::uint64_t got = peek.u64();
+      if (got == job_id) {
+        payload = std::move(f.payload);
+        break;
+      }
+      done_[got] = std::move(f.payload);  // Someone else's job; stash it.
+    }
+  }
+  try {
+    WireReader r(payload);
+    (void)r.u64();
+    const std::uint8_t status = r.u8();
+    res.error = r.str();
+    if (status == 0) {
+      const std::size_t bytes = out.size() * sizeof(std::complex<double>);
+      LFFT_REQUIRE(r.remaining() == bytes,
+                   "client: result size does not match the output span");
+      std::memcpy(out.data(), r.raw(bytes).data(), bytes);
+      res.ok = true;
+      res.state = JobState::kDone;
+    } else {
+      res.state = status == 2 ? JobState::kCancelled : JobState::kFailed;
+      if (res.error.empty()) {
+        res.error = status == 2 ? "cancelled" : "failed";
+      }
+    }
+  } catch (const Error& e) {
+    res.ok = false;
+    res.error = e.what();
+  }
+  return res;
+}
+
+Client::Result Client::transform(TransformDir dir,
+                                 std::span<const std::complex<double>> in,
+                                 std::span<std::complex<double>> out) {
+  const std::uint64_t id = auto_id_++;
+  std::string reason;
+  if (!submit(id, dir, in, &reason)) {
+    Result res;
+    res.error = reason;
+    return res;
+  }
+  return wait(id, out);
+}
+
+JobState Client::progress(std::uint64_t job_id) {
+  if (fd_ < 0) return JobState::kUnknown;
+  WireWriter w;
+  w.u64(job_id);
+  if (!write_frame(fd_, MsgType::kProgress, w.payload())) {
+    return JobState::kUnknown;
+  }
+  Frame f;
+  if (!next_of_type(MsgType::kProgressReply, f)) return JobState::kUnknown;
+  try {
+    WireReader r(f.payload);
+    (void)r.u64();
+    return static_cast<JobState>(r.u8());
+  } catch (const Error&) {
+    return JobState::kUnknown;
+  }
+}
+
+bool Client::stats(Stats* out) {
+  if (fd_ < 0 || out == nullptr) return false;
+  if (!write_frame(fd_, MsgType::kStats, {})) return false;
+  Frame f;
+  if (!next_of_type(MsgType::kStatsReply, f)) return false;
+  try {
+    WireReader r(f.payload);
+    std::istringstream in(r.str());
+    std::string key;
+    while (in >> key) {
+      if (key == "tenant_source_lag") {
+        std::size_t rank = 0;
+        double v = 0.0;
+        if (!(in >> rank >> v)) break;
+        if (out->source_lag.size() <= rank) out->source_lag.resize(rank + 1);
+        out->source_lag[rank] = v;
+        continue;
+      }
+      double v = 0.0;
+      if (!(in >> v)) break;
+      out->values[key] = v;
+    }
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+void Client::close() {
+  if (fd_ < 0) return;
+  if (session_open_) {
+    if (write_frame(fd_, MsgType::kCloseSession, {})) {
+      Frame f;
+      (void)next_of_type(MsgType::kCloseAck, f);
+    }
+    session_open_ = false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  done_.clear();
+}
+
+bool Client::next_of_type(MsgType type, Frame& out) {
+  for (;;) {
+    const FrameRead r = read_frame(fd_, out, kDefaultMaxFrameBytes);
+    if (r != FrameRead::kFrame) {
+      last_error_ = "connection closed by daemon";
+      return false;
+    }
+    if (out.type == type) return true;
+    if (out.type == MsgType::kTransformDone) {
+      try {
+        WireReader peek(out.payload);
+        done_[peek.u64()] = std::move(out.payload);
+      } catch (const Error&) {
+        // An unparseable done frame is dropped; the waiter times out on
+        // EOF instead of crashing the client.
+      }
+      continue;
+    }
+    if (out.type == MsgType::kError) {
+      try {
+        WireReader r2(out.payload);
+        last_error_ = "daemon error: " + r2.str();
+      } catch (const Error&) {
+        last_error_ = "daemon error";
+      }
+      return false;
+    }
+    // Unexpected reply type (stale ack): skip it.
+  }
+}
+
+}  // namespace lossyfft::serve

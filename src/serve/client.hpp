@@ -1,0 +1,94 @@
+// serve layer 5: the blocking lossyfftd client.
+//
+// A Client is one session on a running daemon: open with a SessionConfig,
+// submit whole-field transforms (pipelined up to the session's in-flight
+// cap), and collect results/progress/stats. Single-threaded and blocking;
+// out-of-order TransformDone frames (several jobs in flight) are stashed
+// and matched by job id, so submit/wait interleavings are free-form.
+//
+// The CLI's --connect mode, serve_test, and bench_serving all speak
+// through this class; raw_fd() exists so tests can inject malformed bytes
+// underneath it.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace lossyfft::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct OpenResult {
+    bool ok = false;
+    std::uint64_t session_id = 0;
+    std::uint32_t ranks = 0;
+    std::string reason;  ///< Rejection/failure detail when !ok.
+  };
+
+  struct Result {
+    bool ok = false;
+    JobState state = JobState::kUnknown;
+    std::string error;
+  };
+
+  /// Daemon-side stats snapshot, parsed from the StatsReply text table.
+  struct Stats {
+    std::map<std::string, double> values;
+    std::vector<double> source_lag;  ///< Per-source arrival lag (seconds).
+  };
+
+  /// Connect (when not yet connected) and open a session. A rejected open
+  /// leaves the connection up so the caller may retry with another config.
+  OpenResult open(const std::string& socket_path, const SessionConfig& cfg);
+
+  /// Connect without opening a session (malformed-frame tests).
+  bool connect_only(const std::string& socket_path);
+
+  /// Queue one transform; false (with *reason) when the daemon denies it
+  /// (in-flight cap) or the connection died.
+  bool submit(std::uint64_t job_id, TransformDir dir,
+              std::span<const std::complex<double>> field,
+              std::string* reason = nullptr);
+
+  /// Block until `job_id` finishes; on success copies the result field
+  /// into `out` (which must hold the full global grid).
+  Result wait(std::uint64_t job_id, std::span<std::complex<double>> out);
+
+  /// submit + wait with an auto-assigned job id.
+  Result transform(TransformDir dir,
+                   std::span<const std::complex<double>> in,
+                   std::span<std::complex<double>> out);
+
+  JobState progress(std::uint64_t job_id);
+  bool stats(Stats* out);
+
+  /// Close the session (CloseSession/CloseAck) and the socket. Idempotent.
+  void close();
+
+  bool connected() const { return fd_ >= 0; }
+  int raw_fd() const { return fd_; }
+
+ private:
+  /// Read frames until one of `type` arrives, stashing TransformDone
+  /// frames for other jobs. False on EOF/error (sets last_error_).
+  bool next_of_type(MsgType type, Frame& out);
+
+  int fd_ = -1;
+  bool session_open_ = false;
+  std::uint64_t auto_id_ = 1;
+  std::map<std::uint64_t, std::vector<std::byte>> done_;  ///< Stashed results.
+  std::string last_error_;
+};
+
+}  // namespace lossyfft::serve

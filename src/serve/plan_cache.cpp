@@ -1,0 +1,170 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+
+namespace lossyfft::serve {
+
+namespace {
+
+/// Eviction sweep ceiling per acquire; bounds the broadcast to a fixed
+/// POD array. A second over-budget sweep runs on the next miss.
+constexpr std::size_t kMaxEvictPerSweep = 16;
+
+}  // namespace
+
+PlanCacheEntry* PlanCache::acquire(minimpi::Comm& comm,
+                                   const std::string& key,
+                                   const Factory& make) {
+  // Rank 0 decides under the mutex; everyone else follows the broadcast.
+  struct Verdict {
+    std::uint64_t id = 0;
+    std::uint32_t miss = 0;
+    std::uint32_t pad = 0;
+  } v;
+  PlanCacheEntry* entry = nullptr;
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = by_key_.find(key); it != by_key_.end()) {
+      entry = entries_.at(it->second).get();
+      ++hits_;
+      ++entry->refs;
+      entry->last_use = ++use_seq_;
+      v = {entry->id, 0, 0};
+    } else {
+      auto fresh = std::make_unique<PlanCacheEntry>();
+      fresh->id = next_id_++;
+      fresh->key = key;
+      fresh->per_rank.resize(static_cast<std::size_t>(ranks_));
+      fresh->refs = 1;
+      fresh->last_use = ++use_seq_;
+      ++misses_;
+      entry = fresh.get();
+      by_key_[key] = fresh->id;
+      entries_[fresh->id] = std::move(fresh);
+      v = {entry->id, 1, 0};
+    }
+  }
+  comm.bcast(std::span<Verdict>(&v, 1), 0);
+  if (comm.rank() != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = entries_.at(v.id).get();  // Inserted by rank 0 pre-broadcast.
+  }
+  if (v.miss != 0) {
+    // Collective construction, one instance per rank slot (disjoint
+    // writes into the pre-sized vector need no lock).
+    entry->per_rank[static_cast<std::size_t>(comm.rank())] = make(comm);
+    const std::int64_t local = static_cast<std::int64_t>(
+        entry->per_rank[static_cast<std::size_t>(comm.rank())]
+            ->footprint_bytes());
+    const std::int64_t total =
+        comm.allreduce_one(local, minimpi::ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->bytes = static_cast<std::uint64_t>(total);
+      bytes_total_ += entry->bytes;
+    }
+    sweep(comm);
+  }
+  return entry;
+}
+
+void PlanCache::sweep(minimpi::Comm& comm) {
+  std::array<std::uint64_t, kMaxEvictPerSweep + 1> plan{};  // [0] = count.
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (bytes_total_ > budget_ && plan[0] < kMaxEvictPerSweep) {
+      // Least-recently-used unleased entry; leased plans are pinned.
+      PlanCacheEntry* victim = nullptr;
+      for (const auto& [id, e] : entries_) {
+        if (e->refs > 0 || e->bytes == 0) continue;
+        bool already = false;
+        for (std::uint64_t i = 0; i < plan[0]; ++i) {
+          already = already || plan[i + 1] == id;
+        }
+        if (already) continue;
+        if (victim == nullptr || e->last_use < victim->last_use) {
+          victim = e.get();
+        }
+      }
+      if (victim == nullptr) break;  // Everything resident is leased.
+      plan[++plan[0]] = victim->id;
+      bytes_total_ -= victim->bytes;
+      victim->bytes = 0;  // Marks it claimed for the loop above.
+      by_key_.erase(victim->key);
+      ++evictions_;
+    }
+  }
+  comm.bcast(std::span<std::uint64_t>(plan.data(), plan.size()), 0);
+  for (std::uint64_t i = 0; i < plan[0]; ++i) {
+    PlanCacheEntry* victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      victim = entries_.at(plan[i + 1]).get();
+    }
+    // Fft3d teardown is collective (window destruction barriers); every
+    // rank resets victim i before any rank proceeds to victim i+1.
+    victim->per_rank[static_cast<std::size_t>(comm.rank())].reset();
+  }
+  if (plan[0] > 0) {
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::uint64_t i = 0; i < plan[0]; ++i) entries_.erase(plan[i + 1]);
+    }
+  }
+}
+
+void PlanCache::touch(PlanCacheEntry* e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hits_;
+  e->last_use = ++use_seq_;
+}
+
+void PlanCache::release(PlanCacheEntry* e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LFFT_ASSERT(e->refs > 0);
+  --e->refs;
+}
+
+void PlanCache::clear(minimpi::Comm& comm) {
+  // Shutdown path: jobs have drained, so the entry table is stable and
+  // identical across ranks. Tear entries down in id order, collectively.
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, e] : entries_) ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    PlanCacheEntry* e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      e = entries_.at(id).get();
+    }
+    e->per_rank[static_cast<std::size_t>(comm.rank())].reset();
+  }
+  comm.barrier();
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    by_key_.clear();
+    bytes_total_ = 0;
+  }
+}
+
+CacheCounters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheCounters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.entries = entries_.size();
+  c.bytes = bytes_total_;
+  c.budget_bytes = budget_;
+  for (const auto& [id, e] : entries_) c.leases += e->refs;
+  return c;
+}
+
+}  // namespace lossyfft::serve

@@ -1,0 +1,106 @@
+// serve layer 3: the cross-session plan + tuner-decision cache.
+//
+// Planning a distributed FFT is the expensive part of serving one:
+// ExchangePlan construction is collective, allocates pinned staging and a
+// one-sided window, and (under autotuning) may run calibration probes.
+// The PlanCache lets every session whose exchange signature matches —
+// same grid, world size, codec class, tolerance, backend/sync, parity —
+// share ONE planned transform: a refcounted entry holding one
+// Fft3d<double> instance per rank of the daemon's world (plans pin
+// per-rank receive spans, so the shareable unit is the whole per-rank
+// transform set, not a bare plan).
+//
+// Concurrency/collectivity contract: acquire(), the eviction sweep it may
+// trigger, and clear() are collective over the daemon world and must be
+// called from all ranks in lockstep — the daemon guarantees this by
+// serializing jobs through its collective log. Rank 0 makes every
+// hit/miss/evict decision under the cache mutex and broadcasts it, so all
+// ranks construct or destroy (both collective operations) in the same
+// order. release() and counters() are local and callable from any thread.
+//
+// Eviction is LRU over a byte budget, charged at the world-summed
+// Fft3d::footprint_bytes() of each entry; leased entries (refs > 0) are
+// never evicted. Hit/miss/evict tallies surface through the daemon's
+// StatsReply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfft/fft3d.hpp"
+#include "minimpi/comm.hpp"
+
+namespace lossyfft::serve {
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;        ///< Sum of resident entry footprints.
+  std::uint64_t leases = 0;       ///< Outstanding session references.
+  std::uint64_t budget_bytes = 0;
+};
+
+struct PlanCacheEntry {
+  std::uint64_t id = 0;
+  std::string key;
+  /// One planned transform per world rank; slot r is written and read
+  /// only by rank r's thread (construction and teardown are collective).
+  std::vector<std::unique_ptr<Fft3d<double>>> per_rank;
+  std::uint64_t bytes = 0;     ///< World-summed footprint, set post-build.
+  std::uint64_t refs = 0;      ///< Session leases; cache mutex guards.
+  std::uint64_t last_use = 0;  ///< LRU sequence; cache mutex guards.
+};
+
+class PlanCache {
+ public:
+  /// Builds rank r's instance of a keyed transform. Called collectively
+  /// (Fft3d construction is itself collective over `comm`).
+  using Factory =
+      std::function<std::unique_ptr<Fft3d<double>>(minimpi::Comm&)>;
+
+  PlanCache(int ranks, std::uint64_t budget_bytes)
+      : ranks_(ranks), budget_(budget_bytes) {}
+
+  /// Collective: resolve `key` to a leased entry, constructing all per-rank
+  /// instances on a miss and then sweeping unleased LRU entries while the
+  /// cache exceeds its byte budget. Every rank returns the same entry.
+  PlanCacheEntry* acquire(minimpi::Comm& comm, const std::string& key,
+                          const Factory& make);
+
+  /// Local (call from one thread per event): count a lease reuse as a hit
+  /// and bump the entry's LRU stamp.
+  void touch(PlanCacheEntry* e);
+
+  /// Local: return one lease. The entry stays resident until an eviction
+  /// sweep claims it.
+  void release(PlanCacheEntry* e);
+
+  /// Collective teardown of every resident entry (daemon shutdown).
+  void clear(minimpi::Comm& comm);
+
+  CacheCounters counters() const;
+
+ private:
+  void sweep(minimpi::Comm& comm);
+
+  mutable std::mutex mu_;
+  int ranks_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t use_seq_ = 0;
+  std::uint64_t bytes_total_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::map<std::string, std::uint64_t> by_key_;
+  std::map<std::uint64_t, std::unique_ptr<PlanCacheEntry>> entries_;
+};
+
+}  // namespace lossyfft::serve

@@ -1,0 +1,85 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lossyfft::serve {
+
+void WireWriter::raw(const void* p, std::size_t n) {
+  const std::byte* b = static_cast<const std::byte*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  const std::span<const std::byte> b = raw(n);
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::span<const std::byte> WireReader::raw(std::size_t n) {
+  LFFT_REQUIRE(n <= buf_.size() - pos_, "serve: truncated frame payload");
+  const std::span<const std::byte> b = buf_.subspan(pos_, n);
+  pos_ += n;
+  return b;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  std::byte* p = static_cast<std::byte*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // Peer closed.
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const std::byte* p = static_cast<const std::byte*>(buf);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished client must produce EPIPE, not SIGPIPE.
+    const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+FrameRead read_frame(int fd, Frame& out, std::uint64_t max_payload_bytes) {
+  std::uint32_t header[2];  // payload_len, type
+  if (!read_exact(fd, header, sizeof header)) return FrameRead::kEof;
+  if (header[0] > max_payload_bytes) return FrameRead::kOversize;
+  out.type = static_cast<MsgType>(header[1]);
+  out.payload.resize(header[0]);
+  if (header[0] > 0 && !read_exact(fd, out.payload.data(), out.payload.size())) {
+    return FrameRead::kEof;
+  }
+  return FrameRead::kFrame;
+}
+
+bool write_frame(int fd, MsgType type, std::span<const std::byte> payload) {
+  const std::uint32_t header[2] = {static_cast<std::uint32_t>(payload.size()),
+                                   static_cast<std::uint32_t>(type)};
+  if (!write_all(fd, header, sizeof header)) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace lossyfft::serve

@@ -1,0 +1,78 @@
+// serve layer 2: admission control and QoS dispatch.
+//
+// The Scheduler is the daemon's tenant registry. admit() vets an
+// OpenSession config against the daemon's limits before any resources are
+// committed — an unsatisfiable QoS ask (priority beyond the ladder, rate
+// or in-flight beyond the caps, a grid beyond the byte ceiling, a
+// tolerance below the floor) is rejected with a reason string and the
+// connection survives to retry.
+//
+// Dispatch: jobs execute one at a time on the daemon's rank world (each
+// job is a collective over every rank), so the scheduler's job is to pick
+// WHICH queued job runs next. pick() refills each session's token bucket
+// (QosKnobs::rate), then chooses the highest-priority session holding a
+// token, breaking ties round-robin by least-recently-picked. The clock is
+// an argument, not a syscall, so tests drive throttling deterministically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace lossyfft::serve {
+
+struct SchedulerLimits {
+  std::size_t max_sessions = 64;
+  std::uint32_t max_inflight = 32;  ///< Per-session cap on the QoS ask.
+  int max_priority = 7;
+  double max_rate = 1000.0;  ///< Jobs/second ceiling on the QoS ask.
+  double min_e_tol = 0.0;    ///< Floor for lossy sessions (0 = none).
+  /// Grid ceiling in elements: bounds both frame sizes and the cached
+  /// plan footprint a single tenant can demand. 2^22 complex doubles
+  /// is a 64 MiB field.
+  std::uint64_t max_grid_elems = 1ull << 22;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerLimits limits) : limits_(limits) {}
+
+  /// Empty string = admissible; otherwise the rejection reason sent back
+  /// in the OpenAck. Pure function of config + limits.
+  std::string admit(const SessionConfig& cfg) const;
+
+  /// Register an admitted session; false when the session table is full.
+  bool add(const std::shared_ptr<Session>& s);
+  void remove(std::uint64_t session_id);
+  std::size_t session_count() const;
+
+  /// Queue a job; false (with *deny_reason) when the session's in-flight
+  /// cap is reached.
+  bool enqueue(const std::shared_ptr<Session>& s,
+               const std::shared_ptr<Job>& job, std::string* deny_reason);
+
+  /// Highest-priority token-holding queued job, or nullptr when every
+  /// queue is empty or throttled. `now_seconds` is any monotonic clock.
+  std::shared_ptr<Job> pick(double now_seconds);
+
+  /// A dispatched job left the system (done, failed, or discarded).
+  void finish(const std::shared_ptr<Session>& s);
+
+  /// Remove and return every still-queued job of `s` (disconnect path).
+  std::vector<std::shared_ptr<Job>> drain(const std::shared_ptr<Session>& s);
+
+  const SchedulerLimits& limits() const { return limits_; }
+
+ private:
+  mutable std::mutex mu_;
+  SchedulerLimits limits_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t pick_seq_ = 0;
+};
+
+}  // namespace lossyfft::serve

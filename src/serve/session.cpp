@@ -1,0 +1,70 @@
+#include "serve/session.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "compress/planner.hpp"
+
+namespace lossyfft::serve {
+
+std::string signature_key(const SessionConfig& c, int ranks) {
+  std::ostringstream os;
+  os << c.n[0] << 'x' << c.n[1] << 'x' << c.n[2] << " p" << ranks << " f"
+     << c.family << " e" << c.e_tol << " b" << int(c.backend) << " s"
+     << int(c.sync) << " m" << int(c.parity);
+  return os.str();
+}
+
+Fft3dOptions fft_options_for(const SessionConfig& c, int gpus_per_node) {
+  Fft3dOptions o;
+  o.backend = static_cast<ExchangeBackend>(c.backend);
+  o.osc_sync = c.sync == 0 ? osc::OscSync::kFence : osc::OscSync::kPscw;
+  o.gpus_per_node = gpus_per_node;
+  o.exchange_parity = c.parity;
+  if (c.family >= 0) {
+    o.codec = plan_codec(c.e_tol, static_cast<CodecFamily>(c.family));
+  }
+  // Codec / pack shards ride the daemon's shared WorkerPool; the
+  // bytes-per-shard floor keeps small grids serial, so full-pool fan-out
+  // is safe at every size and results stay bitwise identical.
+  o.reshape_workers = 0;
+  return o;
+}
+
+void encode_config(WireWriter& w, const SessionConfig& c) {
+  w.u32(kProtocolVersion);
+  w.i32(c.n[0]);
+  w.i32(c.n[1]);
+  w.i32(c.n[2]);
+  w.i32(c.family);
+  w.u8(c.backend);
+  w.u8(c.sync);
+  w.u8(c.parity);
+  w.u8(0);  // reserved
+  w.f64(c.e_tol);
+  w.f64(c.qos.rate);
+  w.i32(c.qos.priority);
+  w.u32(c.qos.max_inflight);
+}
+
+SessionConfig decode_config(WireReader& r) {
+  const std::uint32_t version = r.u32();
+  LFFT_REQUIRE(version == kProtocolVersion,
+               "serve: protocol version mismatch");
+  SessionConfig c;
+  c.n[0] = r.i32();
+  c.n[1] = r.i32();
+  c.n[2] = r.i32();
+  c.family = r.i32();
+  c.backend = r.u8();
+  c.sync = r.u8();
+  c.parity = r.u8();
+  (void)r.u8();  // reserved
+  c.e_tol = r.f64();
+  c.qos.rate = r.f64();
+  c.qos.priority = r.i32();
+  c.qos.max_inflight = r.u32();
+  return c;
+}
+
+}  // namespace lossyfft::serve

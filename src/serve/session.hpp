@@ -1,0 +1,139 @@
+// serve layer 1: sessions, jobs, and the client-visible configuration.
+//
+// A Session is one connected tenant: the transform signature it opened
+// with (grid, codec family, tolerance, exchange backend/sync, parity),
+// its QoS knobs (priority, admission rate, in-flight cap), its queue and
+// per-tenant wire/fault/skew counters, and — once its first job runs — a
+// lease on the cross-session PlanCache entry for its signature.
+//
+// fft_options_for() is the single translation from a SessionConfig to the
+// library's Fft3dOptions, shared by the daemon and by tests that compare
+// served results against library-direct execution: byte-identity between
+// the two hinges on both sides planning through this one function.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <complex>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfft/fft3d.hpp"
+#include "osc/osc_alltoall.hpp"
+#include "serve/protocol.hpp"
+
+namespace lossyfft::serve {
+
+struct PlanCacheEntry;
+
+enum class TransformDir : std::uint8_t {
+  kForward = 0,
+  kBackward = 1,
+  kRoundtrip = 2,  // forward then backward: the accuracy-probe shape
+};
+
+/// Per-client service knobs, carried in OpenSession and enforced by the
+/// Scheduler (admission) and the daemon (dispatch order).
+struct QosKnobs {
+  double rate = 0.0;  ///< Jobs/second admitted to dispatch; 0 = unlimited.
+  int priority = 3;   ///< 0 (lowest) .. SchedulerLimits::max_priority.
+  std::uint32_t max_inflight = 4;  ///< Submitted-but-unfinished cap.
+};
+
+struct SessionConfig {
+  std::array<int, 3> n = {8, 8, 8};
+  /// CodecFamily value, or -1 for exact (uncompressed) communication.
+  int family = -1;
+  double e_tol = 1e-3;
+  std::uint8_t backend = static_cast<std::uint8_t>(ExchangeBackend::kOsc);
+  std::uint8_t sync = 0;  ///< osc::OscSync: 0 = fence, 1 = pscw.
+  std::uint8_t parity = 0;
+  QosKnobs qos;
+};
+
+/// The plan-cache key: everything that shapes the constructed Fft3d (and
+/// nothing that does not — QoS knobs deliberately excluded, so two tenants
+/// with different priorities still share one plan).
+std::string signature_key(const SessionConfig& c, int ranks);
+
+/// The one SessionConfig -> Fft3dOptions translation (see header comment).
+Fft3dOptions fft_options_for(const SessionConfig& c, int gpus_per_node);
+
+/// OpenSession body codecs (client writes, daemon reads). decode_config
+/// throws lossyfft::Error on truncation or a protocol-version mismatch.
+void encode_config(WireWriter& w, const SessionConfig& c);
+SessionConfig decode_config(WireReader& r);
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+  kUnknown = 255,
+};
+
+/// Everything the daemon has observed about one tenant, reported through
+/// StatsReply. Guarded by Session::stats_mu.
+struct TenantStats {
+  osc::ExchangeStats wire;  ///< World-summed deltas of this tenant's jobs.
+  std::vector<double> source_lag;  ///< Per-source arrival lag, world-summed.
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+};
+
+struct Session;
+
+/// One submitted transform. The input/output fields are full global grids
+/// in x-fastest layout (index = x + nx*(y + ny*z)); the executing ranks
+/// scatter/gather their bricks from these shared buffers.
+struct Job {
+  std::uint64_t id = 0;         ///< Daemon-wide dispatch id.
+  std::uint64_t client_id = 0;  ///< Client-chosen id, echoed in replies.
+  TransformDir dir = TransformDir::kForward;
+  std::shared_ptr<Session> session;
+  std::vector<std::complex<double>> input;
+  std::vector<std::complex<double>> output;
+  std::atomic<std::uint8_t> state{
+      static_cast<std::uint8_t>(JobState::kQueued)};
+  /// Failure detail; written by rank 0 before the kFailed state store.
+  std::string error;
+};
+
+struct Session {
+  std::uint64_t id = 0;
+  int fd = -1;  ///< Connection fd; -1 once the reader closed it. Writes to
+                ///< it (and the close itself) serialize under write_mu.
+  SessionConfig cfg;
+  std::string sig;  ///< signature_key(cfg, ranks), the plan-cache key.
+  std::atomic<bool> closed{false};
+
+  std::mutex write_mu;
+
+  // Scheduler-owned state, guarded by the Scheduler's mutex.
+  std::deque<std::shared_ptr<Job>> queue;
+  std::uint32_t inflight = 0;     ///< Queued + dispatched, not yet finished.
+  double tokens = 0.0;            ///< Token bucket for QosKnobs::rate.
+  double last_refill = 0.0;
+  std::uint64_t last_pick = 0;    ///< Round-robin tiebreak sequence.
+
+  // Progress registry: client job id -> job, while unfinished.
+  std::mutex jobs_mu;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs;
+
+  std::mutex stats_mu;
+  TenantStats stats;
+
+  /// PlanCache lease: one reference held from the session's first executed
+  /// job until close. Read by all executing ranks (the root broadcasts the
+  /// value it observed so the acquire decision stays collective).
+  std::atomic<PlanCacheEntry*> lease{nullptr};
+};
+
+}  // namespace lossyfft::serve

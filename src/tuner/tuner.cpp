@@ -1,6 +1,11 @@
 #include "tuner/tuner.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -13,6 +18,31 @@
 namespace lossyfft::tuner {
 
 namespace {
+
+// Advisory flock over <cache>.lock, serializing load/store across
+// processes (and across Tuner instances in one process — flock contends
+// between distinct file descriptors). Best-effort: an unlockable path
+// degrades to the unlocked behavior rather than failing tuning.
+class FileLock {
+ public:
+  FileLock(const std::string& cache_path, bool exclusive) {
+    if (cache_path.empty()) return;
+    fd_ = ::open((cache_path + ".lock").c_str(),
+                 O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0) ::flock(fd_, exclusive ? LOCK_EX : LOCK_SH);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
 
 // Codec rates are continuous (szq's depends on e_tol); bucket them at
 // quarter-octave resolution so near-identical tolerances share a cache
@@ -65,8 +95,13 @@ std::string Tuner::decomp_key(const DecompSignature& sig) const {
 
 void Tuner::load_cache_locked() {
   if (options_.cache_path.empty()) return;
+  const FileLock lock(options_.cache_path, /*exclusive=*/false);
   std::ifstream in(options_.cache_path);
   if (!in) return;
+  parse_cache(in, /*keep_existing=*/false);
+}
+
+void Tuner::parse_cache(std::istream& in, bool keep_existing) {
   std::string header;
   int version = -1;
   std::string level;
@@ -105,7 +140,11 @@ void Tuner::load_cache_locked() {
       d.algorithm = static_cast<DecompAlgorithm>(algo);
       d.grid = grid;
       d.modeled_seconds = seconds;
-      decomp_memo_[os.str()] = d;
+      if (keep_existing) {
+        decomp_memo_.emplace(os.str(), d);
+      } else {
+        decomp_memo_[os.str()] = d;
+      }
       continue;
     }
     int p = 0, gpn = 0, sc = 0, path = 0, workers = 0, parity = 0;
@@ -134,15 +173,30 @@ void Tuner::load_cache_locked() {
     d.parity = parity;
     d.rendezvous_threshold = rendezvous;
     d.modeled_seconds = seconds;
-    memo_[os.str()] = d;
+    if (keep_existing) {
+      memo_.emplace(os.str(), d);
+    } else {
+      memo_[os.str()] = d;
+    }
   }
 }
 
 void Tuner::store_cache_locked() {
   if (options_.cache_path.empty()) return;
-  // Rewrite-in-place: the file is tiny (one row per size class per shape)
-  // and a full rewrite keeps the on-disk table in sync with the memo.
-  std::ofstream out(options_.cache_path, std::ios::trunc);
+  // Concurrent writers (the daemon plus a CLI, multiple tuner instances
+  // hammering one LOSSYFFT_TUNE_CACHE) must never interleave or truncate
+  // each other's rows. Under the exclusive lock, first adopt any rows a
+  // peer stored since our load (our memo wins on conflicts — it is at
+  // least as fresh), then publish the merged table through a temp file +
+  // atomic rename so readers only ever observe complete table images.
+  const FileLock lock(options_.cache_path, /*exclusive=*/true);
+  {
+    std::ifstream in(options_.cache_path);
+    if (in) parse_cache(in, /*keep_existing=*/true);
+  }
+  const std::string tmp =
+      options_.cache_path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(tmp, std::ios::trunc);
   if (!out) return;  // Unwritable cache degrades to in-memory tuning.
   // max_digits10 so modeled_seconds round-trips bit-exactly: a reloaded
   // cache must reproduce decisions (and their reported costs) verbatim.
@@ -157,6 +211,10 @@ void Tuner::store_cache_locked() {
   for (const auto& [k, d] : decomp_memo_) {
     out << "d " << k << ' ' << static_cast<int>(d.algorithm) << ' '
         << d.grid[0] << ' ' << d.grid[1] << ' ' << d.modeled_seconds << '\n';
+  }
+  out.close();
+  if (!out || std::rename(tmp.c_str(), options_.cache_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
   }
 }
 

@@ -25,6 +25,7 @@
 // cost at one rank's worth. decide() itself is thread-safe.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -86,6 +87,14 @@ class Tuner {
   std::string key(const ExchangeSignature& sig) const;
   std::string decomp_key(const DecompSignature& sig) const;
   void load_cache_locked();
+  /// Parse one cache file image into the memos. `keep_existing` is the
+  /// merge mode store_cache_locked uses to adopt rows other processes
+  /// wrote since our load: in-memory decisions win, unknown rows survive.
+  void parse_cache(std::istream& in, bool keep_existing);
+  /// Concurrency-safe store: under an exclusive advisory flock
+  /// (<cache>.lock), re-parse the current file to pick up rows written by
+  /// other processes, then publish the merged table via temp file + atomic
+  /// rename — a reader never observes a truncated or interleaved table.
   void store_cache_locked();
   CostConstants& constants_locked(const CodecPtr& codec,
                                   const std::string& codec_class);

@@ -609,6 +609,67 @@ TEST(PscwPipelined, MatchesFenceAcrossCodecClasses) {
   });
 }
 
+// --- Per-source arrival skew (PSCW observability) ---------------------------
+
+// The skew counters exist so a tenant can see WHICH peer it waits for:
+// PSCW stamps each source's arrival per epoch, finish_skew_epoch folds the
+// stamps into (epochs, total, worst) plus a per-source lag accumulation.
+// Deliberately stagger the ranks and pin down the counter algebra; the
+// fence path records nothing by design (no per-source completion signal).
+TEST(ArrivalSkew, PscwCountsStaggeredSourcesAndFenceStaysSilent) {
+  constexpr int kP = 4;
+  constexpr int kEpochs = 3;
+  run_ranks(kP, [](Comm& comm) {
+    auto l = make_layout(kP, comm.rank());
+    OscOptions o;
+    o.sync = OscSync::kPscw;
+    o.gpus_per_node = 2;  // Two-node shape: inter-node rounds exist.
+    ExchangePlan plan(comm, PlanBackend::kOneSided, l.sc, l.sd, l.rc, l.rd,
+                      std::span<double>(l.recv), o);
+    ExchangeStats st;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      // Rank r posts late by ~2r ms: every receiver sees a real spread.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * comm.rank()));
+      std::fill(l.recv.begin(), l.recv.end(), -1.0);
+      st.accumulate(plan.execute(l.send, l.recv));
+      expect_delivery(kP, comm.rank(), l, 0.0);
+    }
+    // Every rank has kP-1 >= 2 remote sources, so every epoch records.
+    EXPECT_EQ(st.skew_epochs, static_cast<std::uint64_t>(kEpochs));
+    EXPECT_GE(st.skew_seconds, st.max_skew_seconds);
+    EXPECT_LE(st.skew_seconds, st.max_skew_seconds * kEpochs + 1e-12);
+    // The stagger is milliseconds; SOME receiver must observe it even if
+    // round ordering absorbs part of the spread.
+    const double total =
+        comm.allreduce_one(st.skew_seconds, minimpi::ReduceOp::kSum);
+    EXPECT_GT(total, 0.0);
+
+    // Per-source lag algebra: self never stamps (no remote arrival), and a
+    // single source's accumulated lag can never exceed the epoch-summed
+    // spread (lag <= last-first in every epoch).
+    const std::span<const double> lag = plan.source_lag_seconds();
+    ASSERT_EQ(lag.size(), static_cast<std::size_t>(kP));
+    EXPECT_EQ(lag[static_cast<std::size_t>(comm.rank())], 0.0);
+    for (const double v : lag) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, st.skew_seconds + 1e-12);
+    }
+
+    // Fence: no per-source completion signal, so nothing may be recorded.
+    auto f = make_layout(kP, comm.rank());
+    OscOptions fo;
+    fo.gpus_per_node = 2;
+    ExchangePlan fence_plan(comm, PlanBackend::kOneSided, f.sc, f.sd, f.rc,
+                            f.rd, std::span<double>(f.recv), fo);
+    const auto fst = fence_plan.execute(f.send, f.recv);
+    EXPECT_EQ(fst.skew_epochs, 0u);
+    EXPECT_EQ(fst.skew_seconds, 0.0);
+    for (const double v : fence_plan.source_lag_seconds()) {
+      EXPECT_EQ(v, 0.0);
+    }
+  });
+}
+
 // A transparent decorator that counts decompress_shard fan-out and where
 // it ran: the proof that one large variable-rate slot really decodes as
 // independent frame shards (across the pool) instead of serially through

@@ -11,6 +11,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cpu_dispatch.hpp"
@@ -383,6 +384,90 @@ TEST(TunerCache, StaleVersionFileIsIgnoredWholesale) {
                              std::to_string(Tuner::kCacheVersion) + " " +
                              lossyfft::simd_level_name() + "\n";
   EXPECT_EQ(read_file(path).rfind(header, 0), 0u);
+}
+
+// Regression for the clobbering bug: concurrent tuner instances sharing
+// one cache path used to truncate-and-rewrite the file from their own
+// memo only, so the last store won and every other instance's rows
+// vanished — and a reader racing the rewrite could observe a torn table.
+// The fix (advisory flock + merge-on-store + temp-file/atomic-rename)
+// must keep EVERY writer's rows and never publish a partial image.
+TEST(TunerCache, ConcurrentTunersNeitherClobberNorTearTheCache) {
+  const std::string path = ::testing::TempDir() + "lossyfft_tune_mt.txt";
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+
+  // Thread t owns the disjoint signatures with p = 4 + 2t (two size
+  // classes each), plus one signature every thread shares. Deterministic
+  // injected constants make all decisions pure functions of the
+  // signature, so the shared row is identical no matter who stores last.
+  const auto sig_for = [](int p, std::uint64_t pair_bytes) {
+    ExchangeSignature sig;
+    sig.p = p;
+    sig.gpn = 2;
+    sig.pair_bytes = pair_bytes;
+    sig.codec = nullptr;
+    return sig;
+  };
+  std::vector<std::vector<std::pair<ExchangeSignature, TuneDecision>>> made(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // A fresh Tuner per round forces repeated load -> decide -> store
+      // cycles racing the other threads on the one file.
+      for (int round = 0; round < kRounds; ++round) {
+        TunerOptions to;
+        to.cache_path = path;
+        to.constants = CostConstants{};
+        Tuner tuner(std::move(to));
+        for (const std::uint64_t kib : {16ull, 512ull}) {
+          const ExchangeSignature own = sig_for(4 + 2 * t, kib * 1024);
+          const TuneDecision d = tuner.decide(own);
+          if (round == 0) made[std::size_t(t)].emplace_back(own, d);
+        }
+        (void)tuner.decide(sig_for(64, 256 * 1024));  // The contended row.
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The surviving file: current header, and one complete 10-field row per
+  // distinct key — 2 per thread plus the shared one. A torn or truncated
+  // row would change the line shape; a clobbered store would drop rows.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("lossyfft-tune-cache ", 0), 0u);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tok;
+    std::size_t n = 0;
+    while (fields >> tok) ++n;
+    EXPECT_EQ(n, 10u) << "torn cache row: '" << line << "'";
+    ++rows;
+  }
+  EXPECT_EQ(rows, std::size_t(2 * kThreads + 1));
+
+  // And a cold constants-free reader serves every thread's decisions
+  // verbatim (a lost row would force a calibration whose modeled cost
+  // could never match bit-for-bit).
+  TunerOptions ro;
+  ro.cache_path = path;
+  Tuner reader(std::move(ro));
+  for (const auto& thread_rows : made) {
+    for (const auto& [sig, want] : thread_rows) {
+      const TuneDecision got = reader.decide(sig);
+      EXPECT_EQ(static_cast<int>(got.path), static_cast<int>(want.path));
+      EXPECT_EQ(got.workers, want.workers);
+      EXPECT_EQ(got.parity, want.parity);
+      EXPECT_EQ(got.modeled_seconds, want.modeled_seconds);
+    }
+  }
 }
 
 // --- kAuto integration ------------------------------------------------------

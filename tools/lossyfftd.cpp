@@ -1,0 +1,116 @@
+// lossyfftd — the multi-tenant transform daemon.
+//
+//   lossyfftd --socket PATH [--ranks N] [--gpus-per-node G]
+//             [--cache-budget-mb M] [--max-sessions S] [--max-inflight K]
+//             [--min-e-tol E] [--max-grid-elems N] [--once]
+//
+// Owns one minimpi world and the process's shared WorkerPool, serves
+// framed client sessions on a Unix socket (src/serve/), and shares
+// planned transforms across tenants through the byte-budgeted plan cache.
+// Runs until SIGINT/SIGTERM; --once exits after the first session closes
+// (useful under test harnesses). lossyfft_cli --connect PATH is the
+// matching client.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/daemon.hpp"
+
+using namespace lossyfft;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lossyfftd --socket PATH [--ranks N] [--gpus-per-node G]\n"
+      "                 [--cache-budget-mb M] [--max-sessions S]\n"
+      "                 [--max-inflight K] [--min-e-tol E]\n"
+      "                 [--max-grid-elems N] [--once]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::DaemonOptions opt;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (flag == "--socket" && has_value) {
+      opt.socket_path = argv[++i];
+    } else if (flag == "--ranks" && has_value) {
+      opt.ranks = std::atoi(argv[++i]);
+    } else if (flag == "--gpus-per-node" && has_value) {
+      opt.gpus_per_node = std::atoi(argv[++i]);
+    } else if (flag == "--cache-budget-mb" && has_value) {
+      opt.cache_budget_bytes =
+          std::strtoull(argv[++i], nullptr, 10) << 20;
+    } else if (flag == "--max-sessions" && has_value) {
+      opt.limits.max_sessions =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (flag == "--max-inflight" && has_value) {
+      opt.limits.max_inflight =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (flag == "--min-e-tol" && has_value) {
+      opt.limits.min_e_tol = std::atof(argv[++i]);
+    } else if (flag == "--max-grid-elems" && has_value) {
+      opt.limits.max_grid_elems = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--once") {
+      once = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.socket_path.empty() || opt.ranks < 1) return usage();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  serve::Daemon daemon(opt);
+  try {
+    daemon.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "lossyfftd: %s\n", e.what());
+    return 1;
+  }
+  std::printf("lossyfftd: serving on %s (%d ranks, %llu MiB plan cache)\n",
+              opt.socket_path.c_str(), opt.ranks,
+              static_cast<unsigned long long>(opt.cache_budget_bytes >> 20));
+  std::fflush(stdout);
+
+  bool saw_session = false;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (once) {
+      const std::size_t live = daemon.session_count();
+      saw_session = saw_session || live > 0;
+      if (saw_session && live == 0) break;
+    }
+  }
+  daemon.stop();
+
+  const serve::DaemonCounters c = daemon.counters();
+  const serve::CacheCounters cc = daemon.cache_counters();
+  std::printf("lossyfftd: served %llu sessions (%llu rejected), "
+              "%llu jobs (%llu failed, %llu cancelled); plan cache "
+              "%llu hits / %llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(c.sessions_opened),
+              static_cast<unsigned long long>(c.sessions_rejected),
+              static_cast<unsigned long long>(c.jobs_completed),
+              static_cast<unsigned long long>(c.jobs_failed),
+              static_cast<unsigned long long>(c.jobs_cancelled),
+              static_cast<unsigned long long>(cc.hits),
+              static_cast<unsigned long long>(cc.misses),
+              static_cast<unsigned long long>(cc.evictions));
+  return 0;
+}

@@ -12,6 +12,11 @@
 // decisions go through the persistent cache exactly as production plan
 // construction does — running tune_dump once can pre-warm a cache file.
 //
+// With --verbose a final section runs a real 4-rank PSCW one-sided
+// exchange in-process and prints the measured per-source arrival-skew
+// table (ExchangeStats::skew_* and ExchangePlan::source_lag_seconds) —
+// the observability signal the daemon's Stats reply exposes per tenant.
+//
 // A second table prints the decomposition decisions for the same sweep:
 // for each (p, gpn, n, codec) signature, which pipeline the tuner picks
 // (slab vs pencil), the process-grid factorization of the pencil stages,
@@ -24,16 +29,20 @@
 //                  [--p LIST] [--gpn LIST] [--kib LIST] [--n LIST]
 
 #include <array>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cpu_dispatch.hpp"
 #include "compress/lossless.hpp"
 #include "compress/szq.hpp"
 #include "compress/truncate.hpp"
+#include "minimpi/runtime.hpp"
+#include "osc/exchange_plan.hpp"
 #include "tuner/calibrate.hpp"
 #include "tuner/tuner.hpp"
 
@@ -216,6 +225,62 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  if (verbose) {
+    // Live arrival-skew probe: a real PSCW one-sided exchange across 4
+    // in-process ranks, with rank r sleeping r ms before each epoch so
+    // the per-source lag table has visible structure. This is measured,
+    // not modeled — the same counters lossyfftd reports per tenant.
+    constexpr int kProbeRanks = 4;
+    constexpr int kEpochs = 4;
+    constexpr std::uint64_t kPairDoubles = 2048;
+    std::array<std::vector<double>, kProbeRanks> lag;
+    std::array<lossyfft::osc::ExchangeStats, kProbeRanks> stats;
+    lossyfft::minimpi::run_ranks(
+        kProbeRanks, [&](lossyfft::minimpi::Comm& comm) {
+          const std::size_t p = kProbeRanks;
+          std::vector<std::uint64_t> counts(p, kPairDoubles), displs(p, 0);
+          for (std::size_t r = 1; r < p; ++r) {
+            displs[r] = displs[r - 1] + counts[r - 1];
+          }
+          std::vector<double> send(kPairDoubles * p, 1.0 + comm.rank());
+          std::vector<double> recv(kPairDoubles * p, 0.0);
+          lossyfft::osc::OscOptions o;
+          o.sync = lossyfft::osc::OscSync::kPscw;
+          o.gpus_per_node = 2;
+          lossyfft::osc::ExchangePlan plan(
+              comm, lossyfft::osc::PlanBackend::kOneSided, counts, displs,
+              counts, displs, std::span<double>(recv), o);
+          lossyfft::osc::ExchangeStats st;
+          for (int e = 0; e < kEpochs; ++e) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(comm.rank()));
+            st.accumulate(plan.execute(send, recv));
+          }
+          const auto rank_lag = plan.source_lag_seconds();
+          lag[comm.rank()].assign(rank_lag.begin(), rank_lag.end());
+          stats[comm.rank()] = st;
+        });
+    std::printf("\n# live arrival skew: %d ranks, pscw one-sided, raw wire, "
+                "%d epochs, %" PRIu64 " KiB/pair\n",
+                kProbeRanks, kEpochs, kPairDoubles * 8 / 1024);
+    std::printf("#   per-source lag (us behind the epoch's first arrival, "
+                "summed over epochs)\n");
+    std::printf("%8s", "dest\\src");
+    for (int s = 0; s < kProbeRanks; ++s) std::printf(" %9d", s);
+    std::printf("\n");
+    for (int d = 0; d < kProbeRanks; ++d) {
+      std::printf("%8d", d);
+      for (int s = 0; s < kProbeRanks; ++s) {
+        std::printf(" %9.1f", lag[d].size() > static_cast<std::size_t>(s)
+                                  ? lag[d][s] * 1e6
+                                  : 0.0);
+      }
+      std::printf("  | epochs=%" PRIu64 " skew=%.1fus worst=%.1fus\n",
+                  stats[d].skew_epochs, stats[d].skew_seconds * 1e6,
+                  stats[d].max_skew_seconds * 1e6);
     }
   }
   return 0;
